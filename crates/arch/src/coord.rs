@@ -1,0 +1,113 @@
+//! CPE mesh coordinates.
+//!
+//! The 64 CPEs of a core group sit on an 8×8 mesh. The paper writes
+//! `thread(i, j)` for the thread on the CPE in row `i`, column `j`; we
+//! mirror that with [`Coord`]. Linear ids are row-major
+//! (`id = row * 8 + col`), matching the order in which `sw-sim` spawns
+//! the 64 threads.
+
+use serde::{Deserialize, Serialize};
+
+/// Rows of the CPE mesh.
+pub const MESH_ROWS: usize = 8;
+/// Columns of the CPE mesh.
+pub const MESH_COLS: usize = 8;
+/// Total CPEs on the mesh.
+pub const N_CPES: usize = MESH_ROWS * MESH_COLS;
+
+/// Position of a CPE (equivalently, of the thread it runs) on the 8×8
+/// mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord {
+    /// Mesh row, `0..8`.
+    pub row: u8,
+    /// Mesh column, `0..8`.
+    pub col: u8,
+}
+
+impl Coord {
+    /// Builds a coordinate, panicking if out of range.
+    #[inline]
+    pub fn new(row: usize, col: usize) -> Self {
+        assert!(row < MESH_ROWS && col < MESH_COLS, "coordinate ({row},{col}) off the 8x8 mesh");
+        Coord { row: row as u8, col: col as u8 }
+    }
+
+    /// Linear (row-major) id, `0..64`.
+    #[inline]
+    pub fn id(self) -> usize {
+        self.row as usize * MESH_COLS + self.col as usize
+    }
+
+    /// Inverse of [`Coord::id`].
+    #[inline]
+    pub fn from_id(id: usize) -> Self {
+        assert!(id < N_CPES, "CPE id {id} out of range");
+        Coord { row: (id / MESH_COLS) as u8, col: (id % MESH_COLS) as u8 }
+    }
+
+    /// Iterator over all 64 coordinates in id order.
+    pub fn all() -> impl Iterator<Item = Coord> {
+        (0..N_CPES).map(Coord::from_id)
+    }
+
+    /// The 8 coordinates of this CPE's mesh row, in column order.
+    pub fn row_mates(self) -> impl Iterator<Item = Coord> {
+        let r = self.row as usize;
+        (0..MESH_COLS).map(move |c| Coord::new(r, c))
+    }
+
+    /// The 8 coordinates of this CPE's mesh column, in row order.
+    pub fn col_mates(self) -> impl Iterator<Item = Coord> {
+        let c = self.col as usize;
+        (0..MESH_ROWS).map(move |r| Coord::new(r, c))
+    }
+
+    /// True for the diagonal CPEs `(i, i)`, which play the dual
+    /// broadcaster role in the collective data sharing scheme (§III-B).
+    #[inline]
+    pub fn on_diagonal(self) -> bool {
+        self.row == self.col
+    }
+}
+
+impl std::fmt::Display for Coord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        for id in 0..N_CPES {
+            assert_eq!(Coord::from_id(id).id(), id);
+        }
+    }
+
+    #[test]
+    fn row_col_mates() {
+        let c = Coord::new(2, 5);
+        let rm: Vec<_> = c.row_mates().collect();
+        assert_eq!(rm.len(), 8);
+        assert!(rm.iter().all(|m| m.row == 2));
+        let cm: Vec<_> = c.col_mates().collect();
+        assert_eq!(cm.len(), 8);
+        assert!(cm.iter().all(|m| m.col == 5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let _ = Coord::new(8, 0);
+    }
+
+    #[test]
+    fn diagonal() {
+        assert!(Coord::new(3, 3).on_diagonal());
+        assert!(!Coord::new(3, 4).on_diagonal());
+    }
+}

@@ -1,0 +1,29 @@
+//! Architectural constants and primitive types of the SW26010 core group.
+//!
+//! The SW26010 processor (Sunway TaihuLight) is organized as four core
+//! groups (CGs). Each CG contains one management processing element (MPE)
+//! and 64 computing processing elements (CPEs) arranged on an 8×8 mesh.
+//! This crate captures the *facts* about one core group that every other
+//! crate in the workspace reasons about:
+//!
+//! * clock rate, peak floating-point throughput, memory bandwidth,
+//! * the CPE mesh geometry and coordinate arithmetic,
+//! * the 64 KB local device memory (LDM) per CPE,
+//! * the 256-bit vector word ([`V256`]) used by the SIMD pipeline and by
+//!   register communication,
+//! * pipeline and register-communication latencies used by the timing
+//!   model.
+//!
+//! Everything here is a plain value type; the behavioural models live in
+//! `sw-mem` (memory/DMA), `sw-mesh` (register communication), `sw-isa`
+//! (pipelines) and `sw-sim` (the core-group runtime).
+
+pub mod consts;
+pub mod coord;
+pub mod time;
+pub mod vector;
+
+pub use consts::*;
+pub use coord::{Coord, MESH_COLS, MESH_ROWS, N_CPES};
+pub use time::{cycles_to_secs, gflops, secs_to_cycles, Cycles};
+pub use vector::V256;

@@ -1,0 +1,60 @@
+//! Cycle/time accounting helpers shared by the timing models.
+
+use crate::consts::CLOCK_HZ;
+
+/// A cycle count at the 1.45 GHz CPE clock.
+pub type Cycles = u64;
+
+/// Converts a cycle count to seconds at the CPE clock rate.
+#[inline]
+pub fn cycles_to_secs(cycles: Cycles) -> f64 {
+    cycles as f64 / CLOCK_HZ
+}
+
+/// Converts seconds to cycles (rounded up — a partial cycle still
+/// occupies the pipeline).
+#[inline]
+pub fn secs_to_cycles(secs: f64) -> Cycles {
+    (secs * CLOCK_HZ).ceil() as Cycles
+}
+
+/// Sustained Gflops/s for `flops` floating-point operations completed in
+/// `secs` seconds.
+#[inline]
+pub fn gflops(flops: u64, secs: f64) -> f64 {
+    assert!(secs > 0.0, "elapsed time must be positive");
+    flops as f64 / secs / 1.0e9
+}
+
+/// Flop count of `C += alpha * A * B` for an m×k by k×n product: the
+/// conventional 2·m·n·k used by the paper (and HPL) when reporting
+/// Gflops.
+#[inline]
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::{CPES_PER_CG, FLOPS_PER_CYCLE_PER_CPE, PEAK_GFLOPS_CG};
+
+    #[test]
+    fn seconds_roundtrip() {
+        let c = 1_450_000_000;
+        assert!((cycles_to_secs(c) - 1.0).abs() < 1e-12);
+        assert_eq!(secs_to_cycles(1.0), c);
+    }
+
+    #[test]
+    fn peak_from_cycles() {
+        // Retiring 8 flops/cycle on 64 CPEs for one second is the peak.
+        let flops = FLOPS_PER_CYCLE_PER_CPE * CPES_PER_CG as u64 * secs_to_cycles(1.0);
+        assert!((gflops(flops, 1.0) - PEAK_GFLOPS_CG).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gemm_flops_square() {
+        assert_eq!(gemm_flops(10, 10, 10), 2000);
+    }
+}

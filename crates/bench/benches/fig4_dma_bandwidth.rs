@@ -1,0 +1,42 @@
+//! Criterion bench of the Figure 4 artefact: the modelled DMA sweep
+//! plus the *functional* DMA engine actually moving a CG block in both
+//! modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sw_mem::dma::{BandwidthModel, DmaMode, MatRegion};
+use sw_mem::microbench::{fig4_sweep, sustained_bandwidth_gbs, MicrobenchConfig};
+use sw_mem::{HostMatrix, Ldm, MainMemory};
+
+fn bench_model_sweep(c: &mut Criterion) {
+    let model = BandwidthModel::calibrated();
+    c.bench_function("fig4/model_sweep", |b| {
+        b.iter(|| black_box(fig4_sweep(black_box(&model))))
+    });
+    let cfg = MicrobenchConfig::default();
+    c.bench_function("fig4/model_point_row_9216", |b| {
+        b.iter(|| black_box(sustained_bandwidth_gbs(&model, DmaMode::Row, 9216, 9216, &cfg)))
+    });
+}
+
+fn bench_functional_dma(c: &mut Criterion) {
+    let mut mem = MainMemory::new();
+    let mat = mem.install(HostMatrix::zeros(128, 768)).unwrap();
+    let mut group = c.benchmark_group("fig4/functional");
+    group.bench_function("pe_get_thread_block", |b| {
+        let mut ldm = Ldm::new();
+        let buf = ldm.alloc(16 * 96).unwrap();
+        let region = MatRegion::new(mat, 16, 96, 16, 96);
+        b.iter(|| sw_mem::dma::pe_get(&mem, black_box(region), &mut ldm, buf).unwrap())
+    });
+    group.bench_function("row_get_column_slab_share", |b| {
+        let mut ldm = Ldm::new();
+        let buf = ldm.alloc(128 * 96 / 8).unwrap();
+        let region = MatRegion::new(mat, 0, 0, 128, 96);
+        b.iter(|| sw_mem::dma::row_get(&mem, black_box(region), 3, &mut ldm, buf).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_sweep, bench_functional_dma);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench of the Figure 6 artefact: timing-mode estimation
+//! cost per variant at the paper's production size, and full
+//! functional runs of every variant at test scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sw_dgemm::gen::random_matrix;
+use sw_dgemm::timing::estimate;
+use sw_dgemm::variants::raw::RawParams;
+use sw_dgemm::{BlockingParams, DgemmRunner, Variant};
+
+fn bench_timing_estimates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/estimate_9216");
+    for v in Variant::ALL {
+        group.bench_function(v.name(), |b| {
+            b.iter(|| black_box(estimate(v, 9216, 9216, 9216).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_variants(c: &mut Criterion) {
+    let (m, n, k) = (128, 64, 128);
+    let a = random_matrix(m, k, 1);
+    let bm = random_matrix(k, n, 2);
+    let c0 = random_matrix(m, n, 3);
+    let mut group = c.benchmark_group("fig6/functional_128x64x128");
+    group.sample_size(10);
+    for v in Variant::ALL {
+        group.bench_function(v.name(), |b| {
+            let runner = match v {
+                Variant::Raw => DgemmRunner::new(v).raw_params(RawParams::test_small()),
+                _ => DgemmRunner::new(v).params(BlockingParams::test_small()),
+            };
+            b.iter(|| {
+                let mut c = c0.clone();
+                runner.run(1.0, &a, &bm, 1.0, &mut c).unwrap();
+                black_box(c)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timing_estimates, bench_functional_variants);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench of the Figure 7 artefact: shape-sweep estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sw_dgemm::timing::estimate;
+use sw_dgemm::Variant;
+
+fn bench_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/estimate_shapes");
+    for (name, m, n, k) in [
+        ("thin_m", 1536usize, 9216usize, 9216usize),
+        ("thin_n", 9216, 1536, 9216),
+        ("thin_k", 9216, 9216, 1536),
+        ("square", 9216, 9216, 9216),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(estimate(Variant::Sched, m, n, k).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shapes);
+criterion_main!(benches);

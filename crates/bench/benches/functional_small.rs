@@ -1,0 +1,43 @@
+//! Criterion bench of the functional simulator end-to-end: a full
+//! 64-thread SCHED DGEMM at test scale, against the host references.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sw_dgemm::gen::random_matrix;
+use sw_dgemm::reference::{dgemm_naive, dgemm_parallel};
+use sw_dgemm::{BlockingParams, DgemmRunner, Variant};
+
+fn bench_functional(c: &mut Criterion) {
+    let (m, n, k) = (128, 64, 128);
+    let a = random_matrix(m, k, 1);
+    let b = random_matrix(k, n, 2);
+    let c0 = random_matrix(m, n, 3);
+    let mut group = c.benchmark_group("functional_128x64x128");
+    group.sample_size(10);
+    group.bench_function("simulated_sched", |bch| {
+        let runner = DgemmRunner::new(Variant::Sched).params(BlockingParams::test_small());
+        bch.iter(|| {
+            let mut cc = c0.clone();
+            runner.run(1.0, &a, &b, 1.0, &mut cc).unwrap();
+            black_box(cc)
+        })
+    });
+    group.bench_function("host_naive", |bch| {
+        bch.iter(|| {
+            let mut cc = c0.clone();
+            dgemm_naive(1.0, &a, &b, 1.0, &mut cc);
+            black_box(cc)
+        })
+    });
+    group.bench_function("host_parallel_8t", |bch| {
+        bch.iter(|| {
+            let mut cc = c0.clone();
+            dgemm_parallel(1.0, &a, &b, 1.0, &mut cc, 8);
+            black_box(cc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_functional);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench of the kernel-scheduling ablation: executor
+//! throughput on the naive, list-scheduled and hand-scheduled
+//! (Algorithm 3) streams, plus generator and scheduler cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sw_isa::kernels::{gen_block_kernel, BlockKernelCfg, KernelStyle, Operand};
+use sw_isa::sched::list_schedule;
+use sw_isa::{Machine, NullComm};
+
+fn cfg() -> BlockKernelCfg {
+    BlockKernelCfg {
+        pm: 16,
+        pn: 32,
+        pk: 96,
+        a_src: Operand::Ldm,
+        b_src: Operand::Ldm,
+        a_base: 0,
+        b_base: 2048,
+        c_base: 6144,
+        alpha_addr: 8000,
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let cfg = cfg();
+    let naive = gen_block_kernel(&cfg, KernelStyle::Naive);
+    let hand = gen_block_kernel(&cfg, KernelStyle::Scheduled);
+    let auto = list_schedule(&naive);
+    let mut group = c.benchmark_group("kernel/execute");
+    for (name, prog) in [("naive", &naive), ("list_scheduled", &auto), ("hand_alg3", &hand)] {
+        group.bench_function(name, |b| {
+            let mut ldm = vec![0.0f64; 8192];
+            ldm[8000] = 1.0;
+            let mut comm = NullComm;
+            b.iter(|| {
+                let mut m = Machine::new(&mut ldm, &mut comm);
+                black_box(m.run(black_box(prog)))
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("kernel/generate_scheduled", |b| {
+        b.iter(|| black_box(gen_block_kernel(black_box(&cfg), KernelStyle::Scheduled)))
+    });
+    c.bench_function("kernel/list_schedule_pass", |b| {
+        b.iter(|| black_box(list_schedule(black_box(&naive))))
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates Figure 4: sustained DMA bandwidth of `PE_MODE` vs
+//! `ROW_MODE` over m = k ∈ {1536 … 15360}, with the paper's blocking
+//! (bM = 128, bK = 768, pM = 16, pK = 96).
+//!
+//! ```text
+//! cargo run -p sw-bench --release --bin fig4 [-- --csv fig4.csv]
+//! ```
+
+use sw_bench::paper::PAPER_FIG4_APPROX;
+use sw_bench::{csv_arg, write_csv, Table};
+use sw_mem::dma::BandwidthModel;
+use sw_mem::microbench::fig4_sweep;
+
+fn main() {
+    let model = BandwidthModel::calibrated();
+    let pts = fig4_sweep(&model);
+    let mut table = Table::new(["m=k", "PE_MODE GB/s", "ROW_MODE GB/s", "ROW/PE"]);
+    for p in &pts {
+        table.row([
+            p.mk.to_string(),
+            format!("{:.1}", p.pe_gbs),
+            format!("{:.1}", p.row_gbs),
+            format!("{:.2}x", p.row_gbs / p.pe_gbs),
+        ]);
+    }
+    println!("Figure 4 — sustained DMA bandwidth (micro-benchmark on the calibrated model)\n");
+    println!("{}", table.render());
+    println!("paper reference points (read off the plot):");
+    for (mk, pe, row) in PAPER_FIG4_APPROX {
+        println!("  m=k={mk:>6}: PE ~{pe:.1} GB/s, ROW ~{row:.1} GB/s");
+    }
+    if let Some(path) = csv_arg() {
+        write_csv(&table, &path).expect("write CSV");
+        println!("\nCSV written to {}", path.display());
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates Figure 6: sustained Gflops of the five DGEMM variants
+//! over square sizes m = n = k ∈ {1536 … 15360}, and (with `--gains`)
+//! the §V relative-improvement percentages.
+//!
+//! ```text
+//! cargo run -p sw-bench --release --bin fig6 [-- --gains] [--csv fig6.csv]
+//! ```
+
+use sw_bench::paper::{PAPER_FIG6_SCHED, PAPER_GAINS, PAPER_PEAK_GFLOPS};
+use sw_bench::{csv_arg, write_csv, Table};
+use sw_dgemm::timing::estimate;
+use sw_dgemm::Variant;
+
+fn main() {
+    let sizes: Vec<usize> = (1..=10).map(|i| 1536 * i).collect();
+    let mut table = Table::new(["m=n=k", "RAW", "PE", "ROW", "DB", "SCHED", "paper SCHED"]);
+    let mut at_9216 = [0.0f64; 5];
+    let mut sched_max: f64 = 0.0;
+    for &mk in &sizes {
+        let mut cells = vec![mk.to_string()];
+        for (vi, v) in Variant::ALL.iter().enumerate() {
+            let g = estimate(*v, mk, mk, mk).expect("estimate").gflops;
+            if mk == 9216 {
+                at_9216[vi] = g;
+            }
+            if *v == Variant::Sched {
+                sched_max = sched_max.max(g);
+            }
+            cells.push(format!("{g:.1}"));
+        }
+        let paper = PAPER_FIG6_SCHED.iter().find(|(s, _)| *s == mk).map(|(_, g)| *g).unwrap();
+        cells.push(format!("{paper:.1}"));
+        table.row(cells);
+    }
+    println!("Figure 6 — five-variant performance ladder (timing simulation, Gflops/s)\n");
+    println!("{}", table.render());
+    println!(
+        "max SCHED: {sched_max:.1} Gflops/s = {:.1}% of peak (paper: {PAPER_PEAK_GFLOPS} = 95%)",
+        100.0 * sched_max / 742.4
+    );
+
+    if std::env::args().any(|a| a == "--gains") {
+        println!("\n§V relative gains at m=n=k=9216 (each variant over its predecessor):");
+        let names = ["PE/RAW", "ROW/PE", "DB/ROW", "SCHED/DB"];
+        for (i, name) in names.iter().enumerate() {
+            let ours = at_9216[i + 1] / at_9216[i];
+            let paper = PAPER_GAINS[i].1;
+            println!("  {name:<9} reproduction {ours:5.3}x   paper {paper:5.3}x");
+        }
+    }
+    if let Some(path) = csv_arg() {
+        write_csv(&table, &path).expect("write CSV");
+        println!("\nCSV written to {}", path.display());
+    }
+}

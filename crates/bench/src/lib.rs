@@ -1,0 +1,23 @@
+//! Benchmark harness regenerating the paper's evaluation artefacts.
+//!
+//! One binary per figure/table (see `src/bin/`):
+//!
+//! | Binary            | Paper artefact |
+//! |-------------------|----------------|
+//! | `fig4`            | Fig. 4 — sustained DMA bandwidth, `PE_MODE` vs `ROW_MODE` |
+//! | `fig6`            | Fig. 6 — Gflops of RAW/PE/ROW/DB/SCHED over square sizes (+ `--gains` for the §V percentages) |
+//! | `fig7`            | Fig. 7 — performance across matrix shapes |
+//! | `block_model`     | §III-C — block-size determination tables |
+//! | `kernel_cycles`   | §IV-C — inner-loop cycle count / vmad occupancy profile |
+//! | `ablation_blocks` | §IV-B — buffering/blocking ablation |
+//!
+//! Criterion benches (in `benches/`) measure the *simulator's own*
+//! throughput on the same artefacts.
+//!
+//! Output convention: every binary prints a paper-vs-reproduction
+//! table to stdout and, with `--csv PATH`, writes machine-readable CSV.
+
+pub mod paper;
+pub mod report;
+
+pub use report::{csv_arg, write_csv, Table};

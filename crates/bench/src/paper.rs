@@ -1,0 +1,36 @@
+//! The paper's published numbers, used as the reference column in every
+//! harness table.
+
+/// Figure 6's SCHED series as printed above the curve: (m = n = k,
+/// Gflops/s).
+pub const PAPER_FIG6_SCHED: [(usize, f64); 10] = [
+    (1536, 623.9),
+    (3072, 668.6),
+    (4608, 683.9),
+    (6144, 691.7),
+    (7680, 696.4),
+    (9216, 699.7),
+    (10752, 702.0),
+    (12288, 703.7),
+    (13824, 705.0),
+    (15360, 706.1),
+];
+
+/// §V's relative gains: each variant over its predecessor.
+pub const PAPER_GAINS: [(&str, f64); 4] =
+    [("PE/RAW", 1.423), ("ROW/PE", 1.166), ("DB/ROW", 1.26), ("SCHED/DB", 2.139)];
+
+/// §IV-C's kernel profile: the whole inner loop of one thread-level
+/// block (8 strip steps) and vmad's share of its cycles.
+pub const PAPER_KERNEL_LOOP_CYCLES: u64 = 101_858;
+
+/// §IV-C vmad occupancy.
+pub const PAPER_KERNEL_VMAD_SHARE: f64 = 0.97;
+
+/// The headline result: 706.1 Gflops/s, 95 % of the 742.4 peak.
+pub const PAPER_PEAK_GFLOPS: f64 = 706.1;
+
+/// Approximate Figure 4 endpoints read off the plot, for the harness's
+/// reference column: (m = k, PE GB/s, ROW GB/s).
+pub const PAPER_FIG4_APPROX: [(usize, f64, f64); 3] =
+    [(1536, 13.7, 21.8), (9216, 24.0, 28.3), (15360, 26.0, 29.3)];

@@ -1,0 +1,264 @@
+//! The public entry points.
+
+use crate::error::DgemmError;
+use crate::padding::PadPlan;
+use crate::params::BlockingParams;
+use crate::plan::GemmPlan;
+use crate::variants::raw::{run_functional_raw, RawParams};
+use crate::variants::shared::{run_functional, GemmIo};
+use crate::variants::Variant;
+use crate::Matrix;
+use serde::{Deserialize, Serialize};
+use sw_sim::{CoreGroup, RunStats};
+
+/// Transposition operator of a BLAS GEMM operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Use the operand as stored.
+    NoTrans,
+    /// Use the operand's transpose.
+    Trans,
+}
+
+impl Op {
+    /// Effective (rows, cols) of an operand under this op.
+    pub fn dims(self, rows: usize, cols: usize) -> (usize, usize) {
+        match self {
+            Op::NoTrans => (rows, cols),
+            Op::Trans => (cols, rows),
+        }
+    }
+}
+
+/// What a functional run returns alongside the updated C matrix.
+#[derive(Debug, Clone)]
+pub struct DgemmReport {
+    /// The variant that ran.
+    pub variant: Variant,
+    /// The validated plan (None for RAW, which has its own blocking).
+    pub plan: Option<GemmPlan>,
+    /// DMA / mesh traffic and wall time of the simulated run.
+    pub stats: RunStats,
+}
+
+/// Configurable functional runner.
+///
+/// ```
+/// use sw_dgemm::{DgemmRunner, Variant, gen};
+///
+/// let a = gen::random_matrix(128, 128, 1);
+/// let b = gen::random_matrix(128, 64, 2);
+/// let mut c = gen::random_matrix(128, 64, 3);
+/// let report = DgemmRunner::new(Variant::Sched)
+///     .params(sw_dgemm::BlockingParams::test_small())
+///     .run(1.5, &a, &b, 0.5, &mut c)
+///     .unwrap();
+/// assert_eq!(report.variant, Variant::Sched);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DgemmRunner {
+    variant: Variant,
+    params: Option<BlockingParams>,
+    raw_params: Option<RawParams>,
+    pad: bool,
+}
+
+impl DgemmRunner {
+    /// A runner for the given variant with automatic blocking choice.
+    pub fn new(variant: Variant) -> Self {
+        DgemmRunner { variant, params: None, raw_params: None, pad: false }
+    }
+
+    /// Enables automatic zero padding: dimensions that are not
+    /// multiples of the block factors are rounded up (see
+    /// [`crate::padding`]), the aligned kernel runs, and the original
+    /// window is returned — the MPE-side glue a production deployment
+    /// would add around the paper's aligned-only kernel.
+    pub fn pad(mut self, pad: bool) -> Self {
+        self.pad = pad;
+        self
+    }
+
+    /// Overrides the blocking of the data-sharing variants.
+    pub fn params(mut self, p: BlockingParams) -> Self {
+        self.params = Some(p);
+        self
+    }
+
+    /// Overrides the blocking of the RAW baseline.
+    pub fn raw_params(mut self, p: RawParams) -> Self {
+        self.raw_params = Some(p);
+        self
+    }
+
+    /// Runs `C = α·A·B + β·C` on a fresh simulated core group.
+    pub fn run(
+        &self,
+        alpha: f64,
+        a: &Matrix,
+        b: &Matrix,
+        beta: f64,
+        c: &mut Matrix,
+    ) -> Result<DgemmReport, DgemmError> {
+        let (m, k) = (a.rows(), a.cols());
+        let n = b.cols();
+        if b.rows() != k || c.rows() != m || c.cols() != n {
+            return Err(DgemmError::BadDims(format!(
+                "shape mismatch: A {m}x{k}, B {}x{n}, C {}x{}",
+                b.rows(),
+                c.rows(),
+                c.cols()
+            )));
+        }
+        if self.pad {
+            let plan = self.pad_plan(m, n, k)?;
+            if !plan.is_identity() {
+                let (pm, pn, pk) = plan.padded;
+                let pa = PadPlan::embed(a, pm, pk);
+                let pb = PadPlan::embed(b, pk, pn);
+                let mut pc = PadPlan::embed(c, pm, pn);
+                let inner = DgemmRunner { pad: false, ..self.clone() };
+                let report = inner.run(alpha, &pa, &pb, beta, &mut pc)?;
+                *c = PadPlan::extract(&pc, m, n);
+                return Ok(report);
+            }
+        }
+        let mut cg = CoreGroup::new();
+        let io = GemmIo {
+            a: cg.mem.install(a.clone())?,
+            b: cg.mem.install(b.clone())?,
+            c: cg.mem.install(c.clone())?,
+        };
+        let report = match self.variant {
+            Variant::Raw => {
+                let rp = self.raw_params.map_or_else(|| pick_raw_params(m, n, k), Ok)?;
+                let stats = run_functional_raw(&mut cg, m, n, k, rp, io, alpha, beta)?;
+                DgemmReport { variant: self.variant, plan: None, stats }
+            }
+            v => {
+                let plan = match self.params {
+                    Some(p) => GemmPlan::new(m, n, k, p, v.double_buffered())?,
+                    None => pick_plan(v, m, n, k)?,
+                };
+                let stats = run_functional(&mut cg, &plan, v.mapping(), io, alpha, beta)?;
+                DgemmReport { variant: self.variant, plan: Some(plan), stats }
+            }
+        };
+        *c = cg.mem.extract(io.c)?;
+        Ok(report)
+    }
+}
+
+/// Full BLAS-style interface with transposition operators:
+/// `C = α·op(A)·op(B) + β·C`.
+///
+/// The paper implements the non-transposed case only; the kernel's
+/// column-major blocking assumes it. Like a real deployment, the
+/// transposed cases are handled by MPE-side packing: the operand is
+/// transposed into a temporary before the aligned kernel runs. The
+/// packing cost is host-side and does not perturb the simulated
+/// statistics.
+#[allow(clippy::too_many_arguments)] // BLAS dgemm signature
+pub fn dgemm_ex(
+    variant: Variant,
+    opa: Op,
+    opb: Op,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) -> Result<DgemmReport, DgemmError> {
+    let transpose = |m: &Matrix| Matrix::from_fn(m.cols(), m.rows(), |r, c| m.get(c, r));
+    let at;
+    let bt;
+    let a_eff = match opa {
+        Op::NoTrans => a,
+        Op::Trans => {
+            at = transpose(a);
+            &at
+        }
+    };
+    let b_eff = match opb {
+        Op::NoTrans => b,
+        Op::Trans => {
+            bt = transpose(b);
+            &bt
+        }
+    };
+    DgemmRunner::new(variant).pad(true).run(alpha, a_eff, b_eff, beta, c)
+}
+
+/// One-call DGEMM with automatic blocking: tries the paper's
+/// production blocking first, then the test-scale blocking for small
+/// problems.
+pub fn dgemm(
+    variant: Variant,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) -> Result<DgemmReport, DgemmError> {
+    DgemmRunner::new(variant).run(alpha, a, b, beta, c)
+}
+
+impl DgemmRunner {
+    /// Chooses the padding target: the explicitly-set blocking, or the
+    /// automatic candidate with the least padded overhead.
+    fn pad_plan(&self, m: usize, n: usize, k: usize) -> Result<PadPlan, DgemmError> {
+        if self.variant == Variant::Raw {
+            let candidates = match self.raw_params {
+                Some(p) => vec![p],
+                None => vec![RawParams::paper(), RawParams::test_small()],
+            };
+            let mut best: Option<PadPlan> = None;
+            for p in candidates {
+                p.validate()?;
+                let plan = PadPlan::new(m, n, k, 8 * p.pm, 8 * p.pn, p.kc)?;
+                if best.as_ref().is_none_or(|b| plan.overhead() < b.overhead()) {
+                    best = Some(plan);
+                }
+            }
+            Ok(best.expect("at least one candidate"))
+        } else {
+            let candidates = match self.params {
+                Some(p) => vec![p],
+                None => vec![self.variant.paper_params(), self.variant.test_params()],
+            };
+            let mut best: Option<PadPlan> = None;
+            for p in candidates {
+                p.validate(self.variant.double_buffered())?;
+                let plan = PadPlan::new(m, n, k, p.bm(), p.bn(), p.bk())?;
+                if best.as_ref().is_none_or(|b| plan.overhead() < b.overhead()) {
+                    best = Some(plan);
+                }
+            }
+            Ok(best.expect("at least one candidate"))
+        }
+    }
+}
+
+fn pick_plan(v: Variant, m: usize, n: usize, k: usize) -> Result<GemmPlan, DgemmError> {
+    let candidates = [v.paper_params(), v.test_params()];
+    let mut last_err = None;
+    for p in candidates {
+        match GemmPlan::new(m, n, k, p, v.double_buffered()) {
+            Ok(plan) => return Ok(plan),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one candidate tried"))
+}
+
+fn pick_raw_params(m: usize, n: usize, k: usize) -> Result<RawParams, DgemmError> {
+    let candidates = [RawParams::paper(), RawParams::test_small()];
+    let mut last_err = None;
+    for p in candidates {
+        match p.validate_dims(m, n, k) {
+            Ok(()) => return Ok(p),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one candidate tried"))
+}

@@ -1,0 +1,40 @@
+//! Error type of the DGEMM crate.
+
+use std::fmt;
+use sw_mem::MemError;
+
+/// Errors surfaced by plan validation and the functional runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DgemmError {
+    /// Blocking parameters violate an architectural constraint.
+    BadParams(String),
+    /// Problem dimensions are incompatible with the blocking plan.
+    BadDims(String),
+    /// An underlying memory/DMA operation failed.
+    Mem(MemError),
+}
+
+impl fmt::Display for DgemmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DgemmError::BadParams(s) => write!(f, "invalid blocking parameters: {s}"),
+            DgemmError::BadDims(s) => write!(f, "invalid problem dimensions: {s}"),
+            DgemmError::Mem(e) => write!(f, "memory subsystem error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DgemmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DgemmError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for DgemmError {
+    fn from(e: MemError) -> Self {
+        DgemmError::Mem(e)
+    }
+}

@@ -1,0 +1,44 @@
+//! Seeded workload generation.
+
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A `rows × cols` matrix of uniform random entries in [-1, 1),
+/// reproducible from `seed`.
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_col_major(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+/// A deterministic "counting" matrix, handy for debugging layouts:
+/// element (r, c) = r + c/1000.
+pub fn counting_matrix(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| r as f64 + c as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let a = random_matrix(32, 16, 42);
+        let b = random_matrix(32, 16, 42);
+        assert_eq!(a, b);
+        let c = random_matrix(32, 16, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn entries_in_range() {
+        let a = random_matrix(64, 64, 7);
+        assert!(a.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn counting_layout() {
+        let m = counting_matrix(4, 3);
+        assert_eq!(m.get(2, 1), 2.001);
+    }
+}

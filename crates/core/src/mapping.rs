@@ -1,0 +1,227 @@
+//! Data-thread mappings: which main-memory region each CPE's
+//! thread-level blocks come from.
+//!
+//! Two mappings exist:
+//!
+//! * [`Mapping::Pe`] — the "instinctive" mapping of §III-A: the CG
+//!   block is an 8×8 grid of thread blocks and thread `(u, v)` owns
+//!   grid cell `(u, v)` of A, B and C, transferred in `PE_MODE`.
+//! * [`Mapping::Row`] — the mixed-mode mapping of §IV-A: A and C move
+//!   in `ROW_MODE`, so each *column strip* (one pK/pN-wide slab of the
+//!   CG block, all bM rows) is dealt out to the 8 CPEs of one mesh
+//!   *row* in interleaved 2-double slices; B stays in `PE_MODE` but
+//!   with its strips remapped to match (thread `(u, v)` gets B's
+//!   k-slab `v`, n-slab `u`). Register communication directions swap
+//!   accordingly (see [`crate::sharing`]).
+//!
+//! The interleaved local-row order of `ROW_MODE` (Figure 5) is
+//! captured by [`row_mode_global_row`]: local row `ℓ` of the CPE at
+//! mesh column `c` holds global block row `16·(ℓ/2) + 2c + (ℓ%2)`.
+//! Because A and C use the *same* interleave, the kernel is oblivious
+//! to it — only the DMA descriptors know.
+
+use crate::plan::GemmPlan;
+use serde::{Deserialize, Serialize};
+use sw_arch::Coord;
+use sw_mem::dma::MatRegion;
+use sw_mem::MatId;
+
+/// Which data-thread mapping a variant uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mapping {
+    /// All matrices in `PE_MODE`, grid-aligned (§III-A).
+    Pe,
+    /// A and C in `ROW_MODE`, B in remapped `PE_MODE` (§IV-A).
+    Row,
+}
+
+/// The main-memory region backing this thread's A block for CG block
+/// `(i, l)`. For [`Mapping::Row`] the region is the whole column slab
+/// shared by this CPE's mesh row (to be fetched with `dma_row_get`);
+/// for [`Mapping::Pe`] it is this thread's private block
+/// (`dma_pe_get`).
+pub fn a_region(plan: &GemmPlan, mat: MatId, mapping: Mapping, i: usize, l: usize, who: Coord) -> MatRegion {
+    let p = &plan.params;
+    let (u, v) = (who.row as usize, who.col as usize);
+    match mapping {
+        Mapping::Pe => MatRegion::new(
+            mat,
+            i * p.bm() + u * p.pm,
+            l * p.bk() + v * p.pk,
+            p.pm,
+            p.pk,
+        ),
+        // Column slab u of the CG block, all bM rows, fetched
+        // collectively by mesh row u.
+        Mapping::Row => MatRegion::new(mat, i * p.bm(), l * p.bk() + u * p.pk, p.bm(), p.pk),
+    }
+}
+
+/// The region backing this thread's C block for CG block `(i, j)`.
+pub fn c_region(plan: &GemmPlan, mat: MatId, mapping: Mapping, i: usize, j: usize, who: Coord) -> MatRegion {
+    let p = &plan.params;
+    let (u, v) = (who.row as usize, who.col as usize);
+    match mapping {
+        Mapping::Pe => MatRegion::new(
+            mat,
+            i * p.bm() + u * p.pm,
+            j * p.bn() + v * p.pn,
+            p.pm,
+            p.pn,
+        ),
+        Mapping::Row => MatRegion::new(mat, i * p.bm(), j * p.bn() + u * p.pn, p.bm(), p.pn),
+    }
+}
+
+/// The region backing this thread's B block for CG block `(l, j)` —
+/// always `PE_MODE`, but the strip-to-thread assignment differs
+/// between mappings (§IV-A: "column strips of the CG-level B blocks
+/// are mapped to CPEs in a row").
+pub fn b_region(plan: &GemmPlan, mat: MatId, mapping: Mapping, l: usize, j: usize, who: Coord) -> MatRegion {
+    let p = &plan.params;
+    let (u, v) = (who.row as usize, who.col as usize);
+    match mapping {
+        // Thread (u, v): k-slab u, n-slab v.
+        Mapping::Pe => MatRegion::new(
+            mat,
+            l * p.bk() + u * p.pk,
+            j * p.bn() + v * p.pn,
+            p.pk,
+            p.pn,
+        ),
+        // Thread (u, v): k-slab v, n-slab u — so that at strip step s
+        // the B owners sit on mesh column s.
+        Mapping::Row => MatRegion::new(
+            mat,
+            l * p.bk() + v * p.pk,
+            j * p.bn() + u * p.pn,
+            p.pk,
+            p.pn,
+        ),
+    }
+}
+
+/// `ROW_MODE` interleave (Figure 5): the global row — within the bM
+/// rows of a CG block column — that local row `local` of the CPE at
+/// mesh column `mesh_col` holds.
+#[inline]
+pub fn row_mode_global_row(local: usize, mesh_col: usize) -> usize {
+    16 * (local / 2) + 2 * mesh_col + (local % 2)
+}
+
+/// Inverse of [`row_mode_global_row`]: which `(mesh_col, local_row)`
+/// holds global block row `g`.
+#[inline]
+pub fn row_mode_owner(g: usize) -> (usize, usize) {
+    let slice = g / 2; // 2-double slices dealt round-robin
+    let mesh_col = slice % 8;
+    let local = 2 * (slice / 8) + (g % 2);
+    (mesh_col, local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BlockingParams;
+    use sw_mem::{HostMatrix, MainMemory};
+
+    fn plan() -> GemmPlan {
+        GemmPlan::new(256, 128, 256, BlockingParams::test_small(), false).unwrap()
+    }
+
+    #[test]
+    fn row_interleave_roundtrip() {
+        for g in 0..128 {
+            let (c, l) = row_mode_owner(g);
+            assert_eq!(row_mode_global_row(l, c), g);
+        }
+        // Spot checks against Figure 5's pattern.
+        assert_eq!(row_mode_global_row(0, 0), 0);
+        assert_eq!(row_mode_global_row(1, 0), 1);
+        assert_eq!(row_mode_global_row(2, 0), 16);
+        assert_eq!(row_mode_global_row(0, 3), 6);
+    }
+
+    /// For every mapping, the union of all 64 thread regions of each
+    /// matrix must tile the CG block exactly.
+    #[test]
+    fn regions_tile_cg_blocks() {
+        let plan = plan();
+        let mut mem = MainMemory::new();
+        let a = mem.install(HostMatrix::zeros(256, 256)).unwrap();
+        let p = &plan.params;
+        for mapping in [Mapping::Pe, Mapping::Row] {
+            let mut covered = vec![0u32; p.bm() * p.bk()];
+            let mut mark = |r: MatRegion, weight: u32| {
+                for c in 0..r.cols {
+                    for rr in 0..r.rows {
+                        covered[(r.col0 - p.bk() + c) * p.bm() + (r.row0 - p.bm() + rr)] += weight;
+                    }
+                }
+            };
+            for coord in Coord::all() {
+                let r = a_region(&plan, a, mapping, 1, 1, coord);
+                // ROW regions are issued by all 8 CPEs of a row but
+                // fetched collectively: weight 1/8 per CPE — use 1 and
+                // expect 8.
+                mark(r, 1);
+            }
+            let expect = match mapping {
+                Mapping::Pe => 1,
+                Mapping::Row => 8,
+            };
+            assert!(
+                covered.iter().all(|&x| x == expect),
+                "{mapping:?}: A regions must tile the CG block with multiplicity {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn b_regions_tile_for_both_mappings() {
+        let plan = plan();
+        let mut mem = MainMemory::new();
+        let b = mem.install(HostMatrix::zeros(256, 128)).unwrap();
+        let p = &plan.params;
+        for mapping in [Mapping::Pe, Mapping::Row] {
+            let mut covered = vec![0u32; p.bk() * p.bn()];
+            for coord in Coord::all() {
+                let r = b_region(&plan, b, mapping, 0, 1, coord);
+                for c in 0..r.cols {
+                    for rr in 0..r.rows {
+                        covered[(r.col0 - p.bn() + c) * p.bk() + (r.row0 + rr)] += 1;
+                    }
+                }
+            }
+            assert!(covered.iter().all(|&x| x == 1), "{mapping:?}: B regions must tile exactly");
+        }
+    }
+
+    #[test]
+    fn row_mapping_alignment_matches_strip_steps() {
+        // In the ROW mapping, at strip step s the A owners must sit on
+        // mesh row s (same k-slab) and the B owners on mesh column s.
+        let plan = plan();
+        let mut mem = MainMemory::new();
+        let a = mem.install(HostMatrix::zeros(256, 256)).unwrap();
+        let b = mem.install(HostMatrix::zeros(256, 128)).unwrap();
+        let p = &plan.params;
+        for s in 0..8 {
+            for coord in Coord::all() {
+                let ra = a_region(&plan, a, Mapping::Row, 0, 0, coord);
+                let rb = b_region(&plan, b, Mapping::Row, 0, 0, coord);
+                // k-slab of this thread's A block:
+                let a_slab = ra.col0 / p.pk;
+                assert_eq!(a_slab, coord.row as usize);
+                let b_slab = rb.row0 / p.pk;
+                assert_eq!(b_slab, coord.col as usize);
+                if coord.row as usize == s {
+                    assert_eq!(a_slab, s, "A owner for step {s}");
+                }
+                if coord.col as usize == s {
+                    assert_eq!(b_slab, s, "B owner for step {s}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Multi-core-group DGEMM — the full SW26010 processor.
+//!
+//! A SW26010 has four core groups on a network-on-chip, each with its
+//! own memory controller (Figure 1 of the paper); Sunway TaihuLight's
+//! HPL run drives all four. This module scales the single-CG DGEMM up
+//! the same way production deployments do: the n dimension (columns of
+//! B and C) is split into one band per core group, and each band runs
+//! the full three-level-blocked algorithm on its own CG — no inter-CG
+//! communication is needed because each band's computation is
+//! independent (it reads all of A, which each CG streams from its own
+//! memory image).
+//!
+//! Functionally the bands run concurrently (one 64-thread core group
+//! each); numerically the result is bitwise identical to a single-CG
+//! run, because the per-element FMA order is band-local. The timing
+//! estimate takes the slowest band's makespan — memory channels are
+//! per-CG, so bands do not contend.
+
+use crate::api::DgemmRunner;
+use crate::error::DgemmError;
+use crate::timing::{estimate, TimingReport};
+use crate::variants::Variant;
+use crate::Matrix;
+use serde::{Deserialize, Serialize};
+use sw_arch::consts::PEAK_GFLOPS_CG;
+
+/// Number of core groups on one SW26010 processor.
+pub const CGS_PER_PROCESSOR: usize = 4;
+
+/// Runs `C = α·A·B + β·C` across `cgs` core groups by column bands.
+///
+/// Bands are split as evenly as possible; each runs on its own
+/// simulated core group with automatic padding, so any positive
+/// dimensions work.
+pub fn dgemm_multi_cg(
+    variant: Variant,
+    cgs: usize,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) -> Result<(), DgemmError> {
+    if cgs == 0 || cgs > CGS_PER_PROCESSOR {
+        return Err(DgemmError::BadDims(format!(
+            "a SW26010 has 1..={CGS_PER_PROCESSOR} core groups, got {cgs}"
+        )));
+    }
+    let n = b.cols();
+    if b.rows() != a.cols() || c.rows() != a.rows() || c.cols() != n {
+        return Err(DgemmError::BadDims("operand shapes disagree".into()));
+    }
+    // Column bands, as even as possible.
+    let base = n / cgs;
+    let extra = n % cgs;
+    let mut bands = Vec::new();
+    let mut j0 = 0;
+    for g in 0..cgs {
+        let w = base + usize::from(g < extra);
+        if w > 0 {
+            bands.push((j0, w));
+        }
+        j0 += w;
+    }
+    // Each band on its own core group, concurrently.
+    let c_ref: &Matrix = c;
+    let results: Vec<Result<(Matrix, usize, usize), DgemmError>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = bands
+            .iter()
+            .map(|&(j0, w)| {
+                s.spawn(move |_| {
+                    let bb = Matrix::from_fn(b.rows(), w, |r, cc| b.get(r, j0 + cc));
+                    let mut cb = Matrix::from_fn(c_ref.rows(), w, |r, cc| c_ref.get(r, j0 + cc));
+                    DgemmRunner::new(variant).pad(true).run(alpha, a, &bb, beta, &mut cb)?;
+                    Ok((cb, j0, w))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("core-group worker panicked")).collect()
+    })
+    .expect("multi-CG scope failed");
+    // Fail atomically: surface any band error before touching C.
+    let bands_done: Vec<(Matrix, usize, usize)> = results.into_iter().collect::<Result<_, _>>()?;
+    for (cb, j0, w) in bands_done {
+        for cc in 0..w {
+            for rr in 0..c.rows() {
+                c.set(rr, j0 + cc, cb.get(rr, cc));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Timing estimate across core groups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiTimingReport {
+    /// Core groups used.
+    pub cgs: usize,
+    /// Per-band single-CG reports.
+    pub bands: Vec<TimingReport>,
+    /// Aggregate sustained Gflops/s (total flops over the slowest
+    /// band's time).
+    pub gflops: f64,
+    /// Fraction of the `cgs`-CG peak.
+    pub efficiency: f64,
+}
+
+/// Estimates the multi-CG run at the paper's production blocking. `n`
+/// must split into bands that are multiples of the variant's `bN`.
+pub fn estimate_multi_cg(
+    variant: Variant,
+    cgs: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> Result<MultiTimingReport, DgemmError> {
+    if cgs == 0 || cgs > CGS_PER_PROCESSOR {
+        return Err(DgemmError::BadDims(format!(
+            "a SW26010 has 1..={CGS_PER_PROCESSOR} core groups, got {cgs}"
+        )));
+    }
+    if !n.is_multiple_of(cgs) {
+        return Err(DgemmError::BadDims(format!("n = {n} does not split over {cgs} core groups")));
+    }
+    let band_n = n / cgs;
+    let mut bands = Vec::with_capacity(cgs);
+    for _ in 0..cgs {
+        bands.push(estimate(variant, m, band_n, k)?);
+    }
+    let slowest = bands.iter().map(|b| b.makespan_cycles).max().expect("at least one band");
+    let secs = sw_arch::time::cycles_to_secs(slowest);
+    let gflops = sw_arch::time::gflops(sw_arch::time::gemm_flops(m, n, k), secs);
+    Ok(MultiTimingReport {
+        cgs,
+        bands,
+        gflops,
+        efficiency: gflops / (cgs as f64 * PEAK_GFLOPS_CG),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+    use crate::params::BlockingParams;
+
+    #[test]
+    fn four_cg_estimate_scales() {
+        let one = estimate(Variant::Sched, 9216, 9216, 9216).unwrap();
+        let four = estimate_multi_cg(Variant::Sched, 4, 9216, 9216, 9216).unwrap();
+        let speedup = four.gflops / one.gflops;
+        assert!(
+            (3.5..=4.0).contains(&speedup),
+            "4-CG speedup was {speedup:.2} ({:.1} vs {:.1})",
+            four.gflops,
+            one.gflops
+        );
+        // 4 CGs at the paper's efficiency ≈ 2.8 Tflops.
+        assert!(four.gflops > 2600.0, "{}", four.gflops);
+        assert!(four.efficiency > 0.85);
+    }
+
+    #[test]
+    fn bad_cg_counts_rejected() {
+        assert!(estimate_multi_cg(Variant::Sched, 0, 9216, 9216, 9216).is_err());
+        assert!(estimate_multi_cg(Variant::Sched, 5, 9216, 9216, 9216).is_err());
+        assert!(estimate_multi_cg(Variant::Sched, 4, 9216, 9217, 9216).is_err());
+    }
+
+    #[test]
+    fn functional_multi_cg_matches_single() {
+        let (m, n, k) = (128, 128, 128);
+        let a = random_matrix(m, k, 81);
+        let b = random_matrix(k, n, 82);
+        let c0 = random_matrix(m, n, 83);
+        let mut c1 = c0.clone();
+        let mut c4 = c0;
+        DgemmRunner::new(Variant::Sched)
+            .params(BlockingParams::test_small())
+            .pad(true)
+            .run(1.5, &a, &b, 0.5, &mut c1)
+            .unwrap();
+        dgemm_multi_cg(Variant::Sched, 4, 1.5, &a, &b, 0.5, &mut c4).unwrap();
+        // Band-local k-order is identical, so bitwise equality holds.
+        assert_eq!(c1, c4);
+    }
+
+    #[test]
+    fn uneven_bands_handled() {
+        let (m, n, k) = (128, 130, 128); // 130 columns over 4 CGs
+        let a = random_matrix(m, k, 84);
+        let b = random_matrix(k, n, 85);
+        let c0 = random_matrix(m, n, 86);
+        let mut c = c0.clone();
+        dgemm_multi_cg(Variant::Db, 4, 1.0, &a, &b, 1.0, &mut c).unwrap();
+        let mut expect = c0;
+        crate::reference::dgemm_naive(1.0, &a, &b, 1.0, &mut expect);
+        let tol = crate::reference::gemm_tolerance(&a, &b, 1.0);
+        assert!(c.max_abs_diff(&expect) <= tol);
+    }
+}

@@ -1,0 +1,177 @@
+//! Blocking parameters of the three-level layered algorithm (§III).
+
+use crate::error::DgemmError;
+use serde::{Deserialize, Serialize};
+use sw_arch::consts::{DMA_TRANSACTION_DOUBLES, LDM_DOUBLES, VREG_LANES};
+
+/// Three-level blocking parameters.
+///
+/// CG-level blocks are `bM×bK` (A), `bK×bN` (B) and `bM×bN` (C) with
+/// `bM = 8·pM`, `bK = 8·pK`, `bN = 8·pN`; each is an 8×8 grid of
+/// thread-level blocks. Register-level blocking is `rM = rN = 4`
+/// vector registers (16 rows × 4 columns per tile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockingParams {
+    /// Thread-level block rows.
+    pub pm: usize,
+    /// Thread-level block columns.
+    pub pn: usize,
+    /// Thread-level block depth.
+    pub pk: usize,
+    /// A-register count of the register tile (fixed at 4 by the kernel).
+    pub rm: usize,
+    /// B-register count of the register tile (fixed at 4 by the kernel).
+    pub rn: usize,
+}
+
+impl BlockingParams {
+    /// The paper's blocking before double buffering (§III-C.2):
+    /// pM = 16, pN = 48, pK = 96 — used by the PE and ROW variants.
+    pub fn paper_single() -> Self {
+        BlockingParams { pm: 16, pn: 48, pk: 96, rm: 4, rn: 4 }
+    }
+
+    /// The paper's blocking with double buffering (§IV-B): pM = 16,
+    /// pN = 32, pK = 96 — used by the DB and SCHED variants.
+    pub fn paper_double() -> Self {
+        BlockingParams { pm: 16, pn: 32, pk: 96, rm: 4, rn: 4 }
+    }
+
+    /// A small blocking for tests (matrix dimensions stay tiny while
+    /// still exercising every code path): pM = 16, pN = 8, pK = 16.
+    pub fn test_small() -> Self {
+        BlockingParams { pm: 16, pn: 8, pk: 16, rm: 4, rn: 4 }
+    }
+
+    /// CG-level block rows (`bM = 8·pM`).
+    #[inline]
+    pub fn bm(&self) -> usize {
+        8 * self.pm
+    }
+
+    /// CG-level block columns (`bN = 8·pN`).
+    #[inline]
+    pub fn bn(&self) -> usize {
+        8 * self.pn
+    }
+
+    /// CG-level block depth (`bK = 8·pK`).
+    #[inline]
+    pub fn bk(&self) -> usize {
+        8 * self.pk
+    }
+
+    /// Doubles of LDM one CPE needs for its thread-level blocks: C and
+    /// A are double-buffered when `double_buffered` (Algorithm 2
+    /// prefetches the next A and C blocks while computing), B is
+    /// resident for the whole (j, l) iteration.
+    pub fn ldm_doubles(&self, double_buffered: bool) -> usize {
+        let copies = if double_buffered { 2 } else { 1 };
+        copies * (self.pm * self.pn + self.pm * self.pk) + self.pk * self.pn
+    }
+
+    /// Validates the parameters against the architecture:
+    ///
+    /// * register budget `rM·rN + rM + rN < 32` (§III-C.3), with
+    ///   `rM = rN = 4` required by the generated kernel;
+    /// * `pM` a multiple of 16 (the register tile covers `rM` vector
+    ///   registers × 4 lanes of rows);
+    /// * `pN` a multiple of `rN`;
+    /// * `pK` a multiple of 16 (the 128 B DMA transaction, §III-C.2);
+    /// * thread-level blocks fit the 64 KB LDM (§III-C.2 / §IV-B).
+    pub fn validate(&self, double_buffered: bool) -> Result<(), DgemmError> {
+        if self.rm * self.rn + self.rm + self.rn >= 32 {
+            return Err(DgemmError::BadParams(format!(
+                "register blocking {}x{} exceeds the 32-register budget",
+                self.rm, self.rn
+            )));
+        }
+        if self.rm != 4 || self.rn != 4 {
+            return Err(DgemmError::BadParams(
+                "the generated kernel implements the paper's rM = rN = 4 register tile".into(),
+            ));
+        }
+        if self.pm == 0 || !self.pm.is_multiple_of(self.rm * VREG_LANES) {
+            return Err(DgemmError::BadParams(format!(
+                "pM = {} must be a positive multiple of {}",
+                self.pm,
+                self.rm * VREG_LANES
+            )));
+        }
+        if self.pn == 0 || !self.pn.is_multiple_of(self.rn) {
+            return Err(DgemmError::BadParams(format!(
+                "pN = {} must be a positive multiple of rN = {}",
+                self.pn, self.rn
+            )));
+        }
+        if self.pk == 0 || !self.pk.is_multiple_of(DMA_TRANSACTION_DOUBLES) {
+            return Err(DgemmError::BadParams(format!(
+                "pK = {} must be a positive multiple of 16 (128 B DMA transactions)",
+                self.pk
+            )));
+        }
+        let need = self.ldm_doubles(double_buffered);
+        if need >= LDM_DOUBLES {
+            return Err(DgemmError::BadParams(format!(
+                "thread-level blocks need {need} doubles{}, exceeding the 8192-double LDM",
+                if double_buffered { " (double-buffered)" } else { "" }
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters_are_valid() {
+        BlockingParams::paper_single().validate(false).unwrap();
+        BlockingParams::paper_double().validate(true).unwrap();
+        BlockingParams::test_small().validate(true).unwrap();
+    }
+
+    #[test]
+    fn paper_single_does_not_fit_double_buffered() {
+        // §IV-B: "if we still use pM = 16, pK = 96 and pN = 48 as
+        // before, it would exceed the capacity of the LDM".
+        let err = BlockingParams::paper_single().validate(true).unwrap_err();
+        assert!(matches!(err, DgemmError::BadParams(_)));
+    }
+
+    #[test]
+    fn cg_blocks_are_8x_thread_blocks() {
+        let p = BlockingParams::paper_double();
+        assert_eq!((p.bm(), p.bn(), p.bk()), (128, 256, 768));
+    }
+
+    #[test]
+    fn ldm_budget_matches_hand_count() {
+        let p = BlockingParams::paper_double();
+        assert_eq!(p.ldm_doubles(true), 2 * (16 * 32 + 16 * 96) + 96 * 32);
+        let q = BlockingParams::paper_single();
+        assert_eq!(q.ldm_doubles(false), 16 * 48 + 16 * 96 + 96 * 48);
+    }
+
+    #[test]
+    fn constraint_violations_caught() {
+        let base = BlockingParams::paper_double();
+        for (bad, db) in [
+            (BlockingParams { pm: 8, ..base }, false),
+            (BlockingParams { pn: 30, ..base }, false),
+            (BlockingParams { pk: 40, ..base }, false),
+            (BlockingParams { rm: 5, rn: 5, ..base }, false),
+            (BlockingParams { pm: 64, pn: 64, pk: 64, ..base }, false), // LDM overflow
+        ] {
+            assert!(bad.validate(db).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn register_budget_formula() {
+        // rM = rN = 5 would need 5·5+5+5 = 35 ≥ 32 registers.
+        let p = BlockingParams { rm: 5, rn: 5, ..BlockingParams::paper_double() };
+        assert!(p.validate(false).is_err());
+    }
+}

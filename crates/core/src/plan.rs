@@ -1,0 +1,100 @@
+//! Problem/blocking plan validation.
+
+use crate::error::DgemmError;
+use crate::params::BlockingParams;
+use serde::{Deserialize, Serialize};
+
+/// A validated DGEMM problem: dimensions plus blocking, with the
+/// CG-level grid sizes of Algorithm 1 precomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GemmPlan {
+    /// Rows of A and C.
+    pub m: usize,
+    /// Columns of B and C.
+    pub n: usize,
+    /// Columns of A / rows of B.
+    pub k: usize,
+    /// Thread/register blocking.
+    pub params: BlockingParams,
+    /// Whether A and C are double-buffered in LDM (Algorithm 2).
+    pub double_buffered: bool,
+    /// CG-block grid rows, `M = m / bM`.
+    pub grid_m: usize,
+    /// CG-block grid columns, `N = n / bN`.
+    pub grid_n: usize,
+    /// CG-block grid depth, `K = k / bK`.
+    pub grid_k: usize,
+}
+
+impl GemmPlan {
+    /// Validates parameters and dimensions (the paper implements the
+    /// case where dimensions are multiples of the block factors).
+    pub fn new(
+        m: usize,
+        n: usize,
+        k: usize,
+        params: BlockingParams,
+        double_buffered: bool,
+    ) -> Result<Self, DgemmError> {
+        params.validate(double_buffered)?;
+        if m == 0 || n == 0 || k == 0 {
+            return Err(DgemmError::BadDims("dimensions must be positive".into()));
+        }
+        let (bm, bn, bk) = (params.bm(), params.bn(), params.bk());
+        if !m.is_multiple_of(bm) || !n.is_multiple_of(bn) || !k.is_multiple_of(bk) {
+            return Err(DgemmError::BadDims(format!(
+                "dimensions {m}x{n}x{k} must be multiples of the CG blocks {bm}x{bn}x{bk}"
+            )));
+        }
+        Ok(GemmPlan {
+            m,
+            n,
+            k,
+            params,
+            double_buffered,
+            grid_m: m / bm,
+            grid_n: n / bn,
+            grid_k: k / bk,
+        })
+    }
+
+    /// Flops of the full product (2·m·n·k).
+    pub fn flops(&self) -> u64 {
+        sw_arch::time::gemm_flops(self.m, self.n, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_plan_grid() {
+        let p = GemmPlan::new(256, 128, 256, BlockingParams::test_small(), true).unwrap();
+        assert_eq!((p.grid_m, p.grid_n, p.grid_k), (2, 2, 2));
+        assert_eq!(p.flops(), 2 * 256 * 128 * 256);
+    }
+
+    #[test]
+    fn misaligned_dims_rejected() {
+        let e = GemmPlan::new(100, 64, 128, BlockingParams::test_small(), false).unwrap_err();
+        assert!(matches!(e, DgemmError::BadDims(_)));
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(GemmPlan::new(0, 64, 128, BlockingParams::test_small(), false).is_err());
+    }
+
+    #[test]
+    fn param_errors_propagate() {
+        let bad = BlockingParams { pm: 8, ..BlockingParams::test_small() };
+        assert!(matches!(GemmPlan::new(128, 64, 128, bad, false), Err(DgemmError::BadParams(_))));
+    }
+
+    #[test]
+    fn paper_production_plan() {
+        let p = GemmPlan::new(9216, 9216, 9216, BlockingParams::paper_double(), true).unwrap();
+        assert_eq!((p.grid_m, p.grid_n, p.grid_k), (72, 36, 12));
+    }
+}

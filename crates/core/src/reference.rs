@@ -1,0 +1,181 @@
+//! Host reference GEMMs.
+//!
+//! Three references serve three purposes:
+//!
+//! * [`dgemm_naive`] — a plain triple loop; the ground truth for
+//!   tolerance-based comparisons.
+//! * [`dgemm_chunked_fma`] — reproduces the *exact* floating-point
+//!   accumulation order of the simulator variants (per element:
+//!   `c ← β·c`, then for each `chunk`-deep k-segment an FMA-accumulated
+//!   partial product folded in with one `c ← α·acc + c` FMA). With
+//!   `chunk = pK` this is bitwise-equal to the PE/ROW/DB/SCHED
+//!   variants; with `chunk = kc` to the RAW variant.
+//! * [`dgemm_parallel`] — a crossbeam-threaded host baseline used by
+//!   examples and benches for sanity-scale comparisons.
+
+use crate::Matrix;
+
+/// `C = α·A·B + β·C`, naive triple loop (unfused arithmetic).
+pub fn dgemm_naive(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    check_dims(a, b, c);
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a.get(i, l) * b.get(l, j);
+            }
+            c.set(i, j, alpha * acc + beta * c.get(i, j));
+        }
+    }
+}
+
+/// `C = α·A·B + β·C` with the simulator variants' accumulation order;
+/// bitwise-reproducible against them when `chunk` matches their depth
+/// blocking (`pK` for the shared variants, `kc` for RAW).
+///
+/// # Panics
+/// If `k` is not a multiple of `chunk`.
+pub fn dgemm_chunked_fma(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix, chunk: usize) {
+    check_dims(a, b, c);
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+    assert!(chunk > 0 && k % chunk == 0, "k = {k} must be a multiple of the chunk {chunk}");
+    for j in 0..n {
+        for i in 0..m {
+            let mut cij = beta * c.get(i, j);
+            for k0 in (0..k).step_by(chunk) {
+                let mut acc = 0.0f64;
+                for l in k0..k0 + chunk {
+                    acc = a.get(i, l).mul_add(b.get(l, j), acc);
+                }
+                cij = acc.mul_add(alpha, cij);
+            }
+            c.set(i, j, cij);
+        }
+    }
+}
+
+/// Threaded host baseline: column-parallel naive GEMM.
+pub fn dgemm_parallel(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix, threads: usize) {
+    check_dims(a, b, c);
+    assert!(threads > 0);
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+    let cols_per = n.div_ceil(threads);
+    // Split C's storage into disjoint column bands, one per worker.
+    let mut bands: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(cols_per * m).collect();
+    crossbeam::scope(|s| {
+        for (t, band) in bands.iter_mut().enumerate() {
+            let j0 = t * cols_per;
+            s.spawn(move |_| {
+                for (jj, col) in band.chunks_mut(m).enumerate() {
+                    let j = j0 + jj;
+                    for (i, cij) in col.iter_mut().enumerate() {
+                        let mut acc = 0.0;
+                        for l in 0..k {
+                            acc += a.get(i, l) * b.get(l, j);
+                        }
+                        *cij = alpha * acc + beta * *cij;
+                    }
+                }
+            });
+        }
+    })
+    .expect("host GEMM worker panicked");
+}
+
+/// Error bound for comparing two GEMM results: `γ · k · max|A| · max|B|
+/// · ε`, a standard forward-error envelope with safety factor γ = 8.
+pub fn gemm_tolerance(a: &Matrix, b: &Matrix, alpha: f64) -> f64 {
+    8.0 * a.cols() as f64
+        * a.max_abs()
+        * b.max_abs()
+        * alpha.abs().max(1.0)
+        * f64::EPSILON
+}
+
+fn check_dims(a: &Matrix, b: &Matrix, c: &Matrix) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
+    assert_eq!(a.rows(), c.rows(), "A/C row mismatch");
+    assert_eq!(b.cols(), c.cols(), "B/C column mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+
+    #[test]
+    fn identity_product() {
+        let a = Matrix::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
+        let b = random_matrix(4, 4, 1);
+        let mut c = Matrix::zeros(4, 4);
+        dgemm_naive(1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn alpha_beta_composition() {
+        let a = random_matrix(8, 8, 2);
+        let b = random_matrix(8, 8, 3);
+        let mut c = random_matrix(8, 8, 4);
+        let c0 = c.clone();
+        dgemm_naive(0.0, &a, &b, 2.0, &mut c);
+        for j in 0..8 {
+            for i in 0..8 {
+                assert_eq!(c.get(i, j), 2.0 * c0.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_fma_close_to_naive() {
+        let a = random_matrix(16, 32, 5);
+        let b = random_matrix(32, 8, 6);
+        let mut c1 = random_matrix(16, 8, 7);
+        let mut c2 = c1.clone();
+        dgemm_naive(1.5, &a, &b, 0.5, &mut c1);
+        dgemm_chunked_fma(1.5, &a, &b, 0.5, &mut c2, 16);
+        assert!(c1.max_abs_diff(&c2) <= gemm_tolerance(&a, &b, 1.5));
+    }
+
+    #[test]
+    fn chunk_size_changes_rounding_but_not_value() {
+        let a = random_matrix(8, 64, 8);
+        let b = random_matrix(64, 8, 9);
+        let mut c1 = Matrix::zeros(8, 8);
+        let mut c2 = Matrix::zeros(8, 8);
+        dgemm_chunked_fma(1.0, &a, &b, 0.0, &mut c1, 16);
+        dgemm_chunked_fma(1.0, &a, &b, 0.0, &mut c2, 32);
+        assert!(c1.max_abs_diff(&c2) <= gemm_tolerance(&a, &b, 1.0));
+    }
+
+    #[test]
+    fn parallel_matches_naive_exactly() {
+        // Same arithmetic per element, so bitwise equal.
+        let a = random_matrix(32, 48, 10);
+        let b = random_matrix(48, 40, 11);
+        let mut c1 = random_matrix(32, 40, 12);
+        let mut c2 = c1.clone();
+        dgemm_naive(1.25, &a, &b, -0.5, &mut c1);
+        dgemm_parallel(1.25, &a, &b, -0.5, &mut c2, 4);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dim_mismatch_panics() {
+        let a = Matrix::zeros(4, 5);
+        let b = Matrix::zeros(4, 4);
+        let mut c = Matrix::zeros(4, 4);
+        dgemm_naive(1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_chunk_panics() {
+        let a = Matrix::zeros(4, 10);
+        let b = Matrix::zeros(10, 4);
+        let mut c = Matrix::zeros(4, 4);
+        dgemm_chunked_fma(1.0, &a, &b, 0.0, &mut c, 3);
+    }
+}

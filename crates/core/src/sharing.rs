@@ -1,0 +1,147 @@
+//! The collective data sharing scheme (§III-B).
+//!
+//! A CG-level block update `δC += α·δA·δB` is performed as 8 strip
+//! multiplications. At step `s` the threads holding the A and B data of
+//! k-slab `s` broadcast it over the mesh; all others receive. The
+//! paper classifies threads into four types per step — owning valid A
+//! and B, only A, only B, or neither — and the diagonal thread is the
+//! dual broadcaster.
+//!
+//! Which mesh dimension indexes ownership depends on the data-thread
+//! mapping (§IV-A): under [`Mapping::Pe`] the A owners at step `s` are
+//! mesh *column* `s` (broadcasting along rows, `vldr`/`getr`) and the B
+//! owners are mesh *row* `s` (broadcasting along columns,
+//! `lddec`/`getc`); under [`Mapping::Row`] the roles transpose.
+
+use crate::mapping::Mapping;
+use serde::{Deserialize, Serialize};
+use sw_arch::Coord;
+use sw_isa::{Net, Operand};
+
+/// The paper's four thread types at one strip step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadType {
+    /// Owns valid A and valid B (the step's diagonal thread).
+    Both,
+    /// Owns valid A only.
+    OnlyA,
+    /// Owns valid B only.
+    OnlyB,
+    /// Owns neither; receives both.
+    Neither,
+}
+
+/// How this thread sources A and B at strip step `step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepRole {
+    /// A operand source.
+    pub a: Operand,
+    /// B operand source.
+    pub b: Operand,
+}
+
+impl StepRole {
+    /// The paper's four-type classification of this role.
+    pub fn thread_type(&self) -> ThreadType {
+        match (matches!(self.a, Operand::LdmBcast(_)), matches!(self.b, Operand::LdmBcast(_))) {
+            (true, true) => ThreadType::Both,
+            (true, false) => ThreadType::OnlyA,
+            (false, true) => ThreadType::OnlyB,
+            (false, false) => ThreadType::Neither,
+        }
+    }
+}
+
+/// Computes this thread's role at strip step `step` under `mapping`.
+pub fn step_role(mapping: Mapping, step: usize, who: Coord) -> StepRole {
+    assert!(step < 8, "strip steps are 0..8");
+    let (u, v) = (who.row as usize, who.col as usize);
+    match mapping {
+        // §III-B: A owners on column `step` broadcast along their row;
+        // B owners on row `step` broadcast along their column.
+        Mapping::Pe => StepRole {
+            a: if v == step { Operand::LdmBcast(Net::Row) } else { Operand::Recv(Net::Row) },
+            b: if u == step { Operand::LdmBcast(Net::Col) } else { Operand::Recv(Net::Col) },
+        },
+        // §IV-A: "A is broadcast among CPEs in the same column and B
+        // among CPEs in the same row, because we map each column strip
+        // to CPEs in a row."
+        Mapping::Row => StepRole {
+            a: if u == step { Operand::LdmBcast(Net::Col) } else { Operand::Recv(Net::Col) },
+            b: if v == step { Operand::LdmBcast(Net::Row) } else { Operand::Recv(Net::Row) },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_mapping_roles_match_paper_example() {
+        // §III-A's walk-through: in the first step, thread (2,2) gets
+        // A(2,0) from thread (2,0) and B(0,2) from thread (0,2); the
+        // diagonal thread of step 0 is (0,0).
+        let r = step_role(Mapping::Pe, 0, Coord::new(2, 2));
+        assert_eq!(r.thread_type(), ThreadType::Neither);
+        let sender_a = step_role(Mapping::Pe, 0, Coord::new(2, 0));
+        assert_eq!(sender_a.thread_type(), ThreadType::OnlyA);
+        assert_eq!(sender_a.a, Operand::LdmBcast(Net::Row));
+        let sender_b = step_role(Mapping::Pe, 0, Coord::new(0, 2));
+        assert_eq!(sender_b.thread_type(), ThreadType::OnlyB);
+        assert_eq!(sender_b.b, Operand::LdmBcast(Net::Col));
+        let diag = step_role(Mapping::Pe, 0, Coord::new(0, 0));
+        assert_eq!(diag.thread_type(), ThreadType::Both);
+    }
+
+    #[test]
+    fn per_step_counts_are_correct() {
+        // Per step: 1 dual broadcaster, 7 A-only, 7 B-only, 49 neither.
+        for mapping in [Mapping::Pe, Mapping::Row] {
+            for s in 0..8 {
+                let mut counts = [0usize; 4];
+                for c in Coord::all() {
+                    match step_role(mapping, s, c).thread_type() {
+                        ThreadType::Both => counts[0] += 1,
+                        ThreadType::OnlyA => counts[1] += 1,
+                        ThreadType::OnlyB => counts[2] += 1,
+                        ThreadType::Neither => counts[3] += 1,
+                    }
+                }
+                assert_eq!(counts, [1, 7, 7, 49], "{mapping:?} step {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_mapping_transposes_directions() {
+        let r = step_role(Mapping::Row, 3, Coord::new(3, 5));
+        // Row 3 owns A at step 3 and broadcasts it down its column.
+        assert_eq!(r.a, Operand::LdmBcast(Net::Col));
+        // Column 5 ≠ 3, so B is received from the row network.
+        assert_eq!(r.b, Operand::Recv(Net::Row));
+    }
+
+    #[test]
+    fn every_thread_broadcasts_once_per_strip() {
+        // Over the 8 steps, each thread is A-owner exactly once and
+        // B-owner exactly once (its k-slab comes up once).
+        for mapping in [Mapping::Pe, Mapping::Row] {
+            for c in Coord::all() {
+                let a_owns = (0..8)
+                    .filter(|&s| matches!(step_role(mapping, s, c).a, Operand::LdmBcast(_)))
+                    .count();
+                let b_owns = (0..8)
+                    .filter(|&s| matches!(step_role(mapping, s, c).b, Operand::LdmBcast(_)))
+                    .count();
+                assert_eq!((a_owns, b_owns), (1, 1));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn step_out_of_range_panics() {
+        let _ = step_role(Mapping::Pe, 8, Coord::new(0, 0));
+    }
+}

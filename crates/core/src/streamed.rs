@@ -1,0 +1,125 @@
+//! Functional strip-step execution at mesh-word granularity.
+//!
+//! [`strip_step`] is the plain-Rust twin of the ISA micro-kernel
+//! (`sw_isa::kernels`): the same tile order (16×4 register tiles over
+//! the thread block), the same per-k traffic (4 A words + 4 splatted B
+//! scalars per tile-iteration, re-broadcast per tile exactly as
+//! Algorithm 3 does), and the same FMA accumulation order — so its
+//! results are bitwise-identical to the ISA kernel and to
+//! [`crate::reference::dgemm_chunked_fma`].
+//!
+//! Received operands are consumed *from the mesh stream directly into
+//! registers* (stack arrays) and never staged in LDM, mirroring the
+//! hardware kernel and respecting the LDM budget of §III-C.2 (which
+//! counts only the thread's own blocks).
+
+// Register arrays are index-coupled to the instruction encoding; indexed
+// loops are clearer than iterator chains here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::sharing::StepRole;
+use sw_arch::V256;
+use sw_isa::{Net, Operand};
+use sw_mem::LdmBuf;
+use sw_sim::CpeCtx;
+
+/// Executes one strip multiplication step on this CPE:
+/// `C_local (pm×pn) += α · A_step (pm×pk) · B_step (pk×pn)`.
+///
+/// `a_own`/`b_own` are this thread's resident blocks (used and
+/// broadcast when the role says so; `a_own` must be the panel for this
+/// step, i.e. the thread's own A block). `c` is the LDM-resident C
+/// block being accumulated.
+///
+/// Requires `pm == 16` (one register tile of rows), as the collective
+/// scheme does.
+#[allow(clippy::too_many_arguments)] // the kernel ABI: role + three panels + shape + alpha
+pub fn strip_step(
+    ctx: &mut CpeCtx,
+    role: StepRole,
+    a_own: LdmBuf,
+    b_own: LdmBuf,
+    c: LdmBuf,
+    pm: usize,
+    pn: usize,
+    pk: usize,
+    alpha: f64,
+) {
+    assert_eq!(pm, 16, "the collective scheme streams one 16-row register tile");
+    debug_assert_eq!(a_own.len(), pm * pk);
+    debug_assert_eq!(b_own.len(), pk * pn);
+    debug_assert_eq!(c.len(), pm * pn);
+
+    let mut acol = [0.0f64; 16];
+    let mut bvals = [0.0f64; 4];
+    for j0 in (0..pn).step_by(4) {
+        // Accumulators of the 16×4 register tile.
+        let mut acc = [[0.0f64; 4]; 16];
+        for k in 0..pk {
+            // --- A column of this k (4 mesh words). ---
+            match role.a {
+                Operand::Ldm | Operand::LdmBcast(_) => {
+                    acol.copy_from_slice(&ctx.ldm.slice(a_own)[k * pm..k * pm + 16]);
+                    if let Operand::LdmBcast(net) = role.a {
+                        for w in 0..4 {
+                            let v = V256::load(&acol[4 * w..]);
+                            bcast(ctx, net, v);
+                        }
+                    }
+                }
+                Operand::Recv(net) => {
+                    for w in 0..4 {
+                        recv(ctx, net).store(&mut acol[4 * w..4 * w + 4]);
+                    }
+                }
+            }
+            // --- B scalars of this k (4 splatted mesh words). ---
+            match role.b {
+                Operand::Ldm | Operand::LdmBcast(_) => {
+                    let b = ctx.ldm.slice(b_own);
+                    for (j, bv) in bvals.iter_mut().enumerate() {
+                        *bv = b[(j0 + j) * pk + k];
+                    }
+                    if let Operand::LdmBcast(net) = role.b {
+                        for &bv in &bvals {
+                            bcast(ctx, net, V256::splat(bv));
+                        }
+                    }
+                }
+                Operand::Recv(net) => {
+                    for bv in bvals.iter_mut() {
+                        *bv = recv(ctx, net).0[0];
+                    }
+                }
+            }
+            // --- 16 lane-groups of FMA, the vmad order's net effect. ---
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                for (j, acc_rj) in acc_r.iter_mut().enumerate() {
+                    *acc_rj = acol[r].mul_add(bvals[j], *acc_rj);
+                }
+            }
+        }
+        // Tile epilogue: C += α·acc, one FMA per element.
+        let cs = ctx.ldm.slice_mut(c);
+        for j in 0..4 {
+            for r in 0..16 {
+                let idx = (j0 + j) * pm + r;
+                cs[idx] = acc[r][j].mul_add(alpha, cs[idx]);
+            }
+        }
+    }
+}
+
+fn bcast(ctx: &CpeCtx, net: Net, v: V256) {
+    match net {
+        Net::Row => ctx.mesh().row_bcast(v),
+        Net::Col => ctx.mesh().col_bcast(v),
+    }
+}
+
+fn recv(ctx: &CpeCtx, net: Net) -> V256 {
+    match net {
+        Net::Row => ctx.mesh().getr(),
+        Net::Col => ctx.mesh().getc(),
+    }
+}

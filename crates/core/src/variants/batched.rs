@@ -1,0 +1,191 @@
+//! Batched small-matrix DGEMM.
+//!
+//! The paper's introduction cites convolutional neural networks among
+//! GEMM's consumers; their characteristic workload is *many small
+//! products*, not one large one. The three-level blocking degenerates
+//! there (a whole CG block would dwarf the matrices), so the batched
+//! path uses the other natural mapping of the CPE cluster: each CPE
+//! owns whole problems — item `i` goes to CPE `i mod 64` — staging
+//! A, B and C through its private LDM with `PE_MODE` DMA and computing
+//! locally. No register communication is needed; the batch dimension
+//! supplies all the parallelism.
+
+use crate::error::DgemmError;
+use crate::Matrix;
+use sw_arch::consts::LDM_DOUBLES;
+use sw_arch::coord::N_CPES;
+use sw_mem::dma::MatRegion;
+use sw_mem::MatId;
+use sw_sim::{CoreGroup, RunStats};
+
+/// Checks that one batch item's working set fits a CPE's LDM and meets
+/// the DMA granularity (m and k multiples of 16; n free).
+pub fn validate_batch_dims(m: usize, n: usize, k: usize) -> Result<(), DgemmError> {
+    if m == 0 || n == 0 || k == 0 {
+        return Err(DgemmError::BadDims("batch item dimensions must be positive".into()));
+    }
+    if !m.is_multiple_of(16) || !k.is_multiple_of(16) {
+        return Err(DgemmError::BadDims(format!(
+            "batched items need m and k to be multiples of 16 (128 B DMA transactions), got {m}x{n}x{k}"
+        )));
+    }
+    let need = m * k + k * n + m * n;
+    if need >= LDM_DOUBLES {
+        return Err(DgemmError::BadDims(format!(
+            "batch item working set of {need} doubles exceeds the 8192-double LDM"
+        )));
+    }
+    Ok(())
+}
+
+/// `C_i = α·A_i·B_i + β·C_i` for every item of a uniform batch, one
+/// item per CPE round-robin.
+///
+/// All items share the same `(m, n, k)`. Accumulation order per
+/// element: β once, then a single FMA chain over the full k (chunk =
+/// k in [`crate::reference::dgemm_chunked_fma`] terms).
+pub fn dgemm_batched(
+    alpha: f64,
+    a: &[Matrix],
+    b: &[Matrix],
+    beta: f64,
+    c: &mut [Matrix],
+) -> Result<RunStats, DgemmError> {
+    if a.len() != b.len() || a.len() != c.len() {
+        return Err(DgemmError::BadDims(format!(
+            "batch arrays disagree: {} A, {} B, {} C",
+            a.len(),
+            b.len(),
+            c.len()
+        )));
+    }
+    if a.is_empty() {
+        return Err(DgemmError::BadDims("empty batch".into()));
+    }
+    let (m, k) = (a[0].rows(), a[0].cols());
+    let n = b[0].cols();
+    validate_batch_dims(m, n, k)?;
+    for (i, ((ai, bi), ci)) in a.iter().zip(b).zip(c.iter()).enumerate() {
+        if ai.rows() != m || ai.cols() != k || bi.rows() != k || bi.cols() != n || ci.rows() != m || ci.cols() != n {
+            return Err(DgemmError::BadDims(format!("batch item {i} has mismatched dimensions")));
+        }
+    }
+
+    let mut cg = CoreGroup::new();
+    let ios: Vec<(MatId, MatId, MatId)> = a
+        .iter()
+        .zip(b)
+        .zip(c.iter())
+        .map(|((ai, bi), ci)| {
+            Ok((
+                cg.mem.install(ai.clone())?,
+                cg.mem.install(bi.clone())?,
+                cg.mem.install(ci.clone())?,
+            ))
+        })
+        .collect::<Result<_, DgemmError>>()?;
+
+    let ios_ref = &ios;
+    let stats = cg.run(move |ctx| {
+        let a_buf = ctx.ldm.alloc(m * k).expect("A item exceeds LDM");
+        let b_buf = ctx.ldm.alloc(k * n).expect("B item exceeds LDM");
+        let c_buf = ctx.ldm.alloc(m * n).expect("C item exceeds LDM");
+        let mut idx = ctx.coord.id();
+        while idx < ios_ref.len() {
+            let (ia, ib, ic) = ios_ref[idx];
+            ctx.dma_pe_get(MatRegion::new(ia, 0, 0, m, k), a_buf).expect("A DMA");
+            ctx.dma_pe_get(MatRegion::new(ib, 0, 0, k, n), b_buf).expect("B DMA");
+            ctx.dma_pe_get(MatRegion::new(ic, 0, 0, m, n), c_buf).expect("C DMA");
+            // Local compute, one FMA chain per element.
+            let a_lo = a_buf.offset();
+            let b_lo = b_buf.offset();
+            let c_lo = c_buf.offset();
+            let raw = ctx.ldm.raw_mut();
+            for j in 0..n {
+                for r in 0..m {
+                    let mut acc = 0.0f64;
+                    for l in 0..k {
+                        acc = raw[a_lo + l * m + r].mul_add(raw[b_lo + j * k + l], acc);
+                    }
+                    let ci = c_lo + j * m + r;
+                    raw[ci] = acc.mul_add(alpha, beta * raw[ci]);
+                }
+            }
+            ctx.dma_pe_put(MatRegion::new(ic, 0, 0, m, n), c_buf).expect("C store");
+            idx += N_CPES;
+        }
+    });
+    for ((_, _, ic), ci) in ios.iter().zip(c.iter_mut()) {
+        *ci = cg.mem.extract(*ic)?;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+    use crate::reference::{dgemm_chunked_fma, dgemm_naive, gemm_tolerance};
+
+    fn batch(count: usize, m: usize, n: usize, k: usize, seed: u64) -> (Vec<Matrix>, Vec<Matrix>, Vec<Matrix>) {
+        let a: Vec<_> = (0..count).map(|i| random_matrix(m, k, seed + i as u64)).collect();
+        let b: Vec<_> = (0..count).map(|i| random_matrix(k, n, seed + 100 + i as u64)).collect();
+        let c: Vec<_> = (0..count).map(|i| random_matrix(m, n, seed + 200 + i as u64)).collect();
+        (a, b, c)
+    }
+
+    #[test]
+    fn batched_matches_per_item_reference() {
+        let (m, n, k) = (16, 5, 32);
+        let (a, b, c0) = batch(100, m, n, k, 1);
+        let mut c = c0.clone();
+        dgemm_batched(1.5, &a, &b, -0.5, &mut c).unwrap();
+        for i in 0..a.len() {
+            let mut expect = c0[i].clone();
+            dgemm_naive(1.5, &a[i], &b[i], -0.5, &mut expect);
+            let tol = gemm_tolerance(&a[i], &b[i], 1.5);
+            assert!(c[i].max_abs_diff(&expect) <= tol, "item {i}");
+        }
+    }
+
+    #[test]
+    fn batched_is_bitwise_chunked_fma_with_full_k() {
+        let (m, n, k) = (16, 4, 16);
+        let (a, b, c0) = batch(7, m, n, k, 31);
+        let mut c = c0.clone();
+        dgemm_batched(2.0, &a, &b, 1.0, &mut c).unwrap();
+        for i in 0..a.len() {
+            let mut expect = c0[i].clone();
+            dgemm_chunked_fma(2.0, &a[i], &b[i], 1.0, &mut expect, k);
+            assert_eq!(c[i], expect, "item {i}");
+        }
+    }
+
+    #[test]
+    fn small_batches_leave_cpes_idle_but_work() {
+        let (a, b, c0) = batch(3, 16, 8, 16, 41);
+        let mut c = c0.clone();
+        let stats = dgemm_batched(1.0, &a, &b, 0.0, &mut c).unwrap();
+        // 3 items × (A + B + C in + C out) descriptors.
+        assert_eq!(stats.dma.descriptors, 3 * 4);
+    }
+
+    #[test]
+    fn dims_validated() {
+        assert!(validate_batch_dims(16, 8, 16).is_ok());
+        assert!(validate_batch_dims(12, 8, 16).is_err()); // m % 16
+        assert!(validate_batch_dims(16, 8, 20).is_err()); // k % 16
+        assert!(validate_batch_dims(64, 64, 64).is_err()); // LDM
+        let (a, b, _) = batch(2, 16, 8, 16, 51);
+        let mut wrong = vec![Matrix::zeros(16, 8)];
+        assert!(dgemm_batched(1.0, &a, &b, 0.0, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn mismatched_item_rejected() {
+        let (a, b, mut c) = batch(4, 16, 8, 16, 61);
+        let mut b_bad = b.clone();
+        b_bad[2] = Matrix::zeros(16, 9);
+        assert!(dgemm_batched(1.0, &a, &b_bad, 0.0, &mut c).is_err());
+    }
+}

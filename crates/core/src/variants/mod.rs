@@ -1,0 +1,108 @@
+//! The five DGEMM implementations of the paper's evaluation (§V).
+
+pub mod batched;
+pub mod raw;
+pub mod shared;
+
+use crate::mapping::Mapping;
+use crate::params::BlockingParams;
+use serde::{Deserialize, Serialize};
+use sw_isa::kernels::KernelStyle;
+
+/// One of the paper's five implementations, each adding one
+/// optimization on top of the previous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Straightforward thread-blocked triple loop, `PE_MODE` DMA, no
+    /// data sharing.
+    Raw,
+    /// Three-level blocking + collective data sharing, `PE_MODE`.
+    Pe,
+    /// + `ROW_MODE` data-thread mapping for A and C.
+    Row,
+    /// + double buffering (Algorithm 2).
+    Db,
+    /// + instruction-scheduled kernel (Algorithm 3).
+    Sched,
+}
+
+impl Variant {
+    /// All five, in the paper's optimization order.
+    pub const ALL: [Variant; 5] = [Variant::Raw, Variant::Pe, Variant::Row, Variant::Db, Variant::Sched];
+
+    /// Display name as used in Figure 6.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Raw => "RAW",
+            Variant::Pe => "PE",
+            Variant::Row => "ROW",
+            Variant::Db => "DB",
+            Variant::Sched => "SCHED",
+        }
+    }
+
+    /// The data-thread mapping the variant uses (meaningless for RAW).
+    pub fn mapping(self) -> Mapping {
+        match self {
+            Variant::Raw | Variant::Pe => Mapping::Pe,
+            Variant::Row | Variant::Db | Variant::Sched => Mapping::Row,
+        }
+    }
+
+    /// Whether A and C are double-buffered (Algorithm 2).
+    pub fn double_buffered(self) -> bool {
+        matches!(self, Variant::Db | Variant::Sched)
+    }
+
+    /// The micro-kernel code shape the variant runs.
+    pub fn kernel_style(self) -> KernelStyle {
+        match self {
+            Variant::Sched => KernelStyle::Scheduled,
+            _ => KernelStyle::Naive,
+        }
+    }
+
+    /// The paper's blocking parameters for this variant (§III-C.2 for
+    /// the single-buffered variants, §IV-B for the double-buffered
+    /// ones). RAW has its own parameters ([`raw::RawParams`]).
+    pub fn paper_params(self) -> BlockingParams {
+        if self.double_buffered() {
+            BlockingParams::paper_double()
+        } else {
+            BlockingParams::paper_single()
+        }
+    }
+
+    /// Test-scale blocking (same shape constraints, small blocks).
+    pub fn test_params(self) -> BlockingParams {
+        BlockingParams::test_small()
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_structure() {
+        assert_eq!(Variant::ALL.len(), 5);
+        assert!(!Variant::Pe.double_buffered());
+        assert!(Variant::Db.double_buffered());
+        assert_eq!(Variant::Row.mapping(), Mapping::Row);
+        assert_eq!(Variant::Pe.mapping(), Mapping::Pe);
+        assert_eq!(Variant::Sched.kernel_style(), KernelStyle::Scheduled);
+        assert_eq!(Variant::Db.kernel_style(), KernelStyle::Naive);
+    }
+
+    #[test]
+    fn paper_params_by_variant() {
+        assert_eq!(Variant::Pe.paper_params().pn, 48);
+        assert_eq!(Variant::Sched.paper_params().pn, 32);
+    }
+}

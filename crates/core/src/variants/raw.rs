@@ -1,0 +1,205 @@
+//! The RAW baseline (§V): a straightforward implementation without the
+//! three-level blocking or any data sharing.
+//!
+//! C is partitioned into 64 thread regions (an 8×8 grid); each thread
+//! updates its own region independently, streaming A and B panels
+//! through its LDM with plain `PE_MODE` DMA. Every A panel is thus
+//! fetched by all 8 threads of a mesh row (and every B panel by all 8
+//! of a column) — the redundant main-memory traffic the collective
+//! data sharing scheme exists to eliminate.
+
+use crate::error::DgemmError;
+use crate::variants::shared::GemmIo;
+use serde::{Deserialize, Serialize};
+use sw_arch::consts::{DMA_TRANSACTION_DOUBLES, LDM_DOUBLES};
+use sw_mem::dma::MatRegion;
+use sw_sim::{CoreGroup, CpeCtx, RunStats};
+
+/// Blocking of the RAW baseline: each thread's C region is processed
+/// in `pm×pn` sub-blocks, with `kc`-deep A/B panels streamed through
+/// LDM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawParams {
+    /// Sub-block rows.
+    pub pm: usize,
+    /// Sub-block columns.
+    pub pn: usize,
+    /// Panel depth.
+    pub kc: usize,
+}
+
+impl RawParams {
+    /// Production-scale choice: the largest square sub-block whose
+    /// working set fits the LDM (64×64 with 16-deep panels → 6144 of
+    /// 8192 doubles).
+    pub fn paper() -> Self {
+        RawParams { pm: 64, pn: 64, kc: 16 }
+    }
+
+    /// Test-scale choice matching `BlockingParams::test_small`
+    /// divisibility.
+    pub fn test_small() -> Self {
+        RawParams { pm: 16, pn: 8, kc: 16 }
+    }
+
+    /// LDM doubles of the working set (C sub-block + A and B panels).
+    pub fn ldm_doubles(&self) -> usize {
+        self.pm * self.pn + self.pm * self.kc + self.kc * self.pn
+    }
+
+    /// Validates alignment and capacity constraints.
+    pub fn validate(&self) -> Result<(), DgemmError> {
+        if self.pm == 0 || !self.pm.is_multiple_of(DMA_TRANSACTION_DOUBLES) {
+            return Err(DgemmError::BadParams(format!(
+                "RAW pm = {} must be a positive multiple of 16",
+                self.pm
+            )));
+        }
+        if self.kc == 0 || !self.kc.is_multiple_of(DMA_TRANSACTION_DOUBLES) {
+            return Err(DgemmError::BadParams(format!(
+                "RAW kc = {} must be a positive multiple of 16",
+                self.kc
+            )));
+        }
+        if self.pn == 0 {
+            return Err(DgemmError::BadParams("RAW pn must be positive".into()));
+        }
+        if self.ldm_doubles() >= LDM_DOUBLES {
+            return Err(DgemmError::BadParams(format!(
+                "RAW working set of {} doubles exceeds the LDM",
+                self.ldm_doubles()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Validates problem dimensions against this blocking: the 8×8
+    /// thread grid and the sub-block/panel factors must divide them.
+    pub fn validate_dims(&self, m: usize, n: usize, k: usize) -> Result<(), DgemmError> {
+        self.validate()?;
+        if !m.is_multiple_of(8 * self.pm) || !n.is_multiple_of(8 * self.pn) || !k.is_multiple_of(self.kc) {
+            return Err(DgemmError::BadDims(format!(
+                "dimensions {m}x{n}x{k} must be multiples of (8·pm, 8·pn, kc) = ({}, {}, {})",
+                8 * self.pm,
+                8 * self.pn,
+                self.kc
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Runs the RAW baseline functionally.
+#[allow(clippy::too_many_arguments)] // GEMM problem + blocking + scalars
+pub fn run_functional_raw(
+    cg: &mut CoreGroup,
+    m: usize,
+    n: usize,
+    k: usize,
+    raw: RawParams,
+    io: GemmIo,
+    alpha: f64,
+    beta: f64,
+) -> Result<RunStats, DgemmError> {
+    raw.validate_dims(m, n, k)?;
+    let (ar, ac) = cg.mem.dims(io.a)?;
+    let (br, bc) = cg.mem.dims(io.b)?;
+    let (cr, cc) = cg.mem.dims(io.c)?;
+    if (ar, ac) != (m, k) || (br, bc) != (k, n) || (cr, cc) != (m, n) {
+        return Err(DgemmError::BadDims("installed matrices do not match the given dimensions".into()));
+    }
+    let stats = cg.run(move |ctx| raw_thread_body(ctx, m, n, k, raw, io, alpha, beta));
+    Ok(stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn raw_thread_body(
+    ctx: &mut CpeCtx,
+    m: usize,
+    n: usize,
+    k: usize,
+    p: RawParams,
+    io: GemmIo,
+    alpha: f64,
+    beta: f64,
+) {
+    let (u, v) = (ctx.coord.row as usize, ctx.coord.col as usize);
+    let m8 = m / 8;
+    let n8 = n / 8;
+    let (row0, col0) = (u * m8, v * n8);
+
+    let c_buf = ctx.ldm.alloc(p.pm * p.pn).expect("RAW C sub-block exceeds LDM");
+    let a_buf = ctx.ldm.alloc(p.pm * p.kc).expect("RAW A panel exceeds LDM");
+    let b_buf = ctx.ldm.alloc(p.kc * p.pn).expect("RAW B panel exceeds LDM");
+
+    for si in 0..m8 / p.pm {
+        for sj in 0..n8 / p.pn {
+            let (r0, c0) = (row0 + si * p.pm, col0 + sj * p.pn);
+            ctx.dma_pe_get(MatRegion::new(io.c, r0, c0, p.pm, p.pn), c_buf).expect("C DMA");
+            for x in ctx.ldm.slice_mut(c_buf) {
+                *x *= beta;
+            }
+            for k0 in (0..k).step_by(p.kc) {
+                ctx.dma_pe_get(MatRegion::new(io.a, r0, k0, p.pm, p.kc), a_buf).expect("A DMA");
+                ctx.dma_pe_get(MatRegion::new(io.b, k0, c0, p.kc, p.pn), b_buf).expect("B DMA");
+                subblock_update(ctx, p, a_buf, b_buf, c_buf, alpha);
+            }
+            ctx.dma_pe_put(MatRegion::new(io.c, r0, c0, p.pm, p.pn), c_buf).expect("C store");
+        }
+    }
+}
+
+/// `C_sub += α · A_panel · B_panel` with the same per-panel FMA
+/// accumulation the kernels use (acc over kc, then one α fold).
+fn subblock_update(
+    ctx: &mut CpeCtx,
+    p: RawParams,
+    a_buf: sw_mem::LdmBuf,
+    b_buf: sw_mem::LdmBuf,
+    c_buf: sw_mem::LdmBuf,
+    alpha: f64,
+) {
+    // All three buffers live in the one LDM slice; index it directly
+    // (no per-chunk copies — this runs once per k-chunk per sub-block).
+    let (a_lo, b_lo, c_lo) = (a_buf.offset(), b_buf.offset(), c_buf.offset());
+    let ldm = ctx.ldm.raw_mut();
+    for j in 0..p.pn {
+        for r in 0..p.pm {
+            let mut acc = 0.0f64;
+            for l in 0..p.kc {
+                acc = ldm[a_lo + l * p.pm + r].mul_add(ldm[b_lo + j * p.kc + l], acc);
+            }
+            let idx = c_lo + j * p.pm + r;
+            ldm[idx] = acc.mul_add(alpha, ldm[idx]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_validation() {
+        RawParams::paper().validate().unwrap();
+        RawParams::test_small().validate().unwrap();
+        assert!(RawParams { pm: 8, pn: 8, kc: 16 }.validate().is_err());
+        assert!(RawParams { pm: 16, pn: 8, kc: 8 }.validate().is_err());
+        assert!(RawParams { pm: 96, pn: 96, kc: 16 }.validate().is_err()); // LDM
+    }
+
+    #[test]
+    fn paper_params_fit_ldm() {
+        assert_eq!(RawParams::paper().ldm_doubles(), 64 * 64 + 64 * 16 + 16 * 64);
+        assert!(RawParams::paper().ldm_doubles() < LDM_DOUBLES);
+    }
+
+    #[test]
+    fn dims_validation() {
+        let p = RawParams::test_small();
+        p.validate_dims(128, 64, 32).unwrap();
+        assert!(p.validate_dims(120, 64, 32).is_err());
+        assert!(p.validate_dims(128, 60, 32).is_err());
+        assert!(p.validate_dims(128, 64, 24).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! Functional executor of the data-sharing variants (PE, ROW, DB,
+//! SCHED).
+//!
+//! All four run the same three-level blocked schedule (Algorithm 1, or
+//! Algorithm 2 when double-buffered) and the same collective data
+//! sharing; they differ in the data-thread mapping, the LDM buffering,
+//! and — on real hardware — the kernel's instruction schedule. The
+//! instruction schedule does not change numerics (proved bitwise in
+//! `sw-isa`), so the functional path uses the streamed kernel for all
+//! of them; the cycle difference is captured by the timing mode.
+//!
+//! Numerical contract: results are **bitwise identical** across PE,
+//! ROW, DB and SCHED (the per-element FMA order depends only on `pK`),
+//! and bitwise equal to
+//! [`crate::reference::dgemm_chunked_fma`] with `chunk = pK`.
+
+use crate::error::DgemmError;
+use crate::mapping::{self, Mapping};
+use crate::plan::GemmPlan;
+use crate::sharing::step_role;
+use crate::streamed::strip_step;
+use sw_mem::{LdmBuf, MatId};
+use sw_sim::{CoreGroup, CpeCtx, RunStats};
+
+/// The three operand matrices of one DGEMM, installed in main memory.
+#[derive(Debug, Clone, Copy)]
+pub struct GemmIo {
+    /// m×k input.
+    pub a: MatId,
+    /// k×n input.
+    pub b: MatId,
+    /// m×n input/output.
+    pub c: MatId,
+}
+
+/// Runs `C = α·A·B + β·C` functionally on the 64-thread simulator with
+/// the given mapping and the plan's buffering mode.
+pub fn run_functional(
+    cg: &mut CoreGroup,
+    plan: &GemmPlan,
+    mapping: Mapping,
+    io: GemmIo,
+    alpha: f64,
+    beta: f64,
+) -> Result<RunStats, DgemmError> {
+    check_io(cg, plan, io)?;
+    let plan = *plan;
+    let stats = cg.run(move |ctx| thread_body(ctx, &plan, mapping, io, alpha, beta));
+    Ok(stats)
+}
+
+fn check_io(cg: &CoreGroup, plan: &GemmPlan, io: GemmIo) -> Result<(), DgemmError> {
+    let (ar, ac) = cg.mem.dims(io.a)?;
+    let (br, bc) = cg.mem.dims(io.b)?;
+    let (cr, cc) = cg.mem.dims(io.c)?;
+    if (ar, ac) != (plan.m, plan.k) || (br, bc) != (plan.k, plan.n) || (cr, cc) != (plan.m, plan.n) {
+        return Err(DgemmError::BadDims(format!(
+            "installed matrices {ar}x{ac}, {br}x{bc}, {cr}x{cc} do not match plan {}x{}x{}",
+            plan.m, plan.n, plan.k
+        )));
+    }
+    Ok(())
+}
+
+/// The SPMD body every CPE thread runs: Algorithm 1 (single-buffered)
+/// or Algorithm 2 (double-buffered), with the strip multiplication and
+/// collective sharing inside.
+fn thread_body(ctx: &mut CpeCtx, plan: &GemmPlan, mapping: Mapping, io: GemmIo, alpha: f64, beta: f64) {
+    let p = plan.params;
+    let (pm, pn, pk) = (p.pm, p.pn, p.pk);
+    let nbuf = if plan.double_buffered { 2 } else { 1 };
+    let a_bufs: Vec<LdmBuf> =
+        (0..nbuf).map(|_| ctx.ldm.alloc(pm * pk).expect("A blocks exceed LDM")).collect();
+    let c_bufs: Vec<LdmBuf> =
+        (0..nbuf).map(|_| ctx.ldm.alloc(pm * pn).expect("C blocks exceed LDM")).collect();
+    let b_buf = ctx.ldm.alloc(pk * pn).expect("B block exceeds LDM");
+
+    for j in 0..plan.grid_n {
+        for l in 0..plan.grid_k {
+            // Load the resident B block (PE_MODE in both mappings).
+            let rb = mapping::b_region(plan, io.b, mapping, l, j, ctx.coord);
+            ctx.dma_pe_get(rb, b_buf).expect("B DMA failed");
+            ctx.sync_all();
+
+            if plan.double_buffered {
+                // Algorithm 2: prefetch A/C of block i+1 while block i
+                // computes; buffers rotate.
+                load_ac(ctx, plan, mapping, io, 0, j, l, a_bufs[0], c_bufs[0]);
+                ctx.sync_all();
+                for i in 0..plan.grid_m {
+                    let cur = i % 2;
+                    if i + 1 < plan.grid_m {
+                        load_ac(
+                            ctx,
+                            plan,
+                            mapping,
+                            io,
+                            i + 1,
+                            j,
+                            l,
+                            a_bufs[(i + 1) % 2],
+                            c_bufs[(i + 1) % 2],
+                        );
+                    }
+                    compute_and_store(ctx, plan, mapping, io, i, j, l, a_bufs[cur], b_buf, c_bufs[cur], alpha, beta);
+                }
+            } else {
+                // Algorithm 1: strictly serial load → compute → store.
+                for i in 0..plan.grid_m {
+                    load_ac(ctx, plan, mapping, io, i, j, l, a_bufs[0], c_bufs[0]);
+                    ctx.sync_all();
+                    compute_and_store(ctx, plan, mapping, io, i, j, l, a_bufs[0], b_buf, c_bufs[0], alpha, beta);
+                }
+            }
+        }
+    }
+}
+
+/// Loads this thread's A block of CG block (i, l) and C block of
+/// (i, j), honouring the mapping's DMA modes.
+#[allow(clippy::too_many_arguments)]
+fn load_ac(
+    ctx: &mut CpeCtx,
+    plan: &GemmPlan,
+    mapping: Mapping,
+    io: GemmIo,
+    i: usize,
+    j: usize,
+    l: usize,
+    a_buf: LdmBuf,
+    c_buf: LdmBuf,
+) {
+    let ra = mapping::a_region(plan, io.a, mapping, i, l, ctx.coord);
+    let rc = mapping::c_region(plan, io.c, mapping, i, j, ctx.coord);
+    match mapping {
+        Mapping::Pe => {
+            ctx.dma_pe_get(ra, a_buf).expect("A DMA failed");
+            ctx.dma_pe_get(rc, c_buf).expect("C DMA failed");
+        }
+        Mapping::Row => {
+            ctx.dma_row_get(ra, a_buf).expect("A DMA failed");
+            ctx.dma_row_get(rc, c_buf).expect("C DMA failed");
+        }
+    }
+}
+
+/// One CG-block update: β-scale on first use, 8 collective strip
+/// steps, then the C write-back.
+#[allow(clippy::too_many_arguments)]
+fn compute_and_store(
+    ctx: &mut CpeCtx,
+    plan: &GemmPlan,
+    mapping: Mapping,
+    io: GemmIo,
+    i: usize,
+    j: usize,
+    l: usize,
+    a_buf: LdmBuf,
+    b_buf: LdmBuf,
+    c_buf: LdmBuf,
+    alpha: f64,
+    beta: f64,
+) {
+    let p = plan.params;
+    // δC(i,j) makes its K round-trips through LDM; β applies only on
+    // the first (l = 0), exactly once per element.
+    if l == 0 {
+        for x in ctx.ldm.slice_mut(c_buf) {
+            *x *= beta;
+        }
+    }
+    for s in 0..8 {
+        let role = step_role(mapping, s, ctx.coord);
+        strip_step(ctx, role, a_buf, b_buf, c_buf, p.pm, p.pn, p.pk, alpha);
+        // Host threads drift freely, so without a step barrier a fast
+        // thread's step-(s+1) broadcast could interleave into a peer's
+        // receive buffer behind step-s words from a different sender.
+        // The real kernel paces this implicitly via SIMT lockstep; the
+        // simulator makes it explicit.
+        ctx.sync_all();
+    }
+    let rc = mapping::c_region(plan, io.c, mapping, i, j, ctx.coord);
+    match mapping {
+        Mapping::Pe => ctx.dma_pe_put(rc, c_buf).expect("C store failed"),
+        Mapping::Row => ctx.dma_row_put(rc, c_buf).expect("C store failed"),
+    };
+    ctx.sync_all();
+}

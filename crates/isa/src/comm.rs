@@ -1,0 +1,151 @@
+//! Communication back-ends for the executor.
+//!
+//! The executor is generic over [`CommPort`] so the same kernel stream
+//! can run (a) inside the 64-thread functional runtime against the real
+//! mesh, (b) against a scripted transcript for single-threaded
+//! validation, or (c) against a sink when only cycle counts matter.
+
+use std::collections::VecDeque;
+use sw_arch::V256;
+
+/// What the executor needs from the register-communication network.
+pub trait CommPort {
+    /// Broadcast `v` to the other CPEs of this CPE's mesh row.
+    fn row_bcast(&mut self, v: V256);
+    /// Broadcast `v` to the other CPEs of this CPE's mesh column.
+    fn col_bcast(&mut self, v: V256);
+    /// Receive one word from the row network.
+    fn getr(&mut self) -> V256;
+    /// Receive one word from the column network.
+    fn getc(&mut self) -> V256;
+}
+
+/// Panics on any communication — for kernels that are purely local.
+#[derive(Debug, Default)]
+pub struct NullComm;
+
+impl CommPort for NullComm {
+    fn row_bcast(&mut self, _v: V256) {
+        panic!("kernel attempted row broadcast with NullComm");
+    }
+    fn col_bcast(&mut self, _v: V256) {
+        panic!("kernel attempted column broadcast with NullComm");
+    }
+    fn getr(&mut self) -> V256 {
+        panic!("kernel attempted getr with NullComm");
+    }
+    fn getc(&mut self) -> V256 {
+        panic!("kernel attempted getc with NullComm");
+    }
+}
+
+/// Discards broadcasts and serves zeros on receive — for pure cycle
+/// counting where data does not matter.
+#[derive(Debug, Default)]
+pub struct SinkComm;
+
+impl CommPort for SinkComm {
+    fn row_bcast(&mut self, _v: V256) {}
+    fn col_bcast(&mut self, _v: V256) {}
+    fn getr(&mut self) -> V256 {
+        V256::ZERO
+    }
+    fn getc(&mut self) -> V256 {
+        V256::ZERO
+    }
+}
+
+/// Replays a pre-computed transcript: `getr`/`getc` pop from scripted
+/// queues, broadcasts are recorded. Lets a *single* thread validate a
+/// kernel that expects its partners' traffic.
+#[derive(Debug, Default)]
+pub struct ScriptedComm {
+    /// Words the row network will deliver, in order.
+    pub row_in: VecDeque<V256>,
+    /// Words the column network will deliver, in order.
+    pub col_in: VecDeque<V256>,
+    /// Row broadcasts the kernel performed.
+    pub row_out: Vec<V256>,
+    /// Column broadcasts the kernel performed.
+    pub col_out: Vec<V256>,
+}
+
+impl ScriptedComm {
+    /// Scripts the row network to deliver `panel` (length multiple of 4)
+    /// as consecutive 256-bit words.
+    pub fn script_row_panel(&mut self, panel: &[f64]) {
+        assert_eq!(panel.len() % 4, 0);
+        for c in panel.chunks_exact(4) {
+            self.row_in.push_back(V256::load(c));
+        }
+    }
+
+    /// Scripts the column network to deliver each element of `scalars`
+    /// splatted (what a remote `lddec` broadcast delivers).
+    pub fn script_col_scalars(&mut self, scalars: &[f64]) {
+        for &x in scalars {
+            self.col_in.push_back(V256::splat(x));
+        }
+    }
+
+    /// Scripts the column network to deliver `panel` as 256-bit words.
+    pub fn script_col_panel(&mut self, panel: &[f64]) {
+        assert_eq!(panel.len() % 4, 0);
+        for c in panel.chunks_exact(4) {
+            self.col_in.push_back(V256::load(c));
+        }
+    }
+
+    /// Scripts the row network to deliver splatted scalars.
+    pub fn script_row_scalars(&mut self, scalars: &[f64]) {
+        for &x in scalars {
+            self.row_in.push_back(V256::splat(x));
+        }
+    }
+}
+
+impl CommPort for ScriptedComm {
+    fn row_bcast(&mut self, v: V256) {
+        self.row_out.push(v);
+    }
+    fn col_bcast(&mut self, v: V256) {
+        self.col_out.push(v);
+    }
+    fn getr(&mut self) -> V256 {
+        self.row_in.pop_front().expect("scripted row transcript exhausted")
+    }
+    fn getc(&mut self) -> V256 {
+        self.col_in.pop_front().expect("scripted column transcript exhausted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_replays_in_order() {
+        let mut c = ScriptedComm::default();
+        c.script_row_panel(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        c.script_col_scalars(&[9.0]);
+        assert_eq!(c.getr(), V256::new([1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(c.getr(), V256::new([5.0, 6.0, 7.0, 8.0]));
+        assert_eq!(c.getc(), V256::splat(9.0));
+        c.row_bcast(V256::splat(1.0));
+        assert_eq!(c.row_out.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scripted_exhaustion_panics() {
+        let mut c = ScriptedComm::default();
+        let _ = c.getr();
+    }
+
+    #[test]
+    fn sink_returns_zero() {
+        let mut s = SinkComm;
+        s.row_bcast(V256::splat(1.0));
+        assert_eq!(s.getc(), V256::ZERO);
+    }
+}

@@ -1,0 +1,223 @@
+//! Fixed 32-bit binary encoding of the modelled instruction set.
+//!
+//! The SW RISC family uses fixed-width 32-bit instruction words; this
+//! module defines a concrete encoding for the modelled subset so that
+//! code-size accounting ([`crate::looped::icache_footprint_bytes`]) is
+//! grounded and kernels can be persisted/compared as artifacts.
+//!
+//! Layout (MSB → LSB):
+//!
+//! ```text
+//! [31:26] opcode
+//! [25:21] rd   (vector or integer destination)
+//! [20:16] ra   (first source)
+//! [15:11] rb   (second source)
+//! [10: 6] rc   (third source, vmad addend)
+//! [ 5: 0] unused
+//! ```
+//!
+//! Memory and branch forms replace `[15:0]` with a signed 13-bit
+//! displacement / unsigned 16-bit target:
+//!
+//! ```text
+//! mem:    [31:26] opcode  [25:21] rd/rs  [20:16] base  [15:0] disp (i16, doubles)
+//! branch: [31:26] opcode  [25:21] rs     [20:16] 0     [15:0] target (u16, instr index)
+//! ```
+//!
+//! The displacement field bounds LDM offsets at ±32767 doubles — far
+//! beyond the 8192-double scratch pad — and branch targets at 65535,
+//! comfortably above any loop-form kernel (the icache caps programs at
+//! 4096 instructions anyway).
+
+use crate::instr::{Instr, Net};
+use crate::regs::{IReg, VReg};
+
+/// Encoding/decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A displacement outside the signed 16-bit field.
+    DispOverflow(i64),
+    /// A branch target outside the unsigned 16-bit field.
+    TargetOverflow(usize),
+    /// An unknown opcode met while decoding.
+    BadOpcode(u8),
+}
+
+// Opcodes. Communication loads carry the network in bit 0 of the
+// opcode pair (row = even, col = odd).
+const OP_VMAD: u8 = 0x01;
+const OP_VLDD: u8 = 0x02;
+const OP_VSTD: u8 = 0x03;
+const OP_LDDE: u8 = 0x04;
+const OP_VLDR_ROW: u8 = 0x06;
+const OP_VLDR_COL: u8 = 0x07;
+const OP_LDDEC_ROW: u8 = 0x08;
+const OP_LDDEC_COL: u8 = 0x09;
+const OP_GETR: u8 = 0x0a;
+const OP_GETC: u8 = 0x0b;
+const OP_VCLR: u8 = 0x0c;
+const OP_ADDL: u8 = 0x0d;
+const OP_SETL: u8 = 0x0e;
+const OP_BNE: u8 = 0x0f;
+const OP_NOP: u8 = 0x00;
+
+fn mem_word(op: u8, r: u8, base: u8, disp: i64) -> Result<u32, CodecError> {
+    let d = i16::try_from(disp).map_err(|_| CodecError::DispOverflow(disp))?;
+    Ok(((op as u32) << 26) | ((r as u32) << 21) | ((base as u32) << 16) | (d as u16 as u32))
+}
+
+/// Encodes one instruction.
+pub fn encode(i: &Instr) -> Result<u32, CodecError> {
+    Ok(match *i {
+        Instr::Vmad { a, b, c, d } => {
+            ((OP_VMAD as u32) << 26)
+                | ((d.0 as u32) << 21)
+                | ((a.0 as u32) << 16)
+                | ((b.0 as u32) << 11)
+                | ((c.0 as u32) << 6)
+        }
+        Instr::Vldd { d, base, off } => mem_word(OP_VLDD, d.0, base.0, off)?,
+        Instr::Vstd { s, base, off } => mem_word(OP_VSTD, s.0, base.0, off)?,
+        Instr::Ldde { d, base, off } => mem_word(OP_LDDE, d.0, base.0, off)?,
+        Instr::Vldr { d, base, off, net } => {
+            let op = if net == Net::Row { OP_VLDR_ROW } else { OP_VLDR_COL };
+            mem_word(op, d.0, base.0, off)?
+        }
+        Instr::Lddec { d, base, off, net } => {
+            let op = if net == Net::Row { OP_LDDEC_ROW } else { OP_LDDEC_COL };
+            mem_word(op, d.0, base.0, off)?
+        }
+        Instr::Getr { d } => ((OP_GETR as u32) << 26) | ((d.0 as u32) << 21),
+        Instr::Getc { d } => ((OP_GETC as u32) << 26) | ((d.0 as u32) << 21),
+        Instr::Vclr { d } => ((OP_VCLR as u32) << 26) | ((d.0 as u32) << 21),
+        Instr::Addl { d, s, imm } => mem_word(OP_ADDL, d.0, s.0, imm)?,
+        Instr::Setl { d, imm } => mem_word(OP_SETL, d.0, 0, imm)?,
+        Instr::Bne { s, target } => {
+            let t = u16::try_from(target).map_err(|_| CodecError::TargetOverflow(target))?;
+            ((OP_BNE as u32) << 26) | ((s.0 as u32) << 21) | (t as u32)
+        }
+        Instr::Nop => (OP_NOP as u32) << 26,
+    })
+}
+
+/// Decodes one instruction word.
+pub fn decode(w: u32) -> Result<Instr, CodecError> {
+    let op = (w >> 26) as u8;
+    let rd = ((w >> 21) & 0x1f) as u8;
+    let ra = ((w >> 16) & 0x1f) as u8;
+    let rb = ((w >> 11) & 0x1f) as u8;
+    let rc = ((w >> 6) & 0x1f) as u8;
+    let disp = (w & 0xffff) as u16 as i16 as i64;
+    let target = (w & 0xffff) as usize;
+    Ok(match op {
+        OP_VMAD => Instr::Vmad { a: VReg(ra), b: VReg(rb), c: VReg(rc), d: VReg(rd) },
+        OP_VLDD => Instr::Vldd { d: VReg(rd), base: IReg(ra), off: disp },
+        OP_VSTD => Instr::Vstd { s: VReg(rd), base: IReg(ra), off: disp },
+        OP_LDDE => Instr::Ldde { d: VReg(rd), base: IReg(ra), off: disp },
+        OP_VLDR_ROW => Instr::Vldr { d: VReg(rd), base: IReg(ra), off: disp, net: Net::Row },
+        OP_VLDR_COL => Instr::Vldr { d: VReg(rd), base: IReg(ra), off: disp, net: Net::Col },
+        OP_LDDEC_ROW => Instr::Lddec { d: VReg(rd), base: IReg(ra), off: disp, net: Net::Row },
+        OP_LDDEC_COL => Instr::Lddec { d: VReg(rd), base: IReg(ra), off: disp, net: Net::Col },
+        OP_GETR => Instr::Getr { d: VReg(rd) },
+        OP_GETC => Instr::Getc { d: VReg(rd) },
+        OP_VCLR => Instr::Vclr { d: VReg(rd) },
+        OP_ADDL => Instr::Addl { d: IReg(rd), s: IReg(ra), imm: disp },
+        OP_SETL => Instr::Setl { d: IReg(rd), imm: disp },
+        OP_BNE => Instr::Bne { s: IReg(rd), target },
+        OP_NOP => Instr::Nop,
+        other => return Err(CodecError::BadOpcode(other)),
+    })
+}
+
+/// Encodes a whole stream (little-endian words).
+pub fn assemble(prog: &[Instr]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(prog.len() * 4);
+    for i in prog {
+        out.extend_from_slice(&encode(i)?.to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Decodes a byte image back into a stream.
+pub fn disassemble(bytes: &[u8]) -> Result<Vec<Instr>, CodecError> {
+    assert!(bytes.len().is_multiple_of(4), "instruction image must be whole 32-bit words");
+    bytes.chunks_exact(4).map(|c| decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{gen_block_kernel, BlockKernelCfg, KernelStyle, Operand};
+    use crate::looped::gen_block_kernel_looped;
+
+    fn all_forms() -> Vec<Instr> {
+        vec![
+            Instr::Vmad { a: VReg(3), b: VReg(7), c: VReg(31), d: VReg(16) },
+            Instr::Vldd { d: VReg(1), base: IReg(0), off: 8188 },
+            Instr::Vstd { s: VReg(2), base: IReg(0), off: -4 },
+            Instr::Ldde { d: VReg(8), base: IReg(1), off: 8000 },
+            Instr::Vldr { d: VReg(0), base: IReg(0), off: 16, net: Net::Row },
+            Instr::Vldr { d: VReg(0), base: IReg(0), off: 16, net: Net::Col },
+            Instr::Lddec { d: VReg(4), base: IReg(0), off: 3000, net: Net::Col },
+            Instr::Lddec { d: VReg(4), base: IReg(0), off: 3000, net: Net::Row },
+            Instr::Getr { d: VReg(5) },
+            Instr::Getc { d: VReg(6) },
+            Instr::Vclr { d: VReg(13) },
+            Instr::Addl { d: IReg(6), s: IReg(6), imm: -96 },
+            Instr::Setl { d: IReg(3), imm: 24 },
+            Instr::Bne { s: IReg(3), target: 65535 },
+            Instr::Nop,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_form() {
+        for i in all_forms() {
+            let w = encode(&i).unwrap();
+            assert_eq!(decode(w).unwrap(), i, "word {w:#010x}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_generated_kernels() {
+        let cfg = BlockKernelCfg {
+            pm: 16,
+            pn: 8,
+            pk: 16,
+            a_src: Operand::LdmBcast(Net::Row),
+            b_src: Operand::Recv(Net::Col),
+            a_base: 0,
+            b_base: 2048,
+            c_base: 4096,
+            alpha_addr: 8000,
+        };
+        for prog in [
+            gen_block_kernel(&cfg, KernelStyle::Scheduled),
+            gen_block_kernel(&cfg, KernelStyle::Naive),
+            gen_block_kernel_looped(&cfg, KernelStyle::Scheduled, 2),
+        ] {
+            let img = assemble(&prog).unwrap();
+            assert_eq!(img.len(), prog.len() * 4);
+            assert_eq!(disassemble(&img).unwrap(), prog);
+        }
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let too_far = Instr::Vldd { d: VReg(0), base: IReg(0), off: 40000 };
+        assert!(matches!(encode(&too_far), Err(CodecError::DispOverflow(40000))));
+        let too_long = Instr::Bne { s: IReg(0), target: 70000 };
+        assert!(matches!(encode(&too_long), Err(CodecError::TargetOverflow(70000))));
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(matches!(decode(0x3f << 26), Err(CodecError::BadOpcode(0x3f))));
+    }
+
+    #[test]
+    fn negative_displacements_survive() {
+        let i = Instr::Addl { d: IReg(1), s: IReg(1), imm: -1 };
+        assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
+    }
+}

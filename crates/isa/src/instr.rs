@@ -1,0 +1,201 @@
+//! The modelled subset of the SW26010 CPE instruction set.
+//!
+//! All LDM addresses are expressed as `iregs[base] + off`, in units of
+//! `f64` elements. Vector memory operations require 256-bit (4-double)
+//! alignment, like the hardware.
+//!
+//! The paper names four register-communication instructions (§III-B):
+//! `vldr` (load 256-bit + row broadcast), `lddec` (load 64-bit, splat,
+//! column broadcast), `getr` and `getc` (receive from the row/column
+//! network). After the ROW-mode data-thread remapping (§IV-A), A is
+//! broadcast along *columns* and B along *rows*; the hardware reaches
+//! the other network with its full put/get instruction family, which we
+//! model by parameterizing the broadcast direction ([`Net`]) on the same
+//! mnemonics.
+
+use crate::regs::{IReg, VReg};
+use serde::{Deserialize, Serialize};
+
+/// Which mesh network a communication instruction uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Net {
+    /// The row network (all CPEs of the sender's mesh row).
+    Row,
+    /// The column network.
+    Col,
+}
+
+/// One CPE instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `vmad d, a, b, c` — 256-bit fused multiply-add `d = a*b + c`
+    /// (the paper writes `vmad rA, rB, rC, rC` for the accumulating
+    /// form). Pipeline P0, RAW latency 6.
+    Vmad { a: VReg, b: VReg, c: VReg, d: VReg },
+    /// 256-bit LDM load. Pipeline P1, RAW latency 4.
+    Vldd { d: VReg, base: IReg, off: i64 },
+    /// 256-bit LDM store. Pipeline P1.
+    Vstd { s: VReg, base: IReg, off: i64 },
+    /// Scalar LDM load splat into all 4 lanes (no broadcast). P1,
+    /// latency 4.
+    Ldde { d: VReg, base: IReg, off: i64 },
+    /// 256-bit LDM load + broadcast on `net`, local copy kept in `d`
+    /// (`vldr` when `net == Row`). P1, latency 4.
+    Vldr { d: VReg, base: IReg, off: i64, net: Net },
+    /// Scalar LDM load, splat, broadcast on `net`, local copy kept
+    /// (`lddec` when `net == Col`). P1, latency 4.
+    Lddec { d: VReg, base: IReg, off: i64, net: Net },
+    /// Receive one word from the row network into `d` (`getr`). P1,
+    /// latency 4.
+    Getr { d: VReg },
+    /// Receive one word from the column network into `d` (`getc`). P1,
+    /// latency 4.
+    Getc { d: VReg },
+    /// Zero a vector register. P1, latency 1.
+    Vclr { d: VReg },
+    /// Integer add-immediate `d = s + imm`. P1, latency 1.
+    Addl { d: IReg, s: IReg, imm: i64 },
+    /// Load-immediate `d = imm`. P1, latency 1.
+    Setl { d: IReg, imm: i64 },
+    /// Branch to instruction index `target` when `iregs[s] != 0`. P1;
+    /// a taken branch costs [`BRANCH_TAKEN_PENALTY`] bubble cycles.
+    Bne { s: IReg, target: usize },
+    /// No-operation, consuming a P1 issue slot. The scheduled kernel
+    /// inserts these to keep the in-order issue pattern aligned
+    /// (Algorithm 3, §IV-C).
+    Nop,
+}
+
+/// Bubble cycles after a taken branch (in-order pipeline refill).
+pub const BRANCH_TAKEN_PENALTY: u64 = 2;
+
+/// Issue pipeline of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pipe {
+    /// Floating-point pipeline.
+    P0,
+    /// Integer / memory / register-communication pipeline.
+    P1,
+}
+
+impl Instr {
+    /// Which pipeline the instruction issues on.
+    #[inline]
+    pub fn pipe(&self) -> Pipe {
+        match self {
+            Instr::Vmad { .. } => Pipe::P0,
+            _ => Pipe::P1,
+        }
+    }
+
+    /// True for the fused multiply-add (used by occupancy statistics).
+    #[inline]
+    pub fn is_vmad(&self) -> bool {
+        matches!(self, Instr::Vmad { .. })
+    }
+
+    /// Result latency in cycles (issue → dependent may issue).
+    #[inline]
+    pub fn latency(&self) -> u64 {
+        use sw_arch::consts::{INT_OP_LATENCY, LDM_LOAD_LATENCY, REGCOMM_RAW_LATENCY, VMAD_RAW_LATENCY};
+        match self {
+            Instr::Vmad { .. } => VMAD_RAW_LATENCY,
+            Instr::Vldd { .. } | Instr::Ldde { .. } => LDM_LOAD_LATENCY,
+            Instr::Vldr { .. } | Instr::Lddec { .. } | Instr::Getr { .. } | Instr::Getc { .. } => {
+                REGCOMM_RAW_LATENCY
+            }
+            Instr::Addl { .. } | Instr::Setl { .. } | Instr::Vclr { .. } => INT_OP_LATENCY,
+            Instr::Vstd { .. } | Instr::Bne { .. } | Instr::Nop => 0,
+        }
+    }
+
+    /// Vector register written, if any.
+    pub fn vdst(&self) -> Option<VReg> {
+        match *self {
+            Instr::Vmad { d, .. }
+            | Instr::Vldd { d, .. }
+            | Instr::Ldde { d, .. }
+            | Instr::Vldr { d, .. }
+            | Instr::Lddec { d, .. }
+            | Instr::Getr { d }
+            | Instr::Getc { d }
+            | Instr::Vclr { d } => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Vector registers read.
+    pub fn vsrcs(&self) -> Vec<VReg> {
+        match *self {
+            Instr::Vmad { a, b, c, .. } => vec![a, b, c],
+            Instr::Vstd { s, .. } => vec![s],
+            _ => vec![],
+        }
+    }
+
+    /// Integer register written, if any.
+    pub fn idst(&self) -> Option<IReg> {
+        match *self {
+            Instr::Addl { d, .. } | Instr::Setl { d, .. } => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Integer registers read.
+    pub fn isrcs(&self) -> Vec<IReg> {
+        match *self {
+            Instr::Vldd { base, .. }
+            | Instr::Vstd { base, .. }
+            | Instr::Ldde { base, .. }
+            | Instr::Vldr { base, .. }
+            | Instr::Lddec { base, .. } => vec![base],
+            Instr::Addl { s, .. } | Instr::Bne { s, .. } => vec![s],
+            _ => vec![],
+        }
+    }
+}
+
+impl std::fmt::Display for Instr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Instr::Vmad { a, b, c, d } => write!(f, "vmad {d}, {a}, {b}, {c}"),
+            Instr::Vldd { d, base, off } => write!(f, "vldd {d}, {off}({base})"),
+            Instr::Vstd { s, base, off } => write!(f, "vstd {s}, {off}({base})"),
+            Instr::Ldde { d, base, off } => write!(f, "ldde {d}, {off}({base})"),
+            Instr::Vldr { d, base, off, net } => write!(f, "vldr[{net:?}] {d}, {off}({base})"),
+            Instr::Lddec { d, base, off, net } => write!(f, "lddec[{net:?}] {d}, {off}({base})"),
+            Instr::Getr { d } => write!(f, "getr {d}"),
+            Instr::Getc { d } => write!(f, "getc {d}"),
+            Instr::Vclr { d } => write!(f, "vclr {d}"),
+            Instr::Addl { d, s, imm } => write!(f, "addl {d}, {s}, {imm}"),
+            Instr::Setl { d, imm } => write!(f, "setl {d}, {imm}"),
+            Instr::Bne { s, target } => write!(f, "bne {s}, @{target}"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipes_and_latencies_match_paper() {
+        let vmad = Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) };
+        assert_eq!(vmad.pipe(), Pipe::P0);
+        assert_eq!(vmad.latency(), 6);
+        let getr = Instr::Getr { d: VReg(0) };
+        assert_eq!(getr.pipe(), Pipe::P1);
+        assert_eq!(getr.latency(), 4);
+    }
+
+    #[test]
+    fn deps_extracted() {
+        let i = Instr::Vmad { a: VReg(1), b: VReg(2), c: VReg(3), d: VReg(3) };
+        assert_eq!(i.vdst(), Some(VReg(3)));
+        assert_eq!(i.vsrcs(), vec![VReg(1), VReg(2), VReg(3)]);
+        let a = Instr::Addl { d: IReg(1), s: IReg(2), imm: 4 };
+        assert_eq!(a.idst(), Some(IReg(1)));
+        assert_eq!(a.isrcs(), vec![IReg(2)]);
+    }
+}

@@ -1,0 +1,497 @@
+//! The cycle-accurate, functional CPE executor.
+//!
+//! [`Machine`] executes an instruction stream against an LDM slice and a
+//! [`CommPort`], producing both the numerical effects *and* an
+//! [`ExecReport`] with the cycle count a dual-issue in-order CPE would
+//! take:
+//!
+//! * one instruction per pipeline (P0 = float, P1 = everything else)
+//!   may issue per cycle, in program order;
+//! * an instruction stalls until its source registers are ready (RAW:
+//!   `vmad` 6 cycles, loads/register communication 4, integer ops 1)
+//!   and until a pending write to its destination completes (WAW);
+//! * a taken branch costs [`crate::instr::BRANCH_TAKEN_PENALTY`] refill
+//!   cycles.
+//!
+//! Because issue order is program order, *instruction scheduling* —
+//! not out-of-order hardware — decides how much of the P1 latency hides
+//! under `vmad`s, which is precisely the effect §IV-C measures (a
+//! 113.9 % speed-up from reordering alone).
+
+use crate::comm::CommPort;
+use crate::instr::{Instr, Pipe, BRANCH_TAKEN_PENALTY};
+use crate::regs::IREG_COUNT;
+use serde::{Deserialize, Serialize};
+use sw_arch::consts::VREG_COUNT;
+use sw_arch::V256;
+
+/// Hard cap on executed instructions, so a malformed loop fails fast
+/// instead of hanging the test suite.
+const MAX_EXECUTED: u64 = 200_000_000;
+
+/// Cycle and issue statistics of one program run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Total cycles from first issue to last issue (inclusive).
+    pub cycles: u64,
+    /// Instructions executed (dynamic count).
+    pub instructions: u64,
+    /// `vmad`s executed.
+    pub vmads: u64,
+    /// Cycles in which both pipelines issued.
+    pub dual_issue_cycles: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+}
+
+impl ExecReport {
+    /// Fraction of cycles that retired a `vmad` — the paper reports 97 %
+    /// for the scheduled kernel.
+    pub fn vmad_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.vmads as f64 / self.cycles as f64
+        }
+    }
+
+    /// Double-precision flops performed (8 per `vmad`).
+    pub fn flops(&self) -> u64 {
+        self.vmads * 8
+    }
+}
+
+/// One CPE: register files, an LDM view, and a communication port.
+pub struct Machine<'a, C: CommPort> {
+    /// Vector register file.
+    pub vregs: [V256; VREG_COUNT],
+    /// Integer register file.
+    pub iregs: [i64; IREG_COUNT],
+    ldm: &'a mut [f64],
+    comm: &'a mut C,
+}
+
+impl<'a, C: CommPort> Machine<'a, C> {
+    /// A machine with zeroed registers over the given LDM and port.
+    pub fn new(ldm: &'a mut [f64], comm: &'a mut C) -> Self {
+        Machine { vregs: [V256::ZERO; VREG_COUNT], iregs: [0; IREG_COUNT], ldm, comm }
+    }
+
+    fn addr(&self, base: crate::regs::IReg, off: i64) -> usize {
+        let a = self.iregs[base.idx()] + off;
+        assert!(a >= 0, "negative LDM address {a}");
+        let a = a as usize;
+        assert!(a < self.ldm.len(), "LDM address {a} beyond scratch pad ({} doubles)", self.ldm.len());
+        a
+    }
+
+    fn vaddr(&self, base: crate::regs::IReg, off: i64) -> usize {
+        let a = self.addr(base, off);
+        assert!(a.is_multiple_of(4), "vector LDM access at {a} is not 256-bit aligned");
+        assert!(a + 4 <= self.ldm.len(), "vector LDM access at {a} runs off the scratch pad");
+        a
+    }
+
+    /// Runs the program to completion, returning issue statistics.
+    pub fn run(&mut self, prog: &[Instr]) -> ExecReport {
+        let mut report = ExecReport::default();
+        // Scoreboard: the cycle at which each register's pending write
+        // completes.
+        let mut vready = [0u64; VREG_COUNT];
+        let mut iready = [0u64; IREG_COUNT];
+        // Issue state: current cycle and which pipes issued in it.
+        let mut cur: u64 = 0;
+        let mut p0_used = false;
+        let mut p1_used = false;
+        let mut last_issue: u64 = 0;
+        let mut pc = 0usize;
+
+        while pc < prog.len() {
+            let instr = prog[pc];
+            report.instructions += 1;
+            assert!(report.instructions <= MAX_EXECUTED, "instruction budget exhausted — runaway loop?");
+
+            // Earliest legal issue cycle: in order, sources ready (RAW),
+            // destination write drained (WAW).
+            let mut t = cur;
+            for r in instr.vsrcs() {
+                t = t.max(vready[r.idx()]);
+            }
+            for r in instr.isrcs() {
+                t = t.max(iready[r.idx()]);
+            }
+            if let Some(d) = instr.vdst() {
+                t = t.max(vready[d.idx()]);
+            }
+            if let Some(d) = instr.idst() {
+                t = t.max(iready[d.idx()]);
+            }
+            // Find a free slot on the instruction's pipe.
+            loop {
+                if t > cur {
+                    cur = t;
+                    p0_used = false;
+                    p1_used = false;
+                }
+                let used = match instr.pipe() {
+                    Pipe::P0 => &mut p0_used,
+                    Pipe::P1 => &mut p1_used,
+                };
+                if !*used {
+                    *used = true;
+                    break;
+                }
+                t += 1;
+            }
+            if p0_used && p1_used {
+                report.dual_issue_cycles += 1;
+            }
+            last_issue = last_issue.max(t);
+
+            // Retire: update the scoreboard and perform the effect.
+            if let Some(d) = instr.vdst() {
+                vready[d.idx()] = t + instr.latency();
+            }
+            if let Some(d) = instr.idst() {
+                iready[d.idx()] = t + instr.latency();
+            }
+            let mut next_pc = pc + 1;
+            match instr {
+                Instr::Vmad { a, b, c, d } => {
+                    report.vmads += 1;
+                    self.vregs[d.idx()] = self.vregs[a.idx()].fma(self.vregs[b.idx()], self.vregs[c.idx()]);
+                }
+                Instr::Vldd { d, base, off } => {
+                    let a = self.vaddr(base, off);
+                    self.vregs[d.idx()] = V256::load(&self.ldm[a..]);
+                }
+                Instr::Vstd { s, base, off } => {
+                    let a = self.vaddr(base, off);
+                    self.vregs[s.idx()].store(&mut self.ldm[a..a + 4]);
+                }
+                Instr::Ldde { d, base, off } => {
+                    let a = self.addr(base, off);
+                    self.vregs[d.idx()] = V256::splat(self.ldm[a]);
+                }
+                Instr::Vldr { d, base, off, net } => {
+                    let a = self.vaddr(base, off);
+                    let v = V256::load(&self.ldm[a..]);
+                    match net {
+                        crate::instr::Net::Row => self.comm.row_bcast(v),
+                        crate::instr::Net::Col => self.comm.col_bcast(v),
+                    }
+                    self.vregs[d.idx()] = v;
+                }
+                Instr::Lddec { d, base, off, net } => {
+                    let a = self.addr(base, off);
+                    let v = V256::splat(self.ldm[a]);
+                    match net {
+                        crate::instr::Net::Row => self.comm.row_bcast(v),
+                        crate::instr::Net::Col => self.comm.col_bcast(v),
+                    }
+                    self.vregs[d.idx()] = v;
+                }
+                Instr::Getr { d } => {
+                    self.vregs[d.idx()] = self.comm.getr();
+                }
+                Instr::Getc { d } => {
+                    self.vregs[d.idx()] = self.comm.getc();
+                }
+                Instr::Vclr { d } => {
+                    self.vregs[d.idx()] = V256::ZERO;
+                }
+                Instr::Addl { d, s, imm } => {
+                    self.iregs[d.idx()] = self.iregs[s.idx()] + imm;
+                }
+                Instr::Setl { d, imm } => {
+                    self.iregs[d.idx()] = imm;
+                }
+                Instr::Bne { s, target } => {
+                    if self.iregs[s.idx()] != 0 {
+                        report.taken_branches += 1;
+                        next_pc = target;
+                        // Pipeline refill bubble: nothing issues until
+                        // the fetch redirect completes.
+                        cur = t + 1 + BRANCH_TAKEN_PENALTY;
+                        p0_used = false;
+                        p1_used = false;
+                    }
+                }
+                Instr::Nop => {}
+            }
+            pc = next_pc;
+        }
+        report.cycles = if report.instructions == 0 { 0 } else { last_issue + 1 };
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{NullComm, ScriptedComm};
+    use crate::instr::Net;
+    use crate::regs::{IReg, VReg};
+
+    fn run(prog: &[Instr], ldm: &mut [f64]) -> (ExecReport, [V256; VREG_COUNT]) {
+        let mut comm = NullComm;
+        let mut m = Machine::new(ldm, &mut comm);
+        let r = m.run(prog);
+        (r, m.vregs)
+    }
+
+    #[test]
+    fn dual_issue_pairs_float_with_p1() {
+        // vmad + nop can share a cycle; two vmads cannot.
+        let v = Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) };
+        let w = Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(3), d: VReg(3) };
+        let mut ldm = vec![0.0; 64];
+        let (r, _) = run(&[v, Instr::Nop], &mut ldm);
+        assert_eq!(r.cycles, 1);
+        assert_eq!(r.dual_issue_cycles, 1);
+        let (r, _) = run(&[v, w], &mut ldm);
+        assert_eq!(r.cycles, 2);
+        assert_eq!(r.dual_issue_cycles, 0);
+    }
+
+    #[test]
+    fn raw_hazard_stalls_vmad_chain() {
+        // Two vmads accumulating into the same register serialize at the
+        // 6-cycle RAW latency.
+        let v = Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) };
+        let mut ldm = vec![0.0; 64];
+        let (r, _) = run(&[v, v], &mut ldm);
+        assert_eq!(r.cycles, 7); // issue at 0 and 6
+    }
+
+    #[test]
+    fn load_use_stall_is_four_cycles() {
+        let prog = [
+            Instr::Vldd { d: VReg(0), base: IReg(0), off: 0 },
+            Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) },
+        ];
+        let mut ldm = vec![0.0; 64];
+        let (r, _) = run(&prog, &mut ldm);
+        // load at 0, vmad at 4.
+        assert_eq!(r.cycles, 5);
+    }
+
+    #[test]
+    fn independent_load_pairs_with_vmad() {
+        let prog = [
+            Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) },
+            Instr::Vldd { d: VReg(3), base: IReg(0), off: 0 },
+        ];
+        let mut ldm = vec![0.0; 64];
+        let (r, _) = run(&prog, &mut ldm);
+        assert_eq!(r.cycles, 1);
+        assert_eq!(r.dual_issue_cycles, 1);
+    }
+
+    #[test]
+    fn functional_fma_and_loads() {
+        let mut ldm = vec![0.0; 64];
+        ldm[0..4].copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        ldm[8] = 10.0;
+        let prog = [
+            Instr::Vldd { d: VReg(0), base: IReg(0), off: 0 },
+            Instr::Ldde { d: VReg(1), base: IReg(0), off: 8 },
+            Instr::Vclr { d: VReg(2) },
+            Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) },
+            Instr::Vstd { s: VReg(2), base: IReg(0), off: 16 },
+        ];
+        let (_, _) = run(&prog, &mut ldm);
+        assert_eq!(&ldm[16..20], &[10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn loop_with_bne_executes_and_penalizes() {
+        // r1 = 3; loop { r1 -= 1; bne r1 } — 3 iterations, 2 taken.
+        let prog = [
+            Instr::Setl { d: IReg(1), imm: 3 },
+            Instr::Addl { d: IReg(1), s: IReg(1), imm: -1 },
+            Instr::Bne { s: IReg(1), target: 1 },
+        ];
+        let mut ldm = vec![0.0; 16];
+        let (r, _) = run(&prog, &mut ldm);
+        assert_eq!(r.taken_branches, 2);
+        assert_eq!(r.instructions, 7);
+    }
+
+    #[test]
+    fn broadcast_and_receive_via_scripted_comm() {
+        let mut ldm = vec![0.0; 16];
+        ldm[0..4].copy_from_slice(&[5.0, 6.0, 7.0, 8.0]);
+        ldm[4] = 2.5;
+        let mut comm = ScriptedComm::default();
+        comm.script_row_panel(&[1.0, 1.0, 1.0, 1.0]);
+        comm.script_col_scalars(&[3.0]);
+        let prog = [
+            Instr::Vldr { d: VReg(0), base: IReg(0), off: 0, net: Net::Row },
+            Instr::Lddec { d: VReg(1), base: IReg(0), off: 4, net: Net::Col },
+            Instr::Getr { d: VReg(2) },
+            Instr::Getc { d: VReg(3) },
+        ];
+        let mut m = Machine::new(&mut ldm, &mut comm);
+        m.run(&prog);
+        assert_eq!(m.vregs[0], V256::new([5.0, 6.0, 7.0, 8.0]));
+        assert_eq!(m.vregs[1], V256::splat(2.5));
+        assert_eq!(m.vregs[2], V256::splat(1.0));
+        assert_eq!(m.vregs[3], V256::splat(3.0));
+        assert_eq!(comm.row_out, vec![V256::new([5.0, 6.0, 7.0, 8.0])]);
+        assert_eq!(comm.col_out, vec![V256::splat(2.5)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_vector_access_panics() {
+        let mut ldm = vec![0.0; 16];
+        let prog = [Instr::Vldd { d: VReg(0), base: IReg(0), off: 2 }];
+        let _ = run(&prog, &mut ldm);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_ldm_access_panics() {
+        let mut ldm = vec![0.0; 16];
+        let prog = [Instr::Vldd { d: VReg(0), base: IReg(0), off: 16 }];
+        let _ = run(&prog, &mut ldm);
+    }
+
+    #[test]
+    fn waw_drains_before_overwrite() {
+        // A load followed by vclr of the same register: the clear must
+        // wait for the load's write-back.
+        let prog = [
+            Instr::Vldd { d: VReg(0), base: IReg(0), off: 0 },
+            Instr::Vclr { d: VReg(0) },
+        ];
+        let mut ldm = vec![0.0; 16];
+        let (r, regs) = run(&prog, &mut ldm);
+        assert_eq!(regs[0], V256::ZERO);
+        assert_eq!(r.cycles, 5); // vclr at cycle 4
+    }
+
+    #[test]
+    fn occupancy_statistics() {
+        let v = Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) };
+        let mut ldm = vec![0.0; 16];
+        let (r, _) = run(&[v], &mut ldm);
+        assert_eq!(r.vmads, 1);
+        assert_eq!(r.flops(), 8);
+        assert!((r.vmad_occupancy() - 1.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::comm::NullComm;
+    use crate::instr::Instr;
+    use crate::regs::{IReg, VReg};
+    use sw_arch::V256;
+
+    fn run(prog: &[Instr], ldm: &mut [f64]) -> ExecReport {
+        let mut comm = NullComm;
+        Machine::new(ldm, &mut comm).run(prog)
+    }
+
+    #[test]
+    fn same_cycle_war_reads_old_value() {
+        // vmad reads v0 in the same cycle a paired load overwrites it
+        // (the Algorithm 3 idiom): the vmad must see the old value.
+        let mut ldm = vec![0.0; 64];
+        ldm[0..4].copy_from_slice(&[9.0, 9.0, 9.0, 9.0]);
+        let prog = [
+            // v0 = 1.0 (splat from ldm[8]), v1 = 2.0, v2 = 0.
+            Instr::Ldde { d: VReg(0), base: IReg(0), off: 8 },
+            Instr::Ldde { d: VReg(1), base: IReg(0), off: 9 },
+            Instr::Vclr { d: VReg(2) },
+            Instr::Nop,
+            Instr::Nop,
+            // Pair: vmad v2 = v0*v1 + v2 ; reload v0 from ldm[0..4].
+            Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) },
+            Instr::Vldd { d: VReg(0), base: IReg(0), off: 0 },
+        ];
+        ldm[8] = 1.0;
+        ldm[9] = 2.0;
+        let mut comm = NullComm;
+        let mut m = Machine::new(&mut ldm, &mut comm);
+        let r = m.run(&prog);
+        // vmad used the old v0 (= 1.0): v2 = 2.0 per lane.
+        assert_eq!(m.vregs[2], V256::splat(2.0));
+        // And the load did land afterwards.
+        assert_eq!(m.vregs[0], V256::splat(9.0));
+        assert!(r.dual_issue_cycles >= 1);
+    }
+
+    #[test]
+    fn untaken_branch_costs_no_bubble() {
+        let prog = [
+            Instr::Setl { d: IReg(1), imm: 0 },
+            Instr::Bne { s: IReg(1), target: 0 }, // never taken
+            Instr::Nop,
+        ];
+        let mut ldm = vec![0.0; 16];
+        let r = run(&prog, &mut ldm);
+        assert_eq!(r.taken_branches, 0);
+        assert_eq!(r.instructions, 3);
+        // setl@0, bne@1 (needs r1 ready at 1), nop@2 (bne and nop are
+        // both P1) — and crucially no refill bubble beyond that.
+        assert!(r.cycles <= 3, "{}", r.cycles);
+    }
+
+    #[test]
+    fn two_p1_ops_cannot_share_a_cycle() {
+        let prog = [
+            Instr::Vclr { d: VReg(0) },
+            Instr::Vclr { d: VReg(1) },
+            Instr::Vclr { d: VReg(2) },
+        ];
+        let mut ldm = vec![0.0; 16];
+        let r = run(&prog, &mut ldm);
+        assert_eq!(r.cycles, 3);
+        assert_eq!(r.dual_issue_cycles, 0);
+    }
+
+    #[test]
+    fn store_then_load_sees_the_value() {
+        let mut ldm = vec![0.0; 32];
+        ldm[0..4].copy_from_slice(&[4.0, 3.0, 2.0, 1.0]);
+        let prog = [
+            Instr::Vldd { d: VReg(0), base: IReg(0), off: 0 },
+            Instr::Vstd { s: VReg(0), base: IReg(0), off: 16 },
+            Instr::Vldd { d: VReg(1), base: IReg(0), off: 16 },
+        ];
+        let mut comm = NullComm;
+        let mut m = Machine::new(&mut ldm, &mut comm);
+        m.run(&prog);
+        assert_eq!(m.vregs[1], V256::new([4.0, 3.0, 2.0, 1.0]));
+    }
+
+    #[test]
+    fn empty_program_is_zero_cycles() {
+        let mut ldm = vec![0.0; 16];
+        let r = run(&[], &mut ldm);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.instructions, 0);
+        assert_eq!(r.vmad_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn integer_register_dependencies_respected() {
+        // addl chain: each depends on the previous (latency 1).
+        let prog = [
+            Instr::Setl { d: IReg(1), imm: 5 },
+            Instr::Addl { d: IReg(1), s: IReg(1), imm: 5 },
+            Instr::Addl { d: IReg(2), s: IReg(1), imm: 1 },
+        ];
+        let mut ldm = vec![0.0; 16];
+        let mut comm = NullComm;
+        let mut m = Machine::new(&mut ldm, &mut comm);
+        let r = m.run(&prog);
+        assert_eq!(m.iregs[1], 10);
+        assert_eq!(m.iregs[2], 11);
+        assert_eq!(r.cycles, 3); // serial on P1 with 1-cycle latencies
+    }
+}

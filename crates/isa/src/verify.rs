@@ -1,0 +1,217 @@
+//! Static verification of kernel streams.
+//!
+//! Generated and hand-scheduled kernels are checked before they ever
+//! execute: [`check`] walks a stream and reports structural problems
+//! that on real hardware would be silent corruption, a wedged mesh, or
+//! an icache thrash. The generator tests run every emitted kernel
+//! through it.
+
+use crate::instr::{Instr, Net};
+use crate::looped::{fits_icache, icache_footprint_bytes};
+use sw_arch::consts::VREG_COUNT;
+
+/// One verification finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Issue {
+    /// A vector register index ≥ 32.
+    BadVReg {
+        /// Instruction index.
+        at: usize,
+        /// Offending register index.
+        reg: u8,
+    },
+    /// A vector memory access with a statically-known misaligned
+    /// address (base register never written ⇒ offset must be 256-bit
+    /// aligned).
+    Misaligned {
+        /// Instruction index.
+        at: usize,
+        /// The static offset.
+        off: i64,
+    },
+    /// A register is read before any instruction writes it (only
+    /// flagged for the kernel's scratch conventions, v0–v15; reading
+    /// preserved registers is legal).
+    ReadBeforeWrite {
+        /// Instruction index.
+        at: usize,
+        /// Offending register index.
+        reg: u8,
+    },
+    /// A branch targets an instruction index outside the stream.
+    BadBranchTarget {
+        /// Instruction index.
+        at: usize,
+        /// The bogus target.
+        target: usize,
+    },
+    /// The stream exceeds the 16 KB instruction cache.
+    IcacheOverflow {
+        /// Encoded size in bytes.
+        bytes: usize,
+    },
+    /// Broadcasts and receives on one network inside a single
+    /// (branch-free) stream — a CPE never receives its own broadcast,
+    /// so a stream that does both on the same network in the same role
+    /// is almost certainly a role-assignment bug.
+    MixedCommRole {
+        /// The network used both ways.
+        net: Net,
+    },
+}
+
+/// Statically checks a kernel stream. An empty result means the stream
+/// passes.
+pub fn check(prog: &[Instr]) -> Vec<Issue> {
+    let mut issues = Vec::new();
+    let mut vwritten = [false; VREG_COUNT];
+    let has_branch = prog.iter().any(|i| matches!(i, Instr::Bne { .. }));
+    let mut sent = [false; 2];
+    let mut received = [false; 2];
+
+    for (at, instr) in prog.iter().enumerate() {
+        // Register indices.
+        for r in instr.vsrcs().into_iter().chain(instr.vdst()) {
+            if r.0 as usize >= VREG_COUNT {
+                issues.push(Issue::BadVReg { at, reg: r.0 });
+            }
+        }
+        // Read-before-write on the scratch registers (v0..v16). With
+        // branches the linear scan over-approximates; skip then.
+        if !has_branch {
+            for r in instr.vsrcs() {
+                if (r.0 as usize) < 16 && !vwritten[r.idx()] {
+                    issues.push(Issue::ReadBeforeWrite { at, reg: r.0 });
+                }
+            }
+            if let Some(d) = instr.vdst() {
+                if (d.0 as usize) < VREG_COUNT {
+                    vwritten[d.idx()] = true;
+                }
+            }
+        }
+        // Static alignment (only decidable when the base register is
+        // the conventional zero register r0 and never reassigned —
+        // cheap and catches the absolute-addressing generators).
+        match *instr {
+            Instr::Vldd { base, off, .. }
+            | Instr::Vstd { base, off, .. }
+            | Instr::Vldr { base, off, .. }
+                if base.0 == 0 && off % 4 != 0 =>
+            {
+                issues.push(Issue::Misaligned { at, off });
+            }
+            Instr::Bne { target, .. } if target >= prog.len() => {
+                issues.push(Issue::BadBranchTarget { at, target });
+            }
+            _ => {}
+        }
+        // Communication roles.
+        match instr {
+            Instr::Vldr { net, .. } | Instr::Lddec { net, .. } => {
+                sent[net_idx(*net)] = true;
+            }
+            Instr::Getr { .. } => received[0] = true,
+            Instr::Getc { .. } => received[1] = true,
+            _ => {}
+        }
+    }
+    for (i, net) in [(0, Net::Row), (1, Net::Col)] {
+        if sent[i] && received[i] {
+            issues.push(Issue::MixedCommRole { net });
+        }
+    }
+    if !fits_icache(prog) {
+        issues.push(Issue::IcacheOverflow { bytes: icache_footprint_bytes(prog) });
+    }
+    issues
+}
+
+fn net_idx(net: Net) -> usize {
+    match net {
+        Net::Row => 0,
+        Net::Col => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{gen_block_kernel, BlockKernelCfg, KernelStyle, Operand};
+    use crate::looped::gen_block_kernel_looped;
+    use crate::regs::{IReg, VReg};
+    use crate::sched::list_schedule;
+
+    fn cfg(a: Operand, b: Operand) -> BlockKernelCfg {
+        BlockKernelCfg {
+            pm: 16,
+            pn: 8,
+            pk: 16,
+            a_src: a,
+            b_src: b,
+            a_base: 0,
+            b_base: 2048,
+            c_base: 4096,
+            alpha_addr: 8000,
+        }
+    }
+
+    #[test]
+    fn generated_kernels_pass() {
+        for a in [Operand::Ldm, Operand::LdmBcast(Net::Row), Operand::Recv(Net::Row)] {
+            for b in [Operand::Ldm, Operand::LdmBcast(Net::Col), Operand::Recv(Net::Col)] {
+                let c = cfg(a, b);
+                for style in [KernelStyle::Naive, KernelStyle::Scheduled] {
+                    let unrolled = gen_block_kernel(&c, style);
+                    assert_eq!(check(&unrolled), vec![], "{a:?}/{b:?}/{style:?} unrolled");
+                    let looped = gen_block_kernel_looped(&c, style, 2);
+                    assert_eq!(check(&looped), vec![], "{a:?}/{b:?}/{style:?} looped");
+                }
+                let auto = list_schedule(&gen_block_kernel(&c, KernelStyle::Naive));
+                assert_eq!(check(&auto), vec![], "{a:?}/{b:?} list-scheduled");
+            }
+        }
+    }
+
+    #[test]
+    fn misalignment_flagged() {
+        let prog = [Instr::Vldd { d: VReg(0), base: IReg(0), off: 6 }];
+        assert!(matches!(check(&prog)[0], Issue::Misaligned { off: 6, .. }));
+    }
+
+    #[test]
+    fn read_before_write_flagged() {
+        let prog = [Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) }];
+        let issues = check(&prog);
+        assert!(issues.iter().any(|i| matches!(i, Issue::ReadBeforeWrite { reg: 0, .. })));
+    }
+
+    #[test]
+    fn bad_branch_flagged() {
+        let prog = [Instr::Setl { d: IReg(1), imm: 1 }, Instr::Bne { s: IReg(1), target: 99 }];
+        assert!(check(&prog).iter().any(|i| matches!(i, Issue::BadBranchTarget { target: 99, .. })));
+    }
+
+    #[test]
+    fn mixed_role_flagged() {
+        let prog = [
+            Instr::Vldr { d: VReg(0), base: IReg(0), off: 0, net: Net::Row },
+            Instr::Getr { d: VReg(1) },
+        ];
+        assert!(check(&prog).iter().any(|i| matches!(i, Issue::MixedCommRole { net: Net::Row })));
+    }
+
+    #[test]
+    fn icache_overflow_flagged() {
+        let c = BlockKernelCfg { pm: 16, pn: 32, pk: 96, ..cfg(Operand::Ldm, Operand::Ldm) };
+        let unrolled = gen_block_kernel(&c, KernelStyle::Scheduled);
+        let issues = check(&unrolled);
+        assert!(
+            issues.iter().all(|i| matches!(i, Issue::IcacheOverflow { .. })),
+            "production unrolled kernel should only trip the icache check: {issues:?}"
+        );
+        assert!(!issues.is_empty());
+        // And the looped production kernel passes completely.
+        assert_eq!(check(&gen_block_kernel_looped(&c, KernelStyle::Scheduled, 4)), vec![]);
+    }
+}

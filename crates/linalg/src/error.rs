@@ -1,0 +1,41 @@
+//! Error type of the linear-algebra layer.
+
+use std::fmt;
+use sw_dgemm::DgemmError;
+
+/// Errors from the blocked algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// The matrix is numerically singular (pivot below threshold at the
+    /// given elimination step).
+    Singular {
+        /// Elimination step at which the pivot vanished.
+        step: usize,
+        /// The offending pivot magnitude.
+        pivot: f64,
+    },
+    /// Shape mismatch between operands.
+    BadShape(String),
+    /// The underlying simulated GEMM failed.
+    Gemm(DgemmError),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { step, pivot } => {
+                write!(f, "matrix is singular: pivot {pivot:e} at step {step}")
+            }
+            LinalgError::BadShape(s) => write!(f, "shape error: {s}"),
+            LinalgError::Gemm(e) => write!(f, "GEMM backend error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+impl From<DgemmError> for LinalgError {
+    fn from(e: DgemmError) -> Self {
+        LinalgError::Gemm(e)
+    }
+}

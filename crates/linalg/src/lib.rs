@@ -1,0 +1,31 @@
+//! Dense linear algebra built on the simulated SW26010 DGEMM.
+//!
+//! The paper motivates DGEMM as the performance-critical basis of HPL
+//! and of dense solvers generally, and its conclusion proposes
+//! extending the methodology "to other dense matrix kernels". This
+//! crate is that layer: blocked algorithms whose O(n³) inner updates
+//! route through the [`sw_dgemm`] public API —
+//!
+//! * [`lu`] — right-looking blocked LU with partial pivoting (the HPL
+//!   computation) plus forward/backward solves,
+//! * [`trsm`] — blocked triangular solve with multiple right-hand
+//!   sides,
+//! * [`mod@syrk`] — blocked symmetric rank-k update,
+//!
+//! all parameterized over a [`GemmBackend`] so the same algorithm runs
+//! against the 64-thread simulator (`Backend::Simulated`) or a plain
+//! host GEMM (`Backend::Host`) — which is also how the tests prove the
+//! simulated path exact.
+
+pub mod backend;
+pub mod error;
+pub mod lu;
+pub mod syrk;
+pub mod trsm;
+
+pub use backend::{Backend, GemmBackend};
+pub use error::LinalgError;
+pub use lu::{lu_factor, lu_residual, lu_solve, LuFactors};
+pub use sw_dgemm::Matrix;
+pub use syrk::{syrk, Uplo};
+pub use trsm::{trsm_left, Diag};

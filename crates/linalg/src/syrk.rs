@@ -1,0 +1,154 @@
+//! Blocked symmetric rank-k update (`SYRK`):
+//! `C ← α·A·Aᵀ + β·C`, touching only one triangle of C.
+//!
+//! The blocked form walks `nb × nb` tiles of the chosen triangle;
+//! off-diagonal tiles are full GEMMs through the backend, diagonal
+//! tiles are computed host-side (only their triangle is stored, so a
+//! rectangular GEMM would overwrite the untouched half).
+
+use crate::backend::{store, window, GemmBackend};
+use crate::LinalgError;
+use sw_dgemm::Matrix;
+
+/// Which triangle of a symmetric matrix an operation references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Uplo {
+    /// The lower triangle.
+    Lower,
+    /// The upper triangle.
+    Upper,
+}
+
+/// `C ← α·A·Aᵀ + β·C` on the `uplo` triangle of the n×n matrix `c`,
+/// where `a` is n×k; off-triangle entries of `c` are left untouched.
+pub fn syrk(
+    uplo: Uplo,
+    alpha: f64,
+    a: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+    nb: usize,
+    backend: &dyn GemmBackend,
+) -> Result<(), LinalgError> {
+    let n = a.rows();
+    if c.rows() != n || c.cols() != n {
+        return Err(LinalgError::BadShape(format!(
+            "C must be {n}x{n} to match A ({n}x{}), got {}x{}",
+            a.cols(),
+            c.rows(),
+            c.cols()
+        )));
+    }
+    if nb == 0 {
+        return Err(LinalgError::BadShape("block width must be positive".into()));
+    }
+    let k = a.cols();
+    let blocks: Vec<(usize, usize)> = (0..n).step_by(nb).map(|b0| (b0, nb.min(n - b0))).collect();
+    for &(i0, ih) in &blocks {
+        for &(j0, jh) in &blocks {
+            let off_tri = match uplo {
+                Uplo::Lower => i0 > j0,
+                Uplo::Upper => i0 < j0,
+            };
+            if off_tri {
+                // Full tile: C(i,j) = α·A(i,:)·A(j,:)ᵀ + β·C(i,j).
+                let ai = window(a, i0, 0, ih, k);
+                let ajt = Matrix::from_fn(k, jh, |r, cc| a.get(j0 + cc, r));
+                let mut cij = window(c, i0, j0, ih, jh);
+                backend.gemm(alpha, &ai, &ajt, beta, &mut cij)?;
+                store(c, i0, j0, &cij);
+            } else if i0 == j0 {
+                // Diagonal tile: only its triangle is updated.
+                for jj in 0..ih {
+                    let range: Box<dyn Iterator<Item = usize>> = match uplo {
+                        Uplo::Lower => Box::new(jj..ih),
+                        Uplo::Upper => Box::new(0..=jj),
+                    };
+                    for ii in range {
+                        let mut acc = 0.0;
+                        for t in 0..k {
+                            acc += a.get(i0 + ii, t) * a.get(j0 + jj, t);
+                        }
+                        let v = alpha * acc + beta * c.get(i0 + ii, j0 + jj);
+                        c.set(i0 + ii, j0 + jj, v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Backend;
+    use sw_dgemm::gen::random_matrix;
+
+    /// Dense reference: full α·A·Aᵀ + β·C.
+    fn full_reference(alpha: f64, a: &Matrix, beta: f64, c: &Matrix) -> Matrix {
+        let n = a.rows();
+        Matrix::from_fn(n, n, |i, j| {
+            let mut acc = 0.0;
+            for t in 0..a.cols() {
+                acc += a.get(i, t) * a.get(j, t);
+            }
+            alpha * acc + beta * c.get(i, j)
+        })
+    }
+
+    fn check(uplo: Uplo, nb: usize) {
+        let (n, k) = (40, 24);
+        let a = random_matrix(n, k, 20);
+        let c0 = random_matrix(n, n, 21);
+        let mut c = c0.clone();
+        syrk(uplo, 1.5, &a, -0.5, &mut c, nb, &Backend::Host).unwrap();
+        let expect = full_reference(1.5, &a, -0.5, &c0);
+        for j in 0..n {
+            for i in 0..n {
+                let in_tri = match uplo {
+                    Uplo::Lower => i >= j,
+                    Uplo::Upper => i <= j,
+                };
+                if in_tri {
+                    assert!(
+                        (c.get(i, j) - expect.get(i, j)).abs() < 1e-10,
+                        "{uplo:?} nb={nb} ({i},{j})"
+                    );
+                } else {
+                    assert_eq!(c.get(i, j), c0.get(i, j), "off-triangle must be untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_and_upper_various_blockings() {
+        for uplo in [Uplo::Lower, Uplo::Upper] {
+            for nb in [1usize, 8, 13, 40, 64] {
+                check(uplo, nb);
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_symmetric_when_both_triangles_computed() {
+        let (n, k) = (32, 16);
+        let a = random_matrix(n, k, 22);
+        let mut c = Matrix::zeros(n, n);
+        syrk(Uplo::Lower, 1.0, &a, 0.0, &mut c, 8, &Backend::Host).unwrap();
+        syrk(Uplo::Upper, 1.0, &a, 0.0, &mut c, 8, &Backend::Host).unwrap();
+        for j in 0..n {
+            for i in 0..n {
+                assert!((c.get(i, j) - c.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_checked() {
+        let a = Matrix::zeros(8, 4);
+        let mut c = Matrix::zeros(7, 8);
+        assert!(syrk(Uplo::Lower, 1.0, &a, 0.0, &mut c, 4, &Backend::Host).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! DMA descriptors: what a transfer references, and the validation rules
+//! the hardware imposes (128 B alignment / granularity).
+
+use crate::main_memory::{MainMemory, MatId};
+use crate::MemError;
+use serde::{Deserialize, Serialize};
+use sw_arch::consts::DMA_TRANSACTION_DOUBLES;
+
+/// The five DMA distribution modes of the SW26010 (§II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DmaMode {
+    /// Single-CPE transfer.
+    Pe,
+    /// Broadcast to all 64 CPEs.
+    Bcast,
+    /// Collective transfer interleaved over the 8 CPEs of one mesh row.
+    Row,
+    /// Broadcast to the 8 CPEs of one mesh row.
+    Brow,
+    /// Transaction-wise round-robin over all 64 CPEs.
+    Rank,
+}
+
+impl DmaMode {
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DmaMode::Pe => "pe",
+            DmaMode::Bcast => "bcast",
+            DmaMode::Row => "row",
+            DmaMode::Brow => "brow",
+            DmaMode::Rank => "rank",
+        }
+    }
+}
+
+/// A rectangular region of a column-major matrix in main memory.
+///
+/// The *element stream* of a region is its elements in column-major
+/// order: column `col0` rows `row0..row0+rows`, then column `col0 + 1`,
+/// and so on — which is exactly the order a strided DMA walks memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatRegion {
+    /// The matrix being addressed.
+    pub mat: MatId,
+    /// First row of the region.
+    pub row0: usize,
+    /// First column of the region.
+    pub col0: usize,
+    /// Rows per column (the contiguous run length in memory).
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl MatRegion {
+    /// Builds a region covering `rows × cols` at `(row0, col0)`.
+    pub fn new(mat: MatId, row0: usize, col0: usize, rows: usize, cols: usize) -> Self {
+        MatRegion { mat, row0, col0, rows, cols }
+    }
+
+    /// Total elements in the region (= stream length).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// True when the region is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes in the region.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.len() * 8
+    }
+
+    /// Validates the region against the matrix bounds and the 128 B
+    /// DMA granularity rules:
+    ///
+    /// * region within the matrix,
+    /// * each per-column run starts on a 128 B boundary (⇒ `row0` and
+    ///   the leading dimension are multiples of 16 doubles),
+    /// * each run is a whole number of transactions (`rows % 16 == 0`).
+    ///
+    /// These are the constraints that force the paper's `pK` to be a
+    /// multiple of 16 (§III-C.2).
+    pub fn validate(&self, mem: &MainMemory) -> Result<(), MemError> {
+        let b = mem.buffer(self.mat)?;
+        if self.row0 + self.rows > b.rows || self.col0 + self.cols > b.cols {
+            return Err(MemError::OutOfBounds {
+                what: format!(
+                    "region {}+{} x {}+{} exceeds matrix {} x {}",
+                    self.row0, self.rows, self.col0, self.cols, b.rows, b.cols
+                ),
+            });
+        }
+        if self.is_empty() {
+            return Err(MemError::BadDescriptor { what: "empty region".into() });
+        }
+        let t = DMA_TRANSACTION_DOUBLES;
+        if !self.row0.is_multiple_of(t) || b.rows % t != 0 {
+            return Err(MemError::DmaAlignment {
+                what: format!(
+                    "column run start (row0={} lda={}) not 128 B-aligned",
+                    self.row0, b.rows
+                ),
+            });
+        }
+        if !self.rows.is_multiple_of(t) {
+            return Err(MemError::DmaAlignment {
+                what: format!("run length {} doubles is not a whole number of 128 B transactions", self.rows),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What a completed functional DMA reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Receipt {
+    /// Bytes that landed in (or left) *this* CPE's LDM.
+    pub bytes_cpe: usize,
+    /// Bytes of the whole transfer (equals `bytes_cpe` for `Pe`, is 8×
+    /// for `Row`, 64× for `Rank`, …).
+    pub bytes_total: usize,
+    /// The mode that was used.
+    pub mode: DmaMode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HostMatrix;
+
+    fn mem_with(rows: usize, cols: usize) -> (MainMemory, MatId) {
+        let mut mem = MainMemory::new();
+        let id = mem.install(HostMatrix::zeros(rows, cols)).unwrap();
+        (mem, id)
+    }
+
+    #[test]
+    fn in_bounds_aligned_ok() {
+        let (mem, id) = mem_with(128, 64);
+        MatRegion::new(id, 16, 3, 32, 10).validate(&mem).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let (mem, id) = mem_with(128, 64);
+        let err = MatRegion::new(id, 112, 0, 32, 1).validate(&mem).unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn misaligned_row0_rejected() {
+        let (mem, id) = mem_with(128, 64);
+        let err = MatRegion::new(id, 8, 0, 16, 1).validate(&mem).unwrap_err();
+        assert!(matches!(err, MemError::DmaAlignment { .. }));
+    }
+
+    #[test]
+    fn misaligned_lda_rejected() {
+        let (mem, id) = mem_with(120, 64);
+        let err = MatRegion::new(id, 0, 0, 16, 1).validate(&mem).unwrap_err();
+        assert!(matches!(err, MemError::DmaAlignment { .. }));
+    }
+
+    #[test]
+    fn partial_transaction_rejected() {
+        let (mem, id) = mem_with(128, 64);
+        let err = MatRegion::new(id, 0, 0, 24, 1).validate(&mem).unwrap_err();
+        assert!(matches!(err, MemError::DmaAlignment { .. }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let (mem, id) = mem_with(128, 64);
+        let err = MatRegion::new(id, 0, 0, 0, 4).validate(&mem).unwrap_err();
+        assert!(matches!(err, MemError::BadDescriptor { .. }));
+    }
+
+    #[test]
+    fn stream_length() {
+        let (_, id) = mem_with(128, 64);
+        let r = MatRegion::new(id, 0, 0, 32, 4);
+        assert_eq!(r.len(), 128);
+        assert_eq!(r.bytes(), 1024);
+    }
+}

@@ -1,0 +1,32 @@
+//! The DMA engine of one core group.
+//!
+//! A CPE moves data between main memory and its LDM by issuing DMA
+//! descriptors. The hardware offers five distribution modes (§II):
+//!
+//! * [`DmaMode::Pe`] — between main memory and the LDM of the single
+//!   issuing CPE.
+//! * [`DmaMode::Bcast`] — the same main-memory data to the LDM of all 64
+//!   CPEs.
+//! * [`DmaMode::Row`] — between main memory and the LDMs of the 8 CPEs
+//!   of one mesh row collectively: each 128 B transaction is split into
+//!   eight 16 B slices dealt round-robin to the CPEs of the row (so CPE
+//!   in mesh column `c` receives slices `c, c+8, c+16, …` of the
+//!   element stream).
+//! * [`DmaMode::Brow`] — the same data broadcast to the 8 CPEs of one
+//!   row.
+//! * [`DmaMode::Rank`] — the element stream dealt out transaction-wise
+//!   (128 B granules) round-robin over all 64 CPEs in id order.
+//!
+//! All modes require 128 B alignment and transfer whole 128 B
+//! transactions; [`descriptor`] validates this. [`functional`] performs
+//! the actual data movement for the 64-thread functional runtime, and
+//! [`model`] provides the calibrated sustained-bandwidth curves used by
+//! the timing engine (and by the Figure 4 micro-benchmark).
+
+pub mod descriptor;
+pub mod functional;
+pub mod model;
+
+pub use descriptor::{DmaMode, MatRegion, Receipt};
+pub use functional::{bcast_get, brow_get, pe_get, pe_put, rank_get, row_get, row_put};
+pub use model::BandwidthModel;

@@ -1,0 +1,64 @@
+//! Error type shared by the memory subsystem.
+
+use std::fmt;
+
+/// Errors raised by main memory, LDM, and DMA operations.
+///
+/// On the real machine most of these conditions are undefined behaviour
+/// or a wedged DMA engine; the simulator turns them into typed errors so
+/// tests can assert on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// LDM bump allocation would exceed the 64 KB scratch pad.
+    LdmOverflow {
+        /// Doubles requested by the failing allocation.
+        requested: usize,
+        /// Doubles still free.
+        available: usize,
+    },
+    /// A DMA descriptor violates the 128 B alignment / granularity rule.
+    DmaAlignment {
+        /// Human-readable description of the violated constraint.
+        what: String,
+    },
+    /// A DMA descriptor references memory outside the target buffer.
+    OutOfBounds {
+        /// Human-readable description of the offending access.
+        what: String,
+    },
+    /// A matrix id does not exist in this `MainMemory`.
+    UnknownMatrix(usize),
+    /// A matrix allocation exceeds the 8 GB main memory of the CG.
+    MainMemoryExhausted {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes remaining.
+        available: usize,
+    },
+    /// A descriptor is invalid for the requested DMA mode.
+    BadDescriptor {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::LdmOverflow { requested, available } => write!(
+                f,
+                "LDM overflow: requested {requested} doubles, {available} free (64 KB scratch pad)"
+            ),
+            MemError::DmaAlignment { what } => write!(f, "DMA alignment violation: {what}"),
+            MemError::OutOfBounds { what } => write!(f, "out-of-bounds access: {what}"),
+            MemError::UnknownMatrix(id) => write!(f, "unknown matrix id {id}"),
+            MemError::MainMemoryExhausted { requested, available } => write!(
+                f,
+                "main memory exhausted: requested {requested} B, {available} B free"
+            ),
+            MemError::BadDescriptor { what } => write!(f, "bad DMA descriptor: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

@@ -1,0 +1,32 @@
+//! Memory subsystem of the SW26010 core-group simulator.
+//!
+//! Three storage levels appear in the paper's three-level blocking
+//! hierarchy; this crate provides the bottom two:
+//!
+//! * [`MainMemory`] — the 8 GB off-chip memory a core group shares.
+//!   Matrices are installed into it in column-major layout and may only
+//!   be touched by CPEs through DMA, mirroring the hardware rule.
+//! * [`Ldm`] — the 64 KB local device memory (scratch pad) of one CPE,
+//!   with a checked bump allocator. Exceeding 64 KB is a hard error,
+//!   exactly the constraint that drives thread-level block-size
+//!   selection (§III-C.2).
+//! * [`dma`] — the DMA engine: descriptors for the five transfer modes
+//!   (`PE`, `BCAST`, `ROW`, `BROW`, `RANK`), 128 B alignment validation,
+//!   functional execution, and the calibrated sustained-bandwidth timing
+//!   model that reproduces Figure 4.
+//!
+//! The register level of the hierarchy lives in `sw-isa`.
+
+pub mod dma;
+pub mod error;
+pub mod ldm;
+pub mod main_memory;
+pub mod matrix;
+pub mod microbench;
+pub mod swcache;
+
+pub use error::MemError;
+pub use ldm::{Ldm, LdmBuf};
+pub use main_memory::{MainMemory, MatId};
+pub use matrix::HostMatrix;
+pub use swcache::{CacheStats, SoftCache};

@@ -1,0 +1,151 @@
+//! Column-major host matrices.
+//!
+//! All matrices in the paper's implementation are stored in column-major
+//! format (§III). [`HostMatrix`] is the owned, host-side representation;
+//! it is installed into [`crate::MainMemory`] before a run and read back
+//! afterwards.
+
+use serde::{Deserialize, Serialize};
+
+/// An owned, dense, column-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostMatrix {
+    rows: usize,
+    cols: usize,
+    /// `data[c * rows + r]` holds element `(r, c)`.
+    data: Vec<f64>,
+}
+
+impl HostMatrix {
+    /// Zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        HostMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from a column-major slice.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "column-major data length mismatch");
+        HostMatrix { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = vec![0.0; rows * cols];
+        for c in 0..cols {
+            for r in 0..rows {
+                data[c * rows + r] = f(r, c);
+            }
+        }
+        HostMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension (= rows; the simulator stores matrices densely).
+    #[inline]
+    pub fn lda(&self) -> usize {
+        self.rows
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[c * self.rows + r]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[c * self.rows + r] = v;
+    }
+
+    /// The backing column-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its column-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// One column as a slice.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[f64] {
+        &self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Maximum absolute element (∞-norm over entries), used by the
+    /// numerical-accuracy checks.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Maximum absolute difference against another matrix of the same
+    /// shape.
+    pub fn max_abs_diff(&self, other: &HostMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_column_major() {
+        let m = HostMatrix::from_fn(3, 2, |r, c| (r * 10 + c) as f64);
+        // Column 0 then column 1.
+        assert_eq!(m.as_slice(), &[0.0, 10.0, 20.0, 1.0, 11.0, 21.0]);
+        assert_eq!(m.get(2, 1), 21.0);
+        assert_eq!(m.col(1), &[1.0, 11.0, 21.0]);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = HostMatrix::zeros(4, 4);
+        m.set(3, 2, 7.5);
+        assert_eq!(m.get(3, 2), 7.5);
+        assert_eq!(m.max_abs(), 7.5);
+    }
+
+    #[test]
+    fn diff_norm() {
+        let a = HostMatrix::from_fn(2, 2, |r, c| (r + c) as f64);
+        let mut b = a.clone();
+        b.set(1, 1, b.get(1, 1) + 0.25);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_len_panics() {
+        let _ = HostMatrix::from_col_major(2, 2, vec![1.0; 3]);
+    }
+}

@@ -1,0 +1,163 @@
+//! The DMA-mode micro-benchmark of §IV-A (Figure 4).
+//!
+//! The paper compares the sustained bandwidth of `PE_MODE` and
+//! `ROW_MODE` by loading the CG-level blocks of an m×k matrix
+//! sequentially into the LDMs of the 64 CPEs, with the DGEMM access
+//! pattern (bM = 128, bK = 768, pM = 16, pK = 96). This module rebuilds
+//! that benchmark on the timing model: it walks the same descriptor
+//! sequence each mode would issue and reports total bytes over total
+//! modelled time.
+//!
+//! * `PE_MODE` issues one descriptor per CPE per CG block (64 per
+//!   block), each covering a pM×pK thread block — contiguous runs of
+//!   pM doubles.
+//! * `ROW_MODE` issues one collective descriptor per bM×pK column slab
+//!   (8 per block), each serving a whole mesh row — contiguous runs of
+//!   bM doubles.
+//!
+//! Descriptors within a block are pipelined on the channel (wire times
+//! add, startups overlap); one startup is paid per block.
+
+use crate::dma::{BandwidthModel, DmaMode};
+use sw_arch::coord::N_CPES;
+use sw_arch::time::cycles_to_secs;
+
+/// Blocking configuration of the micro-benchmark (defaults to the
+/// paper's Figure 4 parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicrobenchConfig {
+    /// CG-level block rows.
+    pub bm: usize,
+    /// CG-level block columns.
+    pub bk: usize,
+    /// Thread-level block rows.
+    pub pm: usize,
+    /// Thread-level block columns.
+    pub pk: usize,
+}
+
+impl Default for MicrobenchConfig {
+    fn default() -> Self {
+        // §IV-A: "we set bM = 128, bK = 768, pM = 16, and pK = 96".
+        MicrobenchConfig { bm: 128, bk: 768, pm: 16, pk: 96 }
+    }
+}
+
+impl MicrobenchConfig {
+    /// Validates divisibility: the CG block must tile into an 8×8 grid
+    /// of thread blocks and the matrix into CG blocks.
+    pub fn validate(&self, m: usize, k: usize) -> Result<(), String> {
+        if self.bm != 8 * self.pm || self.bk != 8 * self.pk {
+            return Err(format!(
+                "CG block {}x{} is not an 8x8 grid of {}x{} thread blocks",
+                self.bm, self.bk, self.pm, self.pk
+            ));
+        }
+        if !m.is_multiple_of(self.bm) || !k.is_multiple_of(self.bk) {
+            return Err(format!("matrix {m}x{k} does not tile into {}x{} CG blocks", self.bm, self.bk));
+        }
+        Ok(())
+    }
+}
+
+/// Modelled sustained bandwidth (GB/s) of loading every CG block of an
+/// m×k matrix in the given mode — one point of Figure 4.
+pub fn sustained_bandwidth_gbs(
+    model: &BandwidthModel,
+    mode: DmaMode,
+    m: usize,
+    k: usize,
+    cfg: &MicrobenchConfig,
+) -> f64 {
+    cfg.validate(m, k).expect("invalid micro-benchmark configuration");
+    let footprint = m * k * 8;
+    let blocks = (m / cfg.bm) * (k / cfg.bk);
+    let (descriptors_per_block, desc_bytes, run_bytes) = match mode {
+        // 64 thread-block descriptors, runs of pM doubles.
+        DmaMode::Pe => (N_CPES, cfg.pm * cfg.pk * 8, cfg.pm * 8),
+        // 8 column-slab collectives, runs of bM doubles.
+        DmaMode::Row => (8, cfg.bm * cfg.pk * 8, cfg.bm * 8),
+        _ => panic!("the Figure 4 micro-benchmark compares PE_MODE and ROW_MODE only"),
+    };
+    let gbs = model.sustained_gbs(mode, run_bytes, footprint);
+    let wire_secs_per_block = descriptors_per_block as f64 * desc_bytes as f64 / (gbs * 1.0e9);
+    let startup_secs = cycles_to_secs(model.startup_cycles);
+    let total_secs = blocks as f64 * (wire_secs_per_block + startup_secs);
+    let total_bytes = blocks as f64 * descriptors_per_block as f64 * desc_bytes as f64;
+    total_bytes / total_secs / 1.0e9
+}
+
+/// One row of the Figure 4 table: matrix size and both bandwidths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig4Point {
+    /// m = k.
+    pub mk: usize,
+    /// `PE_MODE` sustained bandwidth, GB/s.
+    pub pe_gbs: f64,
+    /// `ROW_MODE` sustained bandwidth, GB/s.
+    pub row_gbs: f64,
+}
+
+/// Regenerates the full Figure 4 sweep (m = k ∈ {1536, 3072, …, 15360}).
+///
+/// ```
+/// use sw_mem::dma::BandwidthModel;
+/// let pts = sw_mem::microbench::fig4_sweep(&BandwidthModel::calibrated());
+/// assert!(pts.iter().all(|p| p.row_gbs > p.pe_gbs));
+/// ```
+pub fn fig4_sweep(model: &BandwidthModel) -> Vec<Fig4Point> {
+    let cfg = MicrobenchConfig::default();
+    (1..=10)
+        .map(|i| {
+            let mk = 1536 * i;
+            Fig4Point {
+                mk,
+                pe_gbs: sustained_bandwidth_gbs(model, DmaMode::Pe, mk, mk, &cfg),
+                row_gbs: sustained_bandwidth_gbs(model, DmaMode::Row, mk, mk, &cfg),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shape_holds() {
+        let model = BandwidthModel::calibrated();
+        let pts = fig4_sweep(&model);
+        assert_eq!(pts.len(), 10);
+        // ROW_MODE is remarkably superior to PE_MODE at every size.
+        for p in &pts {
+            assert!(p.row_gbs > p.pe_gbs, "at {}: row {} <= pe {}", p.mk, p.row_gbs, p.pe_gbs);
+        }
+        // Both rise monotonically with matrix size.
+        for w in pts.windows(2) {
+            assert!(w[1].pe_gbs > w[0].pe_gbs);
+            assert!(w[1].row_gbs > w[0].row_gbs);
+        }
+        // Endpoints sit in the paper's measured ranges.
+        assert!(pts[0].pe_gbs > 10.0 && pts[0].pe_gbs < 17.0, "{}", pts[0].pe_gbs);
+        assert!(pts[9].pe_gbs > 23.0 && pts[9].pe_gbs < 28.0, "{}", pts[9].pe_gbs);
+        assert!(pts[0].row_gbs > 18.0 && pts[0].row_gbs < 24.0, "{}", pts[0].row_gbs);
+        assert!(pts[9].row_gbs > 27.0 && pts[9].row_gbs < 31.0, "{}", pts[9].row_gbs);
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let cfg = MicrobenchConfig { bm: 100, bk: 768, pm: 16, pk: 96 };
+        assert!(cfg.validate(1536, 1536).is_err());
+        let cfg = MicrobenchConfig::default();
+        assert!(cfg.validate(1000, 1536).is_err());
+        assert!(cfg.validate(1536, 1536).is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bcast_mode_not_part_of_fig4() {
+        let model = BandwidthModel::calibrated();
+        let cfg = MicrobenchConfig::default();
+        let _ = sustained_bandwidth_gbs(&model, DmaMode::Bcast, 1536, 1536, &cfg);
+    }
+}

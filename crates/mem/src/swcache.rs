@@ -1,0 +1,261 @@
+//! Software-emulated cache over main memory (§II).
+//!
+//! Besides the explicit user-controlled mode the DGEMM uses, the LDM
+//! "can be used as ... a software-emulated cache that achieves
+//! automatic data caching". This module implements that mode: a
+//! direct-mapped, write-back cache of 128 B lines (the DMA transaction
+//! size) living in a caller-provided LDM buffer, fetching lines from
+//! main memory via `PE_MODE` DMA on miss.
+//!
+//! It exists to make the paper's implicit ablation runnable: automatic
+//! caching is *correct* but pays a DMA round-trip per missed line and
+//! gives up all layout control, which is exactly why the DGEMM manages
+//! the LDM explicitly. The `cache_vs_dma` example and the tests below
+//! quantify it.
+
+use crate::dma::{self, MatRegion};
+use crate::ldm::{Ldm, LdmBuf};
+use crate::main_memory::{MainMemory, MatId};
+use crate::MemError;
+use sw_arch::consts::DMA_TRANSACTION_DOUBLES;
+
+/// Hit/miss counters of one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses served from the LDM.
+    pub hits: u64,
+    /// Accesses that fetched a line from main memory.
+    pub misses: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over all accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A direct-mapped, write-back software cache over one installed
+/// matrix.
+///
+/// The element address space is the matrix's column-major linear
+/// index; lines are 16 doubles. Line `l` maps to set `l % lines`.
+#[derive(Debug)]
+pub struct SoftCache {
+    mat: MatId,
+    mat_rows: usize,
+    mat_len: usize,
+    buf: LdmBuf,
+    lines: usize,
+    /// `tags[set]` = cached line index.
+    tags: Vec<Option<usize>>,
+    dirty: Vec<bool>,
+    stats: CacheStats,
+}
+
+impl SoftCache {
+    /// Builds a cache over `mat` using `buf` (a multiple of 16 doubles
+    /// of LDM) as the data store.
+    pub fn new(mem: &MainMemory, mat: MatId, buf: LdmBuf) -> Result<Self, MemError> {
+        if buf.is_empty() || !buf.len().is_multiple_of(DMA_TRANSACTION_DOUBLES) {
+            return Err(MemError::BadDescriptor {
+                what: format!("cache store of {} doubles is not a whole number of 128 B lines", buf.len()),
+            });
+        }
+        let (rows, cols) = mem.dims(mat)?;
+        if rows % DMA_TRANSACTION_DOUBLES != 0 {
+            return Err(MemError::DmaAlignment {
+                what: format!("cached matrix lda = {rows} must be a multiple of 16 doubles"),
+            });
+        }
+        let lines = buf.len() / DMA_TRANSACTION_DOUBLES;
+        Ok(SoftCache {
+            mat,
+            mat_rows: rows,
+            mat_len: rows * cols,
+            buf,
+            lines,
+            tags: vec![None; lines],
+            dirty: vec![false; lines],
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reads element `(r, c)` through the cache.
+    pub fn read(&mut self, mem: &MainMemory, ldm: &mut Ldm, r: usize, c: usize) -> Result<f64, MemError> {
+        let (set, off) = self.lookup(mem, ldm, r, c)?;
+        Ok(ldm.slice(self.buf)[set * DMA_TRANSACTION_DOUBLES + off])
+    }
+
+    /// Writes element `(r, c)` through the cache (write-back: main
+    /// memory is updated on eviction or [`SoftCache::flush`]).
+    pub fn write(&mut self, mem: &MainMemory, ldm: &mut Ldm, r: usize, c: usize, v: f64) -> Result<(), MemError> {
+        let (set, off) = self.lookup(mem, ldm, r, c)?;
+        ldm.slice_mut(self.buf)[set * DMA_TRANSACTION_DOUBLES + off] = v;
+        self.dirty[set] = true;
+        Ok(())
+    }
+
+    /// Writes all dirty lines back to main memory.
+    pub fn flush(&mut self, mem: &MainMemory, ldm: &Ldm) -> Result<(), MemError> {
+        for set in 0..self.lines {
+            if self.dirty[set] {
+                let line = self.tags[set].expect("dirty line must be tagged");
+                self.writeback(mem, ldm, set, line)?;
+                self.dirty[set] = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ensures the line containing `(r, c)` is resident; returns
+    /// `(set, offset-in-line)`.
+    fn lookup(&mut self, mem: &MainMemory, ldm: &mut Ldm, r: usize, c: usize) -> Result<(usize, usize), MemError> {
+        let idx = c * self.mat_rows + r;
+        if idx >= self.mat_len || r >= self.mat_rows {
+            return Err(MemError::OutOfBounds {
+                what: format!("cached access ({r}, {c}) outside the matrix"),
+            });
+        }
+        let line = idx / DMA_TRANSACTION_DOUBLES;
+        let set = line % self.lines;
+        if self.tags[set] != Some(line) {
+            self.stats.misses += 1;
+            if self.dirty[set] {
+                let old = self.tags[set].expect("dirty line must be tagged");
+                self.writeback(mem, ldm, set, old)?;
+                self.dirty[set] = false;
+            }
+            // Fetch: a line is 16 consecutive doubles of one column
+            // (lda is a multiple of 16, so lines never straddle
+            // columns).
+            let region = self.line_region(line);
+            let dst = self.buf.sub(set * DMA_TRANSACTION_DOUBLES, DMA_TRANSACTION_DOUBLES);
+            dma::pe_get(mem, region, ldm, dst)?;
+            self.tags[set] = Some(line);
+        } else {
+            self.stats.hits += 1;
+        }
+        Ok((set, idx % DMA_TRANSACTION_DOUBLES))
+    }
+
+    fn writeback(&mut self, mem: &MainMemory, ldm: &Ldm, set: usize, line: usize) -> Result<(), MemError> {
+        let region = self.line_region(line);
+        let src = self.buf.sub(set * DMA_TRANSACTION_DOUBLES, DMA_TRANSACTION_DOUBLES);
+        dma::pe_put(mem, region, ldm, src)?;
+        self.stats.writebacks += 1;
+        Ok(())
+    }
+
+    fn line_region(&self, line: usize) -> MatRegion {
+        let idx = line * DMA_TRANSACTION_DOUBLES;
+        MatRegion::new(self.mat, idx % self.mat_rows, idx / self.mat_rows, DMA_TRANSACTION_DOUBLES, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HostMatrix;
+
+    fn setup(lines: usize) -> (MainMemory, MatId, Ldm, LdmBuf) {
+        let mut mem = MainMemory::new();
+        let mat = mem.install(HostMatrix::from_fn(64, 8, |r, c| (100 * c + r) as f64)).unwrap();
+        let mut ldm = Ldm::new();
+        let buf = ldm.alloc(lines * 16).unwrap();
+        (mem, mat, ldm, buf)
+    }
+
+    #[test]
+    fn read_through_and_hit() {
+        let (mem, mat, mut ldm, buf) = setup(4);
+        let mut cache = SoftCache::new(&mem, mat, buf).unwrap();
+        assert_eq!(cache.read(&mem, &mut ldm, 5, 2).unwrap(), 205.0);
+        assert_eq!(cache.stats().misses, 1);
+        // Same line: a hit.
+        assert_eq!(cache.read(&mem, &mut ldm, 6, 2).unwrap(), 206.0);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, writebacks: 0 });
+    }
+
+    #[test]
+    fn write_back_on_flush() {
+        let (mem, mat, mut ldm, buf) = setup(4);
+        let mut cache = SoftCache::new(&mem, mat, buf).unwrap();
+        cache.write(&mem, &mut ldm, 10, 1, -7.5).unwrap();
+        // Not yet visible in main memory (write-back).
+        assert_eq!(mem.extract(mat).unwrap().get(10, 1), 110.0);
+        cache.flush(&mem, &ldm).unwrap();
+        assert_eq!(mem.extract(mat).unwrap().get(10, 1), -7.5);
+        assert_eq!(cache.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_line() {
+        let (mem, mat, mut ldm, buf) = setup(1); // one line: every new line evicts
+        let mut cache = SoftCache::new(&mem, mat, buf).unwrap();
+        cache.write(&mem, &mut ldm, 0, 0, 42.0).unwrap();
+        // Touch a different line — must evict and write back.
+        let _ = cache.read(&mem, &mut ldm, 32, 0).unwrap();
+        assert_eq!(mem.extract(mat).unwrap().get(0, 0), 42.0);
+        assert_eq!(cache.stats().writebacks, 1);
+        // And the evicted value survives a re-read.
+        assert_eq!(cache.read(&mem, &mut ldm, 0, 0).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn sequential_access_has_low_miss_ratio() {
+        let (mem, mat, mut ldm, buf) = setup(8);
+        let mut cache = SoftCache::new(&mem, mat, buf).unwrap();
+        for c in 0..8 {
+            for r in 0..64 {
+                let _ = cache.read(&mem, &mut ldm, r, c).unwrap();
+            }
+        }
+        // One miss per 16-double line.
+        assert!((cache.stats().miss_ratio() - 1.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_major_walk_thrashes() {
+        // Walking rows of a column-major matrix with a small cache
+        // misses every access once the working set exceeds the cache —
+        // the behaviour explicit LDM management exists to avoid.
+        let (mem, mat, mut ldm, buf) = setup(2);
+        let mut cache = SoftCache::new(&mem, mat, buf).unwrap();
+        for r in 0..64 {
+            for c in 0..8 {
+                let _ = cache.read(&mem, &mut ldm, r, c).unwrap();
+            }
+        }
+        assert!(cache.stats().miss_ratio() > 0.4, "ratio {}", cache.stats().miss_ratio());
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let (mem, mat, mut ldm, buf) = setup(2);
+        let mut cache = SoftCache::new(&mem, mat, buf).unwrap();
+        assert!(matches!(
+            cache.read(&mem, &mut ldm, 64, 0),
+            Err(MemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_store_rejected() {
+        let (mem, mat, mut ldm, _) = setup(1);
+        let odd = ldm.alloc(10).unwrap();
+        assert!(SoftCache::new(&mem, mat, odd).is_err());
+    }
+}

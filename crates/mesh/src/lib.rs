@@ -1,0 +1,166 @@
+//! The register-communication mesh of the CPE cluster.
+//!
+//! The 64 CPEs of a core group communicate over an 8×8 mesh network in a
+//! producer/consumer mode (§II): a source CPE loads 256-bit data into a
+//! register and puts it into the mesh via its *send buffer*; destination
+//! CPEs pull it from their *receive buffers*. Two collective operations
+//! exist — **row broadcast** (to every CPE of the sender's mesh row) and
+//! **column broadcast** (to every CPE of the sender's column) — and they
+//! are exactly what the paper's collective data sharing scheme (§III-B)
+//! is built from.
+//!
+//! This crate provides the functional implementation used by the
+//! 64-thread runtime: [`Mesh::new`] hands out one [`MeshPort`] per CPE;
+//! ports move [`sw_arch::V256`] words through bounded channels, so
+//! producers block when consumers lag, just like the hardware's finite
+//! buffers. Receive buffers are separate per direction (row vs column),
+//! matching the separate `getr`/`getc` instructions.
+//!
+//! A blocked port raises a diagnostic panic after a configurable
+//! timeout instead of hanging the test suite — communication schemes
+//! with mismatched send/receive counts (the classic register-
+//! communication deadlock on real hardware) surface as readable errors.
+
+pub mod port;
+pub mod stats;
+
+pub use port::{Mesh, MeshPort};
+pub use stats::MeshStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_arch::{Coord, V256};
+
+    #[test]
+    fn row_broadcast_reaches_row_only() {
+        let mesh = Mesh::new();
+        let mut ports = mesh.ports();
+        // Sender (2,3) broadcasts along row 2; every other CPE in row 2
+        // receives it; nobody else is sent anything.
+        let v = V256::splat(7.0);
+        ports[Coord::new(2, 3).id()].row_bcast(v);
+        for c in 0..8 {
+            if c == 3 {
+                continue;
+            }
+            let got = ports[Coord::new(2, c).id()].getr();
+            assert_eq!(got, v);
+        }
+        // All receive buffers now empty.
+        for p in &mut ports {
+            assert!(p.try_getr().is_none());
+            assert!(p.try_getc().is_none());
+        }
+    }
+
+    #[test]
+    fn col_broadcast_reaches_col_only() {
+        let mesh = Mesh::new();
+        let mut ports = mesh.ports();
+        let v = V256::new([1.0, 2.0, 3.0, 4.0]);
+        ports[Coord::new(5, 1).id()].col_bcast(v);
+        for r in 0..8 {
+            if r == 5 {
+                continue;
+            }
+            assert_eq!(ports[Coord::new(r, 1).id()].getc(), v);
+        }
+        for p in &mut ports {
+            assert!(p.try_getr().is_none());
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_sender() {
+        let mesh = Mesh::new();
+        let ports = mesh.ports();
+        let sender = &ports[Coord::new(0, 0).id()];
+        for i in 0..4 {
+            sender.row_bcast(V256::splat(i as f64));
+        }
+        let receiver = &ports[Coord::new(0, 7).id()];
+        for i in 0..4 {
+            assert_eq!(receiver.getr(), V256::splat(i as f64));
+        }
+    }
+
+    #[test]
+    fn panel_roundtrip_across_threads() {
+        let mesh = Mesh::new();
+        let ports = mesh.ports();
+        let panel: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        crossbeam::scope(|s| {
+            let mut iter = ports.into_iter();
+            let sender_port = iter.next().unwrap(); // (0,0)
+            let rest: Vec<_> = iter.collect();
+            let panel_ref = &panel;
+            s.spawn(move |_| {
+                sender_port.row_bcast_panel(panel_ref);
+            });
+            for p in rest {
+                let panel_ref = &panel;
+                s.spawn(move |_| {
+                    if p.coord().row == 0 && p.coord().col != 0 {
+                        let mut out = vec![0.0; 256];
+                        p.recv_row_panel(&mut out);
+                        assert_eq!(&out, panel_ref);
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn backpressure_blocks_then_drains() {
+        // Send far beyond buffer capacity from one thread; the sender
+        // must block until the receivers drain, and all data arrives in
+        // order.
+        let mesh = Mesh::new();
+        let ports = mesh.ports();
+        let cap = sw_arch::consts::MESH_RECV_BUFFER_ENTRIES;
+        crossbeam::scope(|s| {
+            let mut iter = ports.into_iter();
+            let sender = iter.next().unwrap();
+            let handle = s.spawn(move |_| {
+                for i in 0..(4 * cap) {
+                    sender.row_bcast(V256::splat(i as f64));
+                }
+            });
+            let mut receivers: Vec<_> = iter.filter(|p| p.coord().row == 0).collect();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            for i in 0..(4 * cap) {
+                for p in &mut receivers {
+                    assert_eq!(p.getr(), V256::splat(i as f64));
+                }
+            }
+            handle.join().unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn deadlock_surfaces_as_panic() {
+        let mesh = Mesh::with_timeout(std::time::Duration::from_millis(50));
+        let ports = mesh.ports();
+        let p = &ports[0];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = p.getr(); // nobody ever sends
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let mesh = Mesh::new();
+        let ports = mesh.ports();
+        ports[0].row_bcast(V256::ZERO);
+        ports[0].col_bcast(V256::ZERO);
+        drop(ports);
+        let s = mesh.stats();
+        // A row broadcast enqueues 7 copies; so does a column broadcast.
+        assert_eq!(s.row_words_sent, 7);
+        assert_eq!(s.col_words_sent, 7);
+    }
+}

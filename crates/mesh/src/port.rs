@@ -1,0 +1,252 @@
+//! Mesh construction and per-CPE ports.
+
+use crate::stats::{MeshCounters, MeshStats};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+use sw_arch::consts::MESH_RECV_BUFFER_ENTRIES;
+use sw_arch::coord::{Coord, N_CPES};
+use sw_arch::V256;
+
+/// Default time a blocked send/receive waits before declaring the
+/// communication scheme deadlocked.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The 8×8 register-communication mesh. Build one per core group, hand
+/// the 64 [`MeshPort`]s to the CPE threads.
+pub struct Mesh {
+    ports: Mutex<Option<Vec<MeshPort>>>,
+    counters: Arc<MeshCounters>,
+}
+
+impl Default for Mesh {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mesh {
+    /// Builds a mesh with the default deadlock timeout.
+    pub fn new() -> Self {
+        Self::with_timeout(DEFAULT_TIMEOUT)
+    }
+
+    /// Builds a mesh whose blocked operations panic after `timeout`.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        let counters = Arc::new(MeshCounters::default());
+        // One bounded MPSC channel per (receiver, direction); the
+        // channel preserves per-sender FIFO order, which is the ordering
+        // guarantee the hardware's point-to-point mesh links give.
+        let mut row_tx = Vec::with_capacity(N_CPES);
+        let mut row_rx = Vec::with_capacity(N_CPES);
+        let mut col_tx = Vec::with_capacity(N_CPES);
+        let mut col_rx = Vec::with_capacity(N_CPES);
+        for _ in 0..N_CPES {
+            let (t, r) = bounded::<V256>(MESH_RECV_BUFFER_ENTRIES);
+            row_tx.push(t);
+            row_rx.push(Some(r));
+            let (t, r) = bounded::<V256>(MESH_RECV_BUFFER_ENTRIES);
+            col_tx.push(t);
+            col_rx.push(Some(r));
+        }
+        let ports = (0..N_CPES)
+            .map(|id| {
+                let coord = Coord::from_id(id);
+                let row_mates: Vec<Sender<V256>> = coord
+                    .row_mates()
+                    .filter(|m| *m != coord)
+                    .map(|m| row_tx[m.id()].clone())
+                    .collect();
+                let col_mates: Vec<Sender<V256>> = coord
+                    .col_mates()
+                    .filter(|m| *m != coord)
+                    .map(|m| col_tx[m.id()].clone())
+                    .collect();
+                MeshPort {
+                    coord,
+                    row_rx: row_rx[id].take().expect("port built once"),
+                    col_rx: col_rx[id].take().expect("port built once"),
+                    row_mates,
+                    col_mates,
+                    counters: Arc::clone(&counters),
+                    timeout,
+                }
+            })
+            .collect();
+        Mesh { ports: Mutex::new(Some(ports)), counters }
+    }
+
+    /// Takes the 64 ports (id order). Panics if called twice — each CPE
+    /// thread owns its port exclusively.
+    pub fn ports(&self) -> Vec<MeshPort> {
+        self.ports.lock().take().expect("Mesh::ports may only be taken once")
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> MeshStats {
+        self.counters.snapshot()
+    }
+}
+
+/// One CPE's window onto the mesh: its send links to row/column mates
+/// and its two receive buffers.
+pub struct MeshPort {
+    coord: Coord,
+    row_rx: Receiver<V256>,
+    col_rx: Receiver<V256>,
+    row_mates: Vec<Sender<V256>>,
+    col_mates: Vec<Sender<V256>>,
+    counters: Arc<MeshCounters>,
+    timeout: Duration,
+}
+
+impl MeshPort {
+    /// The CPE this port belongs to.
+    #[inline]
+    pub fn coord(&self) -> Coord {
+        self.coord
+    }
+
+    /// Row broadcast: puts `v` into the row receive buffer of the other
+    /// 7 CPEs in this CPE's mesh row (what `vldr`'s broadcast half
+    /// does). Blocks on full buffers; panics on deadlock timeout.
+    pub fn row_bcast(&self, v: V256) {
+        for (i, tx) in self.row_mates.iter().enumerate() {
+            if tx.send_timeout(v, self.timeout).is_err() {
+                panic!(
+                    "mesh deadlock: {} row-broadcast blocked >{:?} (mate #{i} not draining)",
+                    self.coord, self.timeout
+                );
+            }
+        }
+        self.counters.add_row_sent(self.row_mates.len() as u64);
+    }
+
+    /// Column broadcast: puts `v` into the column receive buffer of the
+    /// other 7 CPEs in this CPE's mesh column (what `lddec`'s broadcast
+    /// half does).
+    pub fn col_bcast(&self, v: V256) {
+        for (i, tx) in self.col_mates.iter().enumerate() {
+            if tx.send_timeout(v, self.timeout).is_err() {
+                panic!(
+                    "mesh deadlock: {} col-broadcast blocked >{:?} (mate #{i} not draining)",
+                    self.coord, self.timeout
+                );
+            }
+        }
+        self.counters.add_col_sent(self.col_mates.len() as u64);
+    }
+
+    /// Receives one word from the row network (the `getr` instruction).
+    pub fn getr(&self) -> V256 {
+        match self.row_rx.recv_timeout(self.timeout) {
+            Ok(v) => {
+                self.counters.add_row_recv(1);
+                v
+            }
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                panic!("mesh deadlock: {} getr starved >{:?}", self.coord, self.timeout)
+            }
+        }
+    }
+
+    /// Receives one word from the column network (the `getc`
+    /// instruction).
+    pub fn getc(&self) -> V256 {
+        match self.col_rx.recv_timeout(self.timeout) {
+            Ok(v) => {
+                self.counters.add_col_recv(1);
+                v
+            }
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                panic!("mesh deadlock: {} getc starved >{:?}", self.coord, self.timeout)
+            }
+        }
+    }
+
+    /// Non-blocking `getr`, for tests and drain checks.
+    pub fn try_getr(&self) -> Option<V256> {
+        let v = self.row_rx.try_recv().ok();
+        if v.is_some() {
+            self.counters.add_row_recv(1);
+        }
+        v
+    }
+
+    /// Non-blocking `getc`.
+    pub fn try_getc(&self) -> Option<V256> {
+        let v = self.col_rx.try_recv().ok();
+        if v.is_some() {
+            self.counters.add_col_recv(1);
+        }
+        v
+    }
+
+    /// Broadcasts a whole panel (length multiple of 4 doubles) along the
+    /// row, 256 bits at a time — the panel-granularity view of the
+    /// per-iteration `vldr` stream the kernel performs.
+    pub fn row_bcast_panel(&self, panel: &[f64]) {
+        assert_eq!(panel.len() % 4, 0, "panel length must be a multiple of 4 doubles");
+        for chunk in panel.chunks_exact(4) {
+            self.row_bcast(V256::load(chunk));
+        }
+    }
+
+    /// Broadcasts a whole panel along the column.
+    pub fn col_bcast_panel(&self, panel: &[f64]) {
+        assert_eq!(panel.len() % 4, 0, "panel length must be a multiple of 4 doubles");
+        for chunk in panel.chunks_exact(4) {
+            self.col_bcast(V256::load(chunk));
+        }
+    }
+
+    /// Receives a whole panel from the row network.
+    pub fn recv_row_panel(&self, out: &mut [f64]) {
+        assert_eq!(out.len() % 4, 0, "panel length must be a multiple of 4 doubles");
+        for chunk in out.chunks_exact_mut(4) {
+            self.getr().store(chunk);
+        }
+    }
+
+    /// Receives a whole panel from the column network.
+    pub fn recv_col_panel(&self, out: &mut [f64]) {
+        assert_eq!(out.len() % 4, 0, "panel length must be a multiple of 4 doubles");
+        for chunk in out.chunks_exact_mut(4) {
+            self.getc().store(chunk);
+        }
+    }
+}
+
+// A port crossing threads is the whole point; the channel endpoints are
+// Send, and Coord/counters are Send + Sync.
+const _: () = {
+    fn assert_send<T: Send>() {}
+    fn check() {
+        assert_send::<MeshPort>();
+    }
+    let _ = check;
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_taken_once() {
+        let mesh = Mesh::new();
+        let p = mesh.ports();
+        assert_eq!(p.len(), N_CPES);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mesh.ports())).is_err());
+    }
+
+    #[test]
+    fn mates_exclude_self() {
+        let mesh = Mesh::new();
+        let ports = mesh.ports();
+        for p in &ports {
+            assert_eq!(p.row_mates.len(), sw_arch::coord::MESH_COLS - 1);
+            assert_eq!(p.col_mates.len(), sw_arch::coord::MESH_ROWS - 1);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Mesh traffic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters behind every port of one mesh.
+#[derive(Debug, Default)]
+pub(crate) struct MeshCounters {
+    row_sent: AtomicU64,
+    col_sent: AtomicU64,
+    row_recv: AtomicU64,
+    col_recv: AtomicU64,
+}
+
+impl MeshCounters {
+    pub fn add_row_sent(&self, n: u64) {
+        self.row_sent.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_col_sent(&self, n: u64) {
+        self.col_sent.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_row_recv(&self, n: u64) {
+        self.row_recv.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_col_recv(&self, n: u64) {
+        self.col_recv.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MeshStats {
+        MeshStats {
+            row_words_sent: self.row_sent.load(Ordering::Relaxed),
+            col_words_sent: self.col_sent.load(Ordering::Relaxed),
+            row_words_received: self.row_recv.load(Ordering::Relaxed),
+            col_words_received: self.col_recv.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of mesh traffic, in 256-bit words. "Sent" counts enqueued
+/// copies (a broadcast to 7 mates counts 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeshStats {
+    /// Words enqueued onto row links.
+    pub row_words_sent: u64,
+    /// Words enqueued onto column links.
+    pub col_words_sent: u64,
+    /// Words consumed from row receive buffers.
+    pub row_words_received: u64,
+    /// Words consumed from column receive buffers.
+    pub col_words_received: u64,
+}
+
+impl MeshStats {
+    /// Total bytes moved over the mesh (counting each delivered copy).
+    pub fn bytes_sent(&self) -> u64 {
+        (self.row_words_sent + self.col_words_sent) * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_adds() {
+        let c = MeshCounters::default();
+        c.add_row_sent(7);
+        c.add_col_recv(3);
+        let s = c.snapshot();
+        assert_eq!(s.row_words_sent, 7);
+        assert_eq!(s.col_words_received, 3);
+        assert_eq!(s.bytes_sent(), 7 * 32);
+    }
+}

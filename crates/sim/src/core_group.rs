@@ -1,0 +1,190 @@
+//! The functional 64-thread core-group runtime.
+//!
+//! [`CoreGroup::run`] mirrors the `athread` programming model of the
+//! real machine: the "MPE side" (the caller) installs matrices in main
+//! memory and spawns 64 CPE threads; each thread receives a [`CpeCtx`]
+//! with its coordinates, its private LDM, its mesh port, and DMA entry
+//! points, and runs the same SPMD closure.
+
+use crate::stats::{DmaCounters, RunStats};
+use std::sync::Barrier;
+use std::time::Instant;
+use sw_arch::coord::{Coord, MESH_ROWS, N_CPES};
+use sw_isa::{CommPort, ExecReport, Instr, Machine};
+use sw_mem::dma::{self, MatRegion, Receipt};
+use sw_mem::{Ldm, LdmBuf, MainMemory, MemError};
+use sw_mesh::{Mesh, MeshPort};
+
+/// One core group: shared main memory plus the machinery to launch
+/// 64-thread functional runs.
+pub struct CoreGroup {
+    /// The CG's main memory. Install inputs / extract outputs here.
+    pub mem: MainMemory,
+    mesh_timeout: std::time::Duration,
+}
+
+impl Default for CoreGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoreGroup {
+    /// A core group with empty main memory.
+    pub fn new() -> Self {
+        CoreGroup { mem: MainMemory::new(), mesh_timeout: std::time::Duration::from_secs(10) }
+    }
+
+    /// Shortens the mesh deadlock fuse (tests of failure paths).
+    pub fn with_mesh_timeout(timeout: std::time::Duration) -> Self {
+        CoreGroup { mem: MainMemory::new(), mesh_timeout: timeout }
+    }
+
+    /// Runs `f` on all 64 CPE threads (SPMD), returning traffic
+    /// statistics. Panics in any CPE propagate.
+    pub fn run<F>(&mut self, f: F) -> RunStats
+    where
+        F: Fn(&mut CpeCtx) + Sync,
+    {
+        let mesh = Mesh::with_timeout(self.mesh_timeout);
+        let ports = mesh.ports();
+        let barrier = Barrier::new(N_CPES);
+        let row_barriers: Vec<Barrier> = (0..MESH_ROWS).map(|_| Barrier::new(8)).collect();
+        let counters = DmaCounters::default();
+        let start = Instant::now();
+        let mem = &self.mem;
+        let fref = &f;
+        let barrier_ref = &barrier;
+        let rows_ref = &row_barriers;
+        let counters_ref = &counters;
+        crossbeam::scope(|s| {
+            for port in ports {
+                s.spawn(move |_| {
+                    let mut ctx = CpeCtx {
+                        coord: port.coord(),
+                        ldm: Ldm::new(),
+                        port,
+                        mem,
+                        barrier: barrier_ref,
+                        row_barriers: rows_ref,
+                        counters: counters_ref,
+                    };
+                    fref(&mut ctx);
+                });
+            }
+        })
+        .expect("a CPE thread panicked");
+        RunStats { dma: counters.snapshot(), mesh: mesh.stats(), wall: start.elapsed() }
+    }
+}
+
+/// Per-CPE execution context handed to the SPMD closure.
+pub struct CpeCtx<'a> {
+    /// This CPE's mesh coordinates.
+    pub coord: Coord,
+    /// This CPE's 64 KB scratch pad.
+    pub ldm: Ldm,
+    port: MeshPort,
+    mem: &'a MainMemory,
+    barrier: &'a Barrier,
+    row_barriers: &'a [Barrier],
+    counters: &'a DmaCounters,
+}
+
+impl<'a> CpeCtx<'a> {
+    /// Barrier over all 64 CPEs (the `sync` of Algorithms 1–2).
+    pub fn sync_all(&self) {
+        self.barrier.wait();
+    }
+
+    /// Barrier over the 8 CPEs of this CPE's mesh row (required by
+    /// `ROW_MODE` DMA).
+    pub fn sync_row(&self) {
+        self.row_barriers[self.coord.row as usize].wait();
+    }
+
+    /// `PE_MODE` get into `buf`.
+    pub fn dma_pe_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
+        let r = dma::pe_get(self.mem, region, &mut self.ldm, buf)?;
+        self.counters.record(r.mode, r.bytes_cpe as u64);
+        Ok(r)
+    }
+
+    /// `PE_MODE` put from `buf`.
+    pub fn dma_pe_put(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
+        let r = dma::pe_put(self.mem, region, &self.ldm, buf)?;
+        self.counters.record(r.mode, r.bytes_cpe as u64);
+        Ok(r)
+    }
+
+    /// `BCAST_MODE` get (all 64 CPEs call this with the same region).
+    pub fn dma_bcast_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
+        let r = dma::bcast_get(self.mem, region, &mut self.ldm, buf)?;
+        self.counters.record(r.mode, r.bytes_cpe as u64);
+        Ok(r)
+    }
+
+    /// `ROW_MODE` get: the 8 CPEs of this row synchronize, then each
+    /// receives its interleaved share of the region stream.
+    pub fn dma_row_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
+        self.sync_row();
+        let r = dma::row_get(self.mem, region, self.coord.col as usize, &mut self.ldm, buf)?;
+        self.counters.record(r.mode, r.bytes_cpe as u64);
+        Ok(r)
+    }
+
+    /// `ROW_MODE` put: inverse scatter, with the row synchronization.
+    pub fn dma_row_put(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
+        self.sync_row();
+        let r = dma::row_put(self.mem, region, self.coord.col as usize, &self.ldm, buf)?;
+        self.counters.record(r.mode, r.bytes_cpe as u64);
+        Ok(r)
+    }
+
+    /// `BROW_MODE` get (the 8 CPEs of this row receive full copies).
+    pub fn dma_brow_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
+        self.sync_row();
+        let r = dma::brow_get(self.mem, region, &mut self.ldm, buf)?;
+        self.counters.record(r.mode, r.bytes_cpe as u64);
+        Ok(r)
+    }
+
+    /// `RANK_MODE` get (all 64 CPEs receive transaction-interleaved
+    /// shares).
+    pub fn dma_rank_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
+        let r =
+            dma::rank_get(self.mem, region, self.coord.id(), &mut self.ldm, buf)?;
+        self.counters.record(r.mode, r.bytes_cpe as u64);
+        Ok(r)
+    }
+
+    /// The register-communication port (panel broadcasts, `getr`/`getc`).
+    pub fn mesh(&self) -> &MeshPort {
+        &self.port
+    }
+
+    /// Executes an ISA kernel stream against this CPE's LDM and mesh
+    /// port, returning the executor's cycle report.
+    pub fn run_kernel(&mut self, prog: &[Instr]) -> ExecReport {
+        let mut comm = MeshComm(&self.port);
+        Machine::new(self.ldm.raw_mut(), &mut comm).run(prog)
+    }
+}
+
+/// Adapts a mesh port to the executor's communication trait.
+struct MeshComm<'p>(&'p MeshPort);
+
+impl CommPort for MeshComm<'_> {
+    fn row_bcast(&mut self, v: sw_arch::V256) {
+        self.0.row_bcast(v);
+    }
+    fn col_bcast(&mut self, v: sw_arch::V256) {
+        self.0.col_bcast(v);
+    }
+    fn getr(&mut self) -> sw_arch::V256 {
+        self.0.getr()
+    }
+    fn getc(&mut self) -> sw_arch::V256 {
+        self.0.getc()
+    }
+}

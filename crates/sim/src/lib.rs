@@ -1,0 +1,28 @@
+//! The SW26010 core-group simulator.
+//!
+//! Two execution modes share one front-end:
+//!
+//! * **Functional mode** ([`CoreGroup::run`]) — spawns 64 OS threads,
+//!   one per CPE, each owning a 64 KB [`sw_mem::Ldm`], a
+//!   [`sw_mesh::MeshPort`] onto the register-communication mesh, and a
+//!   DMA handle onto the shared main memory. Data movement and
+//!   arithmetic really happen; results are bit-checkable against a host
+//!   reference.
+//! * **Timing mode** ([`timing`]) — a discrete-event engine over two
+//!   serial resources (the DMA channel and the lock-stepped CPE
+//!   cluster). DGEMM variants encode their block schedules as task DAGs
+//!   whose durations come from the calibrated DMA model (`sw-mem`) and
+//!   from cycle counts measured by the ISA executor (`sw-isa`); the
+//!   engine computes the makespan, from which Gflops follow.
+//!
+//! Overlap effects — double buffering hiding DMA under compute, the
+//! prologue cost the paper observes for small m in Figure 7 — *emerge*
+//! from the DAG structure rather than being hard-coded.
+
+pub mod core_group;
+pub mod stats;
+pub mod timing;
+
+pub use core_group::{CoreGroup, CpeCtx};
+pub use stats::{DmaTotals, RunStats};
+pub use timing::{Dag, Resource, TaskId, TimingResult};

@@ -1,0 +1,97 @@
+//! Run statistics of the functional simulator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use sw_mem::dma::DmaMode;
+use sw_mesh::MeshStats;
+
+/// Bytes and descriptor counts per DMA mode (totals over the transfer,
+/// not per CPE — a ROW collective counts once).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DmaTotals {
+    /// Bytes moved in `PE_MODE`.
+    pub pe_bytes: u64,
+    /// Bytes moved in `BCAST_MODE`.
+    pub bcast_bytes: u64,
+    /// Bytes moved in `ROW_MODE`.
+    pub row_bytes: u64,
+    /// Bytes moved in `BROW_MODE`.
+    pub brow_bytes: u64,
+    /// Bytes moved in `RANK_MODE`.
+    pub rank_bytes: u64,
+    /// Descriptors issued (collectives count once per participating
+    /// CPE here, since each CPE issues its own request in our model).
+    pub descriptors: u64,
+}
+
+impl DmaTotals {
+    /// Sum of bytes over all modes.
+    pub fn total_bytes(&self) -> u64 {
+        self.pe_bytes + self.bcast_bytes + self.row_bytes + self.brow_bytes + self.rank_bytes
+    }
+}
+
+/// Atomic accumulation behind [`DmaTotals`].
+#[derive(Debug, Default)]
+pub(crate) struct DmaCounters {
+    pe: AtomicU64,
+    bcast: AtomicU64,
+    row: AtomicU64,
+    brow: AtomicU64,
+    rank: AtomicU64,
+    descriptors: AtomicU64,
+}
+
+impl DmaCounters {
+    pub fn record(&self, mode: DmaMode, bytes_cpe: u64) {
+        let ctr = match mode {
+            DmaMode::Pe => &self.pe,
+            DmaMode::Bcast => &self.bcast,
+            DmaMode::Row => &self.row,
+            DmaMode::Brow => &self.brow,
+            DmaMode::Rank => &self.rank,
+        };
+        ctr.fetch_add(bytes_cpe, Ordering::Relaxed);
+        self.descriptors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> DmaTotals {
+        DmaTotals {
+            pe_bytes: self.pe.load(Ordering::Relaxed),
+            bcast_bytes: self.bcast.load(Ordering::Relaxed),
+            row_bytes: self.row.load(Ordering::Relaxed),
+            brow_bytes: self.brow.load(Ordering::Relaxed),
+            rank_bytes: self.rank.load(Ordering::Relaxed),
+            descriptors: self.descriptors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What a functional run reports.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Per-CPE DMA traffic summed over all 64 CPEs.
+    pub dma: DmaTotals,
+    /// Register-communication traffic.
+    pub mesh: MeshStats,
+    /// Host wall-clock time of the simulated run (not simulated time).
+    pub wall: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_mode() {
+        let c = DmaCounters::default();
+        c.record(DmaMode::Pe, 100);
+        c.record(DmaMode::Pe, 28);
+        c.record(DmaMode::Row, 16);
+        let s = c.snapshot();
+        assert_eq!(s.pe_bytes, 128);
+        assert_eq!(s.row_bytes, 16);
+        assert_eq!(s.descriptors, 3);
+        assert_eq!(s.total_bytes(), 144);
+    }
+}

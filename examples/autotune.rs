@@ -1,0 +1,48 @@
+//! Block-size auto-tuning — the paper's future-work direction, closed.
+//!
+//! Enumerates every feasible thread-level blocking for the
+//! double-buffered SCHED variant, ranks them with the timing
+//! simulator at the paper's sweet-spot size (9216³), and reports where
+//! the paper's hand-picked pN = 32, pK = 96 lands.
+//!
+//! ```text
+//! cargo run --release --example autotune
+//! ```
+
+use sw26010_dgemm::mem::dma::BandwidthModel;
+use sw_dgemm::tuner::tune;
+use sw_dgemm::Variant;
+
+fn main() {
+    let model = BandwidthModel::calibrated();
+    let results = tune(Variant::Sched, 9216, &model).expect("tuning failed");
+    println!("{} feasible (pM=16, pN, pK) blockings for double-buffered SCHED\n", results.len());
+    println!("rank   pN   pK    bN    bK   LDM doubles   Gflops/s");
+    for (rank, r) in results.iter().take(12).enumerate() {
+        println!(
+            "{:>4}  {:>3}  {:>3}  {:>4}  {:>4}  {:>11}  {:>8.1}{}",
+            rank + 1,
+            r.params.pn,
+            r.params.pk,
+            r.params.bn(),
+            r.params.bk(),
+            r.ldm_doubles,
+            r.gflops,
+            if r.params.pn == 32 && r.params.pk == 96 { "   <- paper's choice" } else { "" }
+        );
+    }
+    let paper_rank = results
+        .iter()
+        .position(|r| r.params.pn == 32 && r.params.pk == 96)
+        .expect("paper blocking feasible");
+    let best = &results[0];
+    let paper = &results[paper_rank];
+    println!(
+        "\npaper's (pN=32, pK=96): rank {} of {}, {:.1} Gflops vs best {:.1} ({:+.2}%)",
+        paper_rank + 1,
+        results.len(),
+        paper.gflops,
+        best.gflops,
+        100.0 * (paper.gflops / best.gflops - 1.0)
+    );
+}

@@ -1,0 +1,101 @@
+//! Explicit LDM management vs the software-emulated cache.
+//!
+//! §II notes the LDM can serve either as "a fast user-controlled
+//! cache" (what the paper's DGEMM uses, via explicit DMA) or as "a
+//! software-emulated cache that achieves automatic data caching". This
+//! example runs the same small per-CPE matrix multiplication both ways
+//! on one simulated CPE and compares the main-memory traffic — the
+//! quantitative reason the paper manages the LDM explicitly.
+//!
+//! ```text
+//! cargo run --release --example cache_vs_dma
+//! ```
+
+use sw26010_dgemm::mem::dma::{self, MatRegion};
+use sw26010_dgemm::mem::{HostMatrix, Ldm, MainMemory, SoftCache};
+
+fn main() {
+    let (m, n, k) = (32usize, 32, 64);
+    let mut mem = MainMemory::new();
+    let a = mem.install(HostMatrix::from_fn(m, k, |r, c| ((r * 7 + c) % 13) as f64 - 6.0)).unwrap();
+    let b = mem.install(HostMatrix::from_fn(k, n, |r, c| ((r * 5 + c) % 11) as f64 - 5.0)).unwrap();
+    let c_exp = mem.install(HostMatrix::zeros(m, n)).unwrap();
+    let c_cch = mem.install(HostMatrix::zeros(m, n)).unwrap();
+
+    // --- Explicit mode: stage whole panels with three DMA
+    // descriptors, compute from LDM, store with one. ---
+    let mut ldm = Ldm::new();
+    let a_buf = ldm.alloc(m * k).unwrap();
+    let b_buf = ldm.alloc(k * n).unwrap();
+    let c_buf = ldm.alloc(m * n).unwrap();
+    let mut explicit_bytes = 0usize;
+    let mut explicit_desc = 0usize;
+    for (mat, buf, rows, cols) in [(a, a_buf, m, k), (b, b_buf, k, n)] {
+        let r = dma::pe_get(&mem, MatRegion::new(mat, 0, 0, rows, cols), &mut ldm, buf).unwrap();
+        explicit_bytes += r.bytes_total;
+        explicit_desc += 1;
+    }
+    {
+        // Compute C = A·B entirely in LDM.
+        let (a_lo, a_hi) = (a_buf.offset(), a_buf.offset() + a_buf.len());
+        let (b_lo, b_hi) = (b_buf.offset(), b_buf.offset() + b_buf.len());
+        let raw = ldm.raw_mut();
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += raw[a_lo + l * m + i] * raw[b_lo + j * k + l];
+                }
+                let _ = (a_hi, b_hi);
+                raw[c_buf.offset() + j * m + i] = acc;
+            }
+        }
+    }
+    let r = dma::pe_put(&mem, MatRegion::new(c_exp, 0, 0, m, n), &ldm, c_buf).unwrap();
+    explicit_bytes += r.bytes_total;
+    explicit_desc += 1;
+
+    // --- Automatic mode: the same triple loop through a software
+    // cache (1 KB per operand — LDM-realistic once real block sizes
+    // are at play). ---
+    let mut ldm2 = Ldm::new();
+    let ca_buf = ldm2.alloc(8 * 16).unwrap();
+    let cb_buf = ldm2.alloc(8 * 16).unwrap();
+    let cc_buf = ldm2.alloc(8 * 16).unwrap();
+    let mut ca = SoftCache::new(&mem, a, ca_buf).unwrap();
+    let mut cb = SoftCache::new(&mem, b, cb_buf).unwrap();
+    let mut cc = SoftCache::new(&mem, c_cch, cc_buf).unwrap();
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += ca.read(&mem, &mut ldm2, i, l).unwrap() * cb.read(&mem, &mut ldm2, l, j).unwrap();
+            }
+            cc.write(&mem, &mut ldm2, i, j, acc).unwrap();
+        }
+    }
+    cc.flush(&mem, &ldm2).unwrap();
+
+    // Results identical?
+    let e = mem.extract(c_exp).unwrap();
+    let c = mem.extract(c_cch).unwrap();
+    assert_eq!(e, c, "both modes must compute the same product");
+
+    let cached_desc = (ca.stats().misses + cb.stats().misses + cc.stats().misses + cc.stats().writebacks) as usize;
+    let cached_bytes = cached_desc * 128;
+    println!("same {m}x{n}x{k} product, two LDM disciplines (one CPE):\n");
+    println!("                     descriptors      bytes    miss ratio");
+    println!("explicit DMA         {explicit_desc:>11}  {explicit_bytes:>9}           n/a");
+    println!(
+        "software cache       {cached_desc:>11}  {cached_bytes:>9}   A {:.1}% / B {:.1}% / C {:.1}%",
+        100.0 * ca.stats().miss_ratio(),
+        100.0 * cb.stats().miss_ratio(),
+        100.0 * cc.stats().miss_ratio()
+    );
+    println!(
+        "\nautomatic caching moves {:.0}x the data and issues {:.0}x the descriptors —",
+        cached_bytes as f64 / explicit_bytes as f64,
+        cached_desc as f64 / explicit_desc as f64
+    );
+    println!("the quantitative reason the paper's DGEMM manages the LDM explicitly (§II, §III).");
+}

@@ -1,0 +1,57 @@
+//! HPL-style blocked LU factorization with the simulated DGEMM doing
+//! the trailing-matrix updates.
+//!
+//! The paper motivates DGEMM as "a performance-critical basis in the
+//! HPL package"; this example shows the dependency for real: a
+//! right-looking blocked LU *with partial pivoting* (`sw-linalg`)
+//! whose rank-`nb` trailing updates `A22 ← A22 − L21·U12` — the O(n³)
+//! bulk of HPL — run as `C = −1·A·B + 1·C` on the simulated core
+//! group, followed by a residual check and a solve.
+//!
+//! ```text
+//! cargo run --release --example hpl_lu
+//! ```
+
+use sw_dgemm::gen::random_matrix;
+use sw_dgemm::{Matrix, Variant};
+use sw_linalg::{lu_factor, lu_residual, lu_solve, Backend, GemmBackend};
+
+fn main() {
+    let n = 512;
+    let nb = 64;
+    let a = random_matrix(n, n, 7);
+
+    println!("factoring a {n}x{n} matrix, panel width {nb}, trailing updates on the simulator...");
+    let backend = Backend::Simulated(Variant::Sched);
+    let f = lu_factor(&a, nb, &backend).expect("LU factorization");
+
+    let swaps = f.piv.iter().enumerate().filter(|&(i, &p)| p != i).count();
+    println!("  partial pivoting performed {swaps} row swaps over {n} steps");
+
+    let res = lu_residual(&a, &f);
+    let scale = a.max_abs() * n as f64 * f64::EPSILON;
+    println!("  max |P*A - L*U| = {res:.3e} (scale {scale:.3e})");
+    assert!(res < 128.0 * scale, "LU residual too large");
+
+    // Solve A·x = b for a known solution and report the error.
+    let xs = random_matrix(n, 1, 8);
+    let mut b = Matrix::zeros(n, 1);
+    Backend::Host.gemm(1.0, &a, &xs, 0.0, &mut b).unwrap();
+    let x = lu_solve(&f, &b).expect("triangular solves");
+    println!("  solve error |x - x*|_max = {:.3e}", x.max_abs_diff(&xs));
+    assert!(x.max_abs_diff(&xs) < 1e-6);
+
+    // Where did the flops go? 2/3·n³ total, almost all in the GEMM.
+    let total = 2.0 * (n as f64).powi(3) / 3.0;
+    let mut gemm_flops = 0.0;
+    for k0 in (0..n).step_by(nb) {
+        let rest = (n - k0).saturating_sub(nb);
+        gemm_flops += 2.0 * rest as f64 * rest as f64 * nb.min(n - k0) as f64;
+    }
+    println!(
+        "  {:.1}% of the {:.2e} factorization flops ran as simulated DGEMM",
+        100.0 * gemm_flops / total,
+        total
+    );
+    println!("residual OK — the simulated DGEMM is HPL-grade.");
+}

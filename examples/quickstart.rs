@@ -1,0 +1,51 @@
+//! Quickstart: run the paper's DGEMM on the simulated core group and
+//! check it against a host reference.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sw_dgemm::gen::random_matrix;
+use sw_dgemm::reference::{dgemm_naive, gemm_tolerance};
+use sw_dgemm::timing::estimate;
+use sw_dgemm::{dgemm, Variant};
+
+fn main() {
+    // --- Functional mode: really compute C = αAB + βC on 64 simulated
+    // CPE threads with DMA, LDM blocking and register-communication
+    // data sharing. ---
+    let (m, n, k) = (256, 128, 256);
+    let (alpha, beta) = (1.5, 0.5);
+    let a = random_matrix(m, k, 1);
+    let b = random_matrix(k, n, 2);
+    let mut c = random_matrix(m, n, 3);
+    let mut expect = c.clone();
+
+    let report = dgemm(Variant::Sched, alpha, &a, &b, beta, &mut c).expect("simulated DGEMM");
+    dgemm_naive(alpha, &a, &b, beta, &mut expect);
+    let err = c.max_abs_diff(&expect);
+    let tol = gemm_tolerance(&a, &b, alpha);
+
+    println!("functional SCHED DGEMM, {m}x{n}x{k}:");
+    println!("  max |simulated - reference| = {err:.3e} (tolerance {tol:.3e})");
+    assert!(err <= tol);
+    println!("  DMA traffic: {} B over {} descriptors", report.stats.dma.total_bytes(), report.stats.dma.descriptors);
+    println!("  mesh traffic: {} B in 256-bit broadcasts", report.stats.mesh.bytes_sent());
+    println!("  host wall time: {:?}", report.stats.wall);
+
+    // --- Timing mode: estimate sustained performance at the paper's
+    // production sizes for the whole optimization ladder. ---
+    println!("\ntiming mode at m = n = k = 9216 (paper's Figure 6 point):");
+    for v in Variant::ALL {
+        let t = estimate(v, 9216, 9216, 9216).expect("estimate");
+        println!("  {:<6} {:7.1} Gflops/s  ({:4.1}% of the 742.4 peak)", v.name(), t.gflops, 100.0 * t.efficiency);
+    }
+
+    // --- The full processor: all four core groups of the SW26010. ---
+    let four = sw_dgemm::estimate_multi_cg(Variant::Sched, 4, 9216, 9216, 9216).expect("multi-CG");
+    println!(
+        "\nfull 4-CG processor: {:.1} Gflops/s ({:.1}% of the 2969.6 chip peak)",
+        four.gflops,
+        100.0 * four.efficiency
+    );
+}

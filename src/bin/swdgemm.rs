@@ -1,0 +1,195 @@
+//! `swdgemm` — command-line front end to the simulated SW26010 DGEMM.
+//!
+//! ```text
+//! swdgemm run      --variant sched -m 256 -n 128 -k 256 [--alpha A] [--beta B] [--seed S]
+//! swdgemm estimate [--variant sched|all] -m 9216 -n 9216 -k 9216 [--cgs 1..4]
+//! swdgemm tune     [--target 9216] [--top 10]
+//! swdgemm info
+//! ```
+//!
+//! `run` executes functionally (64 simulated CPE threads) and verifies
+//! against a host reference; `estimate` uses the discrete-event timing
+//! model; `tune` searches the blocking space. The per-figure harnesses
+//! live in the `sw-bench` crate (`cargo run -p sw-bench --bin fig6`).
+
+use std::process::ExitCode;
+use sw26010_dgemm::dgemm::gen::random_matrix;
+use sw26010_dgemm::dgemm::reference::{dgemm_naive, gemm_tolerance};
+use sw26010_dgemm::dgemm::timing::estimate;
+use sw26010_dgemm::dgemm::tuner::tune;
+use sw26010_dgemm::dgemm::{estimate_multi_cg, DgemmRunner, Variant};
+use sw26010_dgemm::mem::dma::BandwidthModel;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+            // A following flag is not a value ("--variant -m 16" must
+            // read as a missing value, not variant "-m").
+            .filter(|v| !v.starts_with('-') || v.parse::<f64>().is_ok())
+    }
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
+        }
+    }
+    fn required_num<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let v = self.flag(name).ok_or_else(|| format!("missing required flag {name}"))?;
+        v.parse().map_err(|_| format!("invalid value for {name}: {v}"))
+    }
+}
+
+fn parse_variant(s: &str) -> Result<Variant, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "raw" => Ok(Variant::Raw),
+        "pe" => Ok(Variant::Pe),
+        "row" => Ok(Variant::Row),
+        "db" => Ok(Variant::Db),
+        "sched" => Ok(Variant::Sched),
+        other => Err(format!("unknown variant '{other}' (raw|pe|row|db|sched)")),
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let variant = parse_variant(args.flag("--variant").unwrap_or("sched"))?;
+    let m: usize = args.required_num("-m")?;
+    let n: usize = args.required_num("-n")?;
+    let k: usize = args.required_num("-k")?;
+    let alpha: f64 = args.num("--alpha", 1.0)?;
+    let beta: f64 = args.num("--beta", 1.0)?;
+    let seed: u64 = args.num("--seed", 42)?;
+
+    if m == 0 || n == 0 || k == 0 {
+        return Err("dimensions must be positive".into());
+    }
+    let a = random_matrix(m, k, seed);
+    let b = random_matrix(k, n, seed + 1);
+    let mut c = random_matrix(m, n, seed + 2);
+    let mut expect = c.clone();
+
+    println!("running {variant} functionally on 64 simulated CPE threads: C = {alpha}*A*B + {beta}*C, {m}x{n}x{k}");
+    let report = DgemmRunner::new(variant)
+        .pad(true)
+        .run(alpha, &a, &b, beta, &mut c)
+        .map_err(|e| e.to_string())?;
+    dgemm_naive(alpha, &a, &b, beta, &mut expect);
+    let err = c.max_abs_diff(&expect);
+    let tol = gemm_tolerance(&a, &b, alpha) * (1.0 + beta.abs());
+    println!("  max |simulated - reference| = {err:.3e} (tolerance {tol:.3e})");
+    if err > tol {
+        return Err("verification FAILED".into());
+    }
+    println!(
+        "  verified OK; DMA {} B over {} descriptors; mesh {} B; wall {:?}",
+        report.stats.dma.total_bytes(),
+        report.stats.dma.descriptors,
+        report.stats.mesh.bytes_sent(),
+        report.stats.wall
+    );
+    Ok(())
+}
+
+fn cmd_estimate(args: &Args) -> Result<(), String> {
+    let m: usize = args.required_num("-m")?;
+    let n: usize = args.required_num("-n")?;
+    let k: usize = args.required_num("-k")?;
+    let cgs: usize = args.num("--cgs", 1)?;
+    let which = args.flag("--variant").unwrap_or("all");
+    let variants: Vec<Variant> = if which == "all" {
+        Variant::ALL.to_vec()
+    } else {
+        vec![parse_variant(which)?]
+    };
+    for v in variants {
+        if cgs == 1 {
+            let r = estimate(v, m, n, k).map_err(|e| e.to_string())?;
+            println!(
+                "{:<6} {:8.1} Gflops/s  ({:4.1}% of one CG's 742.4 peak; {} cycles)",
+                v.name(),
+                r.gflops,
+                100.0 * r.efficiency,
+                r.makespan_cycles
+            );
+        } else {
+            let r = estimate_multi_cg(v, cgs, m, n, k).map_err(|e| e.to_string())?;
+            println!(
+                "{:<6} {:8.1} Gflops/s over {cgs} CGs ({:4.1}% of the {:.1} peak)",
+                v.name(),
+                r.gflops,
+                100.0 * r.efficiency,
+                cgs as f64 * 742.4
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let target: usize = args.num("--target", 9216)?;
+    let top: usize = args.num("--top", 10)?;
+    let results = tune(Variant::Sched, target, &BandwidthModel::calibrated()).map_err(|e| e.to_string())?;
+    println!("top {top} of {} feasible double-buffered blockings near {target}^3:", results.len());
+    println!("  pN   pK   LDM doubles   Gflops/s");
+    for r in results.iter().take(top) {
+        println!(
+            "  {:>2}  {:>3}   {:>11}   {:>8.1}{}",
+            r.params.pn,
+            r.params.pk,
+            r.ldm_doubles,
+            r.gflops,
+            if r.params.pn == 32 && r.params.pk == 96 { "   <- paper" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info() {
+    use sw26010_dgemm::arch::consts::*;
+    println!("simulated SW26010 core group:");
+    println!("  64 CPEs on an 8x8 mesh @ {CLOCK_GHZ} GHz, {FLOPS_PER_CYCLE_PER_CPE} flop/cycle each");
+    println!("  peak {PEAK_GFLOPS_CG:.1} Gflops/s per CG (x4 CGs per processor)");
+    println!("  {LDM_BYTES} B LDM per CPE, {ICACHE_BYTES} B icache");
+    println!("  DMA: {DMA_TRANSACTION_BYTES} B transactions, {DMA_THEORETICAL_GBS} GB/s channel");
+    println!("  latencies: vmad {VMAD_RAW_LATENCY} cyc, register comm {REGCOMM_RAW_LATENCY} cyc");
+}
+
+fn usage() -> String {
+    "usage: swdgemm <run|estimate|tune|info> [flags]\n\
+     \n  run      --variant sched -m M -n N -k K [--alpha A] [--beta B] [--seed S]\
+     \n  estimate [--variant V|all] -m M -n N -k K [--cgs 1..4]\
+     \n  tune     [--target 9216] [--top 10]\
+     \n  info"
+        .into()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = Args(argv);
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "estimate" => cmd_estimate(&args),
+        "tune" => cmd_tune(&args),
+        "info" => {
+            cmd_info();
+            Ok(())
+        }
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the SW26010 DGEMM reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests (and downstream users who just want "the library")
+//! can depend on a single package:
+//!
+//! * [`arch`] — architectural constants and primitive types,
+//! * [`mem`] — main memory, LDM scratch pads, DMA engine,
+//! * [`mesh`] — the 8×8 register-communication mesh,
+//! * [`isa`] — CPE instruction set, pipeline model, kernel generators,
+//! * [`sim`] — the core-group simulator (functional + timing),
+//! * [`dgemm`] — the paper's DGEMM: blocking, sharing scheme, variants,
+//! * [`linalg`] — blocked LU / TRSM / SYRK layered on the DGEMM.
+
+pub use sw_arch as arch;
+pub use sw_dgemm as dgemm;
+pub use sw_isa as isa;
+pub use sw_linalg as linalg;
+pub use sw_mem as mem;
+pub use sw_mesh as mesh;
+pub use sw_sim as sim;

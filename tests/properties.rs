@@ -1,0 +1,348 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use sw26010_dgemm::dgemm::mapping::{row_mode_global_row, row_mode_owner};
+use sw26010_dgemm::dgemm::reference::{dgemm_chunked_fma, dgemm_naive, gemm_tolerance};
+use sw26010_dgemm::isa::kernels::{gen_block_kernel, BlockKernelCfg, KernelStyle, Operand};
+use sw26010_dgemm::isa::sched::list_schedule;
+use sw26010_dgemm::isa::{Machine, NullComm};
+use sw26010_dgemm::mem::{Ldm, MainMemory};
+use sw26010_dgemm::sim::{Dag, Resource};
+use sw_dgemm::gen::random_matrix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ROW_MODE interleave is a bijection on {0..128} × columns.
+    #[test]
+    fn row_mode_interleave_bijective(g in 0usize..1024) {
+        let (c, l) = row_mode_owner(g);
+        prop_assert!(c < 8);
+        prop_assert_eq!(row_mode_global_row(l, c), g);
+    }
+
+    /// LDM bump allocation never overlaps, never exceeds capacity, and
+    /// always returns 128 B-aligned buffers.
+    #[test]
+    fn ldm_allocations_disjoint_and_aligned(sizes in proptest::collection::vec(1usize..700, 1..20)) {
+        let mut ldm = Ldm::new();
+        let mut taken: Vec<(usize, usize)> = Vec::new();
+        for len in sizes {
+            match ldm.alloc(len) {
+                Ok(buf) => {
+                    prop_assert_eq!(buf.len(), len);
+                    prop_assert_eq!(buf.offset() % 16, 0);
+                    prop_assert!(buf.offset() + buf.len() <= 8192);
+                    for &(o, l) in &taken {
+                        prop_assert!(buf.offset() >= o + l || o >= buf.offset() + buf.len(),
+                            "overlap: ({}, {}) vs ({o}, {l})", buf.offset(), buf.len());
+                    }
+                    taken.push((buf.offset(), buf.len()));
+                }
+                Err(_) => {
+                    // Once full, it must stay full for this size.
+                    prop_assert!(ldm.free_doubles() < len);
+                }
+            }
+        }
+    }
+
+    /// The chunked-FMA reference agrees with the naive reference within
+    /// the forward-error envelope for random shapes, chunkings and
+    /// scalars.
+    #[test]
+    fn chunked_reference_within_tolerance(
+        mi in 1usize..12,
+        ni in 1usize..12,
+        chunks in 1usize..6,
+        chunk in prop_oneof![Just(4usize), Just(8), Just(16)],
+        alpha in -4.0f64..4.0,
+        beta in -4.0f64..4.0,
+        seed in 0u64..1000,
+    ) {
+        let (m, n, k) = (mi * 4, ni * 4, chunks * chunk);
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed + 1);
+        let mut c1 = random_matrix(m, n, seed + 2);
+        let mut c2 = c1.clone();
+        dgemm_naive(alpha, &a, &b, beta, &mut c1);
+        dgemm_chunked_fma(alpha, &a, &b, beta, &mut c2, chunk);
+        let tol = gemm_tolerance(&a, &b, alpha) * (1.0 + beta.abs());
+        prop_assert!(c1.max_abs_diff(&c2) <= tol);
+    }
+
+    /// The list scheduler preserves kernel semantics for arbitrary
+    /// shapes and operand sources (numerics must match the unscheduled
+    /// stream bitwise).
+    #[test]
+    fn list_scheduler_preserves_semantics(
+        pm_tiles in 1usize..3,
+        pn_tiles in 1usize..4,
+        pk in prop_oneof![Just(2usize), Just(5), Just(8)],
+        alpha in -2.0f64..2.0,
+        seed in 0u64..100,
+    ) {
+        let (pm, pn) = (16 * pm_tiles, 4 * pn_tiles);
+        let cfg = BlockKernelCfg {
+            pm, pn, pk,
+            a_src: Operand::Ldm,
+            b_src: Operand::Ldm,
+            a_base: 0,
+            b_base: 2048,
+            c_base: 4096,
+            alpha_addr: 8000,
+        };
+        let naive = gen_block_kernel(&cfg, KernelStyle::Naive);
+        let auto = list_schedule(&naive);
+        let mk_ldm = || {
+            let mat = random_matrix(8192, 1, seed);
+            let mut v = mat.into_vec();
+            v[8000] = alpha;
+            v
+        };
+        let mut l1 = mk_ldm();
+        let mut l2 = mk_ldm();
+        let mut comm = NullComm;
+        let r1 = Machine::new(&mut l1, &mut comm).run(&naive);
+        let r2 = Machine::new(&mut l2, &mut comm).run(&auto);
+        prop_assert_eq!(l1, l2);
+        prop_assert!(r2.cycles <= r1.cycles, "scheduling must never slow a stream down: {} vs {}", r2.cycles, r1.cycles);
+    }
+
+    /// Timing-engine sanity: the makespan is at least the critical
+    /// serial resource demand and at most the fully serial sum.
+    #[test]
+    fn dag_makespan_bounds(durations in proptest::collection::vec((0u8..2, 1u64..1000), 1..40)) {
+        let mut dag = Dag::new();
+        let mut total = 0u64;
+        let mut dma = 0u64;
+        let mut cpes = 0u64;
+        let mut prev = None;
+        for (i, &(res, d)) in durations.iter().enumerate() {
+            let resource = if res == 0 { Resource::Dma } else { Resource::Cpes };
+            match resource { Resource::Dma => dma += d, Resource::Cpes => cpes += d, _ => {} }
+            total += d;
+            // Chain every third task to create dependence structure.
+            let deps: Vec<_> = if i % 3 == 0 { prev.into_iter().collect() } else { vec![] };
+            prev = Some(dag.task(resource, d, &deps, "t"));
+        }
+        let r = dag.schedule();
+        prop_assert!(r.makespan_cycles <= total);
+        prop_assert!(r.makespan_cycles >= dma.max(cpes));
+        prop_assert_eq!(r.dma_busy_cycles, dma);
+        prop_assert_eq!(r.cpes_busy_cycles, cpes);
+    }
+
+    /// Main-memory install/extract round-trips arbitrary matrices.
+    #[test]
+    fn main_memory_roundtrip(rows in 1usize..64, cols in 1usize..64, seed in 0u64..1000) {
+        let m = random_matrix(rows, cols, seed);
+        let mut mem = MainMemory::new();
+        let id = mem.install(m.clone()).unwrap();
+        prop_assert_eq!(mem.extract(id).unwrap(), m);
+    }
+
+    /// Matrix max_abs_diff is a metric-ish: symmetric and zero iff
+    /// equal.
+    #[test]
+    fn matrix_diff_properties(rows in 1usize..16, cols in 1usize..16, seed in 0u64..100) {
+        let a = random_matrix(rows, cols, seed);
+        let b = random_matrix(rows, cols, seed + 1);
+        prop_assert_eq!(a.max_abs_diff(&b), b.max_abs_diff(&a));
+        prop_assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+}
+
+proptest! {
+    // The full functional simulator is expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// End-to-end: the SCHED variant matches the naive host reference
+    /// for random block-aligned shapes and scalars.
+    #[test]
+    fn functional_sched_random_shapes(
+        mi in 1usize..3,
+        ni in 1usize..3,
+        ki in 1usize..3,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let p = sw_dgemm::BlockingParams::test_small();
+        let (m, n, k) = (mi * p.bm(), ni * p.bn(), ki * p.bk());
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed + 1);
+        let mut c = random_matrix(m, n, seed + 2);
+        let mut expect = c.clone();
+        sw_dgemm::DgemmRunner::new(sw_dgemm::Variant::Sched)
+            .params(p)
+            .run(alpha, &a, &b, beta, &mut c)
+            .unwrap();
+        dgemm_naive(alpha, &a, &b, beta, &mut expect);
+        let tol = gemm_tolerance(&a, &b, alpha) * (1.0 + beta.abs());
+        prop_assert!(c.max_abs_diff(&expect) <= tol);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The software-emulated cache is transparent: any access sequence
+    /// reads the same values as direct memory access, and after a
+    /// flush, main memory reflects all writes.
+    #[test]
+    fn software_cache_is_transparent(
+        lines in 1usize..8,
+        ops in proptest::collection::vec((0usize..64, 0usize..8, proptest::option::of(-100.0f64..100.0)), 1..60),
+        seed in 0u64..100,
+    ) {
+        use sw26010_dgemm::mem::SoftCache;
+        let mut mem = MainMemory::new();
+        let m0 = random_matrix(64, 8, seed);
+        let mat = mem.install(m0.clone()).unwrap();
+        let mut shadow = m0;
+        let mut ldm = Ldm::new();
+        let buf = ldm.alloc(lines * 16).unwrap();
+        let mut cache = SoftCache::new(&mem, mat, buf).unwrap();
+        for (r, c, write) in ops {
+            match write {
+                Some(v) => {
+                    cache.write(&mem, &mut ldm, r, c, v).unwrap();
+                    shadow.set(r, c, v);
+                }
+                None => {
+                    let got = cache.read(&mem, &mut ldm, r, c).unwrap();
+                    prop_assert_eq!(got, shadow.get(r, c));
+                }
+            }
+        }
+        cache.flush(&mem, &ldm).unwrap();
+        prop_assert_eq!(mem.extract(mat).unwrap(), shadow);
+    }
+
+    /// ROW_MODE get followed by ROW_MODE put is the identity for any
+    /// aligned region, for every mesh column.
+    #[test]
+    fn row_mode_roundtrip_property(
+        row_blocks in 1usize..6,
+        cols in 1usize..6,
+        col0 in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        use sw26010_dgemm::mem::dma::{row_get, row_put, MatRegion};
+        let rows = 16 * row_blocks.max(1);
+        let src = random_matrix(rows.max(128), 8, seed);
+        let mut mem = MainMemory::new();
+        let a = mem.install(src.clone()).unwrap();
+        let b = mem.install(sw_dgemm::Matrix::zeros(src.rows(), src.cols())).unwrap();
+        let region_a = MatRegion::new(a, 0, col0, rows, cols);
+        let region_b = MatRegion::new(b, 0, col0, rows, cols);
+        for mesh_col in 0..8 {
+            let mut ldm = Ldm::new();
+            let buf = ldm.alloc(rows * cols / 8).unwrap();
+            row_get(&mem, region_a, mesh_col, &mut ldm, buf).unwrap();
+            row_put(&mem, region_b, mesh_col, &ldm, buf).unwrap();
+        }
+        let out = mem.extract(b).unwrap();
+        for c in col0..col0 + cols {
+            for r in 0..rows {
+                prop_assert_eq!(out.get(r, c), src.get(r, c));
+            }
+        }
+    }
+
+    /// Padding embeds/extracts are lossless and zero-fill the frame.
+    #[test]
+    fn padding_embed_extract(rows in 1usize..20, cols in 1usize..20, pr in 0usize..10, pc in 0usize..10, seed in 0u64..100) {
+        use sw_dgemm::padding::PadPlan;
+        let m = random_matrix(rows, cols, seed);
+        let e = PadPlan::embed(&m, rows + pr, cols + pc);
+        prop_assert_eq!(PadPlan::extract(&e, rows, cols), m.clone());
+        // Frame is zero.
+        for c in 0..cols + pc {
+            for r in 0..rows + pr {
+                if r >= rows || c >= cols {
+                    prop_assert_eq!(e.get(r, c), 0.0);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Binary encode/decode is a bijection over random well-formed
+    /// instructions.
+    #[test]
+    fn instruction_encoding_roundtrip(
+        op in 0usize..15,
+        rd in 0u8..32,
+        ra in 0u8..32,
+        rb in 0u8..32,
+        rc_ in 0u8..32,
+        disp in -8192i64..8192,
+        target in 0usize..65536,
+    ) {
+        use sw26010_dgemm::isa::encoding::{decode, encode};
+        use sw26010_dgemm::isa::instr::{Instr, Net};
+        use sw26010_dgemm::isa::{IReg, VReg};
+        let ir = |r: u8| IReg(r % 8);
+        let i = match op {
+            0 => Instr::Vmad { a: VReg(ra), b: VReg(rb), c: VReg(rc_), d: VReg(rd) },
+            1 => Instr::Vldd { d: VReg(rd), base: ir(ra), off: disp },
+            2 => Instr::Vstd { s: VReg(rd), base: ir(ra), off: disp },
+            3 => Instr::Ldde { d: VReg(rd), base: ir(ra), off: disp },
+            4 => Instr::Vldr { d: VReg(rd), base: ir(ra), off: disp, net: Net::Row },
+            5 => Instr::Vldr { d: VReg(rd), base: ir(ra), off: disp, net: Net::Col },
+            6 => Instr::Lddec { d: VReg(rd), base: ir(ra), off: disp, net: Net::Row },
+            7 => Instr::Lddec { d: VReg(rd), base: ir(ra), off: disp, net: Net::Col },
+            8 => Instr::Getr { d: VReg(rd) },
+            9 => Instr::Getc { d: VReg(rd) },
+            10 => Instr::Vclr { d: VReg(rd) },
+            11 => Instr::Addl { d: ir(rd), s: ir(ra), imm: disp },
+            12 => Instr::Setl { d: ir(rd), imm: disp },
+            13 => Instr::Bne { s: ir(rd), target },
+            _ => Instr::Nop,
+        };
+        let w = encode(&i).unwrap();
+        prop_assert_eq!(decode(w).unwrap(), i);
+    }
+
+    /// The CG-level traffic formula of §III-C.1 is exact against a
+    /// direct walk of Algorithm 1's loads/stores.
+    #[test]
+    fn cg_traffic_formula_exact(mi in 1usize..6, ni in 1usize..6, ki in 1usize..6) {
+        use sw_dgemm::model::cg_traffic_elements;
+        let (bm, bn, bk) = (128usize, 256usize, 768usize);
+        let (m, n, k) = (mi * bm, ni * bn, ki * bk);
+        // Walk Algorithm 1: per (j, l): B block once; per i: A block, C
+        // in and out.
+        let mut elems = 0usize;
+        for _j in 0..n / bn {
+            for _l in 0..k / bk {
+                elems += bk * bn;
+                for _i in 0..m / bm {
+                    elems += bm * bk + 2 * bm * bn;
+                }
+            }
+        }
+        let formula = cg_traffic_elements(m, n, k, bk, bn);
+        prop_assert!((formula - elems as f64).abs() < 1.0, "formula {formula}, walked {elems}");
+    }
+
+    /// Padding overhead is the flop ratio and is always ≥ 1 and < the
+    /// worst-case bound ((1 + bm/m)(1 + bn/n)(1 + bk/k)).
+    #[test]
+    fn padding_overhead_bounds(m in 1usize..500, n in 1usize..500, k in 1usize..500) {
+        use sw_dgemm::padding::PadPlan;
+        let (bm, bn, bk) = (128usize, 64usize, 128usize);
+        let p = PadPlan::new(m, n, k, bm, bn, bk).unwrap();
+        let o = p.overhead();
+        prop_assert!(o >= 1.0);
+        let bound = (1.0 + bm as f64 / m as f64)
+            * (1.0 + bn as f64 / n as f64)
+            * (1.0 + bk as f64 / k as f64);
+        prop_assert!(o <= bound);
+    }
+}
