@@ -22,8 +22,7 @@ pub const CPES_PER_CG: usize = 64;
 
 /// Theoretical double-precision peak of one CPE cluster:
 /// 8 flop/cycle × 1.45 GHz × 64 CPEs = 742.4 Gflops/s.
-pub const PEAK_GFLOPS_CG: f64 =
-    FLOPS_PER_CYCLE_PER_CPE as f64 * CLOCK_GHZ * CPES_PER_CG as f64;
+pub const PEAK_GFLOPS_CG: f64 = FLOPS_PER_CYCLE_PER_CPE as f64 * CLOCK_GHZ * CPES_PER_CG as f64;
 
 /// Local device memory (scratch pad) per CPE, in bytes.
 pub const LDM_BYTES: usize = 64 * 1024;

@@ -6,8 +6,6 @@
 //! (`id = row * 8 + col`), matching the order in which `sw-sim` spawns
 //! the 64 threads.
 
-use serde::{Deserialize, Serialize};
-
 /// Rows of the CPE mesh.
 pub const MESH_ROWS: usize = 8;
 /// Columns of the CPE mesh.
@@ -17,7 +15,7 @@ pub const N_CPES: usize = MESH_ROWS * MESH_COLS;
 
 /// Position of a CPE (equivalently, of the thread it runs) on the 8×8
 /// mesh.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Coord {
     /// Mesh row, `0..8`.
     pub row: u8,
@@ -29,8 +27,14 @@ impl Coord {
     /// Builds a coordinate, panicking if out of range.
     #[inline]
     pub fn new(row: usize, col: usize) -> Self {
-        assert!(row < MESH_ROWS && col < MESH_COLS, "coordinate ({row},{col}) off the 8x8 mesh");
-        Coord { row: row as u8, col: col as u8 }
+        assert!(
+            row < MESH_ROWS && col < MESH_COLS,
+            "coordinate ({row},{col}) off the 8x8 mesh"
+        );
+        Coord {
+            row: row as u8,
+            col: col as u8,
+        }
     }
 
     /// Linear (row-major) id, `0..64`.
@@ -43,7 +47,10 @@ impl Coord {
     #[inline]
     pub fn from_id(id: usize) -> Self {
         assert!(id < N_CPES, "CPE id {id} out of range");
-        Coord { row: (id / MESH_COLS) as u8, col: (id % MESH_COLS) as u8 }
+        Coord {
+            row: (id / MESH_COLS) as u8,
+            col: (id % MESH_COLS) as u8,
+        }
     }
 
     /// Iterator over all 64 coordinates in id order.

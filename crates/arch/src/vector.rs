@@ -4,15 +4,13 @@
 //! with FMA) and the register-communication mesh move data in 256-bit
 //! units. [`V256`] is that unit: four `f64` lanes.
 
-use serde::{Deserialize, Serialize};
-
 /// A 256-bit vector of four `f64` lanes.
 ///
 /// `fma` mirrors the SW26010 `vmad` instruction: one rounding per lane
 /// (`f64::mul_add`), which is what makes the simulator's DGEMM results
 /// reproducible against a host reference that uses the same accumulation
 /// order.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct V256(pub [f64; 4]);
 
 impl V256 {

@@ -1,9 +1,10 @@
-//! Criterion bench of the Figure 4 artefact: the modelled DMA sweep
+//! Bench of the Figure 4 artefact: the modelled DMA sweep
 //! plus the *functional* DMA engine actually moving a CG block in both
 //! modes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sw_bench::harness::Criterion;
+use sw_bench::{criterion_group, criterion_main};
 use sw_mem::dma::{BandwidthModel, DmaMode, MatRegion};
 use sw_mem::microbench::{fig4_sweep, sustained_bandwidth_gbs, MicrobenchConfig};
 use sw_mem::{HostMatrix, Ldm, MainMemory};
@@ -15,7 +16,15 @@ fn bench_model_sweep(c: &mut Criterion) {
     });
     let cfg = MicrobenchConfig::default();
     c.bench_function("fig4/model_point_row_9216", |b| {
-        b.iter(|| black_box(sustained_bandwidth_gbs(&model, DmaMode::Row, 9216, 9216, &cfg)))
+        b.iter(|| {
+            black_box(sustained_bandwidth_gbs(
+                &model,
+                DmaMode::Row,
+                9216,
+                9216,
+                &cfg,
+            ))
+        })
     });
 }
 

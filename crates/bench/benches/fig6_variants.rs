@@ -1,9 +1,10 @@
-//! Criterion bench of the Figure 6 artefact: timing-mode estimation
+//! Bench of the Figure 6 artefact: timing-mode estimation
 //! cost per variant at the paper's production size, and full
 //! functional runs of every variant at test scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sw_bench::harness::Criterion;
+use sw_bench::{criterion_group, criterion_main};
 use sw_dgemm::gen::random_matrix;
 use sw_dgemm::timing::estimate;
 use sw_dgemm::variants::raw::RawParams;

@@ -1,7 +1,8 @@
-//! Criterion bench of the Figure 7 artefact: shape-sweep estimation.
+//! Bench of the Figure 7 artefact: shape-sweep estimation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sw_bench::harness::Criterion;
+use sw_bench::{criterion_group, criterion_main};
 use sw_dgemm::timing::estimate;
 use sw_dgemm::Variant;
 

@@ -1,8 +1,9 @@
-//! Criterion bench of the functional simulator end-to-end: a full
+//! Bench of the functional simulator end-to-end: a full
 //! 64-thread SCHED DGEMM at test scale, against the host references.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sw_bench::harness::Criterion;
+use sw_bench::{criterion_group, criterion_main};
 use sw_dgemm::gen::random_matrix;
 use sw_dgemm::reference::{dgemm_naive, dgemm_parallel};
 use sw_dgemm::{BlockingParams, DgemmRunner, Variant};

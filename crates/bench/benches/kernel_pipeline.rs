@@ -1,9 +1,10 @@
-//! Criterion bench of the kernel-scheduling ablation: executor
+//! Bench of the kernel-scheduling ablation: executor
 //! throughput on the naive, list-scheduled and hand-scheduled
 //! (Algorithm 3) streams, plus generator and scheduler cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sw_bench::harness::Criterion;
+use sw_bench::{criterion_group, criterion_main};
 use sw_isa::kernels::{gen_block_kernel, BlockKernelCfg, KernelStyle, Operand};
 use sw_isa::sched::list_schedule;
 use sw_isa::{Machine, NullComm};
@@ -28,7 +29,11 @@ fn bench_kernels(c: &mut Criterion) {
     let hand = gen_block_kernel(&cfg, KernelStyle::Scheduled);
     let auto = list_schedule(&naive);
     let mut group = c.benchmark_group("kernel/execute");
-    for (name, prog) in [("naive", &naive), ("list_scheduled", &auto), ("hand_alg3", &hand)] {
+    for (name, prog) in [
+        ("naive", &naive),
+        ("list_scheduled", &auto),
+        ("hand_alg3", &hand),
+    ] {
         group.bench_function(name, |b| {
             let mut ldm = vec![0.0f64; 8192];
             ldm[8000] = 1.0;

@@ -27,12 +27,20 @@ fn main() {
         "SCHED Gflops (double-buffered)",
     ]);
     for pn in [16usize, 24, 32, 40, 48] {
-        let params = BlockingParams { pm: 16, pn, pk: 96, rm: 4, rn: 4 };
+        let params = BlockingParams {
+            pm: 16,
+            pn,
+            pk: 96,
+            rm: 4,
+            rn: 4,
+        };
         let n = mk.next_multiple_of(params.bn());
         let single = if fits_ldm(16, pn, 96, false) {
             format!(
                 "{:.1}",
-                estimate_shared(Variant::Row, mk, n, mk, params, &model).unwrap().gflops
+                estimate_shared(Variant::Row, mk, n, mk, params, &model)
+                    .unwrap()
+                    .gflops
             )
         } else {
             "does not fit".into()
@@ -40,7 +48,9 @@ fn main() {
         let double = if fits_ldm(16, pn, 96, true) {
             format!(
                 "{:.1}",
-                estimate_shared(Variant::Sched, mk, n, mk, params, &model).unwrap().gflops
+                estimate_shared(Variant::Sched, mk, n, mk, params, &model)
+                    .unwrap()
+                    .gflops
             )
         } else {
             "does not fit".into()

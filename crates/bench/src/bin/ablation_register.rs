@@ -43,7 +43,14 @@ fn main() {
         .collect();
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
 
-    let mut table = Table::new(["rM", "rN", "registers", "analytic reduction", "cycles/vmad", "flops/cycle"]);
+    let mut table = Table::new([
+        "rM",
+        "rN",
+        "registers",
+        "analytic reduction",
+        "cycles/vmad",
+        "flops/cycle",
+    ]);
     for (t, per, _) in &rows {
         table.row([
             t.rm.to_string(),
@@ -54,7 +61,9 @@ fn main() {
             format!("{:.2}", 8.0 / per),
         ]);
     }
-    println!("§III-C.3 register-blocking ablation (list-scheduled kernels on the pipeline model)\n");
+    println!(
+        "§III-C.3 register-blocking ablation (list-scheduled kernels on the pipeline model)\n"
+    );
     println!("{}", table.render());
     let best = rows.first().unwrap();
     println!(

@@ -14,10 +14,20 @@ use sw_dgemm::model::{
 fn main() {
     println!("§III-C.1 — CG-level blocking bound");
     println!("  F = 742.4 Gflops/s, W = 8 B/flop, Bt = 34 GB/s");
-    println!("  ⇒ bN > F·W/Bt = {:.1} (paper: bN ≥ 175, bK ≥ 350 with bK = 2·bN)\n", min_bn());
+    println!(
+        "  ⇒ bN > F·W/Bt = {:.1} (paper: bN ≥ 175, bK ≥ 350 with bK = 2·bN)\n",
+        min_bn()
+    );
 
     let mut t = Table::new(["bK", "bN", "reduction S", "required GB/s", "feasible?"]);
-    for (bk, bn) in [(256, 128), (384, 192), (512, 256), (768, 256), (768, 384), (1024, 512)] {
+    for (bk, bn) in [
+        (256, 128),
+        (384, 192),
+        (512, 256),
+        (768, 256),
+        (768, 384),
+        (1024, 512),
+    ] {
         let req = required_bandwidth_gbs(bk, bn);
         t.row([
             bk.to_string(),
@@ -31,13 +41,25 @@ fn main() {
 
     println!("§III-C.2 — thread-level LDM feasibility (pM = 16, double buffered)");
     let mut t = Table::new(["pN", "pK", "LDM doubles", "fits < 8192?"]);
-    for (pn, pk) in [(48, 96), (32, 96), (32, 112), (24, 128), (20, 144), (48, 48)] {
+    for (pn, pk) in [
+        (48, 96),
+        (32, 96),
+        (32, 112),
+        (24, 128),
+        (20, 144),
+        (48, 48),
+    ] {
         let words = 2 * (16 * pn + 16 * pk) + pk * pn;
         t.row([
             pn.to_string(),
             pk.to_string(),
             words.to_string(),
-            if fits_ldm(16, pn, pk, true) { "yes" } else { "no" }.to_string(),
+            if fits_ldm(16, pn, pk, true) {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     println!("{}", t.render());

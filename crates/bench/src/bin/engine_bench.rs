@@ -1,0 +1,609 @@
+//! Execution-engine benchmark: measures what the engine overhaul
+//! bought, and writes `BENCH_engine.json`.
+//!
+//! Two measurements:
+//!
+//! 1. **Interpreter throughput** (instructions/second) on the
+//!    production kernel streams, for three engines: the *seed* engine
+//!    (re-implemented here verbatim, with its per-instruction `Vec`
+//!    source-register queries), the current reference engine
+//!    (`Machine::run_reference`, allocation-free source sets), and the
+//!    predecoded engine (`Machine::run_decoded`).
+//! 2. **Fig. 6 sweep wall time** (10 square sizes × 5 variants of
+//!    timing-mode estimation), seed engine — `Vec`-allocating
+//!    interpreter, `Vec`-dependence DAG, no kernel memoization —
+//!    versus the current engine, cold (kernel cache reset before each
+//!    measured round) and warm.
+//!
+//! Every comparison first asserts the engines agree exactly (same
+//! `ExecReport`, same makespan per estimate), so the speedups reported
+//! are for interchangeable computations.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use sw_bench::paper::PAPER_FIG6_SCHED;
+use sw_dgemm::timing::{estimate, kernel_cache_reset, kernel_cache_stats};
+use sw_dgemm::Variant;
+use sw_isa::kernels::{gen_block_kernel, BlockKernelCfg, KernelStyle, Operand};
+use sw_isa::{DecodedProgram, Instr, Machine, SinkComm};
+
+/// A faithful re-implementation of the seed revision's execution
+/// engine, kept as the benchmark baseline: per-instruction `Vec`
+/// source queries in the interpreter, `Vec`-backed task dependences in
+/// the discrete-event DAG, and no kernel-report memoization.
+mod seed {
+    use sw_arch::consts::{MESH_TRANSIT_CYCLES, VREG_COUNT};
+    use sw_arch::V256;
+    use sw_dgemm::variants::raw::RawParams;
+    use sw_dgemm::{GemmPlan, Variant};
+    use sw_isa::kernels::{gen_block_kernel, BlockKernelCfg, KernelStyle, Operand};
+    use sw_isa::{ExecReport, IReg, Instr, VReg};
+    use sw_mem::dma::{BandwidthModel, DmaMode};
+
+    const IREG_COUNT: usize = 8;
+    const BRANCH_TAKEN_PENALTY: u64 = 2;
+    const STEP_SYNC_CYCLES: u64 = MESH_TRANSIT_CYCLES + 40;
+
+    fn vsrcs(i: &Instr) -> Vec<VReg> {
+        match *i {
+            Instr::Vmad { a, b, c, .. } => vec![a, b, c],
+            Instr::Vstd { s, .. } => vec![s],
+            _ => vec![],
+        }
+    }
+
+    fn isrcs(i: &Instr) -> Vec<IReg> {
+        match *i {
+            Instr::Vldd { base, .. }
+            | Instr::Vstd { base, .. }
+            | Instr::Ldde { base, .. }
+            | Instr::Vldr { base, .. }
+            | Instr::Lddec { base, .. } => vec![base],
+            Instr::Addl { s, .. } | Instr::Bne { s, .. } => vec![s],
+            _ => vec![],
+        }
+    }
+
+    /// The seed `Machine::run` loop, heap-allocating source sets per
+    /// dynamic instruction. Broadcasts are sunk and receives return
+    /// zero (`SinkComm` semantics).
+    pub fn run(prog: &[Instr], ldm: &mut [f64]) -> ExecReport {
+        let mut vregs = [V256::ZERO; VREG_COUNT];
+        let mut iregs = [0i64; IREG_COUNT];
+        let mut report = ExecReport::default();
+        let mut vready = [0u64; VREG_COUNT];
+        let mut iready = [0u64; IREG_COUNT];
+        let mut cur: u64 = 0;
+        let mut p0_used = false;
+        let mut p1_used = false;
+        let mut last_issue: u64 = 0;
+        let mut pc = 0usize;
+
+        let addr = |iregs: &[i64; IREG_COUNT], base: IReg, off: i64| -> usize {
+            let a = iregs[base.idx()] + off;
+            assert!(a >= 0);
+            a as usize
+        };
+
+        while pc < prog.len() {
+            let instr = prog[pc];
+            report.instructions += 1;
+            assert!(report.instructions <= 200_000_000, "runaway loop");
+
+            let mut t = cur;
+            for r in vsrcs(&instr) {
+                t = t.max(vready[r.idx()]);
+            }
+            for r in isrcs(&instr) {
+                t = t.max(iready[r.idx()]);
+            }
+            if let Some(d) = instr.vdst() {
+                t = t.max(vready[d.idx()]);
+            }
+            if let Some(d) = instr.idst() {
+                t = t.max(iready[d.idx()]);
+            }
+            loop {
+                if t > cur {
+                    cur = t;
+                    p0_used = false;
+                    p1_used = false;
+                }
+                let used = match instr.pipe() {
+                    sw_isa::instr::Pipe::P0 => &mut p0_used,
+                    sw_isa::instr::Pipe::P1 => &mut p1_used,
+                };
+                if !*used {
+                    *used = true;
+                    break;
+                }
+                t += 1;
+            }
+            if p0_used && p1_used {
+                report.dual_issue_cycles += 1;
+            }
+            last_issue = last_issue.max(t);
+
+            if let Some(d) = instr.vdst() {
+                vready[d.idx()] = t + instr.latency();
+            }
+            if let Some(d) = instr.idst() {
+                iready[d.idx()] = t + instr.latency();
+            }
+            let mut next_pc = pc + 1;
+            match instr {
+                Instr::Vmad { a, b, c, d } => {
+                    report.vmads += 1;
+                    vregs[d.idx()] = vregs[a.idx()].fma(vregs[b.idx()], vregs[c.idx()]);
+                }
+                Instr::Vldd { d, base, off } => {
+                    let a = addr(&iregs, base, off);
+                    vregs[d.idx()] = V256::load(&ldm[a..]);
+                }
+                Instr::Vstd { s, base, off } => {
+                    let a = addr(&iregs, base, off);
+                    vregs[s.idx()].store(&mut ldm[a..a + 4]);
+                }
+                Instr::Ldde { d, base, off } => {
+                    let a = addr(&iregs, base, off);
+                    vregs[d.idx()] = V256::splat(ldm[a]);
+                }
+                Instr::Vldr { d, base, off, .. } => {
+                    let a = addr(&iregs, base, off);
+                    vregs[d.idx()] = V256::load(&ldm[a..]);
+                }
+                Instr::Lddec { d, base, off, .. } => {
+                    let a = addr(&iregs, base, off);
+                    vregs[d.idx()] = V256::splat(ldm[a]);
+                }
+                Instr::Getr { d } | Instr::Getc { d } => {
+                    vregs[d.idx()] = V256::ZERO;
+                }
+                Instr::Vclr { d } => {
+                    vregs[d.idx()] = V256::ZERO;
+                }
+                Instr::Addl { d, s, imm } => {
+                    iregs[d.idx()] = iregs[s.idx()] + imm;
+                }
+                Instr::Setl { d, imm } => {
+                    iregs[d.idx()] = imm;
+                }
+                Instr::Bne { s, target } => {
+                    if iregs[s.idx()] != 0 {
+                        report.taken_branches += 1;
+                        next_pc = target;
+                        cur = t + 1 + BRANCH_TAKEN_PENALTY;
+                        p0_used = false;
+                        p1_used = false;
+                    }
+                }
+                Instr::Nop => {}
+            }
+            pc = next_pc;
+        }
+        report.cycles = if report.instructions == 0 {
+            0
+        } else {
+            last_issue + 1
+        };
+        report
+    }
+
+    /// The seed DAG: task dependences heap-allocated per task.
+    #[derive(Default)]
+    pub struct SeedDag {
+        tasks: Vec<(u8, u64, Vec<usize>)>, // (resource, duration, deps)
+    }
+
+    const DMA: u8 = 0;
+    const CPES: u8 = 1;
+
+    impl SeedDag {
+        fn task(&mut self, resource: u8, duration: u64, deps: &[usize]) -> usize {
+            let id = self.tasks.len();
+            self.tasks.push((resource, duration, deps.to_vec()));
+            id
+        }
+
+        fn schedule(&self) -> u64 {
+            let mut finish = vec![0u64; self.tasks.len()];
+            let mut dma_free = 0u64;
+            let mut cpes_free = 0u64;
+            let mut makespan = 0u64;
+            for (i, (res, dur, deps)) in self.tasks.iter().enumerate() {
+                let ready = deps.iter().map(|&d| finish[d]).max().unwrap_or(0);
+                let start = if *res == DMA {
+                    ready.max(dma_free)
+                } else {
+                    ready.max(cpes_free)
+                };
+                let end = start + dur;
+                if *res == DMA {
+                    dma_free = end;
+                } else {
+                    cpes_free = end;
+                }
+                finish[i] = end;
+                makespan = makespan.max(end);
+            }
+            makespan
+        }
+    }
+
+    /// The seed `measure_kernel`: regenerates and re-executes the
+    /// kernel stream on every call (no memoization), on the
+    /// `Vec`-allocating interpreter.
+    pub fn measure_kernel(pm: usize, pn: usize, pk: usize, style: KernelStyle) -> ExecReport {
+        let a_base = 0;
+        let b_base = (a_base + pm * pk).next_multiple_of(4);
+        let c_base = (b_base + pk * pn).next_multiple_of(4);
+        let alpha_addr = c_base + pm * pn;
+        let cfg = BlockKernelCfg {
+            pm,
+            pn,
+            pk,
+            a_src: Operand::Ldm,
+            b_src: Operand::Ldm,
+            a_base,
+            b_base,
+            c_base,
+            alpha_addr,
+        };
+        let mut ldm = vec![0.0f64; alpha_addr + 1];
+        ldm[alpha_addr] = 1.0;
+        run(&gen_block_kernel(&cfg, style), &mut ldm)
+    }
+
+    /// The seed shared-variant estimate: same schedule construction as
+    /// `sw_dgemm::timing::build_shared_dag`, on the seed DAG and the
+    /// seed interpreter. Returns the makespan in cycles.
+    pub fn estimate_shared_makespan(variant: Variant, m: usize, n: usize, k: usize) -> u64 {
+        let model = BandwidthModel::calibrated();
+        let params = variant.paper_params();
+        let plan = GemmPlan::new(m, n, k, params, variant.double_buffered()).unwrap();
+        let mapping = variant.mapping();
+        let p = plan.params;
+        let kernel = measure_kernel(p.pm, p.pn, p.pk, variant.kernel_style());
+        let block_compute = 8 * (kernel.cycles + STEP_SYNC_CYCLES);
+
+        let (a_fp, b_fp, c_fp) = (m * k * 8, k * n * 8, m * n * 8);
+        let (bm, bn, bk) = (p.bm(), p.bn(), p.bk());
+        let b_cycles = model.transfer_cycles(DmaMode::Pe, 64, bk * bn * 8, p.pk * 8, b_fp);
+        let (ac_mode, ac_desc, ac_run) = match mapping {
+            sw_dgemm::mapping::Mapping::Pe => (DmaMode::Pe, 64, p.pm * 8),
+            sw_dgemm::mapping::Mapping::Row => (DmaMode::Row, 8, bm * 8),
+        };
+        let a_cycles = model.transfer_cycles(ac_mode, ac_desc, bm * bk * 8, ac_run, a_fp);
+        let c_cycles = model.transfer_cycles(ac_mode, ac_desc, bm * bn * 8, ac_run, c_fp);
+
+        let mut dag = SeedDag::default();
+        let mut prev_compute: Option<usize> = None;
+        let dep = |t: Option<usize>| t.map(|x| vec![x]).unwrap_or_default();
+        for _j in 0..plan.grid_n {
+            for _l in 0..plan.grid_k {
+                let b_task = dag.task(DMA, b_cycles, &dep(prev_compute));
+                if plan.double_buffered {
+                    let mut pref_a = dag.task(DMA, a_cycles, &dep(prev_compute));
+                    let mut pref_c = dag.task(DMA, c_cycles, &dep(prev_compute));
+                    for i in 0..plan.grid_m {
+                        let (next_a, next_c) = if i + 1 < plan.grid_m {
+                            let a = dag.task(DMA, a_cycles, &dep(prev_compute));
+                            let c = dag.task(DMA, c_cycles, &dep(prev_compute));
+                            (Some(a), Some(c))
+                        } else {
+                            (None, None)
+                        };
+                        let mut deps = vec![pref_a, pref_c, b_task];
+                        if let Some(pc) = prev_compute {
+                            deps.push(pc);
+                        }
+                        let compute = dag.task(CPES, block_compute, &deps);
+                        dag.task(DMA, c_cycles, &[compute]);
+                        prev_compute = Some(compute);
+                        if let (Some(a), Some(c)) = (next_a, next_c) {
+                            pref_a = a;
+                            pref_c = c;
+                        }
+                    }
+                } else {
+                    for _i in 0..plan.grid_m {
+                        let a = dag.task(DMA, a_cycles, &dep(prev_compute));
+                        let c = dag.task(DMA, c_cycles, &dep(prev_compute));
+                        let compute = dag.task(CPES, block_compute, &[a, c, b_task]);
+                        dag.task(DMA, c_cycles, &[compute]);
+                        prev_compute = Some(compute);
+                    }
+                }
+            }
+        }
+        dag.schedule()
+    }
+
+    /// The seed RAW-baseline estimate (same construction as
+    /// `sw_dgemm::timing::estimate_raw`), returning the makespan.
+    pub fn estimate_raw_makespan(m: usize, n: usize, k: usize) -> u64 {
+        let model = BandwidthModel::calibrated();
+        let raw = RawParams::paper();
+        let kernel = measure_kernel(raw.pm, raw.pn, raw.kc, KernelStyle::Naive);
+        let chunks = k / raw.kc;
+        let (a_fp, b_fp, c_fp) = (m * k * 8, k * n * 8, m * n * 8);
+        let c_io =
+            2 * model.transfer_cycles(DmaMode::Pe, 64, 64 * raw.pm * raw.pn * 8, raw.pm * 8, c_fp);
+        let a_chunk =
+            model.transfer_cycles(DmaMode::Pe, 64, 64 * raw.pm * raw.kc * 8, raw.pm * 8, a_fp);
+        let b_chunk =
+            model.transfer_cycles(DmaMode::Pe, 64, 64 * raw.kc * raw.pn * 8, raw.kc * 8, b_fp);
+        let dma_per_wave = c_io + chunks as u64 * (a_chunk + b_chunk);
+        let compute_per_wave = chunks as u64 * kernel.cycles;
+        let waves = (m / 8 / raw.pm) * (n / 8 / raw.pn);
+
+        let mut dag = SeedDag::default();
+        let mut prev: Option<usize> = None;
+        for _ in 0..waves {
+            let deps = prev.map(|t| vec![t]).unwrap_or_default();
+            let dma = dag.task(DMA, dma_per_wave, &deps);
+            let compute = dag.task(CPES, compute_per_wave, &[dma]);
+            prev = Some(compute);
+        }
+        dag.schedule()
+    }
+
+    pub fn estimate_makespan(variant: Variant, mnk: usize) -> u64 {
+        match variant {
+            Variant::Raw => estimate_raw_makespan(mnk, mnk, mnk),
+            _ => estimate_shared_makespan(variant, mnk, mnk, mnk),
+        }
+    }
+}
+
+/// Times `f` over `rounds` calls, returning the fastest round.
+fn best_of<F: FnMut()>(rounds: usize, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
+/// Times `f` adaptively so the total measured window is ≥ `floor`,
+/// returning seconds per call.
+fn secs_per_call<F: FnMut()>(floor: Duration, mut f: F) -> f64 {
+    let mut n = 1u32;
+    loop {
+        let t = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        let el = t.elapsed();
+        if el >= floor {
+            return el.as_secs_f64() / n as f64;
+        }
+        n = n.saturating_mul(2);
+    }
+}
+
+fn kernel_cfg(pn: usize) -> BlockKernelCfg {
+    BlockKernelCfg {
+        pm: 16,
+        pn,
+        pk: 96,
+        a_src: Operand::Ldm,
+        b_src: Operand::Ldm,
+        a_base: 0,
+        b_base: 2048,
+        c_base: 6144,
+        alpha_addr: 8000,
+    }
+}
+
+struct InterpRow {
+    stream: &'static str,
+    instructions: u64,
+    seed_mips: f64,
+    reference_mips: f64,
+    decoded_mips: f64,
+}
+
+fn bench_interpreters(style: KernelStyle, stream: &'static str) -> InterpRow {
+    let cfg = kernel_cfg(32);
+    let prog: Vec<Instr> = gen_block_kernel(&cfg, style);
+    let decoded = DecodedProgram::new(&prog);
+    let fresh_ldm = || {
+        let mut l = vec![0.0f64; 8192];
+        l[cfg.alpha_addr] = 1.0;
+        l
+    };
+
+    // Equivalence gate: all three engines must agree exactly.
+    let mut l1 = fresh_ldm();
+    let r_seed = seed::run(&prog, &mut l1);
+    let mut l2 = fresh_ldm();
+    let mut comm = SinkComm;
+    let r_ref = Machine::new(&mut l2, &mut comm).run_reference(&prog);
+    let mut l3 = fresh_ldm();
+    let mut comm = SinkComm;
+    let r_dec = Machine::new(&mut l3, &mut comm).run_decoded(&decoded);
+    assert_eq!(
+        r_seed, r_ref,
+        "seed vs reference reports diverge on {stream}"
+    );
+    assert_eq!(
+        r_ref, r_dec,
+        "reference vs decoded reports diverge on {stream}"
+    );
+    assert_eq!(l1, l2, "seed vs reference LDM diverges on {stream}");
+    assert_eq!(l2, l3, "reference vs decoded LDM diverges on {stream}");
+
+    let floor = Duration::from_millis(300);
+    let mut ldm = fresh_ldm();
+    let seed_s = secs_per_call(floor, || {
+        black_box(seed::run(&prog, &mut ldm));
+    });
+    let mut ldm = fresh_ldm();
+    let mut comm = SinkComm;
+    let ref_s = secs_per_call(floor, || {
+        black_box(Machine::new(&mut ldm, &mut comm).run_reference(&prog));
+    });
+    let mut ldm = fresh_ldm();
+    let mut comm = SinkComm;
+    let dec_s = secs_per_call(floor, || {
+        black_box(Machine::new(&mut ldm, &mut comm).run_decoded(&decoded));
+    });
+
+    let mips = |s: f64| r_seed.instructions as f64 / s / 1e6;
+    InterpRow {
+        stream,
+        instructions: r_seed.instructions,
+        seed_mips: mips(seed_s),
+        reference_mips: mips(ref_s),
+        decoded_mips: mips(dec_s),
+    }
+}
+
+fn main() {
+    let sizes: Vec<usize> = PAPER_FIG6_SCHED.iter().map(|&(s, _)| s).collect();
+
+    // 1. Fig. 6 sweep, current engine. "Cold" resets the kernel cache
+    //    before every round (so it is best-of-N like the other
+    //    measurements, not a one-shot at the mercy of transient load).
+    assert_eq!(
+        kernel_cache_stats().misses,
+        0,
+        "cache must be cold for the cold-sweep number"
+    );
+    let run_new_sweep = || {
+        for &s in &sizes {
+            for v in Variant::ALL {
+                black_box(estimate(v, s, s, s).unwrap());
+            }
+        }
+    };
+    let new_cold = best_of(3, || {
+        kernel_cache_reset();
+        run_new_sweep();
+    });
+    let cache = kernel_cache_stats();
+
+    // Warm: the cache now holds every kernel shape the sweep needs.
+    let new_warm = best_of(3, run_new_sweep);
+
+    // 2. Seed-engine sweep, with a per-estimate equivalence gate
+    //    against the current engine on the first round.
+    let mut checked = false;
+    let seed_sweep = || {
+        for &s in &sizes {
+            for v in Variant::ALL {
+                black_box(seed::estimate_makespan(v, s));
+            }
+        }
+    };
+    for &s in &sizes {
+        for v in Variant::ALL {
+            let seed_mk = seed::estimate_makespan(v, s);
+            let new_mk = estimate(v, s, s, s).unwrap().makespan_cycles;
+            assert_eq!(
+                seed_mk, new_mk,
+                "seed vs current makespan diverges for {v} at {s}"
+            );
+            checked = true;
+        }
+    }
+    assert!(checked);
+    let seed_time = best_of(2, seed_sweep);
+
+    // 3. Interpreter throughput on the production kernel streams.
+    let rows = [
+        bench_interpreters(KernelStyle::Scheduled, "sched"),
+        bench_interpreters(KernelStyle::Naive, "naive"),
+    ];
+
+    let sweep_speedup_cold = seed_time.as_secs_f64() / new_cold.as_secs_f64();
+    let sweep_speedup_warm = seed_time.as_secs_f64() / new_warm.as_secs_f64();
+
+    println!("== interpreter throughput (Minstr/s) ==");
+    println!(
+        "{:<8} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "stream", "instrs", "seed", "ref", "decoded", "x-seed"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>12} {:>10.1} {:>10.1} {:>10.1} {:>7.2}x",
+            r.stream,
+            r.instructions,
+            r.seed_mips,
+            r.reference_mips,
+            r.decoded_mips,
+            r.decoded_mips / r.seed_mips
+        );
+    }
+    println!();
+    println!("== fig6 sweep wall time (10 sizes x 5 variants) ==");
+    println!(
+        "seed engine      : {:>10.1} ms",
+        seed_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "current (cold)   : {:>10.1} ms   {:.2}x",
+        new_cold.as_secs_f64() * 1e3,
+        sweep_speedup_cold
+    );
+    println!(
+        "current (warm)   : {:>10.1} ms   {:.2}x",
+        new_warm.as_secs_f64() * 1e3,
+        sweep_speedup_warm
+    );
+    println!(
+        "kernel cache     : {} hits / {} misses (cold sweep)",
+        cache.hits, cache.misses
+    );
+
+    let interp_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"stream\": \"{}\", \"instructions\": {}, ",
+                    "\"seed_minstr_per_s\": {:.1}, \"reference_minstr_per_s\": {:.1}, ",
+                    "\"decoded_minstr_per_s\": {:.1}, \"decoded_speedup_vs_seed\": {:.2}}}"
+                ),
+                r.stream,
+                r.instructions,
+                r.seed_mips,
+                r.reference_mips,
+                r.decoded_mips,
+                r.decoded_mips / r.seed_mips
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"interpreter\": [\n{}\n  ],\n",
+            "  \"fig6_sweep\": {{\n",
+            "    \"sizes\": {:?},\n",
+            "    \"variants\": 5,\n",
+            "    \"seed_engine_ms\": {:.2},\n",
+            "    \"current_engine_cold_ms\": {:.2},\n",
+            "    \"current_engine_warm_ms\": {:.2},\n",
+            "    \"speedup_cold\": {:.2},\n",
+            "    \"speedup_warm\": {:.2},\n",
+            "    \"kernel_cache_cold\": {{\"hits\": {}, \"misses\": {}}}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        interp_json.join(",\n"),
+        sizes,
+        seed_time.as_secs_f64() * 1e3,
+        new_cold.as_secs_f64() * 1e3,
+        new_warm.as_secs_f64() * 1e3,
+        sweep_speedup_cold,
+        sweep_speedup_warm,
+        cache.hits,
+        cache.misses
+    );
+    let path = "BENCH_engine.json";
+    std::fs::write(path, &json).expect("failed to write BENCH_engine.json");
+    println!("\nwrote {path}");
+}

@@ -28,7 +28,11 @@ fn main() {
             }
             cells.push(format!("{g:.1}"));
         }
-        let paper = PAPER_FIG6_SCHED.iter().find(|(s, _)| *s == mk).map(|(_, g)| *g).unwrap();
+        let paper = PAPER_FIG6_SCHED
+            .iter()
+            .find(|(s, _)| *s == mk)
+            .map(|(_, g)| *g)
+            .unwrap();
         cells.push(format!("{paper:.1}"));
         table.row(cells);
     }

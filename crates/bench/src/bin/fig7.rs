@@ -17,12 +17,25 @@ fn main() {
     let base = 9216usize;
     let mut table = Table::new(["swept size", "vary m", "vary n", "vary k"]);
     for &s in &sweep {
-        let gm = estimate(Variant::Sched, s, base, base).expect("estimate").gflops;
-        let gn = estimate(Variant::Sched, base, s, base).expect("estimate").gflops;
-        let gk = estimate(Variant::Sched, base, base, s).expect("estimate").gflops;
-        table.row([s.to_string(), format!("{gm:.1}"), format!("{gn:.1}"), format!("{gk:.1}")]);
+        let gm = estimate(Variant::Sched, s, base, base)
+            .expect("estimate")
+            .gflops;
+        let gn = estimate(Variant::Sched, base, s, base)
+            .expect("estimate")
+            .gflops;
+        let gk = estimate(Variant::Sched, base, base, s)
+            .expect("estimate")
+            .gflops;
+        table.row([
+            s.to_string(),
+            format!("{gm:.1}"),
+            format!("{gn:.1}"),
+            format!("{gk:.1}"),
+        ]);
     }
-    println!("Figure 7 — SCHED performance across matrix shapes (Gflops/s; other two dims = 9216)\n");
+    println!(
+        "Figure 7 — SCHED performance across matrix shapes (Gflops/s; other two dims = 9216)\n"
+    );
     println!("{}", table.render());
     println!("paper's observation: \"performance for matrices with small m is relatively low\"");
     println!("(double-buffering prologue amortizes over the M-loop) \"... n and k have");

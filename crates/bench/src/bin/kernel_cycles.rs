@@ -41,8 +41,18 @@ fn main() {
     let mut comm = NullComm;
     let auto = Machine::new(&mut ldm, &mut comm).run(&auto_prog);
 
-    let mut t = Table::new(["kernel", "loop cycles (8 steps)", "cycles/k-iter", "vmad share", "vs hand"]);
-    for (name, r) in [("naive", naive), ("list-scheduled", auto), ("hand (Alg. 3)", hand)] {
+    let mut t = Table::new([
+        "kernel",
+        "loop cycles (8 steps)",
+        "cycles/k-iter",
+        "vmad share",
+        "vs hand",
+    ]);
+    for (name, r) in [
+        ("naive", naive),
+        ("list-scheduled", auto),
+        ("hand (Alg. 3)", hand),
+    ] {
         t.row([
             name.to_string(),
             (8 * r.cycles).to_string(),
@@ -58,5 +68,9 @@ fn main() {
         "paper: whole loop = {PAPER_KERNEL_LOOP_CYCLES} cycles, vmad share = {:.0}%",
         100.0 * PAPER_KERNEL_VMAD_SHARE
     );
-    println!("reproduction (hand): {} cycles, vmad share = {:.1}%", 8 * hand.cycles, 100.0 * hand.vmad_occupancy());
+    println!(
+        "reproduction (hand): {} cycles, vmad share = {:.1}%",
+        8 * hand.cycles,
+        100.0 * hand.vmad_occupancy()
+    );
 }

@@ -13,7 +13,10 @@ use sw_sim::Resource;
 
 fn main() {
     let variant = if std::env::args().any(|a| a == "--variant") {
-        let v = std::env::args().skip_while(|a| a != "--variant").nth(1).unwrap_or_default();
+        let v = std::env::args()
+            .skip_while(|a| a != "--variant")
+            .nth(1)
+            .unwrap_or_default();
         match v.as_str() {
             "pe" => Variant::Pe,
             "row" => Variant::Row,
@@ -37,7 +40,10 @@ fn main() {
     );
     let span = result.makespan_cycles as f64;
     let width = 72usize;
-    println!("{:<12} {:>10} {:>10}  timeline ({} cycles)", "task", "start", "end", result.makespan_cycles);
+    println!(
+        "{:<12} {:>10} {:>10}  timeline ({} cycles)",
+        "task", "start", "end", result.makespan_cycles
+    );
     for t in &trace {
         let lane = match t.resource {
             Resource::Dma => 'D',
@@ -45,12 +51,20 @@ fn main() {
             Resource::None => '.',
         };
         let s = (t.start as f64 / span * width as f64) as usize;
-        let e = ((t.end as f64 / span * width as f64) as usize).max(s + 1).min(width);
+        let e = ((t.end as f64 / span * width as f64) as usize)
+            .max(s + 1)
+            .min(width);
         let mut bar = vec![' '; width];
         for cell in bar.iter_mut().take(e).skip(s) {
             *cell = lane;
         }
-        println!("{:<12} {:>10} {:>10}  |{}|", t.label, t.start, t.end, bar.iter().collect::<String>());
+        println!(
+            "{:<12} {:>10} {:>10}  |{}|",
+            t.label,
+            t.start,
+            t.end,
+            bar.iter().collect::<String>()
+        );
     }
     println!("\nlanes: D = DMA channel, C = CPE cluster.");
     println!(

@@ -1,0 +1,234 @@
+//! A minimal, dependency-free benchmarking harness.
+//!
+//! The bench targets in `benches/` used to be Criterion benches; this
+//! module provides the small slice of that surface they need
+//! ([`Criterion`], [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! and the [`crate::criterion_group!`]/[`crate::criterion_main!`]
+//! macros), implemented with `std::time` only. Measurements are
+//! batched adaptively (a batch is sized to run ≥ ~2 ms so timer
+//! granularity is negligible) and summarized by the median over up to
+//! [`SAMPLES_DEFAULT`] batches.
+//!
+//! Run with `cargo bench -p sw-bench` — each target prints one line per
+//! benchmark: name, median time per iteration, and the sampling shape.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default number of measured batches per benchmark.
+pub const SAMPLES_DEFAULT: usize = 20;
+/// Target wall time of one measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(2);
+/// Cap on the measuring phase of one benchmark.
+const BENCH_BUDGET: Duration = Duration::from_millis(600);
+
+/// Per-benchmark measurement summary.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Median nanoseconds per iteration across batches.
+    pub median_ns: f64,
+    /// Fastest batch's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Iterations per batch.
+    pub batch: u64,
+    /// Batches measured.
+    pub samples: usize,
+}
+
+impl Summary {
+    fn display_time(ns: f64) -> String {
+        if ns < 1_000.0 {
+            format!("{ns:8.1} ns")
+        } else if ns < 1_000_000.0 {
+            format!("{:8.2} µs", ns / 1e3)
+        } else if ns < 1_000_000_000.0 {
+            format!("{:8.2} ms", ns / 1e6)
+        } else {
+            format!("{:8.3} s ", ns / 1e9)
+        }
+    }
+}
+
+/// Collects timing closures and prints their summaries — the harness's
+/// stand-in for `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Summary)>,
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Registers and immediately measures one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            summary: None,
+            samples: if self.sample_size == 0 {
+                SAMPLES_DEFAULT
+            } else {
+                self.sample_size
+            },
+        };
+        f(&mut b);
+        let s = b
+            .summary
+            .expect("benchmark closure never called Bencher::iter");
+        println!(
+            "{name:<44} {}  ({} batches × {} iters)",
+            Summary::display_time(s.median_ns),
+            s.samples,
+            s.batch
+        );
+        self.results.push((name.to_string(), s));
+        self
+    }
+
+    /// Opens a named group; benchmarks inside are prefixed `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            prefix: name.to_string(),
+            sample_size: 0,
+        }
+    }
+
+    /// All summaries measured so far.
+    pub fn results(&self) -> &[(String, Summary)] {
+        &self.results
+    }
+}
+
+/// A named benchmark group (prefix + optional sample-size override).
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    prefix: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Registers and measures `prefix/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.prefix);
+        let saved = self.c.sample_size;
+        self.c.sample_size = self.sample_size;
+        self.c.bench_function(&full, f);
+        self.c.sample_size = saved;
+        self
+    }
+
+    /// Ends the group (kept for call-site compatibility).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; call [`Bencher::iter`] with the
+/// code to measure.
+pub struct Bencher {
+    summary: Option<Summary>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, batching adaptively. The closure's return value is
+    /// passed through `black_box` so its computation is not elided.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Size a batch: double until one batch takes ≥ BATCH_TARGET.
+        let mut batch: u64 = 1;
+        let mut per_iter;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            per_iter = el.as_secs_f64() * 1e9 / batch as f64;
+            if el >= BATCH_TARGET || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measure: up to `samples` batches within the budget.
+        let mut per_iter_ns = Vec::with_capacity(self.samples);
+        per_iter_ns.push(per_iter);
+        let start = Instant::now();
+        while per_iter_ns.len() < self.samples.max(2) && start.elapsed() < BENCH_BUDGET {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter_ns.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        self.summary = Some(Summary {
+            median_ns: median,
+            min_ns: per_iter_ns[0],
+            batch,
+            samples: per_iter_ns.len(),
+        });
+    }
+}
+
+/// Groups benchmark functions into a single registration function, like
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($func:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $( $func(c); )+
+        }
+    };
+}
+
+/// Entry point running one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+        let (name, s) = &c.results()[0];
+        assert_eq!(name, "noop_add");
+        assert!(s.median_ns > 0.0 && s.median_ns < 1e6, "{}", s.median_ns);
+        assert!(s.samples >= 2);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.results()[0].0, "grp/inner");
+        assert!(c.results()[0].1.samples >= 2);
+    }
+}

@@ -11,12 +11,17 @@
 //! | `kernel_cycles`   | §IV-C — inner-loop cycle count / vmad occupancy profile |
 //! | `ablation_blocks` | §IV-B — buffering/blocking ablation |
 //!
-//! Criterion benches (in `benches/`) measure the *simulator's own*
-//! throughput on the same artefacts.
+//! Bench targets (in `benches/`, run via `cargo bench`) measure the
+//! *simulator's own* throughput on the same artefacts, using the
+//! dependency-free [`harness`]; `engine_bench` (a harness binary)
+//! measures the execution engine itself — interpreter instr/s and
+//! fig6-sweep wall time, seed engine vs the predecoded/cached one —
+//! and writes `BENCH_engine.json`.
 //!
 //! Output convention: every binary prints a paper-vs-reproduction
 //! table to stdout and, with `--csv PATH`, writes machine-readable CSV.
 
+pub mod harness;
 pub mod paper;
 pub mod report;
 

@@ -17,8 +17,12 @@ pub const PAPER_FIG6_SCHED: [(usize, f64); 10] = [
 ];
 
 /// §V's relative gains: each variant over its predecessor.
-pub const PAPER_GAINS: [(&str, f64); 4] =
-    [("PE/RAW", 1.423), ("ROW/PE", 1.166), ("DB/ROW", 1.26), ("SCHED/DB", 2.139)];
+pub const PAPER_GAINS: [(&str, f64); 4] = [
+    ("PE/RAW", 1.423),
+    ("ROW/PE", 1.166),
+    ("DB/ROW", 1.26),
+    ("SCHED/DB", 2.139),
+];
 
 /// §IV-C's kernel profile: the whole inner loop of one thread-level
 /// block (8 strip steps) and vmad's share of its cycles.

@@ -8,11 +8,10 @@ use crate::variants::raw::{run_functional_raw, RawParams};
 use crate::variants::shared::{run_functional, GemmIo};
 use crate::variants::Variant;
 use crate::Matrix;
-use serde::{Deserialize, Serialize};
 use sw_sim::{CoreGroup, RunStats};
 
 /// Transposition operator of a BLAS GEMM operand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// Use the operand as stored.
     NoTrans,
@@ -66,7 +65,12 @@ pub struct DgemmRunner {
 impl DgemmRunner {
     /// A runner for the given variant with automatic blocking choice.
     pub fn new(variant: Variant) -> Self {
-        DgemmRunner { variant, params: None, raw_params: None, pad: false }
+        DgemmRunner {
+            variant,
+            params: None,
+            raw_params: None,
+            pad: false,
+        }
     }
 
     /// Enables automatic zero padding: dimensions that are not
@@ -117,7 +121,10 @@ impl DgemmRunner {
                 let pa = PadPlan::embed(a, pm, pk);
                 let pb = PadPlan::embed(b, pk, pn);
                 let mut pc = PadPlan::embed(c, pm, pn);
-                let inner = DgemmRunner { pad: false, ..self.clone() };
+                let inner = DgemmRunner {
+                    pad: false,
+                    ..self.clone()
+                };
                 let report = inner.run(alpha, &pa, &pb, beta, &mut pc)?;
                 *c = PadPlan::extract(&pc, m, n);
                 return Ok(report);
@@ -131,9 +138,15 @@ impl DgemmRunner {
         };
         let report = match self.variant {
             Variant::Raw => {
-                let rp = self.raw_params.map_or_else(|| pick_raw_params(m, n, k), Ok)?;
+                let rp = self
+                    .raw_params
+                    .map_or_else(|| pick_raw_params(m, n, k), Ok)?;
                 let stats = run_functional_raw(&mut cg, m, n, k, rp, io, alpha, beta)?;
-                DgemmReport { variant: self.variant, plan: None, stats }
+                DgemmReport {
+                    variant: self.variant,
+                    plan: None,
+                    stats,
+                }
             }
             v => {
                 let plan = match self.params {
@@ -141,7 +154,11 @@ impl DgemmRunner {
                     None => pick_plan(v, m, n, k)?,
                 };
                 let stats = run_functional(&mut cg, &plan, v.mapping(), io, alpha, beta)?;
-                DgemmReport { variant: self.variant, plan: Some(plan), stats }
+                DgemmReport {
+                    variant: self.variant,
+                    plan: Some(plan),
+                    stats,
+                }
             }
         };
         *c = cg.mem.extract(io.c)?;
@@ -186,7 +203,9 @@ pub fn dgemm_ex(
             &bt
         }
     };
-    DgemmRunner::new(variant).pad(true).run(alpha, a_eff, b_eff, beta, c)
+    DgemmRunner::new(variant)
+        .pad(true)
+        .run(alpha, a_eff, b_eff, beta, c)
 }
 
 /// One-call DGEMM with automatic blocking: tries the paper's

@@ -1,14 +1,58 @@
 //! Seeded workload generation.
+//!
+//! Uses a local splitmix64 generator (no external RNG dependency):
+//! deterministic per seed, uniform enough for test matrices, and stable
+//! across platforms and toolchains.
 
 use crate::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// A tiny deterministic PRNG (splitmix64), good enough for generating
+/// test workloads and property-test cases.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits → [0, 1) with full double precision.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform f64 in [lo, hi).
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform usize in [lo, hi).
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
 
 /// A `rows × cols` matrix of uniform random entries in [-1, 1),
 /// reproducible from `seed`.
 pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
-    Matrix::from_col_major(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_col_major(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.range_f64(-1.0, 1.0)).collect(),
+    )
 }
 
 /// A deterministic "counting" matrix, handy for debugging layouts:
@@ -40,5 +84,23 @@ mod tests {
     fn counting_layout() {
         let m = counting_matrix(4, 3);
         assert_eq!(m.get(2, 1), 2.001);
+    }
+
+    #[test]
+    fn splitmix_covers_range() {
+        let mut rng = SplitMix64::new(123);
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+        for _ in 0..100 {
+            let u = rng.range_usize(3, 9);
+            assert!((3..9).contains(&u));
+        }
     }
 }

@@ -41,9 +41,9 @@ pub mod variants;
 pub use api::{dgemm, dgemm_ex, DgemmReport, DgemmRunner, Op};
 pub use error::DgemmError;
 pub use multi::{dgemm_multi_cg, estimate_multi_cg};
-pub use variants::batched::dgemm_batched;
 pub use params::BlockingParams;
 pub use plan::GemmPlan;
 pub use sw_mem::HostMatrix as Matrix;
 pub use timing::{estimate, TimingReport};
+pub use variants::batched::dgemm_batched;
 pub use variants::Variant;

@@ -21,13 +21,12 @@
 //! to it — only the DMA descriptors know.
 
 use crate::plan::GemmPlan;
-use serde::{Deserialize, Serialize};
 use sw_arch::Coord;
 use sw_mem::dma::MatRegion;
 use sw_mem::MatId;
 
 /// Which data-thread mapping a variant uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mapping {
     /// All matrices in `PE_MODE`, grid-aligned (§III-A).
     Pe,
@@ -40,7 +39,14 @@ pub enum Mapping {
 /// shared by this CPE's mesh row (to be fetched with `dma_row_get`);
 /// for [`Mapping::Pe`] it is this thread's private block
 /// (`dma_pe_get`).
-pub fn a_region(plan: &GemmPlan, mat: MatId, mapping: Mapping, i: usize, l: usize, who: Coord) -> MatRegion {
+pub fn a_region(
+    plan: &GemmPlan,
+    mat: MatId,
+    mapping: Mapping,
+    i: usize,
+    l: usize,
+    who: Coord,
+) -> MatRegion {
     let p = &plan.params;
     let (u, v) = (who.row as usize, who.col as usize);
     match mapping {
@@ -58,7 +64,14 @@ pub fn a_region(plan: &GemmPlan, mat: MatId, mapping: Mapping, i: usize, l: usiz
 }
 
 /// The region backing this thread's C block for CG block `(i, j)`.
-pub fn c_region(plan: &GemmPlan, mat: MatId, mapping: Mapping, i: usize, j: usize, who: Coord) -> MatRegion {
+pub fn c_region(
+    plan: &GemmPlan,
+    mat: MatId,
+    mapping: Mapping,
+    i: usize,
+    j: usize,
+    who: Coord,
+) -> MatRegion {
     let p = &plan.params;
     let (u, v) = (who.row as usize, who.col as usize);
     match mapping {
@@ -77,7 +90,14 @@ pub fn c_region(plan: &GemmPlan, mat: MatId, mapping: Mapping, i: usize, j: usiz
 /// always `PE_MODE`, but the strip-to-thread assignment differs
 /// between mappings (§IV-A: "column strips of the CG-level B blocks
 /// are mapped to CPEs in a row").
-pub fn b_region(plan: &GemmPlan, mat: MatId, mapping: Mapping, l: usize, j: usize, who: Coord) -> MatRegion {
+pub fn b_region(
+    plan: &GemmPlan,
+    mat: MatId,
+    mapping: Mapping,
+    l: usize,
+    j: usize,
+    who: Coord,
+) -> MatRegion {
     let p = &plan.params;
     let (u, v) = (who.row as usize, who.col as usize);
     match mapping {
@@ -193,7 +213,10 @@ mod tests {
                     }
                 }
             }
-            assert!(covered.iter().all(|&x| x == 1), "{mapping:?}: B regions must tile exactly");
+            assert!(
+                covered.iter().all(|&x| x == 1),
+                "{mapping:?}: B regions must tile exactly"
+            );
         }
     }
 

@@ -13,7 +13,6 @@
 //! * **Register level** — `rM·rN + rM + rN < 32`, with reduction
 //!   `2 / (1/rM + 1/rN)` maximized at `rM = rN` (= 4).
 
-use serde::{Deserialize, Serialize};
 use sw_arch::consts::{DMA_THEORETICAL_GBS, LDM_DOUBLES, PEAK_GFLOPS_CG};
 
 /// Bytes each flop must fetch in double precision (the paper's `W`).
@@ -54,7 +53,7 @@ pub fn register_bandwidth_reduction(rm: usize, rn: usize, pk: usize) -> f64 {
 }
 
 /// One feasible register blocking with its reduction ratio.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegisterChoice {
     /// A registers.
     pub rm: usize,
@@ -84,7 +83,12 @@ pub fn enumerate_register_blockings() -> Vec<RegisterChoice> {
             }
         }
     }
-    out.sort_by(|a, b| b.reduction.partial_cmp(&a.reduction).unwrap().then(a.registers.cmp(&b.registers)));
+    out.sort_by(|a, b| {
+        b.reduction
+            .partial_cmp(&a.reduction)
+            .unwrap()
+            .then(a.registers.cmp(&b.registers))
+    });
     out
 }
 
@@ -145,9 +149,15 @@ mod tests {
         assert_eq!((all[0].rm.min(all[0].rn), all[0].rm.max(all[0].rn)), (4, 5));
         // Among blockings leaving ≥6 spare registers (α + zero + 4
         // epilogue temporaries), the paper's 4×4 is the best.
-        let practical =
-            all.iter().find(|c| c.registers <= 32 - 6).expect("some practical blocking");
-        assert_eq!((practical.rm, practical.rn), (4, 4), "best practical was {practical:?}");
+        let practical = all
+            .iter()
+            .find(|c| c.registers <= 32 - 6)
+            .expect("some practical blocking");
+        assert_eq!(
+            (practical.rm, practical.rn),
+            (4, 4),
+            "best practical was {practical:?}"
+        );
         assert_eq!(practical.registers, 24);
         assert!((practical.reduction - 4.0).abs() < 1e-12);
         // 5x5 is infeasible (35 registers).

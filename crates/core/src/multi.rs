@@ -21,7 +21,6 @@ use crate::error::DgemmError;
 use crate::timing::{estimate, TimingReport};
 use crate::variants::Variant;
 use crate::Matrix;
-use serde::{Deserialize, Serialize};
 use sw_arch::consts::PEAK_GFLOPS_CG;
 
 /// Number of core groups on one SW26010 processor.
@@ -64,21 +63,25 @@ pub fn dgemm_multi_cg(
     }
     // Each band on its own core group, concurrently.
     let c_ref: &Matrix = c;
-    let results: Vec<Result<(Matrix, usize, usize), DgemmError>> = crossbeam::scope(|s| {
+    let results: Vec<Result<(Matrix, usize, usize), DgemmError>> = std::thread::scope(|s| {
         let handles: Vec<_> = bands
             .iter()
             .map(|&(j0, w)| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let bb = Matrix::from_fn(b.rows(), w, |r, cc| b.get(r, j0 + cc));
                     let mut cb = Matrix::from_fn(c_ref.rows(), w, |r, cc| c_ref.get(r, j0 + cc));
-                    DgemmRunner::new(variant).pad(true).run(alpha, a, &bb, beta, &mut cb)?;
+                    DgemmRunner::new(variant)
+                        .pad(true)
+                        .run(alpha, a, &bb, beta, &mut cb)?;
                     Ok((cb, j0, w))
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("core-group worker panicked")).collect()
-    })
-    .expect("multi-CG scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("core-group worker panicked"))
+            .collect()
+    });
     // Fail atomically: surface any band error before touching C.
     let bands_done: Vec<(Matrix, usize, usize)> = results.into_iter().collect::<Result<_, _>>()?;
     for (cb, j0, w) in bands_done {
@@ -92,7 +95,7 @@ pub fn dgemm_multi_cg(
 }
 
 /// Timing estimate across core groups.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultiTimingReport {
     /// Core groups used.
     pub cgs: usize,
@@ -120,14 +123,20 @@ pub fn estimate_multi_cg(
         )));
     }
     if !n.is_multiple_of(cgs) {
-        return Err(DgemmError::BadDims(format!("n = {n} does not split over {cgs} core groups")));
+        return Err(DgemmError::BadDims(format!(
+            "n = {n} does not split over {cgs} core groups"
+        )));
     }
     let band_n = n / cgs;
     let mut bands = Vec::with_capacity(cgs);
     for _ in 0..cgs {
         bands.push(estimate(variant, m, band_n, k)?);
     }
-    let slowest = bands.iter().map(|b| b.makespan_cycles).max().expect("at least one band");
+    let slowest = bands
+        .iter()
+        .map(|b| b.makespan_cycles)
+        .max()
+        .expect("at least one band");
     let secs = sw_arch::time::cycles_to_secs(slowest);
     let gflops = sw_arch::time::gflops(sw_arch::time::gemm_flops(m, n, k), secs);
     Ok(MultiTimingReport {

@@ -15,10 +15,9 @@
 
 use crate::error::DgemmError;
 use crate::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Padded dimensions and the overhead they imply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PadPlan {
     /// Original (m, n, k).
     pub orig: (usize, usize, usize),
@@ -28,13 +27,24 @@ pub struct PadPlan {
 
 impl PadPlan {
     /// Rounds each dimension up to its block multiple.
-    pub fn new(m: usize, n: usize, k: usize, bm: usize, bn: usize, bk: usize) -> Result<Self, DgemmError> {
+    pub fn new(
+        m: usize,
+        n: usize,
+        k: usize,
+        bm: usize,
+        bn: usize,
+        bk: usize,
+    ) -> Result<Self, DgemmError> {
         if m == 0 || n == 0 || k == 0 {
             return Err(DgemmError::BadDims("dimensions must be positive".into()));
         }
         Ok(PadPlan {
             orig: (m, n, k),
-            padded: (m.next_multiple_of(bm), n.next_multiple_of(bn), k.next_multiple_of(bk)),
+            padded: (
+                m.next_multiple_of(bm),
+                n.next_multiple_of(bn),
+                k.next_multiple_of(bk),
+            ),
         })
     }
 

@@ -1,7 +1,6 @@
 //! Blocking parameters of the three-level layered algorithm (§III).
 
 use crate::error::DgemmError;
-use serde::{Deserialize, Serialize};
 use sw_arch::consts::{DMA_TRANSACTION_DOUBLES, LDM_DOUBLES, VREG_LANES};
 
 /// Three-level blocking parameters.
@@ -10,7 +9,7 @@ use sw_arch::consts::{DMA_TRANSACTION_DOUBLES, LDM_DOUBLES, VREG_LANES};
 /// `bM = 8·pM`, `bK = 8·pK`, `bN = 8·pN`; each is an 8×8 grid of
 /// thread-level blocks. Register-level blocking is `rM = rN = 4`
 /// vector registers (16 rows × 4 columns per tile).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockingParams {
     /// Thread-level block rows.
     pub pm: usize,
@@ -28,19 +27,37 @@ impl BlockingParams {
     /// The paper's blocking before double buffering (§III-C.2):
     /// pM = 16, pN = 48, pK = 96 — used by the PE and ROW variants.
     pub fn paper_single() -> Self {
-        BlockingParams { pm: 16, pn: 48, pk: 96, rm: 4, rn: 4 }
+        BlockingParams {
+            pm: 16,
+            pn: 48,
+            pk: 96,
+            rm: 4,
+            rn: 4,
+        }
     }
 
     /// The paper's blocking with double buffering (§IV-B): pM = 16,
     /// pN = 32, pK = 96 — used by the DB and SCHED variants.
     pub fn paper_double() -> Self {
-        BlockingParams { pm: 16, pn: 32, pk: 96, rm: 4, rn: 4 }
+        BlockingParams {
+            pm: 16,
+            pn: 32,
+            pk: 96,
+            rm: 4,
+            rn: 4,
+        }
     }
 
     /// A small blocking for tests (matrix dimensions stay tiny while
     /// still exercising every code path): pM = 16, pN = 8, pK = 16.
     pub fn test_small() -> Self {
-        BlockingParams { pm: 16, pn: 8, pk: 16, rm: 4, rn: 4 }
+        BlockingParams {
+            pm: 16,
+            pn: 8,
+            pk: 16,
+            rm: 4,
+            rn: 4,
+        }
     }
 
     /// CG-level block rows (`bM = 8·pM`).
@@ -114,7 +131,11 @@ impl BlockingParams {
         if need >= LDM_DOUBLES {
             return Err(DgemmError::BadParams(format!(
                 "thread-level blocks need {need} doubles{}, exceeding the 8192-double LDM",
-                if double_buffered { " (double-buffered)" } else { "" }
+                if double_buffered {
+                    " (double-buffered)"
+                } else {
+                    ""
+                }
             )));
         }
         Ok(())
@@ -161,8 +182,23 @@ mod tests {
             (BlockingParams { pm: 8, ..base }, false),
             (BlockingParams { pn: 30, ..base }, false),
             (BlockingParams { pk: 40, ..base }, false),
-            (BlockingParams { rm: 5, rn: 5, ..base }, false),
-            (BlockingParams { pm: 64, pn: 64, pk: 64, ..base }, false), // LDM overflow
+            (
+                BlockingParams {
+                    rm: 5,
+                    rn: 5,
+                    ..base
+                },
+                false,
+            ),
+            (
+                BlockingParams {
+                    pm: 64,
+                    pn: 64,
+                    pk: 64,
+                    ..base
+                },
+                false,
+            ), // LDM overflow
         ] {
             assert!(bad.validate(db).is_err(), "{bad:?} should be rejected");
         }
@@ -171,7 +207,11 @@ mod tests {
     #[test]
     fn register_budget_formula() {
         // rM = rN = 5 would need 5·5+5+5 = 35 ≥ 32 registers.
-        let p = BlockingParams { rm: 5, rn: 5, ..BlockingParams::paper_double() };
+        let p = BlockingParams {
+            rm: 5,
+            rn: 5,
+            ..BlockingParams::paper_double()
+        };
         assert!(p.validate(false).is_err());
     }
 }

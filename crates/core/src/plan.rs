@@ -2,11 +2,10 @@
 
 use crate::error::DgemmError;
 use crate::params::BlockingParams;
-use serde::{Deserialize, Serialize};
 
 /// A validated DGEMM problem: dimensions plus blocking, with the
 /// CG-level grid sizes of Algorithm 1 precomputed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GemmPlan {
     /// Rows of A and C.
     pub m: usize,
@@ -88,8 +87,14 @@ mod tests {
 
     #[test]
     fn param_errors_propagate() {
-        let bad = BlockingParams { pm: 8, ..BlockingParams::test_small() };
-        assert!(matches!(GemmPlan::new(128, 64, 128, bad, false), Err(DgemmError::BadParams(_))));
+        let bad = BlockingParams {
+            pm: 8,
+            ..BlockingParams::test_small()
+        };
+        assert!(matches!(
+            GemmPlan::new(128, 64, 128, bad, false),
+            Err(DgemmError::BadParams(_))
+        ));
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //!   partial product folded in with one `c ← α·acc + c` FMA). With
 //!   `chunk = pK` this is bitwise-equal to the PE/ROW/DB/SCHED
 //!   variants; with `chunk = kc` to the RAW variant.
-//! * [`dgemm_parallel`] — a crossbeam-threaded host baseline used by
-//!   examples and benches for sanity-scale comparisons.
+//! * [`dgemm_parallel`] — a threaded host baseline used by examples
+//!   and benches for sanity-scale comparisons.
 
 use crate::Matrix;
 
@@ -36,10 +36,20 @@ pub fn dgemm_naive(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix
 ///
 /// # Panics
 /// If `k` is not a multiple of `chunk`.
-pub fn dgemm_chunked_fma(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix, chunk: usize) {
+pub fn dgemm_chunked_fma(
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+    chunk: usize,
+) {
     check_dims(a, b, c);
     let (m, n, k) = (a.rows(), b.cols(), a.cols());
-    assert!(chunk > 0 && k % chunk == 0, "k = {k} must be a multiple of the chunk {chunk}");
+    assert!(
+        chunk > 0 && k % chunk == 0,
+        "k = {k} must be a multiple of the chunk {chunk}"
+    );
     for j in 0..n {
         for i in 0..m {
             let mut cij = beta * c.get(i, j);
@@ -56,17 +66,24 @@ pub fn dgemm_chunked_fma(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut 
 }
 
 /// Threaded host baseline: column-parallel naive GEMM.
-pub fn dgemm_parallel(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix, threads: usize) {
+pub fn dgemm_parallel(
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+    threads: usize,
+) {
     check_dims(a, b, c);
     assert!(threads > 0);
     let (m, n, k) = (a.rows(), b.cols(), a.cols());
     let cols_per = n.div_ceil(threads);
     // Split C's storage into disjoint column bands, one per worker.
     let mut bands: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(cols_per * m).collect();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (t, band) in bands.iter_mut().enumerate() {
             let j0 = t * cols_per;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (jj, col) in band.chunks_mut(m).enumerate() {
                     let j = j0 + jj;
                     for (i, cij) in col.iter_mut().enumerate() {
@@ -79,18 +96,13 @@ pub fn dgemm_parallel(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Mat
                 }
             });
         }
-    })
-    .expect("host GEMM worker panicked");
+    });
 }
 
 /// Error bound for comparing two GEMM results: `γ · k · max|A| · max|B|
 /// · ε`, a standard forward-error envelope with safety factor γ = 8.
 pub fn gemm_tolerance(a: &Matrix, b: &Matrix, alpha: f64) -> f64 {
-    8.0 * a.cols() as f64
-        * a.max_abs()
-        * b.max_abs()
-        * alpha.abs().max(1.0)
-        * f64::EPSILON
+    8.0 * a.cols() as f64 * a.max_abs() * b.max_abs() * alpha.abs().max(1.0) * f64::EPSILON
 }
 
 fn check_dims(a: &Matrix, b: &Matrix, c: &Matrix) {

@@ -14,12 +14,11 @@
 //! `lddec`/`getc`); under [`Mapping::Row`] the roles transpose.
 
 use crate::mapping::Mapping;
-use serde::{Deserialize, Serialize};
 use sw_arch::Coord;
 use sw_isa::{Net, Operand};
 
 /// The paper's four thread types at one strip step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadType {
     /// Owns valid A and valid B (the step's diagonal thread).
     Both,
@@ -32,7 +31,7 @@ pub enum ThreadType {
 }
 
 /// How this thread sources A and B at strip step `step`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepRole {
     /// A operand source.
     pub a: Operand,
@@ -43,7 +42,10 @@ pub struct StepRole {
 impl StepRole {
     /// The paper's four-type classification of this role.
     pub fn thread_type(&self) -> ThreadType {
-        match (matches!(self.a, Operand::LdmBcast(_)), matches!(self.b, Operand::LdmBcast(_))) {
+        match (
+            matches!(self.a, Operand::LdmBcast(_)),
+            matches!(self.b, Operand::LdmBcast(_)),
+        ) {
             (true, true) => ThreadType::Both,
             (true, false) => ThreadType::OnlyA,
             (false, true) => ThreadType::OnlyB,
@@ -60,15 +62,31 @@ pub fn step_role(mapping: Mapping, step: usize, who: Coord) -> StepRole {
         // §III-B: A owners on column `step` broadcast along their row;
         // B owners on row `step` broadcast along their column.
         Mapping::Pe => StepRole {
-            a: if v == step { Operand::LdmBcast(Net::Row) } else { Operand::Recv(Net::Row) },
-            b: if u == step { Operand::LdmBcast(Net::Col) } else { Operand::Recv(Net::Col) },
+            a: if v == step {
+                Operand::LdmBcast(Net::Row)
+            } else {
+                Operand::Recv(Net::Row)
+            },
+            b: if u == step {
+                Operand::LdmBcast(Net::Col)
+            } else {
+                Operand::Recv(Net::Col)
+            },
         },
         // §IV-A: "A is broadcast among CPEs in the same column and B
         // among CPEs in the same row, because we map each column strip
         // to CPEs in a row."
         Mapping::Row => StepRole {
-            a: if u == step { Operand::LdmBcast(Net::Col) } else { Operand::Recv(Net::Col) },
-            b: if v == step { Operand::LdmBcast(Net::Row) } else { Operand::Recv(Net::Row) },
+            a: if u == step {
+                Operand::LdmBcast(Net::Col)
+            } else {
+                Operand::Recv(Net::Col)
+            },
+            b: if v == step {
+                Operand::LdmBcast(Net::Row)
+            } else {
+                Operand::Recv(Net::Row)
+            },
         },
     }
 }

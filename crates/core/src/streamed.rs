@@ -45,7 +45,10 @@ pub fn strip_step(
     pk: usize,
     alpha: f64,
 ) {
-    assert_eq!(pm, 16, "the collective scheme streams one 16-row register tile");
+    assert_eq!(
+        pm, 16,
+        "the collective scheme streams one 16-row register tile"
+    );
     debug_assert_eq!(a_own.len(), pm * pk);
     debug_assert_eq!(b_own.len(), pk * pn);
     debug_assert_eq!(c.len(), pm * pn);

@@ -11,11 +11,10 @@ use crate::error::DgemmError;
 use crate::params::BlockingParams;
 use crate::timing::estimate_shared;
 use crate::variants::Variant;
-use serde::{Deserialize, Serialize};
 use sw_mem::dma::BandwidthModel;
 
 /// One tuner candidate with its simulated performance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TuneResult {
     /// Candidate blocking.
     pub params: BlockingParams,
@@ -35,19 +34,37 @@ pub fn tune(
     target: usize,
     model: &BandwidthModel,
 ) -> Result<Vec<TuneResult>, DgemmError> {
-    assert!(variant != Variant::Raw, "the tuner explores the shared-scheme blocking space");
+    assert!(
+        variant != Variant::Raw,
+        "the tuner explores the shared-scheme blocking space"
+    );
     let db = variant.double_buffered();
     let mut out = Vec::new();
     for pk in (16..=160).step_by(16) {
         for pn in (4..=96).step_by(4) {
-            let params = BlockingParams { pm: 16, pn, pk, rm: 4, rn: 4 };
+            let params = BlockingParams {
+                pm: 16,
+                pn,
+                pk,
+                rm: 4,
+                rn: 4,
+            };
             if params.validate(db).is_err() {
                 continue;
             }
             let round = |t: usize, b: usize| t.next_multiple_of(b).max(b);
-            let dims = (round(target, params.bm()), round(target, params.bn()), round(target, params.bk()));
+            let dims = (
+                round(target, params.bm()),
+                round(target, params.bn()),
+                round(target, params.bk()),
+            );
             let r = estimate_shared(variant, dims.0, dims.1, dims.2, params, model)?;
-            out.push(TuneResult { params, gflops: r.gflops, ldm_doubles: params.ldm_doubles(db), dims });
+            out.push(TuneResult {
+                params,
+                gflops: r.gflops,
+                ldm_doubles: params.ldm_doubles(db),
+                dims,
+            });
         }
     }
     out.sort_by(|a, b| b.gflops.partial_cmp(&a.gflops).unwrap());

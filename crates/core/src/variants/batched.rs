@@ -22,7 +22,9 @@ use sw_sim::{CoreGroup, RunStats};
 /// the DMA granularity (m and k multiples of 16; n free).
 pub fn validate_batch_dims(m: usize, n: usize, k: usize) -> Result<(), DgemmError> {
     if m == 0 || n == 0 || k == 0 {
-        return Err(DgemmError::BadDims("batch item dimensions must be positive".into()));
+        return Err(DgemmError::BadDims(
+            "batch item dimensions must be positive".into(),
+        ));
     }
     if !m.is_multiple_of(16) || !k.is_multiple_of(16) {
         return Err(DgemmError::BadDims(format!(
@@ -66,8 +68,16 @@ pub fn dgemm_batched(
     let n = b[0].cols();
     validate_batch_dims(m, n, k)?;
     for (i, ((ai, bi), ci)) in a.iter().zip(b).zip(c.iter()).enumerate() {
-        if ai.rows() != m || ai.cols() != k || bi.rows() != k || bi.cols() != n || ci.rows() != m || ci.cols() != n {
-            return Err(DgemmError::BadDims(format!("batch item {i} has mismatched dimensions")));
+        if ai.rows() != m
+            || ai.cols() != k
+            || bi.rows() != k
+            || bi.cols() != n
+            || ci.rows() != m
+            || ci.cols() != n
+        {
+            return Err(DgemmError::BadDims(format!(
+                "batch item {i} has mismatched dimensions"
+            )));
         }
     }
 
@@ -93,9 +103,12 @@ pub fn dgemm_batched(
         let mut idx = ctx.coord.id();
         while idx < ios_ref.len() {
             let (ia, ib, ic) = ios_ref[idx];
-            ctx.dma_pe_get(MatRegion::new(ia, 0, 0, m, k), a_buf).expect("A DMA");
-            ctx.dma_pe_get(MatRegion::new(ib, 0, 0, k, n), b_buf).expect("B DMA");
-            ctx.dma_pe_get(MatRegion::new(ic, 0, 0, m, n), c_buf).expect("C DMA");
+            ctx.dma_pe_get(MatRegion::new(ia, 0, 0, m, k), a_buf)
+                .expect("A DMA");
+            ctx.dma_pe_get(MatRegion::new(ib, 0, 0, k, n), b_buf)
+                .expect("B DMA");
+            ctx.dma_pe_get(MatRegion::new(ic, 0, 0, m, n), c_buf)
+                .expect("C DMA");
             // Local compute, one FMA chain per element.
             let a_lo = a_buf.offset();
             let b_lo = b_buf.offset();
@@ -111,7 +124,8 @@ pub fn dgemm_batched(
                     raw[ci] = acc.mul_add(alpha, beta * raw[ci]);
                 }
             }
-            ctx.dma_pe_put(MatRegion::new(ic, 0, 0, m, n), c_buf).expect("C store");
+            ctx.dma_pe_put(MatRegion::new(ic, 0, 0, m, n), c_buf)
+                .expect("C store");
             idx += N_CPES;
         }
     });
@@ -127,10 +141,22 @@ mod tests {
     use crate::gen::random_matrix;
     use crate::reference::{dgemm_chunked_fma, dgemm_naive, gemm_tolerance};
 
-    fn batch(count: usize, m: usize, n: usize, k: usize, seed: u64) -> (Vec<Matrix>, Vec<Matrix>, Vec<Matrix>) {
-        let a: Vec<_> = (0..count).map(|i| random_matrix(m, k, seed + i as u64)).collect();
-        let b: Vec<_> = (0..count).map(|i| random_matrix(k, n, seed + 100 + i as u64)).collect();
-        let c: Vec<_> = (0..count).map(|i| random_matrix(m, n, seed + 200 + i as u64)).collect();
+    fn batch(
+        count: usize,
+        m: usize,
+        n: usize,
+        k: usize,
+        seed: u64,
+    ) -> (Vec<Matrix>, Vec<Matrix>, Vec<Matrix>) {
+        let a: Vec<_> = (0..count)
+            .map(|i| random_matrix(m, k, seed + i as u64))
+            .collect();
+        let b: Vec<_> = (0..count)
+            .map(|i| random_matrix(k, n, seed + 100 + i as u64))
+            .collect();
+        let c: Vec<_> = (0..count)
+            .map(|i| random_matrix(m, n, seed + 200 + i as u64))
+            .collect();
         (a, b, c)
     }
 

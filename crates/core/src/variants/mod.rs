@@ -6,12 +6,11 @@ pub mod shared;
 
 use crate::mapping::Mapping;
 use crate::params::BlockingParams;
-use serde::{Deserialize, Serialize};
 use sw_isa::kernels::KernelStyle;
 
 /// One of the paper's five implementations, each adding one
 /// optimization on top of the previous.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// Straightforward thread-blocked triple loop, `PE_MODE` DMA, no
     /// data sharing.
@@ -28,7 +27,13 @@ pub enum Variant {
 
 impl Variant {
     /// All five, in the paper's optimization order.
-    pub const ALL: [Variant; 5] = [Variant::Raw, Variant::Pe, Variant::Row, Variant::Db, Variant::Sched];
+    pub const ALL: [Variant; 5] = [
+        Variant::Raw,
+        Variant::Pe,
+        Variant::Row,
+        Variant::Db,
+        Variant::Sched,
+    ];
 
     /// Display name as used in Figure 6.
     pub fn name(self) -> &'static str {

@@ -10,7 +10,6 @@
 
 use crate::error::DgemmError;
 use crate::variants::shared::GemmIo;
-use serde::{Deserialize, Serialize};
 use sw_arch::consts::{DMA_TRANSACTION_DOUBLES, LDM_DOUBLES};
 use sw_mem::dma::MatRegion;
 use sw_sim::{CoreGroup, CpeCtx, RunStats};
@@ -18,7 +17,7 @@ use sw_sim::{CoreGroup, CpeCtx, RunStats};
 /// Blocking of the RAW baseline: each thread's C region is processed
 /// in `pm×pn` sub-blocks, with `kc`-deep A/B panels streamed through
 /// LDM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RawParams {
     /// Sub-block rows.
     pub pm: usize,
@@ -33,13 +32,21 @@ impl RawParams {
     /// working set fits the LDM (64×64 with 16-deep panels → 6144 of
     /// 8192 doubles).
     pub fn paper() -> Self {
-        RawParams { pm: 64, pn: 64, kc: 16 }
+        RawParams {
+            pm: 64,
+            pn: 64,
+            kc: 16,
+        }
     }
 
     /// Test-scale choice matching `BlockingParams::test_small`
     /// divisibility.
     pub fn test_small() -> Self {
-        RawParams { pm: 16, pn: 8, kc: 16 }
+        RawParams {
+            pm: 16,
+            pn: 8,
+            kc: 16,
+        }
     }
 
     /// LDM doubles of the working set (C sub-block + A and B panels).
@@ -77,7 +84,10 @@ impl RawParams {
     /// thread grid and the sub-block/panel factors must divide them.
     pub fn validate_dims(&self, m: usize, n: usize, k: usize) -> Result<(), DgemmError> {
         self.validate()?;
-        if !m.is_multiple_of(8 * self.pm) || !n.is_multiple_of(8 * self.pn) || !k.is_multiple_of(self.kc) {
+        if !m.is_multiple_of(8 * self.pm)
+            || !n.is_multiple_of(8 * self.pn)
+            || !k.is_multiple_of(self.kc)
+        {
             return Err(DgemmError::BadDims(format!(
                 "dimensions {m}x{n}x{k} must be multiples of (8·pm, 8·pn, kc) = ({}, {}, {})",
                 8 * self.pm,
@@ -106,7 +116,9 @@ pub fn run_functional_raw(
     let (br, bc) = cg.mem.dims(io.b)?;
     let (cr, cc) = cg.mem.dims(io.c)?;
     if (ar, ac) != (m, k) || (br, bc) != (k, n) || (cr, cc) != (m, n) {
-        return Err(DgemmError::BadDims("installed matrices do not match the given dimensions".into()));
+        return Err(DgemmError::BadDims(
+            "installed matrices do not match the given dimensions".into(),
+        ));
     }
     let stats = cg.run(move |ctx| raw_thread_body(ctx, m, n, k, raw, io, alpha, beta));
     Ok(stats)
@@ -128,23 +140,30 @@ fn raw_thread_body(
     let n8 = n / 8;
     let (row0, col0) = (u * m8, v * n8);
 
-    let c_buf = ctx.ldm.alloc(p.pm * p.pn).expect("RAW C sub-block exceeds LDM");
+    let c_buf = ctx
+        .ldm
+        .alloc(p.pm * p.pn)
+        .expect("RAW C sub-block exceeds LDM");
     let a_buf = ctx.ldm.alloc(p.pm * p.kc).expect("RAW A panel exceeds LDM");
     let b_buf = ctx.ldm.alloc(p.kc * p.pn).expect("RAW B panel exceeds LDM");
 
     for si in 0..m8 / p.pm {
         for sj in 0..n8 / p.pn {
             let (r0, c0) = (row0 + si * p.pm, col0 + sj * p.pn);
-            ctx.dma_pe_get(MatRegion::new(io.c, r0, c0, p.pm, p.pn), c_buf).expect("C DMA");
+            ctx.dma_pe_get(MatRegion::new(io.c, r0, c0, p.pm, p.pn), c_buf)
+                .expect("C DMA");
             for x in ctx.ldm.slice_mut(c_buf) {
                 *x *= beta;
             }
             for k0 in (0..k).step_by(p.kc) {
-                ctx.dma_pe_get(MatRegion::new(io.a, r0, k0, p.pm, p.kc), a_buf).expect("A DMA");
-                ctx.dma_pe_get(MatRegion::new(io.b, k0, c0, p.kc, p.pn), b_buf).expect("B DMA");
+                ctx.dma_pe_get(MatRegion::new(io.a, r0, k0, p.pm, p.kc), a_buf)
+                    .expect("A DMA");
+                ctx.dma_pe_get(MatRegion::new(io.b, k0, c0, p.kc, p.pn), b_buf)
+                    .expect("B DMA");
                 subblock_update(ctx, p, a_buf, b_buf, c_buf, alpha);
             }
-            ctx.dma_pe_put(MatRegion::new(io.c, r0, c0, p.pm, p.pn), c_buf).expect("C store");
+            ctx.dma_pe_put(MatRegion::new(io.c, r0, c0, p.pm, p.pn), c_buf)
+                .expect("C store");
         }
     }
 }
@@ -183,14 +202,35 @@ mod tests {
     fn params_validation() {
         RawParams::paper().validate().unwrap();
         RawParams::test_small().validate().unwrap();
-        assert!(RawParams { pm: 8, pn: 8, kc: 16 }.validate().is_err());
-        assert!(RawParams { pm: 16, pn: 8, kc: 8 }.validate().is_err());
-        assert!(RawParams { pm: 96, pn: 96, kc: 16 }.validate().is_err()); // LDM
+        assert!(RawParams {
+            pm: 8,
+            pn: 8,
+            kc: 16
+        }
+        .validate()
+        .is_err());
+        assert!(RawParams {
+            pm: 16,
+            pn: 8,
+            kc: 8
+        }
+        .validate()
+        .is_err());
+        assert!(RawParams {
+            pm: 96,
+            pn: 96,
+            kc: 16
+        }
+        .validate()
+        .is_err()); // LDM
     }
 
     #[test]
     fn paper_params_fit_ldm() {
-        assert_eq!(RawParams::paper().ldm_doubles(), 64 * 64 + 64 * 16 + 16 * 64);
+        assert_eq!(
+            RawParams::paper().ldm_doubles(),
+            64 * 64 + 64 * 16 + 16 * 64
+        );
         assert!(RawParams::paper().ldm_doubles() < LDM_DOUBLES);
     }
 

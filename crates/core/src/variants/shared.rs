@@ -53,7 +53,8 @@ fn check_io(cg: &CoreGroup, plan: &GemmPlan, io: GemmIo) -> Result<(), DgemmErro
     let (ar, ac) = cg.mem.dims(io.a)?;
     let (br, bc) = cg.mem.dims(io.b)?;
     let (cr, cc) = cg.mem.dims(io.c)?;
-    if (ar, ac) != (plan.m, plan.k) || (br, bc) != (plan.k, plan.n) || (cr, cc) != (plan.m, plan.n) {
+    if (ar, ac) != (plan.m, plan.k) || (br, bc) != (plan.k, plan.n) || (cr, cc) != (plan.m, plan.n)
+    {
         return Err(DgemmError::BadDims(format!(
             "installed matrices {ar}x{ac}, {br}x{bc}, {cr}x{cc} do not match plan {}x{}x{}",
             plan.m, plan.n, plan.k
@@ -65,14 +66,23 @@ fn check_io(cg: &CoreGroup, plan: &GemmPlan, io: GemmIo) -> Result<(), DgemmErro
 /// The SPMD body every CPE thread runs: Algorithm 1 (single-buffered)
 /// or Algorithm 2 (double-buffered), with the strip multiplication and
 /// collective sharing inside.
-fn thread_body(ctx: &mut CpeCtx, plan: &GemmPlan, mapping: Mapping, io: GemmIo, alpha: f64, beta: f64) {
+fn thread_body(
+    ctx: &mut CpeCtx,
+    plan: &GemmPlan,
+    mapping: Mapping,
+    io: GemmIo,
+    alpha: f64,
+    beta: f64,
+) {
     let p = plan.params;
     let (pm, pn, pk) = (p.pm, p.pn, p.pk);
     let nbuf = if plan.double_buffered { 2 } else { 1 };
-    let a_bufs: Vec<LdmBuf> =
-        (0..nbuf).map(|_| ctx.ldm.alloc(pm * pk).expect("A blocks exceed LDM")).collect();
-    let c_bufs: Vec<LdmBuf> =
-        (0..nbuf).map(|_| ctx.ldm.alloc(pm * pn).expect("C blocks exceed LDM")).collect();
+    let a_bufs: Vec<LdmBuf> = (0..nbuf)
+        .map(|_| ctx.ldm.alloc(pm * pk).expect("A blocks exceed LDM"))
+        .collect();
+    let c_bufs: Vec<LdmBuf> = (0..nbuf)
+        .map(|_| ctx.ldm.alloc(pm * pn).expect("C blocks exceed LDM"))
+        .collect();
     let b_buf = ctx.ldm.alloc(pk * pn).expect("B block exceeds LDM");
 
     for j in 0..plan.grid_n {
@@ -102,14 +112,29 @@ fn thread_body(ctx: &mut CpeCtx, plan: &GemmPlan, mapping: Mapping, io: GemmIo, 
                             c_bufs[(i + 1) % 2],
                         );
                     }
-                    compute_and_store(ctx, plan, mapping, io, i, j, l, a_bufs[cur], b_buf, c_bufs[cur], alpha, beta);
+                    compute_and_store(
+                        ctx,
+                        plan,
+                        mapping,
+                        io,
+                        i,
+                        j,
+                        l,
+                        a_bufs[cur],
+                        b_buf,
+                        c_bufs[cur],
+                        alpha,
+                        beta,
+                    );
                 }
             } else {
                 // Algorithm 1: strictly serial load → compute → store.
                 for i in 0..plan.grid_m {
                     load_ac(ctx, plan, mapping, io, i, j, l, a_bufs[0], c_bufs[0]);
                     ctx.sync_all();
-                    compute_and_store(ctx, plan, mapping, io, i, j, l, a_bufs[0], b_buf, c_bufs[0], alpha, beta);
+                    compute_and_store(
+                        ctx, plan, mapping, io, i, j, l, a_bufs[0], b_buf, c_bufs[0], alpha, beta,
+                    );
                 }
             }
         }

@@ -112,10 +112,14 @@ impl CommPort for ScriptedComm {
         self.col_out.push(v);
     }
     fn getr(&mut self) -> V256 {
-        self.row_in.pop_front().expect("scripted row transcript exhausted")
+        self.row_in
+            .pop_front()
+            .expect("scripted row transcript exhausted")
     }
     fn getc(&mut self) -> V256 {
-        self.col_in.pop_front().expect("scripted column transcript exhausted")
+        self.col_in
+            .pop_front()
+            .expect("scripted column transcript exhausted")
     }
 }
 

@@ -80,11 +80,19 @@ pub fn encode(i: &Instr) -> Result<u32, CodecError> {
         Instr::Vstd { s, base, off } => mem_word(OP_VSTD, s.0, base.0, off)?,
         Instr::Ldde { d, base, off } => mem_word(OP_LDDE, d.0, base.0, off)?,
         Instr::Vldr { d, base, off, net } => {
-            let op = if net == Net::Row { OP_VLDR_ROW } else { OP_VLDR_COL };
+            let op = if net == Net::Row {
+                OP_VLDR_ROW
+            } else {
+                OP_VLDR_COL
+            };
             mem_word(op, d.0, base.0, off)?
         }
         Instr::Lddec { d, base, off, net } => {
-            let op = if net == Net::Row { OP_LDDEC_ROW } else { OP_LDDEC_COL };
+            let op = if net == Net::Row {
+                OP_LDDEC_ROW
+            } else {
+                OP_LDDEC_COL
+            };
             mem_word(op, d.0, base.0, off)?
         }
         Instr::Getr { d } => ((OP_GETR as u32) << 26) | ((d.0 as u32) << 21),
@@ -110,20 +118,67 @@ pub fn decode(w: u32) -> Result<Instr, CodecError> {
     let disp = (w & 0xffff) as u16 as i16 as i64;
     let target = (w & 0xffff) as usize;
     Ok(match op {
-        OP_VMAD => Instr::Vmad { a: VReg(ra), b: VReg(rb), c: VReg(rc), d: VReg(rd) },
-        OP_VLDD => Instr::Vldd { d: VReg(rd), base: IReg(ra), off: disp },
-        OP_VSTD => Instr::Vstd { s: VReg(rd), base: IReg(ra), off: disp },
-        OP_LDDE => Instr::Ldde { d: VReg(rd), base: IReg(ra), off: disp },
-        OP_VLDR_ROW => Instr::Vldr { d: VReg(rd), base: IReg(ra), off: disp, net: Net::Row },
-        OP_VLDR_COL => Instr::Vldr { d: VReg(rd), base: IReg(ra), off: disp, net: Net::Col },
-        OP_LDDEC_ROW => Instr::Lddec { d: VReg(rd), base: IReg(ra), off: disp, net: Net::Row },
-        OP_LDDEC_COL => Instr::Lddec { d: VReg(rd), base: IReg(ra), off: disp, net: Net::Col },
+        OP_VMAD => Instr::Vmad {
+            a: VReg(ra),
+            b: VReg(rb),
+            c: VReg(rc),
+            d: VReg(rd),
+        },
+        OP_VLDD => Instr::Vldd {
+            d: VReg(rd),
+            base: IReg(ra),
+            off: disp,
+        },
+        OP_VSTD => Instr::Vstd {
+            s: VReg(rd),
+            base: IReg(ra),
+            off: disp,
+        },
+        OP_LDDE => Instr::Ldde {
+            d: VReg(rd),
+            base: IReg(ra),
+            off: disp,
+        },
+        OP_VLDR_ROW => Instr::Vldr {
+            d: VReg(rd),
+            base: IReg(ra),
+            off: disp,
+            net: Net::Row,
+        },
+        OP_VLDR_COL => Instr::Vldr {
+            d: VReg(rd),
+            base: IReg(ra),
+            off: disp,
+            net: Net::Col,
+        },
+        OP_LDDEC_ROW => Instr::Lddec {
+            d: VReg(rd),
+            base: IReg(ra),
+            off: disp,
+            net: Net::Row,
+        },
+        OP_LDDEC_COL => Instr::Lddec {
+            d: VReg(rd),
+            base: IReg(ra),
+            off: disp,
+            net: Net::Col,
+        },
         OP_GETR => Instr::Getr { d: VReg(rd) },
         OP_GETC => Instr::Getc { d: VReg(rd) },
         OP_VCLR => Instr::Vclr { d: VReg(rd) },
-        OP_ADDL => Instr::Addl { d: IReg(rd), s: IReg(ra), imm: disp },
-        OP_SETL => Instr::Setl { d: IReg(rd), imm: disp },
-        OP_BNE => Instr::Bne { s: IReg(rd), target },
+        OP_ADDL => Instr::Addl {
+            d: IReg(rd),
+            s: IReg(ra),
+            imm: disp,
+        },
+        OP_SETL => Instr::Setl {
+            d: IReg(rd),
+            imm: disp,
+        },
+        OP_BNE => Instr::Bne {
+            s: IReg(rd),
+            target,
+        },
         OP_NOP => Instr::Nop,
         other => return Err(CodecError::BadOpcode(other)),
     })
@@ -140,8 +195,14 @@ pub fn assemble(prog: &[Instr]) -> Result<Vec<u8>, CodecError> {
 
 /// Decodes a byte image back into a stream.
 pub fn disassemble(bytes: &[u8]) -> Result<Vec<Instr>, CodecError> {
-    assert!(bytes.len().is_multiple_of(4), "instruction image must be whole 32-bit words");
-    bytes.chunks_exact(4).map(|c| decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))).collect()
+    assert!(
+        bytes.len().is_multiple_of(4),
+        "instruction image must be whole 32-bit words"
+    );
+    bytes
+        .chunks_exact(4)
+        .map(|c| decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+        .collect()
 }
 
 #[cfg(test)]
@@ -152,20 +213,67 @@ mod tests {
 
     fn all_forms() -> Vec<Instr> {
         vec![
-            Instr::Vmad { a: VReg(3), b: VReg(7), c: VReg(31), d: VReg(16) },
-            Instr::Vldd { d: VReg(1), base: IReg(0), off: 8188 },
-            Instr::Vstd { s: VReg(2), base: IReg(0), off: -4 },
-            Instr::Ldde { d: VReg(8), base: IReg(1), off: 8000 },
-            Instr::Vldr { d: VReg(0), base: IReg(0), off: 16, net: Net::Row },
-            Instr::Vldr { d: VReg(0), base: IReg(0), off: 16, net: Net::Col },
-            Instr::Lddec { d: VReg(4), base: IReg(0), off: 3000, net: Net::Col },
-            Instr::Lddec { d: VReg(4), base: IReg(0), off: 3000, net: Net::Row },
+            Instr::Vmad {
+                a: VReg(3),
+                b: VReg(7),
+                c: VReg(31),
+                d: VReg(16),
+            },
+            Instr::Vldd {
+                d: VReg(1),
+                base: IReg(0),
+                off: 8188,
+            },
+            Instr::Vstd {
+                s: VReg(2),
+                base: IReg(0),
+                off: -4,
+            },
+            Instr::Ldde {
+                d: VReg(8),
+                base: IReg(1),
+                off: 8000,
+            },
+            Instr::Vldr {
+                d: VReg(0),
+                base: IReg(0),
+                off: 16,
+                net: Net::Row,
+            },
+            Instr::Vldr {
+                d: VReg(0),
+                base: IReg(0),
+                off: 16,
+                net: Net::Col,
+            },
+            Instr::Lddec {
+                d: VReg(4),
+                base: IReg(0),
+                off: 3000,
+                net: Net::Col,
+            },
+            Instr::Lddec {
+                d: VReg(4),
+                base: IReg(0),
+                off: 3000,
+                net: Net::Row,
+            },
             Instr::Getr { d: VReg(5) },
             Instr::Getc { d: VReg(6) },
             Instr::Vclr { d: VReg(13) },
-            Instr::Addl { d: IReg(6), s: IReg(6), imm: -96 },
-            Instr::Setl { d: IReg(3), imm: 24 },
-            Instr::Bne { s: IReg(3), target: 65535 },
+            Instr::Addl {
+                d: IReg(6),
+                s: IReg(6),
+                imm: -96,
+            },
+            Instr::Setl {
+                d: IReg(3),
+                imm: 24,
+            },
+            Instr::Bne {
+                s: IReg(3),
+                target: 65535,
+            },
             Instr::Nop,
         ]
     }
@@ -204,20 +312,40 @@ mod tests {
 
     #[test]
     fn overflow_rejected() {
-        let too_far = Instr::Vldd { d: VReg(0), base: IReg(0), off: 40000 };
-        assert!(matches!(encode(&too_far), Err(CodecError::DispOverflow(40000))));
-        let too_long = Instr::Bne { s: IReg(0), target: 70000 };
-        assert!(matches!(encode(&too_long), Err(CodecError::TargetOverflow(70000))));
+        let too_far = Instr::Vldd {
+            d: VReg(0),
+            base: IReg(0),
+            off: 40000,
+        };
+        assert!(matches!(
+            encode(&too_far),
+            Err(CodecError::DispOverflow(40000))
+        ));
+        let too_long = Instr::Bne {
+            s: IReg(0),
+            target: 70000,
+        };
+        assert!(matches!(
+            encode(&too_long),
+            Err(CodecError::TargetOverflow(70000))
+        ));
     }
 
     #[test]
     fn bad_opcode_rejected() {
-        assert!(matches!(decode(0x3f << 26), Err(CodecError::BadOpcode(0x3f))));
+        assert!(matches!(
+            decode(0x3f << 26),
+            Err(CodecError::BadOpcode(0x3f))
+        ));
     }
 
     #[test]
     fn negative_displacements_survive() {
-        let i = Instr::Addl { d: IReg(1), s: IReg(1), imm: -1 };
+        let i = Instr::Addl {
+            d: IReg(1),
+            s: IReg(1),
+            imm: -1,
+        };
         assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
     }
 }

@@ -14,10 +14,9 @@
 //! mnemonics.
 
 use crate::regs::{IReg, VReg};
-use serde::{Deserialize, Serialize};
 
 /// Which mesh network a communication instruction uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Net {
     /// The row network (all CPEs of the sender's mesh row).
     Row,
@@ -26,7 +25,7 @@ pub enum Net {
 }
 
 /// One CPE instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// `vmad d, a, b, c` — 256-bit fused multiply-add `d = a*b + c`
     /// (the paper writes `vmad rA, rB, rC, rC` for the accumulating
@@ -41,10 +40,20 @@ pub enum Instr {
     Ldde { d: VReg, base: IReg, off: i64 },
     /// 256-bit LDM load + broadcast on `net`, local copy kept in `d`
     /// (`vldr` when `net == Row`). P1, latency 4.
-    Vldr { d: VReg, base: IReg, off: i64, net: Net },
+    Vldr {
+        d: VReg,
+        base: IReg,
+        off: i64,
+        net: Net,
+    },
     /// Scalar LDM load, splat, broadcast on `net`, local copy kept
     /// (`lddec` when `net == Col`). P1, latency 4.
-    Lddec { d: VReg, base: IReg, off: i64, net: Net },
+    Lddec {
+        d: VReg,
+        base: IReg,
+        off: i64,
+        net: Net,
+    },
     /// Receive one word from the row network into `d` (`getr`). P1,
     /// latency 4.
     Getr { d: VReg },
@@ -78,6 +87,64 @@ pub enum Pipe {
     P1,
 }
 
+/// The source registers of one instruction, as a fixed-size inline set
+/// (an instruction reads at most three registers of a kind). Replaces
+/// the old `Vec` returns of [`Instr::vsrcs`]/[`Instr::isrcs`]: the
+/// executor walks sources once per dynamically executed instruction,
+/// and a heap allocation there dominated interpreter time.
+#[derive(Debug, Clone, Copy)]
+pub struct Srcs<R> {
+    regs: [R; 3],
+    len: u8,
+}
+
+impl<R: Copy + PartialEq> Srcs<R> {
+    #[inline]
+    fn new(regs: [R; 3], len: u8) -> Self {
+        Srcs { regs, len }
+    }
+
+    /// The sources as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[R] {
+        &self.regs[..self.len as usize]
+    }
+
+    /// Number of sources (0..=3).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the instruction reads no register of this kind.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `r` is among the sources.
+    #[inline]
+    pub fn contains(&self, r: R) -> bool {
+        self.as_slice().contains(&r)
+    }
+}
+
+impl<R: Copy> IntoIterator for Srcs<R> {
+    type Item = R;
+    type IntoIter = std::iter::Take<std::array::IntoIter<R, 3>>;
+
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.regs.into_iter().take(self.len as usize)
+    }
+}
+
+impl<R: Copy + PartialEq> PartialEq for Srcs<R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 impl Instr {
     /// Which pipeline the instruction issues on.
     #[inline]
@@ -97,7 +164,9 @@ impl Instr {
     /// Result latency in cycles (issue → dependent may issue).
     #[inline]
     pub fn latency(&self) -> u64 {
-        use sw_arch::consts::{INT_OP_LATENCY, LDM_LOAD_LATENCY, REGCOMM_RAW_LATENCY, VMAD_RAW_LATENCY};
+        use sw_arch::consts::{
+            INT_OP_LATENCY, LDM_LOAD_LATENCY, REGCOMM_RAW_LATENCY, VMAD_RAW_LATENCY,
+        };
         match self {
             Instr::Vmad { .. } => VMAD_RAW_LATENCY,
             Instr::Vldd { .. } | Instr::Ldde { .. } => LDM_LOAD_LATENCY,
@@ -124,12 +193,13 @@ impl Instr {
         }
     }
 
-    /// Vector registers read.
-    pub fn vsrcs(&self) -> Vec<VReg> {
+    /// Vector registers read (allocation-free).
+    #[inline]
+    pub fn vsrcs(&self) -> Srcs<VReg> {
         match *self {
-            Instr::Vmad { a, b, c, .. } => vec![a, b, c],
-            Instr::Vstd { s, .. } => vec![s],
-            _ => vec![],
+            Instr::Vmad { a, b, c, .. } => Srcs::new([a, b, c], 3),
+            Instr::Vstd { s, .. } => Srcs::new([s, s, s], 1),
+            _ => Srcs::new([VReg(0); 3], 0),
         }
     }
 
@@ -141,16 +211,17 @@ impl Instr {
         }
     }
 
-    /// Integer registers read.
-    pub fn isrcs(&self) -> Vec<IReg> {
+    /// Integer registers read (allocation-free; at most one).
+    #[inline]
+    pub fn isrcs(&self) -> Srcs<IReg> {
         match *self {
             Instr::Vldd { base, .. }
             | Instr::Vstd { base, .. }
             | Instr::Ldde { base, .. }
             | Instr::Vldr { base, .. }
-            | Instr::Lddec { base, .. } => vec![base],
-            Instr::Addl { s, .. } | Instr::Bne { s, .. } => vec![s],
-            _ => vec![],
+            | Instr::Lddec { base, .. } => Srcs::new([base; 3], 1),
+            Instr::Addl { s, .. } | Instr::Bne { s, .. } => Srcs::new([s; 3], 1),
+            _ => Srcs::new([IReg(0); 3], 0),
         }
     }
 }
@@ -181,7 +252,12 @@ mod tests {
 
     #[test]
     fn pipes_and_latencies_match_paper() {
-        let vmad = Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) };
+        let vmad = Instr::Vmad {
+            a: VReg(0),
+            b: VReg(1),
+            c: VReg(2),
+            d: VReg(2),
+        };
         assert_eq!(vmad.pipe(), Pipe::P0);
         assert_eq!(vmad.latency(), 6);
         let getr = Instr::Getr { d: VReg(0) };
@@ -191,11 +267,47 @@ mod tests {
 
     #[test]
     fn deps_extracted() {
-        let i = Instr::Vmad { a: VReg(1), b: VReg(2), c: VReg(3), d: VReg(3) };
+        let i = Instr::Vmad {
+            a: VReg(1),
+            b: VReg(2),
+            c: VReg(3),
+            d: VReg(3),
+        };
         assert_eq!(i.vdst(), Some(VReg(3)));
-        assert_eq!(i.vsrcs(), vec![VReg(1), VReg(2), VReg(3)]);
-        let a = Instr::Addl { d: IReg(1), s: IReg(2), imm: 4 };
+        assert_eq!(i.vsrcs().as_slice(), &[VReg(1), VReg(2), VReg(3)]);
+        let a = Instr::Addl {
+            d: IReg(1),
+            s: IReg(2),
+            imm: 4,
+        };
         assert_eq!(a.idst(), Some(IReg(1)));
-        assert_eq!(a.isrcs(), vec![IReg(2)]);
+        assert_eq!(a.isrcs().as_slice(), &[IReg(2)]);
+    }
+
+    #[test]
+    fn src_sets_are_inline_and_iterable() {
+        let store = Instr::Vstd {
+            s: VReg(5),
+            base: IReg(2),
+            off: 0,
+        };
+        assert_eq!(store.vsrcs().len(), 1);
+        assert!(store.vsrcs().contains(VReg(5)));
+        assert!(!store.vsrcs().contains(VReg(4)));
+        assert_eq!(store.isrcs().as_slice(), &[IReg(2)]);
+        let nop = Instr::Nop;
+        assert!(nop.vsrcs().is_empty());
+        assert!(nop.isrcs().is_empty());
+        assert_eq!(nop.vsrcs().into_iter().count(), 0);
+        let collected: Vec<VReg> = Instr::Vmad {
+            a: VReg(1),
+            b: VReg(2),
+            c: VReg(3),
+            d: VReg(3),
+        }
+        .vsrcs()
+        .into_iter()
+        .collect();
+        assert_eq!(collected, vec![VReg(1), VReg(2), VReg(3)]);
     }
 }

@@ -35,10 +35,9 @@
 
 use crate::instr::{Instr, Net};
 use crate::regs::{IReg, VReg};
-use serde::{Deserialize, Serialize};
 
 /// Where a kernel operand comes from in the current strip step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Operand {
     /// Plain local LDM loads (no communication).
     Ldm,
@@ -57,7 +56,7 @@ impl Operand {
 }
 
 /// Code shape to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelStyle {
     /// Loads next to uses, no pipelining.
     Naive,
@@ -68,7 +67,7 @@ pub enum KernelStyle {
 /// Configuration of one thread-level block multiplication
 /// `C (pm×pn) += α · A (pm×pk) · B (pk×pn)`, all panels column-major in
 /// this CPE's LDM at absolute double offsets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockKernelCfg {
     /// Block rows; multiple of 16 (one register tile covers 16 rows).
     pub pm: usize,
@@ -178,7 +177,10 @@ impl BlockKernelCfg {
     /// Validates the shape constraints the generators assume.
     pub fn validate(&self) -> Result<(), String> {
         if self.pm == 0 || !self.pm.is_multiple_of(16) {
-            return Err(format!("pm = {} must be a positive multiple of 16", self.pm));
+            return Err(format!(
+                "pm = {} must be a positive multiple of 16",
+                self.pm
+            ));
         }
         if self.pn == 0 || !self.pn.is_multiple_of(4) {
             return Err(format!("pn = {} must be a positive multiple of 4", self.pn));
@@ -187,9 +189,11 @@ impl BlockKernelCfg {
             return Err(format!("pk = {} must be at least 2", self.pk));
         }
         if self.pm != 16 && (!self.a_src.is_local() || !self.b_src.is_local()) {
-            return Err("communication operands require pm = 16 (one register tile of rows, \
+            return Err(
+                "communication operands require pm = 16 (one register tile of rows, \
                         matching the 8x8 strip decomposition)"
-                .into());
+                    .into(),
+            );
         }
         if !self.a_base.is_multiple_of(4) || !self.c_base.is_multiple_of(4) {
             return Err("A and C panels must be 256-bit aligned in LDM".into());
@@ -215,8 +219,17 @@ impl BlockKernelCfg {
 
     fn load_a(&self, d: VReg, r0: usize, k: usize, i: usize) -> Instr {
         match self.a_src {
-            Operand::Ldm => Instr::Vldd { d, base: BASE, off: self.a_off(r0, k, i) },
-            Operand::LdmBcast(net) => Instr::Vldr { d, base: BASE, off: self.a_off(r0, k, i), net },
+            Operand::Ldm => Instr::Vldd {
+                d,
+                base: BASE,
+                off: self.a_off(r0, k, i),
+            },
+            Operand::LdmBcast(net) => Instr::Vldr {
+                d,
+                base: BASE,
+                off: self.a_off(r0, k, i),
+                net,
+            },
             Operand::Recv(Net::Row) => Instr::Getr { d },
             Operand::Recv(Net::Col) => Instr::Getc { d },
         }
@@ -224,10 +237,17 @@ impl BlockKernelCfg {
 
     fn load_b(&self, d: VReg, k: usize, j0: usize, j: usize) -> Instr {
         match self.b_src {
-            Operand::Ldm => Instr::Ldde { d, base: BASE, off: self.b_off(k, j0, j) },
-            Operand::LdmBcast(net) => {
-                Instr::Lddec { d, base: BASE, off: self.b_off(k, j0, j), net }
-            }
+            Operand::Ldm => Instr::Ldde {
+                d,
+                base: BASE,
+                off: self.b_off(k, j0, j),
+            },
+            Operand::LdmBcast(net) => Instr::Lddec {
+                d,
+                base: BASE,
+                off: self.b_off(k, j0, j),
+                net,
+            },
             Operand::Recv(Net::Row) => Instr::Getr { d },
             Operand::Recv(Net::Col) => Instr::Getc { d },
         }
@@ -251,7 +271,11 @@ pub fn gen_block_kernel(cfg: &BlockKernelCfg, style: KernelStyle) -> Vec<Instr> 
     cfg.validate().expect("invalid kernel configuration");
     let mut prog = Vec::new();
     prog.push(Instr::Setl { d: BASE, imm: 0 });
-    prog.push(Instr::Ldde { d: VALPHA, base: BASE, off: cfg.alpha_addr as i64 });
+    prog.push(Instr::Ldde {
+        d: VALPHA,
+        base: BASE,
+        off: cfg.alpha_addr as i64,
+    });
     prog.push(Instr::Vclr { d: VZERO });
     for r0 in (0..cfg.pm).step_by(16) {
         for j0 in (0..cfg.pn).step_by(4) {
@@ -286,12 +310,25 @@ fn gen_tile_naive(cfg: &BlockKernelCfg, r0: usize, j0: usize, prog: &mut Vec<Ins
             prog.push(cfg.load_a(ra, r0, k, i));
         }
         // The address updates unoptimized code performs each iteration.
-        prog.push(Instr::Addl { d: SCRATCH[0], s: SCRATCH[0], imm: cfg.pm as i64 });
-        prog.push(Instr::Addl { d: SCRATCH[1], s: SCRATCH[1], imm: 1 });
+        prog.push(Instr::Addl {
+            d: SCRATCH[0],
+            s: SCRATCH[0],
+            imm: cfg.pm as i64,
+        });
+        prog.push(Instr::Addl {
+            d: SCRATCH[1],
+            s: SCRATCH[1],
+            imm: 1,
+        });
         for j in 0..4 {
             prog.push(cfg.load_b(RB[j], k, j0, j));
             for i in 0..4 {
-                prog.push(Instr::Vmad { a: RA[i], b: RB[j], c: addend(i, j, k), d: rc(i, j) });
+                prog.push(Instr::Vmad {
+                    a: RA[i],
+                    b: RB[j],
+                    c: addend(i, j, k),
+                    d: rc(i, j),
+                });
             }
         }
     }
@@ -312,7 +349,12 @@ fn gen_tile_scheduled(cfg: &BlockKernelCfg, r0: usize, j0: usize, prog: &mut Vec
     for k in 0..cfg.pk {
         let last = k + 1 == cfg.pk;
         for (pair, &(ai, bj)) in SCHED_VMAD_ORDER.iter().enumerate() {
-            prog.push(Instr::Vmad { a: RA[ai], b: RB[bj], c: addend(ai, bj, k), d: rc(ai, bj) });
+            prog.push(Instr::Vmad {
+                a: RA[ai],
+                b: RB[bj],
+                c: addend(ai, bj, k),
+                d: rc(ai, bj),
+            });
             let p1 = match SCHED_P1_ORDER[pair] {
                 P1Slot::ACur(i) => cfg.load_a(RA[i], r0, k, i),
                 P1Slot::BCur(j) => cfg.load_b(RB[j], k, j0, j),
@@ -321,7 +363,11 @@ fn gen_tile_scheduled(cfg: &BlockKernelCfg, r0: usize, j0: usize, prog: &mut Vec
                 P1Slot::ANext(i) if !last => cfg.load_a(RA[i], r0, k + 1, i),
                 P1Slot::BNext(j) if !last => cfg.load_b(RB[j], k + 1, j0, j),
                 P1Slot::ANext(_) | P1Slot::BNext(_) => Instr::Nop,
-                P1Slot::Addl(s) => Instr::Addl { d: SCRATCH[s], s: SCRATCH[s], imm: 1 },
+                P1Slot::Addl(s) => Instr::Addl {
+                    d: SCRATCH[s],
+                    s: SCRATCH[s],
+                    imm: 1,
+                },
                 P1Slot::Nop => Instr::Nop,
             };
             prog.push(p1);
@@ -334,13 +380,26 @@ fn gen_tile_scheduled(cfg: &BlockKernelCfg, r0: usize, j0: usize, prog: &mut Vec
 fn gen_tile_epilogue(cfg: &BlockKernelCfg, r0: usize, j0: usize, prog: &mut Vec<Instr>) {
     for j in 0..4 {
         for i in 0..4 {
-            prog.push(Instr::Vldd { d: TMP[i], base: BASE, off: cfg.c_off(r0 + 4 * i, j0, j) });
+            prog.push(Instr::Vldd {
+                d: TMP[i],
+                base: BASE,
+                off: cfg.c_off(r0 + 4 * i, j0, j),
+            });
         }
         for i in 0..4 {
-            prog.push(Instr::Vmad { a: rc(i, j), b: VALPHA, c: TMP[i], d: TMP[i] });
+            prog.push(Instr::Vmad {
+                a: rc(i, j),
+                b: VALPHA,
+                c: TMP[i],
+                d: TMP[i],
+            });
         }
         for i in 0..4 {
-            prog.push(Instr::Vstd { s: TMP[i], base: BASE, off: cfg.c_off(r0 + 4 * i, j0, j) });
+            prog.push(Instr::Vstd {
+                s: TMP[i],
+                base: BASE,
+                off: cfg.c_off(r0 + 4 * i, j0, j),
+            });
         }
     }
 }
@@ -494,7 +553,8 @@ mod tests {
         let cfg = local_cfg(16, 32, 96);
         let mut ldm = fill_ldm(&cfg, 1.0);
         let mut comm = NullComm;
-        let r = Machine::new(&mut ldm, &mut comm).run(&gen_block_kernel(&cfg, KernelStyle::Scheduled));
+        let r =
+            Machine::new(&mut ldm, &mut comm).run(&gen_block_kernel(&cfg, KernelStyle::Scheduled));
         let eight_steps = 8 * r.cycles;
         assert!(
             (98_000..=108_000).contains(&eight_steps),
@@ -554,8 +614,14 @@ mod tests {
             &l_r[base.c_base..base.c_base + base.pm * base.pn],
             &l_ref[base.c_base..base.c_base + base.pm * base.pn]
         );
-        assert!(rcomm.row_in.is_empty(), "receiver must consume the full A transcript");
-        assert!(rcomm.col_in.is_empty(), "receiver must consume the full B transcript");
+        assert!(
+            rcomm.row_in.is_empty(),
+            "receiver must consume the full A transcript"
+        );
+        assert!(
+            rcomm.col_in.is_empty(),
+            "receiver must consume the full B transcript"
+        );
     }
 
     #[test]
@@ -586,7 +652,12 @@ mod tests {
         let cfg = local_cfg(16, 32, 96);
         for style in [KernelStyle::Naive, KernelStyle::Scheduled] {
             let prog = gen_block_kernel(&cfg, style);
-            let max_reg = prog.iter().filter_map(|i| i.vdst()).map(|r| r.0).max().unwrap();
+            let max_reg = prog
+                .iter()
+                .filter_map(|i| i.vdst())
+                .map(|r| r.0)
+                .max()
+                .unwrap();
             assert!(max_reg < 32);
         }
     }
@@ -617,14 +688,29 @@ mod diag {
     #[test]
     #[ignore]
     fn print_marginals() {
-        let mk = |pk| BlockKernelCfg { pm:16, pn:4, pk, a_src:Operand::Ldm, b_src:Operand::Ldm, a_base:0, b_base:4096, c_base:6144, alpha_addr:8000 };
+        let mk = |pk| BlockKernelCfg {
+            pm: 16,
+            pn: 4,
+            pk,
+            a_src: Operand::Ldm,
+            b_src: Operand::Ldm,
+            a_base: 0,
+            b_base: 4096,
+            c_base: 6144,
+            alpha_addr: 8000,
+        };
         let mut comm = NullComm;
         for style in [KernelStyle::Scheduled, KernelStyle::Naive] {
             let mut ldm = vec![1.0; 8192];
             let r1 = Machine::new(&mut ldm, &mut comm).run(&gen_block_kernel(&mk(100), style));
             let mut ldm = vec![1.0; 8192];
             let r2 = Machine::new(&mut ldm, &mut comm).run(&gen_block_kernel(&mk(200), style));
-            println!("{:?}: marginal {} cycles/k; pk=100 total {}", style, (r2.cycles - r1.cycles) as f64 / 100.0, r1.cycles);
+            println!(
+                "{:?}: marginal {} cycles/k; pk=100 total {}",
+                style,
+                (r2.cycles - r1.cycles) as f64 / 100.0,
+                r1.cycles
+            );
         }
     }
 }

@@ -28,6 +28,7 @@
 //!   code generation" direction).
 
 pub mod comm;
+pub mod decoded;
 pub mod encoding;
 pub mod instr;
 pub mod kernels;
@@ -39,8 +40,9 @@ pub mod tiling;
 pub mod verify;
 
 pub use comm::{CommPort, NullComm, ScriptedComm, SinkComm};
+pub use decoded::DecodedProgram;
 pub use instr::{Instr, Net};
 pub use kernels::{BlockKernelCfg, Operand};
 pub use looped::{fits_icache, gen_block_kernel_looped, icache_footprint_bytes};
-pub use machine::{ExecReport, Machine};
+pub use machine::{BudgetExceeded, ExecReport, Machine, MAX_EXECUTED};
 pub use regs::{IReg, VReg};

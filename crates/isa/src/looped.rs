@@ -60,14 +60,26 @@ pub fn fits_icache(prog: &[Instr]) -> bool {
 
 /// Generates the loop-form block kernel. `unroll` k-iterations share
 /// one backward branch; `cfg.pk` must be a multiple of `unroll`.
-pub fn gen_block_kernel_looped(cfg: &BlockKernelCfg, style: KernelStyle, unroll: usize) -> Vec<Instr> {
+pub fn gen_block_kernel_looped(
+    cfg: &BlockKernelCfg,
+    style: KernelStyle,
+    unroll: usize,
+) -> Vec<Instr> {
     cfg.validate().expect("invalid kernel configuration");
     assert!(unroll >= 1, "unroll must be at least 1");
-    assert!(cfg.pk.is_multiple_of(unroll), "pk = {} must be a multiple of the unroll factor {unroll}", cfg.pk);
+    assert!(
+        cfg.pk.is_multiple_of(unroll),
+        "pk = {} must be a multiple of the unroll factor {unroll}",
+        cfg.pk
+    );
 
     let mut prog = Vec::new();
     prog.push(Instr::Setl { d: BASE, imm: 0 });
-    prog.push(Instr::Ldde { d: VALPHA, base: BASE, off: cfg.alpha_addr as i64 });
+    prog.push(Instr::Ldde {
+        d: VALPHA,
+        base: BASE,
+        off: cfg.alpha_addr as i64,
+    });
     prog.push(Instr::Vclr { d: VZERO });
     for r0 in (0..cfg.pm).step_by(16) {
         for j0 in (0..cfg.pn).step_by(4) {
@@ -86,8 +98,17 @@ pub fn gen_block_kernel_looped(cfg: &BlockKernelCfg, style: KernelStyle, unroll:
 fn load_a(cfg: &BlockKernelCfg, d: VReg, off: i64, i: usize) -> Instr {
     let off = off + 4 * i as i64;
     match cfg.a_src {
-        Operand::Ldm => Instr::Vldd { d, base: A_PTR, off },
-        Operand::LdmBcast(net) => Instr::Vldr { d, base: A_PTR, off, net },
+        Operand::Ldm => Instr::Vldd {
+            d,
+            base: A_PTR,
+            off,
+        },
+        Operand::LdmBcast(net) => Instr::Vldr {
+            d,
+            base: A_PTR,
+            off,
+            net,
+        },
         Operand::Recv(Net::Row) => Instr::Getr { d },
         Operand::Recv(Net::Col) => Instr::Getc { d },
     }
@@ -98,17 +119,41 @@ fn load_a(cfg: &BlockKernelCfg, d: VReg, off: i64, i: usize) -> Instr {
 fn load_b(cfg: &BlockKernelCfg, d: VReg, off: i64, j: usize) -> Instr {
     let off = off + (j * cfg.pk) as i64;
     match cfg.b_src {
-        Operand::Ldm => Instr::Ldde { d, base: B_PTR, off },
-        Operand::LdmBcast(net) => Instr::Lddec { d, base: B_PTR, off, net },
+        Operand::Ldm => Instr::Ldde {
+            d,
+            base: B_PTR,
+            off,
+        },
+        Operand::LdmBcast(net) => Instr::Lddec {
+            d,
+            base: B_PTR,
+            off,
+            net,
+        },
         Operand::Recv(Net::Row) => Instr::Getr { d },
         Operand::Recv(Net::Col) => Instr::Getc { d },
     }
 }
 
-fn tile_pointer_setup(cfg: &BlockKernelCfg, r0: usize, j0: usize, trips: usize, prog: &mut Vec<Instr>) {
-    prog.push(Instr::Setl { d: A_PTR, imm: (cfg.a_base + r0) as i64 });
-    prog.push(Instr::Setl { d: B_PTR, imm: (cfg.b_base + j0 * cfg.pk) as i64 });
-    prog.push(Instr::Setl { d: KCNT, imm: trips as i64 });
+fn tile_pointer_setup(
+    cfg: &BlockKernelCfg,
+    r0: usize,
+    j0: usize,
+    trips: usize,
+    prog: &mut Vec<Instr>,
+) {
+    prog.push(Instr::Setl {
+        d: A_PTR,
+        imm: (cfg.a_base + r0) as i64,
+    });
+    prog.push(Instr::Setl {
+        d: B_PTR,
+        imm: (cfg.b_base + j0 * cfg.pk) as i64,
+    });
+    prog.push(Instr::Setl {
+        d: KCNT,
+        imm: trips as i64,
+    });
 }
 
 /// Naive loop: one k-iteration per trip, loads next to uses, explicit
@@ -124,12 +169,29 @@ fn gen_tile_naive_looped(cfg: &BlockKernelCfg, r0: usize, j0: usize, prog: &mut 
     for j in 0..4 {
         prog.push(load_b(cfg, RB[j], 0, j));
         for i in 0..4 {
-            prog.push(Instr::Vmad { a: RA[i], b: RB[j], c: VZERO, d: rc(i, j) });
+            prog.push(Instr::Vmad {
+                a: RA[i],
+                b: RB[j],
+                c: VZERO,
+                d: rc(i, j),
+            });
         }
     }
-    prog.push(Instr::Addl { d: A_PTR, s: A_PTR, imm: cfg.pm as i64 });
-    prog.push(Instr::Addl { d: B_PTR, s: B_PTR, imm: 1 });
-    prog.push(Instr::Addl { d: KCNT, s: KCNT, imm: -1 });
+    prog.push(Instr::Addl {
+        d: A_PTR,
+        s: A_PTR,
+        imm: cfg.pm as i64,
+    });
+    prog.push(Instr::Addl {
+        d: B_PTR,
+        s: B_PTR,
+        imm: 1,
+    });
+    prog.push(Instr::Addl {
+        d: KCNT,
+        s: KCNT,
+        imm: -1,
+    });
     // Loop body: k = 1..pk.
     let head = prog.len();
     for (i, &ra) in RA.iter().enumerate() {
@@ -138,13 +200,33 @@ fn gen_tile_naive_looped(cfg: &BlockKernelCfg, r0: usize, j0: usize, prog: &mut 
     for j in 0..4 {
         prog.push(load_b(cfg, RB[j], 0, j));
         for i in 0..4 {
-            prog.push(Instr::Vmad { a: RA[i], b: RB[j], c: rc(i, j), d: rc(i, j) });
+            prog.push(Instr::Vmad {
+                a: RA[i],
+                b: RB[j],
+                c: rc(i, j),
+                d: rc(i, j),
+            });
         }
     }
-    prog.push(Instr::Addl { d: A_PTR, s: A_PTR, imm: cfg.pm as i64 });
-    prog.push(Instr::Addl { d: B_PTR, s: B_PTR, imm: 1 });
-    prog.push(Instr::Addl { d: KCNT, s: KCNT, imm: -1 });
-    prog.push(Instr::Bne { s: KCNT, target: head });
+    prog.push(Instr::Addl {
+        d: A_PTR,
+        s: A_PTR,
+        imm: cfg.pm as i64,
+    });
+    prog.push(Instr::Addl {
+        d: B_PTR,
+        s: B_PTR,
+        imm: 1,
+    });
+    prog.push(Instr::Addl {
+        d: KCNT,
+        s: KCNT,
+        imm: -1,
+    });
+    prog.push(Instr::Bne {
+        s: KCNT,
+        target: head,
+    });
 }
 
 /// The Algorithm 3 `vmad` order (same as the unrolled generator).
@@ -233,29 +315,47 @@ fn emit_body(
         // Offsets of the next iteration: on the last unrolled
         // iteration the pointers have already advanced by a full body
         // (pairs 3–4), so the next-k offsets wrap to 0.
-        let (a_next, b_next) = if last_u { (0, 0) } else { (a_cur + cfg.pm as i64, b_cur + 1) };
+        let (a_next, b_next) = if last_u {
+            (0, 0)
+        } else {
+            (a_cur + cfg.pm as i64, b_cur + 1)
+        };
         let skip_next = final_trip && last_u;
         for (pair, &(ai, bj)) in VMAD_ORDER.iter().enumerate() {
-            prog.push(Instr::Vmad { a: RA[ai], b: RB[bj], c: rc(ai, bj), d: rc(ai, bj) });
+            prog.push(Instr::Vmad {
+                a: RA[ai],
+                b: RB[bj],
+                c: rc(ai, bj),
+                d: rc(ai, bj),
+            });
             let p1 = match pair {
                 0 => load_a(cfg, RA[3], a_cur, 3),
                 1 => load_b(cfg, RB[3], b_cur, 3),
-                2 if last_u && !final_trip => {
-                    Instr::Addl { d: A_PTR, s: A_PTR, imm: (unroll * cfg.pm) as i64 }
-                }
-                3 if last_u && !final_trip => {
-                    Instr::Addl { d: B_PTR, s: B_PTR, imm: unroll as i64 }
-                }
-                4 if last_u && !final_trip => Instr::Addl { d: KCNT, s: KCNT, imm: -1 },
+                2 if last_u && !final_trip => Instr::Addl {
+                    d: A_PTR,
+                    s: A_PTR,
+                    imm: (unroll * cfg.pm) as i64,
+                },
+                3 if last_u && !final_trip => Instr::Addl {
+                    d: B_PTR,
+                    s: B_PTR,
+                    imm: unroll as i64,
+                },
+                4 if last_u && !final_trip => Instr::Addl {
+                    d: KCNT,
+                    s: KCNT,
+                    imm: -1,
+                },
                 6 if !skip_next => load_a(cfg, RA[0], a_next, 0),
                 8 if !skip_next => load_b(cfg, RB[0], b_next, 0),
                 9 if !skip_next => load_a(cfg, RA[1], a_next, 1),
                 11 if !skip_next => load_b(cfg, RB[1], b_next, 1),
                 13 if !skip_next => load_a(cfg, RA[2], a_next, 2),
                 14 if !skip_next => load_b(cfg, RB[2], b_next, 2),
-                15 if last_u && !final_trip => {
-                    Instr::Bne { s: KCNT, target: loop_head.expect("steady-state body has a head") }
-                }
+                15 if last_u && !final_trip => Instr::Bne {
+                    s: KCNT,
+                    target: loop_head.expect("steady-state body has a head"),
+                },
                 _ => Instr::Nop,
             };
             prog.push(p1);
@@ -268,13 +368,26 @@ fn gen_tile_epilogue(cfg: &BlockKernelCfg, r0: usize, j0: usize, prog: &mut Vec<
     let c_off = |r: usize, j: usize| (cfg.c_base + (j0 + j) * cfg.pm + r0 + r) as i64;
     for j in 0..4 {
         for i in 0..4 {
-            prog.push(Instr::Vldd { d: TMP[i], base: BASE, off: c_off(4 * i, j) });
+            prog.push(Instr::Vldd {
+                d: TMP[i],
+                base: BASE,
+                off: c_off(4 * i, j),
+            });
         }
         for i in 0..4 {
-            prog.push(Instr::Vmad { a: rc(i, j), b: VALPHA, c: TMP[i], d: TMP[i] });
+            prog.push(Instr::Vmad {
+                a: rc(i, j),
+                b: VALPHA,
+                c: TMP[i],
+                d: TMP[i],
+            });
         }
         for i in 0..4 {
-            prog.push(Instr::Vstd { s: TMP[i], base: BASE, off: c_off(4 * i, j) });
+            prog.push(Instr::Vstd {
+                s: TMP[i],
+                base: BASE,
+                off: c_off(4 * i, j),
+            });
         }
     }
 }
@@ -319,8 +432,11 @@ mod tests {
             let mut l2 = l1.clone();
             let mut comm = NullComm;
             Machine::new(&mut l1, &mut comm).run(&gen_block_kernel(&c, KernelStyle::Scheduled));
-            Machine::new(&mut l2, &mut comm)
-                .run(&gen_block_kernel_looped(&c, KernelStyle::Scheduled, unroll));
+            Machine::new(&mut l2, &mut comm).run(&gen_block_kernel_looped(
+                &c,
+                KernelStyle::Scheduled,
+                unroll,
+            ));
             assert_eq!(l1, l2, "unroll {unroll} diverged");
         }
     }
@@ -359,9 +475,13 @@ mod tests {
         let mut comm = NullComm;
         let mut l1 = fill(1.0, &c);
         let mut l2 = l1.clone();
-        let ru = Machine::new(&mut l1, &mut comm).run(&gen_block_kernel(&c, KernelStyle::Scheduled));
-        let rl = Machine::new(&mut l2, &mut comm)
-            .run(&gen_block_kernel_looped(&c, KernelStyle::Scheduled, 4));
+        let ru =
+            Machine::new(&mut l1, &mut comm).run(&gen_block_kernel(&c, KernelStyle::Scheduled));
+        let rl = Machine::new(&mut l2, &mut comm).run(&gen_block_kernel_looped(
+            &c,
+            KernelStyle::Scheduled,
+            4,
+        ));
         let overhead = rl.cycles as f64 / ru.cycles as f64;
         assert!(
             (1.0..1.15).contains(&overhead),

@@ -17,20 +17,60 @@
 //! not out-of-order hardware — decides how much of the P1 latency hides
 //! under `vmad`s, which is precisely the effect §IV-C measures (a
 //! 113.9 % speed-up from reordering alone).
+//!
+//! # Execution engine
+//!
+//! The hot path is [`Machine::run_decoded`]: it interprets a
+//! [`DecodedProgram`] whose per-instruction metadata (pipe, latency,
+//! source/destination register indices) was resolved once at decode
+//! time, so the dynamic loop performs no heap allocation and no
+//! metadata re-derivation. [`Machine::run`] decodes internally for
+//! one-shot use. [`Machine::run_reference`] preserves the original
+//! direct-from-[`Instr`] interpreter as a golden model: equivalence
+//! tests assert the two produce bitwise-identical numerics and
+//! field-for-field identical [`ExecReport`]s.
 
 use crate::comm::CommPort;
+use crate::decoded::{DecodedProgram, NO_REG};
 use crate::instr::{Instr, Pipe, BRANCH_TAKEN_PENALTY};
 use crate::regs::IREG_COUNT;
-use serde::{Deserialize, Serialize};
 use sw_arch::consts::VREG_COUNT;
 use sw_arch::V256;
 
-/// Hard cap on executed instructions, so a malformed loop fails fast
-/// instead of hanging the test suite.
-const MAX_EXECUTED: u64 = 200_000_000;
+/// Default cap on executed instructions, so a malformed loop fails fast
+/// instead of hanging the test suite. Override per machine with
+/// [`Machine::set_budget`].
+pub const MAX_EXECUTED: u64 = 200_000_000;
+
+/// The executor's instruction budget was exhausted: the program executed
+/// more dynamic instructions than allowed, which in this ISA (whose only
+/// back-edge is `bne`) almost always means a runaway loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Program counter of the instruction that exceeded the budget.
+    pub pc: usize,
+    /// The instruction at that pc.
+    pub instr: Instr,
+    /// Dynamic instructions executed when the budget tripped.
+    pub executed: u64,
+    /// The budget that was in force.
+    pub budget: u64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "instruction budget exhausted after {} executed (budget {}) at pc {}: `{}` — runaway loop?",
+            self.executed, self.budget, self.pc, self.instr
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
 
 /// Cycle and issue statistics of one program run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecReport {
     /// Total cycles from first issue to last issue (inclusive).
     pub cycles: u64,
@@ -69,31 +109,84 @@ pub struct Machine<'a, C: CommPort> {
     pub iregs: [i64; IREG_COUNT],
     ldm: &'a mut [f64],
     comm: &'a mut C,
+    budget: u64,
 }
 
 impl<'a, C: CommPort> Machine<'a, C> {
     /// A machine with zeroed registers over the given LDM and port.
     pub fn new(ldm: &'a mut [f64], comm: &'a mut C) -> Self {
-        Machine { vregs: [V256::ZERO; VREG_COUNT], iregs: [0; IREG_COUNT], ldm, comm }
+        Machine {
+            vregs: [V256::ZERO; VREG_COUNT],
+            iregs: [0; IREG_COUNT],
+            ldm,
+            comm,
+            budget: MAX_EXECUTED,
+        }
+    }
+
+    /// Overrides the dynamic-instruction budget (default
+    /// [`MAX_EXECUTED`]). Tests of the runaway-loop guard use a tiny
+    /// budget.
+    pub fn set_budget(&mut self, budget: u64) {
+        self.budget = budget;
     }
 
     fn addr(&self, base: crate::regs::IReg, off: i64) -> usize {
         let a = self.iregs[base.idx()] + off;
         assert!(a >= 0, "negative LDM address {a}");
         let a = a as usize;
-        assert!(a < self.ldm.len(), "LDM address {a} beyond scratch pad ({} doubles)", self.ldm.len());
+        assert!(
+            a < self.ldm.len(),
+            "LDM address {a} beyond scratch pad ({} doubles)",
+            self.ldm.len()
+        );
         a
     }
 
     fn vaddr(&self, base: crate::regs::IReg, off: i64) -> usize {
         let a = self.addr(base, off);
-        assert!(a.is_multiple_of(4), "vector LDM access at {a} is not 256-bit aligned");
-        assert!(a + 4 <= self.ldm.len(), "vector LDM access at {a} runs off the scratch pad");
+        assert!(
+            a.is_multiple_of(4),
+            "vector LDM access at {a} is not 256-bit aligned"
+        );
+        assert!(
+            a + 4 <= self.ldm.len(),
+            "vector LDM access at {a} runs off the scratch pad"
+        );
         a
     }
 
     /// Runs the program to completion, returning issue statistics.
+    /// Panics (with the offending pc and instruction) if the
+    /// instruction budget is exhausted; use [`Machine::try_run`] to
+    /// handle that case as a value.
     pub fn run(&mut self, prog: &[Instr]) -> ExecReport {
+        match self.try_run(prog) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`Machine::run`], returning a structured error instead of
+    /// panicking when the instruction budget is exhausted.
+    pub fn try_run(&mut self, prog: &[Instr]) -> Result<ExecReport, BudgetExceeded> {
+        self.try_run_decoded(&DecodedProgram::new(prog))
+    }
+
+    /// Runs a predecoded program (the zero-allocation hot path; decode
+    /// once with [`DecodedProgram::new`], run many times). Panics on
+    /// budget exhaustion like [`Machine::run`].
+    pub fn run_decoded(&mut self, prog: &DecodedProgram) -> ExecReport {
+        match self.try_run_decoded(prog) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs a predecoded program, returning a structured error when the
+    /// instruction budget is exhausted.
+    pub fn try_run_decoded(&mut self, prog: &DecodedProgram) -> Result<ExecReport, BudgetExceeded> {
+        let instrs = prog.instrs.as_slice();
         let mut report = ExecReport::default();
         // Scoreboard: the cycle at which each register's pending write
         // completes.
@@ -106,25 +199,32 @@ impl<'a, C: CommPort> Machine<'a, C> {
         let mut last_issue: u64 = 0;
         let mut pc = 0usize;
 
-        while pc < prog.len() {
-            let instr = prog[pc];
+        while pc < instrs.len() {
+            let di = &instrs[pc];
             report.instructions += 1;
-            assert!(report.instructions <= MAX_EXECUTED, "instruction budget exhausted — runaway loop?");
+            if report.instructions > self.budget {
+                return Err(BudgetExceeded {
+                    pc,
+                    instr: di.op,
+                    executed: report.instructions,
+                    budget: self.budget,
+                });
+            }
 
             // Earliest legal issue cycle: in order, sources ready (RAW),
             // destination write drained (WAW).
             let mut t = cur;
-            for r in instr.vsrcs() {
-                t = t.max(vready[r.idx()]);
+            for &r in &di.vsrcs[..di.n_vsrcs as usize] {
+                t = t.max(vready[r as usize]);
             }
-            for r in instr.isrcs() {
-                t = t.max(iready[r.idx()]);
+            if di.isrc != NO_REG {
+                t = t.max(iready[di.isrc as usize]);
             }
-            if let Some(d) = instr.vdst() {
-                t = t.max(vready[d.idx()]);
+            if di.vdst != NO_REG {
+                t = t.max(vready[di.vdst as usize]);
             }
-            if let Some(d) = instr.idst() {
-                t = t.max(iready[d.idx()]);
+            if di.idst != NO_REG {
+                t = t.max(iready[di.idst as usize]);
             }
             // Find a free slot on the instruction's pipe.
             loop {
@@ -133,7 +233,7 @@ impl<'a, C: CommPort> Machine<'a, C> {
                     p0_used = false;
                     p1_used = false;
                 }
-                let used = match instr.pipe() {
+                let used = match di.pipe {
                     Pipe::P0 => &mut p0_used,
                     Pipe::P1 => &mut p1_used,
                 };
@@ -149,17 +249,18 @@ impl<'a, C: CommPort> Machine<'a, C> {
             last_issue = last_issue.max(t);
 
             // Retire: update the scoreboard and perform the effect.
-            if let Some(d) = instr.vdst() {
-                vready[d.idx()] = t + instr.latency();
+            if di.vdst != NO_REG {
+                vready[di.vdst as usize] = t + di.latency;
             }
-            if let Some(d) = instr.idst() {
-                iready[d.idx()] = t + instr.latency();
+            if di.idst != NO_REG {
+                iready[di.idst as usize] = t + di.latency;
             }
             let mut next_pc = pc + 1;
-            match instr {
+            match di.op {
                 Instr::Vmad { a, b, c, d } => {
                     report.vmads += 1;
-                    self.vregs[d.idx()] = self.vregs[a.idx()].fma(self.vregs[b.idx()], self.vregs[c.idx()]);
+                    self.vregs[d.idx()] =
+                        self.vregs[a.idx()].fma(self.vregs[b.idx()], self.vregs[c.idx()]);
                 }
                 Instr::Vldd { d, base, off } => {
                     let a = self.vaddr(base, off);
@@ -221,7 +322,155 @@ impl<'a, C: CommPort> Machine<'a, C> {
             }
             pc = next_pc;
         }
-        report.cycles = if report.instructions == 0 { 0 } else { last_issue + 1 };
+        report.cycles = if report.instructions == 0 {
+            0
+        } else {
+            last_issue + 1
+        };
+        Ok(report)
+    }
+
+    /// The original direct-from-[`Instr`] interpreter, kept verbatim as
+    /// the golden model for the decoded engine. Equivalence tests (and
+    /// the engine benchmark) run both and compare registers, LDM, and
+    /// [`ExecReport`] field for field.
+    pub fn run_reference(&mut self, prog: &[Instr]) -> ExecReport {
+        let mut report = ExecReport::default();
+        // Scoreboard: the cycle at which each register's pending write
+        // completes.
+        let mut vready = [0u64; VREG_COUNT];
+        let mut iready = [0u64; IREG_COUNT];
+        // Issue state: current cycle and which pipes issued in it.
+        let mut cur: u64 = 0;
+        let mut p0_used = false;
+        let mut p1_used = false;
+        let mut last_issue: u64 = 0;
+        let mut pc = 0usize;
+
+        while pc < prog.len() {
+            let instr = prog[pc];
+            report.instructions += 1;
+            assert!(
+                report.instructions <= self.budget,
+                "instruction budget exhausted — runaway loop?"
+            );
+
+            // Earliest legal issue cycle: in order, sources ready (RAW),
+            // destination write drained (WAW).
+            let mut t = cur;
+            for r in instr.vsrcs() {
+                t = t.max(vready[r.idx()]);
+            }
+            for r in instr.isrcs() {
+                t = t.max(iready[r.idx()]);
+            }
+            if let Some(d) = instr.vdst() {
+                t = t.max(vready[d.idx()]);
+            }
+            if let Some(d) = instr.idst() {
+                t = t.max(iready[d.idx()]);
+            }
+            // Find a free slot on the instruction's pipe.
+            loop {
+                if t > cur {
+                    cur = t;
+                    p0_used = false;
+                    p1_used = false;
+                }
+                let used = match instr.pipe() {
+                    Pipe::P0 => &mut p0_used,
+                    Pipe::P1 => &mut p1_used,
+                };
+                if !*used {
+                    *used = true;
+                    break;
+                }
+                t += 1;
+            }
+            if p0_used && p1_used {
+                report.dual_issue_cycles += 1;
+            }
+            last_issue = last_issue.max(t);
+
+            // Retire: update the scoreboard and perform the effect.
+            if let Some(d) = instr.vdst() {
+                vready[d.idx()] = t + instr.latency();
+            }
+            if let Some(d) = instr.idst() {
+                iready[d.idx()] = t + instr.latency();
+            }
+            let mut next_pc = pc + 1;
+            match instr {
+                Instr::Vmad { a, b, c, d } => {
+                    report.vmads += 1;
+                    self.vregs[d.idx()] =
+                        self.vregs[a.idx()].fma(self.vregs[b.idx()], self.vregs[c.idx()]);
+                }
+                Instr::Vldd { d, base, off } => {
+                    let a = self.vaddr(base, off);
+                    self.vregs[d.idx()] = V256::load(&self.ldm[a..]);
+                }
+                Instr::Vstd { s, base, off } => {
+                    let a = self.vaddr(base, off);
+                    self.vregs[s.idx()].store(&mut self.ldm[a..a + 4]);
+                }
+                Instr::Ldde { d, base, off } => {
+                    let a = self.addr(base, off);
+                    self.vregs[d.idx()] = V256::splat(self.ldm[a]);
+                }
+                Instr::Vldr { d, base, off, net } => {
+                    let a = self.vaddr(base, off);
+                    let v = V256::load(&self.ldm[a..]);
+                    match net {
+                        crate::instr::Net::Row => self.comm.row_bcast(v),
+                        crate::instr::Net::Col => self.comm.col_bcast(v),
+                    }
+                    self.vregs[d.idx()] = v;
+                }
+                Instr::Lddec { d, base, off, net } => {
+                    let a = self.addr(base, off);
+                    let v = V256::splat(self.ldm[a]);
+                    match net {
+                        crate::instr::Net::Row => self.comm.row_bcast(v),
+                        crate::instr::Net::Col => self.comm.col_bcast(v),
+                    }
+                    self.vregs[d.idx()] = v;
+                }
+                Instr::Getr { d } => {
+                    self.vregs[d.idx()] = self.comm.getr();
+                }
+                Instr::Getc { d } => {
+                    self.vregs[d.idx()] = self.comm.getc();
+                }
+                Instr::Vclr { d } => {
+                    self.vregs[d.idx()] = V256::ZERO;
+                }
+                Instr::Addl { d, s, imm } => {
+                    self.iregs[d.idx()] = self.iregs[s.idx()] + imm;
+                }
+                Instr::Setl { d, imm } => {
+                    self.iregs[d.idx()] = imm;
+                }
+                Instr::Bne { s, target } => {
+                    if self.iregs[s.idx()] != 0 {
+                        report.taken_branches += 1;
+                        next_pc = target;
+                        // Pipeline refill bubble: nothing issues until
+                        // the fetch redirect completes.
+                        cur = t + 1 + BRANCH_TAKEN_PENALTY;
+                        p0_used = false;
+                        p1_used = false;
+                    }
+                }
+                Instr::Nop => {}
+            }
+            pc = next_pc;
+        }
+        report.cycles = if report.instructions == 0 {
+            0
+        } else {
+            last_issue + 1
+        };
         report
     }
 }
@@ -243,8 +492,18 @@ mod tests {
     #[test]
     fn dual_issue_pairs_float_with_p1() {
         // vmad + nop can share a cycle; two vmads cannot.
-        let v = Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) };
-        let w = Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(3), d: VReg(3) };
+        let v = Instr::Vmad {
+            a: VReg(0),
+            b: VReg(1),
+            c: VReg(2),
+            d: VReg(2),
+        };
+        let w = Instr::Vmad {
+            a: VReg(0),
+            b: VReg(1),
+            c: VReg(3),
+            d: VReg(3),
+        };
         let mut ldm = vec![0.0; 64];
         let (r, _) = run(&[v, Instr::Nop], &mut ldm);
         assert_eq!(r.cycles, 1);
@@ -258,7 +517,12 @@ mod tests {
     fn raw_hazard_stalls_vmad_chain() {
         // Two vmads accumulating into the same register serialize at the
         // 6-cycle RAW latency.
-        let v = Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) };
+        let v = Instr::Vmad {
+            a: VReg(0),
+            b: VReg(1),
+            c: VReg(2),
+            d: VReg(2),
+        };
         let mut ldm = vec![0.0; 64];
         let (r, _) = run(&[v, v], &mut ldm);
         assert_eq!(r.cycles, 7); // issue at 0 and 6
@@ -267,8 +531,17 @@ mod tests {
     #[test]
     fn load_use_stall_is_four_cycles() {
         let prog = [
-            Instr::Vldd { d: VReg(0), base: IReg(0), off: 0 },
-            Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+            },
+            Instr::Vmad {
+                a: VReg(0),
+                b: VReg(1),
+                c: VReg(2),
+                d: VReg(2),
+            },
         ];
         let mut ldm = vec![0.0; 64];
         let (r, _) = run(&prog, &mut ldm);
@@ -279,8 +552,17 @@ mod tests {
     #[test]
     fn independent_load_pairs_with_vmad() {
         let prog = [
-            Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) },
-            Instr::Vldd { d: VReg(3), base: IReg(0), off: 0 },
+            Instr::Vmad {
+                a: VReg(0),
+                b: VReg(1),
+                c: VReg(2),
+                d: VReg(2),
+            },
+            Instr::Vldd {
+                d: VReg(3),
+                base: IReg(0),
+                off: 0,
+            },
         ];
         let mut ldm = vec![0.0; 64];
         let (r, _) = run(&prog, &mut ldm);
@@ -294,11 +576,28 @@ mod tests {
         ldm[0..4].copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
         ldm[8] = 10.0;
         let prog = [
-            Instr::Vldd { d: VReg(0), base: IReg(0), off: 0 },
-            Instr::Ldde { d: VReg(1), base: IReg(0), off: 8 },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+            },
+            Instr::Ldde {
+                d: VReg(1),
+                base: IReg(0),
+                off: 8,
+            },
             Instr::Vclr { d: VReg(2) },
-            Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) },
-            Instr::Vstd { s: VReg(2), base: IReg(0), off: 16 },
+            Instr::Vmad {
+                a: VReg(0),
+                b: VReg(1),
+                c: VReg(2),
+                d: VReg(2),
+            },
+            Instr::Vstd {
+                s: VReg(2),
+                base: IReg(0),
+                off: 16,
+            },
         ];
         let (_, _) = run(&prog, &mut ldm);
         assert_eq!(&ldm[16..20], &[10.0, 20.0, 30.0, 40.0]);
@@ -309,8 +608,15 @@ mod tests {
         // r1 = 3; loop { r1 -= 1; bne r1 } — 3 iterations, 2 taken.
         let prog = [
             Instr::Setl { d: IReg(1), imm: 3 },
-            Instr::Addl { d: IReg(1), s: IReg(1), imm: -1 },
-            Instr::Bne { s: IReg(1), target: 1 },
+            Instr::Addl {
+                d: IReg(1),
+                s: IReg(1),
+                imm: -1,
+            },
+            Instr::Bne {
+                s: IReg(1),
+                target: 1,
+            },
         ];
         let mut ldm = vec![0.0; 16];
         let (r, _) = run(&prog, &mut ldm);
@@ -327,8 +633,18 @@ mod tests {
         comm.script_row_panel(&[1.0, 1.0, 1.0, 1.0]);
         comm.script_col_scalars(&[3.0]);
         let prog = [
-            Instr::Vldr { d: VReg(0), base: IReg(0), off: 0, net: Net::Row },
-            Instr::Lddec { d: VReg(1), base: IReg(0), off: 4, net: Net::Col },
+            Instr::Vldr {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+                net: Net::Row,
+            },
+            Instr::Lddec {
+                d: VReg(1),
+                base: IReg(0),
+                off: 4,
+                net: Net::Col,
+            },
             Instr::Getr { d: VReg(2) },
             Instr::Getc { d: VReg(3) },
         ];
@@ -346,7 +662,11 @@ mod tests {
     #[should_panic]
     fn misaligned_vector_access_panics() {
         let mut ldm = vec![0.0; 16];
-        let prog = [Instr::Vldd { d: VReg(0), base: IReg(0), off: 2 }];
+        let prog = [Instr::Vldd {
+            d: VReg(0),
+            base: IReg(0),
+            off: 2,
+        }];
         let _ = run(&prog, &mut ldm);
     }
 
@@ -354,7 +674,11 @@ mod tests {
     #[should_panic]
     fn out_of_ldm_access_panics() {
         let mut ldm = vec![0.0; 16];
-        let prog = [Instr::Vldd { d: VReg(0), base: IReg(0), off: 16 }];
+        let prog = [Instr::Vldd {
+            d: VReg(0),
+            base: IReg(0),
+            off: 16,
+        }];
         let _ = run(&prog, &mut ldm);
     }
 
@@ -363,7 +687,11 @@ mod tests {
         // A load followed by vclr of the same register: the clear must
         // wait for the load's write-back.
         let prog = [
-            Instr::Vldd { d: VReg(0), base: IReg(0), off: 0 },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+            },
             Instr::Vclr { d: VReg(0) },
         ];
         let mut ldm = vec![0.0; 16];
@@ -374,12 +702,109 @@ mod tests {
 
     #[test]
     fn occupancy_statistics() {
-        let v = Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) };
+        let v = Instr::Vmad {
+            a: VReg(0),
+            b: VReg(1),
+            c: VReg(2),
+            d: VReg(2),
+        };
         let mut ldm = vec![0.0; 16];
         let (r, _) = run(&[v], &mut ldm);
         assert_eq!(r.vmads, 1);
         assert_eq!(r.flops(), 8);
         assert!((r.vmad_occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_offending_instr() {
+        // r1 = 1; loop forever on bne (r1 never changes).
+        let prog = [
+            Instr::Setl { d: IReg(1), imm: 1 },
+            Instr::Bne {
+                s: IReg(1),
+                target: 1,
+            },
+        ];
+        let mut ldm = vec![0.0; 16];
+        let mut comm = NullComm;
+        let mut m = Machine::new(&mut ldm, &mut comm);
+        m.set_budget(100);
+        let err = m
+            .try_run(&prog)
+            .expect_err("infinite loop must trip the budget");
+        assert_eq!(err.budget, 100);
+        assert_eq!(err.executed, 101);
+        assert_eq!(err.pc, 1);
+        assert_eq!(
+            err.instr,
+            Instr::Bne {
+                s: IReg(1),
+                target: 1
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("pc 1"), "{msg}");
+        assert!(msg.contains("bne"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "runaway loop")]
+    fn budget_exhaustion_panics_in_run() {
+        let prog = [
+            Instr::Setl { d: IReg(1), imm: 1 },
+            Instr::Bne {
+                s: IReg(1),
+                target: 1,
+            },
+        ];
+        let mut ldm = vec![0.0; 16];
+        let mut comm = NullComm;
+        let mut m = Machine::new(&mut ldm, &mut comm);
+        m.set_budget(10);
+        let _ = m.run(&prog);
+    }
+
+    #[test]
+    fn within_budget_run_succeeds() {
+        let prog = [
+            Instr::Setl { d: IReg(1), imm: 3 },
+            Instr::Addl {
+                d: IReg(1),
+                s: IReg(1),
+                imm: -1,
+            },
+            Instr::Bne {
+                s: IReg(1),
+                target: 1,
+            },
+        ];
+        let mut ldm = vec![0.0; 16];
+        let mut comm = NullComm;
+        let mut m = Machine::new(&mut ldm, &mut comm);
+        m.set_budget(7); // exactly the dynamic count
+        let r = m.try_run(&prog).expect("exact-budget run must pass");
+        assert_eq!(r.instructions, 7);
+    }
+
+    #[test]
+    fn decoded_program_reusable_across_runs() {
+        let prog = [
+            Instr::Vclr { d: VReg(0) },
+            Instr::Vmad {
+                a: VReg(0),
+                b: VReg(1),
+                c: VReg(2),
+                d: VReg(2),
+            },
+        ];
+        let decoded = DecodedProgram::new(&prog);
+        let mut ldm = vec![0.0; 16];
+        let mut comm = NullComm;
+        let mut m = Machine::new(&mut ldm, &mut comm);
+        let r1 = m.run_decoded(&decoded);
+        let r2 = m.run_decoded(&decoded);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.instructions, 2);
     }
 }
 
@@ -404,14 +829,31 @@ mod more_tests {
         ldm[0..4].copy_from_slice(&[9.0, 9.0, 9.0, 9.0]);
         let prog = [
             // v0 = 1.0 (splat from ldm[8]), v1 = 2.0, v2 = 0.
-            Instr::Ldde { d: VReg(0), base: IReg(0), off: 8 },
-            Instr::Ldde { d: VReg(1), base: IReg(0), off: 9 },
+            Instr::Ldde {
+                d: VReg(0),
+                base: IReg(0),
+                off: 8,
+            },
+            Instr::Ldde {
+                d: VReg(1),
+                base: IReg(0),
+                off: 9,
+            },
             Instr::Vclr { d: VReg(2) },
             Instr::Nop,
             Instr::Nop,
             // Pair: vmad v2 = v0*v1 + v2 ; reload v0 from ldm[0..4].
-            Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) },
-            Instr::Vldd { d: VReg(0), base: IReg(0), off: 0 },
+            Instr::Vmad {
+                a: VReg(0),
+                b: VReg(1),
+                c: VReg(2),
+                d: VReg(2),
+            },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+            },
         ];
         ldm[8] = 1.0;
         ldm[9] = 2.0;
@@ -429,7 +871,10 @@ mod more_tests {
     fn untaken_branch_costs_no_bubble() {
         let prog = [
             Instr::Setl { d: IReg(1), imm: 0 },
-            Instr::Bne { s: IReg(1), target: 0 }, // never taken
+            Instr::Bne {
+                s: IReg(1),
+                target: 0,
+            }, // never taken
             Instr::Nop,
         ];
         let mut ldm = vec![0.0; 16];
@@ -459,9 +904,21 @@ mod more_tests {
         let mut ldm = vec![0.0; 32];
         ldm[0..4].copy_from_slice(&[4.0, 3.0, 2.0, 1.0]);
         let prog = [
-            Instr::Vldd { d: VReg(0), base: IReg(0), off: 0 },
-            Instr::Vstd { s: VReg(0), base: IReg(0), off: 16 },
-            Instr::Vldd { d: VReg(1), base: IReg(0), off: 16 },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+            },
+            Instr::Vstd {
+                s: VReg(0),
+                base: IReg(0),
+                off: 16,
+            },
+            Instr::Vldd {
+                d: VReg(1),
+                base: IReg(0),
+                off: 16,
+            },
         ];
         let mut comm = NullComm;
         let mut m = Machine::new(&mut ldm, &mut comm);
@@ -483,8 +940,16 @@ mod more_tests {
         // addl chain: each depends on the previous (latency 1).
         let prog = [
             Instr::Setl { d: IReg(1), imm: 5 },
-            Instr::Addl { d: IReg(1), s: IReg(1), imm: 5 },
-            Instr::Addl { d: IReg(2), s: IReg(1), imm: 1 },
+            Instr::Addl {
+                d: IReg(1),
+                s: IReg(1),
+                imm: 5,
+            },
+            Instr::Addl {
+                d: IReg(2),
+                s: IReg(1),
+                imm: 1,
+            },
         ];
         let mut ldm = vec![0.0; 16];
         let mut comm = NullComm;
@@ -493,5 +958,43 @@ mod more_tests {
         assert_eq!(m.iregs[1], 10);
         assert_eq!(m.iregs[2], 11);
         assert_eq!(r.cycles, 3); // serial on P1 with 1-cycle latencies
+    }
+
+    #[test]
+    fn decoded_matches_reference_on_kernels() {
+        // The shipped kernel generators are the most important streams:
+        // run both engines on each and require identical reports,
+        // register files, and LDM contents.
+        use crate::kernels::{gen_block_kernel, BlockKernelCfg, KernelStyle, Operand};
+        let cfg = BlockKernelCfg {
+            pm: 16,
+            pn: 8,
+            pk: 24,
+            a_src: Operand::Ldm,
+            b_src: Operand::Ldm,
+            a_base: 0,
+            b_base: 4096,
+            c_base: 6144,
+            alpha_addr: 8000,
+        };
+        for style in [KernelStyle::Naive, KernelStyle::Scheduled] {
+            let prog = gen_block_kernel(&cfg, style);
+            let mut ldm_a: Vec<f64> = (0..sw_arch::consts::LDM_DOUBLES)
+                .map(|i| (i % 97) as f64 * 0.25 - 11.5)
+                .collect();
+            let mut ldm_b = ldm_a.clone();
+            let mut comm_a = NullComm;
+            let mut comm_b = NullComm;
+            let mut ma = Machine::new(&mut ldm_a, &mut comm_a);
+            let ra = ma.run_reference(&prog);
+            let (va, ia) = (ma.vregs, ma.iregs);
+            let mut mb = Machine::new(&mut ldm_b, &mut comm_b);
+            let rb = mb.run(&prog);
+            let (vb, ib) = (mb.vregs, mb.iregs);
+            assert_eq!(ra, rb, "reports differ for {style:?}");
+            assert_eq!(va, vb, "vregs differ for {style:?}");
+            assert_eq!(ia, ib, "iregs differ for {style:?}");
+            assert_eq!(ldm_a, ldm_b, "LDM differs for {style:?}");
+        }
     }
 }

@@ -1,34 +1,41 @@
 //! Register identifiers.
 
-use serde::{Deserialize, Serialize};
 use sw_arch::consts::VREG_COUNT;
 
 /// Number of integer scratch registers the kernel model exposes.
 pub const IREG_COUNT: usize = 8;
 
 /// One of the 32 256-bit vector registers of a CPE.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VReg(pub u8);
 
 impl VReg {
     /// Index into the register file.
     #[inline]
     pub fn idx(self) -> usize {
-        debug_assert!((self.0 as usize) < VREG_COUNT, "vreg {} out of range", self.0);
+        debug_assert!(
+            (self.0 as usize) < VREG_COUNT,
+            "vreg {} out of range",
+            self.0
+        );
         self.0 as usize
     }
 }
 
 /// One of the integer registers available to the kernel model (address
 /// arithmetic, loop counters).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct IReg(pub u8);
 
 impl IReg {
     /// Index into the integer register file.
     #[inline]
     pub fn idx(self) -> usize {
-        debug_assert!((self.0 as usize) < IREG_COUNT, "ireg {} out of range", self.0);
+        debug_assert!(
+            (self.0 as usize) < IREG_COUNT,
+            "ireg {} out of range",
+            self.0
+        );
         self.0 as usize
     }
 }

@@ -38,7 +38,11 @@ pub fn list_schedule(prog: &[Instr]) -> Vec<Instr> {
     // succs[i] = (j, min_delay) edges; preds counted for readiness.
     let mut succs: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
     let mut pred_count = vec![0usize; n];
-    let add_edge = |succs: &mut Vec<Vec<(usize, u64)>>, pred_count: &mut Vec<usize>, from: usize, to: usize, delay: u64| {
+    let add_edge = |succs: &mut Vec<Vec<(usize, u64)>>,
+                    pred_count: &mut Vec<usize>,
+                    from: usize,
+                    to: usize,
+                    delay: u64| {
         succs[from].push((to, delay));
         pred_count[to] += 1;
     };
@@ -145,13 +149,14 @@ pub fn list_schedule(prog: &[Instr]) -> Vec<Instr> {
 
     while out.len() < n {
         // Candidates issueable this cycle, by pipe.
-        let pick = |pipe: Pipe, ready: &Vec<usize>, ready_at: &Vec<u64>, cycle: u64| -> Option<usize> {
-            ready
-                .iter()
-                .copied()
-                .filter(|&i| prog[i].pipe() == pipe && ready_at[i] <= cycle)
-                .max_by_key(|&i| (priority[i], std::cmp::Reverse(i)))
-        };
+        let pick =
+            |pipe: Pipe, ready: &Vec<usize>, ready_at: &Vec<u64>, cycle: u64| -> Option<usize> {
+                ready
+                    .iter()
+                    .copied()
+                    .filter(|&i| prog[i].pipe() == pipe && ready_at[i] <= cycle)
+                    .max_by_key(|&i| (priority[i], std::cmp::Reverse(i)))
+            };
         let p0 = pick(Pipe::P0, &ready, &ready_at, cycle);
         let p1 = pick(Pipe::P1, &ready, &ready_at, cycle);
 
@@ -162,9 +167,7 @@ pub fn list_schedule(prog: &[Instr]) -> Vec<Instr> {
         let mut chosen: Vec<usize> = Vec::new();
         match (p0, p1) {
             (Some(a), Some(b)) => {
-                let p0_writes_p1_src = prog[a]
-                    .vdst()
-                    .is_some_and(|d| prog[b].vsrcs().contains(&d));
+                let p0_writes_p1_src = prog[a].vdst().is_some_and(|d| prog[b].vsrcs().contains(d));
                 if p0_writes_p1_src {
                     chosen.push(b);
                     chosen.push(a);
@@ -195,7 +198,8 @@ pub fn list_schedule(prog: &[Instr]) -> Vec<Instr> {
             out.push(prog[i]);
             ready.retain(|&x| x != i);
             for &(j, delay) in &succs[i] {
-                ready_at[j] = ready_at[j].max(cycle + delay.max(if delay == 0 { 0 } else { delay }));
+                ready_at[j] =
+                    ready_at[j].max(cycle + delay.max(if delay == 0 { 0 } else { delay }));
                 remaining_preds[j] -= 1;
                 if remaining_preds[j] == 0 {
                     ready.push(j);
@@ -296,7 +300,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn branches_rejectedableness() {
-        let prog = [Instr::Bne { s: crate::regs::IReg(0), target: 0 }];
+        let prog = [Instr::Bne {
+            s: crate::regs::IReg(0),
+            target: 0,
+        }];
         let _ = list_schedule(&prog);
     }
 

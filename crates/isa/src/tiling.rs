@@ -103,14 +103,31 @@ const BASE: IReg = IReg(0);
 /// [`gen_tiled_kernel_scheduled`]).
 pub fn gen_tiled_kernel_naive(cfg: &TiledKernelCfg, t: Tiling) -> Vec<Instr> {
     assert!(t.feasible(), "tiling {t:?} does not fit the register file");
-    assert!(cfg.pm > 0 && cfg.pm.is_multiple_of(t.rows()), "pm = {} must be a multiple of {}", cfg.pm, t.rows());
-    assert!(cfg.pn > 0 && cfg.pn.is_multiple_of(t.rn), "pn = {} must be a multiple of rn = {}", cfg.pn, t.rn);
+    assert!(
+        cfg.pm > 0 && cfg.pm.is_multiple_of(t.rows()),
+        "pm = {} must be a multiple of {}",
+        cfg.pm,
+        t.rows()
+    );
+    assert!(
+        cfg.pn > 0 && cfg.pn.is_multiple_of(t.rn),
+        "pn = {} must be a multiple of rn = {}",
+        cfg.pn,
+        t.rn
+    );
     assert!(cfg.pk >= 1, "pk must be positive");
-    assert!(cfg.a_base.is_multiple_of(4) && cfg.c_base.is_multiple_of(4), "A and C panels must be 256-bit aligned");
+    assert!(
+        cfg.a_base.is_multiple_of(4) && cfg.c_base.is_multiple_of(4),
+        "A and C panels must be 256-bit aligned"
+    );
 
     let mut prog = Vec::new();
     prog.push(Instr::Setl { d: BASE, imm: 0 });
-    prog.push(Instr::Ldde { d: valpha(t), base: BASE, off: cfg.alpha_addr as i64 });
+    prog.push(Instr::Ldde {
+        d: valpha(t),
+        base: BASE,
+        off: cfg.alpha_addr as i64,
+    });
     prog.push(Instr::Vclr { d: vzero(t) });
     for r0 in (0..cfg.pm).step_by(t.rows()) {
         for j0 in (0..cfg.pn).step_by(t.rn) {
@@ -131,7 +148,12 @@ pub fn gen_tiled_kernel_naive(cfg: &TiledKernelCfg, t: Tiling) -> Vec<Instr> {
                     });
                     for i in 0..t.rm {
                         let c = if k == 0 { vzero(t) } else { rc(t, i, j) };
-                        prog.push(Instr::Vmad { a: ra(t, i), b: rb(t, j), c, d: rc(t, i, j) });
+                        prog.push(Instr::Vmad {
+                            a: ra(t, i),
+                            b: rb(t, j),
+                            c,
+                            d: rc(t, i, j),
+                        });
                     }
                 }
             }
@@ -140,9 +162,22 @@ pub fn gen_tiled_kernel_naive(cfg: &TiledKernelCfg, t: Tiling) -> Vec<Instr> {
                 for i in 0..t.rm {
                     let off = (cfg.c_base + (j0 + j) * cfg.pm + r0 + 4 * i) as i64;
                     let tr = tmp(t, i % 2);
-                    prog.push(Instr::Vldd { d: tr, base: BASE, off });
-                    prog.push(Instr::Vmad { a: rc(t, i, j), b: valpha(t), c: tr, d: tr });
-                    prog.push(Instr::Vstd { s: tr, base: BASE, off });
+                    prog.push(Instr::Vldd {
+                        d: tr,
+                        base: BASE,
+                        off,
+                    });
+                    prog.push(Instr::Vmad {
+                        a: rc(t, i, j),
+                        b: valpha(t),
+                        c: tr,
+                        d: tr,
+                    });
+                    prog.push(Instr::Vstd {
+                        s: tr,
+                        base: BASE,
+                        off,
+                    });
                 }
             }
         }
@@ -195,8 +230,7 @@ mod tests {
             for r in 0..c.pm {
                 let mut acc = 0.0f64;
                 for k in 0..c.pk {
-                    acc = ldm[c.a_base + k * c.pm + r]
-                        .mul_add(ldm[c.b_base + j * c.pk + k], acc);
+                    acc = ldm[c.a_base + k * c.pm + r].mul_add(ldm[c.b_base + j * c.pk + k], acc);
                 }
                 out[j * c.pm + r] = acc.mul_add(alpha, out[j * c.pm + r]);
             }
@@ -226,13 +260,21 @@ mod tests {
             assert_eq!(check(&naive), vec![], "{t:?} fails verification");
             let mut comm = NullComm;
             Machine::new(&mut ldm, &mut comm).run(&naive);
-            assert_eq!(&ldm[c.c_base..c.c_base + c.pm * c.pn], &expect[..], "{t:?} wrong result");
+            assert_eq!(
+                &ldm[c.c_base..c.c_base + c.pm * c.pn],
+                &expect[..],
+                "{t:?} wrong result"
+            );
         }
     }
 
     #[test]
     fn scheduled_form_matches_naive_bitwise() {
-        for t in [Tiling { rm: 2, rn: 2 }, Tiling { rm: 4, rn: 4 }, Tiling { rm: 1, rn: 8 }] {
+        for t in [
+            Tiling { rm: 2, rn: 2 },
+            Tiling { rm: 4, rn: 4 },
+            Tiling { rm: 1, rn: 8 },
+        ] {
             let c = cfg(t, 12);
             let mut l1 = fill(&c, -0.5);
             let mut l2 = l1.clone();
@@ -277,7 +319,11 @@ mod tests {
         // The empirical form of §III-C.3: cycles/vmad falls as the tile
         // widens (scheduled forms).
         let mut per_flop = Vec::new();
-        for t in [Tiling { rm: 1, rn: 1 }, Tiling { rm: 2, rn: 2 }, Tiling { rm: 4, rn: 4 }] {
+        for t in [
+            Tiling { rm: 1, rn: 1 },
+            Tiling { rm: 2, rn: 2 },
+            Tiling { rm: 4, rn: 4 },
+        ] {
             let c = cfg(t, 32);
             let mut ldm = fill(&c, 1.0);
             let mut comm = NullComm;

@@ -122,7 +122,9 @@ pub fn check(prog: &[Instr]) -> Vec<Issue> {
         }
     }
     if !fits_icache(prog) {
-        issues.push(Issue::IcacheOverflow { bytes: icache_footprint_bytes(prog) });
+        issues.push(Issue::IcacheOverflow {
+            bytes: icache_footprint_bytes(prog),
+        });
     }
     issues
 }
@@ -158,8 +160,16 @@ mod tests {
 
     #[test]
     fn generated_kernels_pass() {
-        for a in [Operand::Ldm, Operand::LdmBcast(Net::Row), Operand::Recv(Net::Row)] {
-            for b in [Operand::Ldm, Operand::LdmBcast(Net::Col), Operand::Recv(Net::Col)] {
+        for a in [
+            Operand::Ldm,
+            Operand::LdmBcast(Net::Row),
+            Operand::Recv(Net::Row),
+        ] {
+            for b in [
+                Operand::Ldm,
+                Operand::LdmBcast(Net::Col),
+                Operand::Recv(Net::Col),
+            ] {
                 let c = cfg(a, b);
                 for style in [KernelStyle::Naive, KernelStyle::Scheduled] {
                     let unrolled = gen_block_kernel(&c, style);
@@ -175,43 +185,79 @@ mod tests {
 
     #[test]
     fn misalignment_flagged() {
-        let prog = [Instr::Vldd { d: VReg(0), base: IReg(0), off: 6 }];
+        let prog = [Instr::Vldd {
+            d: VReg(0),
+            base: IReg(0),
+            off: 6,
+        }];
         assert!(matches!(check(&prog)[0], Issue::Misaligned { off: 6, .. }));
     }
 
     #[test]
     fn read_before_write_flagged() {
-        let prog = [Instr::Vmad { a: VReg(0), b: VReg(1), c: VReg(2), d: VReg(2) }];
+        let prog = [Instr::Vmad {
+            a: VReg(0),
+            b: VReg(1),
+            c: VReg(2),
+            d: VReg(2),
+        }];
         let issues = check(&prog);
-        assert!(issues.iter().any(|i| matches!(i, Issue::ReadBeforeWrite { reg: 0, .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, Issue::ReadBeforeWrite { reg: 0, .. })));
     }
 
     #[test]
     fn bad_branch_flagged() {
-        let prog = [Instr::Setl { d: IReg(1), imm: 1 }, Instr::Bne { s: IReg(1), target: 99 }];
-        assert!(check(&prog).iter().any(|i| matches!(i, Issue::BadBranchTarget { target: 99, .. })));
+        let prog = [
+            Instr::Setl { d: IReg(1), imm: 1 },
+            Instr::Bne {
+                s: IReg(1),
+                target: 99,
+            },
+        ];
+        assert!(check(&prog)
+            .iter()
+            .any(|i| matches!(i, Issue::BadBranchTarget { target: 99, .. })));
     }
 
     #[test]
     fn mixed_role_flagged() {
         let prog = [
-            Instr::Vldr { d: VReg(0), base: IReg(0), off: 0, net: Net::Row },
+            Instr::Vldr {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+                net: Net::Row,
+            },
             Instr::Getr { d: VReg(1) },
         ];
-        assert!(check(&prog).iter().any(|i| matches!(i, Issue::MixedCommRole { net: Net::Row })));
+        assert!(check(&prog)
+            .iter()
+            .any(|i| matches!(i, Issue::MixedCommRole { net: Net::Row })));
     }
 
     #[test]
     fn icache_overflow_flagged() {
-        let c = BlockKernelCfg { pm: 16, pn: 32, pk: 96, ..cfg(Operand::Ldm, Operand::Ldm) };
+        let c = BlockKernelCfg {
+            pm: 16,
+            pn: 32,
+            pk: 96,
+            ..cfg(Operand::Ldm, Operand::Ldm)
+        };
         let unrolled = gen_block_kernel(&c, KernelStyle::Scheduled);
         let issues = check(&unrolled);
         assert!(
-            issues.iter().all(|i| matches!(i, Issue::IcacheOverflow { .. })),
+            issues
+                .iter()
+                .all(|i| matches!(i, Issue::IcacheOverflow { .. })),
             "production unrolled kernel should only trip the icache check: {issues:?}"
         );
         assert!(!issues.is_empty());
         // And the looped production kernel passes completely.
-        assert_eq!(check(&gen_block_kernel_looped(&c, KernelStyle::Scheduled, 4)), vec![]);
+        assert_eq!(
+            check(&gen_block_kernel_looped(&c, KernelStyle::Scheduled, 4)),
+            vec![]
+        );
     }
 }

@@ -7,7 +7,14 @@ use sw_dgemm::{DgemmRunner, Matrix, Variant};
 /// Anything that can perform `C = α·A·B + β·C`.
 pub trait GemmBackend {
     /// Performs the update in place on `c`.
-    fn gemm(&self, alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) -> Result<(), LinalgError>;
+    fn gemm(
+        &self,
+        alpha: f64,
+        a: &Matrix,
+        b: &Matrix,
+        beta: f64,
+        c: &mut Matrix,
+    ) -> Result<(), LinalgError>;
 }
 
 /// The two stock backends.
@@ -21,7 +28,14 @@ pub enum Backend {
 }
 
 impl GemmBackend for Backend {
-    fn gemm(&self, alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) -> Result<(), LinalgError> {
+    fn gemm(
+        &self,
+        alpha: f64,
+        a: &Matrix,
+        b: &Matrix,
+        beta: f64,
+        c: &mut Matrix,
+    ) -> Result<(), LinalgError> {
         match self {
             Backend::Simulated(v) => {
                 DgemmRunner::new(*v).pad(true).run(alpha, a, b, beta, c)?;
@@ -63,7 +77,9 @@ mod tests {
         let mut c1 = c0.clone();
         let mut c2 = c0;
         Backend::Host.gemm(1.5, &a, &b, 0.5, &mut c1).unwrap();
-        Backend::Simulated(Variant::Sched).gemm(1.5, &a, &b, 0.5, &mut c2).unwrap();
+        Backend::Simulated(Variant::Sched)
+            .gemm(1.5, &a, &b, 0.5, &mut c2)
+            .unwrap();
         assert!(c1.max_abs_diff(&c2) <= gemm_tolerance(&a, &b, 1.5));
     }
 

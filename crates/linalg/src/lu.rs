@@ -30,10 +30,18 @@ pub struct LuFactors {
 /// let f = lu_factor(&a, 16, &Backend::Host).unwrap();
 /// assert!(lu_residual(&a, &f) < 1e-12);
 /// ```
-pub fn lu_factor(a: &Matrix, nb: usize, backend: &dyn GemmBackend) -> Result<LuFactors, LinalgError> {
+pub fn lu_factor(
+    a: &Matrix,
+    nb: usize,
+    backend: &dyn GemmBackend,
+) -> Result<LuFactors, LinalgError> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(LinalgError::BadShape(format!("LU needs a square matrix, got {}x{}", n, a.cols())));
+        return Err(LinalgError::BadShape(format!(
+            "LU needs a square matrix, got {}x{}",
+            n,
+            a.cols()
+        )));
     }
     if nb == 0 {
         return Err(LinalgError::BadShape("panel width must be positive".into()));
@@ -56,7 +64,10 @@ pub fn lu_factor(a: &Matrix, nb: usize, backend: &dyn GemmBackend) -> Result<LuF
                 }
             }
             if pval < PIVOT_TOL {
-                return Err(LinalgError::Singular { step: j, pivot: pval });
+                return Err(LinalgError::Singular {
+                    step: j,
+                    pivot: pval,
+                });
             }
             piv.push(prow);
             if prow != j {
@@ -107,7 +118,10 @@ pub fn lu_factor(a: &Matrix, nb: usize, backend: &dyn GemmBackend) -> Result<LuF
 pub fn lu_solve(f: &LuFactors, b: &Matrix) -> Result<Matrix, LinalgError> {
     let n = f.lu.rows();
     if b.rows() != n {
-        return Err(LinalgError::BadShape(format!("rhs has {} rows, matrix has {n}", b.rows())));
+        return Err(LinalgError::BadShape(format!(
+            "rhs has {} rows, matrix has {n}",
+            b.rows()
+        )));
     }
     let mut x = b.clone();
     // P·b.
@@ -190,7 +204,11 @@ mod tests {
         let mut b = Matrix::zeros(n, 3);
         Backend::Host.gemm(1.0, &a, &xs, 0.0, &mut b).unwrap();
         let x = lu_solve(&f, &b).unwrap();
-        assert!(x.max_abs_diff(&xs) < 1e-8, "solve error {}", x.max_abs_diff(&xs));
+        assert!(
+            x.max_abs_diff(&xs) < 1e-8,
+            "solve error {}",
+            x.max_abs_diff(&xs)
+        );
     }
 
     #[test]
@@ -230,6 +248,9 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = Matrix::zeros(8, 10);
-        assert!(matches!(lu_factor(&a, 4, &Backend::Host), Err(LinalgError::BadShape(_))));
+        assert!(matches!(
+            lu_factor(&a, 4, &Backend::Host),
+            Err(LinalgError::BadShape(_))
+        ));
     }
 }

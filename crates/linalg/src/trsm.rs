@@ -33,10 +33,17 @@ pub fn trsm_left(
 ) -> Result<(), LinalgError> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(LinalgError::BadShape(format!("TRSM needs square A, got {}x{}", n, a.cols())));
+        return Err(LinalgError::BadShape(format!(
+            "TRSM needs square A, got {}x{}",
+            n,
+            a.cols()
+        )));
     }
     if b.rows() != n {
-        return Err(LinalgError::BadShape(format!("B has {} rows, A is {n}x{n}", b.rows())));
+        return Err(LinalgError::BadShape(format!(
+            "B has {} rows, A is {n}x{n}",
+            b.rows()
+        )));
     }
     if nb == 0 {
         return Err(LinalgError::BadShape("block width must be positive".into()));
@@ -47,8 +54,7 @@ pub fn trsm_left(
         }
     }
     let nrhs = b.cols();
-    let blocks: Vec<(usize, usize)> =
-        (0..n).step_by(nb).map(|k0| (k0, nb.min(n - k0))).collect();
+    let blocks: Vec<(usize, usize)> = (0..n).step_by(nb).map(|k0| (k0, nb.min(n - k0))).collect();
     match uplo {
         Uplo::Lower => {
             for &(k0, w) in &blocks {
@@ -102,7 +108,10 @@ fn solve_diag_block(
                     if diag == Diag::NonUnit {
                         let d = a.get(i, i);
                         if d.abs() < 1e-300 {
-                            return Err(LinalgError::Singular { step: i, pivot: d.abs() });
+                            return Err(LinalgError::Singular {
+                                step: i,
+                                pivot: d.abs(),
+                            });
                         }
                         v /= d;
                     }
@@ -118,7 +127,10 @@ fn solve_diag_block(
                     if diag == Diag::NonUnit {
                         let d = a.get(i, i);
                         if d.abs() < 1e-300 {
-                            return Err(LinalgError::Singular { step: i, pivot: d.abs() });
+                            return Err(LinalgError::Singular {
+                                step: i,
+                                pivot: d.abs(),
+                            });
                         }
                         v /= d;
                     }
@@ -166,7 +178,11 @@ mod tests {
         let mut b = Matrix::zeros(n, 5);
         Backend::Host.gemm(1.0, &a, &xs, 0.0, &mut b).unwrap();
         trsm_left(uplo, diag, 1.0, &a, &mut b, nb, &Backend::Host).unwrap();
-        assert!(b.max_abs_diff(&xs) < 1e-10, "{uplo:?}/{diag:?} nb={nb}: {}", b.max_abs_diff(&xs));
+        assert!(
+            b.max_abs_diff(&xs) < 1e-10,
+            "{uplo:?}/{diag:?} nb={nb}: {}",
+            b.max_abs_diff(&xs)
+        );
     }
 
     #[test]
@@ -188,7 +204,16 @@ mod tests {
         let mut b = Matrix::zeros(n, 2);
         Backend::Host.gemm(1.0, &a, &xs, 0.0, &mut b).unwrap();
         // Solve A·X = 2B → X = 2·xs.
-        trsm_left(Uplo::Lower, Diag::NonUnit, 2.0, &a, &mut b, 8, &Backend::Host).unwrap();
+        trsm_left(
+            Uplo::Lower,
+            Diag::NonUnit,
+            2.0,
+            &a,
+            &mut b,
+            8,
+            &Backend::Host,
+        )
+        .unwrap();
         let twice = Matrix::from_fn(n, 2, |r, c| 2.0 * xs.get(r, c));
         assert!(b.max_abs_diff(&twice) < 1e-10);
     }
@@ -198,7 +223,16 @@ mod tests {
         let mut a = tri(8, Uplo::Lower, 14);
         a.set(3, 3, 0.0);
         let mut b = random_matrix(8, 1, 15);
-        let err = trsm_left(Uplo::Lower, Diag::NonUnit, 1.0, &a, &mut b, 4, &Backend::Host).unwrap_err();
+        let err = trsm_left(
+            Uplo::Lower,
+            Diag::NonUnit,
+            1.0,
+            &a,
+            &mut b,
+            4,
+            &Backend::Host,
+        )
+        .unwrap_err();
         assert!(matches!(err, LinalgError::Singular { step: 3, .. }));
     }
 

@@ -3,11 +3,10 @@
 
 use crate::main_memory::{MainMemory, MatId};
 use crate::MemError;
-use serde::{Deserialize, Serialize};
 use sw_arch::consts::DMA_TRANSACTION_DOUBLES;
 
 /// The five DMA distribution modes of the SW26010 (§II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DmaMode {
     /// Single-CPE transfer.
     Pe,
@@ -39,7 +38,7 @@ impl DmaMode {
 /// The *element stream* of a region is its elements in column-major
 /// order: column `col0` rows `row0..row0+rows`, then column `col0 + 1`,
 /// and so on — which is exactly the order a strided DMA walks memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MatRegion {
     /// The matrix being addressed.
     pub mat: MatId,
@@ -56,7 +55,13 @@ pub struct MatRegion {
 impl MatRegion {
     /// Builds a region covering `rows × cols` at `(row0, col0)`.
     pub fn new(mat: MatId, row0: usize, col0: usize, rows: usize, cols: usize) -> Self {
-        MatRegion { mat, row0, col0, rows, cols }
+        MatRegion {
+            mat,
+            row0,
+            col0,
+            rows,
+            cols,
+        }
     }
 
     /// Total elements in the region (= stream length).
@@ -98,7 +103,9 @@ impl MatRegion {
             });
         }
         if self.is_empty() {
-            return Err(MemError::BadDescriptor { what: "empty region".into() });
+            return Err(MemError::BadDescriptor {
+                what: "empty region".into(),
+            });
         }
         let t = DMA_TRANSACTION_DOUBLES;
         if !self.row0.is_multiple_of(t) || b.rows % t != 0 {
@@ -111,7 +118,10 @@ impl MatRegion {
         }
         if !self.rows.is_multiple_of(t) {
             return Err(MemError::DmaAlignment {
-                what: format!("run length {} doubles is not a whole number of 128 B transactions", self.rows),
+                what: format!(
+                    "run length {} doubles is not a whole number of 128 B transactions",
+                    self.rows
+                ),
             });
         }
         Ok(())
@@ -150,7 +160,9 @@ mod tests {
     #[test]
     fn out_of_bounds_rejected() {
         let (mem, id) = mem_with(128, 64);
-        let err = MatRegion::new(id, 112, 0, 32, 1).validate(&mem).unwrap_err();
+        let err = MatRegion::new(id, 112, 0, 32, 1)
+            .validate(&mem)
+            .unwrap_err();
         assert!(matches!(err, MemError::OutOfBounds { .. }));
     }
 

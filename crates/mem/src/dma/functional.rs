@@ -53,14 +53,18 @@ pub fn pe_get(
     check_buf(region.len(), buf, DmaMode::Pe)?;
     let b = mem.buffer(region.mat)?;
     let lda = b.rows;
-    let data = b.data.read();
+    let data = b.data.read().unwrap();
     let dst = ldm.slice_mut(buf);
     for c in 0..region.cols {
         let base = (region.col0 + c) * lda + region.row0;
         dst[c * region.rows..(c + 1) * region.rows]
             .copy_from_slice(&data[base..base + region.rows]);
     }
-    Ok(Receipt { bytes_cpe: region.bytes(), bytes_total: region.bytes(), mode: DmaMode::Pe })
+    Ok(Receipt {
+        bytes_cpe: region.bytes(),
+        bytes_total: region.bytes(),
+        mode: DmaMode::Pe,
+    })
 }
 
 /// `PE_MODE` put: this CPE's `buf` into the region.
@@ -75,13 +79,17 @@ pub fn pe_put(
     let b = mem.buffer(region.mat)?;
     let lda = b.rows;
     let src = ldm.slice(buf);
-    let mut data = b.data.write();
+    let mut data = b.data.write().unwrap();
     for c in 0..region.cols {
         let base = (region.col0 + c) * lda + region.row0;
         data[base..base + region.rows]
             .copy_from_slice(&src[c * region.rows..(c + 1) * region.rows]);
     }
-    Ok(Receipt { bytes_cpe: region.bytes(), bytes_total: region.bytes(), mode: DmaMode::Pe })
+    Ok(Receipt {
+        bytes_cpe: region.bytes(),
+        bytes_total: region.bytes(),
+        mode: DmaMode::Pe,
+    })
 }
 
 /// `BCAST_MODE` get: the whole region into this CPE's `buf`; all 64 CPEs
@@ -93,7 +101,10 @@ pub fn bcast_get(
     buf: LdmBuf,
 ) -> Result<Receipt, MemError> {
     let r = pe_get(mem, region, ldm, buf)?;
-    Ok(Receipt { mode: DmaMode::Bcast, ..r })
+    Ok(Receipt {
+        mode: DmaMode::Bcast,
+        ..r
+    })
 }
 
 /// `BROW_MODE` get: like [`bcast_get`] but the copy goes to the 8 CPEs
@@ -105,7 +116,10 @@ pub fn brow_get(
     buf: LdmBuf,
 ) -> Result<Receipt, MemError> {
     let r = pe_get(mem, region, ldm, buf)?;
-    Ok(Receipt { mode: DmaMode::Brow, ..r })
+    Ok(Receipt {
+        mode: DmaMode::Brow,
+        ..r
+    })
 }
 
 /// `ROW_MODE` get: the region's element stream is dealt out in 2-double
@@ -128,7 +142,7 @@ pub fn row_get(
     check_buf(region.len() / MESH_COLS, buf, DmaMode::Row)?;
     let b = mem.buffer(region.mat)?;
     let lda = b.rows;
-    let data = b.data.read();
+    let data = b.data.read().unwrap();
     let dst = ldm.slice_mut(buf);
     let sd = ROW_MODE_SLICE_DOUBLES;
     for_stream(&region, lda, |s, m| {
@@ -160,7 +174,7 @@ pub fn row_put(
     let b = mem.buffer(region.mat)?;
     let lda = b.rows;
     let src = ldm.slice(buf);
-    let mut data = b.data.write();
+    let mut data = b.data.write().unwrap();
     let sd = ROW_MODE_SLICE_DOUBLES;
     for_stream(&region, lda, |s, m| {
         let slice_idx = s / sd;
@@ -188,7 +202,9 @@ pub fn rank_get(
 ) -> Result<Receipt, MemError> {
     region.validate(mem)?;
     if cpe_id >= N_CPES {
-        return Err(MemError::BadDescriptor { what: format!("cpe id {cpe_id} out of range") });
+        return Err(MemError::BadDescriptor {
+            what: format!("cpe id {cpe_id} out of range"),
+        });
     }
     let td = DMA_TRANSACTION_DOUBLES;
     let txns = region.len() / td;
@@ -203,7 +219,7 @@ pub fn rank_get(
     check_buf(region.len() / N_CPES, buf, DmaMode::Rank)?;
     let b = mem.buffer(region.mat)?;
     let lda = b.rows;
-    let data = b.data.read();
+    let data = b.data.read().unwrap();
     let dst = ldm.slice_mut(buf);
     for_stream(&region, lda, |s, m| {
         let txn = s / td;
@@ -221,7 +237,9 @@ pub fn rank_get(
 
 fn validate_row_collective(region: &MatRegion, mesh_col: usize) -> Result<(), MemError> {
     if mesh_col >= MESH_COLS {
-        return Err(MemError::BadDescriptor { what: format!("mesh column {mesh_col} out of range") });
+        return Err(MemError::BadDescriptor {
+            what: format!("mesh column {mesh_col} out of range"),
+        });
     }
     if !region.len().is_multiple_of(DMA_TRANSACTION_DOUBLES) {
         return Err(MemError::DmaAlignment {
@@ -285,8 +303,14 @@ mod tests {
         for mesh_col in 0..8 {
             let mut ldm = Ldm::new();
             let buf = ldm.alloc(16).unwrap();
-            let r =
-                row_get(&mem, MatRegion::new(id, 0, 0, 128, 1), mesh_col, &mut ldm, buf).unwrap();
+            let r = row_get(
+                &mem,
+                MatRegion::new(id, 0, 0, 128, 1),
+                mesh_col,
+                &mut ldm,
+                buf,
+            )
+            .unwrap();
             assert_eq!(r.bytes_cpe, 16 * 8);
             assert_eq!(r.bytes_total, 128 * 8);
             let s = ldm.slice(buf);
@@ -312,7 +336,10 @@ mod tests {
                 seen[c * 128 + r] += 1;
             }
         }
-        assert!(seen.iter().all(|&n| n == 1), "every element delivered exactly once");
+        assert!(
+            seen.iter().all(|&n| n == 1),
+            "every element delivered exactly once"
+        );
     }
 
     #[test]

@@ -32,12 +32,11 @@
 //! simulation; see EXPERIMENTS.md.
 
 use super::descriptor::DmaMode;
-use serde::{Deserialize, Serialize};
 use sw_arch::consts::DMA_STARTUP_CYCLES;
 use sw_arch::time::{secs_to_cycles, Cycles};
 
 /// Per-mode calibration parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModeCurve {
     /// Fraction of channel peak at ideal run length and footprint.
     pub mode_eff: f64,
@@ -48,7 +47,7 @@ pub struct ModeCurve {
 }
 
 /// The calibrated bandwidth/latency model of one CG's DMA channel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthModel {
     /// Theoretical channel peak in GB/s (34 for SW26010).
     pub channel_peak_gbs: f64,
@@ -83,11 +82,31 @@ impl BandwidthModel {
             channel_peak_gbs: 34.0,
             run_half_bytes: 36.0,
             startup_cycles: DMA_STARTUP_CYCLES,
-            pe: ModeCurve { mode_eff: 1.0, fp_lo: 0.40, fp_half_bytes: MB80 },
-            bcast: ModeCurve { mode_eff: 0.95, fp_lo: 0.45, fp_half_bytes: MB80 },
-            row: ModeCurve { mode_eff: 0.90, fp_lo: 0.70, fp_half_bytes: MB80 },
-            brow: ModeCurve { mode_eff: 0.92, fp_lo: 0.55, fp_half_bytes: MB80 },
-            rank: ModeCurve { mode_eff: 0.85, fp_lo: 0.45, fp_half_bytes: MB80 },
+            pe: ModeCurve {
+                mode_eff: 1.0,
+                fp_lo: 0.40,
+                fp_half_bytes: MB80,
+            },
+            bcast: ModeCurve {
+                mode_eff: 0.95,
+                fp_lo: 0.45,
+                fp_half_bytes: MB80,
+            },
+            row: ModeCurve {
+                mode_eff: 0.90,
+                fp_lo: 0.70,
+                fp_half_bytes: MB80,
+            },
+            brow: ModeCurve {
+                mode_eff: 0.92,
+                fp_lo: 0.55,
+                fp_half_bytes: MB80,
+            },
+            rank: ModeCurve {
+                mode_eff: 0.85,
+                fp_lo: 0.45,
+                fp_half_bytes: MB80,
+            },
         }
     }
 
@@ -199,7 +218,13 @@ mod tests {
     #[test]
     fn never_exceeds_channel_peak() {
         let m = BandwidthModel::calibrated();
-        for mode in [DmaMode::Pe, DmaMode::Bcast, DmaMode::Row, DmaMode::Brow, DmaMode::Rank] {
+        for mode in [
+            DmaMode::Pe,
+            DmaMode::Bcast,
+            DmaMode::Row,
+            DmaMode::Brow,
+            DmaMode::Rank,
+        ] {
             let bw = m.sustained_gbs(mode, 1 << 20, usize::MAX / 2);
             assert!(bw < m.channel_peak_gbs);
         }

@@ -45,14 +45,20 @@ pub enum MemError {
 impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemError::LdmOverflow { requested, available } => write!(
+            MemError::LdmOverflow {
+                requested,
+                available,
+            } => write!(
                 f,
                 "LDM overflow: requested {requested} doubles, {available} free (64 KB scratch pad)"
             ),
             MemError::DmaAlignment { what } => write!(f, "DMA alignment violation: {what}"),
             MemError::OutOfBounds { what } => write!(f, "out-of-bounds access: {what}"),
             MemError::UnknownMatrix(id) => write!(f, "unknown matrix id {id}"),
-            MemError::MainMemoryExhausted { requested, available } => write!(
+            MemError::MainMemoryExhausted {
+                requested,
+                available,
+            } => write!(
                 f,
                 "main memory exhausted: requested {requested} B, {available} B free"
             ),

@@ -47,8 +47,15 @@ impl LdmBuf {
     /// If the range escapes the buffer.
     #[inline]
     pub fn sub(&self, off: usize, len: usize) -> LdmBuf {
-        assert!(off + len <= self.len, "sub-buffer escapes parent ({off}+{len} > {})", self.len);
-        LdmBuf { off: self.off + off, len }
+        assert!(
+            off + len <= self.len,
+            "sub-buffer escapes parent ({off}+{len} > {})",
+            self.len
+        );
+        LdmBuf {
+            off: self.off + off,
+            len,
+        }
     }
 }
 
@@ -68,7 +75,10 @@ impl Default for Ldm {
 impl Ldm {
     /// A fresh, zeroed 64 KB LDM.
     pub fn new() -> Self {
-        Ldm { data: vec![0.0; LDM_DOUBLES], watermark: 0 }
+        Ldm {
+            data: vec![0.0; LDM_DOUBLES],
+            watermark: 0,
+        }
     }
 
     /// Allocates `len` doubles, 128 B-aligned, erroring if the scratch
@@ -87,7 +97,11 @@ impl Ldm {
 
     /// Doubles still allocatable (ignoring the final alignment pad).
     pub fn free_doubles(&self) -> usize {
-        LDM_DOUBLES - self.watermark.next_multiple_of(DMA_TRANSACTION_DOUBLES).min(LDM_DOUBLES)
+        LDM_DOUBLES
+            - self
+                .watermark
+                .next_multiple_of(DMA_TRANSACTION_DOUBLES)
+                .min(LDM_DOUBLES)
     }
 
     /// Releases all allocations (buffers handed out earlier must no

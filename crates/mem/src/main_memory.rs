@@ -9,13 +9,12 @@
 //! written.
 
 use crate::{HostMatrix, MemError};
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::sync::RwLock;
 use sw_arch::consts::MAIN_MEMORY_BYTES;
 
 /// Handle to a matrix installed in [`MainMemory`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatId(pub(crate) usize);
 
 /// One installed matrix: dimensions plus shared, lock-protected storage.
@@ -58,7 +57,11 @@ impl MainMemory {
         self.used_bytes += bytes;
         let id = MatId(self.buffers.len());
         let (rows, cols) = (m.rows(), m.cols());
-        self.buffers.push(Buffer { rows, cols, data: Arc::new(RwLock::new(m.into_vec())) });
+        self.buffers.push(Buffer {
+            rows,
+            cols,
+            data: Arc::new(RwLock::new(m.into_vec())),
+        });
         Ok(id)
     }
 
@@ -70,7 +73,11 @@ impl MainMemory {
     /// Copies a matrix back out of main memory.
     pub fn extract(&self, id: MatId) -> Result<HostMatrix, MemError> {
         let b = self.buffer(id)?;
-        Ok(HostMatrix::from_col_major(b.rows, b.cols, b.data.read().clone()))
+        Ok(HostMatrix::from_col_major(
+            b.rows,
+            b.cols,
+            b.data.read().unwrap().clone(),
+        ))
     }
 
     /// `(rows, cols)` of an installed matrix.
@@ -106,7 +113,10 @@ mod tests {
     #[test]
     fn unknown_id_rejected() {
         let mem = MainMemory::new();
-        assert_eq!(mem.extract(MatId(0)).unwrap_err(), MemError::UnknownMatrix(0));
+        assert_eq!(
+            mem.extract(MatId(0)).unwrap_err(),
+            MemError::UnknownMatrix(0)
+        );
     }
 
     #[test]

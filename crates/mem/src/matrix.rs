@@ -5,10 +5,8 @@
 //! it is installed into [`crate::MainMemory`] before a run and read back
 //! afterwards.
 
-use serde::{Deserialize, Serialize};
-
 /// An owned, dense, column-major `f64` matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostMatrix {
     rows: usize,
     cols: usize,
@@ -19,7 +17,11 @@ pub struct HostMatrix {
 impl HostMatrix {
     /// Zero-filled `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        HostMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        HostMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from a column-major slice.
@@ -106,7 +108,11 @@ impl HostMatrix {
     /// Maximum absolute difference against another matrix of the same
     /// shape.
     pub fn max_abs_diff(&self, other: &HostMatrix) -> f64 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)

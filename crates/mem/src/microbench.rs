@@ -39,7 +39,12 @@ pub struct MicrobenchConfig {
 impl Default for MicrobenchConfig {
     fn default() -> Self {
         // §IV-A: "we set bM = 128, bK = 768, pM = 16, and pK = 96".
-        MicrobenchConfig { bm: 128, bk: 768, pm: 16, pk: 96 }
+        MicrobenchConfig {
+            bm: 128,
+            bk: 768,
+            pm: 16,
+            pk: 96,
+        }
     }
 }
 
@@ -54,7 +59,10 @@ impl MicrobenchConfig {
             ));
         }
         if !m.is_multiple_of(self.bm) || !k.is_multiple_of(self.bk) {
-            return Err(format!("matrix {m}x{k} does not tile into {}x{} CG blocks", self.bm, self.bk));
+            return Err(format!(
+                "matrix {m}x{k} does not tile into {}x{} CG blocks",
+                self.bm, self.bk
+            ));
         }
         Ok(())
     }
@@ -69,7 +77,8 @@ pub fn sustained_bandwidth_gbs(
     k: usize,
     cfg: &MicrobenchConfig,
 ) -> f64 {
-    cfg.validate(m, k).expect("invalid micro-benchmark configuration");
+    cfg.validate(m, k)
+        .expect("invalid micro-benchmark configuration");
     let footprint = m * k * 8;
     let blocks = (m / cfg.bm) * (k / cfg.bk);
     let (descriptors_per_block, desc_bytes, run_bytes) = match mode {
@@ -130,7 +139,13 @@ mod tests {
         assert_eq!(pts.len(), 10);
         // ROW_MODE is remarkably superior to PE_MODE at every size.
         for p in &pts {
-            assert!(p.row_gbs > p.pe_gbs, "at {}: row {} <= pe {}", p.mk, p.row_gbs, p.pe_gbs);
+            assert!(
+                p.row_gbs > p.pe_gbs,
+                "at {}: row {} <= pe {}",
+                p.mk,
+                p.row_gbs,
+                p.pe_gbs
+            );
         }
         // Both rise monotonically with matrix size.
         for w in pts.windows(2) {
@@ -138,15 +153,36 @@ mod tests {
             assert!(w[1].row_gbs > w[0].row_gbs);
         }
         // Endpoints sit in the paper's measured ranges.
-        assert!(pts[0].pe_gbs > 10.0 && pts[0].pe_gbs < 17.0, "{}", pts[0].pe_gbs);
-        assert!(pts[9].pe_gbs > 23.0 && pts[9].pe_gbs < 28.0, "{}", pts[9].pe_gbs);
-        assert!(pts[0].row_gbs > 18.0 && pts[0].row_gbs < 24.0, "{}", pts[0].row_gbs);
-        assert!(pts[9].row_gbs > 27.0 && pts[9].row_gbs < 31.0, "{}", pts[9].row_gbs);
+        assert!(
+            pts[0].pe_gbs > 10.0 && pts[0].pe_gbs < 17.0,
+            "{}",
+            pts[0].pe_gbs
+        );
+        assert!(
+            pts[9].pe_gbs > 23.0 && pts[9].pe_gbs < 28.0,
+            "{}",
+            pts[9].pe_gbs
+        );
+        assert!(
+            pts[0].row_gbs > 18.0 && pts[0].row_gbs < 24.0,
+            "{}",
+            pts[0].row_gbs
+        );
+        assert!(
+            pts[9].row_gbs > 27.0 && pts[9].row_gbs < 31.0,
+            "{}",
+            pts[9].row_gbs
+        );
     }
 
     #[test]
     fn bad_config_rejected() {
-        let cfg = MicrobenchConfig { bm: 100, bk: 768, pm: 16, pk: 96 };
+        let cfg = MicrobenchConfig {
+            bm: 100,
+            bk: 768,
+            pm: 16,
+            pk: 96,
+        };
         assert!(cfg.validate(1536, 1536).is_err());
         let cfg = MicrobenchConfig::default();
         assert!(cfg.validate(1000, 1536).is_err());

@@ -66,7 +66,10 @@ impl SoftCache {
     pub fn new(mem: &MainMemory, mat: MatId, buf: LdmBuf) -> Result<Self, MemError> {
         if buf.is_empty() || !buf.len().is_multiple_of(DMA_TRANSACTION_DOUBLES) {
             return Err(MemError::BadDescriptor {
-                what: format!("cache store of {} doubles is not a whole number of 128 B lines", buf.len()),
+                what: format!(
+                    "cache store of {} doubles is not a whole number of 128 B lines",
+                    buf.len()
+                ),
             });
         }
         let (rows, cols) = mem.dims(mat)?;
@@ -94,14 +97,27 @@ impl SoftCache {
     }
 
     /// Reads element `(r, c)` through the cache.
-    pub fn read(&mut self, mem: &MainMemory, ldm: &mut Ldm, r: usize, c: usize) -> Result<f64, MemError> {
+    pub fn read(
+        &mut self,
+        mem: &MainMemory,
+        ldm: &mut Ldm,
+        r: usize,
+        c: usize,
+    ) -> Result<f64, MemError> {
         let (set, off) = self.lookup(mem, ldm, r, c)?;
         Ok(ldm.slice(self.buf)[set * DMA_TRANSACTION_DOUBLES + off])
     }
 
     /// Writes element `(r, c)` through the cache (write-back: main
     /// memory is updated on eviction or [`SoftCache::flush`]).
-    pub fn write(&mut self, mem: &MainMemory, ldm: &mut Ldm, r: usize, c: usize, v: f64) -> Result<(), MemError> {
+    pub fn write(
+        &mut self,
+        mem: &MainMemory,
+        ldm: &mut Ldm,
+        r: usize,
+        c: usize,
+        v: f64,
+    ) -> Result<(), MemError> {
         let (set, off) = self.lookup(mem, ldm, r, c)?;
         ldm.slice_mut(self.buf)[set * DMA_TRANSACTION_DOUBLES + off] = v;
         self.dirty[set] = true;
@@ -122,7 +138,13 @@ impl SoftCache {
 
     /// Ensures the line containing `(r, c)` is resident; returns
     /// `(set, offset-in-line)`.
-    fn lookup(&mut self, mem: &MainMemory, ldm: &mut Ldm, r: usize, c: usize) -> Result<(usize, usize), MemError> {
+    fn lookup(
+        &mut self,
+        mem: &MainMemory,
+        ldm: &mut Ldm,
+        r: usize,
+        c: usize,
+    ) -> Result<(usize, usize), MemError> {
         let idx = c * self.mat_rows + r;
         if idx >= self.mat_len || r >= self.mat_rows {
             return Err(MemError::OutOfBounds {
@@ -142,7 +164,9 @@ impl SoftCache {
             // (lda is a multiple of 16, so lines never straddle
             // columns).
             let region = self.line_region(line);
-            let dst = self.buf.sub(set * DMA_TRANSACTION_DOUBLES, DMA_TRANSACTION_DOUBLES);
+            let dst = self
+                .buf
+                .sub(set * DMA_TRANSACTION_DOUBLES, DMA_TRANSACTION_DOUBLES);
             dma::pe_get(mem, region, ldm, dst)?;
             self.tags[set] = Some(line);
         } else {
@@ -151,9 +175,17 @@ impl SoftCache {
         Ok((set, idx % DMA_TRANSACTION_DOUBLES))
     }
 
-    fn writeback(&mut self, mem: &MainMemory, ldm: &Ldm, set: usize, line: usize) -> Result<(), MemError> {
+    fn writeback(
+        &mut self,
+        mem: &MainMemory,
+        ldm: &Ldm,
+        set: usize,
+        line: usize,
+    ) -> Result<(), MemError> {
         let region = self.line_region(line);
-        let src = self.buf.sub(set * DMA_TRANSACTION_DOUBLES, DMA_TRANSACTION_DOUBLES);
+        let src = self
+            .buf
+            .sub(set * DMA_TRANSACTION_DOUBLES, DMA_TRANSACTION_DOUBLES);
         dma::pe_put(mem, region, ldm, src)?;
         self.stats.writebacks += 1;
         Ok(())
@@ -161,7 +193,13 @@ impl SoftCache {
 
     fn line_region(&self, line: usize) -> MatRegion {
         let idx = line * DMA_TRANSACTION_DOUBLES;
-        MatRegion::new(self.mat, idx % self.mat_rows, idx / self.mat_rows, DMA_TRANSACTION_DOUBLES, 1)
+        MatRegion::new(
+            self.mat,
+            idx % self.mat_rows,
+            idx / self.mat_rows,
+            DMA_TRANSACTION_DOUBLES,
+            1,
+        )
     }
 }
 
@@ -172,7 +210,9 @@ mod tests {
 
     fn setup(lines: usize) -> (MainMemory, MatId, Ldm, LdmBuf) {
         let mut mem = MainMemory::new();
-        let mat = mem.install(HostMatrix::from_fn(64, 8, |r, c| (100 * c + r) as f64)).unwrap();
+        let mat = mem
+            .install(HostMatrix::from_fn(64, 8, |r, c| (100 * c + r) as f64))
+            .unwrap();
         let mut ldm = Ldm::new();
         let buf = ldm.alloc(lines * 16).unwrap();
         (mem, mat, ldm, buf)
@@ -186,7 +226,14 @@ mod tests {
         assert_eq!(cache.stats().misses, 1);
         // Same line: a hit.
         assert_eq!(cache.read(&mem, &mut ldm, 6, 2).unwrap(), 206.0);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, writebacks: 0 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                writebacks: 0
+            }
+        );
     }
 
     #[test]
@@ -239,7 +286,11 @@ mod tests {
                 let _ = cache.read(&mem, &mut ldm, r, c).unwrap();
             }
         }
-        assert!(cache.stats().miss_ratio() > 0.4, "ratio {}", cache.stats().miss_ratio());
+        assert!(
+            cache.stats().miss_ratio() > 0.4,
+            "ratio {}",
+            cache.stats().miss_ratio()
+        );
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! A minimal bounded MPSC channel (std-only).
+//!
+//! The mesh previously used `crossbeam::channel`; this module provides
+//! the small subset the ports need — bounded capacity, blocking sends
+//! with a timeout, timed/non-blocking receives — on top of
+//! `std::sync::{Mutex, Condvar}`, so the workspace builds without
+//! external dependencies. Senders are cloneable; per-sender FIFO order
+//! is preserved (there is a single queue guarded by one lock).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Creates a bounded channel with room for `cap` in-flight values.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "channel capacity must be positive");
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(cap),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        cap,
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    cap: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// Why a send did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError {
+    /// The buffer stayed full for the whole timeout.
+    Timeout,
+    /// The receiver was dropped.
+    Disconnected,
+}
+
+/// Why a timed receive did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No value arrived within the timeout.
+    Timeout,
+    /// All senders were dropped and the buffer is empty.
+    Disconnected,
+}
+
+/// The sending half; clone one per producer.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is room (or `timeout` elapses / the receiver
+    /// is gone).
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if !st.receiver_alive {
+                return Err(SendTimeoutError::Disconnected);
+            }
+            if st.queue.len() < self.inner.cap {
+                st.queue.push_back(value);
+                drop(st);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .inner
+                .not_full
+                .wait_timeout(st, deadline - now)
+                .unwrap();
+            st = guard;
+        }
+    }
+}
+
+/// The receiving half (single consumer).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.state.lock().unwrap().receiver_alive = false;
+        self.inner.not_full.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives (or `timeout` elapses / all senders
+    /// are gone with the buffer drained).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .inner
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap();
+            st = guard;
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.inner.state.lock().unwrap();
+        let v = st.queue.pop_front();
+        if v.is_some() {
+            drop(st);
+            self.inner.not_full.notify_one();
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send_timeout(i, Duration::from_secs(1)).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), i);
+        }
+        assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn send_times_out_when_full() {
+        let (tx, _rx) = bounded(1);
+        tx.send_timeout(1, Duration::from_millis(10)).unwrap();
+        assert_eq!(
+            tx.send_timeout(2, Duration::from_millis(10)),
+            Err(SendTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn recv_times_out_when_empty() {
+        let (_tx, rx) = bounded::<i32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn disconnect_surfaces() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(rx);
+        assert_eq!(
+            tx.send_timeout(1, Duration::from_millis(10)),
+            Err(SendTimeoutError::Disconnected)
+        );
+        let (tx, rx) = bounded::<i32>(1);
+        tx.send_timeout(7, Duration::from_millis(10)).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn backpressure_unblocks_across_threads() {
+        let (tx, rx) = bounded(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..100 {
+                    tx.send_timeout(i, Duration::from_secs(5)).unwrap();
+                }
+            });
+            for i in 0..100 {
+                assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), i);
+            }
+        });
+    }
+}

@@ -1,9 +1,8 @@
 //! Mesh construction and per-CPE ports.
 
+use crate::chan::{bounded, Receiver, RecvTimeoutError, Sender};
 use crate::stats::{MeshCounters, MeshStats};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use sw_arch::consts::MESH_RECV_BUFFER_ENTRIES;
 use sw_arch::coord::{Coord, N_CPES};
@@ -74,13 +73,20 @@ impl Mesh {
                 }
             })
             .collect();
-        Mesh { ports: Mutex::new(Some(ports)), counters }
+        Mesh {
+            ports: Mutex::new(Some(ports)),
+            counters,
+        }
     }
 
     /// Takes the 64 ports (id order). Panics if called twice — each CPE
     /// thread owns its port exclusively.
     pub fn ports(&self) -> Vec<MeshPort> {
-        self.ports.lock().take().expect("Mesh::ports may only be taken once")
+        self.ports
+            .lock()
+            .unwrap()
+            .take()
+            .expect("Mesh::ports may only be taken once")
     }
 
     /// Snapshot of the traffic counters.
@@ -146,7 +152,10 @@ impl MeshPort {
                 v
             }
             Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-                panic!("mesh deadlock: {} getr starved >{:?}", self.coord, self.timeout)
+                panic!(
+                    "mesh deadlock: {} getr starved >{:?}",
+                    self.coord, self.timeout
+                )
             }
         }
     }
@@ -160,14 +169,17 @@ impl MeshPort {
                 v
             }
             Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-                panic!("mesh deadlock: {} getc starved >{:?}", self.coord, self.timeout)
+                panic!(
+                    "mesh deadlock: {} getc starved >{:?}",
+                    self.coord, self.timeout
+                )
             }
         }
     }
 
     /// Non-blocking `getr`, for tests and drain checks.
     pub fn try_getr(&self) -> Option<V256> {
-        let v = self.row_rx.try_recv().ok();
+        let v = self.row_rx.try_recv();
         if v.is_some() {
             self.counters.add_row_recv(1);
         }
@@ -176,7 +188,7 @@ impl MeshPort {
 
     /// Non-blocking `getc`.
     pub fn try_getc(&self) -> Option<V256> {
-        let v = self.col_rx.try_recv().ok();
+        let v = self.col_rx.try_recv();
         if v.is_some() {
             self.counters.add_col_recv(1);
         }
@@ -187,7 +199,11 @@ impl MeshPort {
     /// row, 256 bits at a time — the panel-granularity view of the
     /// per-iteration `vldr` stream the kernel performs.
     pub fn row_bcast_panel(&self, panel: &[f64]) {
-        assert_eq!(panel.len() % 4, 0, "panel length must be a multiple of 4 doubles");
+        assert_eq!(
+            panel.len() % 4,
+            0,
+            "panel length must be a multiple of 4 doubles"
+        );
         for chunk in panel.chunks_exact(4) {
             self.row_bcast(V256::load(chunk));
         }
@@ -195,7 +211,11 @@ impl MeshPort {
 
     /// Broadcasts a whole panel along the column.
     pub fn col_bcast_panel(&self, panel: &[f64]) {
-        assert_eq!(panel.len() % 4, 0, "panel length must be a multiple of 4 doubles");
+        assert_eq!(
+            panel.len() % 4,
+            0,
+            "panel length must be a multiple of 4 doubles"
+        );
         for chunk in panel.chunks_exact(4) {
             self.col_bcast(V256::load(chunk));
         }
@@ -203,7 +223,11 @@ impl MeshPort {
 
     /// Receives a whole panel from the row network.
     pub fn recv_row_panel(&self, out: &mut [f64]) {
-        assert_eq!(out.len() % 4, 0, "panel length must be a multiple of 4 doubles");
+        assert_eq!(
+            out.len() % 4,
+            0,
+            "panel length must be a multiple of 4 doubles"
+        );
         for chunk in out.chunks_exact_mut(4) {
             self.getr().store(chunk);
         }
@@ -211,7 +235,11 @@ impl MeshPort {
 
     /// Receives a whole panel from the column network.
     pub fn recv_col_panel(&self, out: &mut [f64]) {
-        assert_eq!(out.len() % 4, 0, "panel length must be a multiple of 4 doubles");
+        assert_eq!(
+            out.len() % 4,
+            0,
+            "panel length must be a multiple of 4 doubles"
+        );
         for chunk in out.chunks_exact_mut(4) {
             self.getc().store(chunk);
         }

@@ -2,12 +2,18 @@
 //!
 //! [`CoreGroup::run`] mirrors the `athread` programming model of the
 //! real machine: the "MPE side" (the caller) installs matrices in main
-//! memory and spawns 64 CPE threads; each thread receives a [`CpeCtx`]
-//! with its coordinates, its private LDM, its mesh port, and DMA entry
-//! points, and runs the same SPMD closure.
+//! memory and dispatches to 64 CPE threads; each thread receives a
+//! [`CpeCtx`] with its coordinates, its private LDM, its mesh port, and
+//! DMA entry points, and runs the same SPMD closure.
+//!
+//! The 64 threads are a persistent [`crate::pool::CpePool`] owned by
+//! the `CoreGroup`: they are spawned lazily on the first `run` and
+//! parked between runs, so a sweep that calls `run` once per matrix
+//! size per variant no longer pays 64 thread spawns per call.
 
+use crate::pool::CpePool;
 use crate::stats::{DmaCounters, RunStats};
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 use sw_arch::coord::{Coord, MESH_ROWS, N_CPES};
 use sw_isa::{CommPort, ExecReport, Instr, Machine};
@@ -21,6 +27,8 @@ pub struct CoreGroup {
     /// The CG's main memory. Install inputs / extract outputs here.
     pub mem: MainMemory,
     mesh_timeout: std::time::Duration,
+    /// Persistent CPE workers, spawned on first use.
+    pool: Option<CpePool>,
 }
 
 impl Default for CoreGroup {
@@ -32,12 +40,20 @@ impl Default for CoreGroup {
 impl CoreGroup {
     /// A core group with empty main memory.
     pub fn new() -> Self {
-        CoreGroup { mem: MainMemory::new(), mesh_timeout: std::time::Duration::from_secs(10) }
+        CoreGroup {
+            mem: MainMemory::new(),
+            mesh_timeout: std::time::Duration::from_secs(10),
+            pool: None,
+        }
     }
 
     /// Shortens the mesh deadlock fuse (tests of failure paths).
     pub fn with_mesh_timeout(timeout: std::time::Duration) -> Self {
-        CoreGroup { mem: MainMemory::new(), mesh_timeout: timeout }
+        CoreGroup {
+            mem: MainMemory::new(),
+            mesh_timeout: timeout,
+            pool: None,
+        }
     }
 
     /// Runs `f` on all 64 CPE threads (SPMD), returning traffic
@@ -46,35 +62,41 @@ impl CoreGroup {
     where
         F: Fn(&mut CpeCtx) + Sync,
     {
+        let pool = self.pool.get_or_insert_with(|| CpePool::new(N_CPES));
         let mesh = Mesh::with_timeout(self.mesh_timeout);
-        let ports = mesh.ports();
+        // Each worker takes exclusive ownership of its port for the run.
+        let ports: Vec<Mutex<Option<MeshPort>>> = mesh
+            .ports()
+            .into_iter()
+            .map(|p| Mutex::new(Some(p)))
+            .collect();
         let barrier = Barrier::new(N_CPES);
         let row_barriers: Vec<Barrier> = (0..MESH_ROWS).map(|_| Barrier::new(8)).collect();
         let counters = DmaCounters::default();
         let start = Instant::now();
         let mem = &self.mem;
-        let fref = &f;
-        let barrier_ref = &barrier;
-        let rows_ref = &row_barriers;
-        let counters_ref = &counters;
-        crossbeam::scope(|s| {
-            for port in ports {
-                s.spawn(move |_| {
-                    let mut ctx = CpeCtx {
-                        coord: port.coord(),
-                        ldm: Ldm::new(),
-                        port,
-                        mem,
-                        barrier: barrier_ref,
-                        row_barriers: rows_ref,
-                        counters: counters_ref,
-                    };
-                    fref(&mut ctx);
-                });
-            }
-        })
-        .expect("a CPE thread panicked");
-        RunStats { dma: counters.snapshot(), mesh: mesh.stats(), wall: start.elapsed() }
+        pool.run(&|i: usize| {
+            let port = ports[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("port taken once per run");
+            let mut ctx = CpeCtx {
+                coord: port.coord(),
+                ldm: Ldm::new(),
+                port,
+                mem,
+                barrier: &barrier,
+                row_barriers: &row_barriers,
+                counters: &counters,
+            };
+            f(&mut ctx);
+        });
+        RunStats {
+            dma: counters.snapshot(),
+            mesh: mesh.stats(),
+            wall: start.elapsed(),
+        }
     }
 }
 
@@ -128,7 +150,13 @@ impl<'a> CpeCtx<'a> {
     /// receives its interleaved share of the region stream.
     pub fn dma_row_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
         self.sync_row();
-        let r = dma::row_get(self.mem, region, self.coord.col as usize, &mut self.ldm, buf)?;
+        let r = dma::row_get(
+            self.mem,
+            region,
+            self.coord.col as usize,
+            &mut self.ldm,
+            buf,
+        )?;
         self.counters.record(r.mode, r.bytes_cpe as u64);
         Ok(r)
     }
@@ -152,8 +180,7 @@ impl<'a> CpeCtx<'a> {
     /// `RANK_MODE` get (all 64 CPEs receive transaction-interleaved
     /// shares).
     pub fn dma_rank_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
-        let r =
-            dma::rank_get(self.mem, region, self.coord.id(), &mut self.ldm, buf)?;
+        let r = dma::rank_get(self.mem, region, self.coord.id(), &mut self.ldm, buf)?;
         self.counters.record(r.mode, r.bytes_cpe as u64);
         Ok(r)
     }

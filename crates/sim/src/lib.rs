@@ -2,8 +2,9 @@
 //!
 //! Two execution modes share one front-end:
 //!
-//! * **Functional mode** ([`CoreGroup::run`]) — spawns 64 OS threads,
-//!   one per CPE, each owning a 64 KB [`sw_mem::Ldm`], a
+//! * **Functional mode** ([`CoreGroup::run`]) — dispatches to a
+//!   persistent pool of 64 OS threads, one per CPE, each owning a 64 KB
+//!   [`sw_mem::Ldm`], a
 //!   [`sw_mesh::MeshPort`] onto the register-communication mesh, and a
 //!   DMA handle onto the shared main memory. Data movement and
 //!   arithmetic really happen; results are bit-checkable against a host
@@ -20,6 +21,7 @@
 //! from the DAG structure rather than being hard-coded.
 
 pub mod core_group;
+pub(crate) mod pool;
 pub mod stats;
 pub mod timing;
 

@@ -1,0 +1,240 @@
+//! A persistent worker pool for the 64 CPE threads.
+//!
+//! The functional runtime used to spawn 64 fresh OS threads inside
+//! every [`crate::CoreGroup::run`] call — once per DGEMM invocation,
+//! i.e. once per matrix size per variant in a sweep. [`CpePool`] spawns
+//! the workers once and parks them between runs, so repeated runs pay
+//! two condvar broadcasts instead of 64 `clone(2)` calls.
+//!
+//! # Safety model
+//!
+//! [`CpePool::run`] type-erases the borrowed SPMD closure into a raw
+//! pointer handed to the workers, then blocks until every worker has
+//! finished the generation. The closure (and everything it borrows) is
+//! therefore live for the entire window in which any worker can
+//! dereference the pointer; workers never touch it outside a
+//! generation. A panicking worker is caught, recorded, and re-raised on
+//! the calling thread after the generation completes, preserving the
+//! old scoped-spawn behavior ("panics in any CPE propagate").
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// The job workers run: SPMD closure over the worker index.
+type Job = *const (dyn Fn(usize) + Sync);
+
+/// Raw job pointer, sendable because the pool's run/join protocol
+/// guarantees the pointee outlives every dereference.
+#[derive(Clone, Copy)]
+struct JobPtr(Job);
+unsafe impl Send for JobPtr {}
+
+struct Slot {
+    /// Bumped once per `run`; workers use it to detect fresh work.
+    generation: u64,
+    /// The current generation's job (None while idle).
+    job: Option<JobPtr>,
+    /// Workers still executing the current generation.
+    remaining: usize,
+    /// First panic payload of the generation, re-raised by the caller.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Tells workers to exit (pool drop).
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Signals workers: new generation or shutdown.
+    start: Condvar,
+    /// Signals the caller: generation complete.
+    done: Condvar,
+}
+
+impl Shared {
+    /// Locks the slot, surviving poisoning (a worker's caught panic can
+    /// never corrupt the counters it updates under the lock).
+    fn lock(&self) -> MutexGuard<'_, Slot> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A pool of `n` parked worker threads running SPMD jobs.
+pub(crate) struct CpePool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CpePool {
+    /// Spawns `n` workers, parked until the first [`CpePool::run`].
+    pub fn new(n: usize) -> Self {
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                generation: 0,
+                job: None,
+                remaining: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cpe-{i}"))
+                    .spawn(move || worker_loop(i, &shared))
+                    .expect("failed to spawn CPE worker")
+            })
+            .collect();
+        CpePool { shared, workers }
+    }
+
+    /// Runs `f(i)` on every worker `i`, returning once all complete.
+    /// Re-raises the first worker panic on this thread.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        // Erase the borrow lifetime. Sound because this function blocks
+        // until `remaining == 0`, i.e. until no worker can still hold
+        // or dereference the pointer.
+        let job: JobPtr = JobPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync + 'static)>(
+                f,
+            ) as Job
+        });
+        {
+            let mut slot = self.shared.lock();
+            assert!(
+                slot.remaining == 0 && slot.job.is_none(),
+                "CpePool::run re-entered"
+            );
+            slot.generation += 1;
+            slot.job = Some(job);
+            slot.remaining = self.workers.len();
+            self.shared.start.notify_all();
+        }
+        let mut slot = self.shared.lock();
+        while slot.remaining > 0 {
+            slot = self
+                .shared
+                .done
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        slot.job = None;
+        let panic = slot.panic.take();
+        drop(slot);
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for CpePool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.lock();
+            slot.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(index: usize, shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.lock();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.generation != seen {
+                    seen = slot.generation;
+                    break slot.job.expect("generation bumped without a job");
+                }
+                slot = shared.start.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // SAFETY: the caller blocks in `run` until this generation's
+        // `remaining` hits zero, keeping the closure alive.
+        let f = unsafe { &*job.0 };
+        let result = catch_unwind(AssertUnwindSafe(|| f(index)));
+        let mut slot = shared.lock();
+        if let Err(p) = result {
+            if slot.panic.is_none() {
+                slot.panic = Some(p);
+            }
+        }
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn all_workers_run_each_generation() {
+        let pool = CpePool::new(8);
+        let hits = AtomicU64::new(0);
+        for round in 1..=5u64 {
+            pool.run(&|_i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 8 * round);
+        }
+    }
+
+    #[test]
+    fn distinct_indices_cover_range() {
+        let pool = CpePool::new(16);
+        let mask = AtomicU64::new(0);
+        pool.run(&|i| {
+            mask.fetch_or(1 << i, Ordering::Relaxed);
+        });
+        assert_eq!(mask.load(Ordering::Relaxed), (1 << 16) - 1);
+    }
+
+    #[test]
+    fn borrowed_state_visible_and_mutated() {
+        let pool = CpePool::new(4);
+        let cells: Vec<Mutex<u64>> = (0..4).map(|_| Mutex::new(0)).collect();
+        let base = 100u64;
+        pool.run(&|i| {
+            *cells[i].lock().unwrap() = base + i as u64;
+        });
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(*c.lock().unwrap(), 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = CpePool::new(4);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|i| {
+                if i == 2 {
+                    panic!("boom from worker 2");
+                }
+            });
+        }));
+        let payload = r.expect_err("worker panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("boom"), "unexpected payload: {msg:?}");
+        // The pool remains usable after a panicked generation.
+        let ok = AtomicU64::new(0);
+        pool.run(&|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+}

@@ -18,15 +18,14 @@
 //! Algorithm 1 (serial) versus Algorithm 2 (double-buffered) — not by
 //! a formula.
 
-use serde::{Deserialize, Serialize};
 use sw_arch::time::{cycles_to_secs, Cycles};
 
 /// Identifier of a task inside one [`Dag`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TaskId(usize);
 
 /// The resource a task occupies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Resource {
     /// The shared DMA channel.
     Dma,
@@ -36,12 +35,26 @@ pub enum Resource {
     None,
 }
 
-#[derive(Debug, Clone)]
+/// Most dependences a task may declare. The MPE-side schedules need at
+/// most four (two prefetches, the resident-B load, and the previous
+/// compute); keeping them inline makes [`Dag::task`] allocation-free,
+/// which matters because a large-size estimate builds ~10⁶ tasks.
+pub const MAX_TASK_DEPS: usize = 4;
+
+#[derive(Debug, Clone, Copy)]
 struct Task {
     resource: Resource,
     duration: Cycles,
-    deps: Vec<TaskId>,
+    deps: [u32; MAX_TASK_DEPS],
+    n_deps: u8,
     label: &'static str,
+}
+
+impl Task {
+    #[inline]
+    fn deps(&self) -> &[u32] {
+        &self.deps[..self.n_deps as usize]
+    }
 }
 
 /// A dependence DAG of timed tasks.
@@ -56,7 +69,8 @@ impl Dag {
         Self::default()
     }
 
-    /// Adds a task; dependences must refer to earlier tasks.
+    /// Adds a task; dependences must refer to earlier tasks, and at
+    /// most [`MAX_TASK_DEPS`] of them (duplicates are harmless).
     pub fn task(
         &mut self,
         resource: Resource,
@@ -65,10 +79,30 @@ impl Dag {
         label: &'static str,
     ) -> TaskId {
         let id = TaskId(self.tasks.len());
-        for d in deps {
-            assert!(d.0 < id.0, "dependence on a later task — DAGs are built in program order");
+        assert!(
+            id.0 < u32::MAX as usize,
+            "task count overflows the internal u32 ids"
+        );
+        assert!(
+            deps.len() <= MAX_TASK_DEPS,
+            "a task may declare at most {MAX_TASK_DEPS} dependences, got {}",
+            deps.len()
+        );
+        let mut inline = [0u32; MAX_TASK_DEPS];
+        for (slot, d) in inline.iter_mut().zip(deps) {
+            assert!(
+                d.0 < id.0,
+                "dependence on a later task — DAGs are built in program order"
+            );
+            *slot = d.0 as u32;
         }
-        self.tasks.push(Task { resource, duration, deps: deps.to_vec(), label });
+        self.tasks.push(Task {
+            resource,
+            duration,
+            deps: inline,
+            n_deps: deps.len() as u8,
+            label,
+        });
         id
     }
 
@@ -92,7 +126,12 @@ impl Dag {
         let mut cpes_free = 0u64;
         let mut out = Vec::with_capacity(self.tasks.len());
         for (i, t) in self.tasks.iter().enumerate() {
-            let ready = t.deps.iter().map(|d| finish[d.0]).max().unwrap_or(0);
+            let ready = t
+                .deps()
+                .iter()
+                .map(|&d| finish[d as usize])
+                .max()
+                .unwrap_or(0);
             let start = match t.resource {
                 Resource::Dma => ready.max(dma_free),
                 Resource::Cpes => ready.max(cpes_free),
@@ -105,7 +144,12 @@ impl Dag {
                 Resource::None => {}
             }
             finish[i] = end;
-            out.push(TaskTrace { label: t.label, resource: t.resource, start, end });
+            out.push(TaskTrace {
+                label: t.label,
+                resource: t.resource,
+                start,
+                end,
+            });
         }
         (result, out)
     }
@@ -120,7 +164,12 @@ impl Dag {
         let mut cpes_busy = 0u64;
         let mut makespan = 0u64;
         for (i, t) in self.tasks.iter().enumerate() {
-            let ready = t.deps.iter().map(|d| finish[d.0]).max().unwrap_or(0);
+            let ready = t
+                .deps()
+                .iter()
+                .map(|&d| finish[d as usize])
+                .max()
+                .unwrap_or(0);
             let start = match t.resource {
                 Resource::Dma => ready.max(dma_free),
                 Resource::Cpes => ready.max(cpes_free),
@@ -141,7 +190,11 @@ impl Dag {
             finish[i] = end;
             makespan = makespan.max(end);
         }
-        TimingResult { makespan_cycles: makespan, dma_busy_cycles: dma_busy, cpes_busy_cycles: cpes_busy }
+        TimingResult {
+            makespan_cycles: makespan,
+            dma_busy_cycles: dma_busy,
+            cpes_busy_cycles: cpes_busy,
+        }
     }
 }
 
@@ -159,7 +212,7 @@ pub struct TaskTrace {
 }
 
 /// Outcome of scheduling a [`Dag`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingResult {
     /// End-to-end cycles of the run.
     pub makespan_cycles: Cycles,

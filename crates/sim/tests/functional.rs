@@ -19,7 +19,8 @@ fn every_cpe_writes_its_own_region() {
         for (i, x) in ctx.ldm.slice_mut(buf).iter_mut().enumerate() {
             *x = (id * 1000 + i) as f64;
         }
-        ctx.dma_pe_put(MatRegion::new(mat, id * 16, 0, 16, 4), buf).unwrap();
+        ctx.dma_pe_put(MatRegion::new(mat, id * 16, 0, 16, 4), buf)
+            .unwrap();
     });
     let m = cg.mem.extract(mat).unwrap();
     for id in 0..64 {
@@ -43,10 +44,8 @@ fn row_collective_roundtrip_all_threads() {
     let b = cg.mem.install(HostMatrix::zeros(128, 16)).unwrap();
     cg.run(|ctx| {
         let cols = 2usize; // each row of CPEs owns 2 columns
-        let region_in =
-            MatRegion::new(a, 0, ctx.coord.row as usize * cols, 128, cols);
-        let region_out =
-            MatRegion::new(b, 0, ctx.coord.row as usize * cols, 128, cols);
+        let region_in = MatRegion::new(a, 0, ctx.coord.row as usize * cols, 128, cols);
+        let region_out = MatRegion::new(b, 0, ctx.coord.row as usize * cols, 128, cols);
         let buf = ctx.ldm.alloc(128 * cols / 8).unwrap();
         ctx.dma_row_get(region_in, buf).unwrap();
         ctx.dma_row_put(region_out, buf).unwrap();
@@ -98,7 +97,9 @@ fn isa_kernel_with_live_mesh_broadcast() {
     let alpha = 1.25f64;
 
     let apanel: Vec<f64> = (0..pm * pk).map(|i| ((i * 7 % 23) as f64) - 11.0).collect();
-    let bpanel: Vec<f64> = (0..pk * pn).map(|i| ((i * 5 % 17) as f64) * 0.5 - 4.0).collect();
+    let bpanel: Vec<f64> = (0..pk * pn)
+        .map(|i| ((i * 5 % 17) as f64) * 0.5 - 4.0)
+        .collect();
 
     // Host reference with the same FMA order.
     let mut c_ref = vec![0.0f64; pm * pn];
@@ -147,7 +148,11 @@ fn isa_kernel_with_live_mesh_broadcast() {
         results_ref.lock().unwrap()[col] = ctx.ldm.raw()[c_base..c_base + pm * pn].to_vec();
     });
     for col in 0..8 {
-        assert_eq!(results.lock().unwrap()[col], c_ref, "CPE (0,{col}) result mismatch");
+        assert_eq!(
+            results.lock().unwrap()[col],
+            c_ref,
+            "CPE (0,{col}) result mismatch"
+        );
     }
 }
 
@@ -164,7 +169,10 @@ fn sync_all_orders_phases() {
         slots_ref[id].store(id as u64, Ordering::SeqCst);
         ctx.sync_all();
         let neighbour = (id + 1) % 64;
-        assert_eq!(slots_ref[neighbour].load(Ordering::SeqCst), neighbour as u64);
+        assert_eq!(
+            slots_ref[neighbour].load(Ordering::SeqCst),
+            neighbour as u64
+        );
     });
 }
 
@@ -193,7 +201,10 @@ fn mismatched_communication_scheme_is_diagnosed() {
             // short fuse by exiting everyone else promptly.
         });
     }));
-    assert!(result.is_err(), "the wedged broadcast must surface as a panic");
+    assert!(
+        result.is_err(),
+        "the wedged broadcast must surface as a panic"
+    );
 }
 
 #[test]
@@ -205,7 +216,8 @@ fn dma_errors_surface_with_context() {
         cg.run(|ctx| {
             let buf = ctx.ldm.alloc(8).unwrap();
             // 8-row run: not a whole 128 B transaction.
-            ctx.dma_pe_get(MatRegion::new(mat, 0, 0, 8, 1), buf).expect("A DMA");
+            ctx.dma_pe_get(MatRegion::new(mat, 0, 0, 8, 1), buf)
+                .expect("A DMA");
         });
     }));
     assert!(result.is_err());
@@ -214,16 +226,21 @@ fn dma_errors_surface_with_context() {
 #[test]
 fn brow_and_rank_modes_through_the_runtime() {
     let mut cg = CoreGroup::new();
-    let mat = cg.mem.install(HostMatrix::from_fn(1024, 1, |r, _| r as f64)).unwrap();
+    let mat = cg
+        .mem
+        .install(HostMatrix::from_fn(1024, 1, |r, _| r as f64))
+        .unwrap();
     let stats = cg.run(|ctx| {
         // BROW: every row broadcasts the same 16-double head into all
         // 8 of its CPEs.
         let b = ctx.ldm.alloc(16).unwrap();
-        ctx.dma_brow_get(MatRegion::new(mat, 0, 0, 16, 1), b).unwrap();
+        ctx.dma_brow_get(MatRegion::new(mat, 0, 0, 16, 1), b)
+            .unwrap();
         assert_eq!(ctx.ldm.slice(b)[15], 15.0);
         // RANK: the 64 transactions deal out one per CPE.
         let r = ctx.ldm.alloc(16).unwrap();
-        ctx.dma_rank_get(MatRegion::new(mat, 0, 0, 1024, 1), r).unwrap();
+        ctx.dma_rank_get(MatRegion::new(mat, 0, 0, 1024, 1), r)
+            .unwrap();
         assert_eq!(ctx.ldm.slice(r)[0], (ctx.coord.id() * 16) as f64);
     });
     assert_eq!(stats.dma.brow_bytes, 64 * 16 * 8);

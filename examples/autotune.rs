@@ -16,7 +16,10 @@ use sw_dgemm::Variant;
 fn main() {
     let model = BandwidthModel::calibrated();
     let results = tune(Variant::Sched, 9216, &model).expect("tuning failed");
-    println!("{} feasible (pM=16, pN, pK) blockings for double-buffered SCHED\n", results.len());
+    println!(
+        "{} feasible (pM=16, pN, pK) blockings for double-buffered SCHED\n",
+        results.len()
+    );
     println!("rank   pN   pK    bN    bK   LDM doubles   Gflops/s");
     for (rank, r) in results.iter().take(12).enumerate() {
         println!(
@@ -28,7 +31,11 @@ fn main() {
             r.params.bk(),
             r.ldm_doubles,
             r.gflops,
-            if r.params.pn == 32 && r.params.pk == 96 { "   <- paper's choice" } else { "" }
+            if r.params.pn == 32 && r.params.pk == 96 {
+                "   <- paper's choice"
+            } else {
+                ""
+            }
         );
     }
     let paper_rank = results

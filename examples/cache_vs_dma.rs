@@ -17,8 +17,16 @@ use sw26010_dgemm::mem::{HostMatrix, Ldm, MainMemory, SoftCache};
 fn main() {
     let (m, n, k) = (32usize, 32, 64);
     let mut mem = MainMemory::new();
-    let a = mem.install(HostMatrix::from_fn(m, k, |r, c| ((r * 7 + c) % 13) as f64 - 6.0)).unwrap();
-    let b = mem.install(HostMatrix::from_fn(k, n, |r, c| ((r * 5 + c) % 11) as f64 - 5.0)).unwrap();
+    let a = mem
+        .install(HostMatrix::from_fn(m, k, |r, c| {
+            ((r * 7 + c) % 13) as f64 - 6.0
+        }))
+        .unwrap();
+    let b = mem
+        .install(HostMatrix::from_fn(k, n, |r, c| {
+            ((r * 5 + c) % 11) as f64 - 5.0
+        }))
+        .unwrap();
     let c_exp = mem.install(HostMatrix::zeros(m, n)).unwrap();
     let c_cch = mem.install(HostMatrix::zeros(m, n)).unwrap();
 
@@ -69,7 +77,8 @@ fn main() {
         for i in 0..m {
             let mut acc = 0.0;
             for l in 0..k {
-                acc += ca.read(&mem, &mut ldm2, i, l).unwrap() * cb.read(&mem, &mut ldm2, l, j).unwrap();
+                acc += ca.read(&mem, &mut ldm2, i, l).unwrap()
+                    * cb.read(&mem, &mut ldm2, l, j).unwrap();
             }
             cc.write(&mem, &mut ldm2, i, j, acc).unwrap();
         }
@@ -81,7 +90,9 @@ fn main() {
     let c = mem.extract(c_cch).unwrap();
     assert_eq!(e, c, "both modes must compute the same product");
 
-    let cached_desc = (ca.stats().misses + cb.stats().misses + cc.stats().misses + cc.stats().writebacks) as usize;
+    let cached_desc =
+        (ca.stats().misses + cb.stats().misses + cc.stats().misses + cc.stats().writebacks)
+            as usize;
     let cached_bytes = cached_desc * 128;
     println!("same {m}x{n}x{k} product, two LDM disciplines (one CPE):\n");
     println!("                     descriptors      bytes    miss ratio");

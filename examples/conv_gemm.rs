@@ -96,8 +96,19 @@ impl Layer {
 
 fn main() {
     // --- One large layer as a single blocked GEMM. ---
-    let big = Layer { c: 8, h: 19, w: 19, kh: 4, kw: 4, f: 128 };
-    assert_eq!((big.k(), big.n()), (128, 256), "dims align to the test blocking");
+    let big = Layer {
+        c: 8,
+        h: 19,
+        w: 19,
+        kh: 4,
+        kw: 4,
+        f: 128,
+    };
+    assert_eq!(
+        (big.k(), big.n()),
+        (128, 256),
+        "dims align to the test blocking"
+    );
     let input: Vec<f64> = random_matrix(big.c * big.h * big.w, 1, 11).into_vec();
     let filters = random_matrix(big.f, big.k(), 12);
     let patches = big.im2col(&input);
@@ -106,15 +117,31 @@ fn main() {
     let truth = big.conv_direct(&input, &filters);
     let err = big.max_err(&out, &truth);
     let tol = 8.0 * big.k() as f64 * filters.max_abs() * patches.max_abs() * f64::EPSILON;
-    println!("conv 8x19x19 * 128 filters (4x4) as a {}x{}x{} GEMM on the simulator", big.f, big.n(), big.k());
+    println!(
+        "conv 8x19x19 * 128 filters (4x4) as a {}x{}x{} GEMM on the simulator",
+        big.f,
+        big.n(),
+        big.k()
+    );
     println!("  max |gemm - direct conv| = {err:.3e} (tolerance {tol:.3e})");
     assert!(err <= tol);
-    println!("  DMA: {} B, mesh: {} B", report.stats.dma.total_bytes(), report.stats.mesh.bytes_sent());
+    println!(
+        "  DMA: {} B, mesh: {} B",
+        report.stats.dma.total_bytes(),
+        report.stats.mesh.bytes_sent()
+    );
 
     // --- A mini-batch of small layers through the batched path:
     // one whole product per CPE. Working set per item must fit one
     // 64 KB LDM: 16·16 + 16·100 + 16·100 = 3456 doubles. ---
-    let small = Layer { c: 4, h: 11, w: 11, kh: 2, kw: 2, f: 16 };
+    let small = Layer {
+        c: 4,
+        h: 11,
+        w: 11,
+        kh: 2,
+        kw: 2,
+        f: 16,
+    };
     assert_eq!((small.k(), small.n()), (16, 100));
     let batch_size = 96; // more items than CPEs: round-robin wraps
     let inputs: Vec<Vec<f64>> = (0..batch_size)
@@ -123,8 +150,11 @@ fn main() {
     let small_filters = random_matrix(small.f, small.k(), 13);
     let patch_mats: Vec<Matrix> = inputs.iter().map(|inp| small.im2col(inp)).collect();
     let filter_mats: Vec<Matrix> = (0..batch_size).map(|_| small_filters.clone()).collect();
-    let mut outs: Vec<Matrix> = (0..batch_size).map(|_| Matrix::zeros(small.f, small.n())).collect();
-    let stats = dgemm_batched(1.0, &filter_mats, &patch_mats, 0.0, &mut outs).expect("batched conv");
+    let mut outs: Vec<Matrix> = (0..batch_size)
+        .map(|_| Matrix::zeros(small.f, small.n()))
+        .collect();
+    let stats =
+        dgemm_batched(1.0, &filter_mats, &patch_mats, 0.0, &mut outs).expect("batched conv");
 
     let mut worst: f64 = 0.0;
     for (img, out_i) in outs.iter().enumerate() {
@@ -132,9 +162,21 @@ fn main() {
         worst = worst.max(small.max_err(out_i, &truth));
     }
     let small_tol = 8.0 * small.k() as f64 * small_filters.max_abs() * f64::EPSILON * 2.0;
-    println!("\nbatched mode: {batch_size} images of 4x11x11, one {}x{}x{} GEMM per CPE round-robin", small.f, small.n(), small.k());
+    println!(
+        "\nbatched mode: {batch_size} images of 4x11x11, one {}x{}x{} GEMM per CPE round-robin",
+        small.f,
+        small.n(),
+        small.k()
+    );
     println!("  max error over the batch = {worst:.3e}");
-    assert!(worst <= small_tol, "batched error {worst:.3e} vs {small_tol:.3e}");
-    println!("  DMA: {} B over {} descriptors", stats.dma.total_bytes(), stats.dma.descriptors);
+    assert!(
+        worst <= small_tol,
+        "batched error {worst:.3e} vs {small_tol:.3e}"
+    );
+    println!(
+        "  DMA: {} B over {} descriptors",
+        stats.dma.total_bytes(),
+        stats.dma.descriptors
+    );
     println!("\nboth convolution lowerings verified against direct convolution.");
 }

@@ -25,16 +25,22 @@ fn main() {
         // PE_MODE: each CPE privately loads one 16-row stripe.
         let pe_buf = ctx.ldm.alloc(16).unwrap();
         let id = ctx.coord.id();
-        ctx.dma_pe_get(MatRegion::new(mat, (id % 8) * 16, id / 8, 16, 1), pe_buf).unwrap();
+        ctx.dma_pe_get(MatRegion::new(mat, (id % 8) * 16, id / 8, 16, 1), pe_buf)
+            .unwrap();
 
         // BCAST_MODE: everyone gets the same column.
         let bc_buf = ctx.ldm.alloc(128).unwrap();
-        ctx.dma_bcast_get(MatRegion::new(mat, 0, 7, 128, 1), bc_buf).unwrap();
+        ctx.dma_bcast_get(MatRegion::new(mat, 0, 7, 128, 1), bc_buf)
+            .unwrap();
 
         // ROW_MODE: each mesh row collectively loads one column,
         // interleaved in 16 B slices.
         let row_buf = ctx.ldm.alloc(16).unwrap();
-        ctx.dma_row_get(MatRegion::new(mat, 0, ctx.coord.row as usize, 128, 1), row_buf).unwrap();
+        ctx.dma_row_get(
+            MatRegion::new(mat, 0, ctx.coord.row as usize, 128, 1),
+            row_buf,
+        )
+        .unwrap();
 
         let f = (
             id,
@@ -59,6 +65,8 @@ fn main() {
         stats.dma.bcast_bytes,
         stats.dma.row_bytes
     );
-    println!("\nROW_MODE per-CPE view: CPE at mesh column c holds rows 2c, 2c+1, 2c+16, 2c+17, ...");
+    println!(
+        "\nROW_MODE per-CPE view: CPE at mesh column c holds rows 2c, 2c+1, 2c+16, 2c+17, ..."
+    );
     println!("— the Figure 5 interleave the data-thread mapping of §IV-A is built around.");
 }

@@ -29,8 +29,15 @@ fn main() {
     println!("functional SCHED DGEMM, {m}x{n}x{k}:");
     println!("  max |simulated - reference| = {err:.3e} (tolerance {tol:.3e})");
     assert!(err <= tol);
-    println!("  DMA traffic: {} B over {} descriptors", report.stats.dma.total_bytes(), report.stats.dma.descriptors);
-    println!("  mesh traffic: {} B in 256-bit broadcasts", report.stats.mesh.bytes_sent());
+    println!(
+        "  DMA traffic: {} B over {} descriptors",
+        report.stats.dma.total_bytes(),
+        report.stats.dma.descriptors
+    );
+    println!(
+        "  mesh traffic: {} B in 256-bit broadcasts",
+        report.stats.mesh.bytes_sent()
+    );
     println!("  host wall time: {:?}", report.stats.wall);
 
     // --- Timing mode: estimate sustained performance at the paper's
@@ -38,7 +45,12 @@ fn main() {
     println!("\ntiming mode at m = n = k = 9216 (paper's Figure 6 point):");
     for v in Variant::ALL {
         let t = estimate(v, 9216, 9216, 9216).expect("estimate");
-        println!("  {:<6} {:7.1} Gflops/s  ({:4.1}% of the 742.4 peak)", v.name(), t.gflops, 100.0 * t.efficiency);
+        println!(
+            "  {:<6} {:7.1} Gflops/s  ({:4.1}% of the 742.4 peak)",
+            v.name(),
+            t.gflops,
+            100.0 * t.efficiency
+        );
     }
 
     // --- The full processor: all four core groups of the SW26010. ---

@@ -36,12 +36,17 @@ impl Args {
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flag(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for {name}: {v}")),
         }
     }
     fn required_num<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
-        let v = self.flag(name).ok_or_else(|| format!("missing required flag {name}"))?;
-        v.parse().map_err(|_| format!("invalid value for {name}: {v}"))
+        let v = self
+            .flag(name)
+            .ok_or_else(|| format!("missing required flag {name}"))?;
+        v.parse()
+            .map_err(|_| format!("invalid value for {name}: {v}"))
     }
 }
 
@@ -133,8 +138,12 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
 fn cmd_tune(args: &Args) -> Result<(), String> {
     let target: usize = args.num("--target", 9216)?;
     let top: usize = args.num("--top", 10)?;
-    let results = tune(Variant::Sched, target, &BandwidthModel::calibrated()).map_err(|e| e.to_string())?;
-    println!("top {top} of {} feasible double-buffered blockings near {target}^3:", results.len());
+    let results =
+        tune(Variant::Sched, target, &BandwidthModel::calibrated()).map_err(|e| e.to_string())?;
+    println!(
+        "top {top} of {} feasible double-buffered blockings near {target}^3:",
+        results.len()
+    );
     println!("  pN   pK   LDM doubles   Gflops/s");
     for r in results.iter().take(top) {
         println!(
@@ -143,7 +152,11 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
             r.params.pk,
             r.ldm_doubles,
             r.gflops,
-            if r.params.pn == 32 && r.params.pk == 96 { "   <- paper" } else { "" }
+            if r.params.pn == 32 && r.params.pk == 96 {
+                "   <- paper"
+            } else {
+                ""
+            }
         );
     }
     Ok(())
@@ -152,7 +165,9 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
 fn cmd_info() {
     use sw26010_dgemm::arch::consts::*;
     println!("simulated SW26010 core group:");
-    println!("  64 CPEs on an 8x8 mesh @ {CLOCK_GHZ} GHz, {FLOPS_PER_CYCLE_PER_CPE} flop/cycle each");
+    println!(
+        "  64 CPEs on an 8x8 mesh @ {CLOCK_GHZ} GHz, {FLOPS_PER_CYCLE_PER_CPE} flop/cycle each"
+    );
     println!("  peak {PEAK_GFLOPS_CG:.1} Gflops/s per CG (x4 CGs per processor)");
     println!("  {LDM_BYTES} B LDM per CPE, {ICACHE_BYTES} B icache");
     println!("  DMA: {DMA_TRANSACTION_BYTES} B transactions, {DMA_THEORETICAL_GBS} GB/s channel");

@@ -23,7 +23,9 @@ fn run_variant(
         Variant::Raw => DgemmRunner::new(v).raw_params(RawParams::test_small()),
         _ => DgemmRunner::new(v).params(BlockingParams::test_small()),
     };
-    runner.run(alpha, &a, &b, beta, &mut c).expect("simulated DGEMM failed");
+    runner
+        .run(alpha, &a, &b, beta, &mut c)
+        .expect("simulated DGEMM failed");
     (a, b, c0, c)
 }
 
@@ -36,7 +38,10 @@ fn all_variants_match_reference_within_tolerance() {
         dgemm_naive(1.0, &a, &b, 1.0, &mut expect);
         let err = c.max_abs_diff(&expect);
         let tol = gemm_tolerance(&a, &b, 1.0);
-        assert!(err <= tol, "{v}: max error {err:.3e} exceeds tolerance {tol:.3e}");
+        assert!(
+            err <= tol,
+            "{v}: max error {err:.3e} exceeds tolerance {tol:.3e}"
+        );
     }
 }
 
@@ -59,8 +64,18 @@ fn shared_variants_bitwise_match_chunked_reference() {
     let (a, b, c0, c) = run_variant(Variant::Sched, m, n, k, 2.25, 0.75, 11);
     let mut expect = c0.clone();
     // chunk = pK of the test blocking.
-    dgemm_chunked_fma(2.25, &a, &b, 0.75, &mut expect, BlockingParams::test_small().pk);
-    assert_eq!(c, expect, "SCHED must be bitwise equal to the chunked-FMA reference");
+    dgemm_chunked_fma(
+        2.25,
+        &a,
+        &b,
+        0.75,
+        &mut expect,
+        BlockingParams::test_small().pk,
+    );
+    assert_eq!(
+        c, expect,
+        "SCHED must be bitwise equal to the chunked-FMA reference"
+    );
 }
 
 #[test]
@@ -69,7 +84,10 @@ fn raw_bitwise_matches_chunked_reference() {
     let (a, b, c0, c) = run_variant(Variant::Raw, m, n, k, -1.25, 2.0, 13);
     let mut expect = c0.clone();
     dgemm_chunked_fma(-1.25, &a, &b, 2.0, &mut expect, RawParams::test_small().kc);
-    assert_eq!(c, expect, "RAW must be bitwise equal to the chunked-FMA reference");
+    assert_eq!(
+        c, expect,
+        "RAW must be bitwise equal to the chunked-FMA reference"
+    );
 }
 
 #[test]
@@ -144,7 +162,12 @@ fn unaligned_dims_rejected_with_clear_error() {
 fn padded_arbitrary_dimensions_match_reference() {
     // Dimensions that are not multiples of anything: the padded runner
     // must still produce the exact GEMM on the visible window.
-    for (m, n, k) in [(100usize, 50usize, 75usize), (130, 65, 17), (1, 1, 1), (127, 63, 129)] {
+    for (m, n, k) in [
+        (100usize, 50usize, 75usize),
+        (130, 65, 17),
+        (1, 1, 1),
+        (127, 63, 129),
+    ] {
         let a = random_matrix(m, k, 41);
         let b = random_matrix(k, n, 42);
         let c0 = random_matrix(m, n, 43);

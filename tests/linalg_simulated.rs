@@ -1,10 +1,10 @@
 //! End-to-end: the dense-solver layer driving its O(n³) updates
 //! through the 64-thread simulated DGEMM.
 
-use sw_linalg::{lu_factor, lu_residual, lu_solve, syrk, trsm_left, Backend, Diag, Uplo};
 use sw_dgemm::gen::random_matrix;
 use sw_dgemm::{Matrix, Variant};
 use sw_linalg::GemmBackend;
+use sw_linalg::{lu_factor, lu_residual, lu_solve, syrk, trsm_left, Backend, Diag, Uplo};
 
 #[test]
 fn blocked_lu_with_simulated_trailing_updates() {
@@ -14,13 +14,20 @@ fn blocked_lu_with_simulated_trailing_updates() {
     let f = lu_factor(&a, 64, &sim).expect("LU on the simulator");
     let scale = a.max_abs() * n as f64 * f64::EPSILON;
     let res = lu_residual(&a, &f);
-    assert!(res < 128.0 * scale, "residual {res:.3e} vs scale {scale:.3e}");
+    assert!(
+        res < 128.0 * scale,
+        "residual {res:.3e} vs scale {scale:.3e}"
+    );
     // And it solves.
     let xs = random_matrix(n, 2, 72);
     let mut b = Matrix::zeros(n, 2);
     Backend::Host.gemm(1.0, &a, &xs, 0.0, &mut b).unwrap();
     let x = lu_solve(&f, &b).unwrap();
-    assert!(x.max_abs_diff(&xs) < 1e-6, "solve error {}", x.max_abs_diff(&xs));
+    assert!(
+        x.max_abs_diff(&xs) < 1e-6,
+        "solve error {}",
+        x.max_abs_diff(&xs)
+    );
 }
 
 #[test]
@@ -32,7 +39,11 @@ fn simulated_and_host_lu_agree() {
     let fh = lu_factor(&a, 32, &Backend::Host).unwrap();
     let fs = lu_factor(&a, 32, &Backend::Simulated(Variant::Db)).unwrap();
     assert_eq!(fh.piv, fs.piv, "pivot choices must coincide");
-    assert!(fh.lu.max_abs_diff(&fs.lu) < 1e-9, "{}", fh.lu.max_abs_diff(&fs.lu));
+    assert!(
+        fh.lu.max_abs_diff(&fs.lu) < 1e-9,
+        "{}",
+        fh.lu.max_abs_diff(&fs.lu)
+    );
 }
 
 #[test]
@@ -40,13 +51,27 @@ fn trsm_through_the_simulator() {
     let n = 192;
     let r = random_matrix(n, n, 74);
     let a = Matrix::from_fn(n, n, |i, j| {
-        if i > j { 0.3 * r.get(i, j) } else if i == j { 3.0 + r.get(i, i).abs() } else { 0.0 }
+        if i > j {
+            0.3 * r.get(i, j)
+        } else if i == j {
+            3.0 + r.get(i, i).abs()
+        } else {
+            0.0
+        }
     });
     let xs = random_matrix(n, 8, 75);
     let mut b = Matrix::zeros(n, 8);
     Backend::Host.gemm(1.0, &a, &xs, 0.0, &mut b).unwrap();
-    trsm_left(Uplo::Lower, Diag::NonUnit, 1.0, &a, &mut b, 64, &Backend::Simulated(Variant::Sched))
-        .unwrap();
+    trsm_left(
+        Uplo::Lower,
+        Diag::NonUnit,
+        1.0,
+        &a,
+        &mut b,
+        64,
+        &Backend::Simulated(Variant::Sched),
+    )
+    .unwrap();
     assert!(b.max_abs_diff(&xs) < 1e-9, "{}", b.max_abs_diff(&xs));
 }
 
@@ -57,9 +82,22 @@ fn syrk_through_the_simulator() {
     let c0 = random_matrix(n, n, 77);
     let mut c_sim = c0.clone();
     let mut c_host = c0.clone();
-    syrk(Uplo::Lower, 2.0, &a, 1.0, &mut c_sim, 64, &Backend::Simulated(Variant::Sched)).unwrap();
+    syrk(
+        Uplo::Lower,
+        2.0,
+        &a,
+        1.0,
+        &mut c_sim,
+        64,
+        &Backend::Simulated(Variant::Sched),
+    )
+    .unwrap();
     syrk(Uplo::Lower, 2.0, &a, 1.0, &mut c_host, 64, &Backend::Host).unwrap();
-    assert!(c_sim.max_abs_diff(&c_host) < 1e-9, "{}", c_sim.max_abs_diff(&c_host));
+    assert!(
+        c_sim.max_abs_diff(&c_host) < 1e-9,
+        "{}",
+        c_sim.max_abs_diff(&c_host)
+    );
     // Off-triangle untouched either way.
     for j in 1..n {
         for i in 0..j {

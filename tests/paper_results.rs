@@ -14,7 +14,10 @@ fn fig4_row_mode_superior_and_rising() {
     let pts = fig4_sweep(&BandwidthModel::calibrated());
     for p in &pts {
         assert!(p.row_gbs > p.pe_gbs, "ROW must beat PE at {}", p.mk);
-        assert!(p.pe_gbs > 10.0 && p.row_gbs < 34.0, "bandwidths within the channel envelope");
+        assert!(
+            p.pe_gbs > 10.0 && p.row_gbs < 34.0,
+            "bandwidths within the channel envelope"
+        );
     }
     for w in pts.windows(2) {
         assert!(w[1].pe_gbs > w[0].pe_gbs && w[1].row_gbs > w[0].row_gbs);
@@ -32,7 +35,10 @@ fn fig4_defaults_match_paper_parameters() {
     let model = BandwidthModel::calibrated();
     let pe = sustained_bandwidth_gbs(&model, DmaMode::Pe, 9216, 9216, &cfg);
     let row = sustained_bandwidth_gbs(&model, DmaMode::Row, 9216, 9216, &cfg);
-    assert!(row / pe > 1.1, "ROW should be clearly superior at 9216 ({row:.1} vs {pe:.1})");
+    assert!(
+        row / pe > 1.1,
+        "ROW should be clearly superior at 9216 ({row:.1} vs {pe:.1})"
+    );
 }
 
 #[test]
@@ -41,20 +47,48 @@ fn fig6_full_ladder_and_gains() {
     // RAW, ROW +16.6% over PE, DB +26% over ROW, SCHED +113.9% over
     // DB, peaking at 706.1 Gflops/s = 95% of peak.
     let at = |v| estimate(v, 9216, 9216, 9216).unwrap().gflops;
-    let (raw, pe, row, db, sched) =
-        (at(Variant::Raw), at(Variant::Pe), at(Variant::Row), at(Variant::Db), at(Variant::Sched));
-    assert!(raw < pe && pe < row && row < db && db < sched, "ladder must be monotone");
+    let (raw, pe, row, db, sched) = (
+        at(Variant::Raw),
+        at(Variant::Pe),
+        at(Variant::Row),
+        at(Variant::Db),
+        at(Variant::Sched),
+    );
+    assert!(
+        raw < pe && pe < row && row < db && db < sched,
+        "ladder must be monotone"
+    );
     // RAW sits below one third of peak (§IV: "less than 1/3 of the
     // peak performance ... without further optimizations").
     assert!(raw / 742.4 < 1.0 / 3.0);
     // Shape bands (generous): the big gains are data sharing and
     // instruction scheduling; ROW and DB are meaningful but smaller.
-    assert!(pe / raw > 1.3, "data sharing gain was only {:.2}x", pe / raw);
-    assert!((1.05..1.4).contains(&(row / pe)), "ROW/PE = {:.3}", row / pe);
-    assert!((1.1..1.45).contains(&(db / row)), "DB/ROW = {:.3}", db / row);
-    assert!((1.8..2.5).contains(&(sched / db)), "SCHED/DB = {:.3}", sched / db);
+    assert!(
+        pe / raw > 1.3,
+        "data sharing gain was only {:.2}x",
+        pe / raw
+    );
+    assert!(
+        (1.05..1.4).contains(&(row / pe)),
+        "ROW/PE = {:.3}",
+        row / pe
+    );
+    assert!(
+        (1.1..1.45).contains(&(db / row)),
+        "DB/ROW = {:.3}",
+        db / row
+    );
+    assert!(
+        (1.8..2.5).contains(&(sched / db)),
+        "SCHED/DB = {:.3}",
+        sched / db
+    );
     // Final efficiency in the 90%+ band (paper: 95%).
-    assert!(sched / 742.4 > 0.90, "SCHED efficiency {:.3}", sched / 742.4);
+    assert!(
+        sched / 742.4 > 0.90,
+        "SCHED efficiency {:.3}",
+        sched / 742.4
+    );
 }
 
 #[test]
@@ -80,7 +114,10 @@ fn fig6_sched_saturates_near_9216() {
     let g9216 = at(9216);
     let g15360 = at(15360);
     assert!(g9216 / g1536 > 1.1, "large sizes clearly beat small");
-    assert!((g15360 - g9216) / g9216 < 0.02, "growth beyond 9216 is marginal");
+    assert!(
+        (g15360 - g9216) / g9216 < 0.02,
+        "growth beyond 9216 is marginal"
+    );
 }
 
 #[test]
@@ -91,9 +128,18 @@ fn fig7_small_m_penalized_n_k_negligible() {
     let small_m = estimate(Variant::Sched, 1536, 9216, 9216).unwrap().gflops;
     let small_n = estimate(Variant::Sched, 9216, 1536, 9216).unwrap().gflops;
     let small_k = estimate(Variant::Sched, 9216, 9216, 1536).unwrap().gflops;
-    assert!(small_m < 0.95 * base, "small m should hurt: {small_m:.1} vs {base:.1}");
-    assert!(small_n > 0.95 * base, "small n should be negligible: {small_n:.1} vs {base:.1}");
-    assert!(small_k > 0.95 * base, "small k should be negligible: {small_k:.1} vs {base:.1}");
+    assert!(
+        small_m < 0.95 * base,
+        "small m should hurt: {small_m:.1} vs {base:.1}"
+    );
+    assert!(
+        small_n > 0.95 * base,
+        "small n should be negligible: {small_n:.1} vs {base:.1}"
+    );
+    assert!(
+        small_k > 0.95 * base,
+        "small k should be negligible: {small_k:.1} vs {base:.1}"
+    );
     assert!(small_m < small_n && small_m < small_k);
 }
 
@@ -108,7 +154,11 @@ fn sched_kernel_profile_matches_paper() {
         (97_000..=107_000).contains(&loop_cycles),
         "whole-loop cycles {loop_cycles} should be near the paper's 101,858"
     );
-    assert!(r.vmad_occupancy() > 0.94, "vmad occupancy {:.3} (paper: 0.97)", r.vmad_occupancy());
+    assert!(
+        r.vmad_occupancy() > 0.94,
+        "vmad occupancy {:.3} (paper: 0.97)",
+        r.vmad_occupancy()
+    );
 }
 
 #[test]
@@ -116,7 +166,10 @@ fn naive_kernel_explains_sched_gain() {
     let naive = measure_kernel(16, 32, 96, KernelStyle::Naive);
     let sched = measure_kernel(16, 32, 96, KernelStyle::Scheduled);
     let ratio = naive.cycles as f64 / sched.cycles as f64;
-    assert!((1.9..2.4).contains(&ratio), "kernel ratio {ratio:.2} (paper's SCHED gain: 2.14x)");
+    assert!(
+        (1.9..2.4).contains(&ratio),
+        "kernel ratio {ratio:.2} (paper's SCHED gain: 2.14x)"
+    );
     // Same arithmetic either way.
     assert_eq!(naive.vmads, sched.vmads);
 }
