@@ -44,4 +44,7 @@ fn main() {
         write_csv(&table, &path).expect("write CSV");
         println!("\nCSV written to {}", path.display());
     }
+
+    println!("\n== metrics snapshot ==\n");
+    print!("{}", sw_probe::metrics::global().snapshot().render());
 }

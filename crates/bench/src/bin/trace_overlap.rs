@@ -2,6 +2,10 @@
 //! mechanism behind the DB gain of Figure 6 and the small-m penalty of
 //! Figure 7, visible task by task.
 //!
+//! The chart is the probe crate's Gantt exporter fed by the same event
+//! stream the Chrome-trace export uses ([`sw_sim::Dag::emit_trace`]):
+//! one span per DAG task, laned by category.
+//!
 //! ```text
 //! cargo run -p sw-bench --release --bin trace_overlap [-- --variant row]
 //! ```
@@ -9,7 +13,8 @@
 use sw_dgemm::timing::build_shared_dag;
 use sw_dgemm::Variant;
 use sw_mem::dma::BandwidthModel;
-use sw_sim::Resource;
+use sw_probe::gantt;
+use sw_sim::Tracer;
 
 fn main() {
     let variant = if std::env::args().any(|a| a == "--variant") {
@@ -31,7 +36,9 @@ fn main() {
     let (m, n, k) = (6 * p.bm(), p.bn(), p.bk());
     let model = BandwidthModel::calibrated();
     let (dag, kernel) = build_shared_dag(variant, m, n, k, p, &model).expect("dag");
-    let (result, trace) = dag.trace();
+    let tracer = Tracer::enabled();
+    let (result, _) = dag.emit_trace(&tracer);
+    let rows = gantt::from_trace(&tracer.take());
 
     println!(
         "{variant} schedule for one (j,l) iteration: M = {} CG blocks, kernel {} cycles/step\n",
@@ -39,33 +46,7 @@ fn main() {
         kernel.cycles
     );
     let span = result.makespan_cycles as f64;
-    let width = 72usize;
-    println!(
-        "{:<12} {:>10} {:>10}  timeline ({} cycles)",
-        "task", "start", "end", result.makespan_cycles
-    );
-    for t in &trace {
-        let lane = match t.resource {
-            Resource::Dma => 'D',
-            Resource::Cpes => 'C',
-            Resource::None => '.',
-        };
-        let s = (t.start as f64 / span * width as f64) as usize;
-        let e = ((t.end as f64 / span * width as f64) as usize)
-            .max(s + 1)
-            .min(width);
-        let mut bar = vec![' '; width];
-        for cell in bar.iter_mut().take(e).skip(s) {
-            *cell = lane;
-        }
-        println!(
-            "{:<12} {:>10} {:>10}  |{}|",
-            t.label,
-            t.start,
-            t.end,
-            bar.iter().collect::<String>()
-        );
-    }
+    print!("{}", gantt::render(&rows, result.makespan_cycles, 72));
     println!("\nlanes: D = DMA channel, C = CPE cluster.");
     println!(
         "compute utilization {:.1}%; DMA busy {:.1}% of the makespan — {}",

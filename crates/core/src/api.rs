@@ -8,7 +8,7 @@ use crate::variants::raw::{run_functional_raw, RawParams};
 use crate::variants::shared::{run_functional, GemmIo};
 use crate::variants::Variant;
 use crate::Matrix;
-use sw_sim::{CoreGroup, RunStats};
+use sw_sim::{CoreGroup, RunStats, Tracer};
 
 /// Transposition operator of a BLAS GEMM operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +60,7 @@ pub struct DgemmRunner {
     params: Option<BlockingParams>,
     raw_params: Option<RawParams>,
     pad: bool,
+    tracer: Tracer,
 }
 
 impl DgemmRunner {
@@ -70,7 +71,17 @@ impl DgemmRunner {
             params: None,
             raw_params: None,
             pad: false,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a simulated-time tracer to the functional run (see
+    /// [`CoreGroup::set_tracer`]): per-CPE DMA/kernel spans and
+    /// per-mesh-link broadcast spans land on it, exportable as a
+    /// Chrome trace afterwards.
+    pub fn tracer(mut self, t: Tracer) -> Self {
+        self.tracer = t;
+        self
     }
 
     /// Enables automatic zero padding: dimensions that are not
@@ -131,6 +142,7 @@ impl DgemmRunner {
             }
         }
         let mut cg = CoreGroup::new();
+        cg.set_tracer(self.tracer.clone());
         let io = GemmIo {
             a: cg.mem.install(a.clone())?,
             b: cg.mem.install(b.clone())?,

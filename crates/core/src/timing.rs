@@ -17,7 +17,6 @@
 
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use crate::error::DgemmError;
@@ -93,8 +92,22 @@ pub struct KernelCacheStats {
     pub misses: u64,
 }
 
-static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
-static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+/// The cache's hit/miss tallies live in the global metrics registry
+/// under these names, so `fig6`/`fig7`-style tools get them in the same
+/// snapshot as the simulator's traffic counters.
+pub const KERNEL_CACHE_HITS_METRIC: &str = "dgemm.kernel_cache.hits";
+/// See [`KERNEL_CACHE_HITS_METRIC`].
+pub const KERNEL_CACHE_MISSES_METRIC: &str = "dgemm.kernel_cache.misses";
+
+fn cache_hits() -> &'static sw_probe::Counter {
+    static C: OnceLock<std::sync::Arc<sw_probe::Counter>> = OnceLock::new();
+    C.get_or_init(|| sw_probe::metrics::global().counter(KERNEL_CACHE_HITS_METRIC))
+}
+
+fn cache_misses() -> &'static sw_probe::Counter {
+    static C: OnceLock<std::sync::Arc<sw_probe::Counter>> = OnceLock::new();
+    C.get_or_init(|| sw_probe::metrics::global().counter(KERNEL_CACHE_MISSES_METRIC))
+}
 
 fn kernel_cache() -> &'static Mutex<HashMap<(usize, u64), ExecReport>> {
     static CACHE: OnceLock<Mutex<HashMap<(usize, u64), ExecReport>>> = OnceLock::new();
@@ -104,8 +117,8 @@ fn kernel_cache() -> &'static Mutex<HashMap<(usize, u64), ExecReport>> {
 /// Snapshot of the kernel timing cache's hit/miss counters (process-wide).
 pub fn kernel_cache_stats() -> KernelCacheStats {
     KernelCacheStats {
-        hits: CACHE_HITS.load(Ordering::Relaxed),
-        misses: CACHE_MISSES.load(Ordering::Relaxed),
+        hits: cache_hits().get(),
+        misses: cache_misses().get(),
     }
 }
 
@@ -117,8 +130,8 @@ pub fn kernel_cache_reset() {
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .clear();
-    CACHE_HITS.store(0, Ordering::Relaxed);
-    CACHE_MISSES.store(0, Ordering::Relaxed);
+    cache_hits().reset();
+    cache_misses().reset();
 }
 
 /// Measures one thread-level block-kernel invocation (all operands
@@ -142,10 +155,10 @@ pub fn measure_kernel(pm: usize, pn: usize, pk: usize, style: KernelStyle) -> Ex
         .unwrap_or_else(|e| e.into_inner())
         .get(&key)
     {
-        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        cache_hits().inc();
         return *r;
     }
-    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    cache_misses().inc();
     let report = execute_kernel(pm, pn, pk, &prog);
     kernel_cache()
         .lock()

@@ -46,3 +46,4 @@ pub use kernels::{BlockKernelCfg, Operand};
 pub use looped::{fits_icache, gen_block_kernel_looped, icache_footprint_bytes};
 pub use machine::{BudgetExceeded, ExecReport, Machine, MAX_EXECUTED};
 pub use regs::{IReg, VReg};
+pub use sw_probe::stall::{PipeBreakdown, StallKind, StallReport};

@@ -36,6 +36,130 @@ use crate::instr::{Instr, Pipe, BRANCH_TAKEN_PENALTY};
 use crate::regs::IREG_COUNT;
 use sw_arch::consts::VREG_COUNT;
 use sw_arch::V256;
+use sw_probe::stall::{StallKind, StallReport};
+
+/// Result latency that marks a producer as a *load-class* instruction
+/// (LDM loads and register-communication receives all complete in 4
+/// cycles); stalls on such producers are attributed to
+/// [`StallKind::LoadUse`], everything else to [`StallKind::Raw`].
+const LOAD_LATENCY: u64 = 4;
+
+/// Incremental per-pipe cycle attribution, updated at every issue.
+///
+/// The invariant (checked by `finish` in debug builds and pinned by
+/// property tests): after the run, each pipe's buckets sum exactly to
+/// `ExecReport::cycles`. The accounting is interval arithmetic over
+/// the issue timeline — no per-cycle loop:
+///
+/// * `attributed[p]` — the first cycle of pipe `p` not yet classified;
+/// * branch-refill windows (`[t+1, t+1+BRANCH_TAKEN_PENALTY)` after a
+///   taken branch at `t`) are tracked as a running total; they always
+///   fall inside both pipes' current gaps, so the pending total since
+///   a pipe's last issue is exactly its loop-overhead share;
+/// * at an issue on pipe `p` at cycle `t`, the gap
+///   `[attributed[p], t)` splits into refill (loop overhead), the
+///   operand-hazard window `[max(attributed, cur0), t_ready)` (RAW or
+///   load-use, by the binding producer's class, load preferred on
+///   ties), and the remainder (pipe conflict: the in-order front end
+///   was busy elsewhere or the slot was taken);
+/// * the tail `[attributed[p], cycles)` after the last issue is
+///   refill (clamped to the run's end) plus pipe conflict.
+#[derive(Debug)]
+struct StallProbe {
+    report: StallReport,
+    attributed: [u64; 2],
+    refill_snap: [u64; 2],
+    refill_cum: u64,
+    refill_last_end: u64,
+    vload: [bool; VREG_COUNT],
+}
+
+impl Default for StallProbe {
+    fn default() -> Self {
+        StallProbe {
+            report: StallReport::default(),
+            attributed: [0; 2],
+            refill_snap: [0; 2],
+            refill_cum: 0,
+            refill_last_end: 0,
+            vload: [false; VREG_COUNT],
+        }
+    }
+}
+
+/// Tracks the strongest not-yet-ready operand constraint: the latest
+/// ready time wins; at equal times a load-class producer wins (the
+/// scheduling literature's convention, and the paper's §5.3 focus).
+#[inline]
+fn consider(best: &mut (u64, bool), ready: u64, is_load: bool) {
+    if ready > best.0 {
+        *best = (ready, is_load);
+    } else if ready == best.0 && is_load {
+        best.1 = true;
+    }
+}
+
+impl StallProbe {
+    /// Classifies the gap behind an issue on `pipe` at cycle `t`.
+    /// `cur0` is the front-end cycle when this instruction's
+    /// processing began; `(t_ready, ready_is_load)` the binding
+    /// operand constraint.
+    #[inline]
+    fn on_issue(&mut self, pipe: Pipe, t: u64, cur0: u64, ready: (u64, bool)) {
+        let p = pipe as usize;
+        let a = self.attributed[p];
+        let refill = self.refill_cum - self.refill_snap[p];
+        let hazard = t.min(ready.0).saturating_sub(a.max(cur0));
+        let gap = t - a;
+        debug_assert!(refill + hazard <= gap, "attribution exceeds the gap");
+        let b = &mut self.report.pipes[p];
+        b.add(StallKind::LoopOverhead, refill);
+        b.add(
+            if ready.1 {
+                StallKind::LoadUse
+            } else {
+                StallKind::Raw
+            },
+            hazard,
+        );
+        b.add(StallKind::PipeConflict, gap - refill - hazard);
+        b.issue += 1;
+        self.attributed[p] = t + 1;
+        self.refill_snap[p] = self.refill_cum;
+    }
+
+    /// Opens a refill window after a branch taken at issue cycle `t`.
+    #[inline]
+    fn on_taken_branch(&mut self, t: u64) {
+        self.refill_cum += BRANCH_TAKEN_PENALTY;
+        self.refill_last_end = t + 1 + BRANCH_TAKEN_PENALTY;
+    }
+
+    /// Records the producer class of a vector-register write.
+    #[inline]
+    fn on_vdst_write(&mut self, r: u8, is_load: bool) {
+        self.vload[r as usize] = is_load;
+    }
+
+    /// Attributes each pipe's tail and seals the report.
+    fn finish(&mut self, cycles: u64) -> StallReport {
+        self.report.cycles = cycles;
+        for p in 0..2 {
+            debug_assert!(self.attributed[p] <= cycles);
+            let tail = cycles - self.attributed[p];
+            let pending = self.refill_cum - self.refill_snap[p];
+            // Only the last window can outlive the run (a taken branch
+            // as the final dynamic instruction).
+            let overshoot = self.refill_last_end.saturating_sub(cycles);
+            let refill = pending.saturating_sub(overshoot).min(tail);
+            let b = &mut self.report.pipes[p];
+            b.add(StallKind::LoopOverhead, refill);
+            b.add(StallKind::PipeConflict, tail - refill);
+        }
+        debug_assert!(self.report.check().is_ok(), "{:?}", self.report.check());
+        self.report
+    }
+}
 
 /// Default cap on executed instructions, so a malformed loop fails fast
 /// instead of hanging the test suite. Override per machine with
@@ -186,6 +310,45 @@ impl<'a, C: CommPort> Machine<'a, C> {
     /// Runs a predecoded program, returning a structured error when the
     /// instruction budget is exhausted.
     pub fn try_run_decoded(&mut self, prog: &DecodedProgram) -> Result<ExecReport, BudgetExceeded> {
+        self.exec_decoded::<false>(prog, &mut StallProbe::default())
+            .map(|(report, _)| report)
+    }
+
+    /// Like [`Machine::run`], but additionally classifies every
+    /// simulated cycle of each pipe (issue, RAW, load-use, pipe
+    /// conflict, loop overhead). Panics on budget exhaustion.
+    pub fn run_probed(&mut self, prog: &[Instr]) -> (ExecReport, StallReport) {
+        self.run_decoded_probed(&DecodedProgram::new(prog))
+    }
+
+    /// Probed run over a predecoded program; panics on budget
+    /// exhaustion like [`Machine::run_decoded`].
+    pub fn run_decoded_probed(&mut self, prog: &DecodedProgram) -> (ExecReport, StallReport) {
+        match self.try_run_decoded_probed(prog) {
+            Ok(pair) => pair,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Probed run returning a structured error when the instruction
+    /// budget is exhausted.
+    pub fn try_run_decoded_probed(
+        &mut self,
+        prog: &DecodedProgram,
+    ) -> Result<(ExecReport, StallReport), BudgetExceeded> {
+        self.exec_decoded::<true>(prog, &mut StallProbe::default())
+    }
+
+    /// The decoded-stream engine. With `PROBE = false` every
+    /// attribution touch point is compiled out (the const generic is
+    /// the "cheap branch" the probes hide behind), so the unprobed
+    /// fig6 sweep pays nothing measurable — `engine_bench` asserts
+    /// <2% against the recorded baseline.
+    fn exec_decoded<const PROBE: bool>(
+        &mut self,
+        prog: &DecodedProgram,
+        probe: &mut StallProbe,
+    ) -> Result<(ExecReport, StallReport), BudgetExceeded> {
         let instrs = prog.instrs.as_slice();
         let mut report = ExecReport::default();
         // Scoreboard: the cycle at which each register's pending write
@@ -213,18 +376,36 @@ impl<'a, C: CommPort> Machine<'a, C> {
 
             // Earliest legal issue cycle: in order, sources ready (RAW),
             // destination write drained (WAW).
+            let cur0 = cur;
             let mut t = cur;
+            let mut ready = (0u64, false);
             for &r in &di.vsrcs[..di.n_vsrcs as usize] {
-                t = t.max(vready[r as usize]);
+                let rt = vready[r as usize];
+                t = t.max(rt);
+                if PROBE {
+                    consider(&mut ready, rt, probe.vload[r as usize]);
+                }
             }
             if di.isrc != NO_REG {
-                t = t.max(iready[di.isrc as usize]);
+                let rt = iready[di.isrc as usize];
+                t = t.max(rt);
+                if PROBE {
+                    consider(&mut ready, rt, false);
+                }
             }
             if di.vdst != NO_REG {
-                t = t.max(vready[di.vdst as usize]);
+                let rt = vready[di.vdst as usize];
+                t = t.max(rt);
+                if PROBE {
+                    consider(&mut ready, rt, probe.vload[di.vdst as usize]);
+                }
             }
             if di.idst != NO_REG {
-                t = t.max(iready[di.idst as usize]);
+                let rt = iready[di.idst as usize];
+                t = t.max(rt);
+                if PROBE {
+                    consider(&mut ready, rt, false);
+                }
             }
             // Find a free slot on the instruction's pipe.
             loop {
@@ -247,10 +428,16 @@ impl<'a, C: CommPort> Machine<'a, C> {
                 report.dual_issue_cycles += 1;
             }
             last_issue = last_issue.max(t);
+            if PROBE {
+                probe.on_issue(di.pipe, t, cur0, ready);
+            }
 
             // Retire: update the scoreboard and perform the effect.
             if di.vdst != NO_REG {
                 vready[di.vdst as usize] = t + di.latency;
+                if PROBE {
+                    probe.on_vdst_write(di.vdst, di.latency == LOAD_LATENCY);
+                }
             }
             if di.idst != NO_REG {
                 iready[di.idst as usize] = t + di.latency;
@@ -316,6 +503,9 @@ impl<'a, C: CommPort> Machine<'a, C> {
                         cur = t + 1 + BRANCH_TAKEN_PENALTY;
                         p0_used = false;
                         p1_used = false;
+                        if PROBE {
+                            probe.on_taken_branch(t);
+                        }
                     }
                 }
                 Instr::Nop => {}
@@ -327,14 +517,37 @@ impl<'a, C: CommPort> Machine<'a, C> {
         } else {
             last_issue + 1
         };
-        Ok(report)
+        let stall = if PROBE {
+            probe.finish(report.cycles)
+        } else {
+            StallReport::default()
+        };
+        Ok((report, stall))
     }
 
-    /// The original direct-from-[`Instr`] interpreter, kept verbatim as
-    /// the golden model for the decoded engine. Equivalence tests (and
-    /// the engine benchmark) run both and compare registers, LDM, and
-    /// [`ExecReport`] field for field.
+    /// The original direct-from-[`Instr`] interpreter, kept as the
+    /// golden model for the decoded engine (its only change since: the
+    /// same compiled-out attribution hooks as the hot path).
+    /// Equivalence tests (and the engine benchmark) run both and
+    /// compare registers, LDM, and [`ExecReport`] field for field.
     pub fn run_reference(&mut self, prog: &[Instr]) -> ExecReport {
+        self.exec_reference::<false>(prog, &mut StallProbe::default())
+            .0
+    }
+
+    /// Probed variant of the golden model: identical attribution
+    /// semantics to [`Machine::run_probed`], implemented independently
+    /// over the raw [`Instr`] stream so the two engines cross-check
+    /// each other cycle for cycle.
+    pub fn run_reference_probed(&mut self, prog: &[Instr]) -> (ExecReport, StallReport) {
+        self.exec_reference::<true>(prog, &mut StallProbe::default())
+    }
+
+    fn exec_reference<const PROBE: bool>(
+        &mut self,
+        prog: &[Instr],
+        probe: &mut StallProbe,
+    ) -> (ExecReport, StallReport) {
         let mut report = ExecReport::default();
         // Scoreboard: the cycle at which each register's pending write
         // completes.
@@ -357,18 +570,36 @@ impl<'a, C: CommPort> Machine<'a, C> {
 
             // Earliest legal issue cycle: in order, sources ready (RAW),
             // destination write drained (WAW).
+            let cur0 = cur;
             let mut t = cur;
+            let mut ready = (0u64, false);
             for r in instr.vsrcs() {
-                t = t.max(vready[r.idx()]);
+                let rt = vready[r.idx()];
+                t = t.max(rt);
+                if PROBE {
+                    consider(&mut ready, rt, probe.vload[r.idx()]);
+                }
             }
             for r in instr.isrcs() {
-                t = t.max(iready[r.idx()]);
+                let rt = iready[r.idx()];
+                t = t.max(rt);
+                if PROBE {
+                    consider(&mut ready, rt, false);
+                }
             }
             if let Some(d) = instr.vdst() {
-                t = t.max(vready[d.idx()]);
+                let rt = vready[d.idx()];
+                t = t.max(rt);
+                if PROBE {
+                    consider(&mut ready, rt, probe.vload[d.idx()]);
+                }
             }
             if let Some(d) = instr.idst() {
-                t = t.max(iready[d.idx()]);
+                let rt = iready[d.idx()];
+                t = t.max(rt);
+                if PROBE {
+                    consider(&mut ready, rt, false);
+                }
             }
             // Find a free slot on the instruction's pipe.
             loop {
@@ -391,10 +622,16 @@ impl<'a, C: CommPort> Machine<'a, C> {
                 report.dual_issue_cycles += 1;
             }
             last_issue = last_issue.max(t);
+            if PROBE {
+                probe.on_issue(instr.pipe(), t, cur0, ready);
+            }
 
             // Retire: update the scoreboard and perform the effect.
             if let Some(d) = instr.vdst() {
                 vready[d.idx()] = t + instr.latency();
+                if PROBE {
+                    probe.on_vdst_write(d.0, instr.latency() == LOAD_LATENCY);
+                }
             }
             if let Some(d) = instr.idst() {
                 iready[d.idx()] = t + instr.latency();
@@ -460,6 +697,9 @@ impl<'a, C: CommPort> Machine<'a, C> {
                         cur = t + 1 + BRANCH_TAKEN_PENALTY;
                         p0_used = false;
                         p1_used = false;
+                        if PROBE {
+                            probe.on_taken_branch(t);
+                        }
                     }
                 }
                 Instr::Nop => {}
@@ -471,7 +711,12 @@ impl<'a, C: CommPort> Machine<'a, C> {
         } else {
             last_issue + 1
         };
-        report
+        let stall = if PROBE {
+            probe.finish(report.cycles)
+        } else {
+            StallReport::default()
+        };
+        (report, stall)
     }
 }
 
@@ -784,6 +1029,190 @@ mod tests {
         m.set_budget(7); // exactly the dynamic count
         let r = m.try_run(&prog).expect("exact-budget run must pass");
         assert_eq!(r.instructions, 7);
+    }
+
+    #[test]
+    fn stall_attribution_raw_chain() {
+        // Two dependent vmads: issue at 0 and 6. P0 timeline: issue 2,
+        // raw 5 (cycles 1..6), total 7. P1 never issues: 7 conflicts.
+        let v = Instr::Vmad {
+            a: VReg(0),
+            b: VReg(1),
+            c: VReg(2),
+            d: VReg(2),
+        };
+        let mut ldm = vec![0.0; 64];
+        let mut comm = NullComm;
+        let mut m = Machine::new(&mut ldm, &mut comm);
+        let (r, s) = m.run_probed(&[v, v]);
+        assert_eq!(r.cycles, 7);
+        s.check().unwrap();
+        assert_eq!(s.pipes[0].issue, 2);
+        assert_eq!(s.pipes[0].raw, 5);
+        assert_eq!(s.pipes[0].load_use, 0);
+        assert_eq!(s.pipes[1].issue, 0);
+        assert_eq!(s.pipes[1].pipe_conflict, 7);
+    }
+
+    #[test]
+    fn stall_attribution_load_use() {
+        // Load at 0, dependent vmad at 4: P0 sees 4 load-use cycles.
+        let prog = [
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+            },
+            Instr::Vmad {
+                a: VReg(0),
+                b: VReg(1),
+                c: VReg(2),
+                d: VReg(2),
+            },
+        ];
+        let mut ldm = vec![0.0; 64];
+        let mut comm = NullComm;
+        let mut m = Machine::new(&mut ldm, &mut comm);
+        let (r, s) = m.run_probed(&prog);
+        assert_eq!(r.cycles, 5);
+        s.check().unwrap();
+        assert_eq!(s.pipes[0].issue, 1);
+        assert_eq!(s.pipes[0].load_use, 4);
+        assert_eq!(s.pipes[0].raw, 0);
+        assert_eq!(s.pipes[1].issue, 1);
+        assert_eq!(s.pipes[1].pipe_conflict, 4);
+    }
+
+    #[test]
+    fn stall_attribution_loop_overhead() {
+        // r1 = 2; loop { r1 -= 1; bne } — one taken branch, so each
+        // pipe carries one BRANCH_TAKEN_PENALTY refill window.
+        let prog = [
+            Instr::Setl { d: IReg(1), imm: 2 },
+            Instr::Addl {
+                d: IReg(1),
+                s: IReg(1),
+                imm: -1,
+            },
+            Instr::Bne {
+                s: IReg(1),
+                target: 1,
+            },
+        ];
+        let mut ldm = vec![0.0; 16];
+        let mut comm = NullComm;
+        let mut m = Machine::new(&mut ldm, &mut comm);
+        let (r, s) = m.run_probed(&prog);
+        assert_eq!(r.taken_branches, 1);
+        s.check().unwrap();
+        assert_eq!(s.pipes[0].loop_overhead, BRANCH_TAKEN_PENALTY);
+        assert_eq!(s.pipes[1].loop_overhead, BRANCH_TAKEN_PENALTY);
+        assert_eq!(s.pipes[0].issue, 0);
+        assert_eq!(s.pipes[1].issue, r.instructions);
+    }
+
+    #[test]
+    fn stall_attribution_trailing_taken_branch_clamped() {
+        // The final dynamic instruction is a taken branch (target ==
+        // prog.len()): its refill window outlives the run and must be
+        // clamped, keeping the attribution sum exact.
+        let prog = [
+            Instr::Setl { d: IReg(1), imm: 1 },
+            Instr::Bne {
+                s: IReg(1),
+                target: 2,
+            },
+        ];
+        let mut ldm = vec![0.0; 16];
+        let mut comm = NullComm;
+        let mut m = Machine::new(&mut ldm, &mut comm);
+        let (r, s) = m.run_probed(&prog);
+        assert_eq!(r.taken_branches, 1);
+        s.check().unwrap();
+        assert_eq!(s.cycles, r.cycles);
+    }
+
+    #[test]
+    fn stall_attribution_empty_program() {
+        let mut ldm = vec![0.0; 16];
+        let mut comm = NullComm;
+        let mut m = Machine::new(&mut ldm, &mut comm);
+        let (r, s) = m.run_probed(&[]);
+        assert_eq!(r.cycles, 0);
+        s.check().unwrap();
+        assert_eq!(s.stall_cycles(), 0);
+    }
+
+    #[test]
+    fn probed_and_unprobed_reports_agree() {
+        use crate::kernels::{gen_block_kernel, BlockKernelCfg, KernelStyle, Operand};
+        let cfg = BlockKernelCfg {
+            pm: 16,
+            pn: 8,
+            pk: 24,
+            a_src: Operand::Ldm,
+            b_src: Operand::Ldm,
+            a_base: 0,
+            b_base: 4096,
+            c_base: 6144,
+            alpha_addr: 8000,
+        };
+        for style in [KernelStyle::Naive, KernelStyle::Scheduled] {
+            let prog = gen_block_kernel(&cfg, style);
+            let mk_ldm = || {
+                (0..sw_arch::consts::LDM_DOUBLES)
+                    .map(|i| (i % 89) as f64 * 0.5 - 7.0)
+                    .collect::<Vec<f64>>()
+            };
+            let mut ldm_a = mk_ldm();
+            let mut comm_a = NullComm;
+            let plain = Machine::new(&mut ldm_a, &mut comm_a).run(&prog);
+            let mut ldm_b = mk_ldm();
+            let mut comm_b = NullComm;
+            let (probed, stall) = Machine::new(&mut ldm_b, &mut comm_b).run_probed(&prog);
+            assert_eq!(plain, probed, "probing changed the report for {style:?}");
+            assert_eq!(ldm_a, ldm_b, "probing changed the numerics for {style:?}");
+            stall.check().unwrap();
+            let mut ldm_c = mk_ldm();
+            let mut comm_c = NullComm;
+            let (ref_rep, ref_stall) =
+                Machine::new(&mut ldm_c, &mut comm_c).run_reference_probed(&prog);
+            assert_eq!(ref_rep, probed, "engines disagree for {style:?}");
+            assert_eq!(ref_stall, stall, "attributions disagree for {style:?}");
+        }
+    }
+
+    #[test]
+    fn scheduled_kernel_stalls_less_than_naive() {
+        // The §IV-C claim the stall table quantifies: scheduling the
+        // same work strictly reduces stall cycles.
+        use crate::kernels::{gen_block_kernel, BlockKernelCfg, KernelStyle, Operand};
+        let cfg = BlockKernelCfg {
+            pm: 16,
+            pn: 8,
+            pk: 24,
+            a_src: Operand::Ldm,
+            b_src: Operand::Ldm,
+            a_base: 0,
+            b_base: 4096,
+            c_base: 6144,
+            alpha_addr: 8000,
+        };
+        let mut stalls = Vec::new();
+        for style in [KernelStyle::Naive, KernelStyle::Scheduled] {
+            let prog = gen_block_kernel(&cfg, style);
+            let mut ldm = vec![0.0; sw_arch::consts::LDM_DOUBLES];
+            let mut comm = NullComm;
+            let (_, s) = Machine::new(&mut ldm, &mut comm).run_probed(&prog);
+            s.check().unwrap();
+            stalls.push(s.stall_cycles());
+        }
+        assert!(
+            stalls[1] < stalls[0],
+            "scheduled {} !< naive {}",
+            stalls[1],
+            stalls[0]
+        );
     }
 
     #[test]

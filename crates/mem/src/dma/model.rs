@@ -31,9 +31,19 @@
 //! lets the PE→ROW gain of Figure 6 (+16.6 %) emerge from the event
 //! simulation; see EXPERIMENTS.md.
 
-use super::descriptor::DmaMode;
+use super::descriptor::{DmaMode, Receipt};
 use sw_arch::consts::DMA_STARTUP_CYCLES;
 use sw_arch::time::{secs_to_cycles, Cycles};
+use sw_probe::metrics::Registry;
+
+/// The five modes, in report order.
+const ALL_MODES: [DmaMode; 5] = [
+    DmaMode::Pe,
+    DmaMode::Bcast,
+    DmaMode::Row,
+    DmaMode::Brow,
+    DmaMode::Rank,
+];
 
 /// Per-mode calibration parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -161,6 +171,36 @@ impl BandwidthModel {
         descriptors as u64 * self.startup_cycles
             + self.wire_cycles(mode, total_bytes, run_bytes, footprint_bytes)
     }
+
+    /// Modelled channel occupancy of one completed per-CPE receipt: one
+    /// descriptor whose contiguous run is the receipt itself, streamed
+    /// against the whole transfer's footprint. This is the duration the
+    /// functional runtime's tracer charges each `dma.*` span; treating
+    /// the receipt as a single run is slightly optimistic for strided
+    /// regions, which is fine for a qualitative timeline.
+    pub fn receipt_cycles(&self, r: &Receipt) -> Cycles {
+        self.transfer_cycles(
+            r.mode,
+            1,
+            r.bytes_cpe,
+            r.bytes_cpe.max(8),
+            r.bytes_total.max(8),
+        )
+    }
+
+    /// Records the model's calibration in `reg` as gauges — the
+    /// asymptotic per-mode ceiling (`mem.model.<mode>.peak_mbs`, in
+    /// MB/s) and the per-descriptor startup cost — so metric exports
+    /// carry the curve the measured traffic should be judged against.
+    pub fn publish(&self, reg: &Registry) {
+        for mode in ALL_MODES {
+            let peak_mbs = self.channel_peak_gbs * self.curve(mode).mode_eff * 1000.0;
+            reg.gauge(&format!("mem.model.{}.peak_mbs", mode.name()))
+                .set(peak_mbs as i64);
+        }
+        reg.gauge("mem.model.startup_cycles")
+            .set(self.startup_cycles as i64);
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +268,36 @@ mod tests {
             let bw = m.sustained_gbs(mode, 1 << 20, usize::MAX / 2);
             assert!(bw < m.channel_peak_gbs);
         }
+    }
+
+    #[test]
+    fn receipt_cycles_matches_single_descriptor_transfer() {
+        let m = BandwidthModel::calibrated();
+        let r = Receipt {
+            bytes_cpe: 16 * 1024,
+            bytes_total: 128 * 1024,
+            mode: DmaMode::Row,
+        };
+        assert_eq!(
+            m.receipt_cycles(&r),
+            m.transfer_cycles(DmaMode::Row, 1, 16 * 1024, 16 * 1024, 128 * 1024)
+        );
+    }
+
+    #[test]
+    fn publish_records_ceilings_and_startup() {
+        let m = BandwidthModel::calibrated();
+        let reg = Registry::new();
+        m.publish(&reg);
+        let snap = reg.snapshot();
+        assert!(matches!(
+            snap.get("mem.model.pe.peak_mbs"),
+            Some(sw_probe::metrics::MetricValue::Gauge(34_000))
+        ));
+        assert!(matches!(
+            snap.get("mem.model.startup_cycles"),
+            Some(sw_probe::metrics::MetricValue::Gauge(g)) if *g > 0
+        ));
     }
 
     #[test]

@@ -2,11 +2,13 @@
 
 use crate::chan::{bounded, Receiver, RecvTimeoutError, Sender};
 use crate::stats::{MeshCounters, MeshStats};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
-use sw_arch::consts::MESH_RECV_BUFFER_ENTRIES;
-use sw_arch::coord::{Coord, N_CPES};
+use sw_arch::consts::{MESH_RECV_BUFFER_ENTRIES, MESH_TRANSIT_CYCLES};
+use sw_arch::coord::{Coord, MESH_COLS, MESH_ROWS, N_CPES};
 use sw_arch::V256;
+use sw_probe::trace::{Tracer, TrackId};
 
 /// Default time a blocked send/receive waits before declaring the
 /// communication scheme deadlocked.
@@ -70,12 +72,43 @@ impl Mesh {
                     col_mates,
                     counters: Arc::clone(&counters),
                     timeout,
+                    trace: None,
                 }
             })
             .collect();
         Mesh {
             ports: Mutex::new(Some(ports)),
             counters,
+        }
+    }
+
+    /// Attaches a simulated-time tracer: every broadcast then emits a
+    /// [`MESH_TRANSIT_CYCLES`]-long span on the link it occupies, one
+    /// track per row link and one per column link (process `"mesh"`).
+    /// Link time is a shared per-track cursor, so broadcasts from CPEs
+    /// sharing a link serialize on the trace exactly as they would on
+    /// the wire. Must be called before [`Mesh::ports`]; a disabled
+    /// tracer is a no-op.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        let mut guard = self.ports.lock().unwrap();
+        let ports = guard
+            .as_mut()
+            .expect("Mesh::set_tracer must be called before the ports are taken");
+        let rows: Vec<LinkTrace> = (0..MESH_ROWS)
+            .map(|r| LinkTrace::new(tracer.track("mesh", format!("row {r}"))))
+            .collect();
+        let cols: Vec<LinkTrace> = (0..MESH_COLS)
+            .map(|c| LinkTrace::new(tracer.track("mesh", format!("col {c}"))))
+            .collect();
+        for p in ports.iter_mut() {
+            p.trace = Some(PortTrace {
+                tracer: tracer.clone(),
+                row: rows[p.coord.row as usize].clone(),
+                col: cols[p.coord.col as usize].clone(),
+            });
         }
     }
 
@@ -95,6 +128,43 @@ impl Mesh {
     }
 }
 
+/// One mesh link's timeline: a trace track plus the simulated-cycle
+/// cursor all broadcasts on that link advance through.
+#[derive(Clone)]
+struct LinkTrace {
+    track: TrackId,
+    clock: Arc<AtomicU64>,
+}
+
+impl LinkTrace {
+    fn new(track: TrackId) -> Self {
+        LinkTrace {
+            track,
+            clock: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Claims the next `MESH_TRANSIT_CYCLES` window and emits the span.
+    fn emit(&self, tracer: &Tracer, name: &'static str, copies: u64) {
+        let t0 = self.clock.fetch_add(MESH_TRANSIT_CYCLES, Ordering::Relaxed);
+        tracer.span_args(
+            self.track,
+            "mesh",
+            name,
+            t0,
+            t0 + MESH_TRANSIT_CYCLES,
+            &[("bytes", copies * 32)],
+        );
+    }
+}
+
+/// Per-port tracing state installed by [`Mesh::set_tracer`].
+struct PortTrace {
+    tracer: Tracer,
+    row: LinkTrace,
+    col: LinkTrace,
+}
+
 /// One CPE's window onto the mesh: its send links to row/column mates
 /// and its two receive buffers.
 pub struct MeshPort {
@@ -105,6 +175,7 @@ pub struct MeshPort {
     col_mates: Vec<Sender<V256>>,
     counters: Arc<MeshCounters>,
     timeout: Duration,
+    trace: Option<PortTrace>,
 }
 
 impl MeshPort {
@@ -127,6 +198,10 @@ impl MeshPort {
             }
         }
         self.counters.add_row_sent(self.row_mates.len() as u64);
+        if let Some(t) = &self.trace {
+            t.row
+                .emit(&t.tracer, "row.bcast", self.row_mates.len() as u64);
+        }
     }
 
     /// Column broadcast: puts `v` into the column receive buffer of the
@@ -142,6 +217,10 @@ impl MeshPort {
             }
         }
         self.counters.add_col_sent(self.col_mates.len() as u64);
+        if let Some(t) = &self.trace {
+            t.col
+                .emit(&t.tracer, "col.bcast", self.col_mates.len() as u64);
+        }
     }
 
     /// Receives one word from the row network (the `getr` instruction).
@@ -266,6 +345,43 @@ mod tests {
         let p = mesh.ports();
         assert_eq!(p.len(), N_CPES);
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mesh.ports())).is_err());
+    }
+
+    #[test]
+    fn traced_broadcasts_serialize_on_the_link() {
+        let tracer = Tracer::enabled();
+        let mesh = Mesh::new();
+        mesh.set_tracer(&tracer);
+        let ports = mesh.ports();
+        // Two senders in row 3 and one in column 5 — the row spans must
+        // share one track and tile it back to back.
+        ports[Coord::new(3, 0).id()].row_bcast(V256::ZERO);
+        ports[Coord::new(3, 1).id()].row_bcast(V256::ZERO);
+        ports[Coord::new(0, 5).id()].col_bcast(V256::ZERO);
+        let data = tracer.take();
+        assert_eq!(data.tracks.len(), MESH_ROWS + MESH_COLS);
+        assert_eq!(data.spans.len(), 3);
+        let row_spans: Vec<_> = data
+            .spans
+            .iter()
+            .filter(|s| s.name == "row.bcast")
+            .collect();
+        assert_eq!(row_spans.len(), 2);
+        assert_eq!(row_spans[0].track, row_spans[1].track);
+        let mut starts = [row_spans[0].start, row_spans[1].start];
+        starts.sort_unstable();
+        assert_eq!(starts, [0, MESH_TRANSIT_CYCLES]);
+        assert_eq!(row_spans[0].end - row_spans[0].start, MESH_TRANSIT_CYCLES);
+        // 7 delivered copies of 32 bytes each.
+        assert_eq!(row_spans[0].args, vec![("bytes", 7 * 32)]);
+    }
+
+    #[test]
+    fn disabled_tracer_is_a_no_op() {
+        let mesh = Mesh::new();
+        mesh.set_tracer(&Tracer::disabled());
+        let ports = mesh.ports();
+        assert!(ports[0].trace.is_none());
     }
 
     #[test]

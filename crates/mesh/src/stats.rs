@@ -1,36 +1,38 @@
 //! Mesh traffic counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use sw_probe::metrics::{Counter, Registry};
 
-/// Shared atomic counters behind every port of one mesh.
+/// Shared atomic counters behind every port of one mesh. Built on the
+/// probe crate's [`Counter`] so a snapshot can be published into a
+/// metrics [`Registry`] without translation.
 #[derive(Debug, Default)]
 pub(crate) struct MeshCounters {
-    row_sent: AtomicU64,
-    col_sent: AtomicU64,
-    row_recv: AtomicU64,
-    col_recv: AtomicU64,
+    row_sent: Counter,
+    col_sent: Counter,
+    row_recv: Counter,
+    col_recv: Counter,
 }
 
 impl MeshCounters {
     pub fn add_row_sent(&self, n: u64) {
-        self.row_sent.fetch_add(n, Ordering::Relaxed);
+        self.row_sent.add(n);
     }
     pub fn add_col_sent(&self, n: u64) {
-        self.col_sent.fetch_add(n, Ordering::Relaxed);
+        self.col_sent.add(n);
     }
     pub fn add_row_recv(&self, n: u64) {
-        self.row_recv.fetch_add(n, Ordering::Relaxed);
+        self.row_recv.add(n);
     }
     pub fn add_col_recv(&self, n: u64) {
-        self.col_recv.fetch_add(n, Ordering::Relaxed);
+        self.col_recv.add(n);
     }
 
     pub fn snapshot(&self) -> MeshStats {
         MeshStats {
-            row_words_sent: self.row_sent.load(Ordering::Relaxed),
-            col_words_sent: self.col_sent.load(Ordering::Relaxed),
-            row_words_received: self.row_recv.load(Ordering::Relaxed),
-            col_words_received: self.col_recv.load(Ordering::Relaxed),
+            row_words_sent: self.row_sent.get(),
+            col_words_sent: self.col_sent.get(),
+            row_words_received: self.row_recv.get(),
+            col_words_received: self.col_recv.get(),
         }
     }
 }
@@ -54,6 +56,18 @@ impl MeshStats {
     pub fn bytes_sent(&self) -> u64 {
         (self.row_words_sent + self.col_words_sent) * 32
     }
+
+    /// Accumulates this snapshot into `reg` under `sim.mesh.*`.
+    pub fn publish(&self, reg: &Registry) {
+        reg.counter("sim.mesh.row.words_sent")
+            .add(self.row_words_sent);
+        reg.counter("sim.mesh.col.words_sent")
+            .add(self.col_words_sent);
+        reg.counter("sim.mesh.row.words_received")
+            .add(self.row_words_received);
+        reg.counter("sim.mesh.col.words_received")
+            .add(self.col_words_received);
+    }
 }
 
 #[cfg(test)]
@@ -69,5 +83,21 @@ mod tests {
         assert_eq!(s.row_words_sent, 7);
         assert_eq!(s.col_words_received, 3);
         assert_eq!(s.bytes_sent(), 7 * 32);
+    }
+
+    #[test]
+    fn publish_lands_in_registry() {
+        let reg = Registry::new();
+        let s = MeshStats {
+            row_words_sent: 7,
+            col_words_sent: 5,
+            row_words_received: 7,
+            col_words_received: 5,
+        };
+        s.publish(&reg);
+        s.publish(&reg); // accumulates, run after run
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sim.mesh.row.words_sent"), Some(14));
+        assert_eq!(snap.counter("sim.mesh.col.words_received"), Some(10));
     }
 }

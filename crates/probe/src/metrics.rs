@@ -1,0 +1,489 @@
+//! Unified metrics registry.
+//!
+//! One process-global (or test-local) [`Registry`] replaces the ad-hoc
+//! counter structs that used to live in `sw-sim` (`DmaCounters`),
+//! `sw-mesh` (`MeshCounters`), and `sw-dgemm` (kernel-cache statics).
+//! Instruments are registered by name, updated lock-free on atomics,
+//! and read back through a single [`Registry::snapshot`] /
+//! [`Registry::reset`] API with JSON and CSV export.
+//!
+//! Naming convention: `subsystem.object.unit`, e.g.
+//! `sim.dma.pe.bytes`, `mesh.row.words_sent`,
+//! `dgemm.kernel_cache.hits`. Snapshots list entries sorted by name,
+//! so exports are deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter (resettable between runs).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero, unregistered (registered ones come
+    /// from [`Registry::counter`]).
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Back to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value gauge (signed, settable).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Back to zero.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// `bounds` are inclusive upper edges; an observation lands in the
+/// first bucket whose bound is `>= value`, or in the implicit overflow
+/// bucket past the last bound. `count` and `sum` track all
+/// observations, so the mean survives bucketing.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[u64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds (must be
+    /// strictly increasing and non-empty).
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.into(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Inclusive upper bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; one longer than [`Histogram::bounds`] (last
+    /// entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Back to zero.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of instruments with one snapshot/reset API.
+#[derive(Debug, Default)]
+pub struct Registry {
+    instruments: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl Registry {
+    /// An empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use. Panics if `name` is already a different instrument
+    /// kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::new())))
+        {
+            Instrument::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::new())))
+        {
+            Instrument::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// `bounds` on first use (later calls ignore `bounds`).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Instrument::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// A point-in-time copy of every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        MetricsSnapshot {
+            entries: map
+                .iter()
+                .map(|(name, inst)| {
+                    let value = match inst {
+                        Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                        Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Instrument::Histogram(h) => MetricValue::Histogram {
+                            bounds: h.bounds().to_vec(),
+                            buckets: h.bucket_counts(),
+                            count: h.count(),
+                            sum: h.sum(),
+                        },
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+
+    /// Zeroes every instrument (registrations are kept).
+    pub fn reset(&self) {
+        let map = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        for inst in map.values() {
+            match inst {
+                Instrument::Counter(c) => c.reset(),
+                Instrument::Gauge(g) => g.reset(),
+                Instrument::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+/// The process-global registry most producers publish to.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// One instrument's value in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state: bucket upper bounds, per-bucket counts (one
+    /// extra overflow bucket), observation count, and sum.
+    Histogram {
+        /// Inclusive upper bounds.
+        bounds: Vec<u64>,
+        /// Per-bucket counts; `bounds.len() + 1` entries.
+        buckets: Vec<u64>,
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+    },
+}
+
+/// A point-in-time copy of a [`Registry`], sorted by metric name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in name order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up one entry by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter value by name (`None` if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// JSON object `{name: value, ...}`; histograms expand to an
+    /// object with `bounds`/`buckets`/`count`/`sum` arrays.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            out.push_str("  \"");
+            out.push_str(&escape_json(name));
+            out.push_str("\": ");
+            match value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+                MetricValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"bounds\": {}, \"buckets\": {}, \"count\": {count}, \"sum\": {sum}}}",
+                        json_array(bounds),
+                        json_array(buckets),
+                    ));
+                }
+            }
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push('}');
+        out
+    }
+
+    /// CSV `metric,value` rows; histograms expand to
+    /// `name.count`/`name.sum`/`name.le_<bound>`/`name.le_inf` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => out.push_str(&format!("{name},{v}\n")),
+                MetricValue::Gauge(v) => out.push_str(&format!("{name},{v}\n")),
+                MetricValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    out.push_str(&format!("{name}.count,{count}\n{name}.sum,{sum}\n"));
+                    for (b, n) in bounds.iter().zip(buckets) {
+                        out.push_str(&format!("{name}.le_{b},{n}\n"));
+                    }
+                    out.push_str(&format!("{name}.le_inf,{}\n", buckets[bounds.len()]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Aligned two-column text block for terminal footers
+    /// (histograms render as `count=N sum=S mean=M`).
+    pub fn render(&self) -> String {
+        let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            let v = match value {
+                MetricValue::Counter(v) => v.to_string(),
+                MetricValue::Gauge(v) => v.to_string(),
+                MetricValue::Histogram { count, sum, .. } => {
+                    let mean = if *count == 0 {
+                        0.0
+                    } else {
+                        *sum as f64 / *count as f64
+                    };
+                    format!("count={count} sum={sum} mean={mean:.1}")
+                }
+            };
+            out.push_str(&format!("  {name:<width$}  {v}\n"));
+        }
+        out
+    }
+}
+
+fn json_array(vals: &[u64]) -> String {
+    let inner: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("a.count");
+        c.inc();
+        c.add(4);
+        let g = r.gauge("a.gauge");
+        g.set(-3);
+        g.add(1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.count"), Some(5));
+        assert_eq!(snap.get("a.gauge"), Some(&MetricValue::Gauge(-2)));
+        r.reset();
+        assert_eq!(r.snapshot().counter("a.count"), Some(0));
+    }
+
+    #[test]
+    fn same_name_returns_same_instrument() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        r.counter("x").inc();
+        assert_eq!(r.snapshot().counter("x"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 2, 0, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5122);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.bucket_counts(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn snapshot_sorted_and_exports() {
+        let r = Registry::new();
+        r.counter("z.last").add(7);
+        r.counter("a.first").add(1);
+        r.histogram("m.hist", &[8, 64]).observe(9);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "m.hist", "z.last"]);
+        let json = snap.to_json();
+        assert!(json.contains("\"a.first\": 1"));
+        assert!(json.contains("\"buckets\": [0, 1, 0]"));
+        let csv = snap.to_csv();
+        assert!(csv.starts_with("metric,value\n"));
+        assert!(csv.contains("m.hist.le_8,0\n"));
+        assert!(csv.contains("m.hist.le_64,1\n"));
+        assert!(csv.contains("m.hist.le_inf,0\n"));
+        assert!(csv.contains("z.last,7\n"));
+        let text = snap.render();
+        assert!(text.contains("a.first"));
+        assert!(text.contains("count=1 sum=9 mean=9.0"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().counter("probe.test.global").add(2);
+        assert!(global().snapshot().counter("probe.test.global").unwrap() >= 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Per-pipe stall attribution vocabulary.
+//!
+//! The `sw-isa` interpreter models two in-order issue pipes (P0 =
+//! floating point, P1 = everything else). With probes on, it
+//! classifies **every** simulated cycle of **each** pipe into exactly
+//! one bucket, so for each pipe
+//!
+//! ```text
+//! issue + raw + load_use + pipe_conflict + loop_overhead == total cycles
+//! ```
+//!
+//! holds exactly (enforced by [`StallReport::check`] and pinned by
+//! property tests). The buckets:
+//!
+//! * **issue** — a cycle this pipe issued an instruction;
+//! * **raw** — waiting on an in-flight producer that is *not* a load
+//!   (vmad→vmad dependence chains, integer address arithmetic);
+//! * **load_use** — waiting on an in-flight LDM/mesh load result (the
+//!   4-cycle load-use window §5.3 schedules around);
+//! * **pipe_conflict** — the pipe was free and no operand was
+//!   outstanding, but the in-order front end was blocked elsewhere
+//!   (the other pipe's structural hazard, issue-width limits);
+//! * **loop_overhead** — pipeline refill after a taken branch
+//!   (`BRANCH_TAKEN_PENALTY`), the per-iteration loop tax.
+
+/// Why a pipe did not issue on a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// Read-after-write on a non-load producer.
+    Raw,
+    /// Read-after-write on an in-flight load.
+    LoadUse,
+    /// Front end blocked: structural hazard or issue-width limit.
+    PipeConflict,
+    /// Post-branch refill (taken-branch penalty).
+    LoopOverhead,
+}
+
+impl StallKind {
+    /// All kinds, in table order.
+    pub const ALL: [StallKind; 4] = [
+        StallKind::Raw,
+        StallKind::LoadUse,
+        StallKind::PipeConflict,
+        StallKind::LoopOverhead,
+    ];
+
+    /// Short label for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallKind::Raw => "raw",
+            StallKind::LoadUse => "load-use",
+            StallKind::PipeConflict => "pipe-conflict",
+            StallKind::LoopOverhead => "loop-overhead",
+        }
+    }
+}
+
+/// Cycle accounting for one issue pipe over a full run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipeBreakdown {
+    /// Cycles this pipe issued an instruction.
+    pub issue: u64,
+    /// Cycles stalled on a non-load RAW dependence.
+    pub raw: u64,
+    /// Cycles stalled on an in-flight load result.
+    pub load_use: u64,
+    /// Cycles idle behind the in-order front end.
+    pub pipe_conflict: u64,
+    /// Cycles refilling after taken branches.
+    pub loop_overhead: u64,
+}
+
+impl PipeBreakdown {
+    /// Adds `n` cycles to the `kind` bucket.
+    #[inline]
+    pub fn add(&mut self, kind: StallKind, n: u64) {
+        match kind {
+            StallKind::Raw => self.raw += n,
+            StallKind::LoadUse => self.load_use += n,
+            StallKind::PipeConflict => self.pipe_conflict += n,
+            StallKind::LoopOverhead => self.loop_overhead += n,
+        }
+    }
+
+    /// The `kind` bucket's value.
+    pub fn get(&self, kind: StallKind) -> u64 {
+        match kind {
+            StallKind::Raw => self.raw,
+            StallKind::LoadUse => self.load_use,
+            StallKind::PipeConflict => self.pipe_conflict,
+            StallKind::LoopOverhead => self.loop_overhead,
+        }
+    }
+
+    /// Non-issue cycles.
+    pub fn stalls(&self) -> u64 {
+        self.raw + self.load_use + self.pipe_conflict + self.loop_overhead
+    }
+
+    /// All attributed cycles; equals the run's total cycle count when
+    /// the attribution is consistent.
+    pub fn total(&self) -> u64 {
+        self.issue + self.stalls()
+    }
+}
+
+/// Full-run attribution: one [`PipeBreakdown`] per pipe plus the
+/// executor's total cycle count they must both sum to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallReport {
+    /// Index 0 = P0 (floating point), index 1 = P1.
+    pub pipes: [PipeBreakdown; 2],
+    /// Total simulated cycles of the run (`ExecReport::cycles`).
+    pub cycles: u64,
+}
+
+impl StallReport {
+    /// Stall cycles summed over both pipes and all kinds.
+    pub fn stall_cycles(&self) -> u64 {
+        self.pipes[0].stalls() + self.pipes[1].stalls()
+    }
+
+    /// Sum of one kind over both pipes.
+    pub fn kind_cycles(&self, kind: StallKind) -> u64 {
+        self.pipes[0].get(kind) + self.pipes[1].get(kind)
+    }
+
+    /// Issue-slot cycles summed over both pipes (a dual-issue cycle
+    /// counts once per pipe, so this equals the instruction count).
+    pub fn issue_cycles(&self) -> u64 {
+        self.pipes[0].issue + self.pipes[1].issue
+    }
+
+    /// Verifies the defining invariant: each pipe's buckets sum
+    /// exactly to `cycles`.
+    pub fn check(&self) -> Result<(), String> {
+        for (i, p) in self.pipes.iter().enumerate() {
+            if p.total() != self.cycles {
+                return Err(format!(
+                    "pipe P{i} attribution {} != total cycles {} ({p:?})",
+                    p.total(),
+                    self.cycles
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_sum_to_total() {
+        let mut p = PipeBreakdown {
+            issue: 10,
+            ..Default::default()
+        };
+        p.add(StallKind::Raw, 5);
+        p.add(StallKind::LoadUse, 4);
+        p.add(StallKind::PipeConflict, 3);
+        p.add(StallKind::LoopOverhead, 2);
+        assert_eq!(p.stalls(), 14);
+        assert_eq!(p.total(), 24);
+        for k in StallKind::ALL {
+            assert!(p.get(k) > 0);
+        }
+    }
+
+    #[test]
+    fn check_enforces_invariant() {
+        let mut r = StallReport {
+            cycles: 24,
+            ..Default::default()
+        };
+        r.pipes[0].issue = 10;
+        r.pipes[0].raw = 14;
+        r.pipes[1].pipe_conflict = 24;
+        assert!(r.check().is_ok());
+        assert_eq!(r.stall_cycles(), 38);
+        assert_eq!(r.kind_cycles(StallKind::Raw), 14);
+        assert_eq!(r.issue_cycles(), 10);
+        r.cycles = 25;
+        assert!(r.check().is_err());
+    }
+
+    #[test]
+    fn kind_names_stable() {
+        let names: Vec<&str> = StallKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["raw", "load-use", "pipe-conflict", "loop-overhead"]
+        );
+    }
+}

@@ -1,0 +1,567 @@
+//! Simulated-time event tracer.
+//!
+//! Producers emit *spans* — named intervals stamped in simulated
+//! cycles — onto *tracks* (one per CPE, DMA engine, or mesh link).
+//! A [`Tracer`] is a cheap cloneable handle; the disabled tracer is a
+//! `None` behind a single branch, so instrumented code pays one
+//! well-predicted compare per probe site when tracing is off.
+//!
+//! Collected [`TraceData`] exports to the Chrome trace-event JSON
+//! format (`{"traceEvents": [...]}` with `B`/`E` duration pairs),
+//! which Perfetto and `chrome://tracing` load directly. Timestamps are
+//! raw simulated cycles written as integers — deterministic and
+//! byte-stable — with one Perfetto "microsecond" standing in for one
+//! CPE cycle (1.45 GHz; wall time is a simulator output, not an event
+//! clock). Processes group tracks: each distinct process name becomes
+//! a `pid`, each track a `tid` with a `thread_name` metadata record.
+
+use crate::metrics::escape_json;
+use std::sync::{Arc, Mutex};
+
+/// Identifier of a track inside one [`Tracer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackId(u32);
+
+/// Sentinel returned by a disabled tracer; spans sent to it are
+/// dropped at the `is_enabled` branch before it is ever read.
+const NO_TRACK: TrackId = TrackId(u32::MAX);
+
+/// One timeline (a Perfetto "thread"): a process group plus a name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Track {
+    /// Grouping name (Perfetto process), e.g. `"timing-dag"`,
+    /// `"cpe-dma"`, `"mesh"`.
+    pub process: &'static str,
+    /// Track name (Perfetto thread), e.g. `"CPE (3,5)"`.
+    pub name: String,
+}
+
+/// One simulated-time interval on a track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The track this span lives on.
+    pub track: TrackId,
+    /// Event category (Chrome `cat`), e.g. `"dma"`, `"compute"`.
+    pub cat: &'static str,
+    /// Event name, e.g. `"load A"`, `"pe.get"`.
+    pub name: &'static str,
+    /// Simulated start cycle.
+    pub start: u64,
+    /// Simulated end cycle (`>= start`).
+    pub end: u64,
+    /// Extra key/value payload (Chrome `args`), e.g. `("bytes", n)`.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    tracks: Vec<Track>,
+    spans: Vec<Span>,
+}
+
+/// Cheap cloneable handle to a span collector; disabled by default.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<TraceState>>>,
+}
+
+impl Tracer {
+    /// A tracer that drops everything (the near-free default).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// A tracer that collects spans for later [`Tracer::take`].
+    pub fn enabled() -> Self {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(TraceState::default()))),
+        }
+    }
+
+    /// The one branch every probe site pays when tracing is off.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers a track; on a disabled tracer this returns a
+    /// sentinel id that later spans silently drop.
+    pub fn track(&self, process: &'static str, name: impl Into<String>) -> TrackId {
+        match &self.inner {
+            None => NO_TRACK,
+            Some(inner) => {
+                let mut st = inner.lock().unwrap_or_else(|e| e.into_inner());
+                let id = TrackId(st.tracks.len() as u32);
+                st.tracks.push(Track {
+                    process,
+                    name: name.into(),
+                });
+                id
+            }
+        }
+    }
+
+    /// Emits a span with no payload.
+    #[inline]
+    pub fn span(
+        &self,
+        track: TrackId,
+        cat: &'static str,
+        name: &'static str,
+        start: u64,
+        end: u64,
+    ) {
+        if self.is_enabled() {
+            self.push(track, cat, name, start, end, &[]);
+        }
+    }
+
+    /// Emits a span with a key/value payload.
+    #[inline]
+    pub fn span_args(
+        &self,
+        track: TrackId,
+        cat: &'static str,
+        name: &'static str,
+        start: u64,
+        end: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        if self.is_enabled() {
+            self.push(track, cat, name, start, end, args);
+        }
+    }
+
+    fn push(
+        &self,
+        track: TrackId,
+        cat: &'static str,
+        name: &'static str,
+        start: u64,
+        end: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        debug_assert!(end >= start, "span {name:?} ends before it starts");
+        let inner = self.inner.as_ref().expect("checked by caller");
+        let mut st = inner.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(
+            (track.0 as usize) < st.tracks.len(),
+            "span {name:?} on unregistered track"
+        );
+        st.spans.push(Span {
+            track,
+            cat,
+            name,
+            start,
+            end,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Drains everything collected so far (tracks are kept registered
+    /// so the handle stays usable).
+    pub fn take(&self) -> TraceData {
+        match &self.inner {
+            None => TraceData::default(),
+            Some(inner) => {
+                let mut st = inner.lock().unwrap_or_else(|e| e.into_inner());
+                TraceData {
+                    tracks: st.tracks.clone(),
+                    spans: std::mem::take(&mut st.spans),
+                }
+            }
+        }
+    }
+}
+
+/// The tracks and spans drained from a [`Tracer`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    /// Registered tracks, indexed by [`TrackId`].
+    pub tracks: Vec<Track>,
+    /// Collected spans in emission order.
+    pub spans: Vec<Span>,
+}
+
+impl TraceData {
+    /// True when nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Largest span end cycle (0 when empty).
+    pub fn max_cycle(&self) -> u64 {
+        self.spans.iter().map(|s| s.end).max().unwrap_or(0)
+    }
+
+    /// Serializes to Chrome trace-event JSON.
+    ///
+    /// Deterministic and byte-stable for a given trace: metadata
+    /// records first, then all duration events sorted by `(ts, phase,
+    /// pid, tid)` with `E` before `B` at equal timestamps (so
+    /// back-to-back spans on one track close before the next opens).
+    /// Zero-length spans become instant (`i`) events. `ts` is in raw
+    /// simulated cycles.
+    pub fn to_chrome_json(&self) -> String {
+        // Map each distinct process name (in track order) to a pid,
+        // and each track to a tid within its process.
+        let mut processes: Vec<&'static str> = Vec::new();
+        let mut track_ids: Vec<(u32, u32)> = Vec::new(); // (pid, tid) per track
+        for t in &self.tracks {
+            let pid = match processes.iter().position(|&p| p == t.process) {
+                Some(i) => i,
+                None => {
+                    processes.push(t.process);
+                    processes.len() - 1
+                }
+            } as u32
+                + 1;
+            let tid = track_ids.iter().filter(|&&(p, _)| p == pid).count() as u32 + 1;
+            track_ids.push((pid, tid));
+        }
+
+        let mut out = String::from("{\"traceEvents\": [\n");
+        let mut first = true;
+        let mut emit = |line: String, out: &mut String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("  ");
+            out.push_str(&line);
+        };
+
+        for (i, p) in processes.iter().enumerate() {
+            emit(
+                format!(
+                    "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {}, \"tid\": 0, \"args\": {{\"name\": \"{}\"}}}}",
+                    i + 1,
+                    escape_json(p)
+                ),
+                &mut out,
+            );
+        }
+        for (t, &(pid, tid)) in self.tracks.iter().zip(&track_ids) {
+            emit(
+                format!(
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \"args\": {{\"name\": \"{}\"}}}}",
+                    escape_json(&t.name)
+                ),
+                &mut out,
+            );
+        }
+
+        // (ts, phase-rank, pid, tid, seq, text). Rank orders E < i < B
+        // at equal timestamps.
+        let mut events: Vec<(u64, u8, u32, u32, usize, String)> = Vec::new();
+        for (seq, s) in self.spans.iter().enumerate() {
+            let (pid, tid) = track_ids[s.track.0 as usize];
+            let head = format!(
+                "\"name\": \"{}\", \"cat\": \"{}\", \"pid\": {pid}, \"tid\": {tid}",
+                escape_json(s.name),
+                escape_json(s.cat)
+            );
+            let args = if s.args.is_empty() {
+                String::new()
+            } else {
+                let kv: Vec<String> = s
+                    .args
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\": {v}", escape_json(k)))
+                    .collect();
+                format!(", \"args\": {{{}}}", kv.join(", "))
+            };
+            if s.start == s.end {
+                events.push((
+                    s.start,
+                    1,
+                    pid,
+                    tid,
+                    seq,
+                    format!(
+                        "{{{head}, \"ph\": \"i\", \"ts\": {}, \"s\": \"t\"{args}}}",
+                        s.start
+                    ),
+                ));
+            } else {
+                events.push((
+                    s.start,
+                    2,
+                    pid,
+                    tid,
+                    seq,
+                    format!("{{{head}, \"ph\": \"B\", \"ts\": {}{args}}}", s.start),
+                ));
+                events.push((
+                    s.end,
+                    0,
+                    pid,
+                    tid,
+                    seq,
+                    format!("{{{head}, \"ph\": \"E\", \"ts\": {}}}", s.end),
+                ));
+            }
+        }
+        events.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+                .then(a.3.cmp(&b.3))
+                .then(a.4.cmp(&b.4))
+        });
+        for (_, _, _, _, _, text) in events {
+            emit(text, &mut out);
+        }
+        out.push_str("\n], \"displayTimeUnit\": \"ns\", \"otherData\": {\"clock\": \"simulated cycles @ 1.45 GHz (1 us = 1 cycle)\"}}\n");
+        out
+    }
+}
+
+/// Summary returned by a successful [`validate_chrome_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Total events, metadata included.
+    pub events: usize,
+    /// Completed `B`/`E` pairs.
+    pub pairs: usize,
+}
+
+/// Checks that `json` is structurally valid Chrome trace-event JSON:
+/// a `traceEvents` array whose events carry the required keys
+/// (`ph`, `pid`, `tid`, and `ts` + `name` on duration events), with
+/// `ts` monotonically non-decreasing over the file and every `B`
+/// matched by an `E` on the same `(pid, tid)` stack.
+///
+/// This is a schema check over the exporter's output shape (one event
+/// object per `{...}` group), not a general JSON parser.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceSummary, String> {
+    let start = json
+        .find("\"traceEvents\"")
+        .ok_or("missing \"traceEvents\" key")?;
+    let open = json[start..].find('[').ok_or("missing traceEvents array")? + start;
+    let body = &json[open + 1..];
+
+    let mut events = 0usize;
+    let mut pairs = 0usize;
+    let mut last_ts: Option<u64> = None;
+    // Open-span depth per (pid, tid).
+    let mut open_spans: Vec<((u64, u64), usize)> = Vec::new();
+
+    let mut rest = body;
+    while let Some(obj_start) = rest.find('{') {
+        // The array closes before the next object starts.
+        if rest[..obj_start].contains(']') {
+            break;
+        }
+        let obj_end = match object_end(&rest[obj_start..]) {
+            Some(n) => obj_start + n,
+            None => return Err("unterminated event object".into()),
+        };
+        let obj = &rest[obj_start..=obj_end];
+        events += 1;
+
+        let ph = str_field(obj, "ph").ok_or_else(|| format!("event missing \"ph\": {obj}"))?;
+        let pid = num_field(obj, "pid").ok_or_else(|| format!("event missing \"pid\": {obj}"))?;
+        let tid = num_field(obj, "tid").ok_or_else(|| format!("event missing \"tid\": {obj}"))?;
+        if str_field(obj, "name").is_none() {
+            return Err(format!("event missing \"name\": {obj}"));
+        }
+        if ph != "M" {
+            let ts = num_field(obj, "ts").ok_or_else(|| format!("event missing \"ts\": {obj}"))?;
+            if let Some(prev) = last_ts {
+                if ts < prev {
+                    return Err(format!("ts went backwards: {prev} -> {ts} at {obj}"));
+                }
+            }
+            last_ts = Some(ts);
+            let key = (pid, tid);
+            match ph.as_str() {
+                "B" => match open_spans.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, depth)) => *depth += 1,
+                    None => open_spans.push((key, 1)),
+                },
+                "E" => {
+                    let slot = open_spans
+                        .iter_mut()
+                        .find(|(k, _)| *k == key)
+                        .filter(|(_, depth)| *depth > 0)
+                        .ok_or_else(|| {
+                            format!("\"E\" without open \"B\" on pid={pid} tid={tid}")
+                        })?;
+                    slot.1 -= 1;
+                    pairs += 1;
+                }
+                "i" | "X" => {}
+                other => return Err(format!("unsupported phase {other:?}")),
+            }
+        }
+        rest = &rest[obj_end + 1..];
+    }
+
+    if let Some(((pid, tid), depth)) = open_spans.iter().find(|(_, d)| *d > 0) {
+        return Err(format!(
+            "{depth} unmatched \"B\" event(s) on pid={pid} tid={tid}"
+        ));
+    }
+    Ok(ChromeTraceSummary { events, pairs })
+}
+
+/// Byte offset of the `}` closing the object that starts at `s[0]`
+/// (which must be `{`), respecting nesting and strings.
+fn object_end(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_str {
+            match b {
+                _ if escaped => escaped = false,
+                b'\\' => escaped = true,
+                b'"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Value of a `"key": "string"` field in a flat-ish JSON object.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = &obj[at..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Value of a `"key": 123` field in a flat-ish JSON object.
+fn num_field(obj: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let at = obj.find(&pat)? + pat.len();
+    let digits: String = obj[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_empty_and_cheap() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let tr = t.track("p", "x");
+        t.span(tr, "c", "n", 0, 10);
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn spans_collect_and_drain() {
+        let t = Tracer::enabled();
+        let tr = t.track("proc", "track0");
+        t.span_args(tr, "dma", "load", 0, 100, &[("bytes", 4096)]);
+        t.span(tr, "dma", "store", 100, 150);
+        let data = t.take();
+        assert_eq!(data.tracks.len(), 1);
+        assert_eq!(data.spans.len(), 2);
+        assert_eq!(data.max_cycle(), 150);
+        assert_eq!(data.spans[0].args, vec![("bytes", 4096)]);
+        // Drained; handle still usable.
+        assert!(t.take().is_empty());
+        t.span(tr, "dma", "more", 150, 160);
+        assert_eq!(t.take().spans.len(), 1);
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_ordered() {
+        let t = Tracer::enabled();
+        let a = t.track("timing-dag", "DMA");
+        let b = t.track("timing-dag", "CPEs");
+        let c = t.track("mesh", "row 0");
+        // Emit out of order; back-to-back on one track; zero-length.
+        t.span(b, "compute", "k0", 100, 400);
+        t.span(a, "dma", "load0", 0, 100);
+        t.span(a, "dma", "load1", 100, 200);
+        t.span(c, "mesh", "bcast", 150, 150);
+        let json = t.take().to_chrome_json();
+        let summary = validate_chrome_trace(&json).expect("valid trace");
+        // 2 process_name + 3 thread_name + 3 B/E pairs + 1 instant.
+        assert_eq!(summary.events, 2 + 3 + 6 + 1);
+        assert_eq!(summary.pairs, 3);
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"ph\": \"i\""));
+        // E of load0 at ts=100 must precede B of load1 at ts=100.
+        let e = json
+            .find("\"name\": \"load0\", \"cat\": \"dma\", \"pid\": 1, \"tid\": 1, \"ph\": \"E\"")
+            .unwrap();
+        let b1 = json.find("\"name\": \"load1\"").unwrap();
+        assert!(e < b1, "close before reopen at a shared boundary");
+    }
+
+    #[test]
+    fn determinism_same_trace_same_bytes() {
+        let build = || {
+            let t = Tracer::enabled();
+            let a = t.track("p", "t1");
+            let b = t.track("q", "t2");
+            t.span_args(a, "c", "x", 5, 9, &[("bytes", 1), ("run", 2)]);
+            t.span(b, "c", "y", 0, 5);
+            t.take().to_chrome_json()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn validator_rejects_backwards_ts() {
+        let bad = r#"{"traceEvents": [
+  {"name": "a", "cat": "c", "pid": 1, "tid": 1, "ph": "B", "ts": 10},
+  {"name": "a", "cat": "c", "pid": 1, "tid": 1, "ph": "E", "ts": 5}
+]}"#;
+        assert!(validate_chrome_trace(bad)
+            .unwrap_err()
+            .contains("backwards"));
+    }
+
+    #[test]
+    fn validator_rejects_unmatched_b() {
+        let bad = r#"{"traceEvents": [
+  {"name": "a", "cat": "c", "pid": 1, "tid": 1, "ph": "B", "ts": 10}
+]}"#;
+        assert!(validate_chrome_trace(bad)
+            .unwrap_err()
+            .contains("unmatched"));
+    }
+
+    #[test]
+    fn validator_rejects_missing_keys() {
+        let bad = r#"{"traceEvents": [
+  {"name": "a", "cat": "c", "pid": 1, "ph": "B", "ts": 10}
+]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("tid"));
+    }
+}

@@ -17,9 +17,15 @@ use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 use sw_arch::coord::{Coord, MESH_ROWS, N_CPES};
 use sw_isa::{CommPort, ExecReport, Instr, Machine};
-use sw_mem::dma::{self, MatRegion, Receipt};
+use sw_mem::dma::{self, BandwidthModel, MatRegion, Receipt};
 use sw_mem::{Ldm, LdmBuf, MainMemory, MemError};
 use sw_mesh::{Mesh, MeshPort};
+use sw_probe::metrics::Histogram;
+use sw_probe::trace::{Tracer, TrackId};
+
+/// Bucket bounds of the `sim.dma.bytes_per_descriptor` histogram (the
+/// DMA-granularity distribution; 128 B is one transaction).
+const DESC_BYTES_BUCKETS: [u64; 6] = [128, 512, 2048, 8192, 32768, 131072];
 
 /// One core group: shared main memory plus the machinery to launch
 /// 64-thread functional runs.
@@ -29,6 +35,10 @@ pub struct CoreGroup {
     mesh_timeout: std::time::Duration,
     /// Persistent CPE workers, spawned on first use.
     pool: Option<CpePool>,
+    /// Simulated-time span sink; disabled (near-free) by default.
+    tracer: Tracer,
+    /// Charges simulated durations to traced DMA operations.
+    model: BandwidthModel,
 }
 
 impl Default for CoreGroup {
@@ -44,16 +54,26 @@ impl CoreGroup {
             mem: MainMemory::new(),
             mesh_timeout: std::time::Duration::from_secs(10),
             pool: None,
+            tracer: Tracer::disabled(),
+            model: BandwidthModel::calibrated(),
         }
     }
 
     /// Shortens the mesh deadlock fuse (tests of failure paths).
     pub fn with_mesh_timeout(timeout: std::time::Duration) -> Self {
-        CoreGroup {
-            mem: MainMemory::new(),
-            mesh_timeout: timeout,
-            pool: None,
-        }
+        let mut cg = Self::new();
+        cg.mesh_timeout = timeout;
+        cg
+    }
+
+    /// Attaches a simulated-time tracer to subsequent runs: each CPE
+    /// gets its own track (process `"cpe-dma"`) carrying its DMA and
+    /// kernel spans, each mesh link its own (process `"mesh"`). Span
+    /// durations come from the calibrated [`BandwidthModel`] for DMA
+    /// and the pipeline model's cycle report for kernels. Pass
+    /// [`Tracer::disabled`] to turn tracing back off.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Runs `f` on all 64 CPE threads (SPMD), returning traffic
@@ -64,6 +84,15 @@ impl CoreGroup {
     {
         let pool = self.pool.get_or_insert_with(|| CpePool::new(N_CPES));
         let mesh = Mesh::with_timeout(self.mesh_timeout);
+        mesh.set_tracer(&self.tracer);
+        // One trace track per CPE; sentinel ids when tracing is off.
+        let tracks: Vec<TrackId> = (0..N_CPES)
+            .map(|i| {
+                let c = Coord::from_id(i);
+                self.tracer
+                    .track("cpe-dma", format!("CPE ({},{})", c.row, c.col))
+            })
+            .collect();
         // Each worker takes exclusive ownership of its port for the run.
         let ports: Vec<Mutex<Option<MeshPort>>> = mesh
             .ports()
@@ -73,8 +102,12 @@ impl CoreGroup {
         let barrier = Barrier::new(N_CPES);
         let row_barriers: Vec<Barrier> = (0..MESH_ROWS).map(|_| Barrier::new(8)).collect();
         let counters = DmaCounters::default();
+        let bytes_hist = sw_probe::metrics::global()
+            .histogram("sim.dma.bytes_per_descriptor", &DESC_BYTES_BUCKETS);
         let start = Instant::now();
         let mem = &self.mem;
+        let tracer = &self.tracer;
+        let model = &self.model;
         pool.run(&|i: usize| {
             let port = ports[i]
                 .lock()
@@ -89,14 +122,21 @@ impl CoreGroup {
                 barrier: &barrier,
                 row_barriers: &row_barriers,
                 counters: &counters,
+                bytes_hist: &bytes_hist,
+                tracer,
+                track: tracks[i],
+                model,
+                clock: 0,
             };
             f(&mut ctx);
         });
-        RunStats {
+        let stats = RunStats {
             dma: counters.snapshot(),
             mesh: mesh.stats(),
             wall: start.elapsed(),
-        }
+        };
+        stats.publish(sw_probe::metrics::global());
+        stats
     }
 }
 
@@ -111,9 +151,36 @@ pub struct CpeCtx<'a> {
     barrier: &'a Barrier,
     row_barriers: &'a [Barrier],
     counters: &'a DmaCounters,
+    bytes_hist: &'a Histogram,
+    tracer: &'a Tracer,
+    track: TrackId,
+    model: &'a BandwidthModel,
+    /// This CPE's simulated-time cursor: DMA and kernel spans advance
+    /// it by their modelled duration, giving every CPE a consistent
+    /// private timeline (resource contention between CPEs is the
+    /// timing DAG's job, not the functional runtime's).
+    clock: u64,
 }
 
 impl<'a> CpeCtx<'a> {
+    /// Counts a completed DMA receipt and, when tracing, charges it to
+    /// this CPE's timeline.
+    fn note_dma(&mut self, name: &'static str, r: &Receipt) {
+        self.counters.record(r.mode, r.bytes_cpe as u64);
+        self.bytes_hist.observe(r.bytes_cpe as u64);
+        if self.tracer.is_enabled() {
+            let t0 = self.clock;
+            self.clock = t0 + self.model.receipt_cycles(r);
+            self.tracer.span_args(
+                self.track,
+                "dma",
+                name,
+                t0,
+                self.clock,
+                &[("bytes", r.bytes_cpe as u64)],
+            );
+        }
+    }
     /// Barrier over all 64 CPEs (the `sync` of Algorithms 1–2).
     pub fn sync_all(&self) {
         self.barrier.wait();
@@ -128,21 +195,21 @@ impl<'a> CpeCtx<'a> {
     /// `PE_MODE` get into `buf`.
     pub fn dma_pe_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
         let r = dma::pe_get(self.mem, region, &mut self.ldm, buf)?;
-        self.counters.record(r.mode, r.bytes_cpe as u64);
+        self.note_dma("pe.get", &r);
         Ok(r)
     }
 
     /// `PE_MODE` put from `buf`.
     pub fn dma_pe_put(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
         let r = dma::pe_put(self.mem, region, &self.ldm, buf)?;
-        self.counters.record(r.mode, r.bytes_cpe as u64);
+        self.note_dma("pe.put", &r);
         Ok(r)
     }
 
     /// `BCAST_MODE` get (all 64 CPEs call this with the same region).
     pub fn dma_bcast_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
         let r = dma::bcast_get(self.mem, region, &mut self.ldm, buf)?;
-        self.counters.record(r.mode, r.bytes_cpe as u64);
+        self.note_dma("bcast.get", &r);
         Ok(r)
     }
 
@@ -157,7 +224,7 @@ impl<'a> CpeCtx<'a> {
             &mut self.ldm,
             buf,
         )?;
-        self.counters.record(r.mode, r.bytes_cpe as u64);
+        self.note_dma("row.get", &r);
         Ok(r)
     }
 
@@ -165,7 +232,7 @@ impl<'a> CpeCtx<'a> {
     pub fn dma_row_put(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
         self.sync_row();
         let r = dma::row_put(self.mem, region, self.coord.col as usize, &self.ldm, buf)?;
-        self.counters.record(r.mode, r.bytes_cpe as u64);
+        self.note_dma("row.put", &r);
         Ok(r)
     }
 
@@ -173,7 +240,7 @@ impl<'a> CpeCtx<'a> {
     pub fn dma_brow_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
         self.sync_row();
         let r = dma::brow_get(self.mem, region, &mut self.ldm, buf)?;
-        self.counters.record(r.mode, r.bytes_cpe as u64);
+        self.note_dma("brow.get", &r);
         Ok(r)
     }
 
@@ -181,7 +248,7 @@ impl<'a> CpeCtx<'a> {
     /// shares).
     pub fn dma_rank_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
         let r = dma::rank_get(self.mem, region, self.coord.id(), &mut self.ldm, buf)?;
-        self.counters.record(r.mode, r.bytes_cpe as u64);
+        self.note_dma("rank.get", &r);
         Ok(r)
     }
 
@@ -194,7 +261,20 @@ impl<'a> CpeCtx<'a> {
     /// port, returning the executor's cycle report.
     pub fn run_kernel(&mut self, prog: &[Instr]) -> ExecReport {
         let mut comm = MeshComm(&self.port);
-        Machine::new(self.ldm.raw_mut(), &mut comm).run(prog)
+        let report = Machine::new(self.ldm.raw_mut(), &mut comm).run(prog);
+        if self.tracer.is_enabled() {
+            let t0 = self.clock;
+            self.clock = t0 + report.cycles;
+            self.tracer.span_args(
+                self.track,
+                "compute",
+                "kernel",
+                t0,
+                self.clock,
+                &[("instructions", report.instructions)],
+            );
+        }
+        report
     }
 }
 

@@ -27,4 +27,5 @@ pub mod timing;
 
 pub use core_group::{CoreGroup, CpeCtx};
 pub use stats::{DmaTotals, RunStats};
-pub use timing::{Dag, Resource, TaskId, TimingResult};
+pub use sw_probe::trace::{TraceData, Tracer};
+pub use timing::{Dag, Resource, TaskId, TaskTrace, TimingResult};

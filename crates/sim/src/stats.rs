@@ -1,12 +1,25 @@
 //! Run statistics of the functional simulator.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use sw_mem::dma::DmaMode;
 use sw_mesh::MeshStats;
+use sw_probe::metrics::{Counter, Registry};
 
-/// Bytes and descriptor counts per DMA mode (totals over the transfer,
-/// not per CPE — a ROW collective counts once).
+/// Bytes and descriptor counts per DMA mode, accumulated **per CPE**:
+/// every participating CPE contributes its own `bytes_cpe` share and
+/// one descriptor per call, because in this runtime each CPE issues its
+/// own request (there is no MPE-side collective descriptor).
+///
+/// Consequences worth spelling out, since they differ per mode:
+///
+/// * a `ROW_MODE` collective contributes **8 descriptors**, and its
+///   byte shares partition the region — the region's bytes are counted
+///   once in total;
+/// * a `BCAST_MODE` get contributes **64 descriptors** and counts the
+///   region's bytes 64× (one full copy lands in every LDM), which is
+///   exactly the replicated traffic the mode costs;
+/// * `RANK_MODE` contributes 64 descriptors whose shares partition the
+///   region, `BROW_MODE` 8 descriptors of one full copy each.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DmaTotals {
     /// Bytes moved in `PE_MODE`.
@@ -19,8 +32,8 @@ pub struct DmaTotals {
     pub brow_bytes: u64,
     /// Bytes moved in `RANK_MODE`.
     pub rank_bytes: u64,
-    /// Descriptors issued (collectives count once per participating
-    /// CPE here, since each CPE issues its own request in our model).
+    /// Descriptors issued, one per participating CPE per call (see the
+    /// struct docs — a ROW collective counts 8, a BCAST 64).
     pub descriptors: u64,
 }
 
@@ -29,17 +42,30 @@ impl DmaTotals {
     pub fn total_bytes(&self) -> u64 {
         self.pe_bytes + self.bcast_bytes + self.row_bytes + self.brow_bytes + self.rank_bytes
     }
+
+    /// Accumulates this snapshot into `reg` under `sim.dma.*`.
+    pub fn publish(&self, reg: &Registry) {
+        reg.counter("sim.dma.pe.bytes").add(self.pe_bytes);
+        reg.counter("sim.dma.bcast.bytes").add(self.bcast_bytes);
+        reg.counter("sim.dma.row.bytes").add(self.row_bytes);
+        reg.counter("sim.dma.brow.bytes").add(self.brow_bytes);
+        reg.counter("sim.dma.rank.bytes").add(self.rank_bytes);
+        reg.counter("sim.dma.descriptors").add(self.descriptors);
+    }
 }
 
-/// Atomic accumulation behind [`DmaTotals`].
+/// Atomic accumulation behind [`DmaTotals`], on the probe crate's
+/// counters. [`DmaCounters::record`] is called once per CPE per DMA
+/// call with that CPE's receipt — the per-CPE accounting the
+/// [`DmaTotals`] docs describe is established here, not downstream.
 #[derive(Debug, Default)]
 pub(crate) struct DmaCounters {
-    pe: AtomicU64,
-    bcast: AtomicU64,
-    row: AtomicU64,
-    brow: AtomicU64,
-    rank: AtomicU64,
-    descriptors: AtomicU64,
+    pe: Counter,
+    bcast: Counter,
+    row: Counter,
+    brow: Counter,
+    rank: Counter,
+    descriptors: Counter,
 }
 
 impl DmaCounters {
@@ -51,18 +77,18 @@ impl DmaCounters {
             DmaMode::Brow => &self.brow,
             DmaMode::Rank => &self.rank,
         };
-        ctr.fetch_add(bytes_cpe, Ordering::Relaxed);
-        self.descriptors.fetch_add(1, Ordering::Relaxed);
+        ctr.add(bytes_cpe);
+        self.descriptors.inc();
     }
 
     pub fn snapshot(&self) -> DmaTotals {
         DmaTotals {
-            pe_bytes: self.pe.load(Ordering::Relaxed),
-            bcast_bytes: self.bcast.load(Ordering::Relaxed),
-            row_bytes: self.row.load(Ordering::Relaxed),
-            brow_bytes: self.brow.load(Ordering::Relaxed),
-            rank_bytes: self.rank.load(Ordering::Relaxed),
-            descriptors: self.descriptors.load(Ordering::Relaxed),
+            pe_bytes: self.pe.get(),
+            bcast_bytes: self.bcast.get(),
+            row_bytes: self.row.get(),
+            brow_bytes: self.brow.get(),
+            rank_bytes: self.rank.get(),
+            descriptors: self.descriptors.get(),
         }
     }
 }
@@ -76,6 +102,17 @@ pub struct RunStats {
     pub mesh: MeshStats,
     /// Host wall-clock time of the simulated run (not simulated time).
     pub wall: Duration,
+}
+
+impl RunStats {
+    /// Accumulates the run's traffic into `reg` (`sim.dma.*`,
+    /// `sim.mesh.*`, and a `sim.runs` tally). [`crate::CoreGroup::run`]
+    /// does this against the global registry after every run.
+    pub fn publish(&self, reg: &Registry) {
+        self.dma.publish(reg);
+        self.mesh.publish(reg);
+        reg.counter("sim.runs").inc();
+    }
 }
 
 #[cfg(test)]
@@ -93,5 +130,54 @@ mod tests {
         assert_eq!(s.row_bytes, 16);
         assert_eq!(s.descriptors, 3);
         assert_eq!(s.total_bytes(), 144);
+    }
+
+    #[test]
+    fn collective_accounting_is_per_cpe() {
+        // Pins the documented semantics: a ROW collective over a
+        // 512-byte region is recorded by each of its 8 CPEs with a
+        // 64-byte share — 8 descriptors, region bytes once — while a
+        // BCAST of the same region is recorded by all 64 CPEs with the
+        // full 512 bytes — 64 descriptors, bytes 64×.
+        let c = DmaCounters::default();
+        for _ in 0..8 {
+            c.record(DmaMode::Row, 512 / 8);
+        }
+        let s = c.snapshot();
+        assert_eq!(s.descriptors, 8, "ROW collective must count 8 descriptors");
+        assert_eq!(s.row_bytes, 512, "ROW byte shares partition the region");
+
+        let c = DmaCounters::default();
+        for _ in 0..64 {
+            c.record(DmaMode::Bcast, 512);
+        }
+        let s = c.snapshot();
+        assert_eq!(s.descriptors, 64, "BCAST must count 64 descriptors");
+        assert_eq!(s.bcast_bytes, 64 * 512, "BCAST counts every delivered copy");
+    }
+
+    #[test]
+    fn publish_accumulates_into_registry() {
+        let reg = Registry::new();
+        let stats = RunStats {
+            dma: DmaTotals {
+                pe_bytes: 1024,
+                row_bytes: 512,
+                descriptors: 72,
+                ..DmaTotals::default()
+            },
+            mesh: MeshStats {
+                row_words_sent: 7,
+                ..MeshStats::default()
+            },
+            wall: Duration::ZERO,
+        };
+        stats.publish(&reg);
+        stats.publish(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sim.dma.pe.bytes"), Some(2048));
+        assert_eq!(snap.counter("sim.dma.descriptors"), Some(144));
+        assert_eq!(snap.counter("sim.mesh.row.words_sent"), Some(14));
+        assert_eq!(snap.counter("sim.runs"), Some(2));
     }
 }

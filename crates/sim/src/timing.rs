@@ -19,6 +19,7 @@
 //! a formula.
 
 use sw_arch::time::{cycles_to_secs, Cycles};
+use sw_probe::trace::Tracer;
 
 /// Identifier of a task inside one [`Dag`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -152,6 +153,29 @@ impl Dag {
             });
         }
         (result, out)
+    }
+
+    /// Schedules the DAG and emits the timeline onto `tracer` — one
+    /// span per task on one track per resource (process `"timing-dag"`,
+    /// categories `"dma"` / `"compute"` / `"sync"`). Returns what
+    /// [`Dag::trace`] returns; with a disabled tracer it *is*
+    /// [`Dag::trace`] plus one branch.
+    pub fn emit_trace(&self, tracer: &Tracer) -> (TimingResult, Vec<TaskTrace>) {
+        let (result, tasks) = self.trace();
+        if tracer.is_enabled() {
+            let dma = tracer.track("timing-dag", "DMA engine");
+            let cpes = tracer.track("timing-dag", "CPE cluster");
+            let lat = tracer.track("timing-dag", "latency");
+            for t in &tasks {
+                let (track, cat) = match t.resource {
+                    Resource::Dma => (dma, "dma"),
+                    Resource::Cpes => (cpes, "compute"),
+                    Resource::None => (lat, "sync"),
+                };
+                tracer.span(track, cat, t.label, t.start, t.end);
+            }
+        }
+        (result, tasks)
     }
 
     /// Runs the engine, returning the makespan and per-resource busy
@@ -320,6 +344,32 @@ mod tests {
         assert_eq!(tr[0].label, "load0");
         assert_eq!((tr[1].start, tr[1].end), (100, 400));
         assert_eq!((tr[2].start, tr[2].end), (400, 450));
+    }
+
+    #[test]
+    fn emit_trace_mirrors_trace_onto_tracks() {
+        let mut d = Dag::new();
+        let l0 = d.task(Resource::Dma, 100, &[], "load0");
+        let c0 = d.task(Resource::Cpes, 300, &[l0], "compute0");
+        let _s = d.task(Resource::None, 40, &[c0], "sync");
+        let tracer = Tracer::enabled();
+        let (r, tasks) = d.emit_trace(&tracer);
+        assert_eq!(r, d.schedule());
+        let data = tracer.take();
+        assert_eq!(data.tracks.len(), 3);
+        assert_eq!(data.spans.len(), tasks.len());
+        for (span, task) in data.spans.iter().zip(&tasks) {
+            assert_eq!(span.name, task.label);
+            assert_eq!((span.start, span.end), (task.start, task.end));
+        }
+        assert_eq!(data.spans[0].cat, "dma");
+        assert_eq!(data.spans[1].cat, "compute");
+        assert_eq!(data.spans[2].cat, "sync");
+        // Disabled tracer: same result, nothing collected.
+        let off = Tracer::disabled();
+        let (r2, _) = d.emit_trace(&off);
+        assert_eq!(r2, r);
+        assert!(off.take().is_empty());
     }
 
     #[test]

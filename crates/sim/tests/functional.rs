@@ -246,3 +246,52 @@ fn brow_and_rank_modes_through_the_runtime() {
     assert_eq!(stats.dma.brow_bytes, 64 * 16 * 8);
     assert_eq!(stats.dma.rank_bytes, 64 * 16 * 8);
 }
+
+#[test]
+fn traced_run_produces_valid_chrome_trace() {
+    use sw_probe::trace::validate_chrome_trace;
+    use sw_sim::Tracer;
+
+    let tracer = Tracer::enabled();
+    let mut cg = CoreGroup::new();
+    cg.set_tracer(tracer.clone());
+    let mat = cg.mem.install(HostMatrix::zeros(16 * 64, 4)).unwrap();
+    cg.run(|ctx| {
+        let buf = ctx.ldm.alloc(16 * 4).unwrap();
+        let id = ctx.coord.id();
+        ctx.dma_pe_get(MatRegion::new(mat, id * 16, 0, 16, 4), buf)
+            .unwrap();
+        ctx.dma_pe_put(MatRegion::new(mat, id * 16, 0, 16, 4), buf)
+            .unwrap();
+    });
+    let data = tracer.take();
+    // 64 CPE tracks plus 16 mesh link tracks were registered.
+    assert_eq!(data.tracks.len(), 64 + 16);
+    // Two DMA spans per CPE, each with a modelled nonzero duration,
+    // back to back on that CPE's private timeline.
+    let dma_spans: Vec<_> = data.spans.iter().filter(|s| s.cat == "dma").collect();
+    assert_eq!(dma_spans.len(), 2 * 64);
+    for s in &dma_spans {
+        assert!(
+            s.end > s.start,
+            "{} span must have modelled duration",
+            s.name
+        );
+        assert_eq!(s.args, vec![("bytes", 16 * 4 * 8)]);
+    }
+    let json = data.to_chrome_json();
+    let summary = validate_chrome_trace(&json).expect("functional trace must validate");
+    assert_eq!(summary.pairs, 2 * 64);
+}
+
+#[test]
+fn untraced_run_collects_nothing_and_still_counts() {
+    let mut cg = CoreGroup::new();
+    let mat = cg.mem.install(HostMatrix::zeros(16 * 64, 1)).unwrap();
+    let stats = cg.run(|ctx| {
+        let buf = ctx.ldm.alloc(16).unwrap();
+        ctx.dma_pe_get(MatRegion::new(mat, ctx.coord.id() * 16, 0, 16, 1), buf)
+            .unwrap();
+    });
+    assert_eq!(stats.dma.descriptors, 64);
+}

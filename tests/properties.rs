@@ -467,7 +467,7 @@ mod engine_equivalence {
     /// One random valid instruction. Memory operands use base `IReg(0)`
     /// (never written, so always 0) with in-bounds offsets; integer ops
     /// write only r1..r6, keeping r0 and the loop counter r7 stable.
-    fn random_instr(rng: &mut SplitMix64) -> Instr {
+    pub(crate) fn random_instr(rng: &mut SplitMix64) -> Instr {
         let v = |rng: &mut SplitMix64| VReg(rng.range_usize(0, 32) as u8);
         let gp = |rng: &mut SplitMix64| IReg(rng.range_usize(1, 7) as u8);
         let base = IReg(0);
@@ -535,7 +535,7 @@ mod engine_equivalence {
         }
     }
 
-    fn random_ldm(rng: &mut SplitMix64) -> Vec<f64> {
+    pub(crate) fn random_ldm(rng: &mut SplitMix64) -> Vec<f64> {
         (0..LDM_LEN).map(|_| rng.range_f64(-8.0, 8.0)).collect()
     }
 
@@ -625,5 +625,114 @@ mod engine_equivalence {
             let ldm = random_ldm(&mut rng);
             assert_engines_agree(&[i], &ldm, &format!("singleton {case}: {i}"));
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stall attribution: with probes on, every simulated cycle of each pipe
+// is classified into exactly one bucket, so the per-pipe buckets sum
+// exactly to ExecReport::cycles — on random straight-line and counted-
+// loop programs, for both the decoded engine (`run`) and the golden
+// model (`run_reference`), and the two engines' attributions agree.
+// ---------------------------------------------------------------------
+
+mod stall_attribution {
+    use super::engine_equivalence::{random_instr, random_ldm};
+    use sw26010_dgemm::isa::instr::Instr;
+    use sw26010_dgemm::isa::{IReg, Machine, SinkComm};
+    use sw_dgemm::gen::SplitMix64;
+
+    /// Runs `prog` probed on both engines; asserts the defining
+    /// invariant (buckets sum to total cycles, per pipe) and exact
+    /// cross-engine agreement of reports and attributions.
+    fn assert_attribution_exact(prog: &[Instr], ldm0: &[f64], what: &str) {
+        let mut ldm_dec = ldm0.to_vec();
+        let mut comm_dec = SinkComm;
+        let mut m_dec = Machine::new(&mut ldm_dec, &mut comm_dec);
+        let (r_dec, s_dec) = m_dec.run_probed(prog);
+
+        s_dec.check().unwrap_or_else(|e| panic!("{what}: {e}"));
+        assert_eq!(s_dec.cycles, r_dec.cycles, "{what}: stall total");
+        for (p, b) in s_dec.pipes.iter().enumerate() {
+            assert_eq!(
+                b.total(),
+                r_dec.cycles,
+                "{what}: pipe P{p} attribution {b:?} != {} cycles",
+                r_dec.cycles
+            );
+        }
+        // Issue slots across both pipes must equal instructions.
+        assert_eq!(s_dec.issue_cycles(), r_dec.instructions, "{what}: issues");
+
+        let mut ldm_ref = ldm0.to_vec();
+        let mut comm_ref = SinkComm;
+        let mut m_ref = Machine::new(&mut ldm_ref, &mut comm_ref);
+        let (r_ref, s_ref) = m_ref.run_reference_probed(prog);
+        assert_eq!(r_ref, r_dec, "{what}: reports");
+        assert_eq!(s_ref, s_dec, "{what}: attributions");
+        assert_eq!(ldm_ref, ldm_dec, "{what}: LDM image");
+    }
+
+    /// Straight-line random programs over the full ISA.
+    #[test]
+    fn straight_line_attribution_sums_to_cycles() {
+        for case in 0..96u64 {
+            let mut rng = SplitMix64::new(0x57A_1100 + case);
+            let len = rng.range_usize(1, 60);
+            let prog: Vec<Instr> = (0..len).map(|_| random_instr(&mut rng)).collect();
+            let ldm = random_ldm(&mut rng);
+            assert_attribution_exact(&prog, &ldm, &format!("case {case}"));
+        }
+    }
+
+    /// Counted loops (r7 counter, random bodies): the taken-branch
+    /// refill windows must be attributed exactly, including the
+    /// clamped window when a taken branch ends the run.
+    #[test]
+    fn counted_loop_attribution_sums_to_cycles() {
+        for case in 0..24u64 {
+            let mut rng = SplitMix64::new(0x57A_1200 + case);
+            let iters = rng.range_usize(1, 6) as i64;
+            let body_len = rng.range_usize(1, 16);
+            let mut prog = vec![Instr::Setl {
+                d: IReg(7),
+                imm: iters,
+            }];
+            for _ in 0..body_len {
+                prog.push(random_instr(&mut rng));
+            }
+            prog.push(Instr::Addl {
+                d: IReg(7),
+                s: IReg(7),
+                imm: -1,
+            });
+            prog.push(Instr::Bne {
+                s: IReg(7),
+                target: 1,
+            });
+            let ldm = random_ldm(&mut rng);
+            assert_attribution_exact(&prog, &ldm, &format!("loop case {case}"));
+        }
+    }
+
+    /// Degenerate shapes: empty, singletons, and a trailing taken
+    /// branch whose refill window outlives the run.
+    #[test]
+    fn degenerate_attribution() {
+        let mut rng = SplitMix64::new(0x57A_1300);
+        assert_attribution_exact(&[], &random_ldm(&mut rng), "empty");
+        for case in 0..40 {
+            let i = random_instr(&mut rng);
+            let ldm = random_ldm(&mut rng);
+            assert_attribution_exact(&[i], &ldm, &format!("singleton {case}: {i}"));
+        }
+        let trailing = [
+            Instr::Setl { d: IReg(7), imm: 1 },
+            Instr::Bne {
+                s: IReg(7),
+                target: 2,
+            },
+        ];
+        assert_attribution_exact(&trailing, &random_ldm(&mut rng), "trailing taken branch");
     }
 }
