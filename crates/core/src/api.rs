@@ -1,6 +1,7 @@
 //! The public entry points.
 
 use crate::error::DgemmError;
+use crate::lint::{self, LintPolicy};
 use crate::padding::PadPlan;
 use crate::params::BlockingParams;
 use crate::plan::GemmPlan;
@@ -61,6 +62,7 @@ pub struct DgemmRunner {
     raw_params: Option<RawParams>,
     pad: bool,
     tracer: Tracer,
+    lint: LintPolicy,
 }
 
 impl DgemmRunner {
@@ -72,6 +74,7 @@ impl DgemmRunner {
             raw_params: None,
             pad: false,
             tracer: Tracer::disabled(),
+            lint: LintPolicy::default(),
         }
     }
 
@@ -103,6 +106,15 @@ impl DgemmRunner {
     /// Overrides the blocking of the RAW baseline.
     pub fn raw_params(mut self, p: RawParams) -> Self {
         self.raw_params = Some(p);
+        self
+    }
+
+    /// Sets the lint-on-build policy (`sw-lint` over the plan's kernel
+    /// streams before execution). Defaults to [`LintPolicy::Warn`];
+    /// [`LintPolicy::Deny`] turns Error-severity findings into
+    /// [`DgemmError::Lint`].
+    pub fn lint(mut self, policy: LintPolicy) -> Self {
+        self.lint = policy;
         self
     }
 
@@ -153,6 +165,9 @@ impl DgemmRunner {
                 let rp = self
                     .raw_params
                     .map_or_else(|| pick_raw_params(m, n, k), Ok)?;
+                if self.lint != LintPolicy::Off {
+                    lint::enforce(self.lint, &lint::lint_raw_cached(rp))?;
+                }
                 let stats = run_functional_raw(&mut cg, m, n, k, rp, io, alpha, beta)?;
                 DgemmReport {
                     variant: self.variant,
@@ -165,6 +180,9 @@ impl DgemmRunner {
                     Some(p) => GemmPlan::new(m, n, k, p, v.double_buffered())?,
                     None => pick_plan(v, m, n, k)?,
                 };
+                if self.lint != LintPolicy::Off {
+                    lint::enforce(self.lint, &lint::lint_shared_cached(v, &plan.params))?;
+                }
                 let stats = run_functional(&mut cg, &plan, v.mapping(), io, alpha, beta)?;
                 DgemmReport {
                     variant: self.variant,

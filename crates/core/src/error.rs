@@ -12,6 +12,10 @@ pub enum DgemmError {
     BadDims(String),
     /// An underlying memory/DMA operation failed.
     Mem(MemError),
+    /// The static analyzer found Error-severity defects in the plan's
+    /// kernel streams and the runner's policy is
+    /// [`crate::lint::LintPolicy::Deny`]. Carries the rendered report.
+    Lint(String),
 }
 
 impl fmt::Display for DgemmError {
@@ -20,6 +24,9 @@ impl fmt::Display for DgemmError {
             DgemmError::BadParams(s) => write!(f, "invalid blocking parameters: {s}"),
             DgemmError::BadDims(s) => write!(f, "invalid problem dimensions: {s}"),
             DgemmError::Mem(e) => write!(f, "memory subsystem error: {e}"),
+            DgemmError::Lint(report) => {
+                write!(f, "static analysis rejected the plan:\n{report}")
+            }
         }
     }
 }

@@ -25,6 +25,7 @@
 pub mod api;
 pub mod error;
 pub mod gen;
+pub mod lint;
 pub mod mapping;
 pub mod model;
 pub mod multi;
@@ -40,6 +41,7 @@ pub mod variants;
 
 pub use api::{dgemm, dgemm_ex, DgemmReport, DgemmRunner, Op};
 pub use error::DgemmError;
+pub use lint::{lint_variant, LintPolicy};
 pub use multi::{dgemm_multi_cg, estimate_multi_cg};
 pub use params::BlockingParams;
 pub use plan::GemmPlan;

@@ -188,7 +188,24 @@ fn build_kernel_prog(pm: usize, pn: usize, pk: usize, style: KernelStyle) -> Vec
         c_base,
         alpha_addr,
     };
-    gen_block_kernel(&cfg, style)
+    let prog = gen_block_kernel(&cfg, style);
+    // Debug builds lint every timing kernel before it is measured.
+    // I-cache findings are dropped: timing kernels are *deliberately*
+    // fully unrolled (the pipeline model has no i-cache), so production
+    // shapes exceed the 16 KB budget by construction.
+    #[cfg(debug_assertions)]
+    {
+        let mut report = sw_lint::lint_stream(&prog, None);
+        report
+            .diagnostics
+            .retain(|d| d.code != sw_lint::codes::ICACHE_OVERFLOW);
+        assert!(
+            report.error_count() == 0,
+            "generated timing kernel fails sw-lint:\n{}",
+            report.render_text()
+        );
+    }
+    prog
 }
 
 fn kernel_layout(pm: usize, pn: usize, pk: usize) -> (usize, usize, usize, usize) {

@@ -37,7 +37,6 @@ pub mod machine;
 pub mod regs;
 pub mod sched;
 pub mod tiling;
-pub mod verify;
 
 pub use comm::{CommPort, NullComm, ScriptedComm, SinkComm};
 pub use decoded::DecodedProgram;

@@ -210,7 +210,6 @@ mod tests {
     use super::*;
     use crate::comm::NullComm;
     use crate::machine::Machine;
-    use crate::verify::check;
 
     fn cfg(t: Tiling, pk: usize) -> TiledKernelCfg {
         TiledKernelCfg {
@@ -257,7 +256,8 @@ mod tests {
             let mut ldm = fill(&c, alpha);
             let expect = reference(&c, &ldm, alpha);
             let naive = gen_tiled_kernel_naive(&c, t);
-            assert_eq!(check(&naive), vec![], "{t:?} fails verification");
+            // Static verification of the tiled generators lives in
+            // sw-lint's test suite (the analyzer depends on this crate).
             let mut comm = NullComm;
             Machine::new(&mut ldm, &mut comm).run(&naive);
             assert_eq!(

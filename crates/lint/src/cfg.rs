@@ -1,0 +1,311 @@
+//! Control-flow graph construction and the CFG-aware
+//! definitely-written vector-register analysis.
+//!
+//! This replaces the old linear-scan read-before-write check in
+//! `sw_isa::verify`, which silently skipped any stream containing a
+//! `Bne`. Here the stream is split into basic blocks and a forward
+//! must-initialized dataflow (intersection over predecessors, writes
+//! accumulate and are never killed) decides, per program point, which
+//! scratch registers are *definitely* written on every path — so
+//! looped kernels are analyzed instead of skipped.
+
+use crate::diag::{codes, Diagnostic, Severity, Span};
+use sw_arch::consts::VREG_COUNT;
+use sw_isa::Instr;
+
+/// Registers v0..v15 are scratch (operand staging); reading one before
+/// any write observes stale data from a previous kernel. v16..v31 are
+/// C-tile accumulators whose live-in values are part of the contract.
+const SCRATCH_REGS: u8 = 16;
+
+/// A basic block: instruction indices `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Block {
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Splits `prog` into basic blocks. Leaders: instruction 0, every
+/// in-range branch target, and every instruction following a `Bne`.
+pub(crate) fn basic_blocks(prog: &[Instr]) -> Vec<Block> {
+    let len = prog.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let mut leader = vec![false; len];
+    leader[0] = true;
+    for (pc, i) in prog.iter().enumerate() {
+        if let Instr::Bne { target, .. } = i {
+            if *target < len {
+                leader[*target] = true;
+            }
+            if pc + 1 < len {
+                leader[pc + 1] = true;
+            }
+        }
+    }
+    let mut blocks = Vec::new();
+    let mut start = 0;
+    for (pc, &lead) in leader.iter().enumerate().take(len).skip(1) {
+        if lead {
+            blocks.push(Block { start, end: pc });
+            start = pc;
+        }
+    }
+    blocks.push(Block { start, end: len });
+    blocks
+}
+
+/// Successor block indices of block `b`. A `Bne` always terminates its
+/// block (the next instruction is a leader), so only the last
+/// instruction matters. Out-of-range targets get no edge — the
+/// structural pass flags them separately.
+fn successors(prog: &[Instr], blocks: &[Block], b: usize) -> Vec<usize> {
+    let blk = blocks[b];
+    let mut succ = Vec::new();
+    let block_of = |pc: usize| blocks.iter().position(|x| pc >= x.start && pc < x.end);
+    match prog[blk.end - 1] {
+        Instr::Bne { target, .. } => {
+            if b + 1 < blocks.len() {
+                succ.push(b + 1);
+            }
+            if target < prog.len() {
+                if let Some(t) = block_of(target) {
+                    if !succ.contains(&t) {
+                        succ.push(t);
+                    }
+                }
+            }
+        }
+        _ => {
+            if b + 1 < blocks.len() {
+                succ.push(b + 1);
+            }
+        }
+    }
+    succ
+}
+
+/// Flags every read of a scratch vector register (v0..v15) that is not
+/// definitely preceded by a write on all paths from entry.
+pub(crate) fn check_read_before_write(prog: &[Instr]) -> Vec<Diagnostic> {
+    let blocks = basic_blocks(prog);
+    if blocks.is_empty() {
+        return Vec::new();
+    }
+    let nb = blocks.len();
+    let preds: Vec<Vec<usize>> = {
+        let mut preds = vec![Vec::new(); nb];
+        for b in 0..nb {
+            for s in successors(prog, &blocks, b) {
+                preds[s].push(b);
+            }
+        }
+        preds
+    };
+    // gen[b] = registers written anywhere in block b (writes are never
+    // killed — once written, a register stays initialized).
+    let gen: Vec<u32> = blocks
+        .iter()
+        .map(|blk| {
+            let mut g = 0u32;
+            for i in &prog[blk.start..blk.end] {
+                if let Some(d) = i.vdst() {
+                    if (d.0 as usize) < VREG_COUNT {
+                        g |= 1 << d.0;
+                    }
+                }
+            }
+            g
+        })
+        .collect();
+    // Must-initialized at block entry: IN = ∩ preds OUT, with the
+    // entry block pinned to ∅ (nothing is initialized at stream start).
+    // Non-entry blocks start at the universe so the intersection
+    // converges downward to the greatest fixpoint.
+    let mut inn = vec![u32::MAX; nb];
+    inn[0] = 0;
+    loop {
+        let mut changed = false;
+        for b in 0..nb {
+            let mut v = if b == 0 { 0 } else { u32::MAX };
+            for &p in &preds[b] {
+                v &= inn[p] | gen[p];
+            }
+            if b == 0 {
+                v = 0; // entry fact: joins with the empty initial state
+            }
+            if v != inn[b] {
+                inn[b] = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Walk each block with the converged entry state and flag reads.
+    let mut out = Vec::new();
+    for (b, blk) in blocks.iter().enumerate() {
+        let mut written = inn[b];
+        for (pc, i) in prog[blk.start..blk.end].iter().enumerate() {
+            let pc = blk.start + pc;
+            for r in i.vsrcs() {
+                if r.0 < SCRATCH_REGS && written & (1 << r.0) == 0 {
+                    out.push(
+                        Diagnostic::new(
+                            Severity::Error,
+                            codes::READ_BEFORE_WRITE,
+                            format!(
+                                "`{i}` reads scratch register v{} before any write reaches it",
+                                r.0
+                            ),
+                        )
+                        .with_span(Span::at(pc)),
+                    );
+                }
+            }
+            if let Some(d) = i.vdst() {
+                if (d.0 as usize) < VREG_COUNT {
+                    written |= 1 << d.0;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_isa::{IReg, VReg};
+
+    #[test]
+    fn straight_line_blocks() {
+        let prog = vec![Instr::Vclr { d: VReg(0) }, Instr::Nop, Instr::Nop];
+        let b = basic_blocks(&prog);
+        assert_eq!(b, vec![Block { start: 0, end: 3 }]);
+    }
+
+    #[test]
+    fn loop_splits_blocks() {
+        // 0: setl r1      | block 0
+        // 1: vclr v0      | block 1 (branch target)
+        // 2: addl r1 -1   |
+        // 3: bne r1 @1    |
+        // 4: nop          | block 2
+        let prog = vec![
+            Instr::Setl { d: IReg(1), imm: 3 },
+            Instr::Vclr { d: VReg(0) },
+            Instr::Addl {
+                d: IReg(1),
+                s: IReg(1),
+                imm: -1,
+            },
+            Instr::Bne {
+                s: IReg(1),
+                target: 1,
+            },
+            Instr::Nop,
+        ];
+        let b = basic_blocks(&prog);
+        assert_eq!(
+            b,
+            vec![
+                Block { start: 0, end: 1 },
+                Block { start: 1, end: 4 },
+                Block { start: 4, end: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn write_inside_loop_body_dominates_read_after_it() {
+        // The loop body writes v0 before reading it; must be clean even
+        // though the backward edge joins the pre-write entry state.
+        let prog = vec![
+            Instr::Setl { d: IReg(1), imm: 4 },
+            Instr::Vclr { d: VReg(0) },
+            Instr::Vmad {
+                a: VReg(0),
+                b: VReg(0),
+                c: VReg(16),
+                d: VReg(16),
+            },
+            Instr::Addl {
+                d: IReg(1),
+                s: IReg(1),
+                imm: -1,
+            },
+            Instr::Bne {
+                s: IReg(1),
+                target: 1,
+            },
+        ];
+        assert!(check_read_before_write(&prog).is_empty());
+    }
+
+    #[test]
+    fn uninitialized_read_in_loop_flagged() {
+        // v14 is never written anywhere; the old linear scan skipped
+        // this stream because of the Bne.
+        let prog = vec![
+            Instr::Setl { d: IReg(1), imm: 2 },
+            Instr::Vmad {
+                a: VReg(14),
+                b: VReg(14),
+                c: VReg(16),
+                d: VReg(16),
+            },
+            Instr::Addl {
+                d: IReg(1),
+                s: IReg(1),
+                imm: -1,
+            },
+            Instr::Bne {
+                s: IReg(1),
+                target: 1,
+            },
+        ];
+        let ds = check_read_before_write(&prog);
+        assert!(!ds.is_empty());
+        assert!(ds.iter().all(|d| d.code == codes::READ_BEFORE_WRITE));
+        assert_eq!(ds[0].span, Some(Span::at(1)));
+    }
+
+    #[test]
+    fn write_on_only_one_path_still_flagged() {
+        // v2 is written only when the branch at 1 falls through is NOT
+        // taken... i.e. only on one path into the read at 4.
+        let prog = vec![
+            Instr::Setl { d: IReg(1), imm: 1 },
+            Instr::Bne {
+                s: IReg(1),
+                target: 3,
+            },
+            Instr::Vclr { d: VReg(2) },
+            Instr::Nop,
+            Instr::Vstd {
+                s: VReg(2),
+                base: IReg(0),
+                off: 0,
+            },
+        ];
+        let ds = check_read_before_write(&prog);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].span, Some(Span::at(4)));
+    }
+
+    #[test]
+    fn accumulator_reads_are_contractual() {
+        // v16..v31 carry live-in C-tile state; reading them cold is fine.
+        let prog = vec![Instr::Vmad {
+            a: VReg(16),
+            b: VReg(17),
+            c: VReg(18),
+            d: VReg(19),
+        }];
+        // Sources v16/v17/v18 are all ≥ SCRATCH_REGS.
+        assert!(check_read_before_write(&prog).is_empty());
+    }
+}

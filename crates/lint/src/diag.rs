@@ -1,0 +1,367 @@
+//! Diagnostics vocabulary: severity, instruction spans, stable codes,
+//! and the [`LintReport`] container with text and JSON renderers.
+//!
+//! The JSON format is versioned (`"schema": 1`) and fully
+//! deterministic: diagnostics are sorted by (severity, code, CPE,
+//! span) before rendering, so the output is golden-file stable.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// `Error` means the stream or plan is wrong — it deadlocks, corrupts
+/// LDM, or violates the executor's contract. `Warning` flags things
+/// that execute but smell (multiple broadcasters on one network,
+/// addresses the analyzer cannot resolve). `Info` reports reduced
+/// analysis precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Provably wrong; lint-on-build denies the plan.
+    Error,
+    /// Suspicious but executable.
+    Warning,
+    /// Analysis precision note.
+    Info,
+}
+
+impl Severity {
+    /// Lower-case label used by both renderers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+/// Stable diagnostic codes. Tests and CI match on these strings, so
+/// they are append-only.
+pub mod codes {
+    /// A vector-register operand ≥ `VREG_COUNT`.
+    pub const BAD_VREG: &str = "bad-vreg";
+    /// An integer-register operand ≥ `IREG_COUNT`.
+    pub const BAD_IREG: &str = "bad-ireg";
+    /// `Bne` target outside the program.
+    pub const BAD_BRANCH_TARGET: &str = "bad-branch-target";
+    /// A scratch vector register read on some path before any write.
+    pub const READ_BEFORE_WRITE: &str = "read-before-write";
+    /// The stream does not fit the 16 KB instruction cache.
+    pub const ICACHE_OVERFLOW: &str = "icache-overflow";
+    /// One stream both broadcasts and receives on the same network.
+    pub const MIXED_COMM_ROLE: &str = "mixed-comm-role";
+    /// An LDM access outside `[0, LDM_DOUBLES)`.
+    pub const LDM_OUT_OF_BOUNDS: &str = "ldm-out-of-bounds";
+    /// A vector LDM access at an address not a multiple of 4 doubles.
+    pub const LDM_MISALIGNED: &str = "ldm-misaligned";
+    /// An access whose base register the analyzer could not resolve.
+    pub const LDM_UNKNOWN_ADDRESS: &str = "ldm-unknown-address";
+    /// A kernel access overlapping the DMA-written half-buffer.
+    pub const DB_HAZARD: &str = "db-hazard";
+    /// A CPE waits for more mesh words than its peers broadcast.
+    pub const MESH_DEADLOCK: &str = "mesh-deadlock";
+    /// Broadcast words a group member never drains.
+    pub const ORPHAN_BROADCAST: &str = "orphan-broadcast";
+    /// More than one sender on one network in one row/column group.
+    pub const MULTIPLE_BROADCASTERS: &str = "multiple-broadcasters";
+    /// A loop whose counter provably never reaches zero.
+    pub const RUNAWAY_LOOP: &str = "runaway-loop";
+    /// Abstract interpretation stopped at its instruction budget.
+    pub const ANALYSIS_BUDGET: &str = "analysis-budget";
+    /// A branch on a register the analyzer could not resolve.
+    pub const UNRESOLVED_BRANCH: &str = "unresolved-branch";
+    /// A mesh group skipped because a member stream was inexact.
+    pub const MESH_ANALYSIS_INCOMPLETE: &str = "mesh-analysis-incomplete";
+}
+
+/// An inclusive range of instruction indices (`lo..=hi`) a diagnostic
+/// points at; single-instruction findings have `lo == hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// First instruction index.
+    pub lo: usize,
+    /// Last instruction index (inclusive).
+    pub hi: usize,
+}
+
+impl Span {
+    /// Span of a single instruction.
+    pub fn at(pc: usize) -> Self {
+        Span { lo: pc, hi: pc }
+    }
+
+    /// Span of an inclusive index range.
+    pub fn range(lo: usize, hi: usize) -> Self {
+        debug_assert!(lo <= hi);
+        Span { lo, hi }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "@{}", self.lo)
+        } else {
+            write!(f, "@{}..{}", self.lo, self.hi)
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Stable machine-matchable code from [`codes`].
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Instruction span inside the offending stream, when applicable.
+    pub span: Option<Span>,
+    /// Mesh coordinate `(row, col)` of the offending CPE. For deduped
+    /// per-stream findings this is the first CPE running the stream.
+    pub cpe: Option<(u8, u8)>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no span or CPE attached.
+    pub fn new(severity: Severity, code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity,
+            code,
+            message: message.into(),
+            span: None,
+            cpe: None,
+        }
+    }
+
+    /// Attaches an instruction span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attaches a CPE coordinate.
+    pub fn with_cpe(mut self, row: u8, col: u8) -> Self {
+        self.cpe = Some((row, col));
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity.name(), self.code)?;
+        if let Some((r, c)) = self.cpe {
+            write!(f, " cpe({r},{c})")?;
+        }
+        if let Some(s) = self.span {
+            write!(f, " {s}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// An ordered, deduplicated collection of diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// The findings, sorted by [`LintReport::sort_and_dedup`].
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends many diagnostics.
+    pub fn extend(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    /// Merges another report in.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of `Error` findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of `Warning` findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// True when the report has no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when at least one diagnostic has the given code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Canonicalizes: sorts by (severity, code, cpe, span, message) and
+    /// removes exact duplicates (the same finding reported through
+    /// several steps of a plan collapses to one line).
+    pub fn sort_and_dedup(&mut self) {
+        let key = |d: &Diagnostic| {
+            (
+                d.severity,
+                d.code,
+                d.cpe.unwrap_or((u8::MAX, u8::MAX)),
+                d.span
+                    .map(|s| (s.lo, s.hi))
+                    .unwrap_or((usize::MAX, usize::MAX)),
+                d.message.clone(),
+            )
+        };
+        self.diagnostics.sort_by_key(key);
+        self.diagnostics.dedup();
+    }
+
+    /// Pretty multi-line rendering: one line per diagnostic plus a
+    /// summary tail.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} diagnostic(s) total\n",
+            self.error_count(),
+            self.warning_count(),
+            self.diagnostics.len()
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (schema 1). Deterministic given a
+    /// canonicalized report; golden-file tested.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": 1,\n");
+        s.push_str(&format!("  \"errors\": {},\n", self.error_count()));
+        s.push_str(&format!("  \"warnings\": {},\n", self.warning_count()));
+        s.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\"severity\": \"{}\", ", d.severity.name()));
+            s.push_str(&format!("\"code\": \"{}\", ", escape_json(d.code)));
+            match d.cpe {
+                Some((r, c)) => s.push_str(&format!("\"cpe\": [{r}, {c}], ")),
+                None => s.push_str("\"cpe\": null, "),
+            }
+            match d.span {
+                Some(sp) => s.push_str(&format!("\"span\": [{}, {}], ", sp.lo, sp.hi)),
+                None => s.push_str("\"span\": null, "),
+            }
+            s.push_str(&format!("\"message\": \"{}\"", escape_json(&d.message)));
+            s.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaper (the workspace is std-only by design).
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_dedup() {
+        let mut r = LintReport::new();
+        let d = Diagnostic::new(Severity::Error, codes::LDM_OUT_OF_BOUNDS, "oob")
+            .with_span(Span::at(3))
+            .with_cpe(0, 1);
+        r.push(d.clone());
+        r.push(d);
+        r.push(Diagnostic::new(
+            Severity::Warning,
+            codes::ANALYSIS_BUDGET,
+            "budget",
+        ));
+        r.sort_and_dedup();
+        assert_eq!(r.diagnostics.len(), 2);
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(!r.is_clean());
+        assert!(r.has_code(codes::LDM_OUT_OF_BOUNDS));
+        // Errors sort first.
+        assert_eq!(r.diagnostics[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn text_rendering_shape() {
+        let mut r = LintReport::new();
+        r.push(
+            Diagnostic::new(Severity::Error, codes::MESH_DEADLOCK, "waits forever")
+                .with_cpe(2, 5)
+                .with_span(Span::range(4, 9)),
+        );
+        let t = r.render_text();
+        assert!(t.contains("error[mesh-deadlock] cpe(2,5) @4..9: waits forever"));
+        assert!(t.contains("1 error(s), 0 warning(s)"));
+    }
+
+    #[test]
+    fn json_escapes_and_schema() {
+        let mut r = LintReport::new();
+        r.push(Diagnostic::new(
+            Severity::Warning,
+            codes::LDM_UNKNOWN_ADDRESS,
+            "quote \" backslash \\ newline \n done",
+        ));
+        let j = r.to_json();
+        assert!(j.contains("\"schema\": 1"));
+        assert!(j.contains("quote \\\" backslash \\\\ newline \\n done"));
+        assert!(j.contains("\"cpe\": null"));
+        assert!(j.contains("\"span\": null"));
+    }
+
+    #[test]
+    fn empty_report_json_is_valid_shape() {
+        let j = LintReport::new().to_json();
+        assert!(j.contains("\"diagnostics\": []"));
+    }
+}

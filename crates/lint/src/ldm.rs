@@ -1,0 +1,247 @@
+//! LDM memory-safety checks over the abstract interpreter's per-base
+//! access ranges.
+//!
+//! Three properties of the 64 KB software-managed scratchpad:
+//!
+//! * every access lies inside `[0, LDM_DOUBLES)` — there is no MMU;
+//! * vector accesses are 4-double aligned (the executor's contract);
+//! * under double buffering, the compute kernel must not touch the
+//!   half-buffer the in-flight DMA is writing (Algorithm 2's A/C
+//!   rotation) — the *DB hazard*, a silent data race on hardware.
+
+use crate::absint::StreamSummary;
+use crate::diag::{codes, Diagnostic, Severity, Span};
+use sw_arch::consts::LDM_DOUBLES;
+
+/// One named region of the LDM layout a plan allocates.
+#[derive(Debug, Clone)]
+pub struct LdmRegion {
+    /// Human-readable name ("A buffer 1", "C buffer 0", …).
+    pub name: String,
+    /// First double of the region.
+    pub base: usize,
+    /// Length in doubles.
+    pub len: usize,
+    /// True when an asynchronous DMA writes this region while the
+    /// linted kernel computes (the double-buffer partner).
+    pub dma_hazard: bool,
+}
+
+impl LdmRegion {
+    /// A plain kernel-owned region.
+    pub fn new(name: impl Into<String>, base: usize, len: usize) -> Self {
+        LdmRegion {
+            name: name.into(),
+            base,
+            len,
+            dma_hazard: false,
+        }
+    }
+
+    /// A region the DMA engine owns during compute.
+    pub fn hazard(name: impl Into<String>, base: usize, len: usize) -> Self {
+        LdmRegion {
+            dma_hazard: true,
+            ..LdmRegion::new(name, base, len)
+        }
+    }
+}
+
+/// The LDM layout a plan gives each CPE.
+#[derive(Debug, Clone, Default)]
+pub struct LdmLayout {
+    /// All regions, in allocation order.
+    pub regions: Vec<LdmRegion>,
+}
+
+/// Checks one stream's access summary against the LDM bound and, when
+/// a layout is given, against its DMA-owned regions.
+pub fn check_ldm(summary: &StreamSummary, layout: Option<&LdmLayout>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for a in &summary.accesses {
+        let kind = if a.is_write { "store" } else { "load" };
+        let shape = if a.is_vector { "vector" } else { "scalar" };
+        if a.lo < 0 || a.hi + a.width > LDM_DOUBLES as i64 {
+            out.push(
+                Diagnostic::new(
+                    Severity::Error,
+                    codes::LDM_OUT_OF_BOUNDS,
+                    format!(
+                        "{shape} {kind} ranges over doubles {}..{} — outside the \
+                         {LDM_DOUBLES}-double LDM",
+                        a.lo,
+                        a.hi + a.width
+                    ),
+                )
+                .with_span(Span::at(a.pc)),
+            );
+        }
+        if a.misaligned {
+            out.push(
+                Diagnostic::new(
+                    Severity::Error,
+                    codes::LDM_MISALIGNED,
+                    format!(
+                        "{shape} {kind} hits an address not 4-double aligned \
+                         (range {}..{})",
+                        a.lo,
+                        a.hi + a.width
+                    ),
+                )
+                .with_span(Span::at(a.pc)),
+            );
+        }
+        if let Some(layout) = layout {
+            for region in layout.regions.iter().filter(|r| r.dma_hazard) {
+                let (rb, re) = (region.base as i64, (region.base + region.len) as i64);
+                if a.lo < re && a.hi + a.width > rb {
+                    out.push(
+                        Diagnostic::new(
+                            Severity::Error,
+                            codes::DB_HAZARD,
+                            format!(
+                                "{shape} {kind} over doubles {}..{} overlaps `{}` \
+                                 ({rb}..{re}), which the in-flight DMA is writing \
+                                 during compute",
+                                a.lo,
+                                a.hi + a.width,
+                                region.name
+                            ),
+                        )
+                        .with_span(Span::at(a.pc)),
+                    );
+                }
+            }
+        }
+    }
+    for &pc in &summary.unknown_addrs {
+        out.push(
+            Diagnostic::new(
+                Severity::Warning,
+                codes::LDM_UNKNOWN_ADDRESS,
+                "access through a base register the analyzer could not resolve; \
+                 bounds not provable"
+                    .to_string(),
+            )
+            .with_span(Span::at(pc)),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absint::{interpret, AbsintOptions};
+    use sw_isa::{IReg, Instr, VReg};
+
+    fn summarize(prog: &[Instr]) -> StreamSummary {
+        interpret(prog, &AbsintOptions::default())
+    }
+
+    #[test]
+    fn in_bounds_access_clean() {
+        let prog = vec![
+            Instr::Setl {
+                d: IReg(0),
+                imm: 8188,
+            },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+            },
+        ];
+        assert!(check_ldm(&summarize(&prog), None).is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_flagged() {
+        // 8190 + width 4 crosses the 8192-double boundary.
+        let prog = vec![
+            Instr::Setl {
+                d: IReg(0),
+                imm: 8188,
+            },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: 4,
+            },
+        ];
+        let ds = check_ldm(&summarize(&prog), None);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, codes::LDM_OUT_OF_BOUNDS);
+    }
+
+    #[test]
+    fn negative_address_flagged() {
+        let prog = vec![
+            Instr::Setl { d: IReg(0), imm: 0 },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: -4,
+            },
+        ];
+        let ds = check_ldm(&summarize(&prog), None);
+        assert_eq!(ds[0].code, codes::LDM_OUT_OF_BOUNDS);
+    }
+
+    #[test]
+    fn scalar_access_may_be_odd() {
+        let prog = vec![
+            Instr::Setl { d: IReg(0), imm: 0 },
+            Instr::Ldde {
+                d: VReg(8),
+                base: IReg(0),
+                off: 4001,
+            },
+        ];
+        assert!(check_ldm(&summarize(&prog), None).is_empty());
+    }
+
+    #[test]
+    fn hazard_overlap_flagged_with_region_name() {
+        let prog = vec![
+            Instr::Setl {
+                d: IReg(0),
+                imm: 1024,
+            },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+            },
+        ];
+        let layout = LdmLayout {
+            regions: vec![
+                LdmRegion::new("A buffer 0", 0, 1024),
+                LdmRegion::hazard("A buffer 1", 1024, 1024),
+            ],
+        };
+        let ds = check_ldm(&summarize(&prog), Some(&layout));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, codes::DB_HAZARD);
+        assert!(ds[0].message.contains("A buffer 1"));
+    }
+
+    #[test]
+    fn adjacent_region_is_not_overlap() {
+        let prog = vec![
+            Instr::Setl {
+                d: IReg(0),
+                imm: 1020,
+            },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+            },
+        ];
+        let layout = LdmLayout {
+            regions: vec![LdmRegion::hazard("A buffer 1", 1024, 1024)],
+        };
+        assert!(check_ldm(&summarize(&prog), Some(&layout)).is_empty());
+    }
+}

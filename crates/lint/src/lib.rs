@@ -1,0 +1,197 @@
+//! # sw-lint — whole-core-group static analyzer
+//!
+//! Static verification of SW26010 kernel streams and core-group plans,
+//! before anything executes. Three analysis passes over a shared
+//! diagnostics framework ([`diag`]):
+//!
+//! 1. **Mesh protocol verification** ([`mesh`]) — the 64 per-CPE
+//!    streams of a plan are summarized by abstract interpretation into
+//!    per-network broadcast/receive word counts, and in-order
+//!    rendezvous counting per row/column group detects wedged-mesh
+//!    deadlocks and orphan broadcasts (§III-B's silent failure mode).
+//! 2. **LDM memory safety** ([`ldm`]) — abstract interpretation over
+//!    the integer registers ([`absint`]: constants plus affine strides
+//!    through `Setl`/`Addl`/`Bne` loops, summarized in closed form)
+//!    yields per-instruction access ranges, checked against the 64 KB
+//!    LDM bound, vector alignment, and the double-buffer layout (the
+//!    DB hazard: compute touching the DMA-owned half-buffer).
+//! 3. **Static stall prover** ([`stall`]) — replays the executor's
+//!    dual-issue in-order timing over abstract registers, yielding a
+//!    [`StallReport`](sw_isa::StallReport) that is exact on streams
+//!    whose branches resolve and a per-bucket lower bound otherwise;
+//!    cross-validated against `sw-probe`'s dynamic reports.
+//!
+//! Structural stream checks (register ranges, branch targets, i-cache
+//! budget, one-role-per-network) absorb the old `sw_isa::verify` pass;
+//! read-before-write is now CFG-aware ([`cfg`]) instead of bailing on
+//! any stream containing a branch.
+//!
+//! Entry points: [`lint_stream`] for one stream, [`lint_core_group`]
+//! for a full 8×8 plan (adds the mesh pass), and
+//! [`stall::prove_stalls`] for the prover.
+
+pub mod absint;
+pub mod cfg;
+pub mod diag;
+pub mod ldm;
+pub mod mesh;
+pub mod stall;
+pub mod structural;
+
+pub use absint::{AbsintOptions, CommCounts, StreamSummary};
+pub use diag::{codes, Diagnostic, LintReport, Severity, Span};
+pub use ldm::{LdmLayout, LdmRegion};
+pub use stall::{prove_stalls, Bound, StaticStalls};
+
+use mesh::MESH_DIM;
+use sw_isa::Instr;
+
+/// Full single-stream analysis: the lint report plus the abstract
+/// summary (communication counts, access ranges) the mesh pass needs.
+#[derive(Debug, Clone)]
+pub struct StreamAnalysis {
+    /// Structural + interpretation + LDM findings, canonicalized.
+    pub report: LintReport,
+    /// The abstract interpreter's stream summary.
+    pub summary: StreamSummary,
+}
+
+/// Analyzes one stream against an optional LDM layout.
+pub fn analyze_stream(prog: &[Instr], layout: Option<&LdmLayout>) -> StreamAnalysis {
+    let mut report = LintReport::new();
+    report.extend(structural::check_structural(prog));
+    let summary = absint::interpret(prog, &AbsintOptions::default());
+    report.extend(summary.diags.clone());
+    report.extend(ldm::check_ldm(&summary, layout));
+    report.sort_and_dedup();
+    StreamAnalysis { report, summary }
+}
+
+/// Lints one instruction stream: structural checks, abstract
+/// interpretation, and LDM safety. (The mesh pass needs all 64
+/// streams — see [`lint_core_group`].)
+pub fn lint_stream(prog: &[Instr], layout: Option<&LdmLayout>) -> LintReport {
+    analyze_stream(prog, layout).report
+}
+
+/// Lints the 64 per-CPE streams of one core-group step against a
+/// shared LDM layout, including the cross-CPE mesh rendezvous pass.
+///
+/// `streams[row * 8 + col]` is CPE `(row, col)`'s stream. Identical
+/// streams are analyzed once; their per-stream diagnostics carry the
+/// coordinate of the first CPE running them.
+pub fn lint_core_group(streams: &[&[Instr]], layout: Option<&LdmLayout>) -> LintReport {
+    assert_eq!(
+        streams.len(),
+        MESH_DIM * MESH_DIM,
+        "a core group has exactly 64 CPE streams"
+    );
+    let mut report = LintReport::new();
+    let mut cache: Vec<(&[Instr], StreamAnalysis)> = Vec::new();
+    let mut comm = [[CommCounts::default(); MESH_DIM]; MESH_DIM];
+    let mut exact = [[true; MESH_DIM]; MESH_DIM];
+    for (id, &prog) in streams.iter().enumerate() {
+        let (row, col) = ((id / MESH_DIM) as u8, (id % MESH_DIM) as u8);
+        let cached = cache.iter().position(|(p, _)| *p == prog);
+        let analysis = match cached {
+            Some(i) => &cache[i].1,
+            None => {
+                let mut a = analyze_stream(prog, layout);
+                // Per-stream findings are deduplicated across CPEs;
+                // tag them with the first coordinate that runs them.
+                for d in &mut a.report.diagnostics {
+                    if d.cpe.is_none() {
+                        d.cpe = Some((row, col));
+                    }
+                }
+                report.merge(a.report.clone());
+                cache.push((prog, a));
+                &cache.last().unwrap().1
+            }
+        };
+        comm[row as usize][col as usize] = analysis.summary.comm;
+        exact[row as usize][col as usize] = analysis.summary.exact;
+    }
+    report.extend(mesh::check_mesh(&comm, &exact));
+    report.sort_and_dedup();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_isa::kernels::{BlockKernelCfg, KernelStyle, Operand};
+    use sw_isa::{gen_block_kernel_looped, Net};
+
+    fn role_cfg(a_src: Operand, b_src: Operand) -> BlockKernelCfg {
+        BlockKernelCfg {
+            pm: 16,
+            pn: 8,
+            pk: 16,
+            a_src,
+            b_src,
+            a_base: 0,
+            b_base: 512,
+            c_base: 768,
+            alpha_addr: 1024,
+        }
+    }
+
+    /// Builds the 64 streams of one collective step: the CPE in mesh
+    /// column `step` broadcasts A along its row, the CPE in mesh row
+    /// `step` broadcasts B along its column (the PE mapping's roles).
+    fn step_streams(step: usize) -> Vec<Vec<Instr>> {
+        let mut out = Vec::with_capacity(64);
+        for row in 0..8 {
+            for col in 0..8 {
+                let a_src = if col == step {
+                    Operand::LdmBcast(Net::Row)
+                } else {
+                    Operand::Recv(Net::Row)
+                };
+                let b_src = if row == step {
+                    Operand::LdmBcast(Net::Col)
+                } else {
+                    Operand::Recv(Net::Col)
+                };
+                out.push(gen_block_kernel_looped(
+                    &role_cfg(a_src, b_src),
+                    KernelStyle::Naive,
+                    1,
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn collective_step_lints_clean() {
+        for step in [0, 3, 7] {
+            let streams = step_streams(step);
+            let refs: Vec<&[Instr]> = streams.iter().map(|s| s.as_slice()).collect();
+            let report = lint_core_group(&refs, None);
+            assert!(report.is_clean(), "step {step}:\n{}", report.render_text());
+        }
+    }
+
+    #[test]
+    fn unique_stream_analysis_is_shared() {
+        // 64 streams but only 4 distinct role pairs → the per-stream
+        // diagnostics of a bad shared stream appear once, not 49×.
+        let mut streams = step_streams(0);
+        for s in &mut streams {
+            // Make every stream out-of-bounds in the same way.
+            if let Some(Instr::Ldde { off, .. }) = s.get_mut(1) {
+                *off = 9000;
+            }
+        }
+        let refs: Vec<&[Instr]> = streams.iter().map(|s| s.as_slice()).collect();
+        let report = lint_core_group(&refs, None);
+        let oob: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == codes::LDM_OUT_OF_BOUNDS)
+            .collect();
+        assert_eq!(oob.len(), 4, "one finding per distinct stream");
+    }
+}

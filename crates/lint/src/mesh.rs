@@ -1,0 +1,189 @@
+//! Cross-CPE mesh protocol verification.
+//!
+//! The register-communication networks are blocking, in-order, and
+//! group-scoped: a row broadcast delivers one word to the other seven
+//! CPEs of the sender's mesh row; `getr` blocks until a word arrives.
+//! For a step to complete, every CPE of every row (and column) group
+//! must receive *exactly* the words its peers broadcast:
+//!
+//! * receives > peer broadcasts → some `getr`/`getc` blocks forever —
+//!   the wedged-mesh deadlock of §III-B;
+//! * receives < peer broadcasts → orphan words are left in flight and
+//!   wedge the *next* step's traffic.
+//!
+//! The check is pure counting over the per-stream [`CommCounts`] the
+//! abstract interpreter proves, so it is exact whenever every member
+//! stream was followed to termination.
+
+use crate::absint::CommCounts;
+use crate::diag::{codes, Diagnostic, Severity};
+
+/// Side length of the square CPE mesh (8×8 = `CPES_PER_CG`).
+pub const MESH_DIM: usize = 8;
+
+/// Verifies rendezvous counts for all 8 row groups on the row network
+/// and all 8 column groups on the column network.
+///
+/// `comm[r][c]` / `exact[r][c]` are the per-CPE summaries (mesh row
+/// `r`, mesh column `c`).
+pub fn check_mesh(
+    comm: &[[CommCounts; MESH_DIM]; MESH_DIM],
+    exact: &[[bool; MESH_DIM]; MESH_DIM],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // net 0 = row network (groups are mesh rows), net 1 = column
+    // network (groups are mesh columns).
+    for (net, net_name) in [(0usize, "row"), (1, "column")] {
+        for g in 0..8 {
+            let members: Vec<(u8, u8)> = (0..8)
+                .map(|m| {
+                    if net == 0 {
+                        (g as u8, m as u8)
+                    } else {
+                        (m as u8, g as u8)
+                    }
+                })
+                .collect();
+            if members.iter().any(|&(r, c)| !exact[r as usize][c as usize]) {
+                out.push(Diagnostic::new(
+                    Severity::Info,
+                    codes::MESH_ANALYSIS_INCOMPLETE,
+                    format!(
+                        "{net_name} group {g}: a member stream was not fully analyzed; \
+                         rendezvous counting skipped"
+                    ),
+                ));
+                continue;
+            }
+            let sent: Vec<u64> = members
+                .iter()
+                .map(|&(r, c)| comm[r as usize][c as usize].sent[net])
+                .collect();
+            let total: u64 = sent.iter().sum();
+            let senders = sent.iter().filter(|&&s| s > 0).count();
+            if senders > 1 {
+                out.push(Diagnostic::new(
+                    Severity::Warning,
+                    codes::MULTIPLE_BROADCASTERS,
+                    format!(
+                        "{net_name} group {g}: {senders} CPEs broadcast on the {net_name} \
+                         network; the collective scheme has one sender per group per step"
+                    ),
+                ));
+            }
+            for (m, &(r, c)) in members.iter().enumerate() {
+                let recv = comm[r as usize][c as usize].recv[net];
+                let expected = total - sent[m];
+                if recv > expected {
+                    out.push(
+                        Diagnostic::new(
+                            Severity::Error,
+                            codes::MESH_DEADLOCK,
+                            format!(
+                                "CPE ({r},{c}) waits for {recv} words on the {net_name} \
+                                 network but its group peers broadcast only {expected}; \
+                                 the receive blocks forever and wedges the mesh"
+                            ),
+                        )
+                        .with_cpe(r, c),
+                    );
+                } else if recv < expected {
+                    out.push(
+                        Diagnostic::new(
+                            Severity::Error,
+                            codes::ORPHAN_BROADCAST,
+                            format!(
+                                "CPE ({r},{c}) drains {recv} of the {expected} words its \
+                                 {net_name}-group peers broadcast; {} orphan words are \
+                                 left in flight",
+                                expected - recv
+                            ),
+                        )
+                        .with_cpe(r, c),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> ([[CommCounts; 8]; 8], [[bool; 8]; 8]) {
+        ([[CommCounts::default(); 8]; 8], [[true; 8]; 8])
+    }
+
+    /// One sender per row group on the row net, 128 words each.
+    fn clean_row_step(comm: &mut [[CommCounts; 8]; 8], sender_col: usize) {
+        for row in comm.iter_mut() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                if c == sender_col {
+                    cell.sent[0] = 128;
+                } else {
+                    cell.recv[0] = 128;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clean_collective_step_passes() {
+        let (mut comm, exact) = grid();
+        clean_row_step(&mut comm, 3);
+        assert!(check_mesh(&comm, &exact).is_empty());
+    }
+
+    #[test]
+    fn extra_receive_is_deadlock() {
+        let (mut comm, exact) = grid();
+        clean_row_step(&mut comm, 0);
+        comm[2][5].recv[0] += 1;
+        let ds = check_mesh(&comm, &exact);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, codes::MESH_DEADLOCK);
+        assert_eq!(ds[0].cpe, Some((2, 5)));
+    }
+
+    #[test]
+    fn dropped_receive_is_orphan() {
+        let (mut comm, exact) = grid();
+        clean_row_step(&mut comm, 0);
+        comm[4][1].recv[0] -= 4;
+        let ds = check_mesh(&comm, &exact);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, codes::ORPHAN_BROADCAST);
+        assert_eq!(ds[0].cpe, Some((4, 1)));
+    }
+
+    #[test]
+    fn two_senders_warned() {
+        let (mut comm, exact) = grid();
+        // Two senders in row 0; receivers drain both, so counts still
+        // balance — only the protocol-shape warning fires.
+        comm[0][0].sent[0] = 10;
+        comm[0][1].sent[0] = 6;
+        for cell in comm[0].iter_mut() {
+            let own = cell.sent[0];
+            cell.recv[0] = 16 - own;
+        }
+        let ds = check_mesh(&comm, &exact);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, codes::MULTIPLE_BROADCASTERS);
+    }
+
+    #[test]
+    fn inexact_member_skips_group() {
+        let (mut comm, mut exact) = grid();
+        clean_row_step(&mut comm, 0);
+        comm[1][2].recv[0] += 7; // would be a deadlock…
+        exact[1][2] = false; // …but the stream wasn't fully analyzed
+        let ds = check_mesh(&comm, &exact);
+        // The inexact CPE sits in one row group and one column group;
+        // both are skipped with an Info instead of reporting errors.
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().all(|d| d.code == codes::MESH_ANALYSIS_INCOMPLETE));
+    }
+}

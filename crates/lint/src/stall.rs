@@ -1,0 +1,422 @@
+//! Static stall prover: a pipeline dataflow pass that reproduces the
+//! executor's dual-issue in-order timing — scoreboard, pipe slots,
+//! branch refill, and the per-pipe stall attribution — over *abstract*
+//! integer registers, with no LDM, no mesh, and no floating point.
+//!
+//! The executor's timing is data-independent except through `Bne`, and
+//! `Bne` counters are driven purely by `Setl`/`Addl` chains. So:
+//!
+//! * when every branch resolves (every generated kernel), the prover
+//!   walks the exact dynamic path and its [`StallReport`] equals
+//!   `Machine::run_probed`'s **field for field** — [`Bound::Exact`];
+//! * when a branch counter is unknown or the budget trips, the prover
+//!   stops after a *prefix* of the dynamic instruction sequence and
+//!   returns the attribution accumulated so far, without the final
+//!   tail attribution — every bucket is then ≤ its dynamic value
+//!   (the dynamic run issues a superset of the prefix's instructions
+//!   and only ever *adds* to buckets) — [`Bound::LowerBound`].
+//!
+//! Both claims are pinned by the cross-validation tests in
+//! `tests/stall_crosscheck.rs`.
+
+use sw_arch::consts::VREG_COUNT;
+use sw_isa::instr::{Pipe, BRANCH_TAKEN_PENALTY};
+use sw_isa::regs::IREG_COUNT;
+use sw_isa::{Instr, PipeBreakdown, StallKind, StallReport};
+
+/// Result latency that marks a producer as load-class (LDM loads and
+/// register-communication receives); mirrors the executor's constant.
+const LOAD_LATENCY: u64 = 4;
+
+/// Default dynamic-instruction budget for the prover.
+pub const DEFAULT_STALL_BUDGET: u64 = 20_000_000;
+
+/// How tight the proven report is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Every branch resolved; the report equals the dynamic one.
+    Exact,
+    /// Analysis stopped on an unresolved branch or the budget; every
+    /// bucket is a lower bound on the dynamic value.
+    LowerBound,
+}
+
+/// The prover's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticStalls {
+    /// Per-pipe attribution. For [`Bound::Exact`] this satisfies
+    /// [`StallReport::check`]; for a lower bound the buckets cover only
+    /// the attributed prefix and need not sum to `cycles`.
+    pub report: StallReport,
+    /// Whether the report is exact or a prefix lower bound.
+    pub bound: Bound,
+    /// Dynamic instructions the prover walked.
+    pub instructions: u64,
+}
+
+/// Mirror of the executor's incremental stall attribution (the
+/// original lives privately in `sw_isa::machine`; the equality tests
+/// keep the two from drifting).
+#[derive(Debug)]
+struct Attribution {
+    report: StallReport,
+    attributed: [u64; 2],
+    refill_snap: [u64; 2],
+    refill_cum: u64,
+    refill_last_end: u64,
+    vload: [bool; VREG_COUNT],
+}
+
+impl Default for Attribution {
+    fn default() -> Self {
+        Attribution {
+            report: StallReport::default(),
+            attributed: [0; 2],
+            refill_snap: [0; 2],
+            refill_cum: 0,
+            refill_last_end: 0,
+            vload: [false; VREG_COUNT],
+        }
+    }
+}
+
+#[inline]
+fn consider(best: &mut (u64, bool), ready: u64, is_load: bool) {
+    if ready > best.0 {
+        *best = (ready, is_load);
+    } else if ready == best.0 && is_load {
+        best.1 = true;
+    }
+}
+
+impl Attribution {
+    #[inline]
+    fn on_issue(&mut self, pipe: Pipe, t: u64, cur0: u64, ready: (u64, bool)) {
+        let p = pipe as usize;
+        let a = self.attributed[p];
+        let refill = self.refill_cum - self.refill_snap[p];
+        let hazard = t.min(ready.0).saturating_sub(a.max(cur0));
+        let gap = t - a;
+        debug_assert!(refill + hazard <= gap, "attribution exceeds the gap");
+        let b = &mut self.report.pipes[p];
+        b.add(StallKind::LoopOverhead, refill);
+        b.add(
+            if ready.1 {
+                StallKind::LoadUse
+            } else {
+                StallKind::Raw
+            },
+            hazard,
+        );
+        b.add(StallKind::PipeConflict, gap - refill - hazard);
+        b.issue += 1;
+        self.attributed[p] = t + 1;
+        self.refill_snap[p] = self.refill_cum;
+    }
+
+    #[inline]
+    fn on_taken_branch(&mut self, t: u64) {
+        self.refill_cum += BRANCH_TAKEN_PENALTY;
+        self.refill_last_end = t + 1 + BRANCH_TAKEN_PENALTY;
+    }
+
+    fn finish(&mut self, cycles: u64) -> StallReport {
+        self.report.cycles = cycles;
+        for p in 0..2 {
+            let tail = cycles - self.attributed[p];
+            let pending = self.refill_cum - self.refill_snap[p];
+            let overshoot = self.refill_last_end.saturating_sub(cycles);
+            let refill = pending.saturating_sub(overshoot).min(tail);
+            let b = &mut self.report.pipes[p];
+            b.add(StallKind::LoopOverhead, refill);
+            b.add(StallKind::PipeConflict, tail - refill);
+        }
+        self.report
+    }
+}
+
+/// Proves a stall report for `prog` with the default budget and the
+/// executor's zeroed entry registers.
+pub fn prove_stalls(prog: &[Instr]) -> StaticStalls {
+    prove_stalls_budgeted(prog, DEFAULT_STALL_BUDGET, [Some(0); IREG_COUNT])
+}
+
+/// Proves a stall report with an explicit budget and entry state.
+pub fn prove_stalls_budgeted(
+    prog: &[Instr],
+    budget: u64,
+    entry_regs: [Option<i64>; IREG_COUNT],
+) -> StaticStalls {
+    let mut probe = Attribution::default();
+    let mut instructions: u64 = 0;
+    let mut vready = [0u64; VREG_COUNT];
+    let mut iready = [0u64; IREG_COUNT];
+    let mut regs = entry_regs;
+    let mut cur: u64 = 0;
+    let mut p0_used = false;
+    let mut p1_used = false;
+    let mut last_issue: u64 = 0;
+    let mut pc = 0usize;
+    let mut bound = Bound::Exact;
+
+    // Any out-of-range register makes the stream unrunnable; the
+    // structural pass reports it — here we just refuse to walk.
+    let regs_ok = |i: &Instr| {
+        i.vsrcs().into_iter().all(|r| (r.0 as usize) < VREG_COUNT)
+            && i.vdst().is_none_or(|d| (d.0 as usize) < VREG_COUNT)
+            && i.isrcs().into_iter().all(|r| (r.0 as usize) < IREG_COUNT)
+            && i.idst().is_none_or(|d| (d.0 as usize) < IREG_COUNT)
+    };
+
+    while pc < prog.len() {
+        let instr = prog[pc];
+        if instructions >= budget || !regs_ok(&instr) {
+            bound = Bound::LowerBound;
+            break;
+        }
+        instructions += 1;
+
+        let cur0 = cur;
+        let mut t = cur;
+        let mut ready = (0u64, false);
+        for r in instr.vsrcs() {
+            let rt = vready[r.idx()];
+            t = t.max(rt);
+            consider(&mut ready, rt, probe.vload[r.idx()]);
+        }
+        for r in instr.isrcs() {
+            let rt = iready[r.idx()];
+            t = t.max(rt);
+            consider(&mut ready, rt, false);
+        }
+        if let Some(d) = instr.vdst() {
+            let rt = vready[d.idx()];
+            t = t.max(rt);
+            consider(&mut ready, rt, probe.vload[d.idx()]);
+        }
+        if let Some(d) = instr.idst() {
+            let rt = iready[d.idx()];
+            t = t.max(rt);
+            consider(&mut ready, rt, false);
+        }
+        loop {
+            if t > cur {
+                cur = t;
+                p0_used = false;
+                p1_used = false;
+            }
+            let used = match instr.pipe() {
+                Pipe::P0 => &mut p0_used,
+                Pipe::P1 => &mut p1_used,
+            };
+            if !*used {
+                *used = true;
+                break;
+            }
+            t += 1;
+        }
+        last_issue = last_issue.max(t);
+        probe.on_issue(instr.pipe(), t, cur0, ready);
+
+        if let Some(d) = instr.vdst() {
+            vready[d.idx()] = t + instr.latency();
+            probe.vload[d.idx()] = instr.latency() == LOAD_LATENCY;
+        }
+        if let Some(d) = instr.idst() {
+            iready[d.idx()] = t + instr.latency();
+        }
+        let mut next_pc = pc + 1;
+        match instr {
+            Instr::Addl { d, s, imm } => {
+                regs[d.idx()] = regs[s.idx()].map(|x| x.saturating_add(imm));
+            }
+            Instr::Setl { d, imm } => {
+                regs[d.idx()] = Some(imm);
+            }
+            Instr::Bne { s, target } => match regs[s.idx()] {
+                None => {
+                    // The branch itself issued (its timing is part of
+                    // both outcomes) but the successor is unknown.
+                    bound = Bound::LowerBound;
+                    pc = prog.len();
+                    continue;
+                }
+                Some(0) => {}
+                Some(_) => {
+                    next_pc = target;
+                    cur = t + 1 + BRANCH_TAKEN_PENALTY;
+                    p0_used = false;
+                    p1_used = false;
+                    probe.on_taken_branch(t);
+                }
+            },
+            _ => {}
+        }
+        pc = next_pc;
+    }
+
+    let cycles = if instructions == 0 { 0 } else { last_issue + 1 };
+    let report = match bound {
+        Bound::Exact => probe.finish(cycles),
+        Bound::LowerBound => {
+            // Prefix attribution only: no tail, so each bucket is a
+            // lower bound on the dynamic run's.
+            let mut r = probe.report;
+            r.cycles = cycles;
+            r
+        }
+    };
+    StaticStalls {
+        report,
+        bound,
+        instructions,
+    }
+}
+
+/// Per-kind lower-bound comparison: every bucket of `lo` ≤ the same
+/// bucket of `hi`, and `lo.cycles` ≤ `hi.cycles`.
+pub fn report_le(lo: &StallReport, hi: &StallReport) -> bool {
+    let pipe_le = |a: &PipeBreakdown, b: &PipeBreakdown| {
+        a.issue <= b.issue && StallKind::ALL.iter().all(|&k| a.get(k) <= b.get(k))
+    };
+    pipe_le(&lo.pipes[0], &hi.pipes[0])
+        && pipe_le(&lo.pipes[1], &hi.pipes[1])
+        && lo.cycles <= hi.cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_arch::consts::LDM_DOUBLES;
+    use sw_isa::{IReg, Machine, SinkComm, VReg};
+
+    fn dynamic(prog: &[Instr]) -> StallReport {
+        let mut ldm = vec![0.0f64; LDM_DOUBLES];
+        let mut comm = SinkComm;
+        Machine::new(&mut ldm, &mut comm).run_probed(prog).1
+    }
+
+    #[test]
+    fn branch_free_stream_is_exact() {
+        let prog = vec![
+            Instr::Setl { d: IReg(0), imm: 0 },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+            },
+            Instr::Vmad {
+                a: VReg(0),
+                b: VReg(0),
+                c: VReg(16),
+                d: VReg(16),
+            },
+            Instr::Vstd {
+                s: VReg(16),
+                base: IReg(0),
+                off: 0,
+            },
+        ];
+        let s = prove_stalls(&prog);
+        assert_eq!(s.bound, Bound::Exact);
+        assert_eq!(s.report, dynamic(&prog));
+        assert!(s.report.check().is_ok());
+    }
+
+    #[test]
+    fn resolved_loop_is_exact() {
+        let prog = vec![
+            Instr::Setl { d: IReg(0), imm: 0 },
+            Instr::Setl { d: IReg(1), imm: 5 },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+            },
+            Instr::Vmad {
+                a: VReg(0),
+                b: VReg(0),
+                c: VReg(16),
+                d: VReg(16),
+            },
+            Instr::Addl {
+                d: IReg(1),
+                s: IReg(1),
+                imm: -1,
+            },
+            Instr::Bne {
+                s: IReg(1),
+                target: 2,
+            },
+        ];
+        let s = prove_stalls(&prog);
+        assert_eq!(s.bound, Bound::Exact);
+        assert_eq!(s.report, dynamic(&prog));
+    }
+
+    #[test]
+    fn unknown_counter_gives_prefix_lower_bound() {
+        let mut entry = [Some(0i64); IREG_COUNT];
+        entry[1] = None;
+        let prog = vec![
+            Instr::Setl { d: IReg(0), imm: 0 },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+            },
+            Instr::Vmad {
+                a: VReg(0),
+                b: VReg(0),
+                c: VReg(16),
+                d: VReg(16),
+            },
+            Instr::Bne {
+                s: IReg(1),
+                target: 1,
+            },
+            Instr::Vstd {
+                s: VReg(16),
+                base: IReg(0),
+                off: 0,
+            },
+        ];
+        let s = prove_stalls_budgeted(&prog, DEFAULT_STALL_BUDGET, entry);
+        assert_eq!(s.bound, Bound::LowerBound);
+        // Dynamically the machine zeroes r1, so the branch falls
+        // through and the full run is a superset of the prefix.
+        assert!(report_le(&s.report, &dynamic(&prog)));
+    }
+
+    #[test]
+    fn budget_stop_is_lower_bound() {
+        let prog = vec![
+            Instr::Setl {
+                d: IReg(1),
+                imm: 1000,
+            },
+            Instr::Vclr { d: VReg(0) },
+            Instr::Addl {
+                d: IReg(1),
+                s: IReg(1),
+                imm: -1,
+            },
+            Instr::Bne {
+                s: IReg(1),
+                target: 1,
+            },
+        ];
+        let s = prove_stalls_budgeted(&prog, 50, [Some(0); IREG_COUNT]);
+        assert_eq!(s.bound, Bound::LowerBound);
+        assert_eq!(s.instructions, 50);
+        assert!(report_le(&s.report, &dynamic(&prog)));
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = prove_stalls(&[]);
+        assert_eq!(s.bound, Bound::Exact);
+        assert_eq!(s.report.cycles, 0);
+        assert!(s.report.check().is_ok());
+    }
+}

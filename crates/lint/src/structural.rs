@@ -1,0 +1,176 @@
+//! Structural single-stream checks (the old `sw_isa::verify` absorbed
+//! into the diagnostics framework).
+//!
+//! These are flow-insensitive facts about the instruction encoding:
+//! register indices in range, branch targets inside the program, the
+//! 16 KB i-cache budget, and the one-role-per-network protocol rule.
+//! Read-before-write is flow-*sensitive* and routed through the CFG
+//! engine ([`crate::cfg`]); address legality is value-sensitive and
+//! handled by abstract interpretation ([`crate::absint`]), which
+//! subsumes the old `r0`-relative misalignment scan.
+
+use crate::cfg;
+use crate::diag::{codes, Diagnostic, Severity, Span};
+use sw_arch::consts::{ICACHE_BYTES, VREG_COUNT};
+use sw_isa::regs::IREG_COUNT;
+use sw_isa::{fits_icache, icache_footprint_bytes, Instr, Net};
+
+/// Runs every structural check over one stream.
+pub fn check_structural(prog: &[Instr]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let len = prog.len();
+    let mut sent = [false; 2];
+    let mut received = [false; 2];
+    for (pc, i) in prog.iter().enumerate() {
+        for r in i.vsrcs() {
+            if (r.0 as usize) >= VREG_COUNT {
+                out.push(bad_vreg(pc, i, r.0));
+            }
+        }
+        if let Some(d) = i.vdst() {
+            if (d.0 as usize) >= VREG_COUNT {
+                out.push(bad_vreg(pc, i, d.0));
+            }
+        }
+        for r in i.isrcs() {
+            if (r.0 as usize) >= IREG_COUNT {
+                out.push(bad_ireg(pc, i, r.0));
+            }
+        }
+        if let Some(d) = i.idst() {
+            if (d.0 as usize) >= IREG_COUNT {
+                out.push(bad_ireg(pc, i, d.0));
+            }
+        }
+        match *i {
+            Instr::Bne { target, .. } if target >= len => {
+                out.push(
+                    Diagnostic::new(
+                        Severity::Error,
+                        codes::BAD_BRANCH_TARGET,
+                        format!("`{i}` targets instruction {target} of a {len}-instruction stream"),
+                    )
+                    .with_span(Span::at(pc)),
+                );
+            }
+            Instr::Vldr { net, .. } | Instr::Lddec { net, .. } => {
+                sent[net_bit(net)] = true;
+            }
+            Instr::Getr { .. } => received[0] = true,
+            Instr::Getc { .. } => received[1] = true,
+            _ => {}
+        }
+    }
+    for (n, name) in [(0, "row"), (1, "column")] {
+        if sent[n] && received[n] {
+            out.push(Diagnostic::new(
+                Severity::Error,
+                codes::MIXED_COMM_ROLE,
+                format!(
+                    "stream both broadcasts and receives on the {name} network; \
+                     a step role is sender or receiver, never both"
+                ),
+            ));
+        }
+    }
+    if !fits_icache(prog) {
+        out.push(Diagnostic::new(
+            Severity::Error,
+            codes::ICACHE_OVERFLOW,
+            format!(
+                "stream is {} bytes, over the {ICACHE_BYTES}-byte instruction cache; \
+                 use the looped generator",
+                icache_footprint_bytes(prog)
+            ),
+        ));
+    }
+    out.extend(cfg::check_read_before_write(prog));
+    out
+}
+
+fn net_bit(net: Net) -> usize {
+    match net {
+        Net::Row => 0,
+        Net::Col => 1,
+    }
+}
+
+fn bad_vreg(pc: usize, i: &Instr, r: u8) -> Diagnostic {
+    Diagnostic::new(
+        Severity::Error,
+        codes::BAD_VREG,
+        format!("`{i}` names v{r}, outside the {VREG_COUNT}-register vector file"),
+    )
+    .with_span(Span::at(pc))
+}
+
+fn bad_ireg(pc: usize, i: &Instr, r: u8) -> Diagnostic {
+    Diagnostic::new(
+        Severity::Error,
+        codes::BAD_IREG,
+        format!("`{i}` names r{r}, outside the {IREG_COUNT}-register integer file"),
+    )
+    .with_span(Span::at(pc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_isa::{IReg, VReg};
+
+    #[test]
+    fn bad_registers_flagged() {
+        let prog = vec![
+            Instr::Vclr { d: VReg(32) },
+            Instr::Addl {
+                d: IReg(9),
+                s: IReg(9),
+                imm: 1,
+            },
+        ];
+        let ds = check_structural(&prog);
+        assert!(ds.iter().any(|d| d.code == codes::BAD_VREG));
+        assert!(ds.iter().any(|d| d.code == codes::BAD_IREG));
+    }
+
+    #[test]
+    fn mixed_role_flagged_even_behind_branch() {
+        // The old verify pass happened to survive branches here, but
+        // route it through the framework and pin the behavior.
+        let prog = vec![
+            Instr::Setl { d: IReg(1), imm: 1 },
+            Instr::Vldr {
+                d: VReg(0),
+                base: IReg(0),
+                off: 0,
+                net: Net::Row,
+            },
+            Instr::Addl {
+                d: IReg(1),
+                s: IReg(1),
+                imm: -1,
+            },
+            Instr::Bne {
+                s: IReg(1),
+                target: 1,
+            },
+            Instr::Getr { d: VReg(1) },
+        ];
+        let ds = check_structural(&prog);
+        assert!(ds.iter().any(|d| d.code == codes::MIXED_COMM_ROLE));
+    }
+
+    #[test]
+    fn clean_stream_passes() {
+        let prog = vec![
+            Instr::Setl { d: IReg(0), imm: 0 },
+            Instr::Vclr { d: VReg(0) },
+            Instr::Vstd {
+                s: VReg(0),
+                base: IReg(0),
+                off: 0,
+            },
+        ];
+        assert!(check_structural(&prog).is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Golden-file pin of the `sw-lint` JSON report format.
+//!
+//! A small deliberately-buggy stream exercises every diagnostic field
+//! (severity, code, CPE tag, span, message); its JSON rendering must
+//! match `tests/golden/lint_report.json` byte for byte. The report is
+//! canonicalized (`sort_and_dedup`) before rendering, so the bytes are
+//! deterministic. Re-bless with:
+//!
+//! ```text
+//! BLESS_GOLDEN=1 cargo test -p sw-lint --test json_golden
+//! ```
+
+use sw_isa::{IReg, Instr, VReg};
+use sw_lint::{lint_stream, LdmLayout, LdmRegion};
+
+const GOLDEN_PATH: &str = "tests/golden/lint_report.json";
+
+/// A stream tripping one finding of each pass: a read of scratch v0
+/// before any write (CFG pass), a vector load past the LDM bound and a
+/// misaligned store (LDM pass), and a touch of the DMA-owned
+/// half-buffer (DB hazard).
+fn buggy_report_json() -> String {
+    let prog = vec![
+        Instr::Vmad {
+            a: VReg(0),
+            b: VReg(16),
+            c: VReg(17),
+            d: VReg(17),
+        },
+        Instr::Vldd {
+            d: VReg(1),
+            base: IReg(0),
+            off: 8190,
+        },
+        Instr::Vstd {
+            s: VReg(17),
+            base: IReg(0),
+            off: 6,
+        },
+        Instr::Vldd {
+            d: VReg(2),
+            base: IReg(0),
+            off: 4096,
+        },
+    ];
+    let layout = LdmLayout {
+        regions: vec![
+            LdmRegion::new("A buffer 0", 0, 2048),
+            LdmRegion::hazard("A buffer 1", 4096, 2048),
+        ],
+    };
+    lint_stream(&prog, Some(&layout)).to_json()
+}
+
+#[test]
+fn report_json_matches_golden_bytes() {
+    let json = buggy_report_json();
+    if std::env::var("BLESS_GOLDEN").is_ok() {
+        std::fs::create_dir_all("tests/golden").unwrap();
+        std::fs::write(GOLDEN_PATH, &json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with BLESS_GOLDEN=1 to create it");
+    assert_eq!(
+        json, golden,
+        "lint JSON drifted from {GOLDEN_PATH}; if intentional, \
+         re-bless with BLESS_GOLDEN=1"
+    );
+}
+
+#[test]
+fn report_json_is_stable_across_runs() {
+    assert_eq!(buggy_report_json(), buggy_report_json());
+}

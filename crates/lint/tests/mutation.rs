@@ -1,0 +1,188 @@
+//! Mutation tests: each seeded bug is caught by exactly the analysis
+//! pass designed for it, and the unmutated plan lints clean.
+//!
+//! The plan under test is one collective step of the PE mapping: the
+//! CPE in mesh column 0 broadcasts A along its row, the CPE in mesh
+//! row 0 broadcasts B along its column, everyone else receives. The
+//! streams are the *unrolled* generator output so mutations can insert
+//! and delete instructions without branch-target fixups.
+
+use sw_isa::kernels::{gen_block_kernel, BlockKernelCfg, KernelStyle, Operand};
+use sw_isa::{Instr, Net, VReg};
+use sw_lint::{codes, lint_core_group, LdmLayout, LdmRegion, LintReport, Severity};
+
+const PM: usize = 16;
+const PN: usize = 8;
+const PK: usize = 16;
+const A0: usize = 0; // compute-owned A half-buffer
+const A1: usize = 1536; // DMA-owned A half-buffer
+const B0: usize = 512;
+const C0: usize = 768;
+const C1: usize = 1792; // DMA-owned C half-buffer
+const ALPHA: usize = 1024;
+
+fn role_cfg(a_src: Operand, b_src: Operand) -> BlockKernelCfg {
+    BlockKernelCfg {
+        pm: PM,
+        pn: PN,
+        pk: PK,
+        a_src,
+        b_src,
+        a_base: A0,
+        b_base: B0,
+        c_base: C0,
+        alpha_addr: ALPHA,
+    }
+}
+
+/// The double-buffer layout: the partner halves of A and C belong to
+/// the DMA engine while this step computes.
+fn layout() -> LdmLayout {
+    LdmLayout {
+        regions: vec![
+            LdmRegion::new("A buffer 0", A0, PM * PK),
+            LdmRegion::hazard("A buffer 1", A1, PM * PK),
+            LdmRegion::new("B buffer", B0, PK * PN),
+            LdmRegion::new("C buffer 0", C0, PM * PN),
+            LdmRegion::hazard("C buffer 1", C1, PM * PN),
+            LdmRegion::new("alpha", ALPHA, 1),
+        ],
+    }
+}
+
+/// The 64 streams of collective step 0 (unrolled, branch-free).
+fn step_streams() -> Vec<Vec<Instr>> {
+    let mut out = Vec::with_capacity(64);
+    for row in 0..8 {
+        for col in 0..8 {
+            let a_src = if col == 0 {
+                Operand::LdmBcast(Net::Row)
+            } else {
+                Operand::Recv(Net::Row)
+            };
+            let b_src = if row == 0 {
+                Operand::LdmBcast(Net::Col)
+            } else {
+                Operand::Recv(Net::Col)
+            };
+            out.push(gen_block_kernel(
+                &role_cfg(a_src, b_src),
+                KernelStyle::Naive,
+            ));
+        }
+    }
+    out
+}
+
+fn lint(streams: &[Vec<Instr>]) -> LintReport {
+    let refs: Vec<&[Instr]> = streams.iter().map(|s| s.as_slice()).collect();
+    lint_core_group(&refs, Some(&layout()))
+}
+
+/// Every error in the report carries the single expected code.
+fn only_error_is(report: &LintReport, code: &str) {
+    assert!(
+        report.has_code(code),
+        "expected {code}:\n{}",
+        report.render_text()
+    );
+    for d in &report.diagnostics {
+        if d.severity == Severity::Error {
+            assert_eq!(
+                d.code,
+                code,
+                "unexpected extra error:\n{}",
+                report.render_text()
+            );
+        }
+    }
+}
+
+#[test]
+fn unmutated_step_lints_clean() {
+    let report = lint(&step_streams());
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+/// Pass 1 (mesh): deleting a receive leaves a broadcast word in
+/// flight — orphan-broadcast, attributed to the starving CPE.
+#[test]
+fn dropped_getr_is_orphan_broadcast() {
+    let mut streams = step_streams();
+    // CPE (2,5) is an A-receiver; drop its first row-net receive.
+    // The destination register is still written (`vclr`) so the only
+    // observable change is one missing rendezvous.
+    let victim = &mut streams[2 * 8 + 5];
+    let at = victim
+        .iter()
+        .position(|i| matches!(i, Instr::Getr { .. }))
+        .expect("receiver stream has Getr");
+    let Instr::Getr { d } = victim[at] else {
+        unreachable!()
+    };
+    victim[at] = Instr::Vclr { d };
+    let report = lint(&streams);
+    only_error_is(&report, codes::ORPHAN_BROADCAST);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::ORPHAN_BROADCAST)
+        .unwrap();
+    assert_eq!(d.cpe, Some((2, 5)));
+}
+
+/// Pass 1 (mesh): an extra receive blocks forever — mesh-deadlock.
+#[test]
+fn extra_getr_is_mesh_deadlock() {
+    let mut streams = step_streams();
+    // CPE (4,1) asks for one word more than its peers broadcast.
+    streams[4 * 8 + 1].insert(0, Instr::Getr { d: VReg(0) });
+    let report = lint(&streams);
+    only_error_is(&report, codes::MESH_DEADLOCK);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::MESH_DEADLOCK)
+        .unwrap();
+    assert_eq!(d.cpe, Some((4, 1)));
+}
+
+/// Pass 2 (LDM): an out-of-bounds offset is caught by the bounds
+/// check and nothing else — comm counts and stalls are unaffected.
+#[test]
+fn out_of_bounds_vldd_is_ldm_error() {
+    let mut streams = step_streams();
+    let victim = &mut streams[3 * 8 + 3];
+    let at = victim
+        .iter()
+        .position(|i| matches!(i, Instr::Vldd { .. }))
+        .expect("stream has a local vector load");
+    if let Instr::Vldd { off, .. } = &mut victim[at] {
+        *off = 9000; // past the 8192-double LDM
+    }
+    let report = lint(&streams);
+    only_error_is(&report, codes::LDM_OUT_OF_BOUNDS);
+}
+
+/// Pass 2 (LDM): pointing compute at the DMA-owned half-buffer (the
+/// classic double-buffer rotation bug) is a db-hazard, and only that.
+#[test]
+fn swapped_double_buffer_base_is_db_hazard() {
+    let mut streams = step_streams();
+    // CPE (5,0) broadcasts A from its LDM; regenerate its stream with
+    // A read from the half the DMA engine is filling for the *next*
+    // step. Comm counts are untouched, so only the LDM pass can see it.
+    let bad = BlockKernelCfg {
+        a_base: A1,
+        ..role_cfg(Operand::LdmBcast(Net::Row), Operand::Recv(Net::Col))
+    };
+    streams[5 * 8] = gen_block_kernel(&bad, KernelStyle::Naive);
+    let report = lint(&streams);
+    only_error_is(&report, codes::DB_HAZARD);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::DB_HAZARD)
+        .unwrap();
+    assert!(d.message.contains("A buffer 1"), "{}", d.message);
+}

@@ -1,0 +1,241 @@
+//! Cross-validation of the static stall prover against `sw-probe`'s
+//! dynamic attribution (`Machine::run_probed`).
+//!
+//! The two claims the ISSUE pins:
+//!
+//! * on every generated kernel (branches all resolve from the zeroed
+//!   entry registers) the static report is [`Bound::Exact`] and equals
+//!   the dynamic [`StallReport`] **field for field**;
+//! * wherever the prover stops early (unknown counter, budget), every
+//!   bucket of the static report is ≤ the dynamic one — property-tested
+//!   over randomized programs.
+
+use sw_arch::consts::LDM_DOUBLES;
+use sw_isa::kernels::{gen_block_kernel, BlockKernelCfg, KernelStyle, Operand};
+use sw_isa::regs::IREG_COUNT;
+use sw_isa::{gen_block_kernel_looped, IReg, Instr, Machine, Net, SinkComm, StallReport, VReg};
+use sw_lint::stall::{prove_stalls_budgeted, report_le, DEFAULT_STALL_BUDGET};
+use sw_lint::{prove_stalls, Bound};
+
+fn dynamic(prog: &[Instr]) -> StallReport {
+    let mut ldm = vec![0.0f64; LDM_DOUBLES];
+    let mut comm = SinkComm;
+    Machine::new(&mut ldm, &mut comm).run_probed(prog).1
+}
+
+fn cfg(a: Operand, b: Operand) -> BlockKernelCfg {
+    BlockKernelCfg {
+        pm: 16,
+        pn: 8,
+        pk: 16,
+        a_src: a,
+        b_src: b,
+        a_base: 0,
+        b_base: 2048,
+        c_base: 4096,
+        alpha_addr: 8000,
+    }
+}
+
+/// Every generated kernel — all nine operand-source combinations, both
+/// styles, unrolled and looped at several unroll factors — proves
+/// exactly: the static report equals the dynamic one field for field.
+#[test]
+fn generated_kernels_prove_exact() {
+    for a in [
+        Operand::Ldm,
+        Operand::LdmBcast(Net::Row),
+        Operand::Recv(Net::Row),
+    ] {
+        for b in [
+            Operand::Ldm,
+            Operand::LdmBcast(Net::Col),
+            Operand::Recv(Net::Col),
+        ] {
+            let c = cfg(a, b);
+            for style in [KernelStyle::Naive, KernelStyle::Scheduled] {
+                let mut programs = vec![("unrolled", gen_block_kernel(&c, style))];
+                for unroll in [1usize, 2, 4] {
+                    programs.push(("looped", gen_block_kernel_looped(&c, style, unroll)));
+                }
+                for (name, prog) in programs {
+                    let s = prove_stalls(&prog);
+                    assert_eq!(s.bound, Bound::Exact, "{a:?}/{b:?}/{style:?} {name}");
+                    let dyn_report = dynamic(&prog);
+                    assert_eq!(
+                        s.report, dyn_report,
+                        "{a:?}/{b:?}/{style:?} {name}: static != dynamic"
+                    );
+                    assert!(s.report.check().is_ok());
+                }
+            }
+        }
+    }
+}
+
+/// A budget-truncated proof of a kernel is a per-bucket lower bound on
+/// the full dynamic report.
+#[test]
+fn budget_truncation_is_lower_bound() {
+    let c = cfg(Operand::Ldm, Operand::Ldm);
+    let prog = gen_block_kernel_looped(&c, KernelStyle::Scheduled, 1);
+    let dyn_report = dynamic(&prog);
+    for budget in [1u64, 7, 50, 300, 1000] {
+        let s = prove_stalls_budgeted(&prog, budget, [Some(0); IREG_COUNT]);
+        assert_eq!(s.bound, Bound::LowerBound);
+        assert_eq!(s.instructions, budget);
+        assert!(
+            report_le(&s.report, &dyn_report),
+            "budget {budget}: static exceeds dynamic\nstatic: {:?}\ndynamic: {dyn_report:?}",
+            s.report
+        );
+    }
+}
+
+/// Deterministic splittable PRNG (std-only).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random branch-free instruction (addresses kept inside the LDM so
+/// the dynamic machine can actually run the program).
+fn random_instr(rng: &mut SplitMix64) -> Instr {
+    let v = |rng: &mut SplitMix64| VReg(rng.below(32) as u8);
+    let base = IReg(0); // zeroed at entry; offsets carry the address
+    let off = (rng.below(1024) * 4) as i64;
+    match rng.below(8) {
+        0 => Instr::Vldd {
+            d: v(rng),
+            base,
+            off,
+        },
+        1 => Instr::Vstd {
+            s: v(rng),
+            base,
+            off,
+        },
+        2 => Instr::Ldde {
+            d: v(rng),
+            base,
+            off,
+        },
+        3 | 4 => Instr::Vmad {
+            a: v(rng),
+            b: v(rng),
+            c: v(rng),
+            d: v(rng),
+        },
+        5 => Instr::Vclr { d: v(rng) },
+        6 => Instr::Addl {
+            d: IReg(2),
+            s: IReg(2),
+            imm: rng.below(16) as i64,
+        },
+        _ => Instr::Setl {
+            d: IReg(3),
+            imm: rng.below(4096) as i64,
+        },
+    }
+}
+
+/// Property: random branch-free programs always prove exactly and
+/// agree with the dynamic attribution field for field.
+#[test]
+fn random_branch_free_programs_prove_exact() {
+    let mut rng = SplitMix64(0xD6E8_FEB8_6659_FD93);
+    for case in 0..200 {
+        let len = 1 + rng.below(120) as usize;
+        let prog: Vec<Instr> = (0..len).map(|_| random_instr(&mut rng)).collect();
+        let s = prove_stalls(&prog);
+        assert_eq!(s.bound, Bound::Exact, "case {case}");
+        assert_eq!(s.report, dynamic(&prog), "case {case}: {prog:?}");
+        assert!(s.report.check().is_ok(), "case {case}");
+    }
+}
+
+/// Property: random programs wrapped in a known-trip counted loop
+/// still prove exactly (the prover walks the loop like the machine).
+#[test]
+fn random_counted_loops_prove_exact() {
+    let mut rng = SplitMix64(0x0123_4567_89AB_CDEF);
+    for case in 0..100 {
+        let body_len = 1 + rng.below(20) as usize;
+        let trips = 1 + rng.below(9) as i64;
+        let mut prog = vec![Instr::Setl {
+            d: IReg(1),
+            imm: trips,
+        }];
+        prog.extend((0..body_len).map(|_| random_instr(&mut rng)));
+        prog.push(Instr::Addl {
+            d: IReg(1),
+            s: IReg(1),
+            imm: -1,
+        });
+        prog.push(Instr::Bne {
+            s: IReg(1),
+            target: 1,
+        });
+        let s = prove_stalls(&prog);
+        assert_eq!(s.bound, Bound::Exact, "case {case}");
+        assert_eq!(s.report, dynamic(&prog), "case {case}: {prog:?}");
+    }
+}
+
+/// Property: whatever the prover returns under a random budget — or
+/// with the loop counter hidden — never exceeds the dynamic report in
+/// any bucket.
+#[test]
+fn random_truncations_stay_below_dynamic() {
+    let mut rng = SplitMix64(0xFACE_0FF0_CAFE_F00D);
+    for case in 0..100 {
+        let body_len = 1 + rng.below(20) as usize;
+        let trips = 1 + rng.below(9) as i64;
+        let mut prog = vec![Instr::Setl {
+            d: IReg(1),
+            imm: trips,
+        }];
+        prog.extend((0..body_len).map(|_| random_instr(&mut rng)));
+        prog.push(Instr::Addl {
+            d: IReg(1),
+            s: IReg(1),
+            imm: -1,
+        });
+        prog.push(Instr::Bne {
+            s: IReg(1),
+            target: 1,
+        });
+        let dyn_report = dynamic(&prog);
+
+        // Random budget truncation.
+        let budget = 1 + rng.below(2 * (body_len as u64 + 3) * trips as u64);
+        let s = prove_stalls_budgeted(&prog, budget, [Some(0); IREG_COUNT]);
+        assert!(
+            report_le(&s.report, &dyn_report),
+            "case {case} budget {budget}"
+        );
+
+        // Unknown counter: the prover stops at the branch; the machine
+        // (zeroed registers, counter left untouched) falls through.
+        let mut entry = [Some(0i64); IREG_COUNT];
+        entry[1] = None;
+        let mut hidden = prog.clone();
+        hidden[0] = Instr::Nop;
+        let decr = hidden.len() - 2;
+        hidden[decr] = Instr::Nop;
+        let s = prove_stalls_budgeted(&hidden, DEFAULT_STALL_BUDGET, entry);
+        assert_eq!(s.bound, Bound::LowerBound, "case {case}");
+        assert!(report_le(&s.report, &dynamic(&hidden)), "case {case}");
+    }
+}

@@ -41,6 +41,12 @@ impl LdmBuf {
         self.len == 0
     }
 
+    /// One past the last double of the buffer (`offset + len`).
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.off + self.len
+    }
+
     /// A sub-buffer at `off..off + len` (relative to this buffer).
     ///
     /// # Panics

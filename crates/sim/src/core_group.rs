@@ -260,6 +260,8 @@ impl<'a> CpeCtx<'a> {
     /// Executes an ISA kernel stream against this CPE's LDM and mesh
     /// port, returning the executor's cycle report.
     pub fn run_kernel(&mut self, prog: &[Instr]) -> ExecReport {
+        #[cfg(debug_assertions)]
+        lint_gate::check(prog);
         let mut comm = MeshComm(&self.port);
         let report = Machine::new(self.ldm.raw_mut(), &mut comm).run(prog);
         if self.tracer.is_enabled() {
@@ -275,6 +277,46 @@ impl<'a> CpeCtx<'a> {
             );
         }
         report
+    }
+}
+
+/// Debug-build safety net: every distinct kernel stream handed to
+/// [`CpeCtx::run_kernel`] is statically linted once per process before
+/// its first execution. I-cache findings are excluded — the simulator
+/// models no i-cache, and fully unrolled kernels exceed the budget by
+/// design — so this catches real stream defects (bad registers, LDM
+/// overruns, malformed branches) without outlawing unrolled kernels.
+#[cfg(debug_assertions)]
+mod lint_gate {
+    use std::collections::HashSet;
+    use std::hash::{DefaultHasher, Hash, Hasher};
+    use std::sync::{Mutex, OnceLock};
+    use sw_isa::Instr;
+
+    fn seen() -> &'static Mutex<HashSet<u64>> {
+        static S: OnceLock<Mutex<HashSet<u64>>> = OnceLock::new();
+        S.get_or_init(|| Mutex::new(HashSet::new()))
+    }
+
+    pub(crate) fn check(prog: &[Instr]) {
+        let mut h = DefaultHasher::new();
+        prog.hash(&mut h);
+        if !seen()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(h.finish())
+        {
+            return;
+        }
+        let mut report = sw_lint::lint_stream(prog, None);
+        report
+            .diagnostics
+            .retain(|d| d.code != sw_lint::codes::ICACHE_OVERFLOW);
+        assert!(
+            report.error_count() == 0,
+            "kernel stream handed to CpeCtx::run_kernel fails sw-lint:\n{}",
+            report.render_text()
+        );
     }
 }
 
