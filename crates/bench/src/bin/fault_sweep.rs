@@ -1,0 +1,254 @@
+//! Seeded fault-injection sweep: drives `DgemmRunner` through N
+//! deterministic fault plans under both ABFT policies plus a forced
+//! mesh-wedge scenario, and tabulates what was injected, what was
+//! detected, what was healed, and the residual against the fault-free
+//! result.
+//!
+//! ```text
+//! cargo run -p sw-bench --release --bin fault_sweep \
+//!     [-- --seeds 8] [--json] [--assert]
+//! ```
+//!
+//! `--assert` turns the sweep into a CI gate: every `Correct` run must
+//! heal bitwise, every `Detect` run must surface the structured
+//! `AbftMismatch`, the wedge must surface `MeshDeadlock`, and nothing
+//! may panic. Exit code 1 on any violation.
+
+use std::time::Duration;
+use sw_bench::Table;
+use sw_dgemm::gen::random_matrix;
+use sw_dgemm::{
+    AbftPolicy, BlockingParams, DgemmError, DgemmRunner, FaultSpec, Matrix, StuckSpec, Variant,
+    WedgeSpec,
+};
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+fn arg_after(flag: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != flag).nth(1)
+}
+
+/// One sweep row: what a single (seed, policy) run did.
+struct Row {
+    seed: u64,
+    policy: &'static str,
+    outcome: String,
+    injected: u64,
+    detected: u64,
+    corrected: u64,
+    degraded: u64,
+    /// `Some(max |C - C_clean|)` when the run returned a C; exact
+    /// healing shows as `0.0e0`.
+    residual: Option<f64>,
+    /// Did the run end the way the policy demands?
+    pass: bool,
+}
+
+/// The sweep's fault plan for one seed: a guaranteed bit-flip per CG
+/// block, a transient-retry load, a trickle of LDM soft errors, and —
+/// every third seed — a stuck CPE to force degradation.
+fn plan(seed: u64) -> FaultSpec {
+    FaultSpec {
+        dma_transient_per_myriad: 200,
+        ldm_bitflip_per_myriad: 5,
+        bitflip_every_epoch: true,
+        stuck: (seed.is_multiple_of(3)).then_some(StuckSpec {
+            cpe: (seed % 64) as usize,
+            epoch: 1,
+        }),
+        ..FaultSpec::seeded(seed)
+    }
+}
+
+fn run_case(
+    seed: u64,
+    policy: AbftPolicy,
+    p: BlockingParams,
+    a: &Matrix,
+    b: &Matrix,
+    c0: &Matrix,
+    clean: &Matrix,
+) -> Row {
+    let name = if policy == AbftPolicy::Correct {
+        "Correct"
+    } else {
+        "Detect"
+    };
+    let mut c = c0.clone();
+    let result = DgemmRunner::new(Variant::Pe)
+        .params(p)
+        .faults(plan(seed))
+        .abft(policy)
+        .run(1.5, a, b, 0.5, &mut c);
+    let mut row = Row {
+        seed,
+        policy: name,
+        outcome: String::new(),
+        injected: 0,
+        detected: 0,
+        corrected: 0,
+        degraded: 0,
+        residual: None,
+        pass: false,
+    };
+    match result {
+        Ok(report) => {
+            let f = report.faults.unwrap_or_default();
+            let residual = c.max_abs_diff(clean);
+            row.outcome = "healed".into();
+            row.injected = f.total_injected();
+            row.detected = f.detected_abft + f.detected_retry_exhausted;
+            row.corrected = f.recovered_abft_blocks + f.recovered_dma_retry;
+            row.degraded = f.recovered_degraded_blocks;
+            row.residual = Some(residual);
+            // A healed run must be bitwise identical to the fault-free
+            // one, and with a guaranteed flip per block something must
+            // actually have been injected and corrected.
+            row.pass = policy == AbftPolicy::Correct
+                && residual == 0.0
+                && f.injected_dma_bitflip > 0
+                && f.recovered_abft_blocks > 0;
+        }
+        Err(DgemmError::AbftMismatch {
+            block, attempts, ..
+        }) => {
+            row.outcome = format!("mismatch@{block:?} after {attempts}");
+            row.pass = policy == AbftPolicy::Detect;
+        }
+        Err(e) => {
+            row.outcome = format!("error: {e}");
+        }
+    }
+    row
+}
+
+/// The wedge scenario: a CPE whose mesh sends vanish must surface as a
+/// structured `MeshDeadlock` — and never as a panic.
+fn run_wedge(p: BlockingParams, a: &Matrix, b: &Matrix, c0: &Matrix) -> Row {
+    let mut c = c0.clone();
+    let spec = FaultSpec {
+        wedge: Some(WedgeSpec { cpe: 18, epoch: 0 }),
+        ..FaultSpec::seeded(0)
+    };
+    let result = DgemmRunner::new(Variant::Pe)
+        .params(p)
+        .faults(spec)
+        .mesh_timeout(Duration::from_millis(200))
+        .run(1.5, a, b, 0.5, &mut c);
+    let (outcome, pass) = match result {
+        Err(DgemmError::MeshDeadlock { coord, .. }) => {
+            (format!("deadlock, fuse at {coord:?}"), true)
+        }
+        Err(e) => (format!("error: {e}"), false),
+        Ok(_) => ("ran to completion (!)".into(), false),
+    };
+    Row {
+        seed: 0,
+        policy: "wedge",
+        outcome,
+        injected: 1,
+        detected: u64::from(pass),
+        corrected: 0,
+        degraded: 0,
+        residual: None,
+        pass,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let seeds: u64 = arg_after("--seeds")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let p = BlockingParams::test_small();
+    let (m, n, k) = (2 * p.bm(), p.bn(), p.bk());
+    let a = random_matrix(m, k, 1);
+    let b = random_matrix(k, n, 2);
+    let c0 = random_matrix(m, n, 3);
+    let mut clean = c0.clone();
+    DgemmRunner::new(Variant::Pe)
+        .params(p)
+        .run(1.5, &a, &b, 0.5, &mut clean)
+        .expect("fault-free reference run");
+
+    let mut rows = Vec::new();
+    for seed in 0..seeds {
+        for policy in [AbftPolicy::Detect, AbftPolicy::Correct] {
+            rows.push(run_case(seed, policy, p, &a, &b, &c0, &clean));
+        }
+    }
+    rows.push(run_wedge(p, &a, &b, &c0));
+
+    if has_flag("--json") {
+        let items: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"seed\":{},\"policy\":\"{}\",\"outcome\":\"{}\",\"injected\":{},\
+                     \"detected\":{},\"corrected\":{},\"degraded\":{},\"residual\":{},\
+                     \"pass\":{}}}",
+                    r.seed,
+                    r.policy,
+                    json_escape(&r.outcome),
+                    r.injected,
+                    r.detected,
+                    r.corrected,
+                    r.degraded,
+                    r.residual.map_or("null".to_string(), |x| format!("{x:e}")),
+                    r.pass,
+                )
+            })
+            .collect();
+        println!("{{\"schema\":1,\"rows\":[{}]}}", items.join(","));
+    } else {
+        let mut table = Table::new([
+            "seed",
+            "policy",
+            "outcome",
+            "injected",
+            "detected",
+            "corrected",
+            "degraded",
+            "residual",
+            "pass",
+        ]);
+        for r in &rows {
+            table.row([
+                r.seed.to_string(),
+                r.policy.to_string(),
+                r.outcome.clone(),
+                r.injected.to_string(),
+                r.detected.to_string(),
+                r.corrected.to_string(),
+                r.degraded.to_string(),
+                r.residual.map_or("-".to_string(), |x| format!("{x:.1e}")),
+                if r.pass { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        println!("== fault sweep: {seeds} seeds x {{Detect, Correct}} + wedge ==\n");
+        println!("{}", table.render());
+        println!(
+            "Correct must heal bitwise (residual 0.0e0); Detect must surface the \
+             structured mismatch; the wedge must surface MeshDeadlock."
+        );
+    }
+
+    if has_flag("--assert") {
+        let failures: Vec<&Row> = rows.iter().filter(|r| !r.pass).collect();
+        if !failures.is_empty() {
+            for r in failures {
+                eprintln!(
+                    "FAIL seed {} policy {}: {} (residual {:?})",
+                    r.seed, r.policy, r.outcome, r.residual
+                );
+            }
+            std::process::exit(1);
+        }
+        println!("\nall {} sweep rows passed", rows.len());
+    }
+}

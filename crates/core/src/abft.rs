@@ -1,0 +1,216 @@
+//! Algorithm-based fault tolerance (ABFT) for the blocked DGEMM.
+//!
+//! Classical Huang–Abraham checksums, applied per CG block by the
+//! resilient runner: after a block update
+//! `C_blk ← β'·C_blk + α·A_blk·B_blk` (β' = β on the first k-slab, 1
+//! after), the *delta* `D = C_after − β'·C_before` must equal
+//! `α·A_blk·B_blk`. Two independent checksum families over D are
+//! verified against reference sums recomputed from the pristine
+//! main-memory operands:
+//!
+//! * **column checksums** — `eᵀ·D` vs `α·(eᵀ·A_blk)·B_blk`, which
+//!   localizes corruption to a block column;
+//! * **row checksums** — `D·e` vs `α·A_blk·(B_blk·e)`, which localizes
+//!   it to a block row.
+//!
+//! Because the reference sums come from main memory — not from any LDM
+//! image a CPE fetched — corruption of *any* operand a CPE consumed
+//! (A, B, or the C base it β-scaled) perturbs D and is caught, not
+//! just corruption of the written-back C.
+//!
+//! The comparison tolerance is scaled from a checksum of absolute
+//! values (the attainable magnitude of rounding noise for the actual
+//! data), so it adapts to conditioning instead of hard-coding an
+//! absolute epsilon. The compare is NaN-safe: a NaN residual — e.g. an
+//! exponent-bit flip that produced an Inf and then Inf−Inf — counts as
+//! a mismatch rather than vacuously passing.
+
+use crate::plan::GemmPlan;
+use crate::variants::shared::GemmIo;
+use sw_mem::{MainMemory, MemError};
+
+/// Whether and how the resilient runner uses ABFT checksums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AbftPolicy {
+    /// No checksum work at all.
+    #[default]
+    Off,
+    /// Verify after every CG block; a mismatch is surfaced as
+    /// [`crate::DgemmError::AbftMismatch`] without recomputation.
+    Detect,
+    /// Verify after every CG block; on mismatch, restore the block's C
+    /// snapshot and recompute (fresh fault draws per attempt) within
+    /// the runner's attempt budget before giving up.
+    Correct,
+}
+
+/// Multiplier on the absolute-value checksum that sets the mismatch
+/// threshold: `tau = ABFT_TOL_FACTOR · eps · (bm + bk + bn) · bound`.
+/// Generous against FMA-vs-separate rounding differences between the
+/// kernel and the host-side checksum, yet orders of magnitude below
+/// the perturbation of a single high-mantissa/exponent/sign bit flip.
+const ABFT_TOL_FACTOR: f64 = 32.0;
+
+/// Verifies the row and column checksums of CG block `(i, j, l)`
+/// against main memory. `c_before` is the column-major snapshot of the
+/// `bm×bn` C block taken before the block ran. Returns `Ok(None)` when
+/// both families balance, `Ok(Some(detail))` naming the worst
+/// violation otherwise.
+#[allow(clippy::too_many_arguments)] // block coordinates + scalars, as the runner has them
+pub fn verify_block(
+    mem: &MainMemory,
+    plan: &GemmPlan,
+    io: GemmIo,
+    i: usize,
+    j: usize,
+    l: usize,
+    alpha: f64,
+    beta: f64,
+    c_before: &[f64],
+) -> Result<Option<String>, MemError> {
+    let p = &plan.params;
+    let (bm, bn, bk) = (p.bm(), p.bn(), p.bk());
+    let a = mem.read_region(io.a, i * bm, l * bk, bm, bk)?;
+    let b = mem.read_region(io.b, l * bk, j * bn, bk, bn)?;
+    let c_after = mem.read_region(io.c, i * bm, j * bn, bm, bn)?;
+    debug_assert_eq!(c_before.len(), bm * bn);
+    let beta_eff = if l == 0 { beta } else { 1.0 };
+    let scale = ABFT_TOL_FACTOR * f64::EPSILON * (bm + bn + bk) as f64;
+
+    // eᵀ·A (and Σ_r |A[r,k]| for the tolerance), one pass over A.
+    let mut col_a = vec![0.0f64; bk];
+    let mut col_a_abs = vec![0.0f64; bk];
+    for kk in 0..bk {
+        let (mut s, mut sa) = (0.0, 0.0);
+        for r in 0..bm {
+            let v = a[kk * bm + r];
+            s += v;
+            sa += v.abs();
+        }
+        col_a[kk] = s;
+        col_a_abs[kk] = sa;
+    }
+    // B·e (and Σ_j |B[k,j]|), one pass over B.
+    let mut row_b = vec![0.0f64; bk];
+    let mut row_b_abs = vec![0.0f64; bk];
+    for jc in 0..bn {
+        for kk in 0..bk {
+            let v = b[jc * bk + kk];
+            row_b[kk] += v;
+            row_b_abs[kk] += v.abs();
+        }
+    }
+
+    // Column family: for each block column, eᵀ·D vs α·(eᵀ·A)·B.
+    for jc in 0..bn {
+        let (mut got, mut got_abs) = (0.0, 0.0);
+        for r in 0..bm {
+            let idx = jc * bm + r;
+            let d = c_after[idx] - beta_eff * c_before[idx];
+            got += d;
+            got_abs += c_after[idx].abs() + (beta_eff * c_before[idx]).abs();
+        }
+        let (mut want, mut want_abs) = (0.0, 0.0);
+        for kk in 0..bk {
+            let v = b[jc * bk + kk];
+            want += col_a[kk] * v;
+            want_abs += col_a_abs[kk] * v.abs();
+        }
+        want *= alpha;
+        let tau = scale * (alpha.abs() * want_abs + got_abs);
+        let diff = (got - want).abs();
+        if diff.is_nan() || diff > tau {
+            return Ok(Some(format!(
+                "column checksum {jc}: |eT·D − α·(eT·A)·B| = {diff:e} exceeds tolerance {tau:e}"
+            )));
+        }
+    }
+
+    // Row family: for each block row, D·e vs α·A·(B·e).
+    let mut got = vec![0.0f64; bm];
+    let mut got_abs = vec![0.0f64; bm];
+    for jc in 0..bn {
+        for r in 0..bm {
+            let idx = jc * bm + r;
+            got[r] += c_after[idx] - beta_eff * c_before[idx];
+            got_abs[r] += c_after[idx].abs() + (beta_eff * c_before[idx]).abs();
+        }
+    }
+    for r in 0..bm {
+        let (mut want, mut want_abs) = (0.0, 0.0);
+        for kk in 0..bk {
+            let v = a[kk * bm + r];
+            want += v * row_b[kk];
+            want_abs += v.abs() * row_b_abs[kk];
+        }
+        want *= alpha;
+        let tau = scale * (alpha.abs() * want_abs + got_abs[r]);
+        let diff = (got[r] - want).abs();
+        if diff.is_nan() || diff > tau {
+            return Ok(Some(format!(
+                "row checksum {r}: |D·e − α·A·(B·e)| = {diff:e} exceeds tolerance {tau:e}"
+            )));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::params::BlockingParams;
+    use crate::reference::dgemm_chunked_fma;
+    use sw_mem::HostMatrix;
+
+    /// Installs a 1-CG-block problem, runs the reference update on the
+    /// host, and returns everything `verify_block` needs.
+    fn block_fixture() -> (MainMemory, GemmPlan, GemmIo, Vec<f64>, HostMatrix) {
+        let p = BlockingParams::test_small();
+        let (m, n, k) = (p.bm(), p.bn(), p.bk());
+        let plan = GemmPlan::new(m, n, k, p, false).unwrap();
+        let a = gen::random_matrix(m, k, 11);
+        let b = gen::random_matrix(k, n, 12);
+        let c0 = gen::random_matrix(m, n, 13);
+        let mut c = c0.clone();
+        dgemm_chunked_fma(1.5, &a, &b, 0.5, &mut c, p.pk);
+        let mut mem = MainMemory::new();
+        let io = GemmIo {
+            a: mem.install(a).unwrap(),
+            b: mem.install(b).unwrap(),
+            c: mem.install(c).unwrap(),
+        };
+        let before = c0.as_slice().to_vec();
+        (mem, plan, io, before, c0)
+    }
+
+    #[test]
+    fn clean_block_balances() {
+        let (mem, plan, io, before, _) = block_fixture();
+        let v = verify_block(&mem, &plan, io, 0, 0, 0, 1.5, 0.5, &before).unwrap();
+        assert_eq!(v, None, "reference update must pass both families");
+    }
+
+    #[test]
+    fn bit_flip_in_c_is_caught() {
+        let (mem, plan, io, before, _) = block_fixture();
+        // Flip a high mantissa bit of one C element in main memory.
+        let p = &plan.params;
+        let mut img = mem.read_region(io.c, 0, 0, p.bm(), p.bn()).unwrap();
+        img[7] = f64::from_bits(img[7].to_bits() ^ (1u64 << 40));
+        mem.write_region(io.c, 0, 0, p.bm(), p.bn(), &img).unwrap();
+        let v = verify_block(&mem, &plan, io, 0, 0, 0, 1.5, 0.5, &before).unwrap();
+        assert!(v.is_some(), "a flipped C element must trip a checksum");
+    }
+
+    #[test]
+    fn nan_in_c_is_caught() {
+        let (mem, plan, io, before, _) = block_fixture();
+        let p = &plan.params;
+        let mut img = mem.read_region(io.c, 0, 0, p.bm(), p.bn()).unwrap();
+        img[0] = f64::NAN;
+        mem.write_region(io.c, 0, 0, p.bm(), p.bn(), &img).unwrap();
+        let v = verify_block(&mem, &plan, io, 0, 0, 0, 1.5, 0.5, &before).unwrap();
+        assert!(v.is_some(), "NaN residuals must not vacuously pass");
+    }
+}

@@ -1,15 +1,23 @@
 //! The public entry points.
 
+use crate::abft::AbftPolicy;
 use crate::error::DgemmError;
 use crate::lint::{self, LintPolicy};
 use crate::padding::PadPlan;
 use crate::params::BlockingParams;
 use crate::plan::GemmPlan;
 use crate::variants::raw::{run_functional_raw, RawParams};
+use crate::variants::resilient::{run_resilient, ResilienceCfg};
 use crate::variants::shared::{run_functional, GemmIo};
 use crate::variants::Variant;
 use crate::Matrix;
+use std::time::Duration;
+use sw_faults::{FaultInjector, FaultSpec, FaultStats};
 use sw_sim::{CoreGroup, RunStats, Tracer};
+
+/// Per-block runs the resilient path executes (first + recoveries)
+/// before an uncorrectable block surfaces as an error.
+const MAX_BLOCK_ATTEMPTS: u32 = 4;
 
 /// Transposition operator of a BLAS GEMM operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,8 +45,12 @@ pub struct DgemmReport {
     pub variant: Variant,
     /// The validated plan (None for RAW, which has its own blocking).
     pub plan: Option<GemmPlan>,
-    /// DMA / mesh traffic and wall time of the simulated run.
+    /// DMA / mesh traffic and wall time of the simulated run (every
+    /// attempt's traffic, on the resilient path).
     pub stats: RunStats,
+    /// Injection/recovery tallies when a fault plan was installed;
+    /// `None` when the run had no injector.
+    pub faults: Option<FaultStats>,
 }
 
 /// Configurable functional runner.
@@ -63,6 +75,10 @@ pub struct DgemmRunner {
     pad: bool,
     tracer: Tracer,
     lint: LintPolicy,
+    faults: Option<FaultSpec>,
+    abft: AbftPolicy,
+    degrade: bool,
+    mesh_timeout: Option<Duration>,
 }
 
 impl DgemmRunner {
@@ -75,6 +91,10 @@ impl DgemmRunner {
             pad: false,
             tracer: Tracer::disabled(),
             lint: LintPolicy::default(),
+            faults: None,
+            abft: AbftPolicy::Off,
+            degrade: true,
+            mesh_timeout: None,
         }
     }
 
@@ -118,9 +138,63 @@ impl DgemmRunner {
         self
     }
 
+    /// Installs a deterministic fault plan. The run switches to the
+    /// resilient per-CG-block executor (data-sharing variants only;
+    /// RAW has no recovery machinery and is rejected) and the report
+    /// carries a [`FaultStats`] snapshot.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// Sets the ABFT checksum policy (default [`AbftPolicy::Off`]).
+    /// Any policy other than `Off` also routes the run through the
+    /// resilient per-block executor.
+    pub fn abft(mut self, policy: AbftPolicy) -> Self {
+        self.abft = policy;
+        self
+    }
+
+    /// Whether a CPE that exhausts its DMA retry budget is marked
+    /// failed and its tiles remapped onto the surviving grid (default
+    /// `true`). With `false` the exhaustion surfaces as the structured
+    /// [`DgemmError::Mem`] error instead.
+    pub fn degrade(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// Shortens the mesh deadlock fuse (how long a blocked broadcast
+    /// or starved receive waits before the run aborts with
+    /// [`DgemmError::MeshDeadlock`]). Tests of wedge scenarios set
+    /// this to keep failure paths fast.
+    pub fn mesh_timeout(mut self, timeout: Duration) -> Self {
+        self.mesh_timeout = Some(timeout);
+        self
+    }
+
     /// Runs `C = α·A·B + β·C` on a fresh simulated core group.
     pub fn run(
         &self,
+        alpha: f64,
+        a: &Matrix,
+        b: &Matrix,
+        beta: f64,
+        c: &mut Matrix,
+    ) -> Result<DgemmReport, DgemmError> {
+        let mut cg = CoreGroup::new();
+        self.run_on(&mut cg, alpha, a, b, beta, c)
+    }
+
+    /// Runs `C = α·A·B + β·C` on a caller-owned core group. The
+    /// operands are installed for the run and removed afterwards —
+    /// success or failure — so the same group can run further DGEMMs,
+    /// including after a structured failure such as
+    /// [`DgemmError::MeshDeadlock`] (the persistent CPE pool and a
+    /// fresh per-run mesh make recovery a non-event).
+    pub fn run_on(
+        &self,
+        cg: &mut CoreGroup,
         alpha: f64,
         a: &Matrix,
         b: &Matrix,
@@ -148,32 +222,84 @@ impl DgemmRunner {
                     pad: false,
                     ..self.clone()
                 };
-                let report = inner.run(alpha, &pa, &pb, beta, &mut pc)?;
+                let report = inner.run_on(cg, alpha, &pa, &pb, beta, &mut pc)?;
                 *c = PadPlan::extract(&pc, m, n);
                 return Ok(report);
             }
         }
-        let mut cg = CoreGroup::new();
         cg.set_tracer(self.tracer.clone());
-        let io = GemmIo {
-            a: cg.mem.install(a.clone())?,
-            b: cg.mem.install(b.clone())?,
-            c: cg.mem.install(c.clone())?,
+        if let Some(t) = self.mesh_timeout {
+            cg.set_mesh_timeout(t);
+        }
+        let ia = cg.mem.install(a.clone())?;
+        let ib = match cg.mem.install(b.clone()) {
+            Ok(id) => id,
+            Err(e) => {
+                let _ = cg.mem.remove(ia);
+                return Err(e.into());
+            }
         };
-        let report = match self.variant {
+        let ic = match cg.mem.install(c.clone()) {
+            Ok(id) => id,
+            Err(e) => {
+                let _ = cg.mem.remove(ia);
+                let _ = cg.mem.remove(ib);
+                return Err(e.into());
+            }
+        };
+        let io = GemmIo {
+            a: ia,
+            b: ib,
+            c: ic,
+        };
+        let result = self
+            .dispatch(cg, io, m, n, k, alpha, beta)
+            .and_then(|report| Ok((report, cg.mem.extract(io.c)?)));
+        let _ = cg.mem.remove(io.a);
+        let _ = cg.mem.remove(io.b);
+        let _ = cg.mem.remove(io.c);
+        let (report, out) = result?;
+        *c = out;
+        Ok(report)
+    }
+
+    /// Variant dispatch over installed operands: fast path, or the
+    /// resilient per-block executor when a fault plan or an ABFT
+    /// policy is set.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &self,
+        cg: &mut CoreGroup,
+        io: GemmIo,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        beta: f64,
+    ) -> Result<DgemmReport, DgemmError> {
+        let resilient = self.faults.is_some() || self.abft != AbftPolicy::Off;
+        match self.variant {
             Variant::Raw => {
+                if resilient {
+                    return Err(DgemmError::BadParams(
+                        "fault injection and ABFT require a data-sharing variant \
+                         (PE/ROW/DB/SCHED); RAW has no recovery machinery"
+                            .to_string(),
+                    ));
+                }
                 let rp = self
                     .raw_params
                     .map_or_else(|| pick_raw_params(m, n, k), Ok)?;
                 if self.lint != LintPolicy::Off {
                     lint::enforce(self.lint, &lint::lint_raw_cached(rp))?;
                 }
-                let stats = run_functional_raw(&mut cg, m, n, k, rp, io, alpha, beta)?;
-                DgemmReport {
+                let stats = run_functional_raw(cg, m, n, k, rp, io, alpha, beta)?;
+                Ok(DgemmReport {
                     variant: self.variant,
                     plan: None,
                     stats,
-                }
+                    faults: None,
+                })
             }
             v => {
                 let plan = match self.params {
@@ -183,16 +309,40 @@ impl DgemmRunner {
                 if self.lint != LintPolicy::Off {
                     lint::enforce(self.lint, &lint::lint_shared_cached(v, &plan.params))?;
                 }
-                let stats = run_functional(&mut cg, &plan, v.mapping(), io, alpha, beta)?;
-                DgemmReport {
+                if !resilient {
+                    let stats = run_functional(cg, &plan, v.mapping(), io, alpha, beta)?;
+                    return Ok(DgemmReport {
+                        variant: self.variant,
+                        plan: Some(plan),
+                        stats,
+                        faults: None,
+                    });
+                }
+                let injector = self.faults.map(FaultInjector::new);
+                cg.set_fault_injector(injector.clone());
+                let cfg = ResilienceCfg {
+                    injector: injector.clone(),
+                    abft: self.abft,
+                    degrade: self.degrade,
+                    max_attempts: MAX_BLOCK_ATTEMPTS,
+                };
+                let res = run_resilient(cg, &plan, v.mapping(), io, alpha, beta, &cfg);
+                cg.set_fault_injector(None);
+                // Counters are snapshotted and published even when the
+                // run failed — the failure path is exactly where the
+                // fault telemetry matters.
+                let faults = injector.as_ref().map(|i| i.stats());
+                if let Some(fs) = &faults {
+                    fs.publish(sw_probe::metrics::global());
+                }
+                Ok(DgemmReport {
                     variant: self.variant,
                     plan: Some(plan),
-                    stats,
-                }
+                    stats: res?,
+                    faults,
+                })
             }
-        };
-        *c = cg.mem.extract(io.c)?;
-        Ok(report)
+        }
     }
 }
 

@@ -16,6 +16,29 @@ pub enum DgemmError {
     /// kernel streams and the runner's policy is
     /// [`crate::lint::LintPolicy::Deny`]. Carries the rendered report.
     Lint(String),
+    /// The register mesh wedged at run time: a blocked broadcast or a
+    /// starved receive tripped the deadlock fuse. Carries the first
+    /// failing CPE and the lint-side rendezvous summary over the
+    /// observed per-CPE traffic, which names the wedged row/column
+    /// group.
+    MeshDeadlock {
+        /// `(mesh_row, mesh_col)` of the first CPE that hit the fuse.
+        coord: (u8, u8),
+        /// Rendered rendezvous summary (`sw_lint::rendezvous_summary`).
+        summary: String,
+    },
+    /// An ABFT checksum mismatch that the policy did not (or could
+    /// not) correct: under [`crate::AbftPolicy::Detect`] on first
+    /// detection, under [`crate::AbftPolicy::Correct`] once the
+    /// recompute budget is spent.
+    AbftMismatch {
+        /// CG-block grid coordinates `(i, j, l)` of the bad block.
+        block: (usize, usize, usize),
+        /// Attempts executed for the block, including the first.
+        attempts: u32,
+        /// Which checksum failed and by how much.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DgemmError {
@@ -27,6 +50,21 @@ impl fmt::Display for DgemmError {
             DgemmError::Lint(report) => {
                 write!(f, "static analysis rejected the plan:\n{report}")
             }
+            DgemmError::MeshDeadlock { coord, summary } => write!(
+                f,
+                "mesh deadlock at CPE ({}, {}); rendezvous summary:\n{summary}",
+                coord.0, coord.1
+            ),
+            DgemmError::AbftMismatch {
+                block,
+                attempts,
+                detail,
+            } => write!(
+                f,
+                "ABFT checksum mismatch in CG block ({}, {}, {}) after {attempts} attempt(s): \
+                 {detail}",
+                block.0, block.1, block.2
+            ),
         }
     }
 }

@@ -22,6 +22,7 @@
 //! model of §III-C ([`model`]), and an auto-tuner ([`tuner`]) in the
 //! spirit of the paper's future work.
 
+pub mod abft;
 pub mod api;
 pub mod error;
 pub mod gen;
@@ -39,12 +40,14 @@ pub mod timing;
 pub mod tuner;
 pub mod variants;
 
+pub use abft::AbftPolicy;
 pub use api::{dgemm, dgemm_ex, DgemmReport, DgemmRunner, Op};
 pub use error::DgemmError;
 pub use lint::{lint_variant, LintPolicy};
 pub use multi::{dgemm_multi_cg, estimate_multi_cg};
 pub use params::BlockingParams;
 pub use plan::GemmPlan;
+pub use sw_faults::{FaultSpec, FaultStats, StuckSpec, WedgeSpec};
 pub use sw_mem::HostMatrix as Matrix;
 pub use timing::{estimate, TimingReport};
 pub use variants::batched::dgemm_batched;

@@ -115,14 +115,14 @@ pub fn strip_step(
 
 fn bcast(ctx: &CpeCtx, net: Net, v: V256) {
     match net {
-        Net::Row => ctx.mesh().row_bcast(v),
-        Net::Col => ctx.mesh().col_bcast(v),
+        Net::Row => ctx.mesh_row_bcast(v),
+        Net::Col => ctx.mesh_col_bcast(v),
     }
 }
 
 fn recv(ctx: &CpeCtx, net: Net) -> V256 {
     match net {
-        Net::Row => ctx.mesh().getr(),
-        Net::Col => ctx.mesh().getc(),
+        Net::Row => ctx.mesh_getr(),
+        Net::Col => ctx.mesh_getc(),
     }
 }

@@ -2,6 +2,7 @@
 
 pub mod batched;
 pub mod raw;
+pub(crate) mod resilient;
 pub mod shared;
 
 use crate::mapping::Mapping;

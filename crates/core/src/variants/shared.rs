@@ -49,7 +49,7 @@ pub fn run_functional(
     Ok(stats)
 }
 
-fn check_io(cg: &CoreGroup, plan: &GemmPlan, io: GemmIo) -> Result<(), DgemmError> {
+pub(crate) fn check_io(cg: &CoreGroup, plan: &GemmPlan, io: GemmIo) -> Result<(), DgemmError> {
     let (ar, ac) = cg.mem.dims(io.a)?;
     let (br, bc) = cg.mem.dims(io.b)?;
     let (cr, cc) = cg.mem.dims(io.c)?;
@@ -89,7 +89,8 @@ fn thread_body(
         for l in 0..plan.grid_k {
             // Load the resident B block (PE_MODE in both mappings).
             let rb = mapping::b_region(plan, io.b, mapping, l, j, ctx.coord);
-            ctx.dma_pe_get(rb, b_buf).expect("B DMA failed");
+            ctx.dma_pe_get(rb, b_buf)
+                .unwrap_or_else(|e| ctx.abort(e.into()));
             ctx.sync_all();
 
             if plan.double_buffered {
@@ -144,7 +145,7 @@ fn thread_body(
 /// Loads this thread's A block of CG block (i, l) and C block of
 /// (i, j), honouring the mapping's DMA modes.
 #[allow(clippy::too_many_arguments)]
-fn load_ac(
+pub(crate) fn load_ac(
     ctx: &mut CpeCtx,
     plan: &GemmPlan,
     mapping: Mapping,
@@ -159,12 +160,16 @@ fn load_ac(
     let rc = mapping::c_region(plan, io.c, mapping, i, j, ctx.coord);
     match mapping {
         Mapping::Pe => {
-            ctx.dma_pe_get(ra, a_buf).expect("A DMA failed");
-            ctx.dma_pe_get(rc, c_buf).expect("C DMA failed");
+            ctx.dma_pe_get(ra, a_buf)
+                .unwrap_or_else(|e| ctx.abort(e.into()));
+            ctx.dma_pe_get(rc, c_buf)
+                .unwrap_or_else(|e| ctx.abort(e.into()));
         }
         Mapping::Row => {
-            ctx.dma_row_get(ra, a_buf).expect("A DMA failed");
-            ctx.dma_row_get(rc, c_buf).expect("C DMA failed");
+            ctx.dma_row_get(ra, a_buf)
+                .unwrap_or_else(|e| ctx.abort(e.into()));
+            ctx.dma_row_get(rc, c_buf)
+                .unwrap_or_else(|e| ctx.abort(e.into()));
         }
     }
 }
@@ -172,7 +177,7 @@ fn load_ac(
 /// One CG-block update: β-scale on first use, 8 collective strip
 /// steps, then the C write-back.
 #[allow(clippy::too_many_arguments)]
-fn compute_and_store(
+pub(crate) fn compute_and_store(
     ctx: &mut CpeCtx,
     plan: &GemmPlan,
     mapping: Mapping,
@@ -206,8 +211,12 @@ fn compute_and_store(
     }
     let rc = mapping::c_region(plan, io.c, mapping, i, j, ctx.coord);
     match mapping {
-        Mapping::Pe => ctx.dma_pe_put(rc, c_buf).expect("C store failed"),
-        Mapping::Row => ctx.dma_row_put(rc, c_buf).expect("C store failed"),
+        Mapping::Pe => ctx
+            .dma_pe_put(rc, c_buf)
+            .unwrap_or_else(|e| ctx.abort(e.into())),
+        Mapping::Row => ctx
+            .dma_row_put(rc, c_buf)
+            .unwrap_or_else(|e| ctx.abort(e.into())),
     };
     ctx.sync_all();
 }

@@ -41,6 +41,7 @@ pub mod structural;
 pub use absint::{AbsintOptions, CommCounts, StreamSummary};
 pub use diag::{codes, Diagnostic, LintReport, Severity, Span};
 pub use ldm::{LdmLayout, LdmRegion};
+pub use mesh::{check_mesh, rendezvous_summary};
 pub use stall::{prove_stalls, Bound, StaticStalls};
 
 use mesh::MESH_DIM;

@@ -108,6 +108,27 @@ pub fn check_mesh(
     out
 }
 
+/// Renders the mesh-pass verdict over *observed* per-CPE traffic as a
+/// human-readable rendezvous summary — the diagnostic attached to a
+/// runtime mesh-deadlock error.
+///
+/// The runtime feeds the counts it actually saw at teardown (with each
+/// timed-out receive counted as one word of unmet demand), so the same
+/// counting that statically proves a scheme deadlock-free here *names*
+/// the wedged row/column group of a live failure. Balanced groups
+/// contribute nothing; a fully balanced grid reports itself as such.
+pub fn rendezvous_summary(comm: &[[CommCounts; MESH_DIM]; MESH_DIM]) -> String {
+    let ds = check_mesh(comm, &[[true; MESH_DIM]; MESH_DIM]);
+    if ds.is_empty() {
+        return "all row/column rendezvous groups balanced".to_string();
+    }
+    let lines: Vec<String> = ds
+        .iter()
+        .map(|d| format!("{}: {}", d.code, d.message))
+        .collect();
+    lines.join("\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +193,23 @@ mod tests {
         let ds = check_mesh(&comm, &exact);
         assert_eq!(ds.len(), 1);
         assert_eq!(ds[0].code, codes::MULTIPLE_BROADCASTERS);
+    }
+
+    #[test]
+    fn rendezvous_summary_names_the_starving_group() {
+        let (mut comm, _) = grid();
+        // CPE (2,5) demanded one word on the row network that nobody
+        // broadcast — the runtime signature of a wedged sender.
+        comm[2][5].recv[0] = 1;
+        let s = rendezvous_summary(&comm);
+        assert!(s.contains(codes::MESH_DEADLOCK), "summary: {s}");
+        assert!(s.contains("(2,5)"), "summary must name the CPE: {s}");
+
+        let (balanced, _) = grid();
+        assert_eq!(
+            rendezvous_summary(&balanced),
+            "all row/column rendezvous groups balanced"
+        );
     }
 
     #[test]

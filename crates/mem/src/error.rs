@@ -40,6 +40,20 @@ pub enum MemError {
         /// Human-readable description.
         what: String,
     },
+    /// A transfer failed transiently (injected soft error or a stuck
+    /// engine); retrying may succeed.
+    Transient {
+        /// Human-readable description of the failing operation.
+        what: String,
+    },
+    /// A transfer kept failing transiently until its bounded retry
+    /// budget ran out.
+    RetryBudgetExhausted {
+        /// Execution attempts made (1 initial + retries).
+        attempts: u32,
+        /// Human-readable description of the failing operation.
+        what: String,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -63,6 +77,11 @@ impl fmt::Display for MemError {
                 "main memory exhausted: requested {requested} B, {available} B free"
             ),
             MemError::BadDescriptor { what } => write!(f, "bad DMA descriptor: {what}"),
+            MemError::Transient { what } => write!(f, "transient DMA failure: {what}"),
+            MemError::RetryBudgetExhausted { attempts, what } => write!(
+                f,
+                "DMA retry budget exhausted after {attempts} attempts: {what}"
+            ),
         }
     }
 }

@@ -32,7 +32,7 @@ pub(crate) struct Buffer {
 /// the DMA layer.
 #[derive(Debug, Default)]
 pub struct MainMemory {
-    buffers: Vec<Buffer>,
+    buffers: Vec<Option<Buffer>>,
     used_bytes: usize,
 }
 
@@ -57,12 +57,95 @@ impl MainMemory {
         self.used_bytes += bytes;
         let id = MatId(self.buffers.len());
         let (rows, cols) = (m.rows(), m.cols());
-        self.buffers.push(Buffer {
+        self.buffers.push(Some(Buffer {
             rows,
             cols,
             data: Arc::new(RwLock::new(m.into_vec())),
-        });
+        }));
         Ok(id)
+    }
+
+    /// Frees an installed matrix, returning its bytes to the budget.
+    /// The id is never reused; later accesses fail with
+    /// [`MemError::UnknownMatrix`]. Lets a long-lived core group (see
+    /// `DgemmRunner::run_on`) run many DGEMMs without exhausting the
+    /// 8 GB accounting.
+    pub fn remove(&mut self, id: MatId) -> Result<(), MemError> {
+        let slot = self
+            .buffers
+            .get_mut(id.0)
+            .ok_or(MemError::UnknownMatrix(id.0))?;
+        let b = slot.take().ok_or(MemError::UnknownMatrix(id.0))?;
+        self.used_bytes -= b.rows * b.cols * 8;
+        Ok(())
+    }
+
+    /// MPE-side read of a rectangular region (column-major order).
+    /// Used by the fault-tolerant runner to snapshot C blocks and to
+    /// verify ABFT checksums; takes the matrix's shared lock like any
+    /// DMA read.
+    pub fn read_region(
+        &self,
+        id: MatId,
+        row0: usize,
+        col0: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Vec<f64>, MemError> {
+        let b = self.buffer(id)?;
+        if row0 + rows > b.rows || col0 + cols > b.cols {
+            return Err(MemError::OutOfBounds {
+                what: format!(
+                    "region ({row0}+{rows}, {col0}+{cols}) exceeds matrix {}x{}",
+                    b.rows, b.cols
+                ),
+            });
+        }
+        let data = b.data.read().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::with_capacity(rows * cols);
+        for c in 0..cols {
+            let base = (col0 + c) * b.rows + row0;
+            out.extend_from_slice(&data[base..base + rows]);
+        }
+        Ok(out)
+    }
+
+    /// MPE-side write of a rectangular region (column-major order,
+    /// `vals.len() == rows * cols`). The restore half of the
+    /// fault-tolerant runner's snapshot/restore; takes the exclusive
+    /// lock like a DMA write.
+    pub fn write_region(
+        &self,
+        id: MatId,
+        row0: usize,
+        col0: usize,
+        rows: usize,
+        cols: usize,
+        vals: &[f64],
+    ) -> Result<(), MemError> {
+        let b = self.buffer(id)?;
+        if row0 + rows > b.rows || col0 + cols > b.cols {
+            return Err(MemError::OutOfBounds {
+                what: format!(
+                    "region ({row0}+{rows}, {col0}+{cols}) exceeds matrix {}x{}",
+                    b.rows, b.cols
+                ),
+            });
+        }
+        if vals.len() != rows * cols {
+            return Err(MemError::BadDescriptor {
+                what: format!(
+                    "region write of {} values into a {rows}x{cols} region",
+                    vals.len()
+                ),
+            });
+        }
+        let mut data = b.data.write().unwrap_or_else(|e| e.into_inner());
+        for c in 0..cols {
+            let base = (col0 + c) * b.rows + row0;
+            data[base..base + rows].copy_from_slice(&vals[c * rows..(c + 1) * rows]);
+        }
+        Ok(())
     }
 
     /// Installs a zero-filled `rows × cols` matrix.
@@ -92,7 +175,10 @@ impl MainMemory {
     }
 
     pub(crate) fn buffer(&self, id: MatId) -> Result<&Buffer, MemError> {
-        self.buffers.get(id.0).ok_or(MemError::UnknownMatrix(id.0))
+        self.buffers
+            .get(id.0)
+            .and_then(|b| b.as_ref())
+            .ok_or(MemError::UnknownMatrix(id.0))
     }
 }
 
@@ -117,6 +203,50 @@ mod tests {
             mem.extract(MatId(0)).unwrap_err(),
             MemError::UnknownMatrix(0)
         );
+    }
+
+    #[test]
+    fn remove_frees_budget_and_invalidates_id() {
+        let mut mem = MainMemory::new();
+        let id = mem.install_zeros(16, 16).unwrap();
+        assert_eq!(mem.used_bytes(), 16 * 16 * 8);
+        mem.remove(id).unwrap();
+        assert_eq!(mem.used_bytes(), 0);
+        assert_eq!(mem.extract(id).unwrap_err(), MemError::UnknownMatrix(0));
+        assert_eq!(mem.remove(id).unwrap_err(), MemError::UnknownMatrix(0));
+        // Fresh installs get fresh ids, never the removed one.
+        let id2 = mem.install_zeros(4, 4).unwrap();
+        assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn region_read_write_roundtrip() {
+        let mut mem = MainMemory::new();
+        let id = mem
+            .install(HostMatrix::from_fn(8, 6, |r, c| (10 * r + c) as f64))
+            .unwrap();
+        let snap = mem.read_region(id, 2, 1, 3, 2).unwrap();
+        assert_eq!(snap, vec![21.0, 31.0, 41.0, 22.0, 32.0, 42.0]);
+        mem.write_region(id, 2, 1, 3, 2, &[0.0; 6]).unwrap();
+        assert_eq!(mem.read_region(id, 2, 1, 3, 2).unwrap(), vec![0.0; 6]);
+        // Untouched neighbours survive.
+        assert_eq!(mem.read_region(id, 1, 1, 1, 1).unwrap(), vec![11.0]);
+        mem.write_region(id, 2, 1, 3, 2, &snap).unwrap();
+        assert_eq!(mem.read_region(id, 2, 1, 3, 2).unwrap(), snap);
+    }
+
+    #[test]
+    fn region_bounds_checked() {
+        let mut mem = MainMemory::new();
+        let id = mem.install_zeros(4, 4).unwrap();
+        assert!(matches!(
+            mem.read_region(id, 2, 0, 3, 1),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            mem.write_region(id, 0, 0, 2, 2, &[0.0; 3]),
+            Err(MemError::BadDescriptor { .. })
+        ));
     }
 
     #[test]

@@ -16,17 +16,24 @@
 //! buffers. Receive buffers are separate per direction (row vs column),
 //! matching the separate `getr`/`getc` instructions.
 //!
-//! A blocked port raises a diagnostic panic after a configurable
+//! A blocked port returns [`MeshError::Deadlock`] after a configurable
 //! timeout instead of hanging the test suite — communication schemes
 //! with mismatched send/receive counts (the classic register-
-//! communication deadlock on real hardware) surface as readable errors.
+//! communication deadlock on real hardware) surface as structured
+//! errors the runtime converts into a per-group rendezvous summary.
+//! Harnesses built around the old propagating panic can restore it with
+//! [`Mesh::panic_on_deadlock`]. A [`sw_faults::FaultInjector`] installed
+//! via [`Mesh::set_fault_injector`] can deterministically drop words and
+//! wedge a CPE (suppress all its sends) to exercise that path.
 
 pub mod chan;
+pub mod error;
 pub mod port;
 pub mod stats;
 
+pub use error::MeshError;
 pub use port::{Mesh, MeshPort};
-pub use stats::MeshStats;
+pub use stats::{CellTraffic, MeshGridStats, MeshStats};
 
 #[cfg(test)]
 mod tests {
@@ -40,12 +47,12 @@ mod tests {
         // Sender (2,3) broadcasts along row 2; every other CPE in row 2
         // receives it; nobody else is sent anything.
         let v = V256::splat(7.0);
-        ports[Coord::new(2, 3).id()].row_bcast(v);
+        ports[Coord::new(2, 3).id()].row_bcast(v).unwrap();
         for c in 0..8 {
             if c == 3 {
                 continue;
             }
-            let got = ports[Coord::new(2, c).id()].getr();
+            let got = ports[Coord::new(2, c).id()].getr().unwrap();
             assert_eq!(got, v);
         }
         // All receive buffers now empty.
@@ -60,12 +67,12 @@ mod tests {
         let mesh = Mesh::new();
         let mut ports = mesh.ports();
         let v = V256::new([1.0, 2.0, 3.0, 4.0]);
-        ports[Coord::new(5, 1).id()].col_bcast(v);
+        ports[Coord::new(5, 1).id()].col_bcast(v).unwrap();
         for r in 0..8 {
             if r == 5 {
                 continue;
             }
-            assert_eq!(ports[Coord::new(r, 1).id()].getc(), v);
+            assert_eq!(ports[Coord::new(r, 1).id()].getc().unwrap(), v);
         }
         for p in &mut ports {
             assert!(p.try_getr().is_none());
@@ -78,11 +85,11 @@ mod tests {
         let ports = mesh.ports();
         let sender = &ports[Coord::new(0, 0).id()];
         for i in 0..4 {
-            sender.row_bcast(V256::splat(i as f64));
+            sender.row_bcast(V256::splat(i as f64)).unwrap();
         }
         let receiver = &ports[Coord::new(0, 7).id()];
         for i in 0..4 {
-            assert_eq!(receiver.getr(), V256::splat(i as f64));
+            assert_eq!(receiver.getr().unwrap(), V256::splat(i as f64));
         }
     }
 
@@ -97,14 +104,14 @@ mod tests {
             let rest: Vec<_> = iter.collect();
             let panel_ref = &panel;
             s.spawn(move || {
-                sender_port.row_bcast_panel(panel_ref);
+                sender_port.row_bcast_panel(panel_ref).unwrap();
             });
             for p in rest {
                 let panel_ref = &panel;
                 s.spawn(move || {
                     if p.coord().row == 0 && p.coord().col != 0 {
                         let mut out = vec![0.0; 256];
-                        p.recv_row_panel(&mut out);
+                        p.recv_row_panel(&mut out).unwrap();
                         assert_eq!(&out, panel_ref);
                     }
                 });
@@ -125,14 +132,14 @@ mod tests {
             let sender = iter.next().unwrap();
             let handle = s.spawn(move || {
                 for i in 0..(4 * cap) {
-                    sender.row_bcast(V256::splat(i as f64));
+                    sender.row_bcast(V256::splat(i as f64)).unwrap();
                 }
             });
             let mut receivers: Vec<_> = iter.filter(|p| p.coord().row == 0).collect();
             std::thread::sleep(std::time::Duration::from_millis(20));
             for i in 0..(4 * cap) {
                 for p in &mut receivers {
-                    assert_eq!(p.getr(), V256::splat(i as f64));
+                    assert_eq!(p.getr().unwrap(), V256::splat(i as f64));
                 }
             }
             handle.join().unwrap();
@@ -140,8 +147,27 @@ mod tests {
     }
 
     #[test]
-    fn deadlock_surfaces_as_panic() {
+    fn deadlock_surfaces_as_structured_error() {
+        let timeout = std::time::Duration::from_millis(50);
+        let mesh = Mesh::with_timeout(timeout);
+        let ports = mesh.ports();
+        let err = ports[Coord::new(0, 3).id()].getr().unwrap_err(); // nobody ever sends
+        assert_eq!(
+            err,
+            MeshError::Deadlock {
+                coord: (0, 3),
+                op: "getr",
+                timeout,
+            }
+        );
+        // The starved receive is visible in the per-CPE grid snapshot.
+        assert_eq!(mesh.grid_stats().cells[0][3].row_starved, 1);
+    }
+
+    #[test]
+    fn deadlock_panics_behind_escape_hatch() {
         let mesh = Mesh::with_timeout(std::time::Duration::from_millis(50));
+        mesh.panic_on_deadlock();
         let ports = mesh.ports();
         let p = &ports[0];
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -151,15 +177,37 @@ mod tests {
     }
 
     #[test]
+    fn wedged_cpe_sends_nothing_and_peers_starve() {
+        use sw_faults::{FaultInjector, FaultSpec, WedgeSpec};
+        let timeout = std::time::Duration::from_millis(50);
+        let mesh = Mesh::with_timeout(timeout);
+        let mut spec = FaultSpec::seeded(1);
+        spec.wedge = Some(WedgeSpec {
+            cpe: Coord::new(2, 3).id(),
+            epoch: 0,
+        });
+        let inj = FaultInjector::new(spec);
+        mesh.set_fault_injector(&inj);
+        let ports = mesh.ports();
+        ports[Coord::new(2, 3).id()].row_bcast(V256::ZERO).unwrap();
+        assert!(ports[Coord::new(2, 0).id()].getr().is_err());
+        assert_eq!(mesh.stats().row_words_sent, 0);
+        assert_eq!(inj.stats().injected_mesh_wedge, 1);
+    }
+
+    #[test]
     fn stats_count_messages() {
         let mesh = Mesh::new();
         let ports = mesh.ports();
-        ports[0].row_bcast(V256::ZERO);
-        ports[0].col_bcast(V256::ZERO);
+        ports[0].row_bcast(V256::ZERO).unwrap();
+        ports[0].col_bcast(V256::ZERO).unwrap();
         drop(ports);
         let s = mesh.stats();
         // A row broadcast enqueues 7 copies; so does a column broadcast.
         assert_eq!(s.row_words_sent, 7);
         assert_eq!(s.col_words_sent, 7);
+        let g = mesh.grid_stats();
+        assert_eq!(g.cells[0][0].row_sent, 7);
+        assert_eq!(g.cells[0][0].col_sent, 7);
     }
 }

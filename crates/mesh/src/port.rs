@@ -1,13 +1,15 @@
 //! Mesh construction and per-CPE ports.
 
 use crate::chan::{bounded, Receiver, RecvTimeoutError, Sender};
-use crate::stats::{MeshCounters, MeshStats};
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::error::MeshError;
+use crate::stats::{GridCounters, MeshCounters, MeshGridStats, MeshStats};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use sw_arch::consts::{MESH_RECV_BUFFER_ENTRIES, MESH_TRANSIT_CYCLES};
 use sw_arch::coord::{Coord, MESH_COLS, MESH_ROWS, N_CPES};
 use sw_arch::V256;
+use sw_faults::FaultInjector;
 use sw_probe::trace::{Tracer, TrackId};
 
 /// Default time a blocked send/receive waits before declaring the
@@ -19,6 +21,8 @@ const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 pub struct Mesh {
     ports: Mutex<Option<Vec<MeshPort>>>,
     counters: Arc<MeshCounters>,
+    grid: Arc<GridCounters>,
+    panic_on_deadlock: Arc<AtomicBool>,
 }
 
 impl Default for Mesh {
@@ -33,9 +37,13 @@ impl Mesh {
         Self::with_timeout(DEFAULT_TIMEOUT)
     }
 
-    /// Builds a mesh whose blocked operations panic after `timeout`.
+    /// Builds a mesh whose blocked operations fail after `timeout`
+    /// (with [`MeshError::Deadlock`], or a panic when
+    /// [`Mesh::panic_on_deadlock`] is set).
     pub fn with_timeout(timeout: Duration) -> Self {
         let counters = Arc::new(MeshCounters::default());
+        let grid = Arc::new(GridCounters::default());
+        let panic_on_deadlock = Arc::new(AtomicBool::new(false));
         // One bounded MPSC channel per (receiver, direction); the
         // channel preserves per-sender FIFO order, which is the ordering
         // guarantee the hardware's point-to-point mesh links give.
@@ -71,6 +79,10 @@ impl Mesh {
                     row_mates,
                     col_mates,
                     counters: Arc::clone(&counters),
+                    grid: Arc::clone(&grid),
+                    panic_on_deadlock: Arc::clone(&panic_on_deadlock),
+                    injector: None,
+                    sends: AtomicU64::new(0),
                     timeout,
                     trace: None,
                 }
@@ -79,7 +91,35 @@ impl Mesh {
         Mesh {
             ports: Mutex::new(Some(ports)),
             counters,
+            grid,
+            panic_on_deadlock,
         }
+    }
+
+    /// Restores the pre-structured-error behavior: blocked operations
+    /// `panic!` with a diagnostic instead of returning
+    /// [`MeshError::Deadlock`]. The escape hatch for harnesses built
+    /// around the old propagating panic.
+    pub fn panic_on_deadlock(&self) {
+        self.panic_on_deadlock.store(true, Ordering::Relaxed);
+    }
+
+    /// Installs a fault injector consulted on every broadcast (word
+    /// drops and the wedge scenario). Like [`Mesh::set_tracer`], must
+    /// be called before the ports are taken.
+    pub fn set_fault_injector(&self, injector: &Arc<FaultInjector>) {
+        let mut guard = self.ports.lock().unwrap_or_else(|e| e.into_inner());
+        let ports = guard
+            .as_mut()
+            .expect("Mesh::set_fault_injector must be called before the ports are taken");
+        for p in ports.iter_mut() {
+            p.injector = Some(Arc::clone(injector));
+        }
+    }
+
+    /// Per-CPE traffic snapshot (the rendezvous summary's input).
+    pub fn grid_stats(&self) -> MeshGridStats {
+        self.grid.snapshot()
     }
 
     /// Attaches a simulated-time tracer: every broadcast then emits a
@@ -174,6 +214,12 @@ pub struct MeshPort {
     row_mates: Vec<Sender<V256>>,
     col_mates: Vec<Sender<V256>>,
     counters: Arc<MeshCounters>,
+    grid: Arc<GridCounters>,
+    panic_on_deadlock: Arc<AtomicBool>,
+    injector: Option<Arc<FaultInjector>>,
+    /// Broadcasts issued by this port (the injector's deterministic
+    /// per-send coordinate).
+    sends: AtomicU64,
     timeout: Duration,
     trace: Option<PortTrace>,
 }
@@ -185,75 +231,120 @@ impl MeshPort {
         self.coord
     }
 
-    /// Row broadcast: puts `v` into the row receive buffer of the other
-    /// 7 CPEs in this CPE's mesh row (what `vldr`'s broadcast half
-    /// does). Blocks on full buffers; panics on deadlock timeout.
-    pub fn row_bcast(&self, v: V256) {
-        for (i, tx) in self.row_mates.iter().enumerate() {
-            if tx.send_timeout(v, self.timeout).is_err() {
-                panic!(
-                    "mesh deadlock: {} row-broadcast blocked >{:?} (mate #{i} not draining)",
-                    self.coord, self.timeout
-                );
+    fn cell(&self) -> &crate::stats::CellCounters {
+        self.grid
+            .cell(self.coord.row as usize, self.coord.col as usize)
+    }
+
+    /// The shared broadcast path of both networks: consults the fault
+    /// injector (wedge suppression, per-mate word drops), enqueues to
+    /// the surviving mates, and converts a blocked send into
+    /// [`MeshError::Deadlock`] (or the legacy panic).
+    fn bcast(&self, v: V256, col_net: bool, op: &'static str) -> Result<(), MeshError> {
+        let send_idx = self.sends.fetch_add(1, Ordering::Relaxed);
+        if let Some(inj) = &self.injector {
+            if inj.cpe_wedged(self.coord.id()) {
+                // The wedged CPE silently stops sending: its group
+                // peers starve and the deadlock fuse trips downstream.
+                inj.note_wedge_suppression();
+                return Ok(());
             }
         }
-        self.counters.add_row_sent(self.row_mates.len() as u64);
-        if let Some(t) = &self.trace {
-            t.row
-                .emit(&t.tracer, "row.bcast", self.row_mates.len() as u64);
+        let mates = if col_net {
+            &self.col_mates
+        } else {
+            &self.row_mates
+        };
+        let mut delivered = 0u64;
+        for (i, tx) in mates.iter().enumerate() {
+            if let Some(inj) = &self.injector {
+                if inj.mesh_drop(self.coord.id(), send_idx * 8 + i as u64) {
+                    continue; // the word is lost on this link
+                }
+            }
+            if tx.send_timeout(v, self.timeout).is_err() {
+                if self.panic_on_deadlock.load(Ordering::Relaxed) {
+                    panic!(
+                        "mesh deadlock: {} {op} blocked >{:?} (mate #{i} not draining)",
+                        self.coord, self.timeout
+                    );
+                }
+                return Err(MeshError::Deadlock {
+                    coord: (self.coord.row, self.coord.col),
+                    op,
+                    timeout: self.timeout,
+                });
+            }
+            delivered += 1;
         }
+        if col_net {
+            self.counters.add_col_sent(delivered);
+        } else {
+            self.counters.add_row_sent(delivered);
+        }
+        self.cell().add_sent(col_net, delivered);
+        if let Some(t) = &self.trace {
+            let link = if col_net { &t.col } else { &t.row };
+            let name = if col_net { "col.bcast" } else { "row.bcast" };
+            link.emit(&t.tracer, name, delivered);
+        }
+        Ok(())
+    }
+
+    fn get(&self, col_net: bool, op: &'static str) -> Result<V256, MeshError> {
+        let rx = if col_net { &self.col_rx } else { &self.row_rx };
+        match rx.recv_timeout(self.timeout) {
+            Ok(v) => {
+                if col_net {
+                    self.counters.add_col_recv(1);
+                } else {
+                    self.counters.add_row_recv(1);
+                }
+                self.cell().add_recv(col_net, 1);
+                Ok(v)
+            }
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                // One word of unmet demand: the rendezvous summary's
+                // deadlock signature.
+                self.cell().add_starved(col_net);
+                if self.panic_on_deadlock.load(Ordering::Relaxed) {
+                    panic!(
+                        "mesh deadlock: {} {op} starved >{:?}",
+                        self.coord, self.timeout
+                    );
+                }
+                Err(MeshError::Deadlock {
+                    coord: (self.coord.row, self.coord.col),
+                    op,
+                    timeout: self.timeout,
+                })
+            }
+        }
+    }
+
+    /// Row broadcast: puts `v` into the row receive buffer of the other
+    /// 7 CPEs in this CPE's mesh row (what `vldr`'s broadcast half
+    /// does). Blocks on full buffers; fails on deadlock timeout.
+    pub fn row_bcast(&self, v: V256) -> Result<(), MeshError> {
+        self.bcast(v, false, "row-broadcast")
     }
 
     /// Column broadcast: puts `v` into the column receive buffer of the
     /// other 7 CPEs in this CPE's mesh column (what `lddec`'s broadcast
     /// half does).
-    pub fn col_bcast(&self, v: V256) {
-        for (i, tx) in self.col_mates.iter().enumerate() {
-            if tx.send_timeout(v, self.timeout).is_err() {
-                panic!(
-                    "mesh deadlock: {} col-broadcast blocked >{:?} (mate #{i} not draining)",
-                    self.coord, self.timeout
-                );
-            }
-        }
-        self.counters.add_col_sent(self.col_mates.len() as u64);
-        if let Some(t) = &self.trace {
-            t.col
-                .emit(&t.tracer, "col.bcast", self.col_mates.len() as u64);
-        }
+    pub fn col_bcast(&self, v: V256) -> Result<(), MeshError> {
+        self.bcast(v, true, "col-broadcast")
     }
 
     /// Receives one word from the row network (the `getr` instruction).
-    pub fn getr(&self) -> V256 {
-        match self.row_rx.recv_timeout(self.timeout) {
-            Ok(v) => {
-                self.counters.add_row_recv(1);
-                v
-            }
-            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-                panic!(
-                    "mesh deadlock: {} getr starved >{:?}",
-                    self.coord, self.timeout
-                )
-            }
-        }
+    pub fn getr(&self) -> Result<V256, MeshError> {
+        self.get(false, "getr")
     }
 
     /// Receives one word from the column network (the `getc`
     /// instruction).
-    pub fn getc(&self) -> V256 {
-        match self.col_rx.recv_timeout(self.timeout) {
-            Ok(v) => {
-                self.counters.add_col_recv(1);
-                v
-            }
-            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-                panic!(
-                    "mesh deadlock: {} getc starved >{:?}",
-                    self.coord, self.timeout
-                )
-            }
-        }
+    pub fn getc(&self) -> Result<V256, MeshError> {
+        self.get(true, "getc")
     }
 
     /// Non-blocking `getr`, for tests and drain checks.
@@ -261,6 +352,7 @@ impl MeshPort {
         let v = self.row_rx.try_recv();
         if v.is_some() {
             self.counters.add_row_recv(1);
+            self.cell().add_recv(false, 1);
         }
         v
     }
@@ -270,6 +362,7 @@ impl MeshPort {
         let v = self.col_rx.try_recv();
         if v.is_some() {
             self.counters.add_col_recv(1);
+            self.cell().add_recv(true, 1);
         }
         v
     }
@@ -277,51 +370,55 @@ impl MeshPort {
     /// Broadcasts a whole panel (length multiple of 4 doubles) along the
     /// row, 256 bits at a time — the panel-granularity view of the
     /// per-iteration `vldr` stream the kernel performs.
-    pub fn row_bcast_panel(&self, panel: &[f64]) {
+    pub fn row_bcast_panel(&self, panel: &[f64]) -> Result<(), MeshError> {
         assert_eq!(
             panel.len() % 4,
             0,
             "panel length must be a multiple of 4 doubles"
         );
         for chunk in panel.chunks_exact(4) {
-            self.row_bcast(V256::load(chunk));
+            self.row_bcast(V256::load(chunk))?;
         }
+        Ok(())
     }
 
     /// Broadcasts a whole panel along the column.
-    pub fn col_bcast_panel(&self, panel: &[f64]) {
+    pub fn col_bcast_panel(&self, panel: &[f64]) -> Result<(), MeshError> {
         assert_eq!(
             panel.len() % 4,
             0,
             "panel length must be a multiple of 4 doubles"
         );
         for chunk in panel.chunks_exact(4) {
-            self.col_bcast(V256::load(chunk));
+            self.col_bcast(V256::load(chunk))?;
         }
+        Ok(())
     }
 
     /// Receives a whole panel from the row network.
-    pub fn recv_row_panel(&self, out: &mut [f64]) {
+    pub fn recv_row_panel(&self, out: &mut [f64]) -> Result<(), MeshError> {
         assert_eq!(
             out.len() % 4,
             0,
             "panel length must be a multiple of 4 doubles"
         );
         for chunk in out.chunks_exact_mut(4) {
-            self.getr().store(chunk);
+            self.getr()?.store(chunk);
         }
+        Ok(())
     }
 
     /// Receives a whole panel from the column network.
-    pub fn recv_col_panel(&self, out: &mut [f64]) {
+    pub fn recv_col_panel(&self, out: &mut [f64]) -> Result<(), MeshError> {
         assert_eq!(
             out.len() % 4,
             0,
             "panel length must be a multiple of 4 doubles"
         );
         for chunk in out.chunks_exact_mut(4) {
-            self.getc().store(chunk);
+            self.getc()?.store(chunk);
         }
+        Ok(())
     }
 }
 
@@ -355,9 +452,9 @@ mod tests {
         let ports = mesh.ports();
         // Two senders in row 3 and one in column 5 — the row spans must
         // share one track and tile it back to back.
-        ports[Coord::new(3, 0).id()].row_bcast(V256::ZERO);
-        ports[Coord::new(3, 1).id()].row_bcast(V256::ZERO);
-        ports[Coord::new(0, 5).id()].col_bcast(V256::ZERO);
+        ports[Coord::new(3, 0).id()].row_bcast(V256::ZERO).unwrap();
+        ports[Coord::new(3, 1).id()].row_bcast(V256::ZERO).unwrap();
+        ports[Coord::new(0, 5).id()].col_bcast(V256::ZERO).unwrap();
         let data = tracer.take();
         assert_eq!(data.tracks.len(), MESH_ROWS + MESH_COLS);
         assert_eq!(data.spans.len(), 3);

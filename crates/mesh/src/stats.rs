@@ -70,9 +70,122 @@ impl MeshStats {
     }
 }
 
+/// Per-CPE mesh traffic counters, `cells[row][col]`. Alongside the
+/// mesh-wide [`MeshCounters`], every port also tallies its own cell so
+/// a failed run can be diagnosed per rendezvous group (the runtime
+/// feeds a [`MeshGridStats`] snapshot to `sw-lint`'s mesh pass to name
+/// the wedged row/column group).
+#[derive(Debug, Default)]
+pub(crate) struct GridCounters {
+    cells: [[CellCounters; 8]; 8],
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CellCounters {
+    row_sent: Counter,
+    col_sent: Counter,
+    row_recv: Counter,
+    col_recv: Counter,
+    row_starved: Counter,
+    col_starved: Counter,
+}
+
+impl GridCounters {
+    pub fn cell(&self, row: usize, col: usize) -> &CellCounters {
+        &self.cells[row][col]
+    }
+
+    pub fn snapshot(&self) -> MeshGridStats {
+        let mut out = MeshGridStats::default();
+        for r in 0..8 {
+            for c in 0..8 {
+                let cell = &self.cells[r][c];
+                out.cells[r][c] = CellTraffic {
+                    row_sent: cell.row_sent.get(),
+                    col_sent: cell.col_sent.get(),
+                    row_recv: cell.row_recv.get(),
+                    col_recv: cell.col_recv.get(),
+                    row_starved: cell.row_starved.get(),
+                    col_starved: cell.col_starved.get(),
+                };
+            }
+        }
+        out
+    }
+}
+
+impl CellCounters {
+    pub fn add_sent(&self, col_net: bool, n: u64) {
+        if col_net {
+            self.col_sent.add(n);
+        } else {
+            self.row_sent.add(n);
+        }
+    }
+    pub fn add_recv(&self, col_net: bool, n: u64) {
+        if col_net {
+            self.col_recv.add(n);
+        } else {
+            self.row_recv.add(n);
+        }
+    }
+    /// Counts a receive that timed out: one word of unmet demand, the
+    /// signature the rendezvous summary keys on.
+    pub fn add_starved(&self, col_net: bool) {
+        if col_net {
+            self.col_starved.inc();
+        } else {
+            self.row_starved.inc();
+        }
+    }
+}
+
+/// One CPE's mesh traffic, in 256-bit words.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellTraffic {
+    /// Copies this CPE enqueued onto its row links.
+    pub row_sent: u64,
+    /// Copies this CPE enqueued onto its column links.
+    pub col_sent: u64,
+    /// Words this CPE consumed from its row receive buffer.
+    pub row_recv: u64,
+    /// Words this CPE consumed from its column receive buffer.
+    pub col_recv: u64,
+    /// Row receives that timed out (unmet demand at deadlock time).
+    pub row_starved: u64,
+    /// Column receives that timed out.
+    pub col_starved: u64,
+}
+
+/// Snapshot of per-CPE traffic, `cells[mesh_row][mesh_col]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeshGridStats {
+    /// Per-CPE counters.
+    pub cells: [[CellTraffic; 8]; 8],
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn grid_cells_tally_independently() {
+        let g = GridCounters::default();
+        g.cell(2, 5).add_sent(false, 7);
+        g.cell(2, 5).add_recv(true, 3);
+        g.cell(2, 5).add_starved(false);
+        let s = g.snapshot();
+        assert_eq!(
+            s.cells[2][5],
+            CellTraffic {
+                row_sent: 7,
+                col_recv: 3,
+                row_starved: 1,
+                ..CellTraffic::default()
+            }
+        );
+        assert_eq!(s.cells[0][0], CellTraffic::default());
+    }
 
     #[test]
     fn snapshot_reflects_adds() {

@@ -1,0 +1,138 @@
+//! Cancellable barriers for the 64-thread runtime.
+//!
+//! `std::sync::Barrier` has no way out: once a worker waits, it stays
+//! until all its peers arrive. That is exactly wrong for a run in which
+//! one CPE hits a structured failure (a DMA retry budget, a mesh
+//! deadlock) — its 63 peers would hang on the next `sync` forever. A
+//! [`CancellableBarrier`] adds a poisoned state: [`CancellableBarrier::
+//! cancel`] wakes every current and future waiter with
+//! [`BarrierCancelled`], which the CPE context converts into an orderly
+//! unwind, letting [`crate::CoreGroup::try_run`] collect the failure
+//! and return.
+
+use std::sync::{Condvar, Mutex};
+use sw_arch::coord::{MESH_ROWS, N_CPES};
+
+/// The barrier was cancelled while (or before) waiting; the run is
+/// being torn down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierCancelled;
+
+/// A reusable barrier whose waiters can be released early by
+/// [`CancellableBarrier::cancel`].
+pub(crate) struct CancellableBarrier {
+    n: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct State {
+    /// Waiters that have arrived in the current generation.
+    count: usize,
+    /// Bumped when a generation completes, releasing its waiters.
+    generation: u64,
+    cancelled: bool,
+}
+
+impl CancellableBarrier {
+    pub fn new(n: usize) -> Self {
+        CancellableBarrier {
+            n,
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all `n` participants arrive (Ok) or the barrier is
+    /// cancelled (Err). A cancelled barrier fails all future waits too.
+    pub fn wait(&self) -> Result<(), BarrierCancelled> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.cancelled {
+            return Err(BarrierCancelled);
+        }
+        s.count += 1;
+        if s.count == self.n {
+            s.count = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        while s.generation == gen && !s.cancelled {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        if s.generation == gen {
+            Err(BarrierCancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Poisons the barrier, waking all waiters with an error.
+    pub fn cancel(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.cancelled = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The barriers of one functional run: the 64-wide `sync_all` barrier
+/// and the eight 8-wide row barriers, all sharing one cancellation.
+pub(crate) struct RunSync {
+    pub all: CancellableBarrier,
+    pub rows: Vec<CancellableBarrier>,
+}
+
+impl RunSync {
+    pub fn new() -> Self {
+        RunSync {
+            all: CancellableBarrier::new(N_CPES),
+            rows: (0..MESH_ROWS).map(|_| CancellableBarrier::new(8)).collect(),
+        }
+    }
+
+    /// Cancels every barrier of the run (a CPE is aborting).
+    pub fn cancel_all(&self) {
+        self.all.cancel();
+        for r in &self.rows {
+            r.cancel();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn barrier_releases_all_waiters() {
+        let b = CancellableBarrier::new(4);
+        let passed = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        b.wait().unwrap();
+                        passed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(passed.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn cancel_wakes_current_and_future_waiters() {
+        let b = CancellableBarrier::new(3);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| b.wait());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            b.cancel();
+            assert_eq!(h.join().unwrap(), Err(BarrierCancelled));
+        });
+        // Late arrivals fail immediately instead of hanging.
+        assert_eq!(b.wait(), Err(BarrierCancelled));
+    }
+}

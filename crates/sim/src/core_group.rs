@@ -10,22 +10,143 @@
 //! the `CoreGroup`: they are spawned lazily on the first `run` and
 //! parked between runs, so a sweep that calls `run` once per matrix
 //! size per variant no longer pays 64 thread spawns per call.
+//!
+//! # Failure model
+//!
+//! A CPE that hits a structured failure — a DMA retry budget, a mesh
+//! deadlock, an injected fault it cannot recover from — calls
+//! [`CpeCtx::abort`], which cancels the run's barriers (so its 63
+//! peers unwind instead of hanging) and panics with a typed
+//! [`CpeAbort`] payload. [`CoreGroup::try_run`] catches every worker
+//! panic, downcasts the typed ones into a [`RunError`] carrying all
+//! failures plus the per-CPE mesh traffic snapshot (the rendezvous
+//! summary's input), and re-raises anything it does not recognize.
+//! [`CoreGroup::run`] keeps the old contract: any failure panics.
 
+use crate::barrier::RunSync;
 use crate::pool::CpePool;
 use crate::stats::{DmaCounters, RunStats};
-use std::sync::{Barrier, Mutex};
+use std::panic::{panic_any, resume_unwind};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use sw_arch::coord::{Coord, MESH_ROWS, N_CPES};
+use sw_arch::coord::{Coord, N_CPES};
+use sw_faults::{apply_ldm_flip, apply_payload_fault, DmaFault, FaultInjector};
 use sw_isa::{CommPort, ExecReport, Instr, Machine};
 use sw_mem::dma::{self, BandwidthModel, MatRegion, Receipt};
 use sw_mem::{Ldm, LdmBuf, MainMemory, MemError};
-use sw_mesh::{Mesh, MeshPort};
+use sw_mesh::{Mesh, MeshError, MeshGridStats, MeshPort};
 use sw_probe::metrics::Histogram;
 use sw_probe::trace::{Tracer, TrackId};
 
 /// Bucket bounds of the `sim.dma.bytes_per_descriptor` histogram (the
 /// DMA-granularity distribution; 128 B is one transaction).
 const DESC_BYTES_BUCKETS: [u64; 6] = [128, 512, 2048, 8192, 32768, 131072];
+
+/// Simulated cycles charged for the first DMA retry backoff; each
+/// further retry doubles it (deterministic exponential backoff).
+const DMA_RETRY_BACKOFF_CYCLES: u64 = 64;
+
+/// Why one CPE aborted its run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpeError {
+    /// A memory-system failure (DMA retry budget, bad descriptor, …).
+    Mem(MemError),
+    /// A mesh operation failed (deadlock fuse tripped).
+    Mesh(MeshError),
+    /// The CPE was unwound because a peer aborted first and cancelled
+    /// the run's barriers.
+    Cancelled,
+}
+
+impl From<MemError> for CpeError {
+    fn from(e: MemError) -> Self {
+        CpeError::Mem(e)
+    }
+}
+
+impl From<MeshError> for CpeError {
+    fn from(e: MeshError) -> Self {
+        CpeError::Mesh(e)
+    }
+}
+
+impl std::fmt::Display for CpeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CpeError::Mem(e) => write!(f, "{e}"),
+            CpeError::Mesh(e) => write!(f, "{e}"),
+            CpeError::Cancelled => write!(f, "unwound after a peer CPE aborted"),
+        }
+    }
+}
+
+/// The typed panic payload of an aborting CPE; [`CoreGroup::try_run`]
+/// downcasts these into a [`RunError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpeAbort {
+    /// The aborting CPE.
+    pub coord: Coord,
+    /// What went wrong.
+    pub error: CpeError,
+}
+
+/// A 64-thread run that did not complete cleanly.
+#[derive(Debug)]
+pub struct RunError {
+    /// Every CPE that aborted, in CPE-id order (includes the
+    /// `Cancelled` casualties of the primary failure).
+    pub failures: Vec<CpeAbort>,
+    /// Per-CPE mesh traffic at teardown — the input of the lint-side
+    /// rendezvous summary that names the wedged row/column group.
+    pub grid: MeshGridStats,
+    /// Traffic statistics of the partial run.
+    pub stats: RunStats,
+}
+
+impl RunError {
+    /// The most informative failure: the first abort that is not a
+    /// `Cancelled` casualty (falling back to the first casualty).
+    pub fn primary(&self) -> &CpeAbort {
+        self.failures
+            .iter()
+            .find(|a| a.error != CpeError::Cancelled)
+            .unwrap_or(&self.failures[0])
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let p = self.primary();
+        write!(
+            f,
+            "{} of 64 CPEs aborted; first failure at CPE ({}, {}): {}",
+            self.failures.len(),
+            p.coord.row,
+            p.coord.col,
+            p.error
+        )
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Structured CPE aborts are control flow, not crashes: they unwind as
+/// panics with a [`CpeAbort`] payload, and without intervention the
+/// default panic hook prints a backtrace for every one — dozens of
+/// lines of noise per recovered fault. This installs (once) a hook
+/// that swallows exactly those payloads and defers everything else to
+/// the previously installed hook.
+fn install_quiet_abort_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CpeAbort>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
 
 /// One core group: shared main memory plus the machinery to launch
 /// 64-thread functional runs.
@@ -39,6 +160,9 @@ pub struct CoreGroup {
     tracer: Tracer,
     /// Charges simulated durations to traced DMA operations.
     model: BandwidthModel,
+    /// Fault oracle consulted by DMA wrappers and mesh ports; `None`
+    /// (the default) adds no work to any hot path.
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Default for CoreGroup {
@@ -56,6 +180,7 @@ impl CoreGroup {
             pool: None,
             tracer: Tracer::disabled(),
             model: BandwidthModel::calibrated(),
+            injector: None,
         }
     }
 
@@ -64,6 +189,17 @@ impl CoreGroup {
         let mut cg = Self::new();
         cg.mesh_timeout = timeout;
         cg
+    }
+
+    /// Sets the mesh deadlock fuse for subsequent runs.
+    pub fn set_mesh_timeout(&mut self, timeout: std::time::Duration) {
+        self.mesh_timeout = timeout;
+    }
+
+    /// Installs (or, with `None`, removes) the fault injector consulted
+    /// by every subsequent run's DMA wrappers and mesh ports.
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<FaultInjector>>) {
+        self.injector = injector;
     }
 
     /// Attaches a simulated-time tracer to subsequent runs: each CPE
@@ -77,14 +213,38 @@ impl CoreGroup {
     }
 
     /// Runs `f` on all 64 CPE threads (SPMD), returning traffic
-    /// statistics. Panics in any CPE propagate.
+    /// statistics. Panics in any CPE propagate — including structured
+    /// [`CpeAbort`]s, rendered as a message. Use [`CoreGroup::try_run`]
+    /// to receive structured failures instead.
     pub fn run<F>(&mut self, f: F) -> RunStats
     where
         F: Fn(&mut CpeCtx) + Sync,
     {
+        match self.try_run(f) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs `f` on all 64 CPE threads (SPMD). Structured CPE aborts
+    /// come back as a [`RunError`]; panics the runtime does not
+    /// recognize are recorded in the published statistics
+    /// (`sim.cpe.panics`, [`RunStats::panicked_cpes`]) and re-raised.
+    // The Err carries the full teardown evidence (per-CPE failures +
+    // mesh grid) by design; runs are far too coarse for its size to
+    // matter on the happy path.
+    #[allow(clippy::result_large_err)]
+    pub fn try_run<F>(&mut self, f: F) -> Result<RunStats, RunError>
+    where
+        F: Fn(&mut CpeCtx) + Sync,
+    {
+        install_quiet_abort_hook();
         let pool = self.pool.get_or_insert_with(|| CpePool::new(N_CPES));
         let mesh = Mesh::with_timeout(self.mesh_timeout);
         mesh.set_tracer(&self.tracer);
+        if let Some(inj) = &self.injector {
+            mesh.set_fault_injector(inj);
+        }
         // One trace track per CPE; sentinel ids when tracing is off.
         let tracks: Vec<TrackId> = (0..N_CPES)
             .map(|i| {
@@ -99,8 +259,7 @@ impl CoreGroup {
             .into_iter()
             .map(|p| Mutex::new(Some(p)))
             .collect();
-        let barrier = Barrier::new(N_CPES);
-        let row_barriers: Vec<Barrier> = (0..MESH_ROWS).map(|_| Barrier::new(8)).collect();
+        let sync = RunSync::new();
         let counters = DmaCounters::default();
         let bytes_hist = sw_probe::metrics::global()
             .histogram("sim.dma.bytes_per_descriptor", &DESC_BYTES_BUCKETS);
@@ -108,7 +267,8 @@ impl CoreGroup {
         let mem = &self.mem;
         let tracer = &self.tracer;
         let model = &self.model;
-        pool.run(&|i: usize| {
+        let injector = self.injector.as_ref();
+        let panics = pool.try_run(&|i: usize| {
             let port = ports[i]
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
@@ -119,13 +279,14 @@ impl CoreGroup {
                 ldm: Ldm::new(),
                 port,
                 mem,
-                barrier: &barrier,
-                row_barriers: &row_barriers,
+                sync: &sync,
                 counters: &counters,
                 bytes_hist: &bytes_hist,
                 tracer,
                 track: tracks[i],
                 model,
+                injector,
+                dma_ops: 0,
                 clock: 0,
             };
             f(&mut ctx);
@@ -133,10 +294,33 @@ impl CoreGroup {
         let stats = RunStats {
             dma: counters.snapshot(),
             mesh: mesh.stats(),
+            panicked_cpes: panics.iter().map(|(i, _)| *i).collect(),
             wall: start.elapsed(),
         };
+        if panics.is_empty() {
+            stats.publish(sw_probe::metrics::global());
+            return Ok(stats);
+        }
+        let mut failures = Vec::new();
+        let mut unknown = None;
+        for (_, p) in panics {
+            match p.downcast::<CpeAbort>() {
+                Ok(a) => failures.push(*a),
+                Err(p) => unknown = unknown.or(Some(p)),
+            }
+        }
+        // Only structured aborts count as CPE panics in the metrics —
+        // an unknown payload is a bug escaping, not a modelled failure,
+        // but it is still attributed before re-raising.
         stats.publish(sw_probe::metrics::global());
-        stats
+        if let Some(p) = unknown {
+            resume_unwind(p);
+        }
+        Err(RunError {
+            failures,
+            grid: mesh.grid_stats(),
+            stats,
+        })
     }
 }
 
@@ -148,13 +332,16 @@ pub struct CpeCtx<'a> {
     pub ldm: Ldm,
     port: MeshPort,
     mem: &'a MainMemory,
-    barrier: &'a Barrier,
-    row_barriers: &'a [Barrier],
+    sync: &'a RunSync,
     counters: &'a DmaCounters,
     bytes_hist: &'a Histogram,
     tracer: &'a Tracer,
     track: TrackId,
     model: &'a BandwidthModel,
+    injector: Option<&'a Arc<FaultInjector>>,
+    /// DMA operations issued by this CPE this run (the injector's
+    /// deterministic per-operation coordinate).
+    dma_ops: u64,
     /// This CPE's simulated-time cursor: DMA and kernel spans advance
     /// it by their modelled duration, giving every CPE a consistent
     /// private timeline (resource contention between CPEs is the
@@ -181,75 +368,142 @@ impl<'a> CpeCtx<'a> {
             );
         }
     }
+
+    /// Aborts the run from this CPE: cancels every barrier (so peers
+    /// unwind promptly) and panics with the typed [`CpeAbort`] payload
+    /// that [`CoreGroup::try_run`] turns into a [`RunError`].
+    pub fn abort(&self, error: CpeError) -> ! {
+        self.sync.cancel_all();
+        panic_any(CpeAbort {
+            coord: self.coord,
+            error,
+        })
+    }
+
+    fn cancelled(&self) -> ! {
+        panic_any(CpeAbort {
+            coord: self.coord,
+            error: CpeError::Cancelled,
+        })
+    }
+
     /// Barrier over all 64 CPEs (the `sync` of Algorithms 1–2).
+    /// Unwinds (with a `Cancelled` abort) if a peer aborted the run.
     pub fn sync_all(&self) {
-        self.barrier.wait();
+        if self.sync.all.wait().is_err() {
+            self.cancelled();
+        }
     }
 
     /// Barrier over the 8 CPEs of this CPE's mesh row (required by
     /// `ROW_MODE` DMA).
     pub fn sync_row(&self) {
-        self.row_barriers[self.coord.row as usize].wait();
+        if self.sync.rows[self.coord.row as usize].wait().is_err() {
+            self.cancelled();
+        }
+    }
+
+    /// The shared retry loop of every DMA wrapper. Consults the fault
+    /// injector before each execution attempt: a transient failure
+    /// backs off (deterministic exponential simulated-cycle cost) and
+    /// retries within the spec's budget; payload faults (bit-flips,
+    /// truncation) and LDM soft errors are applied to the received
+    /// image of a *get* (`buf` is `Some`) after the transfer lands.
+    fn dma_with_faults(
+        &mut self,
+        name: &'static str,
+        buf: Option<LdmBuf>,
+        op: impl Fn(&mut Self) -> Result<Receipt, MemError>,
+    ) -> Result<Receipt, MemError> {
+        let op_idx = self.dma_ops;
+        self.dma_ops += 1;
+        let Some(inj) = self.injector else {
+            let r = op(self)?;
+            self.note_dma(name, &r);
+            return Ok(r);
+        };
+        let inj = Arc::clone(inj);
+        let budget = inj.spec().dma_transient_max_retry;
+        let mut retry = 0u32;
+        loop {
+            let fault = inj.dma_fault(self.coord.id(), op_idx, retry);
+            if fault == Some(DmaFault::Transient) {
+                if retry >= budget {
+                    inj.note_retry_exhausted();
+                    return Err(MemError::RetryBudgetExhausted {
+                        attempts: retry + 1,
+                        what: format!("{name} (CPE {}, op {op_idx})", self.coord),
+                    });
+                }
+                self.clock += DMA_RETRY_BACKOFF_CYCLES << retry;
+                retry += 1;
+                continue;
+            }
+            let r = op(self)?;
+            self.note_dma(name, &r);
+            if let Some(buf) = buf {
+                if let Some(f) = fault {
+                    apply_payload_fault(f, self.ldm.slice_mut(buf));
+                }
+                if let Some((word, bit)) = inj.ldm_fault(self.coord.id(), op_idx) {
+                    apply_ldm_flip(word, bit, self.ldm.slice_mut(buf));
+                }
+            }
+            inj.note_dma_recovered(retry);
+            return Ok(r);
+        }
     }
 
     /// `PE_MODE` get into `buf`.
     pub fn dma_pe_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
-        let r = dma::pe_get(self.mem, region, &mut self.ldm, buf)?;
-        self.note_dma("pe.get", &r);
-        Ok(r)
+        self.dma_with_faults("pe.get", Some(buf), |c| {
+            dma::pe_get(c.mem, region, &mut c.ldm, buf)
+        })
     }
 
     /// `PE_MODE` put from `buf`.
     pub fn dma_pe_put(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
-        let r = dma::pe_put(self.mem, region, &self.ldm, buf)?;
-        self.note_dma("pe.put", &r);
-        Ok(r)
+        self.dma_with_faults("pe.put", None, |c| dma::pe_put(c.mem, region, &c.ldm, buf))
     }
 
     /// `BCAST_MODE` get (all 64 CPEs call this with the same region).
     pub fn dma_bcast_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
-        let r = dma::bcast_get(self.mem, region, &mut self.ldm, buf)?;
-        self.note_dma("bcast.get", &r);
-        Ok(r)
+        self.dma_with_faults("bcast.get", Some(buf), |c| {
+            dma::bcast_get(c.mem, region, &mut c.ldm, buf)
+        })
     }
 
     /// `ROW_MODE` get: the 8 CPEs of this row synchronize, then each
     /// receives its interleaved share of the region stream.
     pub fn dma_row_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
         self.sync_row();
-        let r = dma::row_get(
-            self.mem,
-            region,
-            self.coord.col as usize,
-            &mut self.ldm,
-            buf,
-        )?;
-        self.note_dma("row.get", &r);
-        Ok(r)
+        self.dma_with_faults("row.get", Some(buf), |c| {
+            dma::row_get(c.mem, region, c.coord.col as usize, &mut c.ldm, buf)
+        })
     }
 
     /// `ROW_MODE` put: inverse scatter, with the row synchronization.
     pub fn dma_row_put(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
         self.sync_row();
-        let r = dma::row_put(self.mem, region, self.coord.col as usize, &self.ldm, buf)?;
-        self.note_dma("row.put", &r);
-        Ok(r)
+        self.dma_with_faults("row.put", None, |c| {
+            dma::row_put(c.mem, region, c.coord.col as usize, &c.ldm, buf)
+        })
     }
 
     /// `BROW_MODE` get (the 8 CPEs of this row receive full copies).
     pub fn dma_brow_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
         self.sync_row();
-        let r = dma::brow_get(self.mem, region, &mut self.ldm, buf)?;
-        self.note_dma("brow.get", &r);
-        Ok(r)
+        self.dma_with_faults("brow.get", Some(buf), |c| {
+            dma::brow_get(c.mem, region, &mut c.ldm, buf)
+        })
     }
 
     /// `RANK_MODE` get (all 64 CPEs receive transaction-interleaved
     /// shares).
     pub fn dma_rank_get(&mut self, region: MatRegion, buf: LdmBuf) -> Result<Receipt, MemError> {
-        let r = dma::rank_get(self.mem, region, self.coord.id(), &mut self.ldm, buf)?;
-        self.note_dma("rank.get", &r);
-        Ok(r)
+        self.dma_with_faults("rank.get", Some(buf), |c| {
+            dma::rank_get(c.mem, region, c.coord.id(), &mut c.ldm, buf)
+        })
     }
 
     /// The register-communication port (panel broadcasts, `getr`/`getc`).
@@ -257,12 +511,50 @@ impl<'a> CpeCtx<'a> {
         &self.port
     }
 
+    fn mesh_fail(&self, e: MeshError) -> ! {
+        self.abort(CpeError::Mesh(e))
+    }
+
+    /// Row broadcast that aborts the run (structured) on deadlock.
+    pub fn mesh_row_bcast(&self, v: sw_arch::V256) {
+        if let Err(e) = self.port.row_bcast(v) {
+            self.mesh_fail(e);
+        }
+    }
+
+    /// Column broadcast that aborts the run on deadlock.
+    pub fn mesh_col_bcast(&self, v: sw_arch::V256) {
+        if let Err(e) = self.port.col_bcast(v) {
+            self.mesh_fail(e);
+        }
+    }
+
+    /// Row receive that aborts the run on starvation.
+    pub fn mesh_getr(&self) -> sw_arch::V256 {
+        match self.port.getr() {
+            Ok(v) => v,
+            Err(e) => self.mesh_fail(e),
+        }
+    }
+
+    /// Column receive that aborts the run on starvation.
+    pub fn mesh_getc(&self) -> sw_arch::V256 {
+        match self.port.getc() {
+            Ok(v) => v,
+            Err(e) => self.mesh_fail(e),
+        }
+    }
+
     /// Executes an ISA kernel stream against this CPE's LDM and mesh
     /// port, returning the executor's cycle report.
     pub fn run_kernel(&mut self, prog: &[Instr]) -> ExecReport {
         #[cfg(debug_assertions)]
         lint_gate::check(prog);
-        let mut comm = MeshComm(&self.port);
+        let mut comm = MeshComm {
+            port: &self.port,
+            sync: self.sync,
+            coord: self.coord,
+        };
         let report = Machine::new(self.ldm.raw_mut(), &mut comm).run(prog);
         if self.tracer.is_enabled() {
             let t0 = self.clock;
@@ -320,20 +612,46 @@ mod lint_gate {
     }
 }
 
-/// Adapts a mesh port to the executor's communication trait.
-struct MeshComm<'p>(&'p MeshPort);
+/// Adapts a mesh port to the executor's infallible communication
+/// trait: a failed operation aborts the run exactly like the
+/// [`CpeCtx`] mesh wrappers do.
+struct MeshComm<'p> {
+    port: &'p MeshPort,
+    sync: &'p RunSync,
+    coord: Coord,
+}
+
+impl MeshComm<'_> {
+    fn fail(&self, e: MeshError) -> ! {
+        self.sync.cancel_all();
+        panic_any(CpeAbort {
+            coord: self.coord,
+            error: CpeError::Mesh(e),
+        })
+    }
+}
 
 impl CommPort for MeshComm<'_> {
     fn row_bcast(&mut self, v: sw_arch::V256) {
-        self.0.row_bcast(v);
+        if let Err(e) = self.port.row_bcast(v) {
+            self.fail(e);
+        }
     }
     fn col_bcast(&mut self, v: sw_arch::V256) {
-        self.0.col_bcast(v);
+        if let Err(e) = self.port.col_bcast(v) {
+            self.fail(e);
+        }
     }
     fn getr(&mut self) -> sw_arch::V256 {
-        self.0.getr()
+        match self.port.getr() {
+            Ok(v) => v,
+            Err(e) => self.fail(e),
+        }
     }
     fn getc(&mut self) -> sw_arch::V256 {
-        self.0.getc()
+        match self.port.getc() {
+            Ok(v) => v,
+            Err(e) => self.fail(e),
+        }
     }
 }

@@ -20,12 +20,13 @@
 //! prologue cost the paper observes for small m in Figure 7 — *emerge*
 //! from the DAG structure rather than being hard-coded.
 
+pub(crate) mod barrier;
 pub mod core_group;
 pub(crate) mod pool;
 pub mod stats;
 pub mod timing;
 
-pub use core_group::{CoreGroup, CpeCtx};
+pub use core_group::{CoreGroup, CpeAbort, CpeCtx, CpeError, RunError};
 pub use stats::{DmaTotals, RunStats};
 pub use sw_probe::trace::{TraceData, Tracer};
 pub use timing::{Dag, Resource, TaskId, TaskTrace, TimingResult};

@@ -18,7 +18,7 @@
 //! old scoped-spawn behavior ("panics in any CPE propagate").
 
 use std::any::Any;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -38,8 +38,11 @@ struct Slot {
     job: Option<JobPtr>,
     /// Workers still executing the current generation.
     remaining: usize,
-    /// First panic payload of the generation, re-raised by the caller.
-    panic: Option<Box<dyn Any + Send>>,
+    /// Panic payloads of the generation, one per panicking worker
+    /// (worker index attached). `run` re-raises the first; `try_run`
+    /// hands all of them to the caller so a multi-CPE failure is fully
+    /// attributable.
+    panics: Vec<(usize, Box<dyn Any + Send>)>,
     /// Tells workers to exit (pool drop).
     shutdown: bool,
 }
@@ -74,7 +77,7 @@ impl CpePool {
                 generation: 0,
                 job: None,
                 remaining: 0,
-                panic: None,
+                panics: Vec::new(),
                 shutdown: false,
             }),
             start: Condvar::new(),
@@ -93,8 +96,21 @@ impl CpePool {
     }
 
     /// Runs `f(i)` on every worker `i`, returning once all complete.
-    /// Re-raises the first worker panic on this thread.
+    /// Re-raises the first worker panic on this thread. (The runtime
+    /// proper goes through [`CpePool::try_run`] to attribute failures;
+    /// this propagating form remains for direct pool tests.)
+    #[cfg(test)]
     pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        let mut panics = self.try_run(f);
+        if !panics.is_empty() {
+            std::panic::resume_unwind(panics.remove(0).1);
+        }
+    }
+
+    /// Like [`CpePool::run`], but hands every worker's panic payload
+    /// (tagged with its index, in index order) back to the caller
+    /// instead of re-raising. An empty vector means a clean generation.
+    pub fn try_run(&self, f: &(dyn Fn(usize) + Sync)) -> Vec<(usize, Box<dyn Any + Send>)> {
         // Erase the borrow lifetime. Sound because this function blocks
         // until `remaining == 0`, i.e. until no worker can still hold
         // or dereference the pointer.
@@ -123,11 +139,10 @@ impl CpePool {
                 .unwrap_or_else(|e| e.into_inner());
         }
         slot.job = None;
-        let panic = slot.panic.take();
+        let mut panics = std::mem::take(&mut slot.panics);
         drop(slot);
-        if let Some(p) = panic {
-            resume_unwind(p);
-        }
+        panics.sort_by_key(|(i, _)| *i);
+        panics
     }
 }
 
@@ -166,9 +181,7 @@ fn worker_loop(index: usize, shared: &Shared) {
         let result = catch_unwind(AssertUnwindSafe(|| f(index)));
         let mut slot = shared.lock();
         if let Err(p) = result {
-            if slot.panic.is_none() {
-                slot.panic = Some(p);
-            }
+            slot.panics.push((index, p));
         }
         slot.remaining -= 1;
         if slot.remaining == 0 {
@@ -236,5 +249,23 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn try_run_collects_every_panicking_worker() {
+        let pool = CpePool::new(8);
+        let panics = pool.try_run(&|i| {
+            if i % 2 == 1 {
+                panic!("odd worker {i}");
+            }
+        });
+        let ids: Vec<usize> = panics.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, vec![1, 3, 5, 7], "all panicking workers recorded");
+        for (i, p) in &panics {
+            let msg = p.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert_eq!(msg, format!("odd worker {i}"));
+        }
+        // A clean follow-up generation reports nothing.
+        assert!(pool.try_run(&|_| {}).is_empty());
     }
 }

@@ -100,18 +100,26 @@ pub struct RunStats {
     pub dma: DmaTotals,
     /// Register-communication traffic.
     pub mesh: MeshStats,
+    /// Ids of every CPE whose worker panicked this run (structured
+    /// aborts and raw panics alike), in id order. Empty on a clean run.
+    pub panicked_cpes: Vec<usize>,
     /// Host wall-clock time of the simulated run (not simulated time).
     pub wall: Duration,
 }
 
 impl RunStats {
     /// Accumulates the run's traffic into `reg` (`sim.dma.*`,
-    /// `sim.mesh.*`, and a `sim.runs` tally). [`crate::CoreGroup::run`]
-    /// does this against the global registry after every run.
+    /// `sim.mesh.*`, a `sim.runs` tally, and `sim.cpe.panics` when any
+    /// worker panicked). [`crate::CoreGroup::run`] does this against
+    /// the global registry after every run.
     pub fn publish(&self, reg: &Registry) {
         self.dma.publish(reg);
         self.mesh.publish(reg);
         reg.counter("sim.runs").inc();
+        if !self.panicked_cpes.is_empty() {
+            reg.counter("sim.cpe.panics")
+                .add(self.panicked_cpes.len() as u64);
+        }
     }
 }
 
@@ -170,6 +178,7 @@ mod tests {
                 row_words_sent: 7,
                 ..MeshStats::default()
             },
+            panicked_cpes: Vec::new(),
             wall: Duration::ZERO,
         };
         stats.publish(&reg);

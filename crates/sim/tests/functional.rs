@@ -67,15 +67,15 @@ fn diagonal_broadcast_step_at_panel_granularity() {
     cg.run(move |ctx| {
         let me = ctx.coord;
         if me == Coord::new(step, step) {
-            ctx.mesh().row_bcast_panel(panel_ref);
-            ctx.mesh().col_bcast_panel(panel_ref);
+            ctx.mesh().row_bcast_panel(panel_ref).unwrap();
+            ctx.mesh().col_bcast_panel(panel_ref).unwrap();
         } else if me.row as usize == step {
             let mut got = vec![0.0; 64];
-            ctx.mesh().recv_row_panel(&mut got);
+            ctx.mesh().recv_row_panel(&mut got).unwrap();
             assert_eq!(&got, panel_ref);
         } else if me.col as usize == step {
             let mut got = vec![0.0; 64];
-            ctx.mesh().recv_col_panel(&mut got);
+            ctx.mesh().recv_col_panel(&mut got).unwrap();
             assert_eq!(&got, panel_ref);
         }
     });
@@ -180,31 +180,41 @@ fn sync_all_orders_phases() {
 fn mismatched_communication_scheme_is_diagnosed() {
     // Failure injection: thread (0,0) broadcasts along its row but one
     // receiver never drains — the bounded send buffer fills and the
-    // mesh diagnoses the deadlock instead of hanging. The panic
-    // propagates out of CoreGroup::run.
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut cg = CoreGroup::with_mesh_timeout(std::time::Duration::from_millis(200));
-        cg.run(|ctx| {
+    // mesh diagnoses the deadlock instead of hanging. The failure
+    // surfaces as a structured RunError out of CoreGroup::try_run, and
+    // the same CoreGroup stays usable for a subsequent clean run.
+    let mut cg = CoreGroup::with_mesh_timeout(std::time::Duration::from_millis(200));
+    let err = cg
+        .try_run(|ctx| {
             if ctx.coord == Coord::new(0, 0) {
                 // Way beyond the buffer capacity of any single receiver.
                 for i in 0..1024 {
-                    ctx.mesh().row_bcast(sw_arch::V256::splat(i as f64));
+                    ctx.mesh_row_bcast(sw_arch::V256::splat(i as f64));
                 }
             } else if ctx.coord.row == 0 && ctx.coord.col != 7 {
                 // These drain correctly...
                 for _ in 0..1024 {
-                    let _ = ctx.mesh().getr();
+                    let _ = ctx.mesh_getr();
                 }
             }
             // ...but (0,7) never receives: the sender must block and
             // eventually trip the deadlock diagnostic. Give the mesh a
             // short fuse by exiting everyone else promptly.
-        });
-    }));
+        })
+        .expect_err("the wedged broadcast must surface as a RunError");
+    let primary = err.primary();
     assert!(
-        result.is_err(),
-        "the wedged broadcast must surface as a panic"
+        matches!(primary.error, sw_sim::CpeError::Mesh(_)),
+        "primary failure must be the mesh deadlock, got {:?}",
+        primary
     );
+    assert_eq!(primary.coord, Coord::new(0, 0));
+    assert!(!err.stats.panicked_cpes.is_empty());
+    // The runtime survives: a clean follow-up run succeeds.
+    let stats = cg.run(|ctx| {
+        ctx.sync_all();
+    });
+    assert!(stats.panicked_cpes.is_empty());
 }
 
 #[test]

@@ -629,6 +629,63 @@ mod engine_equivalence {
 }
 
 // ---------------------------------------------------------------------
+// Fault-injection determinism: every injection decision is a pure
+// function of (seed, site, epoch, attempt, cpe, op) — never of host
+// thread interleaving — so the same fault plan on the same problem
+// yields a byte-identical report (modulo host wall time) and identical
+// fault tallies on every run.
+// ---------------------------------------------------------------------
+
+/// Same seed + same plan ⇒ identical C (bitwise), identical traffic
+/// stats, identical panic set, and identical fault counter snapshots.
+#[test]
+fn fault_injection_is_deterministic() {
+    use sw_dgemm::{AbftPolicy, DgemmRunner, FaultSpec, StuckSpec, Variant};
+    let p = sw_dgemm::BlockingParams::test_small();
+    let (m, n, k) = (2 * p.bm(), p.bn(), 2 * p.bk());
+    cases(3, 14, |rng| {
+        let seed = rng.next_u64();
+        let a = random_matrix(m, k, seed % 1000);
+        let b = random_matrix(k, n, seed % 1000 + 1);
+        let c0 = random_matrix(m, n, seed % 1000 + 2);
+        let spec = FaultSpec {
+            dma_transient_per_myriad: 300,
+            // Low enough that four recompute attempts virtually never
+            // all draw fresh corruption (each attempt redraws).
+            ldm_bitflip_per_myriad: 5,
+            bitflip_every_epoch: true,
+            stuck: Some(StuckSpec {
+                cpe: (seed % 64) as usize,
+                epoch: 2,
+            }),
+            ..FaultSpec::seeded(seed)
+        };
+        let run = || {
+            let mut c = c0.clone();
+            let report = DgemmRunner::new(Variant::Pe)
+                .params(p)
+                .faults(spec)
+                .abft(AbftPolicy::Correct)
+                .run(1.5, &a, &b, 0.5, &mut c)
+                .expect("Correct + degrade must heal this plan");
+            (c, report)
+        };
+        let (c1, r1) = run();
+        let (c2, r2) = run();
+        assert_eq!(c1.max_abs_diff(&c2), 0.0, "seed {seed}: C differs");
+        assert_eq!(r1.stats.dma, r2.stats.dma, "seed {seed}");
+        assert_eq!(r1.stats.mesh, r2.stats.mesh, "seed {seed}");
+        assert_eq!(
+            r1.stats.panicked_cpes, r2.stats.panicked_cpes,
+            "seed {seed}"
+        );
+        assert_eq!(r1.faults, r2.faults, "seed {seed}");
+        assert_eq!(r1.plan.map(|p| p.params), r2.plan.map(|p| p.params));
+        assert!(r1.faults.unwrap().total_injected() > 0, "seed {seed}");
+    });
+}
+
+// ---------------------------------------------------------------------
 // Stall attribution: with probes on, every simulated cycle of each pipe
 // is classified into exactly one bucket, so the per-pipe buckets sum
 // exactly to ExecReport::cycles — on random straight-line and counted-
