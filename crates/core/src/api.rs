@@ -13,7 +13,7 @@ use crate::variants::Variant;
 use crate::Matrix;
 use std::time::Duration;
 use sw_faults::{FaultInjector, FaultSpec, FaultStats};
-use sw_sim::{CoreGroup, RunStats, Tracer};
+use sw_sim::{CoreGroup, MeshPath, MeshTransport, RunStats, Tracer};
 
 /// Per-block runs the resilient path executes (first + recoveries)
 /// before an uncorrectable block surfaces as an error.
@@ -79,6 +79,8 @@ pub struct DgemmRunner {
     abft: AbftPolicy,
     degrade: bool,
     mesh_timeout: Option<Duration>,
+    mesh_transport: MeshTransport,
+    mesh_path: MeshPath,
 }
 
 impl DgemmRunner {
@@ -95,6 +97,8 @@ impl DgemmRunner {
             abft: AbftPolicy::Off,
             degrade: true,
             mesh_timeout: None,
+            mesh_transport: MeshTransport::default(),
+            mesh_path: MeshPath::default(),
         }
     }
 
@@ -173,6 +177,23 @@ impl DgemmRunner {
         self
     }
 
+    /// Selects the mesh transport (default [`MeshTransport::Ring`],
+    /// the lock-free SPSC fast path; [`MeshTransport::Fallback`] is
+    /// the Mutex-channel baseline `mesh_bench` compares against).
+    pub fn mesh_transport(mut self, transport: MeshTransport) -> Self {
+        self.mesh_transport = transport;
+        self
+    }
+
+    /// Selects how strip steps drive the mesh (default
+    /// [`MeshPath::Bulk`], batched word-groups; [`MeshPath::Word`]
+    /// keeps the historical one-call-per-word path for equivalence
+    /// testing and benchmarking).
+    pub fn mesh_path(mut self, path: MeshPath) -> Self {
+        self.mesh_path = path;
+        self
+    }
+
     /// Runs `C = α·A·B + β·C` on a fresh simulated core group.
     pub fn run(
         &self,
@@ -231,6 +252,8 @@ impl DgemmRunner {
         if let Some(t) = self.mesh_timeout {
             cg.set_mesh_timeout(t);
         }
+        cg.set_mesh_transport(self.mesh_transport);
+        cg.set_mesh_path(self.mesh_path);
         let ia = cg.mem.install(a.clone())?;
         let ib = match cg.mem.install(b.clone()) {
             Ok(id) => id,

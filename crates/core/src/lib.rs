@@ -49,6 +49,7 @@ pub use params::BlockingParams;
 pub use plan::GemmPlan;
 pub use sw_faults::{FaultSpec, FaultStats, StuckSpec, WedgeSpec};
 pub use sw_mem::HostMatrix as Matrix;
+pub use sw_sim::{MeshPath, MeshTransport};
 pub use timing::{estimate, TimingReport};
 pub use variants::batched::dgemm_batched;
 pub use variants::Variant;

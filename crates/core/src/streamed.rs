@@ -60,19 +60,31 @@ pub fn strip_step(
         let mut acc = [[0.0f64; 4]; 16];
         for k in 0..pk {
             // --- A column of this k (4 mesh words). ---
+            // The bulk path moves the same 4-word group per episode the
+            // per-word path moves in 4 calls — same words, same
+            // per-word `send_idx` consumption (so fault-injector drop
+            // decisions are identical), one batched accounting update.
             match role.a {
                 Operand::Ldm | Operand::LdmBcast(_) => {
                     acol.copy_from_slice(&ctx.ldm.slice(a_own)[k * pm..k * pm + 16]);
                     if let Operand::LdmBcast(net) = role.a {
-                        for w in 0..4 {
-                            let v = V256::load(&acol[4 * w..]);
-                            bcast(ctx, net, v);
+                        if ctx.mesh_bulk() {
+                            bcast_panel(ctx, net, &acol);
+                        } else {
+                            for w in 0..4 {
+                                let v = V256::load(&acol[4 * w..]);
+                                bcast(ctx, net, v);
+                            }
                         }
                     }
                 }
                 Operand::Recv(net) => {
-                    for w in 0..4 {
-                        recv(ctx, net).store(&mut acol[4 * w..4 * w + 4]);
+                    if ctx.mesh_bulk() {
+                        recv_panel(ctx, net, &mut acol);
+                    } else {
+                        for w in 0..4 {
+                            recv(ctx, net).store(&mut acol[4 * w..4 * w + 4]);
+                        }
                     }
                 }
             }
@@ -84,14 +96,27 @@ pub fn strip_step(
                         *bv = b[(j0 + j) * pk + k];
                     }
                     if let Operand::LdmBcast(net) = role.b {
-                        for &bv in &bvals {
-                            bcast(ctx, net, V256::splat(bv));
+                        if ctx.mesh_bulk() {
+                            let words = bvals.map(V256::splat);
+                            bcast_words(ctx, net, &words);
+                        } else {
+                            for &bv in &bvals {
+                                bcast(ctx, net, V256::splat(bv));
+                            }
                         }
                     }
                 }
                 Operand::Recv(net) => {
-                    for bv in bvals.iter_mut() {
-                        *bv = recv(ctx, net).0[0];
+                    if ctx.mesh_bulk() {
+                        let mut words = [V256::ZERO; 4];
+                        recv_words(ctx, net, &mut words);
+                        for (bv, w) in bvals.iter_mut().zip(&words) {
+                            *bv = w.0[0];
+                        }
+                    } else {
+                        for bv in bvals.iter_mut() {
+                            *bv = recv(ctx, net).0[0];
+                        }
                     }
                 }
             }
@@ -124,5 +149,30 @@ fn recv(ctx: &CpeCtx, net: Net) -> V256 {
     match net {
         Net::Row => ctx.mesh_getr(),
         Net::Col => ctx.mesh_getc(),
+    }
+}
+
+fn bcast_panel(ctx: &CpeCtx, net: Net, panel: &[f64]) {
+    match net {
+        Net::Row => ctx.mesh_row_bcast_panel(panel),
+        Net::Col => ctx.mesh_col_bcast_panel(panel),
+    }
+}
+
+fn recv_panel(ctx: &CpeCtx, net: Net, out: &mut [f64]) {
+    ctx.mesh_get_panel(net == Net::Col, out);
+}
+
+fn bcast_words(ctx: &CpeCtx, net: Net, words: &[V256]) {
+    match net {
+        Net::Row => ctx.mesh_row_bcast_words(words),
+        Net::Col => ctx.mesh_col_bcast_words(words),
+    }
+}
+
+fn recv_words(ctx: &CpeCtx, net: Net, out: &mut [V256]) {
+    match net {
+        Net::Row => ctx.mesh_getr_words(out),
+        Net::Col => ctx.mesh_getc_words(out),
     }
 }

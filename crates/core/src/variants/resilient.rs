@@ -340,6 +340,7 @@ fn accumulate(total: &mut RunStats, one: &RunStats) {
     total.mesh.col_words_sent += one.mesh.col_words_sent;
     total.mesh.row_words_received += one.mesh.row_words_received;
     total.mesh.col_words_received += one.mesh.col_words_received;
+    total.grid.accumulate(&one.grid);
     total
         .panicked_cpes
         .extend(one.panicked_cpes.iter().copied());

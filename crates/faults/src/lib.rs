@@ -415,6 +415,14 @@ impl FaultInjector {
         self.counters.injected_mesh_wedge.inc();
     }
 
+    /// Counts `n` broadcasts suppressed by the wedge scenario at once —
+    /// the batched mesh path's equivalent of `n` calls to
+    /// [`FaultInjector::note_wedge_suppression`], so `faults.*` totals
+    /// stay identical between the per-word and bulk transports.
+    pub fn note_wedge_suppressions(&self, n: u64) {
+        self.counters.injected_mesh_wedge.add(n);
+    }
+
     /// Counts an ABFT checksum mismatch detection.
     pub fn note_abft_detected(&self) {
         self.counters.detected_abft.inc();

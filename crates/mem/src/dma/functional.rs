@@ -29,16 +29,45 @@ fn check_buf(expected: usize, buf: LdmBuf, mode: DmaMode) -> Result<(), MemError
     Ok(())
 }
 
-/// Iterates the region's element stream (column-major order), calling
-/// `f(stream_index, mem_index)`.
-fn for_stream(region: &MatRegion, lda: usize, mut f: impl FnMut(usize, usize)) {
-    let mut s = 0;
-    for c in 0..region.cols {
-        let base = (region.col0 + c) * lda + region.row0;
-        for r in 0..region.rows {
-            f(s, base + r);
-            s += 1;
+/// Iterates the contiguous runs of participant `who`'s share of the
+/// region's element stream when the stream is dealt out in `sd`-double
+/// slices round-robin over `parts` participants: calls
+/// `f(mem_start, local_start, len)` for each run, where `mem_start`
+/// indexes the backing matrix, `local_start` the participant's packed
+/// LDM image, and `len` never crosses a column boundary — so both
+/// sides of every run are contiguous and can move with one
+/// `copy_from_slice` instead of per-element loads.
+fn for_owned_slices(
+    region: &MatRegion,
+    lda: usize,
+    sd: usize,
+    parts: usize,
+    who: usize,
+    mut f: impl FnMut(usize, usize, usize),
+) {
+    let total = region.len();
+    let rows = region.rows;
+    let mut slice_idx = who;
+    let mut local = 0;
+    while slice_idx * sd < total {
+        let s0 = slice_idx * sd;
+        let s1 = (s0 + sd).min(total);
+        let mut s = s0;
+        while s < s1 {
+            // Stream position s is element (s % rows, s / rows) of the
+            // column-major region.
+            let c = s / rows;
+            let r = s % rows;
+            let run = (rows - r).min(s1 - s);
+            f(
+                (region.col0 + c) * lda + region.row0 + r,
+                local + (s - s0),
+                run,
+            );
+            s += run;
         }
+        local += s1 - s0;
+        slice_idx += parts;
     }
 }
 
@@ -144,14 +173,14 @@ pub fn row_get(
     let lda = b.rows;
     let data = b.data.read().unwrap();
     let dst = ldm.slice_mut(buf);
-    let sd = ROW_MODE_SLICE_DOUBLES;
-    for_stream(&region, lda, |s, m| {
-        let slice_idx = s / sd;
-        if slice_idx % MESH_COLS == mesh_col {
-            let local_slice = slice_idx / MESH_COLS;
-            dst[local_slice * sd + s % sd] = data[m];
-        }
-    });
+    for_owned_slices(
+        &region,
+        lda,
+        ROW_MODE_SLICE_DOUBLES,
+        MESH_COLS,
+        mesh_col,
+        |m, l, n| dst[l..l + n].copy_from_slice(&data[m..m + n]),
+    );
     Ok(Receipt {
         bytes_cpe: region.bytes() / MESH_COLS,
         bytes_total: region.bytes(),
@@ -175,14 +204,14 @@ pub fn row_put(
     let lda = b.rows;
     let src = ldm.slice(buf);
     let mut data = b.data.write().unwrap();
-    let sd = ROW_MODE_SLICE_DOUBLES;
-    for_stream(&region, lda, |s, m| {
-        let slice_idx = s / sd;
-        if slice_idx % MESH_COLS == mesh_col {
-            let local_slice = slice_idx / MESH_COLS;
-            data[m] = src[local_slice * sd + s % sd];
-        }
-    });
+    for_owned_slices(
+        &region,
+        lda,
+        ROW_MODE_SLICE_DOUBLES,
+        MESH_COLS,
+        mesh_col,
+        |m, l, n| data[m..m + n].copy_from_slice(&src[l..l + n]),
+    );
     Ok(Receipt {
         bytes_cpe: region.bytes() / MESH_COLS,
         bytes_total: region.bytes(),
@@ -221,12 +250,8 @@ pub fn rank_get(
     let lda = b.rows;
     let data = b.data.read().unwrap();
     let dst = ldm.slice_mut(buf);
-    for_stream(&region, lda, |s, m| {
-        let txn = s / td;
-        if txn % N_CPES == cpe_id {
-            let local_txn = txn / N_CPES;
-            dst[local_txn * td + s % td] = data[m];
-        }
+    for_owned_slices(&region, lda, td, N_CPES, cpe_id, |m, l, n| {
+        dst[l..l + n].copy_from_slice(&data[m..m + n])
     });
     Ok(Receipt {
         bytes_cpe: region.bytes() / N_CPES,

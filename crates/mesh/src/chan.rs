@@ -70,7 +70,13 @@ pub struct Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.inner.state.lock().unwrap().senders += 1;
+        // Survive poisoning: a peer that panicked mid-send must not
+        // turn an unrelated port clone into a second panic.
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .senders += 1;
         Sender {
             inner: Arc::clone(&self.inner),
         }
@@ -79,7 +85,7 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         st.senders -= 1;
         if st.senders == 0 {
             drop(st);
@@ -93,7 +99,7 @@ impl<T> Sender<T> {
     /// is gone).
     pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if !st.receiver_alive {
                 return Err(SendTimeoutError::Disconnected);
@@ -112,7 +118,7 @@ impl<T> Sender<T> {
                 .inner
                 .not_full
                 .wait_timeout(st, deadline - now)
-                .unwrap();
+                .unwrap_or_else(|e| e.into_inner());
             st = guard;
         }
     }
@@ -125,7 +131,11 @@ pub struct Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.inner.state.lock().unwrap().receiver_alive = false;
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .receiver_alive = false;
         self.inner.not_full.notify_all();
     }
 }
@@ -135,7 +145,7 @@ impl<T> Receiver<T> {
     /// are gone with the buffer drained).
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(v) = st.queue.pop_front() {
                 drop(st);
@@ -153,14 +163,14 @@ impl<T> Receiver<T> {
                 .inner
                 .not_empty
                 .wait_timeout(st, deadline - now)
-                .unwrap();
+                .unwrap_or_else(|e| e.into_inner());
             st = guard;
         }
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<T> {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         let v = st.queue.pop_front();
         if v.is_some() {
             drop(st);

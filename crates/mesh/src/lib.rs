@@ -11,10 +11,14 @@
 //!
 //! This crate provides the functional implementation used by the
 //! 64-thread runtime: [`Mesh::new`] hands out one [`MeshPort`] per CPE;
-//! ports move [`sw_arch::V256`] words through bounded channels, so
+//! ports move [`sw_arch::V256`] words through bounded buffers, so
 //! producers block when consumers lag, just like the hardware's finite
 //! buffers. Receive buffers are separate per direction (row vs column),
-//! matching the separate `getr`/`getc` instructions.
+//! matching the separate `getr`/`getc` instructions. Two
+//! [`MeshTransport`]s back the buffers: lock-free per-sender SPSC rings
+//! (the default fast path, sound under the collective schedule's
+//! single-active-sender discipline) and the original Mutex MPSC channel
+//! kept as a fallback for arbitrary interleavings.
 //!
 //! A blocked port returns [`MeshError::Deadlock`] after a configurable
 //! timeout instead of hanging the test suite — communication schemes
@@ -29,10 +33,11 @@
 pub mod chan;
 pub mod error;
 pub mod port;
+mod ring;
 pub mod stats;
 
 pub use error::MeshError;
-pub use port::{Mesh, MeshPort};
+pub use port::{Mesh, MeshPort, MeshTransport};
 pub use stats::{CellTraffic, MeshGridStats, MeshStats};
 
 #[cfg(test)]
@@ -193,6 +198,54 @@ mod tests {
         assert!(ports[Coord::new(2, 0).id()].getr().is_err());
         assert_eq!(mesh.stats().row_words_sent, 0);
         assert_eq!(inj.stats().injected_mesh_wedge, 1);
+    }
+
+    #[test]
+    fn fallback_transport_handles_interleaved_senders() {
+        // Two senders in the same row push before the receiver drains —
+        // the MPSC fallback merges them into one FIFO per receiver, the
+        // guarantee tests that genuinely interleave senders rely on.
+        let mesh = Mesh::with_transport(std::time::Duration::from_secs(5), MeshTransport::Fallback);
+        let ports = mesh.ports();
+        ports[Coord::new(1, 0).id()]
+            .row_bcast(V256::splat(1.0))
+            .unwrap();
+        ports[Coord::new(1, 2).id()]
+            .row_bcast(V256::splat(2.0))
+            .unwrap();
+        // (1,7) got one word from each sender, in arrival order.
+        let rx = &ports[Coord::new(1, 7).id()];
+        assert_eq!(rx.getr().unwrap(), V256::splat(1.0));
+        assert_eq!(rx.getr().unwrap(), V256::splat(2.0));
+    }
+
+    #[test]
+    fn transports_agree_on_traffic_and_data() {
+        let run = |transport| {
+            let mesh = Mesh::with_transport(std::time::Duration::from_secs(5), transport);
+            let ports = mesh.ports();
+            // 8 words: exactly the receive-buffer capacity, so the
+            // single-threaded send-then-drain below cannot block.
+            let panel: Vec<f64> = (0..32).map(|i| i as f64 * 0.5).collect();
+            ports[Coord::new(4, 4).id()]
+                .row_bcast_panel(&panel)
+                .unwrap();
+            ports[Coord::new(4, 4).id()]
+                .col_bcast_panel(&panel)
+                .unwrap();
+            let mut row_out = vec![0.0; 32];
+            let mut col_out = vec![0.0; 32];
+            ports[Coord::new(4, 0).id()]
+                .get_panel(false, &mut row_out)
+                .unwrap();
+            ports[Coord::new(7, 4).id()]
+                .get_panel(true, &mut col_out)
+                .unwrap();
+            assert_eq!(row_out, panel);
+            assert_eq!(col_out, panel);
+            (mesh.stats(), mesh.grid_stats())
+        };
+        assert_eq!(run(MeshTransport::Ring), run(MeshTransport::Fallback));
     }
 
     #[test]

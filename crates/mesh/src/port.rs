@@ -1,8 +1,33 @@
 //! Mesh construction and per-CPE ports.
+//!
+//! Two transports back the same [`MeshPort`] API:
+//!
+//! * [`MeshTransport::Ring`] (the default): each receiver owns seven
+//!   lock-free SPSC rings per network, one per potential sender. The
+//!   collective data-sharing schedule (§III-B of the paper) guarantees
+//!   at most one active sender per row/column group between barriers —
+//!   an invariant `sw-lint`'s multi-sender rendezvous pass checks
+//!   statically — so a receive drains whichever single ring is live
+//!   and caches it for the next word.
+//! * [`MeshTransport::Fallback`]: the original bounded Mutex+Condvar
+//!   MPSC channel per (receiver, network). Kept for harnesses that
+//!   genuinely interleave multiple senders into one buffer between
+//!   synchronization points, and as the baseline `mesh_bench` measures
+//!   the ring path against.
+//!
+//! On top of either transport, the port offers *bulk* operations
+//! ([`MeshPort::row_bcast_panel`], [`MeshPort::get_panel`],
+//! [`MeshPort::row_bcast_words`], …) that move a whole panel in one
+//! synchronization episode with one batched counter/trace update —
+//! while still consuming one `send_idx` per word, so the fault
+//! injector's per-word drop/wedge decisions are bit-for-bit identical
+//! to the per-word path.
 
-use crate::chan::{bounded, Receiver, RecvTimeoutError, Sender};
+use crate::chan::{bounded, Receiver, Sender};
 use crate::error::MeshError;
+use crate::ring::{Backoff, SpscRing};
 use crate::stats::{GridCounters, MeshCounters, MeshGridStats, MeshStats};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -15,6 +40,20 @@ use sw_probe::trace::{Tracer, TrackId};
 /// Default time a blocked send/receive waits before declaring the
 /// communication scheme deadlocked.
 const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Which link implementation carries mesh words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MeshTransport {
+    /// Lock-free per-(sender, receiver) SPSC rings — the fast path.
+    /// Requires the collective schedule's single-active-sender
+    /// discipline between synchronization points (receives drain one
+    /// live ring; concurrent senders would interleave arbitrarily).
+    #[default]
+    Ring,
+    /// The original Mutex+Condvar MPSC channel per receiver. Safe for
+    /// arbitrary sender interleavings; slower.
+    Fallback,
+}
 
 /// The 8×8 register-communication mesh. Build one per core group, hand
 /// the 64 [`MeshPort`]s to the CPE threads.
@@ -41,51 +80,34 @@ impl Mesh {
     /// (with [`MeshError::Deadlock`], or a panic when
     /// [`Mesh::panic_on_deadlock`] is set).
     pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_transport(timeout, MeshTransport::default())
+    }
+
+    /// Builds a mesh on an explicit [`MeshTransport`].
+    pub fn with_transport(timeout: Duration, transport: MeshTransport) -> Self {
         let counters = Arc::new(MeshCounters::default());
         let grid = Arc::new(GridCounters::default());
         let panic_on_deadlock = Arc::new(AtomicBool::new(false));
-        // One bounded MPSC channel per (receiver, direction); the
-        // channel preserves per-sender FIFO order, which is the ordering
-        // guarantee the hardware's point-to-point mesh links give.
-        let mut row_tx = Vec::with_capacity(N_CPES);
-        let mut row_rx = Vec::with_capacity(N_CPES);
-        let mut col_tx = Vec::with_capacity(N_CPES);
-        let mut col_rx = Vec::with_capacity(N_CPES);
-        for _ in 0..N_CPES {
-            let (t, r) = bounded::<V256>(MESH_RECV_BUFFER_ENTRIES);
-            row_tx.push(t);
-            row_rx.push(Some(r));
-            let (t, r) = bounded::<V256>(MESH_RECV_BUFFER_ENTRIES);
-            col_tx.push(t);
-            col_rx.push(Some(r));
-        }
-        let ports = (0..N_CPES)
-            .map(|id| {
-                let coord = Coord::from_id(id);
-                let row_mates: Vec<Sender<V256>> = coord
-                    .row_mates()
-                    .filter(|m| *m != coord)
-                    .map(|m| row_tx[m.id()].clone())
-                    .collect();
-                let col_mates: Vec<Sender<V256>> = coord
-                    .col_mates()
-                    .filter(|m| *m != coord)
-                    .map(|m| col_tx[m.id()].clone())
-                    .collect();
-                MeshPort {
-                    coord,
-                    row_rx: row_rx[id].take().expect("port built once"),
-                    col_rx: col_rx[id].take().expect("port built once"),
-                    row_mates,
-                    col_mates,
-                    counters: Arc::clone(&counters),
-                    grid: Arc::clone(&grid),
-                    panic_on_deadlock: Arc::clone(&panic_on_deadlock),
-                    injector: None,
-                    sends: AtomicU64::new(0),
-                    timeout,
-                    trace: None,
-                }
+        let links = match transport {
+            MeshTransport::Ring => build_ring_links(),
+            MeshTransport::Fallback => build_chan_links(),
+        };
+        let ports = links
+            .into_iter()
+            .enumerate()
+            .map(|(id, (row_tx, row_rx, col_tx, col_rx))| MeshPort {
+                coord: Coord::from_id(id),
+                row_rx,
+                col_rx,
+                row_tx,
+                col_tx,
+                counters: Arc::clone(&counters),
+                grid: Arc::clone(&grid),
+                panic_on_deadlock: Arc::clone(&panic_on_deadlock),
+                injector: None,
+                sends: AtomicU64::new(0),
+                timeout,
+                trace: None,
             })
             .collect();
         Mesh {
@@ -123,12 +145,12 @@ impl Mesh {
     }
 
     /// Attaches a simulated-time tracer: every broadcast then emits a
-    /// [`MESH_TRANSIT_CYCLES`]-long span on the link it occupies, one
-    /// track per row link and one per column link (process `"mesh"`).
-    /// Link time is a shared per-track cursor, so broadcasts from CPEs
-    /// sharing a link serialize on the trace exactly as they would on
-    /// the wire. Must be called before [`Mesh::ports`]; a disabled
-    /// tracer is a no-op.
+    /// [`MESH_TRANSIT_CYCLES`]-per-word span on the link it occupies,
+    /// one track per row link and one per column link (process
+    /// `"mesh"`). Link time is a shared per-track cursor, so broadcasts
+    /// from CPEs sharing a link serialize on the trace exactly as they
+    /// would on the wire. Must be called before [`Mesh::ports`]; a
+    /// disabled tracer is a no-op.
     pub fn set_tracer(&self, tracer: &Tracer) {
         if !tracer.is_enabled() {
             return;
@@ -168,6 +190,208 @@ impl Mesh {
     }
 }
 
+/// One CPE's links for both networks:
+/// `(row_tx, row_rx, col_tx, col_rx)`.
+type PortLinks = (TxLinks, RxLinks, TxLinks, RxLinks);
+
+/// Wires the ring transport: for each network, every receiver owns one
+/// SPSC ring per mate, and each mate holds the producer end. Both the
+/// receiver's ring list and the sender's link list are in mate-iteration
+/// order, so the fault injector's per-mate drop index is the same as on
+/// the fallback transport.
+fn build_ring_links() -> Vec<PortLinks> {
+    // rings[receiver][sender] per network; only same-row / same-column
+    // pairs are populated.
+    let mut row_rings: Vec<Vec<Option<Arc<SpscRing>>>> = vec![vec![None; N_CPES]; N_CPES];
+    let mut col_rings: Vec<Vec<Option<Arc<SpscRing>>>> = vec![vec![None; N_CPES]; N_CPES];
+    for id in 0..N_CPES {
+        let coord = Coord::from_id(id);
+        for m in coord.row_mates().filter(|m| *m != coord) {
+            row_rings[id][m.id()] = Some(Arc::new(SpscRing::new(MESH_RECV_BUFFER_ENTRIES)));
+        }
+        for m in coord.col_mates().filter(|m| *m != coord) {
+            col_rings[id][m.id()] = Some(Arc::new(SpscRing::new(MESH_RECV_BUFFER_ENTRIES)));
+        }
+    }
+    let ring = |grid: &[Vec<Option<Arc<SpscRing>>>], rx: usize, tx: usize| {
+        Arc::clone(grid[rx][tx].as_ref().expect("ring exists for mate pair"))
+    };
+    (0..N_CPES)
+        .map(|id| {
+            let coord = Coord::from_id(id);
+            let row_tx = TxLinks::Ring(
+                coord
+                    .row_mates()
+                    .filter(|m| *m != coord)
+                    .map(|m| ring(&row_rings, m.id(), id))
+                    .collect(),
+            );
+            let col_tx = TxLinks::Ring(
+                coord
+                    .col_mates()
+                    .filter(|m| *m != coord)
+                    .map(|m| ring(&col_rings, m.id(), id))
+                    .collect(),
+            );
+            let row_rx = RxLinks::Ring {
+                rings: coord
+                    .row_mates()
+                    .filter(|m| *m != coord)
+                    .map(|m| ring(&row_rings, id, m.id()))
+                    .collect(),
+                last: Cell::new(0),
+            };
+            let col_rx = RxLinks::Ring {
+                rings: coord
+                    .col_mates()
+                    .filter(|m| *m != coord)
+                    .map(|m| ring(&col_rings, id, m.id()))
+                    .collect(),
+                last: Cell::new(0),
+            };
+            (row_tx, row_rx, col_tx, col_rx)
+        })
+        .collect()
+}
+
+/// Wires the fallback transport: one bounded MPSC channel per
+/// (receiver, network); the channel preserves per-sender FIFO order,
+/// which is the ordering guarantee the hardware's point-to-point mesh
+/// links give.
+fn build_chan_links() -> Vec<PortLinks> {
+    let mut row_tx = Vec::with_capacity(N_CPES);
+    let mut row_rx = Vec::with_capacity(N_CPES);
+    let mut col_tx = Vec::with_capacity(N_CPES);
+    let mut col_rx = Vec::with_capacity(N_CPES);
+    for _ in 0..N_CPES {
+        let (t, r) = bounded::<V256>(MESH_RECV_BUFFER_ENTRIES);
+        row_tx.push(t);
+        row_rx.push(Some(r));
+        let (t, r) = bounded::<V256>(MESH_RECV_BUFFER_ENTRIES);
+        col_tx.push(t);
+        col_rx.push(Some(r));
+    }
+    (0..N_CPES)
+        .map(|id| {
+            let coord = Coord::from_id(id);
+            let row_links = TxLinks::Chan(
+                coord
+                    .row_mates()
+                    .filter(|m| *m != coord)
+                    .map(|m| row_tx[m.id()].clone())
+                    .collect(),
+            );
+            let col_links = TxLinks::Chan(
+                coord
+                    .col_mates()
+                    .filter(|m| *m != coord)
+                    .map(|m| col_tx[m.id()].clone())
+                    .collect(),
+            );
+            (
+                row_links,
+                RxLinks::Chan(row_rx[id].take().expect("port built once")),
+                col_links,
+                RxLinks::Chan(col_rx[id].take().expect("port built once")),
+            )
+        })
+        .collect()
+}
+
+/// A port's send side for one network: one link per mate, in mate
+/// order (the order the fault injector's drop index is keyed on).
+enum TxLinks {
+    Ring(Vec<Arc<SpscRing>>),
+    Chan(Vec<Sender<V256>>),
+}
+
+impl TxLinks {
+    fn len(&self) -> usize {
+        match self {
+            TxLinks::Ring(r) => r.len(),
+            TxLinks::Chan(c) => c.len(),
+        }
+    }
+
+    /// Sends `v` to mate `i`, blocking up to `timeout` when the mate's
+    /// buffer is full. Returns `false` on the deadlock fuse.
+    fn send(&self, i: usize, v: V256, timeout: Duration) -> bool {
+        match self {
+            TxLinks::Ring(rings) => {
+                let ring = &rings[i];
+                if ring.try_push(v) {
+                    return true;
+                }
+                let mut backoff = Backoff::new(timeout);
+                loop {
+                    if ring.try_push(v) {
+                        return true;
+                    }
+                    if !backoff.snooze() {
+                        return false;
+                    }
+                }
+            }
+            TxLinks::Chan(txs) => txs[i].send_timeout(v, timeout).is_ok(),
+        }
+    }
+}
+
+/// A port's receive side for one network. The ring variant scans its
+/// per-sender rings starting from the last one that produced a word —
+/// under the collective schedule exactly one is live between barriers,
+/// so the scan is a cache hit after the first word of an episode.
+enum RxLinks {
+    Ring {
+        rings: Vec<Arc<SpscRing>>,
+        last: Cell<usize>,
+    },
+    Chan(Receiver<V256>),
+}
+
+impl RxLinks {
+    /// Non-blocking receive.
+    fn try_recv(&self) -> Option<V256> {
+        match self {
+            RxLinks::Ring { rings, last } => {
+                let n = rings.len();
+                let start = last.get();
+                for k in 0..n {
+                    let idx = (start + k) % n;
+                    if let Some(v) = rings[idx].try_pop() {
+                        last.set(idx);
+                        return Some(v);
+                    }
+                }
+                None
+            }
+            RxLinks::Chan(rx) => rx.try_recv(),
+        }
+    }
+
+    /// Blocking receive with the deadlock fuse. `None` means the fuse
+    /// tripped.
+    fn recv(&self, timeout: Duration) -> Option<V256> {
+        match self {
+            RxLinks::Ring { .. } => {
+                if let Some(v) = self.try_recv() {
+                    return Some(v);
+                }
+                let mut backoff = Backoff::new(timeout);
+                loop {
+                    if let Some(v) = self.try_recv() {
+                        return Some(v);
+                    }
+                    if !backoff.snooze() {
+                        return None;
+                    }
+                }
+            }
+            RxLinks::Chan(rx) => rx.recv_timeout(timeout).ok(),
+        }
+    }
+}
+
 /// One mesh link's timeline: a trace track plus the simulated-cycle
 /// cursor all broadcasts on that link advance through.
 #[derive(Clone)]
@@ -184,15 +408,22 @@ impl LinkTrace {
         }
     }
 
-    /// Claims the next `MESH_TRANSIT_CYCLES` window and emits the span.
-    fn emit(&self, tracer: &Tracer, name: &'static str, copies: u64) {
-        let t0 = self.clock.fetch_add(MESH_TRANSIT_CYCLES, Ordering::Relaxed);
+    /// Claims the next `n_words * MESH_TRANSIT_CYCLES` window and emits
+    /// one span covering it. For `n_words == 1` this is exactly the old
+    /// per-word span; a batch occupies the link for the same simulated
+    /// time as its words would individually, in one span.
+    fn emit(&self, tracer: &Tracer, name: &'static str, copies: u64, n_words: u64) {
+        if n_words == 0 {
+            return;
+        }
+        let dur = n_words * MESH_TRANSIT_CYCLES;
+        let t0 = self.clock.fetch_add(dur, Ordering::Relaxed);
         tracer.span_args(
             self.track,
             "mesh",
             name,
             t0,
-            t0 + MESH_TRANSIT_CYCLES,
+            t0 + dur,
             &[("bytes", copies * 32)],
         );
     }
@@ -207,12 +438,16 @@ struct PortTrace {
 
 /// One CPE's window onto the mesh: its send links to row/column mates
 /// and its two receive buffers.
+///
+/// A port is `Send` but deliberately `!Sync` (the receive side caches
+/// the live ring in a [`Cell`]): exactly one thread drives it, which is
+/// what makes the SPSC ring transport sound.
 pub struct MeshPort {
     coord: Coord,
-    row_rx: Receiver<V256>,
-    col_rx: Receiver<V256>,
-    row_mates: Vec<Sender<V256>>,
-    col_mates: Vec<Sender<V256>>,
+    row_rx: RxLinks,
+    col_rx: RxLinks,
+    row_tx: TxLinks,
+    col_tx: TxLinks,
     counters: Arc<MeshCounters>,
     grid: Arc<GridCounters>,
     panic_on_deadlock: Arc<AtomicBool>,
@@ -236,115 +471,157 @@ impl MeshPort {
             .cell(self.coord.row as usize, self.coord.col as usize)
     }
 
-    /// The shared broadcast path of both networks: consults the fault
-    /// injector (wedge suppression, per-mate word drops), enqueues to
-    /// the surviving mates, and converts a blocked send into
-    /// [`MeshError::Deadlock`] (or the legacy panic).
-    fn bcast(&self, v: V256, col_net: bool, op: &'static str) -> Result<(), MeshError> {
-        let send_idx = self.sends.fetch_add(1, Ordering::Relaxed);
+    fn deadlock(&self, op: &'static str, detail: std::fmt::Arguments<'_>) -> MeshError {
+        if self.panic_on_deadlock.load(Ordering::Relaxed) {
+            panic!("mesh deadlock: {} {op} {detail}", self.coord);
+        }
+        MeshError::Deadlock {
+            coord: (self.coord.row, self.coord.col),
+            op,
+            timeout: self.timeout,
+        }
+    }
+
+    /// The shared broadcast path of both networks, batched over
+    /// `n_words` words produced by `word_at`: consults the fault
+    /// injector per word (wedge suppression, per-mate word drops),
+    /// enqueues to the surviving mates, and updates counters and trace
+    /// ONCE for the whole batch. A blocked send becomes
+    /// [`MeshError::Deadlock`] (or the legacy panic) after first
+    /// flushing the accounting of the words that completed — exactly
+    /// what `n_words` per-word calls would have recorded.
+    fn bcast_stream(
+        &self,
+        n_words: usize,
+        word_at: impl Fn(usize) -> V256,
+        col_net: bool,
+        op: &'static str,
+    ) -> Result<(), MeshError> {
+        if n_words == 0 {
+            return Ok(());
+        }
+        let send_base = self.sends.fetch_add(n_words as u64, Ordering::Relaxed);
         if let Some(inj) = &self.injector {
             if inj.cpe_wedged(self.coord.id()) {
                 // The wedged CPE silently stops sending: its group
                 // peers starve and the deadlock fuse trips downstream.
-                inj.note_wedge_suppression();
+                // One suppression per word, as the per-word path counts.
+                inj.note_wedge_suppressions(n_words as u64);
                 return Ok(());
             }
         }
-        let mates = if col_net {
-            &self.col_mates
-        } else {
-            &self.row_mates
-        };
+        let links = if col_net { &self.col_tx } else { &self.row_tx };
         let mut delivered = 0u64;
-        for (i, tx) in mates.iter().enumerate() {
-            if let Some(inj) = &self.injector {
-                if inj.mesh_drop(self.coord.id(), send_idx * 8 + i as u64) {
-                    continue; // the word is lost on this link
+        let flush = |delivered: u64, completed_words: u64| {
+            if delivered > 0 {
+                if col_net {
+                    self.counters.add_col_sent(delivered);
+                } else {
+                    self.counters.add_row_sent(delivered);
                 }
+                self.cell().add_sent(col_net, delivered);
             }
-            if tx.send_timeout(v, self.timeout).is_err() {
-                if self.panic_on_deadlock.load(Ordering::Relaxed) {
-                    panic!(
-                        "mesh deadlock: {} {op} blocked >{:?} (mate #{i} not draining)",
-                        self.coord, self.timeout
-                    );
+            if let Some(t) = &self.trace {
+                let link = if col_net { &t.col } else { &t.row };
+                let name = if col_net { "col.bcast" } else { "row.bcast" };
+                link.emit(&t.tracer, name, delivered, completed_words);
+            }
+        };
+        for w in 0..n_words {
+            let send_idx = send_base + w as u64;
+            let v = word_at(w);
+            for i in 0..links.len() {
+                if let Some(inj) = &self.injector {
+                    if inj.mesh_drop(self.coord.id(), send_idx * 8 + i as u64) {
+                        continue; // the word is lost on this link
+                    }
                 }
-                return Err(MeshError::Deadlock {
-                    coord: (self.coord.row, self.coord.col),
-                    op,
-                    timeout: self.timeout,
-                });
+                if !links.send(i, v, self.timeout) {
+                    // Words 0..w completed; word w accounts nothing,
+                    // matching a per-word call that errors mid-mates.
+                    flush(delivered, w as u64);
+                    return Err(self.deadlock(
+                        op,
+                        format_args!("blocked >{:?} (mate #{i} not draining)", self.timeout),
+                    ));
+                }
+                delivered += 1;
             }
-            delivered += 1;
         }
-        if col_net {
-            self.counters.add_col_sent(delivered);
-        } else {
-            self.counters.add_row_sent(delivered);
-        }
-        self.cell().add_sent(col_net, delivered);
-        if let Some(t) = &self.trace {
-            let link = if col_net { &t.col } else { &t.row };
-            let name = if col_net { "col.bcast" } else { "row.bcast" };
-            link.emit(&t.tracer, name, delivered);
-        }
+        flush(delivered, n_words as u64);
         Ok(())
     }
 
-    fn get(&self, col_net: bool, op: &'static str) -> Result<V256, MeshError> {
+    /// The shared receive path of both networks, batched over
+    /// `n_words`: drains words into `sink(word_index, word)` and
+    /// updates counters once. A timeout first accounts the words that
+    /// did arrive, then records one starved word — exactly what
+    /// `n_words` per-word calls would have recorded.
+    fn get_stream(
+        &self,
+        n_words: usize,
+        mut sink: impl FnMut(usize, V256),
+        col_net: bool,
+        op: &'static str,
+    ) -> Result<(), MeshError> {
         let rx = if col_net { &self.col_rx } else { &self.row_rx };
-        match rx.recv_timeout(self.timeout) {
-            Ok(v) => {
+        let mut got = 0u64;
+        let flush = |got: u64| {
+            if got > 0 {
                 if col_net {
-                    self.counters.add_col_recv(1);
+                    self.counters.add_col_recv(got);
                 } else {
-                    self.counters.add_row_recv(1);
+                    self.counters.add_row_recv(got);
                 }
-                self.cell().add_recv(col_net, 1);
-                Ok(v)
+                self.cell().add_recv(col_net, got);
             }
-            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-                // One word of unmet demand: the rendezvous summary's
-                // deadlock signature.
-                self.cell().add_starved(col_net);
-                if self.panic_on_deadlock.load(Ordering::Relaxed) {
-                    panic!(
-                        "mesh deadlock: {} {op} starved >{:?}",
-                        self.coord, self.timeout
-                    );
+        };
+        for w in 0..n_words {
+            match rx.recv(self.timeout) {
+                Some(v) => {
+                    sink(w, v);
+                    got += 1;
                 }
-                Err(MeshError::Deadlock {
-                    coord: (self.coord.row, self.coord.col),
-                    op,
-                    timeout: self.timeout,
-                })
+                None => {
+                    // One word of unmet demand: the rendezvous
+                    // summary's deadlock signature.
+                    flush(got);
+                    self.cell().add_starved(col_net);
+                    return Err(self.deadlock(op, format_args!("starved >{:?}", self.timeout)));
+                }
             }
         }
+        flush(got);
+        Ok(())
     }
 
     /// Row broadcast: puts `v` into the row receive buffer of the other
     /// 7 CPEs in this CPE's mesh row (what `vldr`'s broadcast half
     /// does). Blocks on full buffers; fails on deadlock timeout.
     pub fn row_bcast(&self, v: V256) -> Result<(), MeshError> {
-        self.bcast(v, false, "row-broadcast")
+        self.bcast_stream(1, |_| v, false, "row-broadcast")
     }
 
     /// Column broadcast: puts `v` into the column receive buffer of the
     /// other 7 CPEs in this CPE's mesh column (what `lddec`'s broadcast
     /// half does).
     pub fn col_bcast(&self, v: V256) -> Result<(), MeshError> {
-        self.bcast(v, true, "col-broadcast")
+        self.bcast_stream(1, |_| v, true, "col-broadcast")
     }
 
     /// Receives one word from the row network (the `getr` instruction).
     pub fn getr(&self) -> Result<V256, MeshError> {
-        self.get(false, "getr")
+        let mut out = V256::ZERO;
+        self.get_stream(1, |_, v| out = v, false, "getr")?;
+        Ok(out)
     }
 
     /// Receives one word from the column network (the `getc`
     /// instruction).
     pub fn getc(&self) -> Result<V256, MeshError> {
-        self.get(true, "getc")
+        let mut out = V256::ZERO;
+        self.get_stream(1, |_, v| out = v, true, "getc")?;
+        Ok(out)
     }
 
     /// Non-blocking `getr`, for tests and drain checks.
@@ -367,19 +644,48 @@ impl MeshPort {
         v
     }
 
-    /// Broadcasts a whole panel (length multiple of 4 doubles) along the
-    /// row, 256 bits at a time — the panel-granularity view of the
-    /// per-iteration `vldr` stream the kernel performs.
+    /// Broadcasts a group of 256-bit words along the row in one
+    /// synchronization episode (one batched counter/trace update; one
+    /// `send_idx` consumed per word).
+    pub fn row_bcast_words(&self, words: &[V256]) -> Result<(), MeshError> {
+        self.bcast_stream(words.len(), |w| words[w], false, "row-broadcast")
+    }
+
+    /// Broadcasts a group of 256-bit words along the column in one
+    /// synchronization episode.
+    pub fn col_bcast_words(&self, words: &[V256]) -> Result<(), MeshError> {
+        self.bcast_stream(words.len(), |w| words[w], true, "col-broadcast")
+    }
+
+    /// Receives a group of 256-bit words from the row network in one
+    /// synchronization episode.
+    pub fn getr_words(&self, out: &mut [V256]) -> Result<(), MeshError> {
+        self.get_stream(out.len(), |w, v| out[w] = v, false, "getr")
+    }
+
+    /// Receives a group of 256-bit words from the column network in one
+    /// synchronization episode.
+    pub fn getc_words(&self, out: &mut [V256]) -> Result<(), MeshError> {
+        self.get_stream(out.len(), |w, v| out[w] = v, true, "getc")
+    }
+
+    /// Broadcasts a whole panel (length multiple of 4 doubles) along
+    /// the row, 256 bits at a time — the panel-granularity view of the
+    /// per-iteration `vldr` stream the kernel performs. The entire
+    /// panel is one synchronization episode with one batched update to
+    /// counters and trace.
     pub fn row_bcast_panel(&self, panel: &[f64]) -> Result<(), MeshError> {
         assert_eq!(
             panel.len() % 4,
             0,
             "panel length must be a multiple of 4 doubles"
         );
-        for chunk in panel.chunks_exact(4) {
-            self.row_bcast(V256::load(chunk))?;
-        }
-        Ok(())
+        self.bcast_stream(
+            panel.len() / 4,
+            |w| V256::load(&panel[4 * w..4 * w + 4]),
+            false,
+            "row-broadcast",
+        )
     }
 
     /// Broadcasts a whole panel along the column.
@@ -389,41 +695,46 @@ impl MeshPort {
             0,
             "panel length must be a multiple of 4 doubles"
         );
-        for chunk in panel.chunks_exact(4) {
-            self.col_bcast(V256::load(chunk))?;
-        }
-        Ok(())
+        self.bcast_stream(
+            panel.len() / 4,
+            |w| V256::load(&panel[4 * w..4 * w + 4]),
+            true,
+            "col-broadcast",
+        )
+    }
+
+    /// Receives a whole panel (length multiple of 4 doubles) from the
+    /// row (`col_net == false`) or column network in one
+    /// synchronization episode.
+    pub fn get_panel(&self, col_net: bool, out: &mut [f64]) -> Result<(), MeshError> {
+        assert_eq!(
+            out.len() % 4,
+            0,
+            "panel length must be a multiple of 4 doubles"
+        );
+        let op = if col_net { "getc" } else { "getr" };
+        self.get_stream(
+            out.len() / 4,
+            |w, v| v.store(&mut out[4 * w..4 * w + 4]),
+            col_net,
+            op,
+        )
     }
 
     /// Receives a whole panel from the row network.
     pub fn recv_row_panel(&self, out: &mut [f64]) -> Result<(), MeshError> {
-        assert_eq!(
-            out.len() % 4,
-            0,
-            "panel length must be a multiple of 4 doubles"
-        );
-        for chunk in out.chunks_exact_mut(4) {
-            self.getr()?.store(chunk);
-        }
-        Ok(())
+        self.get_panel(false, out)
     }
 
     /// Receives a whole panel from the column network.
     pub fn recv_col_panel(&self, out: &mut [f64]) -> Result<(), MeshError> {
-        assert_eq!(
-            out.len() % 4,
-            0,
-            "panel length must be a multiple of 4 doubles"
-        );
-        for chunk in out.chunks_exact_mut(4) {
-            self.getc()?.store(chunk);
-        }
-        Ok(())
+        self.get_panel(true, out)
     }
 }
 
-// A port crossing threads is the whole point; the channel endpoints are
-// Send, and Coord/counters are Send + Sync.
+// A port crossing threads is the whole point; the link endpoints are
+// Send, and Coord/counters are Send + Sync. (It is intentionally NOT
+// Sync — see the type docs.)
 const _: () = {
     fn assert_send<T: Send>() {}
     fn check() {
@@ -474,6 +785,35 @@ mod tests {
     }
 
     #[test]
+    fn batched_broadcast_emits_one_span_same_link_time() {
+        let tracer = Tracer::enabled();
+        let mesh = Mesh::new();
+        mesh.set_tracer(&tracer);
+        let ports = mesh.ports();
+        let words = [V256::ZERO; 4];
+        ports[Coord::new(3, 0).id()]
+            .row_bcast_words(&words)
+            .unwrap();
+        ports[Coord::new(3, 1).id()].row_bcast(V256::ZERO).unwrap();
+        let data = tracer.take();
+        let row_spans: Vec<_> = data
+            .spans
+            .iter()
+            .filter(|s| s.name == "row.bcast")
+            .collect();
+        assert_eq!(row_spans.len(), 2, "one span per episode, not per word");
+        let mut spans = row_spans.clone();
+        spans.sort_by_key(|s| s.start);
+        // The 4-word batch occupies 4 transit windows; the following
+        // single word starts where the batch left off.
+        assert_eq!(spans[0].start, 0);
+        assert_eq!(spans[0].end, 4 * MESH_TRANSIT_CYCLES);
+        assert_eq!(spans[0].args, vec![("bytes", 4 * 7 * 32)]);
+        assert_eq!(spans[1].start, 4 * MESH_TRANSIT_CYCLES);
+        assert_eq!(spans[1].end, 5 * MESH_TRANSIT_CYCLES);
+    }
+
+    #[test]
     fn disabled_tracer_is_a_no_op() {
         let mesh = Mesh::new();
         mesh.set_tracer(&Tracer::disabled());
@@ -483,11 +823,41 @@ mod tests {
 
     #[test]
     fn mates_exclude_self() {
-        let mesh = Mesh::new();
-        let ports = mesh.ports();
-        for p in &ports {
-            assert_eq!(p.row_mates.len(), sw_arch::coord::MESH_COLS - 1);
-            assert_eq!(p.col_mates.len(), sw_arch::coord::MESH_ROWS - 1);
+        for transport in [MeshTransport::Ring, MeshTransport::Fallback] {
+            let mesh = Mesh::with_transport(DEFAULT_TIMEOUT, transport);
+            let ports = mesh.ports();
+            for p in &ports {
+                assert_eq!(p.row_tx.len(), sw_arch::coord::MESH_COLS - 1);
+                assert_eq!(p.col_tx.len(), sw_arch::coord::MESH_ROWS - 1);
+            }
         }
+    }
+
+    #[test]
+    fn word_and_batch_paths_count_identically() {
+        let word = Mesh::new();
+        let wp = word.ports();
+        let tx = &wp[Coord::new(2, 0).id()];
+        let rx = &wp[Coord::new(2, 5).id()];
+        for i in 0..8 {
+            tx.row_bcast(V256::splat(i as f64)).unwrap();
+        }
+        let mut got_words = [0.0; 32];
+        for chunk in got_words.chunks_exact_mut(4) {
+            rx.getr().unwrap().store(chunk);
+        }
+
+        let batch = Mesh::new();
+        let bp = batch.ports();
+        let words: Vec<V256> = (0..8).map(|i| V256::splat(i as f64)).collect();
+        bp[Coord::new(2, 0).id()].row_bcast_words(&words).unwrap();
+        let mut got_panel = [0.0; 32];
+        bp[Coord::new(2, 5).id()]
+            .get_panel(false, &mut got_panel)
+            .unwrap();
+
+        assert_eq!(got_words, got_panel);
+        assert_eq!(word.stats(), batch.stats());
+        assert_eq!(word.grid_stats(), batch.grid_stats());
     }
 }

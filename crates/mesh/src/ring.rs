@@ -1,0 +1,237 @@
+//! Lock-free bounded SPSC ring links and the hybrid backoff they wait
+//! with.
+//!
+//! The mesh's fast path gives every (sender, receiver, network) pair
+//! its own [`SpscRing`]: a power-of-two circular buffer with one
+//! atomic head (consumer) and one atomic tail (producer), each on its
+//! own cache line so the two sides never false-share. Because exactly
+//! one thread produces and exactly one consumes, a push is one
+//! relaxed tail load, one acquire head load, one slot write and one
+//! release tail store — no lock, no syscall, no condvar.
+//!
+//! Blocking is layered on top with [`Backoff`]: a full ring (or an
+//! empty one on the receive side) is waited out with a
+//! spin → yield → park progression, and the existing deadlock fuse is
+//! preserved — the deadline is captured lazily on the first non-spin
+//! wait, so the uncontended path never reads the clock, yet a peer
+//! that never drains still trips [`crate::MeshError::Deadlock`] after
+//! the configured timeout.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use sw_arch::V256;
+
+/// Pads (and aligns) a value to its own 128-byte region so the
+/// producer-side and consumer-side indices of a ring never share a
+/// cache line (128 covers the 64 B line size plus adjacent-line
+/// prefetching).
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+/// A bounded single-producer single-consumer ring of mesh words.
+///
+/// Capacity must be a power of two (indices are free-running and
+/// wrapped with a mask). Slots hold [`MaybeUninit`] so the buffer
+/// costs no initialization; `V256` is `Copy`, so abandoned slots need
+/// no drops.
+pub(crate) struct SpscRing {
+    /// Consumer cursor: next slot to pop. Written only by the
+    /// consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Producer cursor: next slot to fill. Written only by the
+    /// producer.
+    tail: CachePadded<AtomicUsize>,
+    slots: Box<[UnsafeCell<MaybeUninit<V256>>]>,
+    mask: usize,
+}
+
+// The slot array is raced only in the disciplined SPSC pattern: the
+// producer writes a slot strictly before publishing it with a release
+// tail store; the consumer reads it strictly after an acquire tail
+// load. The mesh hands each side to exactly one port, and ports are
+// `!Sync`, so single-producer/single-consumer holds by construction.
+unsafe impl Send for SpscRing {}
+unsafe impl Sync for SpscRing {}
+
+impl SpscRing {
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity.is_power_of_two(),
+            "ring capacity must be a power of two"
+        );
+        SpscRing {
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            mask: capacity - 1,
+        }
+    }
+
+    /// Producer side: enqueues `v` unless the ring is full.
+    #[inline]
+    pub fn try_push(&self, v: V256) -> bool {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.mask {
+            return false; // full
+        }
+        // SAFETY: single producer; the slot at `tail` is outside the
+        // consumer's visible window until the release store below.
+        unsafe { (*self.slots[tail & self.mask].get()).write(v) };
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: dequeues the oldest word, if any.
+    #[inline]
+    pub fn try_pop(&self) -> Option<V256> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None; // empty
+        }
+        // SAFETY: single consumer; the acquire tail load ordered this
+        // slot's contents before us.
+        let v = unsafe { (*self.slots[head & self.mask].get()).assume_init_read() };
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(v)
+    }
+}
+
+/// How many exponential spin rounds before yielding the time slice.
+const SPIN_ROUNDS: u32 = 6;
+/// How many yield rounds before parking in timed sleeps.
+const YIELD_ROUNDS: u32 = 10;
+/// Park quantum once spinning and yielding have not helped; short
+/// enough that a late wakeup costs microseconds, long enough that a
+/// genuinely blocked run does not burn a core until the fuse trips.
+const PARK_SLEEP: Duration = Duration::from_micros(50);
+
+/// Spin → yield → park waiter with a lazily armed deadline.
+///
+/// The progression: `2^k` busy spins for the first [`SPIN_ROUNDS`]
+/// rounds (contention that resolves in nanoseconds never leaves
+/// userspace), then [`YIELD_ROUNDS`] of `thread::yield_now`, then
+/// timed [`PARK_SLEEP`] parks. The deadline clock is read only when
+/// the spin phase is exhausted, so a wait that resolves immediately
+/// costs no `Instant::now` call at all.
+pub(crate) struct Backoff {
+    timeout: Duration,
+    deadline: Option<Instant>,
+    round: u32,
+}
+
+impl Backoff {
+    pub fn new(timeout: Duration) -> Self {
+        Backoff {
+            timeout,
+            deadline: None,
+            round: 0,
+        }
+    }
+
+    /// Waits one round. Returns `false` once the deadlock fuse (the
+    /// timeout measured from the first non-spin round) has tripped.
+    #[inline]
+    pub fn snooze(&mut self) -> bool {
+        if self.round < SPIN_ROUNDS {
+            for _ in 0..(1u32 << self.round) {
+                std::hint::spin_loop();
+            }
+            self.round += 1;
+            return true;
+        }
+        let deadline = *self
+            .deadline
+            .get_or_insert_with(|| Instant::now() + self.timeout);
+        if Instant::now() >= deadline {
+            return false;
+        }
+        if self.round < SPIN_ROUNDS + YIELD_ROUNDS {
+            std::thread::yield_now();
+            self.round += 1;
+        } else {
+            std::thread::sleep(PARK_SLEEP);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let r = SpscRing::new(8);
+        for i in 0..8 {
+            assert!(r.try_push(V256::splat(i as f64)));
+        }
+        assert!(!r.try_push(V256::ZERO), "ninth push must report full");
+        for i in 0..8 {
+            assert_eq!(r.try_pop(), Some(V256::splat(i as f64)));
+        }
+        assert_eq!(r.try_pop(), None);
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let r = SpscRing::new(4);
+        for i in 0..1000 {
+            assert!(r.try_push(V256::splat(i as f64)));
+            assert_eq!(r.try_pop(), Some(V256::splat(i as f64)));
+        }
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_preserves_order() {
+        let r = SpscRing::new(8);
+        let n = 100_000u64;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut b = Backoff::new(Duration::from_secs(10));
+                for i in 0..n {
+                    while !r.try_push(V256::splat(i as f64)) {
+                        assert!(b.snooze(), "producer timed out");
+                    }
+                }
+            });
+            let mut b = Backoff::new(Duration::from_secs(10));
+            for i in 0..n {
+                let v = loop {
+                    match r.try_pop() {
+                        Some(v) => break v,
+                        None => assert!(b.snooze(), "consumer timed out"),
+                    }
+                };
+                assert_eq!(v, V256::splat(i as f64));
+            }
+        });
+    }
+
+    #[test]
+    fn backoff_fuse_trips() {
+        let mut b = Backoff::new(Duration::from_millis(20));
+        let start = Instant::now();
+        let mut rounds = 0u64;
+        while b.snooze() {
+            rounds += 1;
+            assert!(rounds < 1_000_000, "fuse never tripped");
+        }
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn indices_do_not_false_share() {
+        // The padded producer and consumer cursors must live ≥128 B
+        // apart (the alignment contract the type encodes).
+        let r = SpscRing::new(8);
+        let head = &r.head as *const _ as usize;
+        let tail = &r.tail as *const _ as usize;
+        assert!(head.abs_diff(tail) >= 128);
+    }
+}

@@ -164,6 +164,25 @@ pub struct MeshGridStats {
     pub cells: [[CellTraffic; 8]; 8],
 }
 
+impl MeshGridStats {
+    /// Adds another snapshot cell-by-cell — how a multi-block run folds
+    /// each block's grid into one per-CPE total.
+    pub fn accumulate(&mut self, other: &MeshGridStats) {
+        for r in 0..8 {
+            for c in 0..8 {
+                let a = &mut self.cells[r][c];
+                let b = &other.cells[r][c];
+                a.row_sent += b.row_sent;
+                a.col_sent += b.col_sent;
+                a.row_recv += b.row_recv;
+                a.col_recv += b.col_recv;
+                a.row_starved += b.row_starved;
+                a.col_starved += b.col_starved;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,8 +9,19 @@
 //! [`BarrierCancelled`], which the CPE context converts into an orderly
 //! unwind, letting [`crate::CoreGroup::try_run`] collect the failure
 //! and return.
+//!
+//! The implementation is a sense-reversing barrier on atomics: arrival
+//! is one `fetch_add`, the release is one generation-counter bump, and
+//! waiters observe it with a spin → yield → park progression instead of
+//! taking a mutex on every crossing. `sync_all` fires between every
+//! strip step of every functional run, so the fast path (all 64 CPEs
+//! arrive within a few microseconds of each other, the common case on a
+//! many-core host) stays entirely in userspace; only stragglers fall
+//! back to a condvar with a short timed park.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 use sw_arch::coord::{MESH_ROWS, N_CPES};
 
 /// The barrier was cancelled while (or before) waiting; the run is
@@ -18,28 +29,37 @@ use sw_arch::coord::{MESH_ROWS, N_CPES};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BarrierCancelled;
 
+/// Busy-spin rounds (exponential, `2^k` spins each) before yielding.
+const SPIN_ROUNDS: u32 = 6;
+/// `yield_now` rounds before parking on the condvar.
+const YIELD_ROUNDS: u32 = 10;
+/// Timed-park quantum; bounds the cost of a missed wakeup without a
+/// handshake on every release.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
 /// A reusable barrier whose waiters can be released early by
 /// [`CancellableBarrier::cancel`].
 pub(crate) struct CancellableBarrier {
     n: usize,
-    state: Mutex<State>,
-    cv: Condvar,
-}
-
-#[derive(Default)]
-struct State {
     /// Waiters that have arrived in the current generation.
-    count: usize,
+    count: AtomicUsize,
     /// Bumped when a generation completes, releasing its waiters.
-    generation: u64,
-    cancelled: bool,
+    generation: AtomicU64,
+    cancelled: AtomicBool,
+    /// Parking lot for stragglers; the lock guards nothing but the
+    /// condvar protocol.
+    lock: Mutex<()>,
+    cv: Condvar,
 }
 
 impl CancellableBarrier {
     pub fn new(n: usize) -> Self {
         CancellableBarrier {
             n,
-            state: Mutex::new(State::default()),
+            count: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+            lock: Mutex::new(()),
             cv: Condvar::new(),
         }
     }
@@ -47,32 +67,62 @@ impl CancellableBarrier {
     /// Blocks until all `n` participants arrive (Ok) or the barrier is
     /// cancelled (Err). A cancelled barrier fails all future waits too.
     pub fn wait(&self) -> Result<(), BarrierCancelled> {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if s.cancelled {
+        if self.cancelled.load(Ordering::Acquire) {
             return Err(BarrierCancelled);
         }
-        s.count += 1;
-        if s.count == self.n {
-            s.count = 0;
-            s.generation += 1;
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // Last arrival: reset the count for the next generation
+            // *before* publishing the release — a peer can only re-enter
+            // `wait` after observing the bump, so no new arrival can
+            // race the reset.
+            self.count.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+            // Pair with parked waiters: taking the lock orders this
+            // notify after any park-side re-check in progress.
+            drop(self.lock.lock().unwrap_or_else(|e| e.into_inner()));
             self.cv.notify_all();
             return Ok(());
         }
-        let gen = s.generation;
-        while s.generation == gen && !s.cancelled {
-            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
-        }
-        if s.generation == gen {
-            Err(BarrierCancelled)
-        } else {
-            Ok(())
+        let mut round = 0u32;
+        loop {
+            // A completed generation wins over a concurrent cancel,
+            // matching the lock-based predecessor's semantics.
+            if self.generation.load(Ordering::Acquire) != gen {
+                return Ok(());
+            }
+            if self.cancelled.load(Ordering::Acquire) {
+                return Err(BarrierCancelled);
+            }
+            if round < SPIN_ROUNDS {
+                for _ in 0..(1u32 << round) {
+                    std::hint::spin_loop();
+                }
+                round += 1;
+            } else if round < SPIN_ROUNDS + YIELD_ROUNDS {
+                std::thread::yield_now();
+                round += 1;
+            } else {
+                let guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+                // Re-check under the lock so a release that fired
+                // between the atomic check and the park is not missed;
+                // the timed wait is belt and braces on top.
+                if self.generation.load(Ordering::Acquire) == gen
+                    && !self.cancelled.load(Ordering::Acquire)
+                {
+                    let _ = self
+                        .cv
+                        .wait_timeout(guard, PARK_TIMEOUT)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
         }
     }
 
     /// Poisons the barrier, waking all waiters with an error.
     pub fn cancel(&self) {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        s.cancelled = true;
+        self.cancelled.store(true, Ordering::Release);
+        drop(self.lock.lock().unwrap_or_else(|e| e.into_inner()));
         self.cv.notify_all();
     }
 }
@@ -124,6 +174,29 @@ mod tests {
     }
 
     #[test]
+    fn generations_do_not_bleed_into_each_other() {
+        // Hammer the reuse path: a fast thread must never slip through
+        // a stale generation while a slow peer is still leaving the
+        // previous one.
+        let b = CancellableBarrier::new(8);
+        let inside = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        b.wait().unwrap();
+                        let seen = inside.fetch_add(1, Ordering::SeqCst);
+                        assert!(seen < 8, "more waiters inside than participants");
+                        b.wait().unwrap();
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(inside.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
     fn cancel_wakes_current_and_future_waiters() {
         let b = CancellableBarrier::new(3);
         std::thread::scope(|s| {
@@ -134,5 +207,18 @@ mod tests {
         });
         // Late arrivals fail immediately instead of hanging.
         assert_eq!(b.wait(), Err(BarrierCancelled));
+    }
+
+    #[test]
+    fn cancel_wakes_parked_waiters() {
+        // Let the waiter reach the condvar-park phase before
+        // cancelling, to cover the timed-park wakeup path.
+        let b = CancellableBarrier::new(2);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| b.wait());
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            b.cancel();
+            assert_eq!(h.join().unwrap(), Err(BarrierCancelled));
+        });
     }
 }

@@ -34,7 +34,7 @@ use sw_faults::{apply_ldm_flip, apply_payload_fault, DmaFault, FaultInjector};
 use sw_isa::{CommPort, ExecReport, Instr, Machine};
 use sw_mem::dma::{self, BandwidthModel, MatRegion, Receipt};
 use sw_mem::{Ldm, LdmBuf, MainMemory, MemError};
-use sw_mesh::{Mesh, MeshError, MeshGridStats, MeshPort};
+use sw_mesh::{Mesh, MeshError, MeshGridStats, MeshPort, MeshTransport};
 use sw_probe::metrics::Histogram;
 use sw_probe::trace::{Tracer, TrackId};
 
@@ -45,6 +45,20 @@ const DESC_BYTES_BUCKETS: [u64; 6] = [128, 512, 2048, 8192, 32768, 131072];
 /// Simulated cycles charged for the first DMA retry backoff; each
 /// further retry doubles it (deterministic exponential backoff).
 const DMA_RETRY_BACKOFF_CYCLES: u64 = 64;
+
+/// How variants drive the mesh inside a strip step: whole word-groups
+/// per synchronization episode (the fast default) or one word at a
+/// time (the historical path, kept selectable so the equivalence
+/// property tests and `mesh_bench` can compare the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MeshPath {
+    /// Batched word-group broadcasts/receives with one accounting
+    /// episode per group.
+    #[default]
+    Bulk,
+    /// One `bcast`/`get` call per 256-bit word.
+    Word,
+}
 
 /// Why one CPE aborted its run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,6 +168,8 @@ pub struct CoreGroup {
     /// The CG's main memory. Install inputs / extract outputs here.
     pub mem: MainMemory,
     mesh_timeout: std::time::Duration,
+    mesh_transport: MeshTransport,
+    mesh_path: MeshPath,
     /// Persistent CPE workers, spawned on first use.
     pool: Option<CpePool>,
     /// Simulated-time span sink; disabled (near-free) by default.
@@ -177,6 +193,8 @@ impl CoreGroup {
         CoreGroup {
             mem: MainMemory::new(),
             mesh_timeout: std::time::Duration::from_secs(10),
+            mesh_transport: MeshTransport::default(),
+            mesh_path: MeshPath::default(),
             pool: None,
             tracer: Tracer::disabled(),
             model: BandwidthModel::calibrated(),
@@ -194,6 +212,19 @@ impl CoreGroup {
     /// Sets the mesh deadlock fuse for subsequent runs.
     pub fn set_mesh_timeout(&mut self, timeout: std::time::Duration) {
         self.mesh_timeout = timeout;
+    }
+
+    /// Selects the mesh transport for subsequent runs (the lock-free
+    /// SPSC rings by default; the Mutex-channel fallback for harnesses
+    /// that interleave senders arbitrarily).
+    pub fn set_mesh_transport(&mut self, transport: MeshTransport) {
+        self.mesh_transport = transport;
+    }
+
+    /// Selects how variants drive the mesh inside strip steps (see
+    /// [`MeshPath`]); exposed to each CPE via [`CpeCtx::mesh_bulk`].
+    pub fn set_mesh_path(&mut self, path: MeshPath) {
+        self.mesh_path = path;
     }
 
     /// Installs (or, with `None`, removes) the fault injector consulted
@@ -240,7 +271,7 @@ impl CoreGroup {
     {
         install_quiet_abort_hook();
         let pool = self.pool.get_or_insert_with(|| CpePool::new(N_CPES));
-        let mesh = Mesh::with_timeout(self.mesh_timeout);
+        let mesh = Mesh::with_transport(self.mesh_timeout, self.mesh_transport);
         mesh.set_tracer(&self.tracer);
         if let Some(inj) = &self.injector {
             mesh.set_fault_injector(inj);
@@ -268,6 +299,7 @@ impl CoreGroup {
         let tracer = &self.tracer;
         let model = &self.model;
         let injector = self.injector.as_ref();
+        let mesh_path = self.mesh_path;
         let panics = pool.try_run(&|i: usize| {
             let port = ports[i]
                 .lock()
@@ -286,6 +318,7 @@ impl CoreGroup {
                 track: tracks[i],
                 model,
                 injector,
+                mesh_path,
                 dma_ops: 0,
                 clock: 0,
             };
@@ -294,6 +327,7 @@ impl CoreGroup {
         let stats = RunStats {
             dma: counters.snapshot(),
             mesh: mesh.stats(),
+            grid: mesh.grid_stats(),
             panicked_cpes: panics.iter().map(|(i, _)| *i).collect(),
             wall: start.elapsed(),
         };
@@ -339,6 +373,7 @@ pub struct CpeCtx<'a> {
     track: TrackId,
     model: &'a BandwidthModel,
     injector: Option<&'a Arc<FaultInjector>>,
+    mesh_path: MeshPath,
     /// DMA operations issued by this CPE this run (the injector's
     /// deterministic per-operation coordinate).
     dma_ops: u64,
@@ -542,6 +577,66 @@ impl<'a> CpeCtx<'a> {
         match self.port.getc() {
             Ok(v) => v,
             Err(e) => self.mesh_fail(e),
+        }
+    }
+
+    /// Whether strip steps should use the batched word-group mesh
+    /// operations (the run's [`MeshPath`] is `Bulk`).
+    #[inline]
+    pub fn mesh_bulk(&self) -> bool {
+        self.mesh_path == MeshPath::Bulk
+    }
+
+    /// Batched row broadcast of a word group; aborts the run on
+    /// deadlock.
+    pub fn mesh_row_bcast_words(&self, words: &[sw_arch::V256]) {
+        if let Err(e) = self.port.row_bcast_words(words) {
+            self.mesh_fail(e);
+        }
+    }
+
+    /// Batched column broadcast of a word group; aborts the run on
+    /// deadlock.
+    pub fn mesh_col_bcast_words(&self, words: &[sw_arch::V256]) {
+        if let Err(e) = self.port.col_bcast_words(words) {
+            self.mesh_fail(e);
+        }
+    }
+
+    /// Batched row receive into a word group; aborts on starvation.
+    pub fn mesh_getr_words(&self, out: &mut [sw_arch::V256]) {
+        if let Err(e) = self.port.getr_words(out) {
+            self.mesh_fail(e);
+        }
+    }
+
+    /// Batched column receive into a word group; aborts on starvation.
+    pub fn mesh_getc_words(&self, out: &mut [sw_arch::V256]) {
+        if let Err(e) = self.port.getc_words(out) {
+            self.mesh_fail(e);
+        }
+    }
+
+    /// Batched row-panel broadcast (`&[f64]`, length a multiple of 4);
+    /// aborts the run on deadlock.
+    pub fn mesh_row_bcast_panel(&self, panel: &[f64]) {
+        if let Err(e) = self.port.row_bcast_panel(panel) {
+            self.mesh_fail(e);
+        }
+    }
+
+    /// Batched column-panel broadcast; aborts the run on deadlock.
+    pub fn mesh_col_bcast_panel(&self, panel: &[f64]) {
+        if let Err(e) = self.port.col_bcast_panel(panel) {
+            self.mesh_fail(e);
+        }
+    }
+
+    /// Batched panel receive from the row (`col_net == false`) or
+    /// column network; aborts on starvation.
+    pub fn mesh_get_panel(&self, col_net: bool, out: &mut [f64]) {
+        if let Err(e) = self.port.get_panel(col_net, out) {
+            self.mesh_fail(e);
         }
     }
 

@@ -26,7 +26,8 @@ pub(crate) mod pool;
 pub mod stats;
 pub mod timing;
 
-pub use core_group::{CoreGroup, CpeAbort, CpeCtx, CpeError, RunError};
+pub use core_group::{CoreGroup, CpeAbort, CpeCtx, CpeError, MeshPath, RunError};
 pub use stats::{DmaTotals, RunStats};
+pub use sw_mesh::MeshTransport;
 pub use sw_probe::trace::{TraceData, Tracer};
 pub use timing::{Dag, Resource, TaskId, TaskTrace, TimingResult};

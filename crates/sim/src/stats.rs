@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 use sw_mem::dma::DmaMode;
-use sw_mesh::MeshStats;
+use sw_mesh::{MeshGridStats, MeshStats};
 use sw_probe::metrics::{Counter, Registry};
 
 /// Bytes and descriptor counts per DMA mode, accumulated **per CPE**:
@@ -100,6 +100,10 @@ pub struct RunStats {
     pub dma: DmaTotals,
     /// Register-communication traffic.
     pub mesh: MeshStats,
+    /// Per-CPE mesh traffic (`cells[mesh_row][mesh_col]`), available on
+    /// clean runs too — the transport-equivalence property tests compare
+    /// these cell totals between mesh transports.
+    pub grid: MeshGridStats,
     /// Ids of every CPE whose worker panicked this run (structured
     /// aborts and raw panics alike), in id order. Empty on a clean run.
     pub panicked_cpes: Vec<usize>,
@@ -178,6 +182,7 @@ mod tests {
                 row_words_sent: 7,
                 ..MeshStats::default()
             },
+            grid: MeshGridStats::default(),
             panicked_cpes: Vec::new(),
             wall: Duration::ZERO,
         };
