@@ -13,6 +13,7 @@ use crate::variants::Variant;
 use crate::Matrix;
 use std::time::Duration;
 use sw_faults::{FaultInjector, FaultSpec, FaultStats};
+use sw_isa::EngineBackend;
 use sw_sim::{CoreGroup, MeshPath, MeshTransport, RunStats, Tracer};
 
 /// Per-block runs the resilient path executes (first + recoveries)
@@ -81,6 +82,7 @@ pub struct DgemmRunner {
     mesh_timeout: Option<Duration>,
     mesh_transport: MeshTransport,
     mesh_path: MeshPath,
+    engine_backend: EngineBackend,
 }
 
 impl DgemmRunner {
@@ -99,6 +101,7 @@ impl DgemmRunner {
             mesh_timeout: None,
             mesh_transport: MeshTransport::default(),
             mesh_path: MeshPath::default(),
+            engine_backend: EngineBackend::default(),
         }
     }
 
@@ -194,6 +197,17 @@ impl DgemmRunner {
         self
     }
 
+    /// Selects the kernel execution engine (default
+    /// [`EngineBackend::Decoded`]). All backends produce bitwise
+    /// identical results and reports — `Batched` fuses adjacent
+    /// same-opcode runs into wide micro-ops, `Compiled` replays
+    /// trace-compiled hot kernels — so this only trades host wall
+    /// time.
+    pub fn engine_backend(mut self, backend: EngineBackend) -> Self {
+        self.engine_backend = backend;
+        self
+    }
+
     /// Runs `C = α·A·B + β·C` on a fresh simulated core group.
     pub fn run(
         &self,
@@ -254,6 +268,7 @@ impl DgemmRunner {
         }
         cg.set_mesh_transport(self.mesh_transport);
         cg.set_mesh_path(self.mesh_path);
+        cg.set_engine_backend(self.engine_backend);
         let ia = cg.mem.install(a.clone())?;
         let ib = match cg.mem.install(b.clone()) {
             Ok(id) => id,

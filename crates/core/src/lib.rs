@@ -48,8 +48,9 @@ pub use multi::{dgemm_multi_cg, estimate_multi_cg};
 pub use params::BlockingParams;
 pub use plan::GemmPlan;
 pub use sw_faults::{FaultSpec, FaultStats, StuckSpec, WedgeSpec};
+pub use sw_isa::EngineBackend;
 pub use sw_mem::HostMatrix as Matrix;
 pub use sw_sim::{MeshPath, MeshTransport};
-pub use timing::{estimate, TimingReport};
+pub use timing::{estimate, estimate_with, TimingReport};
 pub use variants::batched::dgemm_batched;
 pub use variants::Variant;

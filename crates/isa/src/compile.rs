@@ -1,0 +1,513 @@
+//! Trace compilation of straight-line kernels.
+//!
+//! The generated §IV micro-kernels are fully unrolled and branch-free,
+//! and the executor's timing never depends on data values. For such
+//! streams the whole [`ExecReport`]/[`StallReport`] pair is a pure
+//! function of the instruction sequence, computable once at compile
+//! time — and the numeric side collapses to a straight-line table of
+//! effects (fused FMA runs, wide contiguous load/store copies,
+//! broadcasts) with every LDM address resolved ahead of time. A
+//! [`CompiledProgram`] is that table; `Machine::run_compiled` replays
+//! it in program order (bitwise identical to interpretation, since all
+//! engines apply effects in program order) and returns the precomputed
+//! reports.
+//!
+//! Programs containing `bne` are not traced: the compiled backend
+//! keeps the decoded form and falls back to the interpreter, so
+//! selection is always safe.
+//!
+//! # Hot-kernel cache
+//!
+//! [`compile_if_hot`] is the backend's selection policy: it keys
+//! streams by (length, hash) — the same identity the PR 1 timing cache
+//! uses — counts sightings, and compiles a stream once it has been
+//! seen [`HOT_KERNEL_THRESHOLD`] times, amortizing the one-time
+//! compile pass over all later replays. Tallies are exported through
+//! the global metrics registry (`isa.jit.*`).
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::decoded::DecodedProgram;
+use crate::instr::{Instr, Net};
+use crate::machine::{straightline_timing, ExecReport};
+use crate::regs::IREG_COUNT;
+use sw_probe::stall::StallReport;
+
+/// Sightings of a stream (via [`compile_if_hot`]) before it is
+/// compiled: the first run interprets, the second compiles and
+/// replays. Low because a trace pays for itself after roughly one
+/// replay; the threshold exists so one-shot streams never compile.
+pub const HOT_KERNEL_THRESHOLD: u64 = 2;
+
+/// An integer register's value as a symbolic constant: either fully
+/// known (written by `setl` on the trace) or the register's value at
+/// run entry plus a folded constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IVal {
+    /// Entry value of register `.0` plus `.1`.
+    InitPlus(u8, i64),
+    /// A compile-time constant.
+    Known(i64),
+}
+
+impl IVal {
+    /// Concrete value given the register file at run entry.
+    pub(crate) fn resolve(self, entry: &[i64; IREG_COUNT]) -> i64 {
+        match self {
+            IVal::Known(v) => v,
+            IVal::InitPlus(r, d) => entry[r as usize] + d,
+        }
+    }
+}
+
+/// An LDM address, resolved at compile time when the base register
+/// folded to a constant, else deferred to run entry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Addr {
+    /// Fully resolved (sign/alignment checked at compile time; bounds
+    /// via the trace-wide `abs_end` check).
+    Abs(usize),
+    /// Entry value of `reg` plus `delta`; checked on every run.
+    Dyn { reg: u8, delta: i64 },
+}
+
+/// One replay step. Integer ALU ops and `nop`s have no step — their
+/// combined outcome is the `final_iregs` summary.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Step {
+    /// `n` FMAs `fmas[start..start+n]`, each `[a, b, c, d]`:
+    /// `v[d] = v[a].fma(v[b], v[c])`.
+    FmaRun { start: u32, n: u32 },
+    /// `n` register/address-contiguous vector loads from `addr` into
+    /// `d0..d0+n` (one `V256::load_seq`).
+    LoadSeq { d0: u8, addr: usize, n: u32 },
+    /// The store mirror of [`Step::LoadSeq`].
+    StoreSeq { s0: u8, addr: usize, n: u32 },
+    /// A vector load whose address needs run-entry resolution.
+    Load { d: u8, addr: Addr },
+    /// A vector store whose address needs run-entry resolution.
+    Store { s: u8, addr: Addr },
+    /// `ldde`: scalar load splatted into all lanes.
+    Splat { d: u8, addr: Addr },
+    /// `vldr`: vector load + row/col broadcast.
+    BcastV { d: u8, addr: Addr, col: bool },
+    /// `lddec`: scalar splat + row/col broadcast.
+    BcastS { d: u8, addr: Addr, col: bool },
+    /// `getr`.
+    Getr { d: u8 },
+    /// `getc`.
+    Getc { d: u8 },
+    /// `vclr`.
+    Clr { d: u8 },
+}
+
+/// The compiled form of a straight-line program: the effect table plus
+/// the precomputed timing of one full run.
+#[derive(Debug, Clone)]
+pub(crate) struct Trace {
+    pub steps: Vec<Step>,
+    /// Side table for [`Step::FmaRun`].
+    pub fmas: Vec<[u8; 4]>,
+    /// The report every replay returns (timing is stream-pure).
+    pub report: ExecReport,
+    /// The attribution every probed replay returns.
+    pub stalls: StallReport,
+    /// Integer register file at run exit, symbolic in the entry file.
+    pub final_iregs: [IVal; IREG_COUNT],
+    /// One past the highest compile-time-resolved LDM index any step
+    /// touches; a single bounds check per replay covers them all.
+    pub abs_end: usize,
+}
+
+/// A program compiled for the `EngineBackend::Compiled` engine.
+///
+/// Holds the decoded form unconditionally — branchy programs (no
+/// trace) and budget-limited runs execute through it — plus the trace
+/// for straight-line replay.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    decoded: DecodedProgram,
+    trace: Option<Trace>,
+}
+
+impl CompiledProgram {
+    /// Decodes and (when branch-free) trace-compiles `prog`.
+    pub fn new(prog: &[Instr]) -> Self {
+        let decoded = DecodedProgram::new(prog);
+        let trace = compile_trace(prog, &decoded);
+        CompiledProgram { decoded, trace }
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.decoded.len()
+    }
+
+    /// True for the empty program.
+    pub fn is_empty(&self) -> bool {
+        self.decoded.is_empty()
+    }
+
+    /// True when the program compiled to a replayable trace (i.e. it
+    /// is branch-free); false means every run takes the decoded
+    /// fallback.
+    pub fn is_traced(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    pub(crate) fn decoded(&self) -> &DecodedProgram {
+        &self.decoded
+    }
+
+    pub(crate) fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+}
+
+impl From<&[Instr]> for CompiledProgram {
+    fn from(prog: &[Instr]) -> Self {
+        CompiledProgram::new(prog)
+    }
+}
+
+/// Folds `base + off` through the symbolic integer state. Sign and
+/// alignment of compile-time-resolved addresses are asserted here —
+/// the same panics the interpreter raises at run time, just earlier.
+fn addr_of(iregs: &[IVal; IREG_COUNT], base: u8, off: i64, vector: bool) -> Addr {
+    match iregs[base as usize] {
+        IVal::Known(v) => {
+            let a = v + off;
+            assert!(a >= 0, "negative LDM address {a}");
+            let a = a as usize;
+            if vector {
+                assert!(
+                    a.is_multiple_of(4),
+                    "vector LDM access at {a} is not 256-bit aligned"
+                );
+            }
+            Addr::Abs(a)
+        }
+        IVal::InitPlus(r, d) => Addr::Dyn {
+            reg: r,
+            delta: d + off,
+        },
+    }
+}
+
+fn compile_trace(prog: &[Instr], decoded: &DecodedProgram) -> Option<Trace> {
+    if prog.iter().any(|i| matches!(i, Instr::Bne { .. })) {
+        return None;
+    }
+    let mut iregs: [IVal; IREG_COUNT] = std::array::from_fn(|i| IVal::InitPlus(i as u8, 0));
+    let mut steps: Vec<Step> = Vec::new();
+    let mut fmas: Vec<[u8; 4]> = Vec::new();
+    let mut abs_end = 0usize;
+    let touch = |a: Addr, doubles: usize, abs_end: &mut usize| {
+        if let Addr::Abs(a) = a {
+            *abs_end = (*abs_end).max(a + doubles);
+        }
+    };
+
+    for instr in prog {
+        match *instr {
+            Instr::Vmad { a, b, c, d } => {
+                fmas.push([a.0, b.0, c.0, d.0]);
+                match steps.last_mut() {
+                    Some(Step::FmaRun { start, n }) if (*start + *n) as usize == fmas.len() - 1 => {
+                        *n += 1;
+                    }
+                    _ => steps.push(Step::FmaRun {
+                        start: fmas.len() as u32 - 1,
+                        n: 1,
+                    }),
+                }
+            }
+            Instr::Vldd { d, base, off } => {
+                let a = addr_of(&iregs, base.0, off, true);
+                touch(a, 4, &mut abs_end);
+                match a {
+                    Addr::Abs(a) => match steps.last_mut() {
+                        Some(Step::LoadSeq { d0, addr, n })
+                            if *d0 as usize + *n as usize == d.0 as usize
+                                && *addr + 4 * *n as usize == a =>
+                        {
+                            *n += 1;
+                        }
+                        _ => steps.push(Step::LoadSeq {
+                            d0: d.0,
+                            addr: a,
+                            n: 1,
+                        }),
+                    },
+                    Addr::Dyn { .. } => steps.push(Step::Load { d: d.0, addr: a }),
+                }
+            }
+            Instr::Vstd { s, base, off } => {
+                let a = addr_of(&iregs, base.0, off, true);
+                touch(a, 4, &mut abs_end);
+                match a {
+                    Addr::Abs(a) => match steps.last_mut() {
+                        Some(Step::StoreSeq { s0, addr, n })
+                            if *s0 as usize + *n as usize == s.0 as usize
+                                && *addr + 4 * *n as usize == a =>
+                        {
+                            *n += 1;
+                        }
+                        _ => steps.push(Step::StoreSeq {
+                            s0: s.0,
+                            addr: a,
+                            n: 1,
+                        }),
+                    },
+                    Addr::Dyn { .. } => steps.push(Step::Store { s: s.0, addr: a }),
+                }
+            }
+            Instr::Ldde { d, base, off } => {
+                let a = addr_of(&iregs, base.0, off, false);
+                touch(a, 1, &mut abs_end);
+                steps.push(Step::Splat { d: d.0, addr: a });
+            }
+            Instr::Vldr { d, base, off, net } => {
+                let a = addr_of(&iregs, base.0, off, true);
+                touch(a, 4, &mut abs_end);
+                steps.push(Step::BcastV {
+                    d: d.0,
+                    addr: a,
+                    col: net == Net::Col,
+                });
+            }
+            Instr::Lddec { d, base, off, net } => {
+                let a = addr_of(&iregs, base.0, off, false);
+                touch(a, 1, &mut abs_end);
+                steps.push(Step::BcastS {
+                    d: d.0,
+                    addr: a,
+                    col: net == Net::Col,
+                });
+            }
+            Instr::Getr { d } => steps.push(Step::Getr { d: d.0 }),
+            Instr::Getc { d } => steps.push(Step::Getc { d: d.0 }),
+            Instr::Vclr { d } => steps.push(Step::Clr { d: d.0 }),
+            Instr::Addl { d, s, imm } => {
+                iregs[d.0 as usize] = match iregs[s.0 as usize] {
+                    IVal::Known(v) => IVal::Known(v + imm),
+                    IVal::InitPlus(r, delta) => IVal::InitPlus(r, delta + imm),
+                };
+            }
+            Instr::Setl { d, imm } => {
+                iregs[d.0 as usize] = IVal::Known(imm);
+            }
+            Instr::Nop => {}
+            Instr::Bne { .. } => unreachable!("branchy programs are rejected above"),
+        }
+    }
+    let (report, stalls) = straightline_timing(&decoded.instrs);
+    Some(Trace {
+        steps,
+        fmas,
+        report,
+        stalls,
+        final_iregs: iregs,
+        abs_end,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Hot-kernel JIT cache
+// ---------------------------------------------------------------------------
+
+/// Metric: streams compiled (transitioned cold → hot).
+pub const JIT_COMPILES_METRIC: &str = "isa.jit.compiles";
+/// Metric: sightings served by an already-compiled trace.
+pub const JIT_HOT_HITS_METRIC: &str = "isa.jit.hot_hits";
+/// Metric: sightings below the hot threshold (interpreted runs).
+pub const JIT_COLD_METRIC: &str = "isa.jit.cold_sightings";
+
+fn jit_compiles() -> &'static sw_probe::Counter {
+    static C: OnceLock<Arc<sw_probe::Counter>> = OnceLock::new();
+    C.get_or_init(|| sw_probe::metrics::global().counter(JIT_COMPILES_METRIC))
+}
+
+fn jit_hot_hits() -> &'static sw_probe::Counter {
+    static C: OnceLock<Arc<sw_probe::Counter>> = OnceLock::new();
+    C.get_or_init(|| sw_probe::metrics::global().counter(JIT_HOT_HITS_METRIC))
+}
+
+fn jit_cold() -> &'static sw_probe::Counter {
+    static C: OnceLock<Arc<sw_probe::Counter>> = OnceLock::new();
+    C.get_or_init(|| sw_probe::metrics::global().counter(JIT_COLD_METRIC))
+}
+
+struct JitEntry {
+    sightings: u64,
+    compiled: Option<Arc<CompiledProgram>>,
+}
+
+fn jit_cache() -> &'static Mutex<HashMap<(usize, u64), JitEntry>> {
+    static CACHE: OnceLock<Mutex<HashMap<(usize, u64), JitEntry>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn stream_key(prog: &[Instr]) -> (usize, u64) {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    prog.hash(&mut h);
+    (prog.len(), h.finish())
+}
+
+/// Records a sighting of `prog` and returns its compiled form once the
+/// stream is hot — seen at least [`HOT_KERNEL_THRESHOLD`] times since
+/// the last [`jit_cache_reset`]. Below the threshold returns `None`
+/// (callers interpret). Compilation happens exactly once per distinct
+/// stream; later sightings share the `Arc`.
+pub fn compile_if_hot(prog: &[Instr]) -> Option<Arc<CompiledProgram>> {
+    let key = stream_key(prog);
+    let mut cache = jit_cache().lock().unwrap_or_else(|e| e.into_inner());
+    let entry = cache.entry(key).or_insert(JitEntry {
+        sightings: 0,
+        compiled: None,
+    });
+    entry.sightings += 1;
+    if entry.sightings < HOT_KERNEL_THRESHOLD {
+        jit_cold().inc();
+        return None;
+    }
+    if entry.compiled.is_none() {
+        jit_compiles().inc();
+        entry.compiled = Some(Arc::new(CompiledProgram::new(prog)));
+    } else {
+        jit_hot_hits().inc();
+    }
+    entry.compiled.clone()
+}
+
+/// Snapshot of the hot-kernel cache counters (process-wide):
+/// `(compiles, hot_hits, cold_sightings)`.
+pub fn jit_cache_stats() -> (u64, u64, u64) {
+    (jit_compiles().get(), jit_hot_hits().get(), jit_cold().get())
+}
+
+/// Empties the hot-kernel cache and zeroes its counters. Only for
+/// benchmarks and tests that need cold-start conditions.
+pub fn jit_cache_reset() {
+    jit_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+    jit_compiles().reset();
+    jit_hot_hits().reset();
+    jit_cold().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::{IReg, VReg};
+
+    #[test]
+    fn branchy_programs_do_not_trace() {
+        let prog = vec![
+            Instr::Setl { d: IReg(1), imm: 1 },
+            Instr::Bne {
+                s: IReg(1),
+                target: 2,
+            },
+        ];
+        let c = CompiledProgram::new(&prog);
+        assert!(!c.is_traced());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn straightline_program_traces_with_folded_addresses() {
+        // setl r1 = 8; two contiguous loads off r1; an fma; a store.
+        let prog = vec![
+            Instr::Setl { d: IReg(1), imm: 8 },
+            Instr::Vldd {
+                d: VReg(0),
+                base: IReg(1),
+                off: 0,
+            },
+            Instr::Vldd {
+                d: VReg(1),
+                base: IReg(1),
+                off: 4,
+            },
+            Instr::Vmad {
+                a: VReg(0),
+                b: VReg(1),
+                c: VReg(2),
+                d: VReg(2),
+            },
+            Instr::Vstd {
+                s: VReg(2),
+                base: IReg(1),
+                off: 8,
+            },
+        ];
+        let c = CompiledProgram::new(&prog);
+        let tr = c.trace().expect("branch-free program must trace");
+        // Two contiguous loads fused into one LoadSeq at abs addr 8.
+        assert!(matches!(
+            tr.steps[0],
+            Step::LoadSeq {
+                d0: 0,
+                addr: 8,
+                n: 2
+            }
+        ));
+        assert!(matches!(tr.steps[1], Step::FmaRun { start: 0, n: 1 }));
+        assert!(matches!(
+            tr.steps[2],
+            Step::StoreSeq {
+                s0: 2,
+                addr: 16,
+                n: 1
+            }
+        ));
+        assert_eq!(tr.abs_end, 20);
+        assert_eq!(tr.final_iregs[1], IVal::Known(8));
+        assert_eq!(tr.final_iregs[2], IVal::InitPlus(2, 0));
+        assert_eq!(tr.report.instructions, 5);
+        assert_eq!(tr.report.vmads, 1);
+        tr.stalls.check().unwrap();
+        assert_eq!(tr.stalls.cycles, tr.report.cycles);
+    }
+
+    #[test]
+    fn unwritten_base_registers_defer_to_run_entry() {
+        let prog = vec![Instr::Vldd {
+            d: VReg(0),
+            base: IReg(3),
+            off: 4,
+        }];
+        let tr = CompiledProgram::new(&prog);
+        let tr = tr.trace().unwrap();
+        assert!(matches!(
+            tr.steps[0],
+            Step::Load {
+                d: 0,
+                addr: Addr::Dyn { reg: 3, delta: 4 }
+            }
+        ));
+        assert_eq!(tr.abs_end, 0, "dynamic addresses don't enter abs_end");
+    }
+
+    #[test]
+    fn hot_threshold_gates_compilation() {
+        jit_cache_reset();
+        let prog = vec![Instr::Vclr { d: VReg(0) }, Instr::Nop];
+        assert!(compile_if_hot(&prog).is_none(), "first sighting stays cold");
+        let c = compile_if_hot(&prog).expect("second sighting compiles");
+        assert!(c.is_traced());
+        let again = compile_if_hot(&prog).expect("third sighting hits");
+        assert!(Arc::ptr_eq(&c, &again), "hot hits share the compiled Arc");
+        let (compiles, hot_hits, cold) = jit_cache_stats();
+        assert_eq!(compiles, 1);
+        assert_eq!(hot_hits, 1);
+        assert_eq!(cold, 1);
+        jit_cache_reset();
+        assert_eq!(jit_cache_stats(), (0, 0, 0));
+    }
+}

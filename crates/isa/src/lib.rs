@@ -28,6 +28,7 @@
 //!   code generation" direction).
 
 pub mod comm;
+pub mod compile;
 pub mod decoded;
 pub mod encoding;
 pub mod instr;
@@ -39,10 +40,11 @@ pub mod sched;
 pub mod tiling;
 
 pub use comm::{CommPort, NullComm, ScriptedComm, SinkComm};
-pub use decoded::DecodedProgram;
+pub use compile::{compile_if_hot, CompiledProgram, HOT_KERNEL_THRESHOLD};
+pub use decoded::{BatchedProgram, DecodedProgram};
 pub use instr::{Instr, Net};
 pub use kernels::{BlockKernelCfg, Operand};
 pub use looped::{fits_icache, gen_block_kernel_looped, icache_footprint_bytes};
-pub use machine::{BudgetExceeded, ExecReport, Machine, MAX_EXECUTED};
+pub use machine::{BudgetExceeded, EngineBackend, ExecReport, Machine, MAX_EXECUTED};
 pub use regs::{IReg, VReg};
 pub use sw_probe::stall::{PipeBreakdown, StallKind, StallReport};

@@ -105,6 +105,16 @@ impl PipeBreakdown {
     }
 }
 
+impl std::ops::AddAssign for PipeBreakdown {
+    fn add_assign(&mut self, rhs: PipeBreakdown) {
+        self.issue += rhs.issue;
+        self.raw += rhs.raw;
+        self.load_use += rhs.load_use;
+        self.pipe_conflict += rhs.pipe_conflict;
+        self.loop_overhead += rhs.loop_overhead;
+    }
+}
+
 /// Full-run attribution: one [`PipeBreakdown`] per pipe plus the
 /// executor's total cycle count they must both sum to.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -130,6 +140,26 @@ impl StallReport {
     /// counts once per pipe, so this equals the instruction count).
     pub fn issue_cycles(&self) -> u64 {
         self.pipes[0].issue + self.pipes[1].issue
+    }
+
+    /// The attribution of `n` back-to-back executions of the same
+    /// program: every bucket (and the total) scales linearly, because
+    /// each run starts from a drained scoreboard. This is the batched
+    /// accounting a hot-kernel trace uses — a compiled kernel executed
+    /// `n` times reports exactly `n` times its per-run attribution,
+    /// with the per-cycle invariant preserved.
+    pub fn scaled(&self, n: u64) -> StallReport {
+        let scale = |p: &PipeBreakdown| PipeBreakdown {
+            issue: p.issue * n,
+            raw: p.raw * n,
+            load_use: p.load_use * n,
+            pipe_conflict: p.pipe_conflict * n,
+            loop_overhead: p.loop_overhead * n,
+        };
+        StallReport {
+            pipes: [scale(&self.pipes[0]), scale(&self.pipes[1])],
+            cycles: self.cycles * n,
+        }
     }
 
     /// Verifies the defining invariant: each pipe's buckets sum
@@ -184,6 +214,29 @@ mod tests {
         assert_eq!(r.issue_cycles(), 10);
         r.cycles = 25;
         assert!(r.check().is_err());
+    }
+
+    #[test]
+    fn scaled_preserves_invariant_and_accumulates() {
+        let mut r = StallReport {
+            cycles: 24,
+            ..Default::default()
+        };
+        r.pipes[0].issue = 10;
+        r.pipes[0].raw = 14;
+        r.pipes[1].pipe_conflict = 24;
+        let s = r.scaled(3);
+        assert!(s.check().is_ok());
+        assert_eq!(s.cycles, 72);
+        assert_eq!(s.pipes[0].issue, 30);
+        assert_eq!(s.pipes[0].raw, 42);
+        // AddAssign agrees with scaled: n accumulations == scaled(n).
+        let mut acc = PipeBreakdown::default();
+        for _ in 0..3 {
+            acc += r.pipes[0];
+        }
+        assert_eq!(acc, s.pipes[0]);
+        assert_eq!(r.scaled(0), StallReport::default());
     }
 
     #[test]

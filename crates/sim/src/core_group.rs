@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use sw_arch::coord::{Coord, N_CPES};
 use sw_faults::{apply_ldm_flip, apply_payload_fault, DmaFault, FaultInjector};
-use sw_isa::{CommPort, ExecReport, Instr, Machine};
+use sw_isa::{compile_if_hot, CommPort, EngineBackend, ExecReport, Instr, Machine};
 use sw_mem::dma::{self, BandwidthModel, MatRegion, Receipt};
 use sw_mem::{Ldm, LdmBuf, MainMemory, MemError};
 use sw_mesh::{Mesh, MeshError, MeshGridStats, MeshPort, MeshTransport};
@@ -170,6 +170,7 @@ pub struct CoreGroup {
     mesh_timeout: std::time::Duration,
     mesh_transport: MeshTransport,
     mesh_path: MeshPath,
+    engine_backend: EngineBackend,
     /// Persistent CPE workers, spawned on first use.
     pool: Option<CpePool>,
     /// Simulated-time span sink; disabled (near-free) by default.
@@ -195,6 +196,7 @@ impl CoreGroup {
             mesh_timeout: std::time::Duration::from_secs(10),
             mesh_transport: MeshTransport::default(),
             mesh_path: MeshPath::default(),
+            engine_backend: EngineBackend::default(),
             pool: None,
             tracer: Tracer::disabled(),
             model: BandwidthModel::calibrated(),
@@ -225,6 +227,13 @@ impl CoreGroup {
     /// [`MeshPath`]); exposed to each CPE via [`CpeCtx::mesh_bulk`].
     pub fn set_mesh_path(&mut self, path: MeshPath) {
         self.mesh_path = path;
+    }
+
+    /// Selects the execution engine [`CpeCtx::run_kernel`] uses for
+    /// subsequent runs (see [`EngineBackend`]); all backends are
+    /// bitwise equivalent, differing only in host wall time.
+    pub fn set_engine_backend(&mut self, backend: EngineBackend) {
+        self.engine_backend = backend;
     }
 
     /// Installs (or, with `None`, removes) the fault injector consulted
@@ -300,6 +309,7 @@ impl CoreGroup {
         let model = &self.model;
         let injector = self.injector.as_ref();
         let mesh_path = self.mesh_path;
+        let engine_backend = self.engine_backend;
         let panics = pool.try_run(&|i: usize| {
             let port = ports[i]
                 .lock()
@@ -319,6 +329,7 @@ impl CoreGroup {
                 model,
                 injector,
                 mesh_path,
+                engine_backend,
                 dma_ops: 0,
                 clock: 0,
             };
@@ -374,6 +385,7 @@ pub struct CpeCtx<'a> {
     model: &'a BandwidthModel,
     injector: Option<&'a Arc<FaultInjector>>,
     mesh_path: MeshPath,
+    engine_backend: EngineBackend,
     /// DMA operations issued by this CPE this run (the injector's
     /// deterministic per-operation coordinate).
     dma_ops: u64,
@@ -641,7 +653,10 @@ impl<'a> CpeCtx<'a> {
     }
 
     /// Executes an ISA kernel stream against this CPE's LDM and mesh
-    /// port, returning the executor's cycle report.
+    /// port, returning the executor's cycle report. The stream runs on
+    /// the core group's configured [`EngineBackend`]; with `Compiled`,
+    /// streams the hot-kernel cache has seen often enough replay a
+    /// precompiled trace, the rest interpret.
     pub fn run_kernel(&mut self, prog: &[Instr]) -> ExecReport {
         #[cfg(debug_assertions)]
         lint_gate::check(prog);
@@ -650,7 +665,15 @@ impl<'a> CpeCtx<'a> {
             sync: self.sync,
             coord: self.coord,
         };
-        let report = Machine::new(self.ldm.raw_mut(), &mut comm).run(prog);
+        let mut machine = Machine::new(self.ldm.raw_mut(), &mut comm);
+        let report = match self.engine_backend {
+            EngineBackend::Decoded => machine.run(prog),
+            EngineBackend::Batched => machine.run_backend(EngineBackend::Batched, prog),
+            EngineBackend::Compiled => match compile_if_hot(prog) {
+                Some(compiled) => machine.run_compiled(&compiled),
+                None => machine.run(prog),
+            },
+        };
         if self.tracer.is_enabled() {
             let t0 = self.clock;
             self.clock = t0 + report.cycles;
