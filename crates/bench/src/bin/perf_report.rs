@@ -250,6 +250,29 @@ fn main() {
         );
     }
 
+    // Causal critical path of the fig6-size schedule: the longest
+    // dependency chain through the timing DAG, aggregated by task
+    // label — where a production-size run's makespan actually goes,
+    // and what an optimization would have to shorten.
+    if variant != Variant::Raw {
+        let p = variant.paper_params();
+        let (dag, _) =
+            build_shared_dag(variant, 1536, 1536, 1536, p, &model).expect("fig6-size timing DAG");
+        let cp = dag.critical_path();
+        println!("\n== critical path ({variant} at the fig6 size, 1536^3) ==\n");
+        println!(
+            "makespan: {} cycles; top segments of the binding chain:",
+            cp.makespan_cycles
+        );
+        for (label, resource, cycles, count) in cp.top_segments(3) {
+            println!(
+                "  {label:<24} {:<5} {cycles:>12} cycles  {:>6.2}%  ({count} segments)",
+                format!("{resource:?}"),
+                100.0 * cycles as f64 / cp.makespan_cycles as f64
+            );
+        }
+    }
+
     println!("\n== metrics snapshot ==\n");
     print!("{}", sw_probe::metrics::global().snapshot().render());
 }

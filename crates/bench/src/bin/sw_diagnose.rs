@@ -1,0 +1,53 @@
+//! `sw-diagnose` — renders a failure diagnostics bundle as a human
+//! incident report.
+//!
+//! ```text
+//! sw-diagnose <bundle.json> [more.json ...]
+//! ```
+//!
+//! Bundles are written automatically by the functional runner when a
+//! run dies with a structured error (see `sw_dgemm::diagnostics`),
+//! into `$SW_DIAG_DIR` (default `diagnostics/`). Exit status: 0 when
+//! every bundle parsed and rendered, 1 on any unreadable or
+//! unparsable bundle, 2 on usage errors.
+
+use std::process::ExitCode;
+use sw_dgemm::diagnostics::render_bundle_str;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|p| p == "-h" || p == "--help") {
+        eprintln!("usage: sw-diagnose <bundle.json> [more.json ...]");
+        eprintln!("renders sw-dgemm failure diagnostics bundles as incident reports");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for (i, path) in paths.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sw-diagnose: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match render_bundle_str(&src) {
+            Ok(report) => {
+                println!("bundle: {path}");
+                print!("{report}");
+            }
+            Err(e) => {
+                eprintln!("sw-diagnose: {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,6 +1,7 @@
 //! The public entry points.
 
 use crate::abft::AbftPolicy;
+use crate::diagnostics::{self, DiagInfo};
 use crate::error::DgemmError;
 use crate::lint::{self, LintPolicy};
 use crate::padding::PadPlan;
@@ -269,6 +270,10 @@ impl DgemmRunner {
         cg.set_mesh_transport(self.mesh_transport);
         cg.set_mesh_path(self.mesh_path);
         cg.set_engine_backend(self.engine_backend);
+        // A fresh black box per dispatch: the recorder's rings, clocks
+        // and busy ledgers cover exactly this run, so a bundle emitted
+        // on failure is not polluted by earlier runs on the same group.
+        cg.flight().reset();
         let ia = cg.mem.install(a.clone())?;
         let ib = match cg.mem.install(b.clone()) {
             Ok(id) => id,
@@ -290,15 +295,26 @@ impl DgemmRunner {
             b: ib,
             c: ic,
         };
+        let mut diag = DiagInfo::default();
         let result = self
-            .dispatch(cg, io, m, n, k, alpha, beta)
+            .dispatch(cg, io, m, n, k, alpha, beta, &mut diag)
             .and_then(|report| Ok((report, cg.mem.extract(io.c)?)));
         let _ = cg.mem.remove(io.a);
         let _ = cg.mem.remove(io.b);
         let _ = cg.mem.remove(io.c);
-        let (report, out) = result?;
-        *c = out;
-        Ok(report)
+        match result {
+            Ok((report, out)) => {
+                *c = out;
+                Ok(report)
+            }
+            Err(err) => {
+                // Post-mortem: serialize the black box into a
+                // diagnostics bundle. Best-effort — the run's own
+                // error always wins over any emission problem.
+                diagnostics::emit_on_error(cg, &err, self.variant, (m, n, k), &diag);
+                Err(err)
+            }
+        }
     }
 
     /// Variant dispatch over installed operands: fast path, or the
@@ -314,6 +330,7 @@ impl DgemmRunner {
         k: usize,
         alpha: f64,
         beta: f64,
+        diag: &mut DiagInfo,
     ) -> Result<DgemmReport, DgemmError> {
         let resilient = self.faults.is_some() || self.abft != AbftPolicy::Off;
         match self.variant {
@@ -344,6 +361,7 @@ impl DgemmRunner {
                     Some(p) => GemmPlan::new(m, n, k, p, v.double_buffered())?,
                     None => pick_plan(v, m, n, k)?,
                 };
+                diag.plan = Some(plan);
                 if self.lint != LintPolicy::Off {
                     lint::enforce(self.lint, &lint::lint_shared_cached(v, &plan.params))?;
                 }
@@ -370,6 +388,7 @@ impl DgemmRunner {
                 // run failed — the failure path is exactly where the
                 // fault telemetry matters.
                 let faults = injector.as_ref().map(|i| i.stats());
+                diag.faults = faults;
                 if let Some(fs) = &faults {
                     fs.publish(sw_probe::metrics::global());
                 }

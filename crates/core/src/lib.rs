@@ -24,6 +24,7 @@
 
 pub mod abft;
 pub mod api;
+pub mod diagnostics;
 pub mod error;
 pub mod gen;
 pub mod lint;

@@ -49,6 +49,7 @@ use sw_lint::{rendezvous_summary, CommCounts};
 use sw_mem::dma::MatRegion;
 use sw_mem::MemError;
 use sw_mesh::MeshGridStats;
+use sw_probe::flight::{self, EventKind, MPE_RING};
 use sw_sim::{CoreGroup, CpeError, RunError, RunStats};
 
 /// Recovery policy of one resilient run.
@@ -79,6 +80,10 @@ pub(crate) fn run_resilient(
     cfg: &ResilienceCfg,
 ) -> Result<RunStats, DgemmError> {
     check_io(cg, plan, io)?;
+    // MPE-side recovery decisions land on the dedicated MPE ring so a
+    // diagnostics bundle shows the block-retry story next to the
+    // per-CPE event tails.
+    let flight = Arc::clone(cg.flight());
     let p = &plan.params;
     let (bm, bn) = (p.bm(), p.bn());
     let mut failed = [false; N_CPES];
@@ -125,6 +130,12 @@ pub(crate) fn run_resilient(
                                     if let Some(inj) = &cfg.injector {
                                         inj.note_abft_detected();
                                     }
+                                    flight.record(
+                                        MPE_RING,
+                                        EventKind::FaultDecision,
+                                        flight::fault_code::ABFT_DETECT,
+                                        epoch,
+                                    );
                                     if cfg.abft == AbftPolicy::Correct
                                         && attempt + 1 < cfg.max_attempts
                                     {
@@ -137,6 +148,12 @@ pub(crate) fn run_resilient(
                                             &c_before,
                                         )?;
                                         attempt += 1;
+                                        flight.record(
+                                            MPE_RING,
+                                            EventKind::RetryAttempt,
+                                            attempt,
+                                            epoch,
+                                        );
                                         continue;
                                     }
                                     return Err(DgemmError::AbftMismatch {
@@ -161,6 +178,12 @@ pub(crate) fn run_resilient(
                                         if let Some(inj) = &cfg.injector {
                                             inj.note_cpe_failed();
                                         }
+                                        flight.record(
+                                            MPE_RING,
+                                            EventKind::FaultDecision,
+                                            flight::fault_code::CPE_FAILED,
+                                            id as u64,
+                                        );
                                     }
                                     // Peers may have stored C tiles
                                     // before the abort: roll the whole
@@ -168,6 +191,12 @@ pub(crate) fn run_resilient(
                                     cg.mem
                                         .write_region(io.c, i * bm, j * bn, bm, bn, &c_before)?;
                                     attempt += 1;
+                                    flight.record(
+                                        MPE_RING,
+                                        EventKind::RetryAttempt,
+                                        attempt,
+                                        epoch,
+                                    );
                                     continue;
                                 }
                                 CpeError::Mesh(_) => {

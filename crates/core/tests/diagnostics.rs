@@ -1,0 +1,192 @@
+//! End-to-end diagnostics-bundle round trips: a structured failure
+//! must auto-emit a bundle that `sw-diagnose`'s renderer parses, and
+//! the bundle's busy-cycle attribution must obey the recorder's
+//! `clock == Σ busy` invariant on every ring.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+use sw_dgemm::diagnostics::{render_bundle_str, BUNDLE_SCHEMA, DIAG_DIR_ENV};
+use sw_dgemm::{
+    gen, AbftPolicy, BlockingParams, DgemmError, DgemmRunner, FaultSpec, Variant, WedgeSpec,
+};
+use sw_probe::json::Value;
+
+/// `SW_DIAG_DIR` is process-global; serialize the tests that set it.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the bundle directory pointed at a fresh temp subdir,
+/// returning the bundles it produced (as parsed JSON plus raw text).
+fn with_diag_dir<F: FnOnce()>(tag: &str, f: F) -> Vec<(Value, String)> {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("sw-diag-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var(DIAG_DIR_ENV, &dir);
+    f();
+    std::env::remove_var(DIAG_DIR_ENV);
+    let mut bundles = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for e in entries.flatten() {
+            let raw = std::fs::read_to_string(e.path()).expect("bundle readable");
+            let v = Value::parse(&raw).expect("bundle is valid JSON");
+            bundles.push((v, raw));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    bundles
+}
+
+/// Every ring's attribution must tile its clock exactly across the
+/// four lanes — the bundle-level face of the recorder invariant.
+fn assert_attribution_invariant(bundle: &Value) {
+    let attrs = bundle
+        .as_obj()
+        .and_then(|o| o.get("attribution"))
+        .and_then(Value::as_arr)
+        .expect("bundle has attribution");
+    assert_eq!(attrs.len(), 64, "one attribution row per CPE");
+    for a in attrs {
+        let o = a.as_obj().unwrap();
+        let g = |k: &str| o.get(k).and_then(Value::as_u64).unwrap();
+        assert_eq!(
+            g("clock"),
+            g("compute") + g("dma") + g("mesh") + g("barrier"),
+            "clock == sum of lane busy cycles on cpe {}",
+            g("cpe")
+        );
+    }
+}
+
+#[test]
+fn mesh_wedge_emits_bundle_that_diagnose_renders() {
+    let p = BlockingParams::test_small();
+    let a = gen::random_matrix(128, 128, 11);
+    let b = gen::random_matrix(128, 128, 12);
+    let c0 = gen::random_matrix(128, 128, 13);
+
+    let bundles = with_diag_dir("wedge", || {
+        let mut c = c0.clone();
+        let spec = FaultSpec {
+            wedge: Some(WedgeSpec { cpe: 18, epoch: 0 }),
+            ..FaultSpec::seeded(0)
+        };
+        let err = DgemmRunner::new(Variant::Pe)
+            .params(p)
+            .faults(spec)
+            .mesh_timeout(Duration::from_millis(200))
+            .run(1.5, &a, &b, 0.5, &mut c)
+            .expect_err("the wedge must trip the deadlock fuse");
+        assert!(matches!(err, DgemmError::MeshDeadlock { .. }));
+    });
+    assert_eq!(bundles.len(), 1, "exactly one bundle for one failed run");
+    let (bundle, raw) = &bundles[0];
+    let obj = bundle.as_obj().unwrap();
+    assert_eq!(
+        obj.get("schema").and_then(Value::as_str),
+        Some(BUNDLE_SCHEMA)
+    );
+    let err = obj.get("error").unwrap().as_obj().unwrap();
+    assert_eq!(
+        err.get("kind").and_then(Value::as_str),
+        Some("mesh-deadlock")
+    );
+    assert!(err.contains_key("rendezvous_summary"));
+    assert_attribution_invariant(bundle);
+
+    // The wedge decision must be on the rings — and the first-cause
+    // scan must point at a cause event, not a symptom.
+    let fc = obj
+        .get("first_cause")
+        .and_then(Value::as_obj)
+        .expect("wedge run has a first cause");
+    let fc_kind = fc.get("kind").and_then(Value::as_str).unwrap();
+    assert!(
+        fc_kind == "fault-decision" || fc_kind == "mesh-episode",
+        "first cause is a cause event, got {fc_kind}"
+    );
+    assert!(raw.contains("mesh-wedge"), "wedge decision recorded");
+
+    // Fault tallies rode along (the injector was installed).
+    assert!(obj.get("fault_stats").and_then(Value::as_obj).is_some());
+
+    // And the renderer accepts the bundle end to end.
+    let report = render_bundle_str(raw).expect("sw-diagnose renders the bundle");
+    assert!(report.contains("incident report"));
+    assert!(report.contains("mesh-deadlock"));
+    assert!(report.contains("first cause"));
+}
+
+#[test]
+fn abft_mismatch_emits_bundle_with_critical_path() {
+    let p = BlockingParams::test_small();
+    let a = gen::random_matrix(128, 128, 21);
+    let b = gen::random_matrix(128, 128, 22);
+    let c0 = gen::random_matrix(128, 128, 23);
+
+    let bundles = with_diag_dir("abft", || {
+        let mut c = c0.clone();
+        let spec = FaultSpec {
+            bitflip_every_epoch: true,
+            ..FaultSpec::seeded(7)
+        };
+        let err = DgemmRunner::new(Variant::Sched)
+            .params(p)
+            .faults(spec)
+            .abft(AbftPolicy::Detect)
+            .run(1.0, &a, &b, 0.0, &mut c)
+            .expect_err("Detect must surface the flip");
+        assert!(matches!(err, DgemmError::AbftMismatch { .. }));
+    });
+    assert_eq!(bundles.len(), 1);
+    let (bundle, raw) = &bundles[0];
+    let obj = bundle.as_obj().unwrap();
+    let err = obj.get("error").unwrap().as_obj().unwrap();
+    assert_eq!(
+        err.get("kind").and_then(Value::as_str),
+        Some("abft-mismatch")
+    );
+    assert!(err.contains_key("block"));
+    assert_attribution_invariant(bundle);
+
+    // The plan validated before the failure, so the timing model's
+    // critical path is in the bundle with exact cycle attribution.
+    let cp = obj
+        .get("critical_path")
+        .and_then(Value::as_obj)
+        .expect("shared-variant bundle has a critical path");
+    let makespan = cp.get("makespan_cycles").and_then(Value::as_u64).unwrap();
+    assert!(makespan > 0);
+    let segs = cp.get("segments").and_then(Value::as_arr).unwrap();
+    assert!(!segs.is_empty() && segs.len() <= 3);
+    for s in segs {
+        let o = s.as_obj().unwrap();
+        assert!(o.get("cycles").and_then(Value::as_u64).unwrap() <= makespan);
+    }
+
+    let report = render_bundle_str(raw).expect("renders");
+    assert!(report.contains("abft-mismatch"));
+    assert!(report.contains("critical path"));
+}
+
+#[test]
+fn clean_runs_and_shape_errors_emit_nothing() {
+    let a = gen::random_matrix(128, 128, 31);
+    let b = gen::random_matrix(128, 128, 32);
+
+    let bundles = with_diag_dir("clean", || {
+        let mut c = gen::random_matrix(128, 128, 33);
+        DgemmRunner::new(Variant::Pe)
+            .params(BlockingParams::test_small())
+            .run(1.0, &a, &b, 0.0, &mut c)
+            .expect("clean run succeeds");
+
+        // Shape errors never started a run: no evidence, no bundle.
+        let mut bad = gen::random_matrix(64, 64, 34);
+        let err = DgemmRunner::new(Variant::Pe)
+            .run(1.0, &a, &b, 0.0, &mut bad)
+            .expect_err("shape mismatch");
+        assert!(matches!(err, DgemmError::BadDims(_)));
+    });
+    assert!(bundles.is_empty(), "no bundles for clean/BadDims runs");
+}

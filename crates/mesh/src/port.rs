@@ -35,6 +35,7 @@ use sw_arch::consts::{MESH_RECV_BUFFER_ENTRIES, MESH_TRANSIT_CYCLES};
 use sw_arch::coord::{Coord, MESH_COLS, MESH_ROWS, N_CPES};
 use sw_arch::V256;
 use sw_faults::FaultInjector;
+use sw_probe::flight::{self, EventKind, FlightRecorder};
 use sw_probe::trace::{Tracer, TrackId};
 
 /// Default time a blocked send/receive waits before declaring the
@@ -108,6 +109,7 @@ impl Mesh {
                 sends: AtomicU64::new(0),
                 timeout,
                 trace: None,
+                flight: None,
             })
             .collect();
         Mesh {
@@ -136,6 +138,23 @@ impl Mesh {
             .expect("Mesh::set_fault_injector must be called before the ports are taken");
         for p in ports.iter_mut() {
             p.injector = Some(Arc::clone(injector));
+        }
+    }
+
+    /// Attaches the run's flight recorder: every synchronization
+    /// episode (and every injected mesh fault) is then recorded on the
+    /// owning CPE's event ring, stamped with that CPE's current clock.
+    /// The port records *events only* — mesh time is charged by the
+    /// `CpeCtx` wrappers, because kernel-driven mesh traffic is already
+    /// inside the kernel's cycle report. Like [`Mesh::set_tracer`],
+    /// must be called before the ports are taken.
+    pub fn set_flight_recorder(&self, recorder: &Arc<FlightRecorder>) {
+        let mut guard = self.ports.lock().unwrap_or_else(|e| e.into_inner());
+        let ports = guard
+            .as_mut()
+            .expect("Mesh::set_flight_recorder must be called before the ports are taken");
+        for p in ports.iter_mut() {
+            p.flight = Some(Arc::clone(recorder));
         }
     }
 
@@ -457,6 +476,10 @@ pub struct MeshPort {
     sends: AtomicU64,
     timeout: Duration,
     trace: Option<PortTrace>,
+    /// The run's black box; episodes/faults are recorded on this
+    /// port's CPE ring (events only, no time charging — see
+    /// [`Mesh::set_flight_recorder`]).
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl MeshPort {
@@ -469,6 +492,25 @@ impl MeshPort {
     fn cell(&self) -> &crate::stats::CellCounters {
         self.grid
             .cell(self.coord.row as usize, self.coord.col as usize)
+    }
+
+    /// Records one synchronization episode on this CPE's flight ring.
+    fn flight_episode(&self, col_net: bool, get: bool, outcome: u32, words: u64) {
+        if let Some(f) = &self.flight {
+            f.record(
+                self.coord.id(),
+                EventKind::MeshEpisode,
+                flight::mesh_episode_code(col_net, get, outcome),
+                words,
+            );
+        }
+    }
+
+    /// Records an injected mesh fault on this CPE's flight ring.
+    fn flight_fault(&self, code: u32, arg: u64) {
+        if let Some(f) = &self.flight {
+            f.record(self.coord.id(), EventKind::FaultDecision, code, arg);
+        }
     }
 
     fn deadlock(&self, op: &'static str, detail: std::fmt::Arguments<'_>) -> MeshError {
@@ -507,6 +549,8 @@ impl MeshPort {
                 // peers starve and the deadlock fuse trips downstream.
                 // One suppression per word, as the per-word path counts.
                 inj.note_wedge_suppressions(n_words as u64);
+                self.flight_fault(flight::fault_code::MESH_WEDGE, send_base);
+                self.flight_episode(col_net, false, flight::mesh_outcome::WEDGED, n_words as u64);
                 return Ok(());
             }
         }
@@ -533,6 +577,7 @@ impl MeshPort {
             for i in 0..links.len() {
                 if let Some(inj) = &self.injector {
                     if inj.mesh_drop(self.coord.id(), send_idx * 8 + i as u64) {
+                        self.flight_fault(flight::fault_code::MESH_DROP, send_idx * 8 + i as u64);
                         continue; // the word is lost on this link
                     }
                 }
@@ -540,6 +585,7 @@ impl MeshPort {
                     // Words 0..w completed; word w accounts nothing,
                     // matching a per-word call that errors mid-mates.
                     flush(delivered, w as u64);
+                    self.flight_episode(col_net, false, flight::mesh_outcome::DEADLOCK, w as u64);
                     return Err(self.deadlock(
                         op,
                         format_args!("blocked >{:?} (mate #{i} not draining)", self.timeout),
@@ -549,6 +595,7 @@ impl MeshPort {
             }
         }
         flush(delivered, n_words as u64);
+        self.flight_episode(col_net, false, flight::mesh_outcome::OK, n_words as u64);
         Ok(())
     }
 
@@ -587,11 +634,15 @@ impl MeshPort {
                     // summary's deadlock signature.
                     flush(got);
                     self.cell().add_starved(col_net);
+                    self.flight_episode(col_net, true, flight::mesh_outcome::STARVED, got);
                     return Err(self.deadlock(op, format_args!("starved >{:?}", self.timeout)));
                 }
             }
         }
         flush(got);
+        if n_words > 0 {
+            self.flight_episode(col_net, true, flight::mesh_outcome::OK, got);
+        }
         Ok(())
     }
 

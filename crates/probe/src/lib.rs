@@ -13,6 +13,13 @@
 //!   process-global (or local) [`metrics::Registry`] with one
 //!   snapshot/reset API and JSON/CSV export. It absorbs the previously
 //!   scattered `DmaCounters`, `MeshCounters`, and kernel-cache stats.
+//! * [`flight`] — an always-on **black-box flight recorder**: per-CPE
+//!   lock-free bounded rings of compact binary events (kernel, DMA,
+//!   mesh, barrier, fault, retry) plus the authoritative per-CPE
+//!   simulated clock with per-[`flight::Lane`] busy attribution.
+//!   Unlike the tracer it records by default; its tails feed the
+//!   diagnostics bundles `sw-dgemm` emits on structured failures
+//!   (rendered by the `sw-diagnose` bin, parsed back via [`json`]).
 //! * [`stall`] — the vocabulary for **per-pipe stall attribution** in
 //!   the `sw-isa` interpreter: every simulated cycle of a kernel run
 //!   is classified as issue, RAW stall, load-use stall, pipe conflict,
@@ -23,11 +30,14 @@
 //! is compiled out via a const generic, so the fig6 sweep regresses
 //! <2% with probes off (asserted by `engine_bench`).
 
+pub mod flight;
 pub mod gantt;
+pub mod json;
 pub mod metrics;
 pub mod stall;
 pub mod trace;
 
+pub use flight::{EventKind, FlightEvent, FlightRecorder, Lane, RingAttribution};
 pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsSnapshot, Registry};
 pub use stall::{PipeBreakdown, StallKind, StallReport};
 pub use trace::{Span, TraceData, Tracer, Track, TrackId};

@@ -156,6 +156,55 @@ impl Histogram {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) by bucket rank with
+    /// linear interpolation inside the containing bucket; `None` when
+    /// empty. The estimate lands in the same bucket as the exact
+    /// sample quantile, so its error is bounded by that bucket's width
+    /// (the unbounded overflow bucket reports its lower edge).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        histogram_quantile(&self.bounds, &self.bucket_counts(), q)
+    }
+
+    /// Adds `other`'s observations into `self`. Merging is exactly
+    /// equivalent to having recorded the union of both observation
+    /// streams. Panics if the bucket bounds differ.
+    pub fn merge_from(&self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge requires identical bucket bounds"
+        );
+        for (b, o) in self.buckets.iter().zip(other.buckets.iter()) {
+            b.fetch_add(o.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+    }
+}
+
+/// Bucket-rank quantile estimate over `(bounds, buckets)` as stored in
+/// a [`Histogram`] or a [`MetricValue::Histogram`]; see
+/// [`Histogram::quantile`] for the semantics.
+pub fn histogram_quantile(bounds: &[u64], buckets: &[u64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c > 0 && cum + c >= rank {
+            let lo = if i == 0 { 0.0 } else { bounds[i - 1] as f64 };
+            if i == bounds.len() {
+                return Some(lo); // overflow bucket: no upper edge
+            }
+            let hi = bounds[i] as f64;
+            return Some(lo + (hi - lo) * ((rank - cum) as f64 / c as f64));
+        }
+        cum += c;
+    }
+    unreachable!("rank {rank} beyond cumulative count {cum}")
 }
 
 #[derive(Debug, Clone)]
@@ -280,6 +329,56 @@ pub enum MetricValue {
     },
 }
 
+impl MetricValue {
+    /// Quantile estimate for histogram values (see
+    /// [`Histogram::quantile`]); `None` for other kinds or when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        match self {
+            MetricValue::Histogram {
+                bounds, buckets, ..
+            } => histogram_quantile(bounds, buckets, q),
+            _ => None,
+        }
+    }
+
+    /// Combines two values of the same instrument under the same name:
+    /// counters add, histograms merge bucket-wise (identical bounds
+    /// required), and gauges — point-in-time readings, not streams —
+    /// keep `other` (the later snapshot). Panics on kind mismatch.
+    fn merged(&self, other: &MetricValue) -> MetricValue {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => MetricValue::Counter(a + b),
+            (MetricValue::Gauge(_), MetricValue::Gauge(b)) => MetricValue::Gauge(*b),
+            (
+                MetricValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                },
+                MetricValue::Histogram {
+                    bounds: b2,
+                    buckets: k2,
+                    count: c2,
+                    sum: s2,
+                },
+            ) => {
+                assert_eq!(
+                    bounds, b2,
+                    "histogram merge requires identical bucket bounds"
+                );
+                MetricValue::Histogram {
+                    bounds: bounds.clone(),
+                    buckets: buckets.iter().zip(k2).map(|(a, b)| a + b).collect(),
+                    count: count + c2,
+                    sum: sum + s2,
+                }
+            }
+            _ => panic!("cannot merge metric values of different kinds"),
+        }
+    }
+}
+
 /// A point-in-time copy of a [`Registry`], sorted by metric name.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
@@ -302,6 +401,42 @@ impl MetricsSnapshot {
             MetricValue::Counter(v) => Some(*v),
             _ => None,
         }
+    }
+
+    /// Merges two snapshots name-wise: counters add, histograms merge
+    /// bucket-wise, gauges keep `other`'s reading, and names present
+    /// in only one side carry over unchanged. `merge(a, b)` equals a
+    /// snapshot of one registry that recorded both observation
+    /// streams. Panics if a shared name maps to different instrument
+    /// kinds or histogram bounds.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = Vec::with_capacity(self.entries.len().max(other.entries.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() || j < other.entries.len() {
+            let pick = match (self.entries.get(i), other.entries.get(j)) {
+                (Some((a, _)), Some((b, _))) => a.as_str().cmp(b.as_str()),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => unreachable!(),
+            };
+            match pick {
+                std::cmp::Ordering::Less => {
+                    out.push(self.entries[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.entries[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let (name, a) = &self.entries[i];
+                    out.push((name.clone(), a.merged(&other.entries[j].1)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        MetricsSnapshot { entries: out }
     }
 
     /// JSON object `{name: value, ...}`; histograms expand to an

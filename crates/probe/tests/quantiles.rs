@@ -1,0 +1,179 @@
+//! Seeded property tests for histogram quantiles and snapshot merge.
+//!
+//! Pins the two contracts the diagnostics stack leans on:
+//!
+//! * `Histogram::quantile(q)` lands in the same bucket as the exact
+//!   sample quantile, so its error is bounded by that bucket's width
+//!   (checked for p50 and p99 on random observation streams);
+//! * `merge(a, b)` — for histograms and whole snapshots — is exactly
+//!   equivalent to having recorded the union of both streams.
+
+use sw_probe::metrics::{Histogram, Registry};
+
+/// Local splitmix64 (the workspace is std-only; same idiom as
+/// `sw_dgemm::gen`).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Exact sample quantile with the same rank convention as
+/// `Histogram::quantile`: the `ceil(q·n)`-th smallest (1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The `[lo, hi]` edges of the bucket that holds `v` (buckets are
+/// `(prev_bound, bound]`, first bucket starts at 0).
+fn bucket_edges(bounds: &[u64], v: u64) -> (u64, u64) {
+    let i = bounds.partition_point(|&b| b < v);
+    assert!(
+        i < bounds.len(),
+        "test streams stay inside the bounded buckets"
+    );
+    (if i == 0 { 0 } else { bounds[i - 1] }, bounds[i])
+}
+
+#[test]
+fn quantile_error_bounded_by_bucket_width() {
+    let bounds: Vec<u64> = vec![4, 16, 64, 256, 1024, 4096, 16384];
+    let mut rng = Rng(0x5ee1);
+    for case in 0..200 {
+        let h = Histogram::new(&bounds);
+        let n = 1 + rng.below(500) as usize;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Spread across magnitudes so every bucket gets exercised,
+            // capped below the last bound to keep widths finite.
+            let magnitude = 1u64 << (2 + rng.below(13));
+            let v = rng.below(magnitude).min(16384);
+            h.observe(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.99] {
+            let est = h.quantile(q).expect("non-empty histogram");
+            let exact = exact_quantile(&samples, q);
+            let (lo, hi) = bucket_edges(&bounds, exact);
+            assert!(
+                est >= lo as f64 && est <= hi as f64,
+                "case {case}: p{} estimate {est} outside bucket [{lo}, {hi}] of exact {exact}",
+                q * 100.0,
+            );
+            assert!(
+                (est - exact as f64).abs() <= (hi - lo) as f64,
+                "case {case}: p{} error {} exceeds bucket width {}",
+                q * 100.0,
+                (est - exact as f64).abs(),
+                hi - lo,
+            );
+        }
+    }
+}
+
+#[test]
+fn quantile_edge_cases() {
+    let h = Histogram::new(&[10, 20]);
+    assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+    h.observe(5);
+    // One sample: every quantile is in its bucket (0, 10].
+    for q in [0.0, 0.5, 1.0] {
+        let est = h.quantile(q).unwrap();
+        assert!((0.0..=10.0).contains(&est));
+    }
+    // Overflow bucket reports its lower edge.
+    let o = Histogram::new(&[10]);
+    o.observe(1000);
+    assert_eq!(o.quantile(0.99), Some(10.0));
+}
+
+#[test]
+fn histogram_merge_equals_recording_the_union() {
+    let bounds: Vec<u64> = vec![8, 32, 128, 512];
+    let mut rng = Rng(0xfeed);
+    for _ in 0..100 {
+        let a = Histogram::new(&bounds);
+        let b = Histogram::new(&bounds);
+        let union = Histogram::new(&bounds);
+        for h in [&a, &b] {
+            for _ in 0..rng.below(200) {
+                let v = rng.below(1024);
+                h.observe(v);
+                union.observe(v);
+            }
+        }
+        a.merge_from(&b);
+        assert_eq!(a.bucket_counts(), union.bucket_counts());
+        assert_eq!(a.count(), union.count());
+        assert_eq!(a.sum(), union.sum());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), union.quantile(q));
+        }
+    }
+}
+
+#[test]
+fn snapshot_merge_equals_recording_the_union() {
+    let mut rng = Rng(0xcafe);
+    for _ in 0..50 {
+        let ra = Registry::new();
+        let rb = Registry::new();
+        let runion = Registry::new();
+        // Shared and one-sided instruments, randomly driven.
+        for _ in 0..rng.below(300) {
+            let (reg, mirror) = if rng.below(2) == 0 {
+                (&ra, &runion)
+            } else {
+                (&rb, &runion)
+            };
+            match rng.below(3) {
+                0 => {
+                    let name = ["ops.shared", "ops.a"][rng.below(2) as usize];
+                    let d = rng.below(10);
+                    reg.counter(name).add(d);
+                    mirror.counter(name).add(d);
+                }
+                1 => {
+                    let v = rng.below(100) as i64 - 50;
+                    reg.gauge("depth").set(v);
+                    mirror.gauge("depth").set(v);
+                }
+                _ => {
+                    let v = rng.below(600);
+                    reg.histogram("lat", &[16, 64, 256]).observe(v);
+                    mirror.histogram("lat", &[16, 64, 256]).observe(v);
+                }
+            }
+        }
+        let merged = ra.snapshot().merge(&rb.snapshot());
+        let union = runion.snapshot();
+        // Counters and histograms must match the union exactly.
+        for (name, v) in &union.entries {
+            if name == "depth" {
+                continue; // gauges are point-in-time; latest-wins below
+            }
+            assert_eq!(merged.get(name), Some(v), "mismatch for {name}");
+        }
+        // Gauge semantics: merge keeps the right-hand reading.
+        if let Some(g) = rb.snapshot().get("depth") {
+            assert_eq!(merged.get("depth"), Some(g));
+        }
+        // No phantom entries.
+        let names: Vec<_> = merged.entries.iter().map(|(n, _)| n.clone()).collect();
+        let mut expect: Vec<String> = union.entries.iter().map(|(n, _)| n.clone()).collect();
+        expect.sort();
+        assert_eq!(names, expect);
+    }
+}

@@ -46,6 +46,15 @@ pub(crate) struct CancellableBarrier {
     /// Bumped when a generation completes, releasing its waiters.
     generation: AtomicU64,
     cancelled: AtomicBool,
+    /// Simulated-clock maxima being gathered for the in-flight
+    /// generation, indexed by generation parity. While generation `g`
+    /// is collecting arrivals in slot `g & 1`, slot `(g+1) & 1` is
+    /// untouched — a `g+1` arrival is only possible after `g` released
+    /// and its last arrival zeroed the slot — so two slots suffice.
+    clocks: [AtomicU64; 2],
+    /// The released clock maximum per generation parity, published by
+    /// the last arrival before it bumps `generation`.
+    released: [AtomicU64; 2],
     /// Parking lot for stragglers; the lock guards nothing but the
     /// condvar protocol.
     lock: Mutex<()>,
@@ -59,6 +68,8 @@ impl CancellableBarrier {
             count: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
             cancelled: AtomicBool::new(false),
+            clocks: [AtomicU64::new(0), AtomicU64::new(0)],
+            released: [AtomicU64::new(0), AtomicU64::new(0)],
             lock: Mutex::new(()),
             cv: Condvar::new(),
         }
@@ -66,30 +77,56 @@ impl CancellableBarrier {
 
     /// Blocks until all `n` participants arrive (Ok) or the barrier is
     /// cancelled (Err). A cancelled barrier fails all future waits too.
+    #[cfg(test)]
     pub fn wait(&self) -> Result<(), BarrierCancelled> {
+        self.wait_clock(0).map(|_| ())
+    }
+
+    /// [`CancellableBarrier::wait`], exchanging simulated clocks: every
+    /// participant brings its own clock and all are released with the
+    /// **maximum** across the generation. The flight recorder jumps
+    /// each CPE's clock to the returned value (charging the skipped
+    /// cycles as barrier wait), which is exactly the semantics of a
+    /// lockstep `sync_all` — after it, all 64 clocks agree, making
+    /// cross-CPE event timestamps comparable.
+    pub fn wait_clock(&self, clock: u64) -> Result<u64, BarrierCancelled> {
         if self.cancelled.load(Ordering::Acquire) {
             return Err(BarrierCancelled);
         }
         let gen = self.generation.load(Ordering::Acquire);
+        let slot = (gen & 1) as usize;
+        // Deposit this participant's clock before arriving: the
+        // count RMW chain orders every deposit before the last
+        // arrival's harvest below.
+        self.clocks[slot].fetch_max(clock, Ordering::AcqRel);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
-            // Last arrival: reset the count for the next generation
-            // *before* publishing the release — a peer can only re-enter
-            // `wait` after observing the bump, so no new arrival can
-            // race the reset.
+            // Last arrival: harvest the maximum and re-zero the slot
+            // for generation gen+2 (which cannot start arriving until
+            // this release is observed), then publish it where the
+            // spinning waiters of *this* generation will look.
+            let max = self.clocks[slot].swap(0, Ordering::AcqRel);
+            self.released[slot].store(max, Ordering::Release);
+            // Reset the count for the next generation *before*
+            // publishing the release — a peer can only re-enter `wait`
+            // after observing the bump, so no new arrival can race the
+            // reset.
             self.count.store(0, Ordering::Release);
             self.generation.fetch_add(1, Ordering::Release);
             // Pair with parked waiters: taking the lock orders this
             // notify after any park-side re-check in progress.
             drop(self.lock.lock().unwrap_or_else(|e| e.into_inner()));
             self.cv.notify_all();
-            return Ok(());
+            return Ok(max);
         }
         let mut round = 0u32;
         loop {
             // A completed generation wins over a concurrent cancel,
             // matching the lock-based predecessor's semantics.
             if self.generation.load(Ordering::Acquire) != gen {
-                return Ok(());
+                // The Acquire load above synchronizes with the
+                // generation bump, which the releaser ordered after
+                // the `released` publish.
+                return Ok(self.released[slot].load(Ordering::Acquire));
             }
             if self.cancelled.load(Ordering::Acquire) {
                 return Err(BarrierCancelled);
@@ -194,6 +231,25 @@ mod tests {
             }
         });
         assert_eq!(inside.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn wait_clock_releases_every_generation_maximum() {
+        // 4 participants, 200 generations; participant p brings clock
+        // g*10 + p, so every release must return g*10 + 3 — including
+        // across the parity flip between adjacent generations.
+        let b = CancellableBarrier::new(4);
+        std::thread::scope(|s| {
+            for p in 0..4u64 {
+                let b = &b;
+                s.spawn(move || {
+                    for g in 0..200u64 {
+                        let got = b.wait_clock(g * 10 + p).unwrap();
+                        assert_eq!(got, g * 10 + 3, "participant {p} generation {g}");
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -35,6 +35,7 @@ use sw_isa::{compile_if_hot, CommPort, EngineBackend, ExecReport, Instr, Machine
 use sw_mem::dma::{self, BandwidthModel, MatRegion, Receipt};
 use sw_mem::{Ldm, LdmBuf, MainMemory, MemError};
 use sw_mesh::{Mesh, MeshError, MeshGridStats, MeshPort, MeshTransport};
+use sw_probe::flight::{self, EventKind, FlightRecorder, Lane};
 use sw_probe::metrics::Histogram;
 use sw_probe::trace::{Tracer, TrackId};
 
@@ -180,6 +181,9 @@ pub struct CoreGroup {
     /// Fault oracle consulted by DMA wrappers and mesh ports; `None`
     /// (the default) adds no work to any hot path.
     injector: Option<Arc<FaultInjector>>,
+    /// The always-on black box: per-CPE event rings plus the
+    /// authoritative per-CPE simulated clocks and busy-lane ledgers.
+    flight: Arc<FlightRecorder>,
 }
 
 impl Default for CoreGroup {
@@ -201,7 +205,17 @@ impl CoreGroup {
             tracer: Tracer::disabled(),
             model: BandwidthModel::calibrated(),
             injector: None,
+            flight: FlightRecorder::new(),
         }
+    }
+
+    /// The core group's flight recorder: always recording (unless
+    /// disabled via [`sw_probe::flight::FlightRecorder::set_enabled`]),
+    /// accumulating across runs until [`sw_probe::flight::
+    /// FlightRecorder::reset`]. Its clocks are the time base of every
+    /// traced span and recorded event.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
     }
 
     /// Shortens the mesh deadlock fuse (tests of failure paths).
@@ -282,6 +296,7 @@ impl CoreGroup {
         let pool = self.pool.get_or_insert_with(|| CpePool::new(N_CPES));
         let mesh = Mesh::with_transport(self.mesh_timeout, self.mesh_transport);
         mesh.set_tracer(&self.tracer);
+        mesh.set_flight_recorder(&self.flight);
         if let Some(inj) = &self.injector {
             mesh.set_fault_injector(inj);
         }
@@ -310,6 +325,7 @@ impl CoreGroup {
         let injector = self.injector.as_ref();
         let mesh_path = self.mesh_path;
         let engine_backend = self.engine_backend;
+        let flight = &*self.flight;
         let panics = pool.try_run(&|i: usize| {
             let port = ports[i]
                 .lock()
@@ -330,8 +346,8 @@ impl CoreGroup {
                 injector,
                 mesh_path,
                 engine_backend,
+                flight,
                 dma_ops: 0,
-                clock: 0,
             };
             f(&mut ctx);
         });
@@ -386,31 +402,46 @@ pub struct CpeCtx<'a> {
     injector: Option<&'a Arc<FaultInjector>>,
     mesh_path: MeshPath,
     engine_backend: EngineBackend,
+    /// The run's flight recorder. It owns this CPE's simulated-time
+    /// cursor: DMA, kernel, mesh, and barrier episodes advance the
+    /// clock by their modelled duration, each charged to exactly one
+    /// [`Lane`], so per CPE `clock == Σ busy lanes` at all times.
+    /// Barriers exchange clock maxima, keeping the 64 timelines
+    /// globally comparable (resource contention between CPEs remains
+    /// the timing DAG's job, not the functional runtime's).
+    flight: &'a FlightRecorder,
     /// DMA operations issued by this CPE this run (the injector's
     /// deterministic per-operation coordinate).
     dma_ops: u64,
-    /// This CPE's simulated-time cursor: DMA and kernel spans advance
-    /// it by their modelled duration, giving every CPE a consistent
-    /// private timeline (resource contention between CPEs is the
-    /// timing DAG's job, not the functional runtime's).
-    clock: u64,
 }
 
 impl<'a> CpeCtx<'a> {
-    /// Counts a completed DMA receipt and, when tracing, charges it to
-    /// this CPE's timeline.
+    /// This CPE's flight-recorder ring index.
+    #[inline]
+    fn ring(&self) -> usize {
+        self.coord.id()
+    }
+
+    /// Counts a completed DMA receipt, charges its modelled duration
+    /// to the DMA lane, records the issue/complete event pair, and,
+    /// when tracing, emits the span.
     fn note_dma(&mut self, name: &'static str, r: &Receipt) {
         self.counters.record(r.mode, r.bytes_cpe as u64);
         self.bytes_hist.observe(r.bytes_cpe as u64);
+        let code = flight::dma_op_code(name);
+        self.flight
+            .record(self.ring(), EventKind::DmaIssue, code, r.bytes_cpe as u64);
+        let cycles = self.model.receipt_cycles(r);
+        let (t0, t1) = self.flight.advance(self.ring(), Lane::Dma, cycles);
+        self.flight
+            .record_at(self.ring(), t1, EventKind::DmaComplete, code, cycles);
         if self.tracer.is_enabled() {
-            let t0 = self.clock;
-            self.clock = t0 + self.model.receipt_cycles(r);
             self.tracer.span_args(
                 self.track,
                 "dma",
                 name,
                 t0,
-                self.clock,
+                t1,
                 &[("bytes", r.bytes_cpe as u64)],
             );
         }
@@ -434,20 +465,41 @@ impl<'a> CpeCtx<'a> {
         })
     }
 
+    /// The shared body of both barrier wrappers: exchanges clocks at
+    /// the barrier (everyone leaves with the generation's maximum),
+    /// charges the skipped cycles to the barrier lane, and records the
+    /// arrive/release event pair. `scope` is 0 for `sync_all`, 1 for
+    /// `sync_row` (the event `code`).
+    fn sync_on(&self, b: &crate::barrier::CancellableBarrier, scope: u32) {
+        let ring = self.ring();
+        let arrived = self.flight.clock(ring);
+        self.flight
+            .record_at(ring, arrived, EventKind::BarrierArrive, scope, 0);
+        match b.wait_clock(arrived) {
+            Ok(released) => {
+                let waited = self.flight.jump_to(ring, Lane::Barrier, released);
+                self.flight.record_at(
+                    ring,
+                    released.max(arrived),
+                    EventKind::BarrierRelease,
+                    scope,
+                    waited,
+                );
+            }
+            Err(_) => self.cancelled(),
+        }
+    }
+
     /// Barrier over all 64 CPEs (the `sync` of Algorithms 1–2).
     /// Unwinds (with a `Cancelled` abort) if a peer aborted the run.
     pub fn sync_all(&self) {
-        if self.sync.all.wait().is_err() {
-            self.cancelled();
-        }
+        self.sync_on(&self.sync.all, 0);
     }
 
     /// Barrier over the 8 CPEs of this CPE's mesh row (required by
     /// `ROW_MODE` DMA).
     pub fn sync_row(&self) {
-        if self.sync.rows[self.coord.row as usize].wait().is_err() {
-            self.cancelled();
-        }
+        self.sync_on(&self.sync.rows[self.coord.row as usize], 1);
     }
 
     /// The shared retry loop of every DMA wrapper. Consults the fault
@@ -475,6 +527,12 @@ impl<'a> CpeCtx<'a> {
         loop {
             let fault = inj.dma_fault(self.coord.id(), op_idx, retry);
             if fault == Some(DmaFault::Transient) {
+                self.flight.record(
+                    self.ring(),
+                    EventKind::FaultDecision,
+                    flight::fault_code::DMA_TRANSIENT,
+                    op_idx,
+                );
                 if retry >= budget {
                     inj.note_retry_exhausted();
                     return Err(MemError::RetryBudgetExhausted {
@@ -482,17 +540,33 @@ impl<'a> CpeCtx<'a> {
                         what: format!("{name} (CPE {}, op {op_idx})", self.coord),
                     });
                 }
-                self.clock += DMA_RETRY_BACKOFF_CYCLES << retry;
+                self.flight
+                    .advance(self.ring(), Lane::Dma, DMA_RETRY_BACKOFF_CYCLES << retry);
                 retry += 1;
+                self.flight
+                    .record(self.ring(), EventKind::RetryAttempt, retry, op_idx);
                 continue;
             }
             let r = op(self)?;
             self.note_dma(name, &r);
             if let Some(buf) = buf {
                 if let Some(f) = fault {
+                    let code = match f {
+                        DmaFault::Transient => unreachable!("handled above"),
+                        DmaFault::BitFlip { .. } => flight::fault_code::DMA_BITFLIP,
+                        DmaFault::Truncate { .. } => flight::fault_code::DMA_TRUNCATE,
+                    };
+                    self.flight
+                        .record(self.ring(), EventKind::FaultDecision, code, op_idx);
                     apply_payload_fault(f, self.ldm.slice_mut(buf));
                 }
                 if let Some((word, bit)) = inj.ldm_fault(self.coord.id(), op_idx) {
+                    self.flight.record(
+                        self.ring(),
+                        EventKind::FaultDecision,
+                        flight::fault_code::LDM_BITFLIP,
+                        op_idx,
+                    );
                     apply_ldm_flip(word, bit, self.ldm.slice_mut(buf));
                 }
             }
@@ -562,11 +636,26 @@ impl<'a> CpeCtx<'a> {
         self.abort(CpeError::Mesh(e))
     }
 
+    /// Charges an `n_words` mesh episode to this CPE's mesh lane.
+    /// Only the `CpeCtx` wrappers (variant strip steps) charge mesh
+    /// time — mesh traffic driven from inside a kernel is already part
+    /// of the kernel's cycle report, so charging it again would double
+    /// count; the port still records the episode *event* either way.
+    #[inline]
+    fn charge_mesh(&self, n_words: usize) {
+        self.flight.advance(
+            self.ring(),
+            Lane::Mesh,
+            n_words as u64 * sw_arch::consts::MESH_TRANSIT_CYCLES,
+        );
+    }
+
     /// Row broadcast that aborts the run (structured) on deadlock.
     pub fn mesh_row_bcast(&self, v: sw_arch::V256) {
         if let Err(e) = self.port.row_bcast(v) {
             self.mesh_fail(e);
         }
+        self.charge_mesh(1);
     }
 
     /// Column broadcast that aborts the run on deadlock.
@@ -574,12 +663,16 @@ impl<'a> CpeCtx<'a> {
         if let Err(e) = self.port.col_bcast(v) {
             self.mesh_fail(e);
         }
+        self.charge_mesh(1);
     }
 
     /// Row receive that aborts the run on starvation.
     pub fn mesh_getr(&self) -> sw_arch::V256 {
         match self.port.getr() {
-            Ok(v) => v,
+            Ok(v) => {
+                self.charge_mesh(1);
+                v
+            }
             Err(e) => self.mesh_fail(e),
         }
     }
@@ -587,7 +680,10 @@ impl<'a> CpeCtx<'a> {
     /// Column receive that aborts the run on starvation.
     pub fn mesh_getc(&self) -> sw_arch::V256 {
         match self.port.getc() {
-            Ok(v) => v,
+            Ok(v) => {
+                self.charge_mesh(1);
+                v
+            }
             Err(e) => self.mesh_fail(e),
         }
     }
@@ -605,6 +701,7 @@ impl<'a> CpeCtx<'a> {
         if let Err(e) = self.port.row_bcast_words(words) {
             self.mesh_fail(e);
         }
+        self.charge_mesh(words.len());
     }
 
     /// Batched column broadcast of a word group; aborts the run on
@@ -613,6 +710,7 @@ impl<'a> CpeCtx<'a> {
         if let Err(e) = self.port.col_bcast_words(words) {
             self.mesh_fail(e);
         }
+        self.charge_mesh(words.len());
     }
 
     /// Batched row receive into a word group; aborts on starvation.
@@ -620,6 +718,7 @@ impl<'a> CpeCtx<'a> {
         if let Err(e) = self.port.getr_words(out) {
             self.mesh_fail(e);
         }
+        self.charge_mesh(out.len());
     }
 
     /// Batched column receive into a word group; aborts on starvation.
@@ -627,6 +726,7 @@ impl<'a> CpeCtx<'a> {
         if let Err(e) = self.port.getc_words(out) {
             self.mesh_fail(e);
         }
+        self.charge_mesh(out.len());
     }
 
     /// Batched row-panel broadcast (`&[f64]`, length a multiple of 4);
@@ -635,6 +735,7 @@ impl<'a> CpeCtx<'a> {
         if let Err(e) = self.port.row_bcast_panel(panel) {
             self.mesh_fail(e);
         }
+        self.charge_mesh(panel.len() / 4);
     }
 
     /// Batched column-panel broadcast; aborts the run on deadlock.
@@ -642,6 +743,7 @@ impl<'a> CpeCtx<'a> {
         if let Err(e) = self.port.col_bcast_panel(panel) {
             self.mesh_fail(e);
         }
+        self.charge_mesh(panel.len() / 4);
     }
 
     /// Batched panel receive from the row (`col_net == false`) or
@@ -650,6 +752,7 @@ impl<'a> CpeCtx<'a> {
         if let Err(e) = self.port.get_panel(col_net, out) {
             self.mesh_fail(e);
         }
+        self.charge_mesh(out.len() / 4);
     }
 
     /// Executes an ISA kernel stream against this CPE's LDM and mesh
@@ -660,6 +763,8 @@ impl<'a> CpeCtx<'a> {
     pub fn run_kernel(&mut self, prog: &[Instr]) -> ExecReport {
         #[cfg(debug_assertions)]
         lint_gate::check(prog);
+        self.flight
+            .record(self.ring(), EventKind::KernelStart, 0, prog.len() as u64);
         let mut comm = MeshComm {
             port: &self.port,
             sync: self.sync,
@@ -674,15 +779,18 @@ impl<'a> CpeCtx<'a> {
                 None => machine.run(prog),
             },
         };
+        let (t0, t1) = self
+            .flight
+            .advance(self.ring(), Lane::Compute, report.cycles);
+        self.flight
+            .record_at(self.ring(), t1, EventKind::KernelEnd, 0, report.cycles);
         if self.tracer.is_enabled() {
-            let t0 = self.clock;
-            self.clock = t0 + report.cycles;
             self.tracer.span_args(
                 self.track,
                 "compute",
                 "kernel",
                 t0,
-                self.clock,
+                t1,
                 &[("instructions", report.instructions)],
             );
         }

@@ -29,5 +29,8 @@ pub mod timing;
 pub use core_group::{CoreGroup, CpeAbort, CpeCtx, CpeError, MeshPath, RunError};
 pub use stats::{DmaTotals, RunStats};
 pub use sw_mesh::MeshTransport;
+pub use sw_probe::flight::{FlightRecorder, Lane};
 pub use sw_probe::trace::{TraceData, Tracer};
-pub use timing::{Dag, Resource, TaskId, TaskTrace, TimingResult};
+pub use timing::{
+    CritBound, CritSegment, CriticalPath, Dag, Resource, TaskId, TaskTrace, TimingResult,
+};

@@ -222,6 +222,178 @@ impl Dag {
     }
 }
 
+impl Dag {
+    /// Extracts the **critical path**: the chain of tasks in which each
+    /// one's start time was decided by its predecessor's finish —
+    /// either a declared dependence or the previous occupant of its
+    /// serial resource — walked back from the task that achieves the
+    /// makespan. Because the scheduler sets `start = max(deps finish,
+    /// resource free)`, the binding predecessor always finishes exactly
+    /// when the successor starts, so the returned segments tile
+    /// `[0, makespan]` with no gaps and their durations sum exactly to
+    /// the makespan (the causal analogue of the interpreter's
+    /// stall-attribution invariant).
+    pub fn critical_path(&self) -> CriticalPath {
+        let n = self.tasks.len();
+        let mut finish = vec![0u64; n];
+        // The decision that fixed each task's start time.
+        let mut binding: Vec<CritBound> = vec![CritBound::RunStart; n];
+        let mut dma_free = 0u64;
+        let mut cpes_free = 0u64;
+        let mut last_dma = u32::MAX;
+        let mut last_cpes = u32::MAX;
+        let mut makespan = 0u64;
+        let mut crit_end = usize::MAX;
+        for (i, t) in self.tasks.iter().enumerate() {
+            let mut ready = 0u64;
+            let mut bind_dep = u32::MAX;
+            for &d in t.deps() {
+                if finish[d as usize] > ready || bind_dep == u32::MAX {
+                    ready = ready.max(finish[d as usize]);
+                    if finish[d as usize] == ready {
+                        bind_dep = d;
+                    }
+                }
+            }
+            let (rfree, rlast) = match t.resource {
+                Resource::Dma => (dma_free, last_dma),
+                Resource::Cpes => (cpes_free, last_cpes),
+                Resource::None => (0, u32::MAX),
+            };
+            let start = ready.max(rfree);
+            binding[i] = if start == 0 {
+                CritBound::RunStart
+            } else if ready == start && bind_dep != u32::MAX {
+                // Ties between a dependence and the resource queue go
+                // to the dependence: it is the causal edge.
+                CritBound::Dependence(bind_dep)
+            } else {
+                debug_assert!(rlast != u32::MAX, "resource-bound task with idle resource");
+                CritBound::ResourceQueue(rlast)
+            };
+            let end = start + t.duration;
+            match t.resource {
+                Resource::Dma => {
+                    dma_free = end;
+                    last_dma = i as u32;
+                }
+                Resource::Cpes => {
+                    cpes_free = end;
+                    last_cpes = i as u32;
+                }
+                Resource::None => {}
+            }
+            finish[i] = end;
+            if end > makespan || crit_end == usize::MAX {
+                makespan = end;
+                crit_end = i;
+            }
+        }
+        let mut segments = Vec::new();
+        if crit_end != usize::MAX {
+            // Walk the binding chain back to cycle 0. Predecessor
+            // indices strictly decrease (both edge kinds point at
+            // earlier tasks), so this terminates.
+            let mut cur = crit_end;
+            loop {
+                let t = &self.tasks[cur];
+                let end = finish[cur];
+                segments.push(CritSegment {
+                    label: t.label,
+                    resource: t.resource,
+                    start: end - t.duration,
+                    end,
+                    bound: binding[cur],
+                });
+                match binding[cur] {
+                    CritBound::RunStart => break,
+                    CritBound::Dependence(p) | CritBound::ResourceQueue(p) => cur = p as usize,
+                }
+            }
+            segments.reverse();
+        }
+        CriticalPath {
+            makespan_cycles: makespan,
+            segments,
+        }
+    }
+}
+
+/// What fixed a critical-path task's start time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CritBound {
+    /// Started at cycle 0 — nothing before it.
+    RunStart,
+    /// Waited for the declared dependence with this task index.
+    Dependence(u32),
+    /// Waited for its serial resource, last held by this task index.
+    ResourceQueue(u32),
+}
+
+/// One link of the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CritSegment {
+    /// The label given at [`Dag::task`] time.
+    pub label: &'static str,
+    /// Resource the task occupied.
+    pub resource: Resource,
+    /// Start cycle (equals the previous segment's `end`).
+    pub start: Cycles,
+    /// End cycle.
+    pub end: Cycles,
+    /// Why the task started no earlier.
+    pub bound: CritBound,
+}
+
+impl CritSegment {
+    /// Segment duration in cycles.
+    pub fn cycles(&self) -> Cycles {
+        self.end - self.start
+    }
+}
+
+/// The longest dependency chain of a scheduled [`Dag`], tiling
+/// `[0, makespan]` exactly.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// End-to-end cycles (same value [`Dag::schedule`] reports).
+    pub makespan_cycles: Cycles,
+    /// Chronological chain; `segments[0].start == 0`, each segment
+    /// starts where the previous ended, and the last ends at
+    /// `makespan_cycles`. Empty only for an empty DAG.
+    pub segments: Vec<CritSegment>,
+}
+
+impl CriticalPath {
+    /// Cycles spent on `resource` along the path; the three resources
+    /// sum exactly to `makespan_cycles`.
+    pub fn resource_cycles(&self, resource: Resource) -> Cycles {
+        self.segments
+            .iter()
+            .filter(|s| s.resource == resource)
+            .map(|s| s.cycles())
+            .sum()
+    }
+
+    /// The path's segments aggregated by `(label, resource)`, sorted by
+    /// total cycles descending — "what should I optimize first". Each
+    /// entry is `(label, resource, total cycles, occurrence count)`.
+    pub fn top_segments(&self, n: usize) -> Vec<(&'static str, Resource, Cycles, usize)> {
+        let mut agg: Vec<(&'static str, Resource, Cycles, usize)> = Vec::new();
+        for s in &self.segments {
+            if let Some(e) = agg.iter_mut().find(|e| e.0 == s.label && e.1 == s.resource) {
+                e.2 += s.cycles();
+                e.3 += 1;
+            } else {
+                agg.push((s.label, s.resource, s.cycles(), 1));
+            }
+        }
+        agg.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+        agg.truncate(n);
+        agg
+    }
+}
+
 /// One scheduled task interval, as reported by [`Dag::trace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaskTrace {
@@ -370,6 +542,138 @@ mod tests {
         let (r2, _) = d.emit_trace(&off);
         assert_eq!(r2, r);
         assert!(off.take().is_empty());
+    }
+
+    fn assert_path_tiles(d: &Dag) {
+        let cp = d.critical_path();
+        let r = d.schedule();
+        assert_eq!(cp.makespan_cycles, r.makespan_cycles);
+        let total: u64 = cp.segments.iter().map(|s| s.cycles()).sum();
+        assert_eq!(
+            total, cp.makespan_cycles,
+            "segments must sum to the makespan"
+        );
+        if d.is_empty() {
+            assert!(cp.segments.is_empty());
+            return;
+        }
+        assert_eq!(cp.segments[0].start, 0);
+        assert_eq!(cp.segments.last().unwrap().end, cp.makespan_cycles);
+        for w in cp.segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "critical path must have no gaps");
+        }
+        let by_resource = cp.resource_cycles(Resource::Dma)
+            + cp.resource_cycles(Resource::Cpes)
+            + cp.resource_cycles(Resource::None);
+        assert_eq!(by_resource, cp.makespan_cycles);
+    }
+
+    #[test]
+    fn critical_path_of_serial_chain() {
+        let mut d = Dag::new();
+        let a = d.task(Resource::Dma, 100, &[], "load");
+        let b = d.task(Resource::Cpes, 200, &[a], "compute");
+        let _c = d.task(Resource::Dma, 50, &[b], "store");
+        assert_path_tiles(&d);
+        let cp = d.critical_path();
+        let labels: Vec<_> = cp.segments.iter().map(|s| s.label).collect();
+        assert_eq!(labels, vec!["load", "compute", "store"]);
+        assert!(matches!(cp.segments[1].bound, CritBound::Dependence(0)));
+    }
+
+    #[test]
+    fn critical_path_skips_hidden_dma() {
+        // Double buffering: load1 hides under compute0 and must NOT be
+        // on the path; compute1 chains off compute0 via the CPE queue
+        // (the declared dep on compute0 binds — same finish, causal).
+        let mut d = Dag::new();
+        let l0 = d.task(Resource::Dma, 100, &[], "load0");
+        let _l1 = d.task(Resource::Dma, 100, &[], "load1");
+        let c0 = d.task(Resource::Cpes, 300, &[l0], "compute0");
+        let _c1 = d.task(Resource::Cpes, 300, &[_l1, c0], "compute1");
+        assert_path_tiles(&d);
+        let cp = d.critical_path();
+        let labels: Vec<_> = cp.segments.iter().map(|s| s.label).collect();
+        assert_eq!(labels, vec!["load0", "compute0", "compute1"]);
+        assert_eq!(cp.resource_cycles(Resource::Dma), 100);
+        assert_eq!(cp.resource_cycles(Resource::Cpes), 600);
+    }
+
+    #[test]
+    fn critical_path_follows_resource_queue() {
+        // Two independent DMA tasks: the second is bound by the DMA
+        // channel, not by any dependence.
+        let mut d = Dag::new();
+        d.task(Resource::Dma, 100, &[], "a");
+        d.task(Resource::Dma, 150, &[], "b");
+        assert_path_tiles(&d);
+        let cp = d.critical_path();
+        assert_eq!(cp.segments.len(), 2);
+        assert!(matches!(cp.segments[1].bound, CritBound::ResourceQueue(0)));
+    }
+
+    #[test]
+    fn critical_path_of_empty_dag() {
+        let d = Dag::new();
+        let cp = d.critical_path();
+        assert_eq!(cp.makespan_cycles, 0);
+        assert!(cp.segments.is_empty());
+    }
+
+    #[test]
+    fn top_segments_aggregate_by_label() {
+        let mut d = Dag::new();
+        let mut prev = d.task(Resource::Dma, 10, &[], "load");
+        for _ in 0..3 {
+            let c = d.task(Resource::Cpes, 100, &[prev], "compute");
+            prev = d.task(Resource::Dma, 10, &[c], "load");
+        }
+        let cp = d.critical_path();
+        let top = cp.top_segments(2);
+        assert_eq!(top[0].0, "compute");
+        assert_eq!(top[0].2, 300);
+        assert_eq!(top[0].3, 3);
+        assert_eq!(top[1].0, "load");
+        assert_eq!(top[1].2, 40);
+        assert_eq!(top[1].3, 4);
+    }
+
+    /// Property: on random DAGs the critical path tiles `[0, makespan]`
+    /// exactly — same invariant style as the stall-attribution suite.
+    #[test]
+    fn critical_path_attribution_sums_exactly_on_random_dags() {
+        // Local splitmix64; the workspace is std-only.
+        let mut state = 0x0dd5_beefu64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..300 {
+            let mut d = Dag::new();
+            let mut ids = Vec::new();
+            let n = 1 + (next() % 60) as usize;
+            for i in 0..n {
+                let resource = match next() % 3 {
+                    0 => Resource::Dma,
+                    1 => Resource::Cpes,
+                    _ => Resource::None,
+                };
+                // Zero durations included on purpose: degenerate tasks
+                // must not break the tiling.
+                let duration = next() % 100;
+                let mut deps = Vec::new();
+                if i > 0 {
+                    for _ in 0..(next() % (MAX_TASK_DEPS as u64 + 1)) {
+                        deps.push(ids[(next() % i as u64) as usize]);
+                    }
+                }
+                ids.push(d.task(resource, duration, &deps, "t"));
+            }
+            assert_path_tiles(&d);
+        }
     }
 
     #[test]
