@@ -1,0 +1,488 @@
+//! Vector clocks, per-location store histories, and the
+//! happens-before engine.
+//!
+//! Every model thread carries a [`VClock`]; every visible operation
+//! ticks the acting thread's own component. Synchronization edges —
+//! acquire loads observing release stores (and their C11 release
+//! sequences), mutex acquire/release pairs, spawn and join — merge
+//! clocks with [`VClock::join`]. On top of the clocks sit two
+//! detectors:
+//!
+//! * **Data races on plain memory** ([`LocState::cell_read`] /
+//!   [`LocState::cell_write`]): FastTrack-style — a read races with a
+//!   write that does not happen-before it; a write races with any
+//!   unordered prior read or write.
+//! * **Weak-memory value simulation** ([`LocState::load_eligible`]):
+//!   an atomic load may observe any store not excluded by coherence
+//!   or happens-before, so a `Relaxed` publication really can hand a
+//!   reader a stale value — the checker explores those executions
+//!   instead of assuming sequential consistency. Acquire loads that
+//!   pick a store carrying a release clock merge it; `Relaxed` loads
+//!   merge nothing, which is exactly what lets the race detector
+//!   distinguish a correct `Release` publish from an (injected)
+//!   incorrect `Relaxed` one.
+
+use std::sync::atomic::Ordering;
+
+/// A vector clock over model-thread ids. Component `t` counts the
+/// visible operations of thread `t` that happen-before the owner.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Increments the owner's own component.
+    pub fn tick(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    /// Sets component `t` to `max(current, v)`.
+    pub fn raise(&mut self, t: usize, v: u64) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = self.0[t].max(v);
+    }
+
+    /// Number of components tracked so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Component-wise maximum: the happens-before merge.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, o) in self.0.iter_mut().zip(other.0.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// `self ⊑ other`: everything the owner has seen, `other` has too.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(t, &v)| v <= other.get(t))
+    }
+}
+
+/// True for orderings that perform an acquire on a load/RMW.
+pub(crate) fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// True for orderings that perform a release on a store/RMW.
+pub(crate) fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// One element of an atomic location's modification order.
+#[derive(Clone, Debug)]
+pub(crate) struct StoreElem {
+    pub val: u64,
+    /// Writer's clock at the store (after its tick). The pre-model
+    /// initial value uses an empty clock, which happens-before
+    /// everything.
+    pub vc: VClock,
+    /// The release-sequence clock an acquire load of this element
+    /// merges: the head release store's clock, joined with the clocks
+    /// of any release RMWs along the sequence. `None` once a plain
+    /// non-release store broke the sequence (post-C++17 rules: only
+    /// RMWs extend someone else's release sequence).
+    pub sync: Option<VClock>,
+}
+
+/// What kind of shared object lives at an address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LocKind {
+    Atomic,
+    Cell,
+    Mutex,
+    Condvar,
+}
+
+impl LocKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            LocKind::Atomic => "atomic",
+            LocKind::Cell => "cell",
+            LocKind::Mutex => "mutex",
+            LocKind::Condvar => "condvar",
+        }
+    }
+}
+
+/// A detected data race: two unordered conflicting plain accesses.
+#[derive(Clone, Debug)]
+pub(crate) struct RaceInfo {
+    /// Step index of the earlier access in the execution trace.
+    pub prior_step: usize,
+    /// Thread that performed the earlier access.
+    pub prior_thread: usize,
+    /// Whether the earlier access was a write.
+    pub prior_write: bool,
+}
+
+/// Checker-side state of one shared location (atomic, cell, mutex, or
+/// condvar — each uses the subset of fields its kind needs).
+#[derive(Debug)]
+pub(crate) struct LocState {
+    /// Display id, assigned in first-touch order (deterministic under
+    /// a fixed schedule, unlike the address used as the map key).
+    pub id: usize,
+    pub kind: LocKind,
+
+    // Atomic: modification order + per-thread coherence floors.
+    pub stores: Vec<StoreElem>,
+    /// Per thread: index of the last store read (or written) — a later
+    /// load may never observe anything older (read coherence).
+    last_read: Vec<usize>,
+    /// Per thread: `stores.len()` when stale alternatives were last
+    /// offered, so an unchanged history never re-branches — this is
+    /// what keeps spin loops (`while x.load() == 0`) finite: after one
+    /// stale branch, re-reads observe the newest store until a new
+    /// store arrives.
+    branched_at: Vec<usize>,
+
+    // Cell: FastTrack race-detection state.
+    /// Last write as (thread, component, trace step).
+    write_epoch: Option<(usize, u64, usize)>,
+    /// Clock of reads since the last write.
+    read_vc: VClock,
+    /// Per thread: trace step of its last read (for race reports).
+    read_step: Vec<usize>,
+
+    // Mutex.
+    pub owner: Option<usize>,
+    pub unlock_clock: VClock,
+
+    // Condvar: parked (thread, woken-by-timeout-at) queue in park
+    // order.
+    pub cv_waiters: Vec<(usize, Option<u64>)>,
+}
+
+fn slot<T: Clone + Default>(v: &mut Vec<T>, t: usize) -> &mut T {
+    if v.len() <= t {
+        v.resize(t + 1, T::default());
+    }
+    &mut v[t]
+}
+
+impl LocState {
+    pub fn new(id: usize, kind: LocKind, init: Option<u64>) -> Self {
+        LocState {
+            id,
+            kind,
+            stores: init
+                .map(|val| {
+                    vec![StoreElem {
+                        val,
+                        vc: VClock::default(),
+                        sync: None,
+                    }]
+                })
+                .unwrap_or_default(),
+            last_read: Vec::new(),
+            branched_at: Vec::new(),
+            write_epoch: None,
+            read_vc: VClock::default(),
+            read_step: Vec::new(),
+            owner: None,
+            unlock_clock: VClock::default(),
+            cv_waiters: Vec::new(),
+        }
+    }
+
+    /// The store indices a load by `t` (whose clock is `clock`) may
+    /// observe, oldest first. The newest store is always eligible; an
+    /// older store `i` is excluded once some newer store happens-before
+    /// the load, or once `t`'s coherence floor passed it.
+    pub fn load_eligible(&self, t: usize, clock: &VClock) -> Vec<usize> {
+        let floor = self.last_read.get(t).copied().unwrap_or(0);
+        let n = self.stores.len();
+        let mut out = Vec::new();
+        for i in floor..n {
+            let superseded = (i + 1..n).any(|j| self.stores[j].vc.leq(clock));
+            if !superseded {
+                out.push(i);
+            }
+        }
+        debug_assert!(out.contains(&(n - 1)), "newest store must be eligible");
+        out
+    }
+
+    /// Picks the store a load observes. `forced` replays an explorer
+    /// choice (a stale read branched to on an earlier path); otherwise
+    /// the newest eligible store is read. Stale choices are one-shot:
+    /// the next load of the same unchanged history reads the newest
+    /// store again (eventual visibility), which keeps spin loops
+    /// finite. Returns `(index, fresh_alternatives)` where the
+    /// alternatives are stale indices the explorer may branch to
+    /// (empty when `weak` is off, the ordering is `SeqCst`, or the
+    /// history did not change since this thread last branched).
+    pub fn load_choice(
+        &mut self,
+        t: usize,
+        clock: &VClock,
+        ord: Ordering,
+        weak: bool,
+        forced: Option<usize>,
+    ) -> (usize, Vec<usize>) {
+        let eligible = self.load_eligible(t, clock);
+        let newest = *eligible.last().expect("location has no stores");
+        if let Some(i) = forced {
+            let i = if eligible.contains(&i) { i } else { newest };
+            *slot(&mut self.branched_at, t) = self.stores.len();
+            return (i, Vec::new());
+        }
+        let may_branch = weak
+            && ord != Ordering::SeqCst
+            && self.stores.len() > self.branched_at.get(t).copied().unwrap_or(0);
+        let alts = if may_branch {
+            *slot(&mut self.branched_at, t) = self.stores.len();
+            eligible[..eligible.len() - 1].to_vec()
+        } else {
+            Vec::new()
+        };
+        (newest, alts)
+    }
+
+    /// Commits a load of store `i` by `t`: advances the coherence
+    /// floor and, for acquire loads, merges the store's release clock.
+    pub fn commit_load(&mut self, t: usize, clock: &mut VClock, ord: Ordering, i: usize) -> u64 {
+        *slot(&mut self.last_read, t) = i;
+        let elem = &self.stores[i];
+        if is_acquire(ord) {
+            if let Some(sync) = &elem.sync {
+                clock.join(sync);
+            }
+        }
+        elem.val
+    }
+
+    /// Appends a plain store: heads a new release sequence when
+    /// `release`, otherwise breaks the current one.
+    pub fn store(&mut self, t: usize, clock: &VClock, ord: Ordering, val: u64) {
+        self.stores.push(StoreElem {
+            val,
+            vc: clock.clone(),
+            sync: is_release(ord).then(|| clock.clone()),
+        });
+        *slot(&mut self.last_read, t) = self.stores.len() - 1;
+    }
+
+    /// Appends an RMW element: reads the newest store (RMWs always act
+    /// on the head of the modification order), continues its release
+    /// sequence, and adds this thread's clock when the RMW releases.
+    /// Returns the value read.
+    pub fn rmw(&mut self, t: usize, clock: &mut VClock, ord: Ordering, new_val: u64) -> u64 {
+        let old = self.stores.last().expect("location has no stores").clone();
+        if is_acquire(ord) {
+            if let Some(sync) = &old.sync {
+                clock.join(sync);
+            }
+        }
+        let sync = if is_release(ord) {
+            let mut s = clock.clone();
+            if let Some(prev) = &old.sync {
+                s.join(prev);
+            }
+            Some(s)
+        } else {
+            old.sync.clone()
+        };
+        self.stores.push(StoreElem {
+            val: new_val,
+            vc: clock.clone(),
+            sync,
+        });
+        *slot(&mut self.last_read, t) = self.stores.len() - 1;
+        old.val
+    }
+
+    /// Checks a plain read by `t` against the last write; `Err` is a
+    /// data race. On success records the read for later write checks.
+    pub fn cell_read(&mut self, t: usize, clock: &VClock, step: usize) -> Result<(), RaceInfo> {
+        if let Some((w, c, ws)) = self.write_epoch {
+            if w != t && clock.get(w) < c {
+                return Err(RaceInfo {
+                    prior_step: ws,
+                    prior_thread: w,
+                    prior_write: true,
+                });
+            }
+        }
+        // Record only this thread's component — FastTrack's read set.
+        self.read_vc.raise(t, clock.get(t));
+        *slot(&mut self.read_step, t) = step;
+        Ok(())
+    }
+
+    /// Checks a plain write by `t` against the last write and all
+    /// unordered reads; `Err` is a data race. On success installs the
+    /// new write epoch and clears the (now ordered) read set.
+    pub fn cell_write(&mut self, t: usize, clock: &VClock, step: usize) -> Result<(), RaceInfo> {
+        if let Some((w, c, ws)) = self.write_epoch {
+            if w != t && clock.get(w) < c {
+                return Err(RaceInfo {
+                    prior_step: ws,
+                    prior_thread: w,
+                    prior_write: true,
+                });
+            }
+        }
+        if !self.read_vc.leq(clock) {
+            let racer = (0..self.read_vc.len())
+                .find(|&u| u != t && self.read_vc.get(u) > clock.get(u))
+                .unwrap_or(0);
+            return Err(RaceInfo {
+                prior_step: self.read_step.get(racer).copied().unwrap_or(0),
+                prior_thread: racer,
+                prior_write: false,
+            });
+        }
+        self.write_epoch = Some((t, clock.get(t), step));
+        self.read_vc = VClock::default();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock_of(pairs: &[(usize, u64)]) -> VClock {
+        let mut c = VClock::default();
+        for &(t, n) in pairs {
+            for _ in 0..n {
+                c.tick(t);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn vclock_join_and_leq() {
+        let a = clock_of(&[(0, 3), (1, 1)]);
+        let b = clock_of(&[(1, 4)]);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert_eq!(j.get(0), 3);
+        assert_eq!(j.get(1), 4);
+    }
+
+    #[test]
+    fn release_store_syncs_acquire_load() {
+        let mut loc = LocState::new(0, LocKind::Atomic, Some(0));
+        let writer = clock_of(&[(0, 5)]);
+        loc.store(0, &writer, Ordering::Release, 7);
+        let mut reader = clock_of(&[(1, 2)]);
+        let (i, _) = loc.load_choice(1, &reader, Ordering::Acquire, true, None);
+        assert_eq!(loc.commit_load(1, &mut reader, Ordering::Acquire, i), 7);
+        assert!(writer.leq(&reader), "acquire merged the release clock");
+    }
+
+    #[test]
+    fn relaxed_store_does_not_sync() {
+        let mut loc = LocState::new(0, LocKind::Atomic, Some(0));
+        let writer = clock_of(&[(0, 5)]);
+        loc.store(0, &writer, Ordering::Relaxed, 7);
+        let mut reader = clock_of(&[(1, 2)]);
+        let (i, _) = loc.load_choice(1, &reader, Ordering::Acquire, true, None);
+        assert_eq!(loc.commit_load(1, &mut reader, Ordering::Acquire, i), 7);
+        assert!(!writer.leq(&reader), "no release clock to merge");
+    }
+
+    #[test]
+    fn release_sequence_continues_through_rmw_but_not_store() {
+        let mut loc = LocState::new(0, LocKind::Atomic, Some(0));
+        let head = clock_of(&[(0, 3)]);
+        loc.store(0, &head, Ordering::Release, 1);
+        // A relaxed RMW by another thread extends the sequence.
+        let mut rmw_clock = clock_of(&[(2, 1)]);
+        loc.rmw(2, &mut rmw_clock, Ordering::Relaxed, 2);
+        let mut reader = VClock::default();
+        let (i, _) = loc.load_choice(1, &reader, Ordering::Acquire, false, None);
+        loc.commit_load(1, &mut reader, Ordering::Acquire, i);
+        assert!(head.leq(&reader), "sequence survived the relaxed RMW");
+        // A plain relaxed store breaks it.
+        loc.store(2, &clock_of(&[(2, 2)]), Ordering::Relaxed, 3);
+        let mut reader2 = VClock::default();
+        let (i, _) = loc.load_choice(3, &reader2, Ordering::Acquire, false, None);
+        loc.commit_load(3, &mut reader2, Ordering::Acquire, i);
+        assert!(!head.leq(&reader2), "plain store broke the sequence");
+    }
+
+    #[test]
+    fn stale_reads_eligible_until_superseded_by_hb() {
+        let mut loc = LocState::new(0, LocKind::Atomic, Some(10));
+        let writer = clock_of(&[(0, 1)]);
+        loc.store(0, &writer, Ordering::Release, 11);
+        // Reader that has NOT synchronized: both stores eligible.
+        let reader = clock_of(&[(1, 1)]);
+        assert_eq!(loc.load_eligible(1, &reader), vec![0, 1]);
+        // Reader that HAS synchronized: only the newest.
+        let mut synced = reader.clone();
+        synced.join(&writer);
+        assert_eq!(loc.load_eligible(1, &synced), vec![1]);
+    }
+
+    #[test]
+    fn coherence_floor_blocks_rereading_older_stores() {
+        let mut loc = LocState::new(0, LocKind::Atomic, Some(10));
+        loc.store(0, &clock_of(&[(0, 1)]), Ordering::Relaxed, 11);
+        loc.store(0, &clock_of(&[(0, 2)]), Ordering::Relaxed, 12);
+        let mut reader = VClock::default();
+        let (i, _) = loc.load_choice(1, &reader, Ordering::Relaxed, true, Some(1));
+        assert_eq!(loc.commit_load(1, &mut reader, Ordering::Relaxed, i), 11);
+        // Store 0 is now below the floor.
+        assert_eq!(loc.load_eligible(1, &reader), vec![1, 2]);
+    }
+
+    #[test]
+    fn unordered_write_read_is_a_race() {
+        let mut loc = LocState::new(0, LocKind::Cell, None);
+        let w = clock_of(&[(0, 4)]);
+        loc.cell_write(0, &w, 3).unwrap();
+        // Reader ordered after the write: fine.
+        let mut ordered = clock_of(&[(1, 1)]);
+        ordered.join(&w);
+        assert!(loc.cell_read(1, &ordered, 5).is_ok());
+        // Unordered reader: race, naming the writer.
+        let unordered = clock_of(&[(2, 9)]);
+        let race = loc.cell_read(2, &unordered, 6).unwrap_err();
+        assert_eq!(race.prior_thread, 0);
+        assert!(race.prior_write);
+        assert_eq!(race.prior_step, 3);
+    }
+
+    #[test]
+    fn unordered_read_write_is_a_race() {
+        let mut loc = LocState::new(0, LocKind::Cell, None);
+        loc.cell_read(1, &clock_of(&[(1, 2)]), 4).unwrap();
+        let race = loc.cell_write(0, &clock_of(&[(0, 3)]), 7).unwrap_err();
+        assert_eq!(race.prior_thread, 1);
+        assert!(!race.prior_write);
+    }
+
+    #[test]
+    fn ordered_accesses_do_not_race() {
+        let mut loc = LocState::new(0, LocKind::Cell, None);
+        let mut c = clock_of(&[(0, 1)]);
+        loc.cell_write(0, &c, 0).unwrap();
+        c.tick(0);
+        loc.cell_read(0, &c, 1).unwrap();
+        let mut peer = clock_of(&[(1, 1)]);
+        peer.join(&c);
+        assert!(loc.cell_write(1, &peer, 2).is_ok());
+    }
+}

@@ -1,0 +1,400 @@
+//! Built-in models: small self-contained concurrency scenarios that
+//! exercise every checker capability, each paired with a seeded-defect
+//! mutant the checker provably catches (the same methodology sw-lint
+//! uses for CPE programs). The production crates register their own
+//! models for the ported primitives under `cfg(sw_check)`; these ones
+//! use [`crate::checked`] directly so they run in every build.
+
+use crate::checked::thread;
+use crate::checked::{AtomicU64, Condvar, Mutex, UnsafeCell};
+use crate::explore::{check, Config};
+use crate::report::{CheckReport, Outcome, ViolationKind};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a model's check is expected to produce. A mutant model
+/// *expects* its violation — the suite fails if the checker misses it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expect {
+    Pass,
+    Violation(ViolationKind),
+}
+
+/// A registered model: a body the checker can explore, plus the
+/// expected verdict and any config tuning it needs.
+pub struct NamedModel {
+    pub name: &'static str,
+    pub about: &'static str,
+    pub expect: Expect,
+    /// Adjusts the default [`Config`] (budgets, timeout-rescue
+    /// policy) for this model.
+    pub tune: fn(&mut Config),
+    pub body: fn(),
+}
+
+impl NamedModel {
+    pub fn config(&self) -> Config {
+        let mut cfg = Config::default();
+        (self.tune)(&mut cfg);
+        cfg
+    }
+
+    /// Runs the model under its tuned config (seed overridable).
+    pub fn run(&self, seed: u64) -> CheckReport {
+        let mut cfg = self.config();
+        cfg.seed = seed;
+        check(&cfg, self.body)
+    }
+
+    /// Runs the model under an explicit config (CLI replay path).
+    pub fn run_with(&self, cfg: &Config) -> CheckReport {
+        check(cfg, self.body)
+    }
+
+    /// Whether a report matches this model's expectation.
+    pub fn satisfied(&self, report: &CheckReport) -> bool {
+        match (self.expect, &report.outcome) {
+            (Expect::Pass, Outcome::Pass | Outcome::PassBounded) => true,
+            (Expect::Violation(k), Outcome::Violation(v)) => v.kind == k,
+            _ => false,
+        }
+    }
+}
+
+fn no_tune(_: &mut Config) {}
+
+fn forbid_rescue(cfg: &mut Config) {
+    cfg.forbid_timeout_rescue = true;
+}
+
+// --- publish / subscribe ------------------------------------------------
+
+fn publish(release: bool) {
+    let data = Arc::new(UnsafeCell::new(0u64));
+    let flag = Arc::new(AtomicU64::new(0));
+    let (d, f) = (data.clone(), flag.clone());
+    let t = thread::spawn(move || {
+        d.with_mut(|p| unsafe { *p = 42 });
+        let ord = if release {
+            Ordering::Release
+        } else {
+            Ordering::Relaxed
+        };
+        f.store(1, ord);
+    });
+    while flag.load(Ordering::Acquire) == 0 {
+        thread::yield_now();
+    }
+    let v = data.with(|p| unsafe { *p });
+    assert_eq!(v, 42);
+    t.join().unwrap();
+}
+
+fn atomic_publish() {
+    publish(true);
+}
+
+fn atomic_publish_relaxed() {
+    publish(false);
+}
+
+// --- weak-value simulation ----------------------------------------------
+
+fn fresh_read(acquire: bool) {
+    let data = Arc::new(AtomicU64::new(0));
+    let ready = Arc::new(AtomicU64::new(0));
+    let (d, r) = (data.clone(), ready.clone());
+    let t = thread::spawn(move || {
+        d.store(1, Ordering::Relaxed);
+        r.store(1, Ordering::Release);
+    });
+    let ord = if acquire {
+        Ordering::Acquire
+    } else {
+        Ordering::Relaxed
+    };
+    if ready.load(ord) == 1 {
+        // With an acquire load this is synchronized and must see 1;
+        // with a relaxed load the checker may hand us the stale 0.
+        assert_eq!(
+            data.load(Ordering::Relaxed),
+            1,
+            "stale read slipped through"
+        );
+    }
+    t.join().unwrap();
+}
+
+fn acquire_fresh_read() {
+    fresh_read(true);
+}
+
+fn relaxed_stale_read() {
+    fresh_read(false);
+}
+
+// --- counters -----------------------------------------------------------
+
+fn counter_rmw() {
+    let c = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let c = c.clone();
+            thread::spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(c.load(Ordering::Relaxed), 2);
+}
+
+fn counter_lossy() {
+    let c = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let c = c.clone();
+            thread::spawn(move || {
+                // Mutant: load + store instead of an RMW — two threads
+                // can read the same value and lose an increment.
+                let v = c.load(Ordering::Relaxed);
+                c.store(v + 1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(c.load(Ordering::Relaxed), 2);
+}
+
+// --- mutexes ------------------------------------------------------------
+
+fn mutex_counter() {
+    let c = Arc::new(Mutex::new(0u64));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let c = c.clone();
+            thread::spawn(move || {
+                *c.lock().unwrap() += 1;
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*c.lock().unwrap(), 2);
+}
+
+fn cell_race() {
+    let c = Arc::new(UnsafeCell::new(0u64));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let c = c.clone();
+            thread::spawn(move || {
+                // Mutant: unlocked read-modify-write of plain memory.
+                c.with_mut(|p| unsafe { *p += 1 });
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn lock_order(same_order: bool) {
+    let a = Arc::new(Mutex::new(0u64));
+    let b = Arc::new(Mutex::new(0u64));
+    let (a2, b2) = (a.clone(), b.clone());
+    let t = thread::spawn(move || {
+        if same_order {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        } else {
+            // Mutant: opposite acquisition order — AB/BA deadlock.
+            let _gb = b2.lock().unwrap();
+            let _ga = a2.lock().unwrap();
+        }
+    });
+    {
+        let _ga = a.lock().unwrap();
+        let _gb = b.lock().unwrap();
+    }
+    t.join().unwrap();
+}
+
+fn lock_order_consistent() {
+    lock_order(true);
+}
+
+fn lock_order_deadlock() {
+    lock_order(false);
+}
+
+// --- condvars -----------------------------------------------------------
+
+const PARK: Duration = Duration::from_millis(1);
+
+fn cv_handshake(recheck_under_lock: bool) {
+    let flag = Arc::new(Mutex::new(false));
+    let cv = Arc::new(Condvar::new());
+    let (f, c) = (flag.clone(), cv.clone());
+    let t = thread::spawn(move || {
+        *f.lock().unwrap() = true;
+        c.notify_all();
+    });
+    if recheck_under_lock {
+        // Correct: test-and-park atomically under the lock.
+        let mut g = flag.lock().unwrap();
+        while !*g {
+            let (g2, _) = cv.wait_timeout(g, PARK).unwrap();
+            g = g2;
+        }
+    } else {
+        // Mutant: check, drop the lock, then park — the notify can
+        // land in the window and the waiter strands until its timeout
+        // rescues it.
+        loop {
+            if *flag.lock().unwrap() {
+                break;
+            }
+            let g = flag.lock().unwrap();
+            let _ = cv.wait_timeout(g, PARK).unwrap();
+        }
+    }
+    t.join().unwrap();
+}
+
+fn cv_handshake_correct() {
+    cv_handshake(true);
+}
+
+fn cv_lost_wakeup() {
+    cv_handshake(false);
+}
+
+// --- livelock -----------------------------------------------------------
+
+fn livelock_sleepers() {
+    // Mutant shape: two threads each sleep-poll for a store the other
+    // never performs — no progress, forever.
+    let x = Arc::new(AtomicU64::new(0));
+    let y = Arc::new(AtomicU64::new(0));
+    let x2 = x.clone();
+    let t = thread::spawn(move || {
+        while x2.load(Ordering::Acquire) == 0 {
+            thread::sleep(Duration::from_micros(50));
+        }
+    });
+    while y.load(Ordering::Acquire) == 0 {
+        thread::sleep(Duration::from_micros(50));
+    }
+    x.store(1, Ordering::Release);
+    t.join().unwrap();
+}
+
+/// The built-in model registry: correct/mutant pairs covering every
+/// violation kind the checker can report.
+pub fn builtin() -> Vec<NamedModel> {
+    vec![
+        NamedModel {
+            name: "atomic-publish",
+            about: "release store publishes a plain write to an acquire spin loop",
+            expect: Expect::Pass,
+            tune: no_tune,
+            body: atomic_publish,
+        },
+        NamedModel {
+            name: "atomic-publish-relaxed",
+            about: "mutant: publish flag store weakened to Relaxed -> data race on the cell",
+            expect: Expect::Violation(ViolationKind::Race),
+            tune: no_tune,
+            body: atomic_publish_relaxed,
+        },
+        NamedModel {
+            name: "acquire-fresh-read",
+            about: "acquire load of the ready flag guarantees the data store is visible",
+            expect: Expect::Pass,
+            tune: no_tune,
+            body: acquire_fresh_read,
+        },
+        NamedModel {
+            name: "relaxed-stale-read",
+            about: "mutant: relaxed ready load lets the data load observe the stale value",
+            expect: Expect::Violation(ViolationKind::Assert),
+            tune: no_tune,
+            body: relaxed_stale_read,
+        },
+        NamedModel {
+            name: "counter-rmw",
+            about: "two fetch_add increments always sum",
+            expect: Expect::Pass,
+            tune: no_tune,
+            body: counter_rmw,
+        },
+        NamedModel {
+            name: "counter-lossy",
+            about: "mutant: load+store increment loses an update under interleaving",
+            expect: Expect::Violation(ViolationKind::Assert),
+            tune: no_tune,
+            body: counter_lossy,
+        },
+        NamedModel {
+            name: "mutex-counter",
+            about: "mutex-guarded increments never race or lose updates",
+            expect: Expect::Pass,
+            tune: no_tune,
+            body: mutex_counter,
+        },
+        NamedModel {
+            name: "cell-race",
+            about: "mutant: unlocked increments of plain memory -> data race",
+            expect: Expect::Violation(ViolationKind::Race),
+            tune: no_tune,
+            body: cell_race,
+        },
+        NamedModel {
+            name: "lock-order-consistent",
+            about: "two mutexes taken in one global order never deadlock",
+            expect: Expect::Pass,
+            tune: no_tune,
+            body: lock_order_consistent,
+        },
+        NamedModel {
+            name: "lock-order-deadlock",
+            about: "mutant: AB/BA lock order -> deadlock",
+            expect: Expect::Violation(ViolationKind::Deadlock),
+            tune: no_tune,
+            body: lock_order_deadlock,
+        },
+        NamedModel {
+            name: "cv-handshake",
+            about: "test-and-park under the lock never needs a timeout rescue",
+            expect: Expect::Pass,
+            tune: forbid_rescue,
+            body: cv_handshake_correct,
+        },
+        NamedModel {
+            name: "cv-lost-wakeup",
+            about: "mutant: check-then-park without the lock strands the waiter",
+            expect: Expect::Violation(ViolationKind::LostWakeup),
+            tune: forbid_rescue,
+            body: cv_lost_wakeup,
+        },
+        NamedModel {
+            name: "livelock-sleepers",
+            about: "mutant: two sleep-polling threads waiting on each other forever",
+            expect: Expect::Violation(ViolationKind::Livelock),
+            tune: no_tune,
+            body: livelock_sleepers,
+        },
+    ]
+}
+
+/// Looks up a built-in model by name.
+pub fn find(models: &[NamedModel], name: &str) -> Option<usize> {
+    models.iter().position(|m| m.name == name)
+}

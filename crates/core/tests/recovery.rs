@@ -1,0 +1,66 @@
+//! Core-group reuse after a cancelled run: a structured failure tears
+//! a run down through `CancellableBarrier::cancel` (every CPE unwinds
+//! with `BarrierCancelled`), and the same caller-owned [`CoreGroup`]
+//! must then run further DGEMMs as if nothing happened — the
+//! barrier-level regression behind `DgemmRunner::run_on`'s recovery
+//! promise.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use sw_dgemm::diagnostics::DIAG_DIR_ENV;
+use sw_dgemm::{
+    gen, reference, BlockingParams, DgemmError, DgemmRunner, FaultSpec, Variant, WedgeSpec,
+};
+use sw_sim::CoreGroup;
+
+#[test]
+fn core_group_reusable_after_cancelled_run() {
+    // Keep the failure's diagnostics bundle out of the source tree.
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("sw-diag-test-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var(DIAG_DIR_ENV, &dir);
+
+    let p = BlockingParams::test_small();
+    let a = gen::random_matrix(128, 128, 21);
+    let b = gen::random_matrix(128, 128, 22);
+    let c0 = gen::random_matrix(128, 128, 23);
+    let mut cg = CoreGroup::new();
+
+    // Run 1: a wedged CPE trips the deadlock fuse; the aborting CPE
+    // cancels the run's barriers and all 63 peers unwind.
+    let mut c = c0.clone();
+    let err = DgemmRunner::new(Variant::Pe)
+        .params(p)
+        .faults(FaultSpec {
+            wedge: Some(WedgeSpec { cpe: 18, epoch: 0 }),
+            ..FaultSpec::seeded(0)
+        })
+        .mesh_timeout(Duration::from_millis(200))
+        .run_on(&mut cg, 1.5, &a, &b, 0.5, &mut c)
+        .expect_err("the wedge must trip the deadlock fuse");
+    assert!(matches!(err, DgemmError::MeshDeadlock { .. }));
+
+    // Runs 2 and 3: the same group, no faults. The persistent CPE pool
+    // and fresh per-run barriers make both succeed with exact numerics.
+    for seed in [31u64, 32] {
+        let a = gen::random_matrix(128, 128, seed);
+        let b = gen::random_matrix(128, 128, seed + 100);
+        let c0 = gen::random_matrix(128, 128, seed + 200);
+        let mut c = c0.clone();
+        DgemmRunner::new(Variant::Pe)
+            .params(p)
+            .run_on(&mut cg, 1.5, &a, &b, 0.5, &mut c)
+            .expect("clean run on the recovered group succeeds");
+        let mut expect = c0.clone();
+        reference::dgemm_naive(1.5, &a, &b, 0.5, &mut expect);
+        let tol = reference::gemm_tolerance(&a, &b, 1.5);
+        assert!(
+            c.max_abs_diff(&expect) <= tol,
+            "recovered group computes correctly (seed {seed})"
+        );
+    }
+
+    std::env::remove_var(DIAG_DIR_ENV);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,176 @@
+//! Model-check suite for the mesh's lock-free primitives (compiled
+//! only under `--cfg sw_check`, where [`crate::ring`] runs on the
+//! checker-instrumented types).
+//!
+//! The correct models prove, across every explored interleaving under
+//! the simulated C11 memory model: the SPSC ring is race-free and FIFO
+//! per link, full/empty detection is exact, and the backoff fuse
+//! always trips. Each property is paired with a seeded-defect mutant
+//! (the `*-mutant-*` models, see the `cfg(sw_check)` blocks in
+//! `ring.rs`) that the checker must catch — run them via the
+//! `sw-check` binary or the crate's `model_check` test.
+
+use crate::ring::{Backoff, SpscRing};
+use std::sync::Arc;
+use sw_arch::V256;
+use sw_check::models::{Expect, NamedModel};
+use sw_check::time::Duration;
+use sw_check::{thread, Config, ViolationKind};
+
+fn no_tune(_: &mut Config) {}
+
+/// The fuse model sleeps through many no-progress quiescence cycles
+/// (that is the point of a timed-park fuse), so raise the livelock
+/// strike budget above `timeout / PARK_SLEEP`.
+fn fuse_tune(cfg: &mut Config) {
+    cfg.livelock_limit = 128;
+}
+
+/// Producer streams 3 words through a capacity-2 ring while the
+/// consumer drains it: order must survive every interleaving, and the
+/// slot accesses must never race.
+fn ring_spsc_fifo() {
+    let r = Arc::new(SpscRing::new(2));
+    let p = r.clone();
+    let t = thread::spawn(move || {
+        for i in 0..3u64 {
+            while !p.try_push(V256::splat(i as f64)) {
+                thread::yield_now();
+            }
+        }
+    });
+    for i in 0..3u64 {
+        let v = loop {
+            match r.try_pop() {
+                Some(v) => break v,
+                None => thread::yield_now(),
+            }
+        };
+        assert_eq!(v, V256::splat(i as f64), "FIFO order violated");
+    }
+    assert_eq!(r.try_pop(), None, "ring should be drained");
+    t.join().unwrap();
+}
+
+/// Full/empty detection on a capacity-1 ring, single-threaded: the
+/// boundary arithmetic (free-running indices, wrap mask) is exact.
+fn ring_full_empty() {
+    let r = SpscRing::new(1);
+    assert_eq!(r.try_pop(), None, "fresh ring must be empty");
+    assert!(r.try_push(V256::splat(1.0)));
+    assert!(
+        !r.try_push(V256::splat(2.0)),
+        "capacity-1 ring must report full"
+    );
+    assert_eq!(r.try_pop(), Some(V256::splat(1.0)));
+    assert_eq!(r.try_pop(), None);
+    // Wrap once more to cross the index mask.
+    assert!(r.try_push(V256::splat(3.0)));
+    assert_eq!(r.try_pop(), Some(V256::splat(3.0)));
+}
+
+/// The deadlock fuse must trip in bounded (virtual) time when nothing
+/// ever makes progress — the property that turns a wedged peer into a
+/// structured `MeshError::Deadlock` instead of a hang.
+fn backoff_fuse_trips() {
+    let mut b = Backoff::new(Duration::from_micros(200));
+    let mut rounds = 0u32;
+    while b.snooze() {
+        rounds += 1;
+        assert!(rounds < 1_000, "fuse never tripped");
+    }
+}
+
+/// Mutant: tail published with `Relaxed` — consumer slot read races.
+fn ring_mutant_relaxed_tail() {
+    let r = Arc::new(SpscRing::new(2));
+    let p = r.clone();
+    let t = thread::spawn(move || {
+        assert!(p.try_push_mutant_relaxed_tail(V256::splat(7.0)));
+    });
+    let v = loop {
+        match r.try_pop() {
+            Some(v) => break v,
+            None => thread::yield_now(),
+        }
+    };
+    assert_eq!(v, V256::splat(7.0));
+    t.join().unwrap();
+}
+
+/// Mutant: slot written after the publish — consumer can pop junk.
+fn ring_mutant_slot_after_publish() {
+    let r = Arc::new(SpscRing::new(2));
+    let p = r.clone();
+    let t = thread::spawn(move || {
+        assert!(p.try_push_mutant_slot_after_publish(V256::splat(7.0)));
+    });
+    let v = loop {
+        match r.try_pop() {
+            Some(v) => break v,
+            None => thread::yield_now(),
+        }
+    };
+    assert_eq!(v, V256::splat(7.0));
+    t.join().unwrap();
+}
+
+/// Mutant: the fuse check is skipped — the waiter parks forever.
+fn backoff_mutant_fuse_skip() {
+    let mut b = Backoff::new(Duration::from_micros(200));
+    let mut rounds = 0u32;
+    loop {
+        assert!(b.snooze_mutant_fuse_skip(), "mutant fuse cannot trip");
+        rounds += 1;
+        assert!(rounds < 10_000, "livelock detector should fire first");
+    }
+}
+
+/// The mesh crate's registered models, consumed by the `sw-check`
+/// binary and the crate's own `model_check` integration test.
+pub fn models() -> Vec<NamedModel> {
+    vec![
+        NamedModel {
+            name: "mesh/ring-spsc-fifo",
+            about: "SPSC ring is race-free and FIFO per link under weak memory",
+            expect: Expect::Pass,
+            tune: no_tune,
+            body: ring_spsc_fifo,
+        },
+        NamedModel {
+            name: "mesh/ring-full-empty",
+            about: "full/empty detection exact across the index wrap",
+            expect: Expect::Pass,
+            tune: no_tune,
+            body: ring_full_empty,
+        },
+        NamedModel {
+            name: "mesh/backoff-fuse",
+            about: "deadlock fuse trips in bounded virtual time with no progress",
+            expect: Expect::Pass,
+            tune: fuse_tune,
+            body: backoff_fuse_trips,
+        },
+        NamedModel {
+            name: "mesh/ring-mutant-relaxed-tail",
+            about: "SEEDED DEFECT: tail published Relaxed; slot access races",
+            expect: Expect::Violation(ViolationKind::Race),
+            tune: no_tune,
+            body: ring_mutant_relaxed_tail,
+        },
+        NamedModel {
+            name: "mesh/ring-mutant-slot-after-publish",
+            about: "SEEDED DEFECT: slot written after publish; consumer races",
+            expect: Expect::Violation(ViolationKind::Race),
+            tune: no_tune,
+            body: ring_mutant_slot_after_publish,
+        },
+        NamedModel {
+            name: "mesh/backoff-mutant-fuse-skip",
+            about: "SEEDED DEFECT: fuse check skipped; waiter parks forever",
+            expect: Expect::Violation(ViolationKind::Livelock),
+            tune: no_tune,
+            body: backoff_mutant_fuse_skip,
+        },
+    ]
+}

@@ -31,6 +31,8 @@
 //! wedge a CPE (suppress all its sends) to exercise that path.
 
 pub mod chan;
+#[cfg(sw_check)]
+pub mod check_models;
 pub mod error;
 pub mod port;
 mod ring;

@@ -125,6 +125,9 @@ impl Mesh {
     /// [`MeshError::Deadlock`]. The escape hatch for harnesses built
     /// around the old propagating panic.
     pub fn panic_on_deadlock(&self) {
+        // Relaxed: advisory debug flag. No data is published under
+        // it — the only consumer turns an error return into a panic,
+        // and a stale read merely delays that escalation by one call.
         self.panic_on_deadlock.store(true, Ordering::Relaxed);
     }
 
@@ -436,6 +439,10 @@ impl LinkTrace {
             return;
         }
         let dur = n_words * MESH_TRANSIT_CYCLES;
+        // Relaxed: the clock is a statistics ledger, not a
+        // synchronization point. The RMW keeps `clock == Σ busy`
+        // exact under concurrent adds; readers either join first or
+        // accept a momentarily stale total.
         let t0 = self.clock.fetch_add(dur, Ordering::Relaxed);
         tracer.span_args(
             self.track,
@@ -514,6 +521,8 @@ impl MeshPort {
     }
 
     fn deadlock(&self, op: &'static str, detail: std::fmt::Arguments<'_>) -> MeshError {
+        // Relaxed: pairs with the advisory store in
+        // `panic_on_deadlock` — see the audit note there.
         if self.panic_on_deadlock.load(Ordering::Relaxed) {
             panic!("mesh deadlock: {} {op} {detail}", self.coord);
         }
@@ -542,6 +551,10 @@ impl MeshPort {
         if n_words == 0 {
             return Ok(());
         }
+        // Relaxed: monotone send counter used for fault-injection
+        // bookkeeping and stats. The RMW guarantees no lost counts;
+        // ordering against the payload is provided by the ring's own
+        // release/acquire publish, never by this counter.
         let send_base = self.sends.fetch_add(n_words as u64, Ordering::Relaxed);
         if let Some(inj) = &self.injector {
             if inj.cpe_wedged(self.coord.id()) {

@@ -17,11 +17,15 @@
 //! that never drains still trips [`crate::MeshError::Deadlock`] after
 //! the configured timeout.
 
-use std::cell::UnsafeCell;
+// Concurrency vocabulary comes from the sw-check facade: plain `std`
+// re-exports in a normal build (zero-cost, the hot path is unchanged),
+// checker-instrumented types under `--cfg sw_check` so this exact
+// source is model-checked by `check_models`.
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
 use sw_arch::V256;
+use sw_check::cell::UnsafeCell;
+use sw_check::sync::atomic::{AtomicUsize, Ordering};
+use sw_check::time::{Duration, Instant};
 
 /// Pads (and aligns) a value to its own 128-byte region so the
 /// producer-side and consumer-side indices of a ring never share a
@@ -74,6 +78,9 @@ impl SpscRing {
     /// Producer side: enqueues `v` unless the ring is full.
     #[inline]
     pub fn try_push(&self, v: V256) -> bool {
+        // Relaxed tail load: SPSC — only the producer writes `tail`,
+        // so this reads our own last store. The acquire on `head`
+        // pairs with the consumer's release to bound the window.
         let tail = self.tail.0.load(Ordering::Relaxed);
         let head = self.head.0.load(Ordering::Acquire);
         if tail.wrapping_sub(head) > self.mask {
@@ -81,7 +88,7 @@ impl SpscRing {
         }
         // SAFETY: single producer; the slot at `tail` is outside the
         // consumer's visible window until the release store below.
-        unsafe { (*self.slots[tail & self.mask].get()).write(v) };
+        self.slots[tail & self.mask].with_mut(|p| unsafe { (*p).write(v) });
         self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
         true
     }
@@ -89,6 +96,9 @@ impl SpscRing {
     /// Consumer side: dequeues the oldest word, if any.
     #[inline]
     pub fn try_pop(&self) -> Option<V256> {
+        // Relaxed head load: mirror of `try_push` — only the consumer
+        // writes `head`. Both pairings are model-checked by
+        // `check_models::ring_spsc_fifo` and the ring mutants.
         let head = self.head.0.load(Ordering::Relaxed);
         let tail = self.tail.0.load(Ordering::Acquire);
         if head == tail {
@@ -96,16 +106,62 @@ impl SpscRing {
         }
         // SAFETY: single consumer; the acquire tail load ordered this
         // slot's contents before us.
-        let v = unsafe { (*self.slots[head & self.mask].get()).assume_init_read() };
+        let v = self.slots[head & self.mask].with(|p| unsafe { (*p).assume_init_read() });
         self.head.0.store(head.wrapping_add(1), Ordering::Release);
         Some(v)
     }
 }
 
+/// Seeded defects for the model-check suite ([`crate::check_models`]):
+/// mutated copies of the verified operations above, compiled only
+/// under the checker cfg so production builds never contain them.
+/// Every mutant must be *caught* by `sw-check` — a mutant that passes
+/// means the suite lost its teeth.
+#[cfg(sw_check)]
+impl SpscRing {
+    /// `try_push` with the publishing store weakened to `Relaxed`: the
+    /// consumer's slot read is no longer ordered after the slot write,
+    /// which the checker reports as a data race.
+    pub(crate) fn try_push_mutant_relaxed_tail(&self, v: V256) -> bool {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.mask {
+            return false;
+        }
+        self.slots[tail & self.mask].with_mut(|p| unsafe { (*p).write(v) });
+        // MUTANT: was Ordering::Release.
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Relaxed);
+        true
+    }
+
+    /// `try_push` with the slot write sunk below the publish: the
+    /// consumer can observe the new tail before the slot holds data.
+    pub(crate) fn try_push_mutant_slot_after_publish(&self, v: V256) -> bool {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.mask {
+            return false;
+        }
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        // MUTANT: the write belongs above the publish.
+        self.slots[tail & self.mask].with_mut(|p| unsafe { (*p).write(v) });
+        true
+    }
+}
+
 /// How many exponential spin rounds before yielding the time slice.
+/// Under the model checker the spin/yield phases shrink to one round
+/// each so small models reach every phase (including the timed park)
+/// within a few scheduler steps.
+#[cfg(not(sw_check))]
 const SPIN_ROUNDS: u32 = 6;
+#[cfg(sw_check)]
+const SPIN_ROUNDS: u32 = 1;
 /// How many yield rounds before parking in timed sleeps.
+#[cfg(not(sw_check))]
 const YIELD_ROUNDS: u32 = 10;
+#[cfg(sw_check)]
+const YIELD_ROUNDS: u32 = 1;
 /// Park quantum once spinning and yielding have not helped; short
 /// enough that a late wakeup costs microseconds, long enough that a
 /// genuinely blocked run does not burn a core until the fuse trips.
@@ -140,7 +196,7 @@ impl Backoff {
     pub fn snooze(&mut self) -> bool {
         if self.round < SPIN_ROUNDS {
             for _ in 0..(1u32 << self.round) {
-                std::hint::spin_loop();
+                sw_check::hint::spin_loop();
             }
             self.round += 1;
             return true;
@@ -152,10 +208,36 @@ impl Backoff {
             return false;
         }
         if self.round < SPIN_ROUNDS + YIELD_ROUNDS {
-            std::thread::yield_now();
+            sw_check::thread::yield_now();
             self.round += 1;
         } else {
-            std::thread::sleep(PARK_SLEEP);
+            sw_check::thread::sleep(PARK_SLEEP);
+        }
+        true
+    }
+}
+
+/// Seeded defect for the model-check suite: see the `SpscRing` mutant
+/// block above.
+#[cfg(sw_check)]
+impl Backoff {
+    /// `snooze` with the deadline check skipped: the fuse never trips,
+    /// so a peer that never drains parks this thread forever — which
+    /// the checker reports as a livelock.
+    pub(crate) fn snooze_mutant_fuse_skip(&mut self) -> bool {
+        if self.round < SPIN_ROUNDS {
+            for _ in 0..(1u32 << self.round) {
+                sw_check::hint::spin_loop();
+            }
+            self.round += 1;
+            return true;
+        }
+        // MUTANT: the deadline arm + check belong here.
+        if self.round < SPIN_ROUNDS + YIELD_ROUNDS {
+            sw_check::thread::yield_now();
+            self.round += 1;
+        } else {
+            sw_check::thread::sleep(PARK_SLEEP);
         }
         true
     }

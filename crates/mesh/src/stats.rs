@@ -1,4 +1,10 @@
 //! Mesh traffic counters.
+//!
+//! Memory-ordering audit: this module holds no atomics of its own —
+//! every counter delegates to [`sw_probe::metrics::Counter`], whose
+//! all-`Relaxed` discipline is justified in the "Memory-ordering
+//! audit" section of `sw_probe::metrics`. Nothing here derives a
+//! happens-before edge from a counter value.
 
 use sw_probe::metrics::{Counter, Registry};
 

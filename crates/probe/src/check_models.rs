@@ -1,0 +1,118 @@
+//! Model-check suite for the flight recorder (compiled only under
+//! `--cfg sw_check`, where [`crate::flight`] runs on the
+//! checker-instrumented types).
+//!
+//! The correct models prove, across every explored interleaving under
+//! the simulated C11 memory model: a reader that observes a ring's
+//! head observes the slot words it covers (the live-peek contract of
+//! [`crate::flight::FlightRecorder::tail`]), and the per-ring
+//! `clock == Σ busy` ledger invariant holds after the producer joins.
+//! The publish property is paired with a seeded-defect mutant (see the
+//! `cfg(sw_check)` block in `flight.rs`) that the checker must catch.
+
+use crate::flight::{dma_op_code, EventKind, FlightRecorder, Lane};
+use std::sync::Arc;
+use sw_check::models::{Expect, NamedModel};
+use sw_check::{thread, Config, ViolationKind};
+
+fn no_tune(_: &mut Config) {}
+
+/// Producer records one event; a live reader that sees `total() == 1`
+/// must read back the exact event, in every interleaving.
+fn flight_publish() {
+    let f = Arc::new(FlightRecorder::with_capacity(2));
+    let w = f.clone();
+    let t = thread::spawn(move || {
+        w.advance(0, Lane::Dma, 100);
+        w.record(0, EventKind::DmaIssue, dma_op_code("pe.get"), 4096);
+    });
+    while f.total(0) == 0 {
+        thread::yield_now();
+    }
+    let tail = f.tail(0);
+    assert_eq!(tail.len(), 1);
+    assert_eq!(
+        tail[0].clock, 100,
+        "slot words must be ordered before the head"
+    );
+    assert_eq!(tail[0].kind, EventKind::DmaIssue);
+    assert_eq!(tail[0].arg, 4096);
+    t.join().unwrap();
+}
+
+/// After the producer joins, its ring's busy ledger must sum exactly
+/// to its clock — including across a barrier-release `jump_to`.
+fn flight_clock_ledger() {
+    let f = Arc::new(FlightRecorder::with_capacity(2));
+    let w = f.clone();
+    let t = thread::spawn(move || {
+        w.advance(0, Lane::Compute, 10);
+        w.advance(0, Lane::Dma, 5);
+        assert_eq!(w.jump_to(0, Lane::Barrier, 20), 5);
+        assert_eq!(
+            w.jump_to(0, Lane::Barrier, 3),
+            0,
+            "clocks never run backwards"
+        );
+    });
+    t.join().unwrap();
+    let a = f.ring_attribution(0);
+    assert_eq!(a.clock, 20);
+    assert_eq!(
+        a.total_busy(),
+        a.clock,
+        "clock == sum(busy) ledger invariant"
+    );
+    assert_eq!(a.busy[Lane::Compute as usize], 10);
+    assert_eq!(a.busy[Lane::Dma as usize], 5);
+    assert_eq!(a.busy[Lane::Barrier as usize], 5);
+}
+
+/// Mutant: head published with `Relaxed` — the reader can see the head
+/// move while the slot words are still stale zeros.
+fn flight_mutant_relaxed_publish() {
+    let f = Arc::new(FlightRecorder::with_capacity(2));
+    let w = f.clone();
+    let t = thread::spawn(move || {
+        w.advance(0, Lane::Dma, 100);
+        w.record_mutant_relaxed_publish(0, EventKind::DmaIssue, dma_op_code("pe.get"), 4096);
+    });
+    while f.total(0) == 0 {
+        thread::yield_now();
+    }
+    let tail = f.tail(0);
+    assert_eq!(tail.len(), 1);
+    assert_eq!(
+        tail[0].clock, 100,
+        "slot words must be ordered before the head"
+    );
+    t.join().unwrap();
+}
+
+/// The probe crate's registered models, consumed by the `sw-check`
+/// binary and the crate's own `model_check` integration test.
+pub fn models() -> Vec<NamedModel> {
+    vec![
+        NamedModel {
+            name: "probe/flight-publish",
+            about: "a reader that sees the head sees the slot words it covers",
+            expect: Expect::Pass,
+            tune: no_tune,
+            body: flight_publish,
+        },
+        NamedModel {
+            name: "probe/flight-clock-ledger",
+            about: "clock == sum(busy) per ring after the producer joins",
+            expect: Expect::Pass,
+            tune: no_tune,
+            body: flight_clock_ledger,
+        },
+        NamedModel {
+            name: "probe/flight-mutant-relaxed-publish",
+            about: "SEEDED DEFECT: head published Relaxed; reader sees stale slots",
+            expect: Expect::Violation(ViolationKind::Assert),
+            tune: no_tune,
+            body: flight_mutant_relaxed_publish,
+        },
+    ]
+}

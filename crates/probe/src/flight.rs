@@ -33,8 +33,12 @@
 //! producer thread parked or joined; torn reads of in-flight slots are
 //! impossible for post-mortem bundles and merely stale for live peeks.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+// Concurrency vocabulary comes from the sw-check facade: plain `std`
+// re-exports in a normal build (zero-cost, the hot path is unchanged),
+// checker-instrumented types under `--cfg sw_check` so this exact
+// source is model-checked by `check_models`.
 use std::sync::Arc;
+use sw_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Ring index of the MPE (control-plane) ring, after the 64 CPE rings.
 pub const MPE_RING: usize = 64;
@@ -369,8 +373,15 @@ impl FlightRecorder {
 
     #[inline]
     fn write_slot(&self, r: &Ring, clock: u64, kind: EventKind, code: u32, arg: u64) {
+        // Relaxed head load: single producer per ring, so only this
+        // thread ever wrote `head` — it reads its own last store.
         let seq = r.head.load(Ordering::Relaxed);
         let base = (seq as usize % self.capacity) * SLOT_WORDS;
+        // Relaxed slot stores: the slot words are published by the
+        // release head store below; a reader that observes the new
+        // head (acquire) is ordered after all three. This pairing is
+        // model-checked by `check_models::flight_publish`, and its
+        // necessity by the `flight-mutant-relaxed-publish` mutant.
         r.slots[base].store(clock, Ordering::Relaxed);
         r.slots[base + 1].store(((kind as u64) << 56) | code as u64, Ordering::Relaxed);
         r.slots[base + 2].store(arg, Ordering::Relaxed);
@@ -378,6 +389,11 @@ impl FlightRecorder {
     }
 
     /// The ring's current simulated clock.
+    ///
+    /// Relaxed: the clock is owned by the ring's single producer (who
+    /// reads its own stores); any other reader is a live peek that
+    /// tolerates staleness, or runs after joining the producer (the
+    /// join orders the final value).
     #[inline]
     pub fn clock(&self, ring: usize) -> u64 {
         self.rings[ring].clock.load(Ordering::Relaxed)
@@ -388,6 +404,10 @@ impl FlightRecorder {
     #[inline]
     pub fn advance(&self, ring: usize, lane: Lane, cycles: u64) -> (u64, u64) {
         let r = &self.rings[ring];
+        // Relaxed clock/busy: both are single-writer (the ring owner);
+        // the load-then-store on `clock` is not an RMW because nobody
+        // else writes it. Cross-thread readers only see these after a
+        // join (`attribution`) or as an advisory live peek.
         let t0 = r.clock.load(Ordering::Relaxed);
         let t1 = t0 + cycles;
         r.clock.store(t1, Ordering::Relaxed);
@@ -402,6 +422,9 @@ impl FlightRecorder {
     #[inline]
     pub fn jump_to(&self, ring: usize, lane: Lane, to: u64) -> u64 {
         let r = &self.rings[ring];
+        // Relaxed: same single-writer discipline as `advance` — the
+        // barrier-release maximum arrives via `wait_clock`'s own
+        // synchronization, not through this clock cell.
         let t0 = r.clock.load(Ordering::Relaxed);
         if to <= t0 {
             return 0;
@@ -428,6 +451,9 @@ impl FlightRecorder {
         for k in 0..n {
             let seq = head - n as u64 + k as u64;
             let base = (seq as usize % self.capacity) * SLOT_WORDS;
+            // Relaxed slot loads: the acquire head load above pairs
+            // with the producer's release head store, ordering every
+            // covered slot word before us (see `write_slot`).
             let clock = r.slots[base].load(Ordering::Relaxed);
             let packed = r.slots[base + 1].load(Ordering::Relaxed);
             let arg = r.slots[base + 2].load(Ordering::Relaxed);
@@ -448,6 +474,9 @@ impl FlightRecorder {
     /// Clock + busy ledger for one ring.
     pub fn ring_attribution(&self, ring: usize) -> RingAttribution {
         let r = &self.rings[ring];
+        // Relaxed: attribution is read after the producer joined (the
+        // join is the ordering edge) or as an advisory live peek that
+        // does not claim a consistent clock/busy cut.
         RingAttribution {
             ring,
             clock: r.clock.load(Ordering::Relaxed),
@@ -465,6 +494,9 @@ impl FlightRecorder {
     /// core group, or between bench arms). Producer threads must be
     /// quiescent.
     pub fn reset(&self) {
+        // Relaxed throughout: the contract requires quiescent
+        // producers, so reset is single-threaded in practice and the
+        // caller's subsequent thread spawns order the zeroed state.
         for r in &self.rings {
             r.head.store(0, Ordering::Relaxed);
             r.clock.store(0, Ordering::Relaxed);
@@ -475,6 +507,30 @@ impl FlightRecorder {
                 s.store(0, Ordering::Relaxed);
             }
         }
+    }
+}
+
+/// Seeded defect for the model-check suite ([`crate::check_models`]):
+/// a mutated copy of the verified recording path above, compiled only
+/// under the checker cfg so production builds never contain it. It
+/// must be *caught* by `sw-check` — a mutant that passes means the
+/// suite lost its teeth.
+#[cfg(sw_check)]
+impl FlightRecorder {
+    /// [`FlightRecorder::record`] with the head publish weakened to
+    /// `Relaxed`: a reader that observes the new head is no longer
+    /// guaranteed to observe the slot words it covers, so `tail` can
+    /// return a stale (zeroed) event.
+    pub fn record_mutant_relaxed_publish(&self, ring: usize, kind: EventKind, code: u32, arg: u64) {
+        let r = &self.rings[ring];
+        let clock = r.clock.load(Ordering::Relaxed);
+        let seq = r.head.load(Ordering::Relaxed);
+        let base = (seq as usize % self.capacity) * SLOT_WORDS;
+        r.slots[base].store(clock, Ordering::Relaxed);
+        r.slots[base + 1].store(((kind as u64) << 56) | code as u64, Ordering::Relaxed);
+        r.slots[base + 2].store(arg, Ordering::Relaxed);
+        // MUTANT: was Ordering::Release.
+        r.head.store(seq + 1, Ordering::Relaxed);
     }
 }
 

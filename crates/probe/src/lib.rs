@@ -30,6 +30,8 @@
 //! is compiled out via a const generic, so the fig6 sweep regresses
 //! <2% with probes off (asserted by `engine_bench`).
 
+#[cfg(sw_check)]
+pub mod check_models;
 pub mod flight;
 pub mod gantt;
 pub mod json;

@@ -11,6 +11,21 @@
 //! `sim.dma.pe.bytes`, `mesh.row.words_sent`,
 //! `dgemm.kernel_cache.hits`. Snapshots list entries sorted by name,
 //! so exports are deterministic.
+//!
+//! # Memory-ordering audit
+//!
+//! Every atomic access in this module is `Relaxed`, deliberately:
+//! instruments are *statistics*, never synchronization. No reader
+//! derives a happens-before edge from an instrument value — nothing
+//! is published under a counter, and no control flow waits on one.
+//! The only cross-thread contract is per-counter monotonicity plus
+//! atomicity of each RMW (no lost increments), which `Relaxed`
+//! `fetch_add` already guarantees. Readers (`snapshot`, `get`)
+//! tolerate bounded staleness by design — a snapshot taken mid-run is
+//! advisory — and end-of-run reads are ordered by the thread join
+//! that precedes them. Multi-word reads (histogram `count`/`sum`/
+//! buckets) are likewise not a consistent cut and do not claim to be;
+//! `merge` and `reset` run while producers are quiescent.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};

@@ -19,10 +19,14 @@
 //! many-core host) stays entirely in userspace; only stragglers fall
 //! back to a condvar with a short timed park.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+// Concurrency vocabulary comes from the sw-check facade: plain `std`
+// re-exports in a normal build (zero-cost, the hot path is unchanged),
+// checker-instrumented types under `--cfg sw_check` so this exact
+// source is model-checked by `check_models`.
 use sw_arch::coord::{MESH_ROWS, N_CPES};
+use sw_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use sw_check::sync::{Condvar, Mutex};
+use sw_check::time::Duration;
 
 /// The barrier was cancelled while (or before) waiting; the run is
 /// being torn down.
@@ -30,9 +34,18 @@ use sw_arch::coord::{MESH_ROWS, N_CPES};
 pub struct BarrierCancelled;
 
 /// Busy-spin rounds (exponential, `2^k` spins each) before yielding.
+/// Under the model checker the spin/yield phases shrink to one round
+/// each so small models reach every phase (including the condvar park)
+/// within a few scheduler steps.
+#[cfg(not(sw_check))]
 const SPIN_ROUNDS: u32 = 6;
+#[cfg(sw_check)]
+const SPIN_ROUNDS: u32 = 1;
 /// `yield_now` rounds before parking on the condvar.
+#[cfg(not(sw_check))]
 const YIELD_ROUNDS: u32 = 10;
+#[cfg(sw_check)]
+const YIELD_ROUNDS: u32 = 1;
 /// Timed-park quantum; bounds the cost of a missed wakeup without a
 /// handshake on every release.
 const PARK_TIMEOUT: Duration = Duration::from_millis(1);
@@ -77,7 +90,7 @@ impl CancellableBarrier {
 
     /// Blocks until all `n` participants arrive (Ok) or the barrier is
     /// cancelled (Err). A cancelled barrier fails all future waits too.
-    #[cfg(test)]
+    #[cfg(any(test, sw_check))]
     pub fn wait(&self) -> Result<(), BarrierCancelled> {
         self.wait_clock(0).map(|_| ())
     }
@@ -133,11 +146,11 @@ impl CancellableBarrier {
             }
             if round < SPIN_ROUNDS {
                 for _ in 0..(1u32 << round) {
-                    std::hint::spin_loop();
+                    sw_check::hint::spin_loop();
                 }
                 round += 1;
             } else if round < SPIN_ROUNDS + YIELD_ROUNDS {
-                std::thread::yield_now();
+                sw_check::thread::yield_now();
                 round += 1;
             } else {
                 let guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
@@ -161,6 +174,69 @@ impl CancellableBarrier {
         self.cancelled.store(true, Ordering::Release);
         drop(self.lock.lock().unwrap_or_else(|e| e.into_inner()));
         self.cv.notify_all();
+    }
+}
+
+/// Seeded defects for the model-check suite ([`crate::check_models`]):
+/// mutated copies of the verified operations above, compiled only
+/// under the checker cfg so production builds never contain them.
+/// Every mutant must be *caught* by `sw-check` — a mutant that passes
+/// means the suite lost its teeth.
+#[cfg(sw_check)]
+impl CancellableBarrier {
+    /// `wait` with the under-lock re-check removed: a release or
+    /// cancel firing between the lock-free check and the park is
+    /// missed, and progress comes to depend on the timed park expiring
+    /// — the checker's lost-wakeup signal.
+    pub(crate) fn wait_mutant_park_unchecked(&self) -> Result<(), BarrierCancelled> {
+        if self.cancelled.load(Ordering::Acquire) {
+            return Err(BarrierCancelled);
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        let slot = (gen & 1) as usize;
+        self.clocks[slot].fetch_max(0, Ordering::AcqRel);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            let max = self.clocks[slot].swap(0, Ordering::AcqRel);
+            self.released[slot].store(max, Ordering::Release);
+            self.count.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+            drop(self.lock.lock().unwrap_or_else(|e| e.into_inner()));
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let mut round = 0u32;
+        loop {
+            if self.generation.load(Ordering::Acquire) != gen {
+                return Ok(());
+            }
+            if self.cancelled.load(Ordering::Acquire) {
+                return Err(BarrierCancelled);
+            }
+            if round < SPIN_ROUNDS {
+                for _ in 0..(1u32 << round) {
+                    sw_check::hint::spin_loop();
+                }
+                round += 1;
+            } else if round < SPIN_ROUNDS + YIELD_ROUNDS {
+                sw_check::thread::yield_now();
+                round += 1;
+            } else {
+                let guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+                // MUTANT: the generation/cancel re-check belongs here.
+                let _ = self
+                    .cv
+                    .wait_timeout(guard, PARK_TIMEOUT)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// `cancel` that poisons without notifying: a parked waiter is
+    /// stranded until its timed park expires, which the checker
+    /// reports as a lost wakeup.
+    pub(crate) fn cancel_mutant_no_notify(&self) {
+        self.cancelled.store(true, Ordering::Release);
+        // MUTANT: the lock + notify_all belong here.
     }
 }
 
@@ -263,6 +339,52 @@ mod tests {
         });
         // Late arrivals fail immediately instead of hanging.
         assert_eq!(b.wait(), Err(BarrierCancelled));
+    }
+
+    #[test]
+    fn cancel_racing_last_arrival_strands_nobody() {
+        // The exhaustive interleaving version of this race is the
+        // `sim/barrier-cancel-vs-last-arrival` model; this is the
+        // tier-1 smoke test of the same property. Two waiters and a
+        // canceller race: a waiter may pass (completed generation wins
+        // over cancel) or fail, but every thread must return.
+        for _ in 0..200 {
+            let b = CancellableBarrier::new(2);
+            std::thread::scope(|s| {
+                let w1 = s.spawn(|| b.wait());
+                let w2 = s.spawn(|| b.wait());
+                s.spawn(|| b.cancel());
+                for r in [w1.join().unwrap(), w2.join().unwrap()] {
+                    assert!(matches!(r, Ok(()) | Err(BarrierCancelled)));
+                }
+            });
+            // Whatever the race decided, the poison is now permanent.
+            assert_eq!(b.wait(), Err(BarrierCancelled));
+        }
+    }
+
+    #[test]
+    fn wait_clock_maximum_arrives_with_the_laggard() {
+        // Fast participants bring small clocks and park; the lagging
+        // CPE shows up last carrying the generation maximum. Everyone
+        // — including the parked threads woken by the laggard's
+        // release — must observe the laggard's clock.
+        let b = CancellableBarrier::new(4);
+        std::thread::scope(|s| {
+            let mut fast = Vec::new();
+            for p in 0..3u64 {
+                let b = &b;
+                fast.push(s.spawn(move || b.wait_clock(p + 1)));
+            }
+            // Long enough that the fast waiters exhaust their spin and
+            // yield budgets and reach the condvar park.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let got = b.wait_clock(999).unwrap();
+            assert_eq!(got, 999, "laggard gets its own maximum back");
+            for h in fast {
+                assert_eq!(h.join().unwrap(), Ok(999), "parked waiter gets the max");
+            }
+        });
     }
 
     #[test]

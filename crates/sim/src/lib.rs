@@ -21,6 +21,8 @@
 //! from the DAG structure rather than being hard-coded.
 
 pub(crate) mod barrier;
+#[cfg(sw_check)]
+pub mod check_models;
 pub mod core_group;
 pub(crate) mod pool;
 pub mod stats;
