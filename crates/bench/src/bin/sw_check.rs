@@ -3,7 +3,8 @@
 //! Runs every registered model (the checker's built-in scenarios plus,
 //! when the workspace is compiled with `RUSTFLAGS='--cfg sw_check'`,
 //! the ported production primitives: the mesh SPSC ring and backoff
-//! fuse, the cancellable barrier, and the flight-recorder ring) and
+//! fuse, the cancellable barrier, the flight-recorder ring, and the
+//! service's tenant queues) and
 //! checks each against its declared expectation — correct primitives
 //! must pass exhaustively, seeded-defect mutants must be caught with a
 //! replayable interleaving.
@@ -66,6 +67,14 @@ fn all_models() -> Vec<Entry> {
                     model,
                 }),
         );
+        out.extend(
+            sw_serve::check_models::models()
+                .into_iter()
+                .map(|model| Entry {
+                    origin: "serve",
+                    model,
+                }),
+        );
     }
     out
 }
@@ -87,8 +96,8 @@ fn main() {
     if cfg!(not(sw_check)) {
         eprintln!(
             "sw-check: built without --cfg sw_check; running the {} built-in models only \
-             (rebuild with RUSTFLAGS='--cfg sw_check' to model-check the ported mesh/sim/probe \
-             primitives)",
+             (rebuild with RUSTFLAGS='--cfg sw_check' to model-check the ported \
+             mesh/sim/probe/serve primitives)",
             entries.len()
         );
     }

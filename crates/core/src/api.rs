@@ -15,7 +15,7 @@ use crate::Matrix;
 use std::time::Duration;
 use sw_faults::{FaultInjector, FaultSpec, FaultStats};
 use sw_isa::EngineBackend;
-use sw_sim::{CoreGroup, MeshPath, MeshTransport, RunStats, Tracer};
+use sw_sim::{CancelToken, CoreGroup, MeshPath, MeshTransport, RunStats, Tracer};
 
 /// Per-block runs the resilient path executes (first + recoveries)
 /// before an uncorrectable block surfaces as an error.
@@ -84,6 +84,8 @@ pub struct DgemmRunner {
     mesh_transport: MeshTransport,
     mesh_path: MeshPath,
     engine_backend: EngineBackend,
+    cancel: Option<CancelToken>,
+    diag_tag: Option<String>,
 }
 
 impl DgemmRunner {
@@ -103,7 +105,29 @@ impl DgemmRunner {
             mesh_transport: MeshTransport::default(),
             mesh_path: MeshPath::default(),
             engine_backend: EngineBackend::default(),
+            cancel: None,
+            diag_tag: None,
         }
+    }
+
+    /// Installs a cooperative cancellation token for the run. Firing
+    /// the token (from any thread — a deadline watchdog, a service's
+    /// shutdown path) poisons the run's barriers so the core group is
+    /// freed promptly, and the run returns
+    /// [`DgemmError::Cancelled`] with the token's reason. Compose with
+    /// [`Self::mesh_timeout`] when enforcing deadlines: mesh-blocked
+    /// CPEs are bounded by the deadlock fuse, not the barrier poison.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Tags any diagnostics bundle this run emits with a caller
+    /// discriminator (e.g. a request id), making concurrent failures
+    /// attributable and their filenames collision-proof.
+    pub fn diag_tag(mut self, tag: impl Into<String>) -> Self {
+        self.diag_tag = Some(tag.into());
+        self
     }
 
     /// Attaches a simulated-time tracer to the functional run (see
@@ -270,6 +294,7 @@ impl DgemmRunner {
         cg.set_mesh_transport(self.mesh_transport);
         cg.set_mesh_path(self.mesh_path);
         cg.set_engine_backend(self.engine_backend);
+        cg.set_cancel_token(self.cancel.clone());
         // A fresh black box per dispatch: the recorder's rings, clocks
         // and busy ledgers cover exactly this run, so a bundle emitted
         // on failure is not polluted by earlier runs on the same group.
@@ -295,13 +320,17 @@ impl DgemmRunner {
             b: ib,
             c: ic,
         };
-        let mut diag = DiagInfo::default();
+        let mut diag = DiagInfo {
+            tag: self.diag_tag.clone(),
+            ..DiagInfo::default()
+        };
         let result = self
             .dispatch(cg, io, m, n, k, alpha, beta, &mut diag)
             .and_then(|report| Ok((report, cg.mem.extract(io.c)?)));
         let _ = cg.mem.remove(io.a);
         let _ = cg.mem.remove(io.b);
         let _ = cg.mem.remove(io.c);
+        cg.set_cancel_token(None);
         match result {
             Ok((report, out)) => {
                 *c = out;

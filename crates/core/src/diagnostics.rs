@@ -42,17 +42,86 @@ pub(crate) struct DiagInfo {
     pub faults: Option<FaultStats>,
     /// The validated plan, once dispatch got that far.
     pub plan: Option<GemmPlan>,
+    /// Caller-supplied discriminator (a request id in `sw-serve`),
+    /// folded into the bundle filename so concurrent failures from
+    /// different requests can never collide or be misattributed.
+    pub tag: Option<String>,
 }
 
 /// Events of the last recorded tail serialized per ring; bounds the
 /// bundle size to a few hundred KB at worst.
 const TAIL_EVENTS: usize = 64;
 
+/// Monotonic per-process bundle sequence: two failures in the same
+/// millisecond (or the same request retried) still get distinct names.
 static BUNDLE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Per-process emission cap; once reached, further bundles are counted
+/// as dropped instead of written (a failing service must not fill the
+/// disk with thousands of near-identical bundles).
+static BUNDLE_CAP: AtomicU64 = AtomicU64::new(DEFAULT_BUNDLE_CAP);
+
+/// Bundles suppressed by the cap since process start.
+static BUNDLES_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Default per-process bundle cap (see [`set_bundle_cap`]).
+pub const DEFAULT_BUNDLE_CAP: u64 = 256;
+
+/// Overrides the per-process bundle cap. Services that expect fault
+/// storms lower this; `u64::MAX` disables the cap.
+pub fn set_bundle_cap(cap: u64) {
+    BUNDLE_CAP.store(cap, Ordering::Relaxed);
+}
+
+/// How many bundles the cap has suppressed since process start.
+pub fn bundles_dropped() -> u64 {
+    BUNDLES_DROPPED.load(Ordering::Relaxed)
+}
+
+/// Whether the `seq`-th bundle (0-based) is admitted under `cap`.
+fn admit(seq: u64, cap: u64) -> bool {
+    seq < cap
+}
+
+/// Builds the collision-proof bundle filename: error class, wall-clock
+/// stamp, pid, monotonic sequence, and (when present) the caller's
+/// request discriminator. Uniqueness within a process is carried by
+/// `seq` alone; pid + stamp keep names unique across processes sharing
+/// one `$SW_DIAG_DIR`.
+fn bundle_name(err: &DgemmError, stamp: u128, seq: u64, tag: Option<&str>) -> String {
+    let base = format!(
+        "diag-{}-{}-{}-{}",
+        error_kind(err),
+        stamp,
+        std::process::id(),
+        seq
+    );
+    match tag {
+        Some(tag) => format!("{base}-{}.json", sanitize_tag(tag)),
+        None => format!("{base}.json"),
+    }
+}
+
+/// Filename-safe projection of a caller tag (alnum, `-`, `_` kept,
+/// everything else mapped to `_`, capped at 48 chars).
+fn sanitize_tag(tag: &str) -> String {
+    tag.chars()
+        .take(48)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
 
 /// Emits a diagnostics bundle for a failed run, best-effort. Returns
 /// the bundle path, or `None` when the error class carries no runtime
-/// evidence (bad dims/params never started a run) or the write failed.
+/// evidence (bad dims/params never started a run; a cancel is a policy
+/// outcome, not an incident), the per-process cap is spent, or the
+/// write failed.
 pub(crate) fn emit_on_error(
     cg: &CoreGroup,
     err: &DgemmError,
@@ -60,7 +129,18 @@ pub(crate) fn emit_on_error(
     dims: (usize, usize, usize),
     info: &DiagInfo,
 ) -> Option<PathBuf> {
-    if matches!(err, DgemmError::BadDims(_) | DgemmError::BadParams(_)) {
+    if matches!(
+        err,
+        DgemmError::BadDims(_) | DgemmError::BadParams(_) | DgemmError::Cancelled { .. }
+    ) {
+        return None;
+    }
+    let seq = BUNDLE_SEQ.fetch_add(1, Ordering::Relaxed);
+    if !admit(seq, BUNDLE_CAP.load(Ordering::Relaxed)) {
+        BUNDLES_DROPPED.fetch_add(1, Ordering::Relaxed);
+        sw_probe::metrics::global()
+            .counter("diag.bundles.dropped")
+            .inc();
         return None;
     }
     let body = render_bundle_json(cg.flight(), err, variant, dims, info);
@@ -68,19 +148,11 @@ pub(crate) fn emit_on_error(
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("diagnostics"));
     std::fs::create_dir_all(&dir).ok()?;
-    let seq = BUNDLE_SEQ.fetch_add(1, Ordering::Relaxed);
     let stamp = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_millis())
         .unwrap_or(0);
-    let name = format!(
-        "diag-{}-{}-{}-{}.json",
-        error_kind(err),
-        stamp,
-        std::process::id(),
-        seq
-    );
-    let path = dir.join(name);
+    let path = dir.join(bundle_name(err, stamp, seq, info.tag.as_deref()));
     std::fs::write(&path, body).ok()?;
     Some(path)
 }
@@ -94,6 +166,7 @@ fn error_kind(err: &DgemmError) -> &'static str {
         DgemmError::Lint(_) => "lint",
         DgemmError::MeshDeadlock { .. } => "mesh-deadlock",
         DgemmError::AbftMismatch { .. } => "abft-mismatch",
+        DgemmError::Cancelled { .. } => "cancelled",
     }
 }
 
@@ -574,5 +647,50 @@ mod tests {
     fn renderer_rejects_garbage_and_wrong_schema() {
         assert!(render_bundle_str("not json").is_err());
         assert!(render_bundle_str("{\"schema\": \"other/9\"}").is_err());
+    }
+
+    #[test]
+    fn bundle_names_are_collision_proof_and_tagged() {
+        let err = DgemmError::Lint("x".into());
+        // Same wall-clock stamp, same error class: the monotonic
+        // sequence alone must keep the names distinct.
+        let a = bundle_name(&err, 1234, 7, None);
+        let b = bundle_name(&err, 1234, 8, None);
+        assert_ne!(a, b);
+        assert!(a.starts_with("diag-lint-1234-") && a.ends_with("-7.json"));
+        // The request discriminator lands in the name, sanitized.
+        let t = bundle_name(&err, 1234, 9, Some("req 42/tenant:a"));
+        assert!(t.ends_with("-9-req_42_tenant_a.json"), "got {t}");
+        // Pathological tags are length-capped and filename-safe.
+        let long = "x".repeat(300) + "/../../etc";
+        let c = bundle_name(&err, 1234, 10, Some(&long));
+        assert!(c.len() < 100);
+        assert!(!c.contains('/'));
+    }
+
+    #[test]
+    fn cap_admits_below_and_drops_at_limit() {
+        assert!(admit(0, 1));
+        assert!(!admit(1, 1));
+        assert!(admit(255, DEFAULT_BUNDLE_CAP));
+        assert!(!admit(DEFAULT_BUNDLE_CAP, DEFAULT_BUNDLE_CAP));
+        assert!(admit(u64::MAX - 1, u64::MAX));
+    }
+
+    #[test]
+    fn cancelled_runs_never_emit_bundles() {
+        // Policy outcomes carry no incident evidence; the skip happens
+        // before the sequence is consumed or any file is touched.
+        let cg = CoreGroup::new();
+        let before = BUNDLE_SEQ.load(Ordering::Relaxed);
+        let out = emit_on_error(
+            &cg,
+            &DgemmError::Cancelled { deadline: true },
+            Variant::Sched,
+            (128, 64, 128),
+            &DiagInfo::default(),
+        );
+        assert!(out.is_none());
+        assert_eq!(BUNDLE_SEQ.load(Ordering::Relaxed), before);
     }
 }

@@ -39,6 +39,15 @@ pub enum DgemmError {
         /// Which checksum failed and by how much.
         detail: String,
     },
+    /// The run was cancelled cooperatively through a
+    /// [`sw_sim::CancelToken`] installed on the runner — a policy
+    /// outcome (the caller abandoned the request), not a fault. The
+    /// core group stays reusable; `C` holds no result.
+    Cancelled {
+        /// `true` when the token was fired by a deadline watchdog
+        /// (`cancel_deadline`), `false` for an explicit caller cancel.
+        deadline: bool,
+    },
 }
 
 impl fmt::Display for DgemmError {
@@ -64,6 +73,15 @@ impl fmt::Display for DgemmError {
                 "ABFT checksum mismatch in CG block ({}, {}, {}) after {attempts} attempt(s): \
                  {detail}",
                 block.0, block.1, block.2
+            ),
+            DgemmError::Cancelled { deadline } => write!(
+                f,
+                "run cancelled ({})",
+                if *deadline {
+                    "deadline expired"
+                } else {
+                    "caller cancelled"
+                }
             ),
         }
     }

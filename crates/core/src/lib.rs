@@ -51,6 +51,7 @@ pub use plan::GemmPlan;
 pub use sw_faults::{FaultSpec, FaultStats, StuckSpec, WedgeSpec};
 pub use sw_isa::EngineBackend;
 pub use sw_mem::HostMatrix as Matrix;
+pub use sw_mem::MemError;
 pub use sw_sim::{MeshPath, MeshTransport};
 pub use timing::{estimate, estimate_with, TimingReport};
 pub use variants::batched::dgemm_batched;

@@ -120,8 +120,8 @@ pub fn run_functional_raw(
             "installed matrices do not match the given dimensions".into(),
         ));
     }
-    let stats = cg.run(move |ctx| raw_thread_body(ctx, m, n, k, raw, io, alpha, beta));
-    Ok(stats)
+    cg.try_run(move |ctx| raw_thread_body(ctx, m, n, k, raw, io, alpha, beta))
+        .map_err(|run_err| super::shared::map_run_error(cg, &run_err))
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -40,15 +40,13 @@ use crate::mapping::{self, Mapping};
 use crate::plan::GemmPlan;
 use crate::sharing::StepRole;
 use crate::streamed::strip_step;
-use crate::variants::shared::{check_io, compute_and_store, load_ac, GemmIo};
+use crate::variants::shared::{check_io, compute_and_store, load_ac, map_run_error, GemmIo};
 use std::sync::Arc;
 use sw_arch::coord::{Coord, N_CPES};
 use sw_faults::FaultInjector;
 use sw_isa::Operand;
-use sw_lint::{rendezvous_summary, CommCounts};
 use sw_mem::dma::MatRegion;
 use sw_mem::MemError;
-use sw_mesh::MeshGridStats;
 use sw_probe::flight::{self, EventKind, MPE_RING};
 use sw_sim::{CoreGroup, CpeError, RunError, RunStats};
 
@@ -203,22 +201,14 @@ pub(crate) fn run_resilient(
                                     if let Some(inj) = &cfg.injector {
                                         inj.note_mesh_deadlock();
                                     }
-                                    return Err(DgemmError::MeshDeadlock {
-                                        coord: (primary.coord.row, primary.coord.col),
-                                        summary: rendezvous_summary(&grid_to_comm(&run_err.grid)),
-                                    });
+                                    return Err(map_run_error(cg, &run_err));
                                 }
                                 CpeError::Mem(e) => return Err(DgemmError::Mem(e)),
-                                // All-casualty runs have no primary
-                                // cause; report the unwind itself.
-                                CpeError::Cancelled => {
-                                    return Err(DgemmError::Mem(MemError::Transient {
-                                        what: format!(
-                                            "CG block ({i}, {j}, {l}) unwound with no \
-                                             attributable primary failure"
-                                        ),
-                                    }))
-                                }
+                                // An all-`Cancelled` unwind: the cancel
+                                // token (deadline or caller abort) if
+                                // one fired, else an unattributable
+                                // transient.
+                                CpeError::Cancelled => return Err(map_run_error(cg, &run_err)),
                             }
                         }
                     }
@@ -374,22 +364,4 @@ fn accumulate(total: &mut RunStats, one: &RunStats) {
         .panicked_cpes
         .extend(one.panicked_cpes.iter().copied());
     total.wall += one.wall;
-}
-
-/// Converts the runtime's observed per-CPE traffic into the word
-/// counts the lint-side rendezvous check consumes: a broadcast
-/// enqueues up to 7 copies (`div_ceil` so a partially-dropped word
-/// still counts as sent), and a starved receive is one word of unmet
-/// demand.
-fn grid_to_comm(grid: &MeshGridStats) -> [[CommCounts; 8]; 8] {
-    let mut comm = [[CommCounts::default(); 8]; 8];
-    for (r, row) in grid.cells.iter().enumerate() {
-        for (c, t) in row.iter().enumerate() {
-            comm[r][c] = CommCounts {
-                sent: [t.row_sent.div_ceil(7), t.col_sent.div_ceil(7)],
-                recv: [t.row_recv + t.row_starved, t.col_recv + t.col_starved],
-            };
-        }
-    }
-    comm
 }

@@ -19,8 +19,10 @@ use crate::mapping::{self, Mapping};
 use crate::plan::GemmPlan;
 use crate::sharing::step_role;
 use crate::streamed::strip_step;
-use sw_mem::{LdmBuf, MatId};
-use sw_sim::{CoreGroup, CpeCtx, RunStats};
+use sw_lint::{rendezvous_summary, CommCounts};
+use sw_mem::{LdmBuf, MatId, MemError};
+use sw_mesh::MeshGridStats;
+use sw_sim::{CoreGroup, CpeCtx, CpeError, RunError, RunStats};
 
 /// The three operand matrices of one DGEMM, installed in main memory.
 #[derive(Debug, Clone, Copy)]
@@ -45,8 +47,57 @@ pub fn run_functional(
 ) -> Result<RunStats, DgemmError> {
     check_io(cg, plan, io)?;
     let plan = *plan;
-    let stats = cg.run(move |ctx| thread_body(ctx, &plan, mapping, io, alpha, beta));
-    Ok(stats)
+    cg.try_run(move |ctx| thread_body(ctx, &plan, mapping, io, alpha, beta))
+        .map_err(|run_err| map_run_error(cg, &run_err))
+}
+
+/// Maps a failed collective run's teardown evidence onto the crate's
+/// error taxonomy. Shared by the fast path, the RAW baseline, and the
+/// resilient executor's non-recoverable arm:
+///
+/// * a mesh-wedged primary becomes [`DgemmError::MeshDeadlock`] with
+///   the lint-side rendezvous summary over the observed traffic;
+/// * a memory/DMA primary surfaces as [`DgemmError::Mem`];
+/// * an all-`Cancelled` unwind is attributed to the core group's
+///   cancel token when one fired ([`DgemmError::Cancelled`], carrying
+///   the deadline bit) — a real fault on any CPE always outranks a
+///   concurrent cancel, because `RunError::primary` prefers
+///   non-cancelled failures.
+pub(crate) fn map_run_error(cg: &CoreGroup, run_err: &RunError) -> DgemmError {
+    let primary = run_err.primary();
+    match &primary.error {
+        CpeError::Mesh(_) => DgemmError::MeshDeadlock {
+            coord: (primary.coord.row, primary.coord.col),
+            summary: rendezvous_summary(&grid_to_comm(&run_err.grid)),
+        },
+        CpeError::Mem(e) => DgemmError::Mem(e.clone()),
+        CpeError::Cancelled => match cg.cancel_token() {
+            Some(token) if token.is_cancelled() => DgemmError::Cancelled {
+                deadline: token.deadline_hit(),
+            },
+            _ => DgemmError::Mem(MemError::Transient {
+                what: "run unwound with no attributable primary failure".to_string(),
+            }),
+        },
+    }
+}
+
+/// Converts the runtime's observed per-CPE traffic into the word
+/// counts the lint-side rendezvous check consumes: a broadcast
+/// enqueues up to 7 copies (`div_ceil` so a partially-dropped word
+/// still counts as sent), and a starved receive is one word of unmet
+/// demand.
+pub(crate) fn grid_to_comm(grid: &MeshGridStats) -> [[CommCounts; 8]; 8] {
+    let mut comm = [[CommCounts::default(); 8]; 8];
+    for (r, row) in grid.cells.iter().enumerate() {
+        for (c, t) in row.iter().enumerate() {
+            comm[r][c] = CommCounts {
+                sent: [t.row_sent.div_ceil(7), t.col_sent.div_ceil(7)],
+                recv: [t.row_recv + t.row_starved, t.col_recv + t.col_starved],
+            };
+        }
+    }
+    comm
 }
 
 pub(crate) fn check_io(cg: &CoreGroup, plan: &GemmPlan, io: GemmIo) -> Result<(), DgemmError> {

@@ -1,0 +1,47 @@
+//! `sw-serve`: an admission-controlled, deadline-aware DGEMM service
+//! over a self-healing pool of simulated SW26010 core groups.
+//!
+//! The one-shot `DgemmRunner` binaries answer "how fast is one GEMM";
+//! this crate answers the question above it, the one swCaffe showed
+//! dominates at scale: how does a *persistent, multi-tenant* runtime
+//! keep serving when individual requests, tenants, or core groups
+//! misbehave? The design treats failure as the normal case:
+//!
+//! * **Bounded admission** ([`Service::submit`]) — per-tenant bounded
+//!   queues under deficit-round-robin fairness; overload is shed with
+//!   a structured [`RejectReason`], never queued without limit.
+//! * **Deadlines** — a watchdog fires each request's
+//!   [`sw_sim::CancelToken`] on expiry, which poisons the run's
+//!   barriers, while the mesh deadlock fuse is clamped to the
+//!   remaining budget at dispatch; a cancelled request frees its core
+//!   group promptly on every path and resolves as
+//!   [`ServeOutcome::Cancelled`].
+//! * **Retries** — transient `DgemmError`s retry with seeded
+//!   exponential backoff ([`BackoffPolicy`]) on a *different* core
+//!   group; a group failing [`ServeConfig::quarantine_threshold`]
+//!   leases in a row is quarantined, health-checked with a bitwise
+//!   probe GEMM, and readmitted ([`crate::pool::CgPool`]).
+//! * **Telemetry** — every decision increments a `serve.*` metric
+//!   (global and per-tenant), and each failed attempt emits at most
+//!   one request-tagged diagnostics bundle.
+//!
+//! Completed responses are bitwise identical to a direct
+//! [`sw_dgemm::DgemmRunner`] call — the service adds scheduling and
+//! resilience policy, never numerics. `serve_bench` (in `sw-bench`)
+//! drives the whole stack under load and fault storms and pins the
+//! chaos gate in `BENCH_serve.json`.
+
+pub mod pool;
+pub mod queue;
+pub mod request;
+pub mod retry;
+pub mod service;
+
+#[cfg(sw_check)]
+pub mod check_models;
+
+pub use pool::CgPool;
+pub use queue::{Pop, PushError, TenantCfg, TenantQueues};
+pub use request::{FaultPlan, GemmRequest, Priority, RejectReason, ServeOutcome, Ticket};
+pub use retry::{is_retryable, BackoffPolicy};
+pub use service::{ServeConfig, Service};

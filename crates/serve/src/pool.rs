@@ -1,0 +1,385 @@
+//! The shared, self-healing [`CoreGroup`] pool.
+//!
+//! Core groups are expensive (64 persistent CPE threads each), so the
+//! service owns a small fixed pool and leases groups to workers one
+//! request-attempt at a time. Failure handling is the pool's whole
+//! point:
+//!
+//! * a lease closed with [`Lease::succeed`] resets the group's
+//!   consecutive-failure count;
+//! * a lease closed with [`Lease::fail`] increments it, and at the
+//!   quarantine threshold the group leaves the rotation entirely —
+//!   one persistently sick group degrades *capacity*, never
+//!   availability;
+//! * a healer thread (see [`crate::service`]) health-checks each
+//!   quarantined group with a probe GEMM (bitwise against the host
+//!   reference) and readmits it on a pass, so transient sickness heals
+//!   without operator action;
+//! * a lease dropped or closed with [`Lease::release`] (cancelled
+//!   requests) returns the group neutrally — a deadline expiry says
+//!   nothing about the group's health.
+//!
+//! [`CgPool::lease`] takes an `exclude` list so retries land on a
+//! *different* group than the attempts that already failed, whenever
+//! the pool has an alternative free.
+
+use std::sync::{Arc, Condvar, Mutex};
+use sw_dgemm::{gen, reference, BlockingParams, DgemmRunner, Variant};
+use sw_probe::metrics;
+use sw_sim::CoreGroup;
+
+/// Health probe run on a quarantined group before readmission: `true`
+/// means healthy. The default probe runs a small GEMM and compares
+/// bitwise against the chunked host reference.
+pub type Probe = dyn Fn(&mut CoreGroup) -> bool + Send + Sync;
+
+/// Where a pool slot is in the quarantine state machine.
+enum SlotState {
+    /// In rotation, ready to lease.
+    Free(Box<CoreGroup>),
+    /// Checked out by a worker.
+    Leased,
+    /// Out of rotation pending a healer probe.
+    Quarantined(Box<CoreGroup>),
+    /// Being probed by the healer right now.
+    Probing,
+}
+
+#[derive(Debug, Default)]
+struct SlotMeta {
+    /// Failures since the last success; quarantine trips at the
+    /// threshold.
+    consecutive_failures: u32,
+    /// Times this slot has been quarantined (telemetry).
+    quarantines: u64,
+}
+
+struct PoolState {
+    slots: Vec<SlotState>,
+    meta: Vec<SlotMeta>,
+    shutdown: bool,
+}
+
+/// A fixed-size pool of reusable core groups with quarantine.
+pub struct CgPool {
+    state: Mutex<PoolState>,
+    /// Signalled when a slot becomes Free (lease waiters) or
+    /// Quarantined (the healer).
+    changed: Condvar,
+    threshold: u32,
+    probe: Box<Probe>,
+}
+
+impl std::fmt::Debug for CgPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CgPool")
+            .field("threshold", &self.threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The default health probe: a 128×64×128 GEMM on the test blocking,
+/// bitwise-checked against [`reference::dgemm_chunked_fma`].
+pub fn default_probe() -> Box<Probe> {
+    Box::new(|cg: &mut CoreGroup| {
+        let p = BlockingParams::test_small();
+        let a = gen::random_matrix(128, 128, 0xbeef);
+        let b = gen::random_matrix(128, 64, 0xcafe);
+        let c0 = gen::random_matrix(128, 64, 0xf00d);
+        let mut c = c0.clone();
+        let ok = DgemmRunner::new(Variant::Sched)
+            .params(p)
+            .run_on(cg, 1.0, &a, &b, 1.0, &mut c)
+            .is_ok();
+        if !ok {
+            return false;
+        }
+        let mut expect = c0;
+        reference::dgemm_chunked_fma(1.0, &a, &b, 1.0, &mut expect, p.pk);
+        c == expect
+    })
+}
+
+impl CgPool {
+    /// A pool of `n` fresh core groups quarantining after `threshold`
+    /// consecutive failed leases, probed with the default GEMM probe.
+    pub fn new(n: usize, threshold: u32) -> Arc<Self> {
+        Self::with_probe(n, threshold, default_probe())
+    }
+
+    /// [`Self::new`] with a custom health probe (tests inject probes
+    /// that fail deterministically).
+    pub fn with_probe(n: usize, threshold: u32, probe: Box<Probe>) -> Arc<Self> {
+        assert!(n >= 1, "pool needs at least one core group");
+        assert!(threshold >= 1, "quarantine threshold must be >= 1");
+        Arc::new(CgPool {
+            state: Mutex::new(PoolState {
+                slots: (0..n).map(|_| SlotState::Free(Box::default())).collect(),
+                meta: (0..n).map(|_| SlotMeta::default()).collect(),
+                shutdown: false,
+            }),
+            changed: Condvar::new(),
+            threshold,
+            probe,
+        })
+    }
+
+    /// Leases a free group, blocking while none is available. Prefers
+    /// a slot not in `exclude` (retry-on-a-different-group); falls back
+    /// to an excluded slot when that is all the rotation has — a busy
+    /// pool beats an artificial deadlock. Returns `None` on shutdown.
+    pub fn lease(self: &Arc<Self>, exclude: &[usize]) -> Option<Lease> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.shutdown {
+                return None;
+            }
+            let free: Vec<usize> = st
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, SlotState::Free(_)))
+                .map(|(i, _)| i)
+                .collect();
+            let pick = free
+                .iter()
+                .copied()
+                .find(|i| !exclude.contains(i))
+                .or(free.first().copied());
+            if let Some(slot) = pick {
+                let cg = match std::mem::replace(&mut st.slots[slot], SlotState::Leased) {
+                    SlotState::Free(cg) => cg,
+                    _ => unreachable!("slot was checked Free"),
+                };
+                return Some(Lease {
+                    pool: Arc::clone(self),
+                    slot,
+                    cg: Some(cg),
+                });
+            }
+            st = self.changed.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Takes one quarantined group for probing (healer side); blocks
+    /// until one exists or shutdown (`None`).
+    pub fn take_quarantined(&self) -> Option<(usize, Box<CoreGroup>)> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.shutdown {
+                return None;
+            }
+            let found = st
+                .slots
+                .iter()
+                .position(|s| matches!(s, SlotState::Quarantined(_)));
+            if let Some(slot) = found {
+                let cg = match std::mem::replace(&mut st.slots[slot], SlotState::Probing) {
+                    SlotState::Quarantined(cg) => cg,
+                    _ => unreachable!("slot was checked Quarantined"),
+                };
+                return Some((slot, cg));
+            }
+            st = self.changed.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Runs the configured probe against a group (healer side).
+    pub fn probe(&self, cg: &mut CoreGroup) -> bool {
+        (self.probe)(cg)
+    }
+
+    /// Returns a probed group to the pool: into rotation on a healthy
+    /// probe (failure count reset), back to quarantine otherwise.
+    pub fn readmit(&self, slot: usize, cg: Box<CoreGroup>, healthy: bool) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(matches!(st.slots[slot], SlotState::Probing));
+        if healthy {
+            st.meta[slot].consecutive_failures = 0;
+            st.slots[slot] = SlotState::Free(cg);
+            metrics::global().counter("serve.pool.readmitted").inc();
+        } else {
+            st.slots[slot] = SlotState::Quarantined(cg);
+            metrics::global().counter("serve.pool.probe_failures").inc();
+        }
+        drop(st);
+        self.changed.notify_all();
+    }
+
+    /// Unblocks every lease/healer waiter; the pool stops handing out
+    /// groups.
+    pub fn shutdown(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.shutdown = true;
+        drop(st);
+        self.changed.notify_all();
+    }
+
+    /// `(free, leased, quarantined)` snapshot for telemetry and tests.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut c = (0, 0, 0);
+        for s in &st.slots {
+            match s {
+                SlotState::Free(_) => c.0 += 1,
+                SlotState::Leased => c.1 += 1,
+                SlotState::Quarantined(_) | SlotState::Probing => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Times the given slot has entered quarantine.
+    pub fn quarantine_count(&self, slot: usize) -> u64 {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.meta[slot].quarantines
+    }
+
+    fn close(&self, slot: usize, cg: Box<CoreGroup>, verdict: LeaseVerdict) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match verdict {
+            LeaseVerdict::Success => {
+                st.meta[slot].consecutive_failures = 0;
+                st.slots[slot] = SlotState::Free(cg);
+            }
+            LeaseVerdict::Neutral => {
+                st.slots[slot] = SlotState::Free(cg);
+            }
+            LeaseVerdict::Failure => {
+                st.meta[slot].consecutive_failures += 1;
+                if st.meta[slot].consecutive_failures >= self.threshold {
+                    st.meta[slot].quarantines += 1;
+                    st.slots[slot] = SlotState::Quarantined(cg);
+                    metrics::global().counter("serve.pool.quarantined").inc();
+                } else {
+                    st.slots[slot] = SlotState::Free(cg);
+                }
+            }
+        }
+        drop(st);
+        self.changed.notify_all();
+    }
+}
+
+enum LeaseVerdict {
+    Success,
+    Neutral,
+    Failure,
+}
+
+/// An exclusive checkout of one core group. Closing the lease reports
+/// the attempt's verdict to the quarantine state machine; dropping it
+/// without a verdict is a neutral release.
+pub struct Lease {
+    pool: Arc<CgPool>,
+    slot: usize,
+    cg: Option<Box<CoreGroup>>,
+}
+
+impl Lease {
+    /// The pool slot this lease holds (feed into `lease`'s `exclude`
+    /// on retry).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// The leased group.
+    pub fn cg_mut(&mut self) -> &mut CoreGroup {
+        self.cg.as_mut().expect("lease still open")
+    }
+
+    /// Closes the lease after a successful run: failure streak resets.
+    pub fn succeed(mut self) {
+        let cg = self.cg.take().expect("lease still open");
+        self.pool.close(self.slot, cg, LeaseVerdict::Success);
+    }
+
+    /// Closes the lease after a run whose failure is attributable to
+    /// the environment/group; may trip quarantine.
+    pub fn fail(mut self) {
+        let cg = self.cg.take().expect("lease still open");
+        self.pool.close(self.slot, cg, LeaseVerdict::Failure);
+    }
+
+    /// Closes the lease with no health signal (cancelled or malformed
+    /// requests say nothing about the group).
+    pub fn release(mut self) {
+        let cg = self.cg.take().expect("lease still open");
+        self.pool.close(self.slot, cg, LeaseVerdict::Neutral);
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        if let Some(cg) = self.cg.take() {
+            self.pool.close(self.slot, cg, LeaseVerdict::Neutral);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_prefers_a_different_group_on_retry() {
+        let pool = CgPool::new(2, 2);
+        let first = pool.lease(&[]).unwrap();
+        let first_slot = first.slot();
+        first.fail();
+        // Retry excluding the failed slot must pick the other one.
+        let retry = pool.lease(&[first_slot]).unwrap();
+        assert_ne!(retry.slot(), first_slot, "retry rotates to a fresh group");
+        retry.release();
+        // With the alternative leased away, exclusion degrades
+        // gracefully to the excluded slot instead of blocking forever.
+        let other = pool.lease(&[first_slot]).unwrap();
+        let held = pool.lease(&[other.slot()]).unwrap();
+        assert_eq!(held.slot(), first_slot);
+        held.release();
+        other.release();
+    }
+
+    #[test]
+    fn quarantine_trips_at_threshold_and_probe_readmits() {
+        let pool = CgPool::new(1, 2);
+        for _ in 0..2 {
+            pool.lease(&[]).unwrap().fail();
+        }
+        assert_eq!(pool.census(), (0, 0, 1), "slot quarantined at threshold");
+        assert_eq!(pool.quarantine_count(0), 1);
+        // Healer cycle: probe passes (the group is actually healthy —
+        // wedges are per-request injections), slot rejoins rotation.
+        let (slot, mut cg) = pool.take_quarantined().unwrap();
+        let healthy = pool.probe(&mut cg);
+        assert!(healthy, "a clean group passes the default probe");
+        pool.readmit(slot, cg, healthy);
+        assert_eq!(pool.census(), (1, 0, 0));
+        // The streak reset with readmission: one more failure does not
+        // re-quarantine.
+        pool.lease(&[]).unwrap().fail();
+        assert_eq!(pool.census(), (1, 0, 0));
+    }
+
+    #[test]
+    fn success_and_neutral_release_do_not_advance_the_streak() {
+        let pool = CgPool::new(1, 2);
+        pool.lease(&[]).unwrap().fail();
+        pool.lease(&[]).unwrap().succeed(); // resets
+        pool.lease(&[]).unwrap().fail();
+        pool.lease(&[]).unwrap().release(); // neutral: no reset, no count
+        pool.lease(&[]).unwrap().fail(); // second consecutive -> quarantine
+        assert_eq!(pool.census(), (0, 0, 1));
+    }
+
+    #[test]
+    fn failed_probe_keeps_the_group_quarantined() {
+        let pool = CgPool::with_probe(1, 1, Box::new(|_| false));
+        pool.lease(&[]).unwrap().fail();
+        let (slot, mut cg) = pool.take_quarantined().unwrap();
+        let healthy = pool.probe(&mut cg);
+        assert!(!healthy);
+        pool.readmit(slot, cg, healthy);
+        assert_eq!(pool.census(), (0, 0, 1), "still out of rotation");
+    }
+}

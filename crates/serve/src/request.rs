@@ -1,0 +1,221 @@
+//! Request/response vocabulary of the service.
+//!
+//! A [`GemmRequest`] is one `C = α·A·B + β·C` problem submitted by a
+//! tenant; the service answers with a [`Ticket`] that resolves to a
+//! [`ServeOutcome`] — completion with the result matrix, a structured
+//! rejection at admission, a structured failure after the retry budget,
+//! or a cancellation. Every path is explicit: the service never drops a
+//! request silently and never returns a wrong answer in place of an
+//! error.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use sw_dgemm::{AbftPolicy, BlockingParams, DgemmError, Matrix, Variant};
+use sw_faults::FaultSpec;
+
+/// Scheduling priority inside a tenant's queue. High-priority requests
+/// are served before normal ones *of the same tenant*; cross-tenant
+/// ordering is governed by the deficit round-robin weights alone, so
+/// one tenant's high-priority flood cannot starve its neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Ahead of the tenant's normal queue.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+}
+
+/// How a request's fault plan composes with retries — the knob the
+/// chaos bench turns.
+#[derive(Debug, Clone)]
+pub enum FaultPlan {
+    /// Inject on every attempt (models an environment-wide storm; only
+    /// ABFT healing or degradation can complete the request).
+    EveryAttempt(FaultSpec),
+    /// Inject on the first attempt only (models a transiently sick
+    /// core group; the retry on a different group runs clean).
+    FirstAttemptOnly(FaultSpec),
+}
+
+impl FaultPlan {
+    /// The spec to install for the given 0-based attempt.
+    pub(crate) fn spec_for(&self, attempt: u32) -> Option<&FaultSpec> {
+        match self {
+            FaultPlan::EveryAttempt(s) => Some(s),
+            FaultPlan::FirstAttemptOnly(s) if attempt == 0 => Some(s),
+            FaultPlan::FirstAttemptOnly(_) => None,
+        }
+    }
+}
+
+/// One GEMM problem submitted to the service. Operands are shared
+/// (`Arc`) so retries re-run from the original inputs without copies;
+/// the initial `c` is cloned per attempt (the update must apply exactly
+/// once no matter how many attempts it takes).
+#[derive(Debug, Clone)]
+pub struct GemmRequest {
+    /// Index into the service's tenant table.
+    pub tenant: usize,
+    /// GEMM α scalar.
+    pub alpha: f64,
+    /// GEMM β scalar.
+    pub beta: f64,
+    /// m×k input.
+    pub a: Arc<Matrix>,
+    /// k×n input.
+    pub b: Arc<Matrix>,
+    /// m×n input/output (the service returns the updated copy).
+    pub c: Arc<Matrix>,
+    /// DGEMM variant to run (default SCHED).
+    pub variant: Variant,
+    /// Blocking override; `None` lets the runner choose.
+    pub params: Option<BlockingParams>,
+    /// Queue lane within the tenant.
+    pub priority: Priority,
+    /// Completion deadline measured from admission; `None` means
+    /// best-effort. Expiry cancels the request wherever it is (queued
+    /// or running) and frees its core group promptly.
+    pub deadline: Option<Duration>,
+    /// Fault-injection plan for this request (chaos testing).
+    pub faults: Option<FaultPlan>,
+    /// ABFT checksum policy for this request's runs.
+    pub abft: AbftPolicy,
+}
+
+impl GemmRequest {
+    /// A plain best-effort request with unit scalars on the SCHED
+    /// variant — the common case; override fields as needed.
+    pub fn new(tenant: usize, a: Arc<Matrix>, b: Arc<Matrix>, c: Arc<Matrix>) -> Self {
+        GemmRequest {
+            tenant,
+            alpha: 1.0,
+            beta: 0.0,
+            a,
+            b,
+            c,
+            variant: Variant::Sched,
+            params: None,
+            priority: Priority::Normal,
+            deadline: None,
+            faults: None,
+            abft: AbftPolicy::Off,
+        }
+    }
+}
+
+/// Why admission refused a request — load shedding is a structured
+/// answer, not an unbounded queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's bounded queue is at capacity.
+    QueueFull {
+        /// The refused tenant.
+        tenant: usize,
+        /// Jobs queued for the tenant at refusal time.
+        depth: usize,
+        /// The tenant's configured capacity.
+        cap: usize,
+    },
+    /// The requested deadline is hopeless against the observed service
+    /// latency; failing fast beats wasting a core group on it.
+    DeadlineInfeasible {
+        /// The requested budget.
+        deadline: Duration,
+        /// The service's current smoothed completion-latency estimate.
+        estimate: Duration,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { tenant, depth, cap } => {
+                write!(f, "tenant {tenant} queue full ({depth}/{cap})")
+            }
+            RejectReason::DeadlineInfeasible { deadline, estimate } => write!(
+                f,
+                "deadline {deadline:?} infeasible against latency estimate {estimate:?}"
+            ),
+            RejectReason::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+/// Terminal state of an admitted request.
+#[derive(Debug, Clone)]
+pub enum ServeOutcome {
+    /// The GEMM ran to completion; `c` is bitwise what a direct
+    /// `DgemmRunner` call would have produced.
+    Completed {
+        /// The updated C matrix.
+        c: Matrix,
+        /// Attempts executed (1 = first try succeeded).
+        attempts: u32,
+        /// Admission-to-completion latency.
+        latency: Duration,
+    },
+    /// Every attempt in the retry budget failed; the *last* error is
+    /// preserved.
+    Failed {
+        /// The final attempt's structured error.
+        error: DgemmError,
+        /// Attempts executed.
+        attempts: u32,
+    },
+    /// The request was cancelled — by its deadline (`deadline = true`)
+    /// or by service shutdown.
+    Cancelled {
+        /// Whether a deadline (rather than shutdown) fired.
+        deadline: bool,
+        /// Attempts started before the cancel landed.
+        attempts: u32,
+    },
+}
+
+/// The caller's handle on an admitted request.
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    slot: Arc<(Mutex<Option<ServeOutcome>>, Condvar)>,
+}
+
+impl Ticket {
+    pub(crate) fn new() -> Self {
+        Ticket {
+            slot: Arc::new((Mutex::new(None), Condvar::new())),
+        }
+    }
+
+    /// Blocks until the request reaches a terminal state.
+    pub fn wait(&self) -> ServeOutcome {
+        let (lock, cv) = &*self.slot;
+        let mut guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = guard.clone() {
+                return outcome;
+            }
+            guard = cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn try_take(&self) -> Option<ServeOutcome> {
+        self.slot
+            .0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Resolves the ticket (worker side); first resolution wins.
+    pub(crate) fn fulfill(&self, outcome: ServeOutcome) {
+        let (lock, cv) = &*self.slot;
+        let mut guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            *guard = Some(outcome);
+            cv.notify_all();
+        }
+    }
+}

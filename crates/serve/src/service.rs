@@ -1,0 +1,503 @@
+//! The service proper: admission, workers, the deadline watchdog, and
+//! the quarantine healer, assembled over the queue and pool layers.
+//!
+//! Thread anatomy of a running [`Service`]:
+//!
+//! * **submitters** (caller threads) run admission in
+//!   [`Service::submit`]: shutdown check, deadline-feasibility check
+//!   against the smoothed completion latency, then a bounded push into
+//!   the tenant's queue — every refusal is a structured
+//!   [`RejectReason`];
+//! * **workers** (`cfg.workers` threads) pop jobs in DRR order, lease a
+//!   core group, and drive attempts through [`DgemmRunner::run_on`]
+//!   with a per-request [`CancelToken`] + `diag_tag`, retrying
+//!   transient failures on a *different* group with seeded backoff;
+//! * **the watchdog** (one thread) holds a deadline heap; on expiry it
+//!   fires the request's token (`cancel_deadline`), which poisons the
+//!   run's barriers and frees the group at its next sync point, with
+//!   the mesh fuse already clamped to the remaining budget at dispatch;
+//! * **the healer** (one thread) probes quarantined groups with a
+//!   bitwise GEMM and readmits them, closing the quarantine state
+//!   machine's loop.
+//!
+//! Failure telemetry rides the existing rails: each failed attempt
+//! emits at most one diagnostics bundle tagged with the request id, and
+//! every decision increments a `serve.*` metric (global and
+//! per-tenant).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use sw_dgemm::{DgemmError, DgemmRunner};
+use sw_probe::metrics;
+use sw_sim::CancelToken;
+
+use crate::pool::{CgPool, Probe};
+use crate::queue::{Pop, PushError, TenantCfg, TenantQueues};
+use crate::request::{GemmRequest, RejectReason, ServeOutcome, Ticket};
+use crate::retry::{is_retryable, BackoffPolicy};
+
+/// Static configuration of one service instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Tenant table: queue bounds and DRR weights.
+    pub tenants: Vec<TenantCfg>,
+    /// Worker threads consuming the queues.
+    pub workers: usize,
+    /// Core groups in the pool (64 simulated CPEs each — keep small).
+    pub core_groups: usize,
+    /// Retry/backoff policy.
+    pub backoff: BackoffPolicy,
+    /// Consecutive failed leases before a group is quarantined.
+    pub quarantine_threshold: u32,
+    /// Mesh deadlock fuse for service runs; clamped further to a
+    /// request's remaining deadline at dispatch.
+    pub mesh_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            tenants: vec![TenantCfg::new("default")],
+            workers: 2,
+            core_groups: 2,
+            backoff: BackoffPolicy::default(),
+            quarantine_threshold: 3,
+            mesh_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+/// One admitted request in flight.
+struct Job {
+    req: GemmRequest,
+    ticket: Ticket,
+    id: u64,
+    admitted: Instant,
+    deadline_at: Option<Instant>,
+}
+
+/// Exponentially-weighted completion latency in microseconds; the
+/// feasibility estimate admission checks deadlines against.
+#[derive(Debug, Default)]
+struct LatencyEwma(AtomicU64);
+
+impl LatencyEwma {
+    fn observe(&self, latency: Duration) {
+        let sample = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let prev = self.0.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            sample
+        } else {
+            // α = 1/8: smooth enough to ride out one outlier, fresh
+            // enough to track a regime change within ~10 requests.
+            prev - prev / 8 + sample / 8
+        };
+        self.0.store(next, Ordering::Relaxed);
+    }
+
+    fn estimate(&self) -> Duration {
+        Duration::from_micros(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Deadline registry consumed by the watchdog thread.
+#[derive(Default)]
+struct WatchdogState {
+    /// `(fires_at, registration id, token)`, unordered; the watchdog
+    /// scans for the earliest. Entries are few (≤ in-flight requests).
+    entries: Vec<(Instant, u64, CancelToken)>,
+    shutdown: bool,
+}
+
+struct Watchdog {
+    state: Mutex<WatchdogState>,
+    cv: Condvar,
+    next_id: AtomicU64,
+}
+
+impl Watchdog {
+    fn new() -> Arc<Self> {
+        Arc::new(Watchdog {
+            state: Mutex::new(WatchdogState::default()),
+            cv: Condvar::new(),
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    /// Registers a token to fire at `at`; returns the id for
+    /// [`Self::unregister`].
+    fn register(&self, at: Instant, token: CancelToken) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.entries.push((at, id, token));
+        drop(st);
+        self.cv.notify_one();
+        id
+    }
+
+    fn unregister(&self, id: u64) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.entries.retain(|(_, i, _)| *i != id);
+    }
+
+    fn run(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            // Fire everything due; collect the earliest future entry.
+            let mut earliest: Option<Instant> = None;
+            st.entries.retain(|(at, _, token)| {
+                if *at <= now {
+                    token.cancel_deadline();
+                    metrics::global().counter("serve.watchdog.fired").inc();
+                    false
+                } else {
+                    earliest = Some(earliest.map_or(*at, |e| e.min(*at)));
+                    true
+                }
+            });
+            st = match earliest {
+                Some(at) => {
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(st, at.saturating_duration_since(now))
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard
+                }
+                None => self.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+            };
+        }
+    }
+
+    fn shutdown(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.shutdown = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// The admission-controlled, deadline-aware DGEMM service.
+pub struct Service {
+    cfg: ServeConfig,
+    queues: Arc<TenantQueues<Job>>,
+    pool: Arc<CgPool>,
+    watchdog: Arc<Watchdog>,
+    ewma: Arc<LatencyEwma>,
+    next_request: AtomicU64,
+    shutdown: std::sync::atomic::AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts a service: spawns workers, the watchdog, and the healer.
+    pub fn start(cfg: ServeConfig) -> Arc<Self> {
+        Self::start_with_probe(cfg, crate::pool::default_probe())
+    }
+
+    /// [`Self::start`] with a custom pool health probe (tests).
+    pub fn start_with_probe(cfg: ServeConfig, probe: Box<Probe>) -> Arc<Self> {
+        assert!(cfg.workers >= 1, "at least one worker");
+        let pool = CgPool::with_probe(cfg.core_groups, cfg.quarantine_threshold, probe);
+        let service = Arc::new(Service {
+            queues: Arc::new(TenantQueues::new(&cfg.tenants)),
+            pool,
+            watchdog: Watchdog::new(),
+            ewma: Arc::new(LatencyEwma::default()),
+            next_request: AtomicU64::new(0),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+            cfg,
+        });
+        let mut threads = Vec::new();
+        for w in 0..service.cfg.workers {
+            let svc = Arc::clone(&service);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || svc.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        {
+            let wd = Arc::clone(&service.watchdog);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-watchdog".into())
+                    .spawn(move || wd.run())
+                    .expect("spawn watchdog"),
+            );
+        }
+        {
+            let pool = Arc::clone(&service.pool);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-healer".into())
+                    .spawn(move || healer_loop(&pool))
+                    .expect("spawn healer"),
+            );
+        }
+        *service.threads.lock().unwrap_or_else(|e| e.into_inner()) = threads;
+        service
+    }
+
+    /// Admission: returns a [`Ticket`] or a structured refusal. Never
+    /// blocks on queue space — bounded admission sheds load explicitly.
+    pub fn submit(&self, req: GemmRequest) -> Result<Ticket, RejectReason> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(RejectReason::ShuttingDown);
+        }
+        assert!(req.tenant < self.cfg.tenants.len(), "unknown tenant");
+        let tenant = req.tenant;
+        if let Some(deadline) = req.deadline {
+            // Feasibility: refuse only the blatantly hopeless (budget
+            // under half the smoothed completion latency) — the
+            // deadline machinery handles near-misses, this check just
+            // refuses to burn a core group on a lost cause.
+            let estimate = self.ewma.estimate();
+            if !estimate.is_zero() && deadline < estimate / 2 {
+                metrics::global()
+                    .counter("serve.rejected.deadline_infeasible")
+                    .inc();
+                self.tenant_counter(tenant, "rejected").inc();
+                return Err(RejectReason::DeadlineInfeasible { deadline, estimate });
+            }
+        }
+        let now = Instant::now();
+        let job = Job {
+            deadline_at: req.deadline.map(|d| now + d),
+            ticket: Ticket::new(),
+            id: self.next_request.fetch_add(1, Ordering::Relaxed),
+            admitted: now,
+            req,
+        };
+        let ticket = job.ticket.clone();
+        let priority = job.req.priority;
+        match self.queues.push(tenant, priority, job) {
+            Ok(_) => {
+                metrics::global().counter("serve.admitted").inc();
+                self.tenant_counter(tenant, "admitted").inc();
+                Ok(ticket)
+            }
+            Err(PushError::Full(depth, cap)) => {
+                metrics::global().counter("serve.rejected.queue_full").inc();
+                self.tenant_counter(tenant, "rejected").inc();
+                Err(RejectReason::QueueFull { tenant, depth, cap })
+            }
+            Err(PushError::ShutDown) => Err(RejectReason::ShuttingDown),
+        }
+    }
+
+    /// The service's smoothed completion-latency estimate (admission's
+    /// feasibility yardstick).
+    pub fn latency_estimate(&self) -> Duration {
+        self.ewma.estimate()
+    }
+
+    /// `(free, leased, quarantined)` pool census.
+    pub fn pool_census(&self) -> (usize, usize, usize) {
+        self.pool.census()
+    }
+
+    /// Graceful shutdown: refuses new work, drains queued jobs, joins
+    /// every thread. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.queues.shutdown();
+        let threads = {
+            let mut guard = self.threads.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        // Workers exit once the queues drain; only then take the pool
+        // and watchdog down (draining jobs still need both).
+        let (workers, aux): (Vec<_>, Vec<_>) = threads.into_iter().partition(|t| {
+            t.thread()
+                .name()
+                .is_some_and(|n| n.starts_with("serve-worker"))
+        });
+        for t in workers {
+            let _ = t.join();
+        }
+        self.watchdog.shutdown();
+        self.pool.shutdown();
+        for t in aux {
+            let _ = t.join();
+        }
+    }
+
+    fn tenant_counter(&self, tenant: usize, what: &str) -> Arc<metrics::Counter> {
+        metrics::global().counter(&format!(
+            "serve.tenant.{}.{what}",
+            self.cfg.tenants[tenant].name
+        ))
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            match self.queues.pop() {
+                Pop::Shutdown => return,
+                Pop::Job { tenant, job } => self.process(tenant, job),
+            }
+        }
+    }
+
+    /// Drives one admitted request to a terminal outcome.
+    fn process(&self, tenant: usize, job: Job) {
+        // A deadline that expired while queued: resolve without
+        // touching a core group.
+        if let Some(at) = job.deadline_at {
+            if Instant::now() >= at {
+                metrics::global().counter("serve.cancelled.deadline").inc();
+                self.tenant_counter(tenant, "cancelled").inc();
+                job.ticket.fulfill(ServeOutcome::Cancelled {
+                    deadline: true,
+                    attempts: 0,
+                });
+                return;
+            }
+        }
+        let mut tried: Vec<usize> = Vec::new();
+        let mut attempt: u32 = 0;
+        loop {
+            let Some(mut lease) = self.pool.lease(&tried) else {
+                // Pool shut down mid-flight.
+                job.ticket.fulfill(ServeOutcome::Cancelled {
+                    deadline: false,
+                    attempts: attempt,
+                });
+                return;
+            };
+            attempt += 1;
+            let token = CancelToken::new();
+            let mut fuse = self.cfg.mesh_timeout;
+            let mut watchdog_id = None;
+            if let Some(at) = job.deadline_at {
+                let remaining = at.saturating_duration_since(Instant::now());
+                // Clamp the mesh fuse to the remaining budget: barrier
+                // poison frees barrier-parked CPEs, the fuse bounds
+                // mesh-blocked ones — together "cancel frees the group
+                // promptly" holds on every path.
+                fuse = fuse.min(remaining.max(Duration::from_millis(1)));
+                watchdog_id = Some(self.watchdog.register(at, token.clone()));
+            }
+            let mut runner = DgemmRunner::new(job.req.variant)
+                .abft(job.req.abft)
+                .cancel(token.clone())
+                .mesh_timeout(fuse)
+                .diag_tag(format!("req-{}-t{}-a{}", job.id, tenant, attempt));
+            if let Some(p) = job.req.params {
+                runner = runner.params(p);
+            }
+            if let Some(plan) = &job.req.faults {
+                if let Some(spec) = plan.spec_for(attempt - 1) {
+                    runner = runner.faults(*spec);
+                }
+            }
+            let mut c = (*job.req.c).clone();
+            let result = runner.run_on(
+                lease.cg_mut(),
+                job.req.alpha,
+                &job.req.a,
+                &job.req.b,
+                job.req.beta,
+                &mut c,
+            );
+            if let Some(id) = watchdog_id {
+                self.watchdog.unregister(id);
+            }
+            match result {
+                Ok(_) => {
+                    lease.succeed();
+                    let latency = job.admitted.elapsed();
+                    self.ewma.observe(latency);
+                    metrics::global().counter("serve.completed").inc();
+                    metrics::global()
+                        .histogram("serve.latency_us", &LATENCY_BUCKETS_US)
+                        .observe(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+                    self.tenant_counter(tenant, "completed").inc();
+                    if attempt > 1 {
+                        metrics::global()
+                            .counter("serve.completed_after_retry")
+                            .inc();
+                    }
+                    job.ticket.fulfill(ServeOutcome::Completed {
+                        c,
+                        attempts: attempt,
+                        latency,
+                    });
+                    return;
+                }
+                Err(DgemmError::Cancelled { deadline }) => {
+                    // A policy outcome: says nothing about the group.
+                    lease.release();
+                    let which = if deadline { "deadline" } else { "explicit" };
+                    metrics::global()
+                        .counter(&format!("serve.cancelled.{which}"))
+                        .inc();
+                    self.tenant_counter(tenant, "cancelled").inc();
+                    job.ticket.fulfill(ServeOutcome::Cancelled {
+                        deadline,
+                        attempts: attempt,
+                    });
+                    return;
+                }
+                Err(err) if is_retryable(&err) && attempt < self.cfg.backoff.max_attempts => {
+                    let slot = lease.slot();
+                    lease.fail();
+                    tried.push(slot);
+                    metrics::global().counter("serve.retries").inc();
+                    // Backoff with the lease released: waiting costs
+                    // this worker, never a core group.
+                    std::thread::sleep(self.cfg.backoff.delay(job.id, attempt));
+                    continue;
+                }
+                Err(err) => {
+                    if is_retryable(&err) {
+                        // Budget exhausted on an environment fault.
+                        lease.fail();
+                    } else {
+                        // Malformed request: the group is blameless.
+                        lease.release();
+                    }
+                    metrics::global().counter("serve.failed").inc();
+                    self.tenant_counter(tenant, "failed").inc();
+                    job.ticket.fulfill(ServeOutcome::Failed {
+                        error: err,
+                        attempts: attempt,
+                    });
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Completion-latency histogram bounds (µs): 100 µs .. ~6.5 s.
+const LATENCY_BUCKETS_US: [u64; 8] = [100, 400, 1600, 6400, 25_600, 102_400, 409_600, 1_638_400];
+
+/// The healer thread: probe quarantined groups and readmit the healthy
+/// ones, forever (until pool shutdown).
+fn healer_loop(pool: &Arc<CgPool>) {
+    while let Some((slot, mut cg)) = pool.take_quarantined() {
+        let healthy = pool.probe(&mut cg);
+        pool.readmit(slot, cg, healthy);
+        if !healthy {
+            // A genuinely sick group: re-probe after a pause instead of
+            // spinning on it.
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}

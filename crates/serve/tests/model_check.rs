@@ -1,0 +1,28 @@
+//! Model-checks the tenant-queue handoff. Compiled to nothing without
+//! `RUSTFLAGS='--cfg sw_check'`; the CI `model-check` job runs it
+//! instrumented.
+#![cfg(sw_check)]
+
+use sw_check::models::Expect;
+
+#[test]
+fn serve_models_match_expectations() {
+    for model in sw_serve::check_models::models() {
+        let report = model.run(0);
+        assert!(
+            model.satisfied(&report),
+            "model `{}` expected {:?}, got:\n{report}",
+            model.name,
+            model.expect,
+        );
+        if let Expect::Violation(_) = model.expect {
+            let v = report.violation().expect("mutant violates");
+            assert!(!v.trace.is_empty(), "`{}` has no trace", model.name);
+            assert!(
+                !v.schedule.is_empty(),
+                "`{}` has no replay token",
+                model.name
+            );
+        }
+    }
+}

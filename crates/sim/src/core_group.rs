@@ -24,6 +24,7 @@
 //! [`CoreGroup::run`] keeps the old contract: any failure panics.
 
 use crate::barrier::RunSync;
+use crate::cancel::CancelToken;
 use crate::pool::CpePool;
 use crate::stats::{DmaCounters, RunStats};
 use std::panic::{panic_any, resume_unwind};
@@ -184,6 +185,9 @@ pub struct CoreGroup {
     /// The always-on black box: per-CPE event rings plus the
     /// authoritative per-CPE simulated clocks and busy-lane ledgers.
     flight: Arc<FlightRecorder>,
+    /// Cooperative cancellation handle for subsequent runs; `None`
+    /// (the default) adds nothing to any path.
+    cancel: Option<CancelToken>,
 }
 
 impl Default for CoreGroup {
@@ -206,6 +210,7 @@ impl CoreGroup {
             model: BandwidthModel::calibrated(),
             injector: None,
             flight: FlightRecorder::new(),
+            cancel: None,
         }
     }
 
@@ -254,6 +259,21 @@ impl CoreGroup {
     /// by every subsequent run's DMA wrappers and mesh ports.
     pub fn set_fault_injector(&mut self, injector: Option<Arc<FaultInjector>>) {
         self.injector = injector;
+    }
+
+    /// Installs (or, with `None`, removes) a cooperative cancellation
+    /// token for subsequent runs. Firing the token poisons the running
+    /// dispatch's barriers, so every CPE unwinds with
+    /// [`CpeError::Cancelled`] at its next sync point; a token fired
+    /// before the run starts cancels it at the first barrier. The core
+    /// group itself stays reusable afterwards.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// Attaches a simulated-time tracer to subsequent runs: each CPE
@@ -314,7 +334,13 @@ impl CoreGroup {
             .into_iter()
             .map(|p| Mutex::new(Some(p)))
             .collect();
-        let sync = RunSync::new();
+        let sync = Arc::new(RunSync::new());
+        // Bind the cancellation token (if any) to this run's barriers:
+        // a fire from any thread — before or during the run — poisons
+        // them, and every CPE unwinds at its next sync point.
+        if let Some(token) = &self.cancel {
+            token.attach(&sync);
+        }
         let counters = DmaCounters::default();
         let bytes_hist = sw_probe::metrics::global()
             .histogram("sim.dma.bytes_per_descriptor", &DESC_BYTES_BUCKETS);
@@ -326,6 +352,7 @@ impl CoreGroup {
         let mesh_path = self.mesh_path;
         let engine_backend = self.engine_backend;
         let flight = &*self.flight;
+        let sync: &RunSync = &sync;
         let panics = pool.try_run(&|i: usize| {
             let port = ports[i]
                 .lock()
@@ -337,7 +364,7 @@ impl CoreGroup {
                 ldm: Ldm::new(),
                 port,
                 mem,
-                sync: &sync,
+                sync,
                 counters: &counters,
                 bytes_hist: &bytes_hist,
                 tracer,
@@ -351,6 +378,9 @@ impl CoreGroup {
             };
             f(&mut ctx);
         });
+        if let Some(token) = &self.cancel {
+            token.detach();
+        }
         let stats = RunStats {
             dma: counters.snapshot(),
             mesh: mesh.stats(),

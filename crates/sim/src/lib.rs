@@ -21,6 +21,7 @@
 //! from the DAG structure rather than being hard-coded.
 
 pub(crate) mod barrier;
+pub mod cancel;
 #[cfg(sw_check)]
 pub mod check_models;
 pub mod core_group;
@@ -28,6 +29,7 @@ pub(crate) mod pool;
 pub mod stats;
 pub mod timing;
 
+pub use cancel::CancelToken;
 pub use core_group::{CoreGroup, CpeAbort, CpeCtx, CpeError, MeshPath, RunError};
 pub use stats::{DmaTotals, RunStats};
 pub use sw_mesh::MeshTransport;
