@@ -70,6 +70,8 @@ struct Profile {
     mixed_total: usize,
     /// Requests in the chaos phase (one in eight faulted).
     chaos_total: usize,
+    /// Requests per offered-load level in the load-curve phase.
+    load_requests: usize,
 }
 
 impl Profile {
@@ -81,6 +83,7 @@ impl Profile {
             overhead_rounds: 9,
             mixed_total: 48,
             chaos_total: 32,
+            load_requests: 16,
         }
     }
 
@@ -92,6 +95,7 @@ impl Profile {
             overhead_rounds: 5,
             mixed_total: 16,
             chaos_total: 16,
+            load_requests: 8,
         }
     }
 }
@@ -406,6 +410,7 @@ fn phase_quarantine(probs: &[Problem]) -> Recovery {
         },
         quarantine_threshold: 2,
         mesh_timeout: Duration::from_millis(60),
+        ..ServeConfig::default()
     });
     for _ in 0..2 {
         let mut req = request(0, &probs[0]);
@@ -430,6 +435,83 @@ fn phase_quarantine(probs: &[Problem]) -> Recovery {
         recovery_ms,
         recovered,
     }
+}
+
+/// One point on the Gflops-utilization-vs-offered-load curve.
+struct LoadPoint {
+    /// Offered rate as a percentage of the pool's measured capacity
+    /// (`workers / direct_ms`); the last level is an unpaced burst.
+    offered_pct: f64,
+    offered_rps: f64,
+    completed_rps: f64,
+    /// Simulated-work throughput actually delivered.
+    gflops: f64,
+    /// Delivered throughput over pool capacity.
+    utilization_pct: f64,
+    shed_pct: f64,
+    p99_ms: f64,
+}
+
+/// Phase 5 (data only, no gate — ROADMAP item 1's leftover curve):
+/// paced open-loop load at increasing offered rates against a
+/// 2-worker/2-group service. Capacity is the measured direct
+/// per-request cost from phase 1, so the curve is machine-relative:
+/// utilization climbs with offered load until the workers saturate,
+/// then shedding takes over.
+fn phase_load_curve(p: &Profile, probs: &[Problem], direct_ms: f64) -> Vec<LoadPoint> {
+    let workers = 2usize;
+    let flops_per_req = 2.0 * p.m as f64 * p.n as f64 * p.k as f64;
+    let capacity_rps = workers as f64 / (direct_ms / 1e3);
+    // Pacing gaps as fractions of service capacity: 50%, 100%, 200%,
+    // 400% offered, then an unpaced burst.
+    let levels: [Option<f64>; 5] = [Some(0.5), Some(1.0), Some(2.0), Some(4.0), None];
+    let mut curve = Vec::with_capacity(levels.len());
+    for load in levels {
+        let svc = Service::start(ServeConfig {
+            tenants: vec![TenantCfg {
+                name: "load".into(),
+                weight: 1,
+                queue_cap: 8,
+            }],
+            workers,
+            core_groups: workers,
+            ..ServeConfig::default()
+        });
+        let gap = load.map(|f| Duration::from_secs_f64(1.0 / (capacity_rps * f)));
+        let mut tally = Tally::default();
+        let mut pending = Vec::new();
+        let t0 = Instant::now();
+        for i in 0..p.load_requests {
+            let prob_idx = i % probs.len();
+            match svc.submit(request(0, &probs[prob_idx])) {
+                Ok(ticket) => pending.push((ticket, prob_idx)),
+                Err(_) => tally.rejected += 1,
+            }
+            if let Some(gap) = gap {
+                std::thread::sleep(gap);
+            }
+        }
+        let submit_window = t0.elapsed().as_secs_f64().max(1e-9);
+        for (ticket, prob_idx) in pending {
+            tally.absorb(ticket.wait(), &probs[prob_idx].expect);
+        }
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        svc.shutdown();
+        let offered_rps = p.load_requests as f64 / submit_window;
+        let completed_rps = tally.completed as f64 / wall;
+        let mut sorted = tally.latencies_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        curve.push(LoadPoint {
+            offered_pct: 100.0 * offered_rps / capacity_rps,
+            offered_rps,
+            completed_rps,
+            gflops: completed_rps * flops_per_req / 1e9,
+            utilization_pct: 100.0 * completed_rps / capacity_rps,
+            shed_pct: 100.0 * tally.rejected as f64 / p.load_requests as f64,
+            p99_ms: percentile(&sorted, 0.99),
+        });
+    }
+    curve
 }
 
 fn json_number(text: &str, key: &str) -> Option<f64> {
@@ -583,6 +665,22 @@ fn main() {
         gate_misses.push("post-quarantine request did not complete correctly".into());
     }
 
+    // Phase 5: utilization-vs-offered-load curve (data only, no gate).
+    let curve = phase_load_curve(&profile, &probs, ov.direct_ms);
+    for pt in &curve {
+        println!(
+            "load     : offered {:>6.1}% ({:.2} rps) -> {:.2} rps completed, \
+             {:.3} Gflops ({:.1}% util), shed {:.1}%, p99 {:.1} ms",
+            pt.offered_pct,
+            pt.offered_rps,
+            pt.completed_rps,
+            pt.gflops,
+            pt.utilization_pct,
+            pt.shed_pct,
+            pt.p99_ms
+        );
+    }
+
     let pass = gate_misses.is_empty();
     println!();
     if pass {
@@ -624,6 +722,7 @@ fn main() {
             "  \"chaos_wedge_healed\": {},\n",
             "  \"chaos_wedge_requests\": {},\n",
             "  \"recovery_ms\": {:.1},\n",
+            "  \"load_curve\": [\n{}\n  ],\n",
             "  \"pass\": {}\n",
             "}}\n"
         ),
@@ -649,6 +748,24 @@ fn main() {
         chaos.wedge_healed,
         chaos.wedge_requests,
         rec.recovery_ms,
+        curve
+            .iter()
+            .map(|pt| {
+                format!(
+                    "    {{\"offered_pct\": {:.1}, \"offered_rps\": {:.3}, \
+                     \"completed_rps\": {:.3}, \"gflops\": {:.4}, \
+                     \"utilization_pct\": {:.1}, \"shed_pct\": {:.1}, \"p99_ms\": {:.2}}}",
+                    pt.offered_pct,
+                    pt.offered_rps,
+                    pt.completed_rps,
+                    pt.gflops,
+                    pt.utilization_pct,
+                    pt.shed_pct,
+                    pt.p99_ms
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n"),
         pass
     );
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));

@@ -7,6 +7,7 @@ use crate::lint::{self, LintPolicy};
 use crate::padding::PadPlan;
 use crate::params::BlockingParams;
 use crate::plan::GemmPlan;
+use crate::tuner::{self, TunePolicy};
 use crate::variants::raw::{run_functional_raw, RawParams};
 use crate::variants::resilient::{run_resilient, ResilienceCfg};
 use crate::variants::shared::{run_functional, GemmIo};
@@ -86,6 +87,7 @@ pub struct DgemmRunner {
     engine_backend: EngineBackend,
     cancel: Option<CancelToken>,
     diag_tag: Option<String>,
+    tune: TunePolicy,
 }
 
 impl DgemmRunner {
@@ -107,7 +109,20 @@ impl DgemmRunner {
             engine_backend: EngineBackend::default(),
             cancel: None,
             diag_tag: None,
+            tune: TunePolicy::Off,
         }
+    }
+
+    /// Sets the blocking-resolution policy for calls that did not pin
+    /// [`Self::params`]: [`TunePolicy::CacheOnly`] consults the
+    /// persistent tune cache, [`TunePolicy::Search`] additionally runs
+    /// the staged autotuner on a miss and persists the winner. The
+    /// default ([`TunePolicy::Off`]) keeps the legacy paper-then-test
+    /// candidate list. A tuned blocking is used only when it divides
+    /// the problem exactly; otherwise the legacy list is the fallback.
+    pub fn tune(mut self, policy: TunePolicy) -> Self {
+        self.tune = policy;
+        self
     }
 
     /// Installs a cooperative cancellation token for the run. Firing
@@ -388,7 +403,22 @@ impl DgemmRunner {
             v => {
                 let plan = match self.params {
                     Some(p) => GemmPlan::new(m, n, k, p, v.double_buffered())?,
-                    None => pick_plan(v, m, n, k)?,
+                    None => {
+                        let tuned = tuner::resolve(
+                            self.tune,
+                            v,
+                            m,
+                            n,
+                            k,
+                            self.mesh_transport,
+                            self.engine_backend,
+                        )
+                        .and_then(|p| GemmPlan::new(m, n, k, p, v.double_buffered()).ok());
+                        match tuned {
+                            Some(plan) => plan,
+                            None => pick_plan(v, m, n, k)?,
+                        }
+                    }
                 };
                 diag.plan = Some(plan);
                 if self.lint != LintPolicy::Off {

@@ -38,6 +38,7 @@ pub mod reference;
 pub mod sharing;
 pub mod streamed;
 pub mod timing;
+pub mod tunecache;
 pub mod tuner;
 pub mod variants;
 
@@ -54,5 +55,7 @@ pub use sw_mem::HostMatrix as Matrix;
 pub use sw_mem::MemError;
 pub use sw_sim::{MeshPath, MeshTransport};
 pub use timing::{estimate, estimate_with, TimingReport};
+pub use tunecache::{CachedTune, TuneCache};
+pub use tuner::{search, tune, TuneOutcome, TunePolicy, TuneRequest, TuneResult};
 pub use variants::batched::dgemm_batched;
 pub use variants::Variant;

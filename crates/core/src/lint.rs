@@ -119,6 +119,22 @@ fn shared_layout(p: &BlockingParams, double_buffered: bool) -> (LdmLayout, Block
     (LdmLayout { regions }, cfg)
 }
 
+/// The tuner's per-candidate artifact: the exact LDM layout
+/// `thread_body` would allocate for the blocking, plus the all-local
+/// looped kernel stream — the steady-state schedule every collective
+/// role shares modulo operand sources. Stage 1 lints the stream
+/// against the layout for feasibility; stage 2 feeds it to the static
+/// stall prover for a per-candidate cycle bound.
+pub(crate) fn candidate_kernel(
+    p: &BlockingParams,
+    style: KernelStyle,
+    double_buffered: bool,
+) -> (LdmLayout, Vec<Instr>) {
+    let (layout, cfg) = shared_layout(p, double_buffered);
+    let prog = gen_block_kernel_looped(&cfg, style, unroll_for(p.pk));
+    (layout, prog)
+}
+
 /// Lints all 8 collective steps of a shared-variant plan: per step, the
 /// 64 role-assigned streams are analyzed as one core group (mesh
 /// rendezvous included) against the double-buffer-aware layout.

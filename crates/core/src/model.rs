@@ -85,8 +85,7 @@ pub fn enumerate_register_blockings() -> Vec<RegisterChoice> {
     }
     out.sort_by(|a, b| {
         b.reduction
-            .partial_cmp(&a.reduction)
-            .unwrap()
+            .total_cmp(&a.reduction)
             .then(a.registers.cmp(&b.registers))
     });
     out

@@ -87,6 +87,15 @@ impl BlockingParams {
         copies * (self.pm * self.pn + self.pm * self.pk) + self.pk * self.pn
     }
 
+    /// Whether an (m, n, k) problem divides exactly into this
+    /// blocking's CG-level blocks — the aligned case the kernel runs
+    /// without padding, and the condition the autotuner's runner path
+    /// imposes on candidates.
+    #[inline]
+    pub fn divides(&self, m: usize, n: usize, k: usize) -> bool {
+        m.is_multiple_of(self.bm()) && n.is_multiple_of(self.bn()) && k.is_multiple_of(self.bk())
+    }
+
     /// Validates the parameters against the architecture:
     ///
     /// * register budget `rM·rN + rM + rN < 32` (§III-C.3), with
@@ -202,6 +211,15 @@ mod tests {
         ] {
             assert!(bad.validate(db).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn divides_is_exact_cg_alignment() {
+        let p = BlockingParams::paper_double();
+        assert!(p.divides(128, 256, 768));
+        assert!(p.divides(256, 512, 1536));
+        assert!(!p.divides(129, 256, 768));
+        assert!(!p.divides(128, 256, 769));
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Tune-cache contracts, end to end: winners round-trip through the
+//! on-disk file across instances (processes), corrupt or truncated
+//! cache files degrade to a re-search instead of an error, the staged
+//! search is deterministic so independent processes converge on the
+//! same cache contents, concurrent readers and writers are safe, and
+//! `DgemmRunner` consults the `$SW_TUNE_CACHE`-backed global cache.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use sw_dgemm::tunecache::{TuneCache, TUNE_CACHE_ENV};
+use sw_dgemm::tuner::{resolve_in, TunePolicy};
+use sw_dgemm::{gen, reference, CachedTune, DgemmRunner, Variant};
+use sw_probe::metrics;
+
+/// `SW_TUNE_CACHE` (and the `OnceLock` behind `TuneCache::global`) is
+/// process-global; only [`runner_consults_the_global_cache`] may touch
+/// either, and this lock keeps that invariant obvious.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn tmp_path(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("sw-tune-test-{}-{tag}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// A shape the aligned SCHED kernel can cover exactly with several
+/// feasible blockings (pm = 16; pn ∈ {4, 8}; pk = 16).
+const SHAPE: (usize, usize, usize) = (128, 64, 128);
+
+fn resolve_at(cache: &TuneCache, policy: TunePolicy) -> Option<sw_dgemm::BlockingParams> {
+    let (m, n, k) = SHAPE;
+    resolve_in(
+        cache,
+        policy,
+        Variant::Sched,
+        m,
+        n,
+        k,
+        Default::default(),
+        Default::default(),
+    )
+}
+
+/// A searched winner written by one instance is read back — without
+/// any search — by a fresh instance over the same file, modelling the
+/// next process.
+#[test]
+fn winner_round_trips_across_instances() {
+    let path = tmp_path("roundtrip");
+    let cold = resolve_at(&TuneCache::at(&path), TunePolicy::Search { top_k: 2 })
+        .expect("search finds a blocking for the aligned shape");
+    let warm = resolve_at(&TuneCache::at(&path), TunePolicy::CacheOnly);
+    assert_eq!(warm, Some(cold), "fresh instance reads the same winner");
+    // The persisted entry carries the winner's predicted rate too.
+    let (m, n, k) = SHAPE;
+    let key = TuneCache::key(
+        Variant::Sched,
+        Default::default(),
+        Default::default(),
+        m,
+        n,
+        k,
+    );
+    let entry = TuneCache::at(&path).get(&key).expect("entry persisted");
+    assert!(entry.gflops > 0.0);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A corrupt cache file is treated as empty — `CacheOnly` declines,
+/// nothing panics — and the next search overwrites it with a valid
+/// file.
+#[test]
+fn corrupt_file_degrades_to_a_re_search() {
+    let path = tmp_path("corrupt");
+    std::fs::write(&path, b"{not json at all\x00\xff").unwrap();
+    let cache = TuneCache::at(&path);
+    assert_eq!(resolve_at(&cache, TunePolicy::CacheOnly), None);
+    assert!(cache.is_empty());
+    let searched =
+        resolve_at(&cache, TunePolicy::Search { top_k: 2 }).expect("re-search still works");
+    // The rewrite is a well-formed file a fresh instance can load.
+    assert_eq!(
+        resolve_at(&TuneCache::at(&path), TunePolicy::CacheOnly),
+        Some(searched)
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Truncation mid-file (a crashed writer without the atomic rename)
+/// degrades the same way: empty cache, no error.
+#[test]
+fn truncated_file_degrades_to_empty() {
+    let whole = tmp_path("whole");
+    let cache = TuneCache::at(&whole);
+    let (m, n, k) = SHAPE;
+    let key = TuneCache::key(
+        Variant::Sched,
+        Default::default(),
+        Default::default(),
+        m,
+        n,
+        k,
+    );
+    cache.put(
+        &key,
+        CachedTune {
+            params: Variant::Sched.paper_params(),
+            gflops: 700.0,
+        },
+    );
+    let text = std::fs::read_to_string(&whole).unwrap();
+    let truncated = tmp_path("truncated");
+    std::fs::write(&truncated, &text[..text.len() / 2]).unwrap();
+    let half = TuneCache::at(&truncated);
+    assert!(half.is_empty(), "truncated JSON loads as the empty cache");
+    assert_eq!(resolve_at(&half, TunePolicy::CacheOnly), None);
+    let _ = std::fs::remove_file(&whole);
+    let _ = std::fs::remove_file(&truncated);
+}
+
+/// The staged search is deterministic, so two independent caches (two
+/// processes that never shared a file) converge on identical winners.
+#[test]
+fn independent_processes_converge_on_the_same_winner() {
+    let (pa, pb) = (tmp_path("proc-a"), tmp_path("proc-b"));
+    let a = resolve_at(&TuneCache::at(&pa), TunePolicy::Search { top_k: 4 }).unwrap();
+    let b = resolve_at(&TuneCache::at(&pb), TunePolicy::Search { top_k: 4 }).unwrap();
+    assert_eq!(a, b, "same request, same winner, regardless of process");
+    let _ = std::fs::remove_file(&pa);
+    let _ = std::fs::remove_file(&pb);
+}
+
+/// Concurrent readers and writers over one shared cache instance:
+/// no panics, the original entry survives, and every writer's entry
+/// lands.
+#[test]
+fn concurrent_readers_and_writers_are_safe() {
+    let path = tmp_path("concurrent");
+    let cache = Arc::new(TuneCache::at(&path));
+    let entry = CachedTune {
+        params: Variant::Sched.paper_params(),
+        gflops: 700.0,
+    };
+    cache.put("shared/key", entry);
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for i in 0..32 {
+                    let hit = cache.get("shared/key").expect("shared entry always hit");
+                    assert_eq!(hit.params, Variant::Sched.paper_params());
+                    if i % 8 == 0 {
+                        cache.put(
+                            &format!("writer/{t}"),
+                            CachedTune {
+                                params: Variant::Sched.paper_params(),
+                                gflops: t as f64,
+                            },
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("no reader or writer panicked");
+    }
+    assert_eq!(cache.len(), 1 + 8, "shared entry plus one per writer");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `DgemmRunner::tune(Search)` resolves its blocking through the
+/// global `$SW_TUNE_CACHE`-backed cache: the first run searches and
+/// persists, the second hits without searching, and both compute the
+/// correct product.
+#[test]
+fn runner_consults_the_global_cache() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp_path("global");
+    std::env::set_var(TUNE_CACHE_ENV, &path);
+    let (m, n, k) = SHAPE;
+    let (a, b) = (gen::random_matrix(m, k, 42), gen::random_matrix(k, n, 43));
+    let searches = metrics::global().counter("tune.searches");
+    let hits = metrics::global().counter("tune.cache.hits");
+    let run = |seed| {
+        let mut c = gen::random_matrix(m, n, seed);
+        let mut expect = c.clone();
+        DgemmRunner::new(Variant::Sched)
+            .tune(TunePolicy::Search { top_k: 2 })
+            .run(1.5, &a, &b, 0.5, &mut c)
+            .expect("tuned run succeeds");
+        reference::dgemm_chunked_fma(1.5, &a, &b, 0.5, &mut expect, 16);
+        assert!(c == expect, "tuned blocking still computes the product");
+    };
+    let s0 = searches.get();
+    run(44);
+    assert!(searches.get() > s0, "the cold run searched");
+    assert!(path.exists(), "the winner was persisted to $SW_TUNE_CACHE");
+    let (s1, h1) = (searches.get(), hits.get());
+    run(45);
+    assert_eq!(searches.get(), s1, "the warm run performed no search");
+    assert!(hits.get() > h1, "the warm run hit the cache");
+    std::env::remove_var(TUNE_CACHE_ENV);
+    let _ = std::fs::remove_file(&path);
+}

@@ -42,7 +42,10 @@ pub use absint::{AbsintOptions, CommCounts, StreamSummary};
 pub use diag::{codes, Diagnostic, LintReport, Severity, Span};
 pub use ldm::{LdmLayout, LdmRegion};
 pub use mesh::{check_mesh, rendezvous_summary};
-pub use stall::{prove_stalls, Bound, StaticStalls};
+pub use stall::{
+    prove_stalls, prove_stalls_budgeted, score_stalls, score_stalls_budgeted, Bound, StallScore,
+    StaticStalls,
+};
 
 use mesh::MESH_DIM;
 use sw_isa::Instr;

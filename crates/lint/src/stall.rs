@@ -135,6 +135,46 @@ impl Attribution {
     }
 }
 
+/// A scalar schedule-quality summary derived from a proven report —
+/// what a ranking pass (the block-size autotuner's stage 2) needs from
+/// the prover without executing anything.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallScore {
+    /// Proven cycles — exact, or a lower bound (see `bound`).
+    pub cycles: u64,
+    /// Fraction of dual-issue slots filled: `issued / (2·cycles)`.
+    pub utilization: f64,
+    /// P0 (floating-point pipe) occupancy: `pipes[0].issue / cycles` —
+    /// the fraction of cycles the FMA pipe is fed.
+    pub p0_occupancy: f64,
+    /// Tightness of the proof. A [`Bound::LowerBound`] makes `cycles`
+    /// optimistic and the occupancies correspondingly inflated.
+    pub bound: Bound,
+    /// Dynamic instructions the prover walked.
+    pub instructions: u64,
+}
+
+/// Scores a kernel stream for ranking: proves the stall report and
+/// collapses it to cycles plus issue-slot utilization. Exact for every
+/// generated kernel (all branches resolve); a lower bound when the
+/// `budget` trips first.
+pub fn score_stalls_budgeted(prog: &[Instr], budget: u64) -> StallScore {
+    let s = prove_stalls_budgeted(prog, budget, [Some(0); IREG_COUNT]);
+    let denom = s.report.cycles.max(1) as f64;
+    StallScore {
+        cycles: s.report.cycles,
+        utilization: s.report.issue_cycles() as f64 / (2.0 * denom),
+        p0_occupancy: s.report.pipes[0].issue as f64 / denom,
+        bound: s.bound,
+        instructions: s.instructions,
+    }
+}
+
+/// [`score_stalls_budgeted`] with the default budget.
+pub fn score_stalls(prog: &[Instr]) -> StallScore {
+    score_stalls_budgeted(prog, DEFAULT_STALL_BUDGET)
+}
+
 /// Proves a stall report for `prog` with the default budget and the
 /// executor's zeroed entry registers.
 pub fn prove_stalls(prog: &[Instr]) -> StaticStalls {
@@ -418,5 +458,38 @@ mod tests {
         assert_eq!(s.bound, Bound::Exact);
         assert_eq!(s.report.cycles, 0);
         assert!(s.report.check().is_ok());
+    }
+
+    #[test]
+    fn score_matches_proof_and_is_bounded() {
+        let prog = vec![
+            Instr::Setl { d: IReg(1), imm: 8 },
+            Instr::Vclr { d: VReg(0) },
+            Instr::Vclr { d: VReg(1) },
+            Instr::Addl {
+                d: IReg(1),
+                s: IReg(1),
+                imm: -1,
+            },
+            Instr::Bne {
+                s: IReg(1),
+                target: 1,
+            },
+        ];
+        let proof = prove_stalls(&prog);
+        let score = score_stalls(&prog);
+        assert_eq!(score.cycles, proof.report.cycles);
+        assert_eq!(score.bound, Bound::Exact);
+        assert_eq!(score.instructions, proof.instructions);
+        assert!(score.utilization > 0.0 && score.utilization <= 1.0);
+        assert!(score.p0_occupancy >= 0.0 && score.p0_occupancy <= 1.0);
+    }
+
+    #[test]
+    fn score_of_empty_stream_does_not_divide_by_zero() {
+        let s = score_stalls(&[]);
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.utilization, 0.0);
+        assert_eq!(s.p0_occupancy, 0.0);
     }
 }

@@ -45,3 +45,4 @@ pub use queue::{Pop, PushError, TenantCfg, TenantQueues};
 pub use request::{FaultPlan, GemmRequest, Priority, RejectReason, ServeOutcome, Ticket};
 pub use retry::{is_retryable, BackoffPolicy};
 pub use service::{ServeConfig, Service};
+pub use sw_dgemm::TunePolicy;

@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use sw_dgemm::{DgemmError, DgemmRunner};
+use sw_dgemm::{DgemmError, DgemmRunner, TunePolicy};
 use sw_probe::metrics;
 use sw_sim::CancelToken;
 
@@ -54,6 +54,14 @@ pub struct ServeConfig {
     /// Mesh deadlock fuse for service runs; clamped further to a
     /// request's remaining deadline at dispatch.
     pub mesh_timeout: Duration,
+    /// Blocking resolution for requests that did not pin `params`:
+    /// the default [`TunePolicy::CacheOnly`] consults the persistent
+    /// tune cache (repeated tenant shapes stop paying search cost once
+    /// something — a `tune_bench` run, a `Search`-policy deployment —
+    /// has populated it) and never searches on the serving path;
+    /// [`TunePolicy::Search`] searches on a miss and persists the
+    /// winner.
+    pub tune: TunePolicy,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +73,7 @@ impl Default for ServeConfig {
             backoff: BackoffPolicy::default(),
             quarantine_threshold: 3,
             mesh_timeout: Duration::from_millis(250),
+            tune: TunePolicy::CacheOnly,
         }
     }
 }
@@ -394,6 +403,12 @@ impl Service {
                 .diag_tag(format!("req-{}-t{}-a{}", job.id, tenant, attempt));
             if let Some(p) = job.req.params {
                 runner = runner.params(p);
+            } else {
+                // Unpinned blocking: resolve through the tune cache
+                // under the service's policy (the runner falls back to
+                // the legacy candidates on a miss or unusable entry).
+                runner = runner.tune(self.cfg.tune);
+                metrics::global().counter("serve.tune.consults").inc();
             }
             if let Some(plan) = &job.req.faults {
                 if let Some(spec) = plan.spec_for(attempt - 1) {

@@ -55,6 +55,7 @@ fn small_cfg() -> ServeConfig {
         },
         quarantine_threshold: 100, // effectively off unless a test opts in
         mesh_timeout: Duration::from_millis(60),
+        tune: sw_serve::TunePolicy::Off,
     }
 }
 

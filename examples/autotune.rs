@@ -1,27 +1,43 @@
 //! Block-size auto-tuning — the paper's future-work direction, closed.
 //!
-//! Enumerates every feasible thread-level blocking for the
-//! double-buffered SCHED variant, ranks them with the timing
-//! simulator at the paper's sweet-spot size (9216³), and reports where
-//! the paper's hand-picked pN = 32, pK = 96 lands.
+//! Runs the staged search for the double-buffered SCHED variant at the
+//! paper's sweet-spot size (9216³): enumerate every legal
+//! (pM, pN, pK) × (rM, rN) blocking, prune with the §IV analytic model
+//! and the static stall prover (no simulation), then time only the
+//! surviving top-k — and reports where the paper's hand-picked
+//! pN = 32, pK = 96 lands.
 //!
 //! ```text
 //! cargo run --release --example autotune
 //! ```
 
 use sw26010_dgemm::mem::dma::BandwidthModel;
-use sw_dgemm::tuner::tune;
+use sw_dgemm::tuner::{search, TuneRequest};
 use sw_dgemm::Variant;
 
 fn main() {
     let model = BandwidthModel::calibrated();
-    let results = tune(Variant::Sched, 9216, &model).expect("tuning failed");
+    let req = TuneRequest {
+        top_k: 16,
+        ..TuneRequest::square(Variant::Sched, 9216)
+    };
+    let outcome = search(&req, &model).expect("tuning failed");
+    let s = outcome.stats;
     println!(
-        "{} feasible (pM=16, pN, pK) blockings for double-buffered SCHED\n",
-        results.len()
+        "staged search, double-buffered SCHED at 9216^3:\n\
+         {} register tiles considered ({} supported by the generator), \
+         {} blockings enumerated\n\
+         -> {} feasible after validate + i-cache lint \
+         -> {} timed ({:.1}% pruned by the analytic + stall-prover rank)\n",
+        s.register_tiles,
+        s.register_tiles_supported,
+        s.enumerated,
+        s.feasible,
+        s.timed,
+        s.pruned_pct()
     );
     println!("rank   pN   pK    bN    bK   LDM doubles   Gflops/s");
-    for (rank, r) in results.iter().take(12).enumerate() {
+    for (rank, r) in outcome.results.iter().take(12).enumerate() {
         println!(
             "{:>4}  {:>3}  {:>3}  {:>4}  {:>4}  {:>11}  {:>8.1}{}",
             rank + 1,
@@ -38,16 +54,17 @@ fn main() {
             }
         );
     }
-    let paper_rank = results
+    let paper_rank = outcome
+        .results
         .iter()
         .position(|r| r.params.pn == 32 && r.params.pk == 96)
-        .expect("paper blocking feasible");
-    let best = &results[0];
-    let paper = &results[paper_rank];
+        .expect("paper blocking is always seeded into the timed stage");
+    let best = &outcome.results[0];
+    let paper = &outcome.results[paper_rank];
     println!(
-        "\npaper's (pN=32, pK=96): rank {} of {}, {:.1} Gflops vs best {:.1} ({:+.2}%)",
+        "\npaper's (pN=32, pK=96): rank {} of {} timed, {:.1} Gflops vs best {:.1} ({:+.2}%)",
         paper_rank + 1,
-        results.len(),
+        outcome.results.len(),
         paper.gflops,
         best.gflops,
         100.0 * (paper.gflops / best.gflops - 1.0)

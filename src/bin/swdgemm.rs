@@ -141,13 +141,15 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     let results =
         tune(Variant::Sched, target, &BandwidthModel::calibrated()).map_err(|e| e.to_string())?;
     println!(
-        "top {top} of {} feasible double-buffered blockings near {target}^3:",
+        "top {top} of {} staged-search survivors timed near {target}^3 \
+         (analytic + stall-prover pre-rank):",
         results.len()
     );
-    println!("  pN   pK   LDM doubles   Gflops/s");
+    println!("  pM   pN   pK   LDM doubles   Gflops/s");
     for r in results.iter().take(top) {
         println!(
-            "  {:>2}  {:>3}   {:>11}   {:>8.1}{}",
+            "  {:>2}  {:>3}  {:>3}   {:>11}   {:>8.1}{}",
+            r.params.pm,
             r.params.pn,
             r.params.pk,
             r.ldm_doubles,
